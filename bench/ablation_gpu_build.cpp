@@ -1,0 +1,48 @@
+/// \file ablation_gpu_build.cpp
+/// What-if for the paper's section 4 future work: "index-building could be
+/// offloaded to GPUs ... [to] better exploit per-node resources and leverage
+/// multiple Qdrant workers per node". Compares CPU index builds (fig. 3
+/// mechanics: node-CPU contention, 1->4 worker ceiling of 1.27x) against
+/// per-worker GPU builds (one A100 per worker, 4 per Polaris node).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main() {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("What-if — GPU-offloaded index builds",
+                     "Ockerman et al., SC'25 workshops, section 4 (future work)");
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const double full_gb = model.GBForVectors(model.full_dataset_vectors);
+
+  TextTable table("Full-dataset index build: CPU vs GPU-offloaded");
+  table.SetHeader({"workers", "CPU build", "GPU build", "CPU speedup vs 1w",
+                   "GPU speedup vs 1w"});
+  const double cpu1 = SimulateIndexBuild(model, 1, full_gb);
+  const double gpu1 = SimulateIndexBuildGpu(model, 1, full_gb);
+  for (const std::uint32_t workers : {1u, 4u, 8u, 16u, 32u}) {
+    const double cpu = SimulateIndexBuild(model, workers, full_gb);
+    const double gpu = SimulateIndexBuildGpu(model, workers, full_gb);
+    table.AddRow({TextTable::Int(workers), FormatDuration(cpu), FormatDuration(gpu),
+                  TextTable::Num(cpu1 / cpu, 2) + "x",
+                  TextTable::Num(gpu1 / gpu, 2) + "x"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const double cpu_1_to_4 = cpu1 / SimulateIndexBuild(model, 4, full_gb);
+  const double gpu_1_to_4 = gpu1 / SimulateIndexBuildGpu(model, 4, full_gb);
+  std::printf("1->4 worker speedup: CPU %.2fx (the paper's ceiling), GPU %.2fx\n\n",
+              cpu_1_to_4, gpu_1_to_4);
+
+  ComparisonReport report("ablation_gpu_build");
+  report.AddClaim("GPU build faster than CPU at every worker count",
+                  SimulateIndexBuildGpu(model, 32, full_gb) <
+                      SimulateIndexBuild(model, 32, full_gb));
+  report.AddClaim("GPU removes the 1->4 workers-per-node ceiling",
+                  gpu_1_to_4 > 3.5 && cpu_1_to_4 < 1.5);
+  return bench::FinishWithReport(report);
+}

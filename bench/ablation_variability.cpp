@@ -1,0 +1,62 @@
+/// \file ablation_variability.cpp
+/// The paper's section 4 future work: "Future work could investigate the
+/// performance variability." We inject mean-preserving log-normal jitter into
+/// every service time and measure how run-to-run spread (coefficient of
+/// variation) of the full query workload grows with per-operation noise —
+/// quantifying how much averaging the 22,723-query workload does.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main() {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("What-if — runtime variability under service-time jitter",
+                     "Ockerman et al., SC'25 workshops, section 4 (future work)");
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  constexpr std::uint32_t kWorkers = 4;
+  constexpr double kGB = 10.0;
+  constexpr std::uint64_t kQueries = 3000;
+  constexpr std::size_t kTrials = 9;
+
+  const double baseline = SimulateQueryRun(model, kWorkers, kGB, kQueries, 16, 2);
+  std::printf("deterministic baseline (%u workers, %.0f GB, %llu queries): %s\n\n",
+              kWorkers, kGB, static_cast<unsigned long long>(kQueries),
+              FormatDuration(baseline).c_str());
+
+  TextTable table("Workload total across " + std::to_string(kTrials) +
+                  " seeded trials per jitter level");
+  table.SetHeader({"per-op jitter sigma", "mean", "min", "max", "CV %", "mean/baseline"});
+  ComparisonReport report("ablation_variability");
+
+  double prev_cv = -1.0;
+  bool monotone = true;
+  for (const double sigma : {0.0, 0.05, 0.15, 0.30}) {
+    const auto result =
+        RunVariabilityStudy(model, sigma, kWorkers, kGB, kQueries, kTrials);
+    table.AddRow({TextTable::Num(sigma, 2),
+                  FormatDuration(result.MeanSeconds()),
+                  FormatDuration(result.trial_seconds.Min()),
+                  FormatDuration(result.trial_seconds.Max()),
+                  TextTable::Num(result.CV() * 100.0, 3),
+                  TextTable::Num(result.MeanSeconds() / baseline, 3)});
+    monotone &= result.CV() >= prev_cv;
+    prev_cv = result.CV();
+    if (sigma == 0.30) {
+      report.AddClaim("jitter is mean-preserving (within 10% of baseline)",
+                      std::abs(result.MeanSeconds() / baseline - 1.0) < 0.10);
+      report.AddClaim(
+          "workload-level CV stays far below per-op sigma (central limit)",
+          result.CV() < sigma / 2.0);
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  report.AddClaim("CV grows monotonically with per-op sigma", monotone);
+  report.AddClaim("zero jitter is exactly deterministic",
+                  RunVariabilityStudy(model, 0.0, kWorkers, kGB, kQueries, 3).CV() == 0.0);
+  return bench::FinishWithReport(report);
+}

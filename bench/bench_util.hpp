@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared helpers for the paper-reproduction bench binaries.
+
+#include <cstdio>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/logging.hpp"
+#include "metrics/compare.hpp"
+#include "metrics/table.hpp"
+
+namespace vdb::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  vdb::SetLogLevel(vdb::LogLevel::kWarn);
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n\n");
+}
+
+inline int FinishWithReport(const vdb::ComparisonReport& report) {
+  std::printf("%s\n", report.Render().c_str());
+  if (!report.AllWithinTolerance()) {
+    std::printf("NOTE: some rows fall outside tolerance; see EXPERIMENTS.md for\n"
+                "the discussion of where the model diverges from the testbed.\n");
+  }
+  return 0;  // benches report, they do not gate; tests gate.
+}
+
+}  // namespace vdb::bench

@@ -1,0 +1,74 @@
+/// \file fig2_insert_tuning.cpp
+/// Reproduces paper Fig. 2: insertion time for a 1 GB subset into a single-
+/// worker cluster while sweeping (a) upload batch size and (b) the number of
+/// parallel in-flight requests, plus the section 3.2 profiling claims:
+/// batch conversion is CPU-bound (45.64 ms) vs the insert RPC await
+/// (14.86 ms), capping asyncio speedup at ~1.31x by Amdahl's law.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main() {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("Fig. 2 — insertion tuning (1 GB, single worker)",
+                     "Ockerman et al., SC'25 workshops, section 3.2, fig. 2");
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const Fig2Result result = RunFig2InsertTuning(model, 1.0);
+
+  TextTable batch_table("Insertion time vs batch size (1 in-flight request)");
+  batch_table.SetHeader({"batch size", "seconds", "paper anchor"});
+  for (const auto& point : result.batch_size_curve) {
+    std::string anchor;
+    if (point.parameter == 1) anchor = "468 s";
+    if (point.parameter == 32) anchor = "381 s (optimum)";
+    batch_table.AddRow({TextTable::Int(static_cast<std::int64_t>(point.parameter)),
+                        TextTable::Num(point.seconds, 1), anchor});
+  }
+  std::printf("%s\n", batch_table.Render().c_str());
+
+  TextTable conc_table("Insertion time vs parallel requests (batch size " +
+                       std::to_string(result.best_batch_size) + ")");
+  conc_table.SetHeader({"in-flight", "seconds", "paper anchor"});
+  for (const auto& point : result.concurrency_curve) {
+    std::string anchor;
+    if (point.parameter == 1) anchor = "381 s";
+    if (point.parameter == 2) anchor = "367 s (optimum)";
+    conc_table.AddRow({TextTable::Int(static_cast<std::int64_t>(point.parameter)),
+                       TextTable::Num(point.seconds, 1), anchor});
+  }
+  std::printf("%s\n", conc_table.Render().c_str());
+
+  std::printf("profiled decomposition at batch 32:\n");
+  std::printf("  awaitable insert RPC: %.2f ms   (paper: 14.86 ms)\n",
+              result.awaitable_ms_at_32);
+  std::printf("  serial client CPU:    %.2f ms   (conversion 45.64 ms + loop\n"
+              "                                   overhead implied by totals)\n",
+              model.ClientSerialPerBatch(32) * 1e3);
+  std::printf("  Amdahl ceiling over convert+RPC: %.2fx (paper: 1.31x)\n\n",
+              result.amdahl_ceiling);
+
+  ComparisonReport report("fig2");
+  auto curve_at = [](const std::vector<SweepPoint>& curve, std::uint64_t p) {
+    for (const auto& point : curve) {
+      if (point.parameter == p) return point.seconds;
+    }
+    return 0.0;
+  };
+  report.Add("batch=1", 468.0, curve_at(result.batch_size_curve, 1), "s");
+  report.Add("batch=32", 381.0, curve_at(result.batch_size_curve, 32), "s");
+  report.Add("inflight=2", 367.0, curve_at(result.concurrency_curve, 2), "s");
+  report.Add("amdahl_ceiling", 1.31, result.amdahl_ceiling, "x", 0.05);
+  report.AddClaim("batch-size optimum at 32", result.best_batch_size == 32);
+  report.AddClaim("concurrency optimum at 2", result.best_concurrency == 2);
+  report.AddClaim("larger batches degrade past the optimum",
+                  curve_at(result.batch_size_curve, 256) >
+                      curve_at(result.batch_size_curve, 32));
+  report.AddClaim("concurrency beyond 2 degrades",
+                  curve_at(result.concurrency_curve, 8) >
+                      curve_at(result.concurrency_curve, 2));
+  return bench::FinishWithReport(report);
+}

@@ -1,0 +1,66 @@
+/// \file fig3_index_build.cpp
+/// Reproduces paper Fig. 3: deferred HNSW index build time versus dataset
+/// size for 1/4/8/16/32 workers (4 workers per node), including the two
+/// quantitative anchors the paper states in prose: a maximum 1->4 worker
+/// speedup of only 1.27x (one worker already saturates 90-97% of a node's
+/// CPU) and a maximum 1->32 speedup of 21.32x.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main() {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("Fig. 3 — index build time vs dataset size and workers",
+                     "Ockerman et al., SC'25 workshops, section 3.3, fig. 3");
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const double full_gb = model.GBForVectors(model.full_dataset_vectors);
+  const std::vector<double> sizes = {1, 5, 10, 20, 40, full_gb};
+  const std::vector<std::uint32_t> workers = {1, 4, 8, 16, 32};
+
+  const GridResult grid = RunFig3IndexBuild(model, sizes, workers);
+
+  TextTable table("Index build time (HNSW, deferred bulk build)");
+  std::vector<std::string> header = {"dataset"};
+  for (const auto w : workers) header.push_back(std::to_string(w) + "w");
+  table.SetHeader(header);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    std::vector<std::string> row = {TextTable::Num(sizes[s], 0) + " GB"};
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      row.push_back(FormatDuration(grid.seconds[s][w]));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const std::size_t full = sizes.size() - 1;
+  TextTable speedups("Speedup vs 1 worker at the full dataset");
+  speedups.SetHeader({"workers", "speedup"});
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    speedups.AddRow({TextTable::Int(workers[w]),
+                     TextTable::Num(grid.seconds[full][0] / grid.seconds[full][w], 2) + "x"});
+  }
+  std::printf("%s\n", speedups.Render().c_str());
+
+  ComparisonReport report("fig3");
+  report.Add("speedup 1->4 workers", 1.27, grid.seconds[full][0] / grid.seconds[full][1],
+             "x", 0.10);
+  report.Add("speedup 1->32 workers", 21.32,
+             grid.seconds[full][0] / grid.seconds[full][4], "x", 0.15);
+  report.AddClaim("scaling falls short of linear",
+                  grid.seconds[full][0] / grid.seconds[full][4] < 32.0);
+  report.AddClaim("limitation most apparent from 1 to 4 workers",
+                  grid.seconds[full][0] / grid.seconds[full][1] <
+                      0.5 * (grid.seconds[full][1] / grid.seconds[full][2]) * 4.0);
+  bool monotone = true;
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    for (std::size_t w = 1; w < workers.size(); ++w) {
+      monotone &= grid.seconds[s][w] <= grid.seconds[s][w - 1];
+    }
+  }
+  report.AddClaim("more workers never slow the build", monotone);
+  return bench::FinishWithReport(report);
+}

@@ -1,0 +1,72 @@
+/// \file fig4_query_tuning.cpp
+/// Reproduces paper Fig. 4: query running time for the 22,723-term BV-BRC
+/// workload against a 1 GB single-worker cluster while sweeping query batch
+/// size and parallel requests, plus the saturation follow-up (per-batch call
+/// time 30.7 -> 76.4 -> 170 ms at concurrency 2/4/8).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main() {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("Fig. 4 — query tuning (1 GB, single worker)",
+                     "Ockerman et al., SC'25 workshops, section 3.4, fig. 4");
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const Fig4Result result = RunFig4QueryTuning(model, 1.0, model.num_query_terms);
+
+  TextTable batch_table("Query time vs batch size (1 in-flight request, 22,723 queries)");
+  batch_table.SetHeader({"batch size", "seconds", "paper anchor"});
+  for (const auto& point : result.batch_size_curve) {
+    std::string anchor;
+    if (point.parameter == 1) anchor = "139 s";
+    if (point.parameter == 16) anchor = "73 s (optimum; flat beyond)";
+    batch_table.AddRow({TextTable::Int(static_cast<std::int64_t>(point.parameter)),
+                        TextTable::Num(point.seconds, 1), anchor});
+  }
+  std::printf("%s\n", batch_table.Render().c_str());
+
+  TextTable conc_table("Query time vs parallel requests (batch size " +
+                       std::to_string(result.best_batch_size) + ")");
+  conc_table.SetHeader({"in-flight", "seconds", "paper anchor"});
+  for (const auto& point : result.concurrency_curve) {
+    std::string anchor;
+    if (point.parameter == 2) anchor = "optimum";
+    conc_table.AddRow({TextTable::Int(static_cast<std::int64_t>(point.parameter)),
+                       TextTable::Num(point.seconds, 1), anchor});
+  }
+  std::printf("%s\n", conc_table.Render().c_str());
+
+  TextTable calls("Per-batch call time under concurrency (saturation probe)");
+  calls.SetHeader({"in-flight", "measured ms", "paper ms"});
+  const double paper_calls[] = {30.7, 76.4, 170.0};
+  for (std::size_t i = 0; i < result.call_time_ms.size(); ++i) {
+    calls.AddRow({TextTable::Int(static_cast<std::int64_t>(result.call_time_ms[i].parameter)),
+                  TextTable::Num(result.call_time_ms[i].seconds, 1),
+                  TextTable::Num(paper_calls[i], 1)});
+  }
+  std::printf("%s\n", calls.Render().c_str());
+
+  auto curve_at = [](const std::vector<SweepPoint>& curve, std::uint64_t p) {
+    for (const auto& point : curve) {
+      if (point.parameter == p) return point.seconds;
+    }
+    return 0.0;
+  };
+
+  ComparisonReport report("fig4");
+  report.Add("batch=1", 139.0, curve_at(result.batch_size_curve, 1), "s");
+  report.Add("batch=16", 73.0, curve_at(result.batch_size_curve, 16), "s");
+  report.Add("call_ms@2", 30.7, result.call_time_ms[0].seconds, "ms");
+  report.Add("call_ms@4", 76.4, result.call_time_ms[1].seconds, "ms", 0.30);
+  report.Add("call_ms@8", 170.0, result.call_time_ms[2].seconds, "ms", 0.30);
+  report.AddClaim("batch-size optimum at 16", result.best_batch_size == 16);
+  report.AddClaim("concurrency optimum at 2", result.best_concurrency == 2);
+  report.AddClaim("call time grows superlinearly with concurrency",
+                  result.call_time_ms[1].seconds > 2.0 * result.call_time_ms[0].seconds &&
+                      result.call_time_ms[2].seconds > 2.0 * result.call_time_ms[1].seconds);
+  return bench::FinishWithReport(report);
+}

@@ -1,0 +1,74 @@
+/// \file fig5_query_scaling.cpp
+/// Reproduces paper Fig. 5: query time versus dataset size for 1/4/8/16/32
+/// workers. Multi-worker clusters pay a broadcast-reduce overhead per query,
+/// so sharding only wins once the dataset exceeds ~30 GB; the paper reports a
+/// maximum speedup of 3.57x and only marginal gains beyond 4 workers.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("Fig. 5 — query time vs dataset size and workers",
+                     "Ockerman et al., SC'25 workshops, section 3.4, fig. 5");
+
+  auto config = Config::FromArgs(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const auto queries = static_cast<std::uint64_t>(config->GetInt(
+      "queries", static_cast<std::int64_t>(model.num_query_terms)));
+
+  const double full_gb = model.GBForVectors(model.full_dataset_vectors);
+  const std::vector<double> sizes = {1, 5, 10, 20, 30, 35, 40, full_gb};
+  const std::vector<std::uint32_t> workers = {1, 4, 8, 16, 32};
+  const GridResult grid = RunFig5QueryScaling(model, sizes, workers, queries);
+
+  TextTable table("Query workload time (22,723 BV-BRC term queries, batch 16, 2 in-flight)");
+  std::vector<std::string> header = {"dataset"};
+  for (const auto w : workers) header.push_back(std::to_string(w) + "w");
+  table.SetHeader(header);
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    std::vector<std::string> row = {TextTable::Num(sizes[s], 0) + " GB"};
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      row.push_back(FormatDuration(grid.seconds[s][w]));
+    }
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  const std::size_t full = sizes.size() - 1;
+  double best = grid.seconds[full][0];
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    best = std::min(best, grid.seconds[full][w]);
+  }
+  const double max_speedup = grid.seconds[full][0] / best;
+
+  // Crossover: smallest size where 4 workers beat 1.
+  double crossover_gb = -1;
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    if (grid.seconds[s][1] < grid.seconds[s][0]) {
+      crossover_gb = sizes[s];
+      break;
+    }
+  }
+  std::printf("max speedup at full dataset: %.2fx (paper: 3.57x)\n", max_speedup);
+  std::printf("4-worker crossover at ~%.0f GB (paper: ~30 GB)\n\n", crossover_gb);
+
+  ComparisonReport report("fig5");
+  report.Add("max_speedup", 3.57, max_speedup, "x");
+  report.Add("crossover_gb", 30.0, crossover_gb, "GB", 0.40);
+  report.AddClaim("multi-worker hurts on 1 GB",
+                  grid.seconds[0][1] > grid.seconds[0][0]);
+  report.AddClaim("multi-worker wins at 40+ GB",
+                  grid.seconds[6][1] < grid.seconds[6][0]);
+  report.AddClaim("beyond 4 workers gains are marginal (<2x from 4 to 32)",
+                  grid.seconds[full][1] / grid.seconds[full][4] < 2.0);
+  return bench::FinishWithReport(report);
+}

@@ -1,0 +1,236 @@
+/// \file micro_engine.cpp
+/// google-benchmark microbenches of the real engine's hot paths: 2560-d
+/// distance kernels (the paper's embedding dimension), top-k maintenance,
+/// k-way merge, HNSW search, RPC codec, WAL append, and payload encoding.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "dist/distance.hpp"
+#include "dist/topk.hpp"
+#include "index/hnsw_index.hpp"
+#include "index/sq_index.hpp"
+#include "rpc/codec.hpp"
+#include "stateless/shard_io.hpp"
+#include "storage/wal.hpp"
+
+namespace vdb {
+namespace {
+
+Vector RandomVector(Rng& rng, std::size_t dim) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+  return v;
+}
+
+void BM_DotProduct2560(benchmark::State& state) {
+  Rng rng(1);
+  const Vector a = RandomVector(rng, kPaperDim);
+  const Vector b = RandomVector(rng, kPaperDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DotProduct(a, b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          static_cast<std::int64_t>(kPaperDim) * 4);
+}
+BENCHMARK(BM_DotProduct2560);
+
+void BM_L2Squared2560(benchmark::State& state) {
+  Rng rng(2);
+  const Vector a = RandomVector(rng, kPaperDim);
+  const Vector b = RandomVector(rng, kPaperDim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(L2SquaredDistance(a, b));
+  }
+}
+BENCHMARK(BM_L2Squared2560);
+
+void BM_ScoreBatch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<Scalar> base(rows * 256);
+  for (auto& x : base) x = static_cast<Scalar>(rng.NextGaussian());
+  const Vector query = RandomVector(rng, 256);
+  std::vector<Scalar> out(rows);
+  for (auto _ : state) {
+    ScoreBatch(Metric::kInnerProduct, query, base.data(), 256, rows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ScoreBatch)->Arg(64)->Arg(1024);
+
+void BM_TopKPush(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<Scalar> scores(4096);
+  for (auto& s : scores) s = rng.NextFloat();
+  for (auto _ : state) {
+    TopK collector(10);
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      collector.Push(i, scores[i]);
+    }
+    benchmark::DoNotOptimize(collector.Take());
+  }
+}
+BENCHMARK(BM_TopKPush);
+
+void BM_MergeTopK(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::vector<ScoredPoint>> partials(32);
+  for (std::size_t shard = 0; shard < partials.size(); ++shard) {
+    for (PointId i = 0; i < 10; ++i) {
+      partials[shard].push_back({shard * 100 + i, rng.NextFloat()});
+    }
+    std::sort(partials[shard].begin(), partials[shard].end(),
+              [](const ScoredPoint& a, const ScoredPoint& b) { return a.score > b.score; });
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeTopK(partials, 10));
+  }
+}
+BENCHMARK(BM_MergeTopK);
+
+void BM_HnswSearch(benchmark::State& state) {
+  static VectorStore* store = [] {
+    auto* s = new VectorStore(64, Metric::kCosine);
+    Rng rng(6);
+    for (PointId i = 0; i < 5000; ++i) {
+      (void)s->Add(i, RandomVector(rng, 64));
+    }
+    return s;
+  }();
+  static HnswIndex* index = [] {
+    HnswParams params;
+    params.m = 16;
+    params.build_threads = 1;
+    auto* idx = new HnswIndex(*store, params);
+    (void)idx->Build();
+    return idx;
+  }();
+  Rng rng(7);
+  const Vector query = RandomVector(rng, 64);
+  SearchParams params;
+  params.k = 10;
+  params.ef_search = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Search(query, params));
+  }
+}
+BENCHMARK(BM_HnswSearch)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CodecUpsertBatch(benchmark::State& state) {
+  Rng rng(8);
+  UpsertBatchRequest request;
+  request.shard = 1;
+  for (PointId i = 0; i < 32; ++i) {
+    PointRecord record;
+    record.id = i;
+    record.vector = RandomVector(rng, kPaperDim);
+    request.points.push_back(std::move(record));
+  }
+  for (auto _ : state) {
+    const Message message = EncodeUpsertBatchRequest(request);
+    benchmark::DoNotOptimize(DecodeUpsertBatchRequest(message));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 32 *
+                          static_cast<std::int64_t>(kPaperDim) * 4);
+}
+BENCHMARK(BM_CodecUpsertBatch);
+
+void BM_WalAppend(benchmark::State& state) {
+  const auto path = std::filesystem::temp_directory_path() / "vdb_bench_wal.log";
+  std::filesystem::remove(path);
+  auto writer = WalWriter::Open(path);
+  if (!writer.ok()) {
+    state.SkipWithError("cannot open WAL");
+    return;
+  }
+  Rng rng(9);
+  const Vector v = RandomVector(rng, 256);
+  PointId id = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer->AppendUpsert(id++, v));
+  }
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_WalAppend);
+
+void BM_SqScan(benchmark::State& state) {
+  static VectorStore* store = [] {
+    auto* s = new VectorStore(256, Metric::kCosine);
+    Rng rng(10);
+    for (PointId i = 0; i < 5000; ++i) {
+      (void)s->Add(i, RandomVector(rng, 256));
+    }
+    return s;
+  }();
+  static SqIndex* index = [] {
+    SqParams params;
+    params.rerank = 32;
+    auto* idx = new SqIndex(*store, params);
+    (void)idx->Build();
+    return idx;
+  }();
+  Rng rng(11);
+  const Vector query = RandomVector(rng, 256);
+  SearchParams params;
+  params.k = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->Search(query, params));
+  }
+}
+BENCHMARK(BM_SqScan);
+
+void BM_FlatScan(benchmark::State& state) {
+  static VectorStore* store = [] {
+    auto* s = new VectorStore(256, Metric::kCosine);
+    Rng rng(12);
+    for (PointId i = 0; i < 5000; ++i) {
+      (void)s->Add(i, RandomVector(rng, 256));
+    }
+    return s;
+  }();
+  Rng rng(13);
+  const Vector query = RandomVector(rng, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactSearch(*store, query, 10));
+  }
+}
+BENCHMARK(BM_FlatScan);
+
+void BM_ShardSegmentCodec(benchmark::State& state) {
+  Rng rng(14);
+  SegmentData segment;
+  segment.dim = 256;
+  segment.metric = Metric::kCosine;
+  for (PointId i = 0; i < 512; ++i) {
+    segment.ids.push_back(i);
+    const Vector v = RandomVector(rng, 256);
+    segment.vectors.insert(segment.vectors.end(), v.begin(), v.end());
+  }
+  for (auto _ : state) {
+    const auto bytes = vdb::stateless::EncodeShardSegment(segment);
+    benchmark::DoNotOptimize(vdb::stateless::DecodeShardSegment(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 512 * 256 * 4);
+}
+BENCHMARK(BM_ShardSegmentCodec);
+
+void BM_PayloadEncode(benchmark::State& state) {
+  Payload payload;
+  payload["title"] = std::string("synthetic-paper-123456-topic42");
+  payload["topic"] = std::int64_t{42};
+  payload["year"] = std::int64_t{2019};
+  payload["score"] = 0.93;
+  for (auto _ : state) {
+    const auto bytes = EncodePayload(payload);
+    benchmark::DoNotOptimize(DecodePayload(bytes.data(), bytes.size()));
+  }
+}
+BENCHMARK(BM_PayloadEncode);
+
+}  // namespace
+}  // namespace vdb
+
+BENCHMARK_MAIN();

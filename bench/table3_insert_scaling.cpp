@@ -1,0 +1,65 @@
+/// \file table3_insert_scaling.cpp
+/// Reproduces paper Table 3: full-dataset (~80 GB, 8,293,485 vectors)
+/// insertion time as a function of the number of Qdrant workers, with one
+/// event-loop client per worker, all clients sharing a single compute node.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("Table 3 — full dataset insertion scaling",
+                     "Ockerman et al., SC'25 workshops, section 3.2, table 3");
+
+  auto config = Config::FromArgs(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const auto vectors = static_cast<std::uint64_t>(config->GetInt(
+      "vectors", static_cast<std::int64_t>(model.full_dataset_vectors)));
+
+  const auto rows = RunTable3InsertScaling(model, {1, 4, 8, 16, 32}, vectors);
+
+  // Paper row: 8.22 h, 2.11 h, 1.14 h, 35.92 m, 21.67 m.
+  const double paper_seconds[] = {8.22 * 3600, 2.11 * 3600, 1.14 * 3600,
+                                  35.92 * 60, 21.67 * 60};
+
+  TextTable table("Insertion time, ~80 GB across workers (batch 32, 2 in-flight)");
+  table.SetHeader({"workers", "measured", "paper", "speedup", "paper speedup"});
+  ComparisonReport report("table3");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double speedup = rows[0].seconds / rows[i].seconds;
+    const double paper_speedup = paper_seconds[0] / paper_seconds[i];
+    table.AddRow({TextTable::Int(rows[i].workers),
+                  FormatDuration(rows[i].seconds),
+                  FormatDuration(paper_seconds[i]),
+                  TextTable::Num(speedup, 2) + "x",
+                  TextTable::Num(paper_speedup, 2) + "x"});
+    // Compare speedups (scale-invariant) when the dataset was shrunk, and
+    // absolutes when run at full size.
+    if (vectors == model.full_dataset_vectors) {
+      report.Add("workers=" + std::to_string(rows[i].workers) + " time",
+                 paper_seconds[i], rows[i].seconds, "s", 0.15);
+    } else if (i > 0) {
+      report.Add("workers=" + std::to_string(rows[i].workers) + " speedup",
+                 paper_speedup, speedup, "x", 0.15);
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  report.AddClaim("scaling is sublinear (32 workers < 32x)",
+                  rows[0].seconds / rows.back().seconds < 32.0);
+  report.AddClaim("every added worker reduces insertion time",
+                  [&] {
+                    for (std::size_t i = 1; i < rows.size(); ++i) {
+                      if (rows[i].seconds >= rows[i - 1].seconds) return false;
+                    }
+                    return true;
+                  }());
+  return bench::FinishWithReport(report);
+}

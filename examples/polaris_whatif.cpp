@@ -1,0 +1,79 @@
+/// \file polaris_whatif.cpp
+/// Capacity-planning tool built on the calibrated Polaris simulator: given a
+/// dataset size and a query budget, it sweeps cluster shapes and prints the
+/// recommended worker count for each phase (insert / index build / query),
+/// plus end-to-end pipeline time — the kind of question the paper's
+/// conclusions invite ("the cluster could adaptively scale based on the size
+/// of the data").
+
+#include <cstdio>
+
+#include "vdb.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vdb;
+  using namespace vdb::simq;
+  SetLogLevel(LogLevel::kWarn);
+
+  auto config = Config::FromArgs(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "usage: polaris_whatif [gb=80] [queries=22723]\n");
+    return 1;
+  }
+  const double gb = config->GetDouble("gb", 80.0);
+  const auto queries = static_cast<std::uint64_t>(
+      config->GetInt("queries", static_cast<std::int64_t>(kPaperNumQueryTerms)));
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const std::uint64_t vectors = model.VectorsForGB(gb);
+
+  std::printf("what-if for %.0f GB (%llu vectors of %zu-d float32), %llu queries\n\n",
+              gb, static_cast<unsigned long long>(vectors), model.dim,
+              static_cast<unsigned long long>(queries));
+
+  TextTable table("Projected phase times on Polaris (virtual)");
+  table.SetHeader({"workers", "nodes", "insert", "index build (CPU)",
+                   "index build (GPU)", "query workload", "end-to-end (CPU)"});
+
+  struct Best {
+    double seconds = 1e300;
+    std::uint32_t workers = 0;
+  };
+  Best best_insert, best_build, best_query, best_total;
+
+  for (const std::uint32_t workers : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double insert = SimulateInsertRun(model, workers, vectors, 32, 2);
+    const double build = SimulateIndexBuild(model, workers, gb);
+    const double build_gpu = SimulateIndexBuildGpu(model, workers, gb);
+    const double query = SimulateQueryRun(model, workers, gb, queries, 16, 2);
+    const double total = insert + build + query;
+    const std::uint32_t nodes = 1 + (workers + model.workers_per_node - 1) /
+                                        model.workers_per_node;
+
+    table.AddRow({TextTable::Int(workers), TextTable::Int(nodes),
+                  FormatDuration(insert), FormatDuration(build),
+                  FormatDuration(build_gpu), FormatDuration(query),
+                  FormatDuration(total)});
+    if (insert < best_insert.seconds) best_insert = {insert, workers};
+    if (build < best_build.seconds) best_build = {build, workers};
+    if (query < best_query.seconds) best_query = {query, workers};
+    if (total < best_total.seconds) best_total = {total, workers};
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("recommendations:\n");
+  std::printf("  insertion-bound pipelines:  %2u workers (%s)\n", best_insert.workers,
+              FormatDuration(best_insert.seconds).c_str());
+  std::printf("  index-build-bound:          %2u workers (%s; GPU offload cuts this to %s)\n",
+              best_build.workers, FormatDuration(best_build.seconds).c_str(),
+              FormatDuration(SimulateIndexBuildGpu(model, best_build.workers, gb)).c_str());
+  std::printf("  query-bound:                %2u workers (%s)\n", best_query.workers,
+              FormatDuration(best_query.seconds).c_str());
+  std::printf("  balanced end-to-end:        %2u workers (%s)\n", best_total.workers,
+              FormatDuration(best_total.seconds).c_str());
+  if (gb < 30.0 && best_query.workers > 1) {
+    std::printf("\nnote: below ~30 GB the paper (and this model) expect single-worker\n"
+                "query latency to win; multi-worker helps only via pipelining.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end tour of the vdbhpc public API:
+///   1. start an in-process distributed cluster (4 stateful workers),
+///   2. upsert vectors with payloads through the router,
+///   3. run ANN searches (broadcast-reduce across workers),
+///   4. run a payload-filtered search,
+///   5. inspect cluster state.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "vdb.hpp"
+
+int main() {
+  using namespace vdb;
+  SetLogLevel(LogLevel::kWarn);
+
+  // 1. A 4-worker cluster, one shard per worker, HNSW-indexed collections.
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.collection_template.dim = 64;
+  config.collection_template.metric = Metric::kCosine;
+  config.collection_template.index.type = "hnsw";
+  config.collection_template.index.hnsw.m = 16;
+  config.collection_template.index.hnsw.build_threads = 1;
+  auto cluster = LocalCluster::Start(config);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster start failed: %s\n",
+                 cluster.status().ToString().c_str());
+    return 1;
+  }
+  Router& router = (*cluster)->GetRouter();
+  std::printf("started a %zu-worker cluster\n", (*cluster)->NumWorkers());
+
+  // 2. Insert 1,000 synthetic paper embeddings with topic payloads.
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 1000;
+  SyntheticCorpus corpus(corpus_params);
+  EmbeddingParams embed_params;
+  embed_params.dim = 64;
+  EmbeddingGenerator embedder(embed_params);
+  const auto points = embedder.MakePoints(corpus, 0, 1000);
+
+  auto acknowledged = router.UpsertBatch(points);
+  if (!acknowledged.ok()) {
+    std::fprintf(stderr, "upsert failed: %s\n", acknowledged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("upserted %llu points (sharded across workers: ",
+              static_cast<unsigned long long>(*acknowledged));
+  for (std::size_t w = 0; w < (*cluster)->NumWorkers(); ++w) {
+    std::printf("%s%llu", w ? "/" : "",
+                static_cast<unsigned long long>((*cluster)->GetWorker(w).LivePoints()));
+  }
+  std::printf(")\n");
+
+  // 3. Search: the router picks an entry worker, which broadcasts to peers
+  //    and merges partial top-k results (the paper's query execution model).
+  SearchParams params;
+  params.k = 5;
+  params.ef_search = 64;
+  const Vector query = points[123].vector;
+  auto hits = router.Search(query, params);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "search failed: %s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\ntop-5 for the embedding of paper 123:\n");
+  for (const auto& hit : *hits) {
+    std::printf("  id=%-6llu score=%.4f\n",
+                static_cast<unsigned long long>(hit.id), hit.score);
+  }
+
+  // 4. Predicated search on one worker's shard (payload equality prefilter).
+  Collection* shard = (*cluster)->GetWorker(0).ShardForTest(0);
+  if (shard != nullptr) {
+    Filter filter;
+    filter.field = "topic";
+    filter.value = static_cast<std::int64_t>(corpus.Get(123).topic);
+    auto filtered = shard->SearchFiltered(query, params, filter);
+    if (filtered.ok()) {
+      std::printf("\nfiltered search (topic == %lld) on worker 0 shard 0: %zu hits\n",
+                  static_cast<long long>(std::get<std::int64_t>(filter.value)),
+                  filtered->size());
+    }
+  }
+
+  // 5. Cluster totals.
+  auto total = router.TotalPoints();
+  std::printf("\ncluster holds %llu points total\n",
+              total.ok() ? static_cast<unsigned long long>(*total) : 0ULL);
+  std::printf("quickstart done.\n");
+  return 0;
+}

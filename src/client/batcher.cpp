@@ -1,0 +1,48 @@
+#include "client/batcher.hpp"
+
+#include <algorithm>
+
+namespace vdb {
+
+std::vector<BatchRange> MakeBatches(std::size_t total, std::size_t batch_size) {
+  std::vector<BatchRange> batches;
+  if (total == 0) return batches;
+  if (batch_size == 0) {
+    batches.push_back(BatchRange{0, total});
+    return batches;
+  }
+  for (std::size_t begin = 0; begin < total; begin += batch_size) {
+    batches.push_back(BatchRange{begin, std::min(total, begin + batch_size)});
+  }
+  return batches;
+}
+
+std::uint64_t EstimatePointBytes(const PointRecord& point) {
+  std::uint64_t bytes = 8 /*id*/ + 4 /*dim prefix*/ +
+                        point.vector.size() * sizeof(Scalar) + 16 /*framing*/;
+  for (const auto& [key, value] : point.payload) {
+    bytes += key.size() + 8;
+    if (const auto* s = std::get_if<std::string>(&value)) bytes += s->size();
+  }
+  return bytes;
+}
+
+std::vector<BatchRange> MakeByteBudgetBatches(const std::vector<PointRecord>& points,
+                                              std::uint64_t max_bytes) {
+  std::vector<BatchRange> batches;
+  std::size_t begin = 0;
+  std::uint64_t used = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint64_t cost = EstimatePointBytes(points[i]);
+    if (i > begin && used + cost > max_bytes) {
+      batches.push_back(BatchRange{begin, i});
+      begin = i;
+      used = 0;
+    }
+    used += cost;
+  }
+  if (begin < points.size()) batches.push_back(BatchRange{begin, points.size()});
+  return batches;
+}
+
+}  // namespace vdb

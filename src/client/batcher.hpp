@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file batcher.hpp
+/// Batch assembly utilities: fixed-size chunking plus the byte-budgeted
+/// variant used when upload requests must respect a wire-size budget (large
+/// 2560-d float vectors make "vectors per request" and "bytes per request"
+/// diverge quickly).
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/payload_store.hpp"
+
+namespace vdb {
+
+/// Views into `points` of at most `batch_size` elements, in order.
+struct BatchRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t Size() const { return end - begin; }
+};
+
+/// Fixed-count chunking. batch_size == 0 yields a single full batch.
+std::vector<BatchRange> MakeBatches(std::size_t total, std::size_t batch_size);
+
+/// Byte-budgeted chunking: consecutive points are grouped until adding the
+/// next would exceed `max_bytes` (a lone oversized point still forms its own
+/// batch so progress is guaranteed). Byte cost = vector bytes + payload
+/// estimate + fixed per-point overhead.
+std::vector<BatchRange> MakeByteBudgetBatches(const std::vector<PointRecord>& points,
+                                              std::uint64_t max_bytes);
+
+/// Approximate wire bytes of one point.
+std::uint64_t EstimatePointBytes(const PointRecord& point);
+
+}  // namespace vdb

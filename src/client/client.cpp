@@ -1,0 +1,58 @@
+#include "client/client.hpp"
+
+#include <algorithm>
+
+#include "common/stopwatch.hpp"
+
+namespace vdb {
+
+VdbClient::VdbClient(Router& router) : router_(router) {}
+
+Result<UploadReport> VdbClient::Upload(const std::vector<PointRecord>& points,
+                                       std::size_t batch_size) {
+  if (batch_size == 0) return Status::InvalidArgument("batch_size must be > 0");
+  UploadReport report;
+  Stopwatch total;
+  for (std::size_t begin = 0; begin < points.size(); begin += batch_size) {
+    const std::size_t end = std::min(points.size(), begin + batch_size);
+    Stopwatch batch_watch;
+    std::vector<PointRecord> batch(points.begin() + static_cast<std::ptrdiff_t>(begin),
+                                   points.begin() + static_cast<std::ptrdiff_t>(end));
+    report.convert_seconds += batch_watch.LapSeconds();
+    VDB_ASSIGN_OR_RETURN(const std::uint64_t acknowledged, router_.UpsertBatch(batch));
+    report.await_seconds += batch_watch.LapSeconds();
+    report.points_uploaded += acknowledged;
+    ++report.batches;
+    report.per_batch_seconds.Add(batch_watch.ElapsedSeconds());
+  }
+  report.total_seconds = total.ElapsedSeconds();
+  return report;
+}
+
+Result<QueryReport> VdbClient::Query(const std::vector<Vector>& queries,
+                                     const SearchParams& params,
+                                     std::size_t batch_size) {
+  if (batch_size == 0) return Status::InvalidArgument("batch_size must be > 0");
+  QueryReport report;
+  Stopwatch total;
+  for (std::size_t begin = 0; begin < queries.size(); begin += batch_size) {
+    const std::size_t end = std::min(queries.size(), begin + batch_size);
+    Stopwatch batch_watch;
+    // One batched RPC per chunk — the paper's "query batch size" unit.
+    const std::vector<Vector> chunk(queries.begin() + static_cast<std::ptrdiff_t>(begin),
+                                    queries.begin() + static_cast<std::ptrdiff_t>(end));
+    VDB_ASSIGN_OR_RETURN(auto results, router_.SearchBatch(chunk, params));
+    report.queries += results.size();
+    ++report.batches;
+    report.per_batch_seconds.Add(batch_watch.ElapsedSeconds());
+  }
+  report.total_seconds = total.ElapsedSeconds();
+  return report;
+}
+
+Result<std::vector<ScoredPoint>> VdbClient::Search(VectorView query,
+                                                   const SearchParams& params) {
+  return router_.Search(query, params);
+}
+
+}  // namespace vdb

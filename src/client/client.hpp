@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file client.hpp
+/// Synchronous client facade over a cluster Router — the baseline against
+/// which the event-loop (asyncio-style) and multiprocess client models are
+/// compared, mirroring the paper's client-side experiments (sections 3.2,
+/// 3.4).
+
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "metrics/stats.hpp"
+
+namespace vdb {
+
+struct UploadReport {
+  std::uint64_t points_uploaded = 0;
+  std::size_t batches = 0;
+  double total_seconds = 0.0;
+  /// CPU time spent converting points into wire batches (the 45.64 ms/batch
+  /// cost the paper profiles).
+  double convert_seconds = 0.0;
+  /// Time spent awaiting in-flight RPCs.
+  double await_seconds = 0.0;
+  SampleSet per_batch_seconds;
+};
+
+struct QueryReport {
+  std::size_t queries = 0;
+  std::size_t batches = 0;
+  double total_seconds = 0.0;
+  SampleSet per_batch_seconds;
+};
+
+class VdbClient {
+ public:
+  /// Router must outlive the client.
+  explicit VdbClient(Router& router);
+
+  /// Uploads points in `batch_size` chunks, one RPC at a time.
+  Result<UploadReport> Upload(const std::vector<PointRecord>& points,
+                              std::size_t batch_size);
+
+  /// Runs queries in `batch_size` chunks (each query is one search RPC; a
+  /// batch is the unit between progress bookkeeping, matching the paper's
+  /// query batch framing).
+  Result<QueryReport> Query(const std::vector<Vector>& queries,
+                            const SearchParams& params, std::size_t batch_size);
+
+  /// Single search passthrough.
+  Result<std::vector<ScoredPoint>> Search(VectorView query, const SearchParams& params);
+
+  Router& GetRouter() { return router_; }
+
+ private:
+  Router& router_;
+};
+
+}  // namespace vdb

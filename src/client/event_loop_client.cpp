@@ -1,0 +1,88 @@
+#include "client/event_loop_client.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/stopwatch.hpp"
+
+namespace vdb {
+
+EventLoopUploader::EventLoopUploader(InprocTransport& transport,
+                                     const ShardPlacement& placement)
+    : transport_(transport), placement_(placement) {}
+
+std::vector<std::pair<std::string, Message>> EventLoopUploader::ConvertBatch(
+    const std::vector<PointRecord>& points, std::size_t begin, std::size_t end) const {
+  // Group by shard and serialize — the Python client's "convert the batch into
+  // a Qdrant batch object" step. This is deliberately done on the loop thread.
+  std::map<ShardId, UpsertBatchRequest> by_shard;
+  for (std::size_t i = begin; i < end; ++i) {
+    const ShardId shard = placement_.ShardFor(points[i].id);
+    auto& request = by_shard[shard];
+    request.shard = shard;
+    request.points.push_back(points[i]);
+  }
+  std::vector<std::pair<std::string, Message>> messages;
+  messages.reserve(by_shard.size());
+  for (auto& [shard, request] : by_shard) {
+    messages.emplace_back(WorkerEndpoint(placement_.PrimaryOf(shard)),
+                          EncodeUpsertBatchRequest(request));
+  }
+  return messages;
+}
+
+Result<UploadReport> EventLoopUploader::Upload(const std::vector<PointRecord>& points,
+                                               const EventLoopConfig& config) {
+  if (config.batch_size == 0) return Status::InvalidArgument("batch_size must be > 0");
+  if (config.max_in_flight == 0) return Status::InvalidArgument("max_in_flight must be > 0");
+
+  UploadReport report;
+  Stopwatch total;
+
+  // The "event loop": futures are the awaitables. The loop thread alternates
+  // between (a) converting the next batch — during which nothing else runs —
+  // and (b) issuing its RPCs, retiring completed ones when the in-flight
+  // window is full.
+  std::deque<std::future<Message>> in_flight;
+  std::deque<std::size_t> in_flight_points;
+
+  auto drain_one = [&]() -> Status {
+    Stopwatch await_watch;
+    const Message reply = in_flight.front().get();
+    report.await_seconds += await_watch.ElapsedSeconds();
+    in_flight.pop_front();
+    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+    VDB_ASSIGN_OR_RETURN(const UpsertBatchResponse response,
+                         DecodeUpsertBatchResponse(reply));
+    report.points_uploaded += response.upserted;
+    in_flight_points.pop_front();
+    return Status::Ok();
+  };
+
+  for (std::size_t begin = 0; begin < points.size(); begin += config.batch_size) {
+    const std::size_t end = std::min(points.size(), begin + config.batch_size);
+
+    Stopwatch batch_watch;
+    Stopwatch convert_watch;
+    auto messages = ConvertBatch(points, begin, end);
+    report.convert_seconds += convert_watch.ElapsedSeconds();
+
+    for (auto& [endpoint, message] : messages) {
+      while (in_flight.size() >= config.max_in_flight) {
+        VDB_RETURN_IF_ERROR(drain_one());
+      }
+      in_flight.push_back(transport_.CallAsync(endpoint, std::move(message)));
+      in_flight_points.push_back(end - begin);
+    }
+    ++report.batches;
+    report.per_batch_seconds.Add(batch_watch.ElapsedSeconds());
+  }
+  while (!in_flight.empty()) {
+    VDB_RETURN_IF_ERROR(drain_one());
+  }
+  report.total_seconds = total.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace vdb

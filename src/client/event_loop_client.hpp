@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file event_loop_client.hpp
+/// Faithful model of the paper's Python-asyncio upload client (section 3.2):
+/// one thread runs a cooperative loop in which CPU-bound batch conversion
+/// blocks everything, while up to `max_in_flight` upload RPCs may be awaited
+/// concurrently. The paper's finding — conversion (45.64 ms) dominates the
+/// RPC await (14.86 ms), capping asyncio speedup at 1.31x by Amdahl's law —
+/// emerges from this structure: only the await overlaps, the conversion
+/// serializes.
+
+#include <future>
+#include <vector>
+
+#include "client/client.hpp"
+#include "cluster/router.hpp"
+
+namespace vdb {
+
+struct EventLoopConfig {
+  std::size_t batch_size = 32;
+  /// Concurrent upload RPCs the loop keeps in flight (asyncio tasks).
+  std::size_t max_in_flight = 1;
+};
+
+/// Single-threaded cooperative uploader.
+class EventLoopUploader {
+ public:
+  EventLoopUploader(InprocTransport& transport, const ShardPlacement& placement);
+
+  /// Uploads all points; returns timing decomposed into convert vs await.
+  Result<UploadReport> Upload(const std::vector<PointRecord>& points,
+                              const EventLoopConfig& config);
+
+ private:
+  /// Converts one chunk into per-shard wire messages (CPU-bound step).
+  std::vector<std::pair<std::string, Message>> ConvertBatch(
+      const std::vector<PointRecord>& points, std::size_t begin, std::size_t end) const;
+
+  InprocTransport& transport_;
+  const ShardPlacement& placement_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,109 @@
+#include "client/multiproc_client.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace vdb {
+
+MultiProcUploader::MultiProcUploader(InprocTransport& transport,
+                                     const ShardPlacement& placement)
+    : transport_(transport), placement_(placement) {}
+
+Result<UploadReport> MultiProcUploader::Upload(const std::vector<PointRecord>& points,
+                                               const MultiProcConfig& config) {
+  if (config.batch_size == 0) return Status::InvalidArgument("batch_size must be > 0");
+  if (config.clients == 0) return Status::InvalidArgument("clients must be > 0");
+
+  // Partition points among clients.
+  std::vector<std::vector<std::size_t>> partitions(config.clients);
+  if (config.partition == MultiProcConfig::Partition::kByWorker) {
+    // Client c handles points whose primary worker % clients == c, emulating
+    // one dedicated client per Qdrant worker.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const WorkerId owner = placement_.PrimaryOf(placement_.ShardFor(points[i].id));
+      partitions[owner % config.clients].push_back(i);
+    }
+  } else {
+    const std::size_t per_client = (points.size() + config.clients - 1) / config.clients;
+    for (std::size_t c = 0; c < config.clients; ++c) {
+      const std::size_t begin = c * per_client;
+      const std::size_t end = std::min(points.size(), begin + per_client);
+      for (std::size_t i = begin; i < end; ++i) partitions[c].push_back(i);
+    }
+  }
+
+  UploadReport report;
+  std::mutex report_mutex;
+  Status first_error = Status::Ok();
+  Stopwatch total;
+
+  auto client_main = [&](std::size_t client_index) {
+    const auto& mine = partitions[client_index];
+    UploadReport local;
+    for (std::size_t begin = 0; begin < mine.size(); begin += config.batch_size) {
+      const std::size_t end = std::min(mine.size(), begin + config.batch_size);
+
+      Stopwatch batch_watch;
+      // Convert: group this client's chunk by shard and serialize.
+      std::map<ShardId, UpsertBatchRequest> by_shard;
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto& point = points[mine[i]];
+        const ShardId shard = placement_.ShardFor(point.id);
+        auto& request = by_shard[shard];
+        request.shard = shard;
+        request.points.push_back(point);
+      }
+      std::vector<std::pair<std::string, Message>> messages;
+      for (auto& [shard, request] : by_shard) {
+        messages.emplace_back(WorkerEndpoint(placement_.PrimaryOf(shard)),
+                              EncodeUpsertBatchRequest(request));
+      }
+      local.convert_seconds += batch_watch.LapSeconds();
+
+      for (auto& [endpoint, message] : messages) {
+        const Message reply = transport_.Call(endpoint, std::move(message));
+        const Status status = MessageToStatus(reply);
+        if (!status.ok()) {
+          std::lock_guard<std::mutex> lock(report_mutex);
+          if (first_error.ok()) first_error = status;
+          return;
+        }
+        auto response = DecodeUpsertBatchResponse(reply);
+        if (!response.ok()) {
+          std::lock_guard<std::mutex> lock(report_mutex);
+          if (first_error.ok()) first_error = response.status();
+          return;
+        }
+        local.points_uploaded += response->upserted;
+      }
+      local.await_seconds += batch_watch.LapSeconds();
+      ++local.batches;
+      local.per_batch_seconds.Add(batch_watch.ElapsedSeconds());
+    }
+    std::lock_guard<std::mutex> lock(report_mutex);
+    report.points_uploaded += local.points_uploaded;
+    report.batches += local.batches;
+    report.convert_seconds += local.convert_seconds;
+    report.await_seconds += local.await_seconds;
+    for (const double s : local.per_batch_seconds.Samples()) {
+      report.per_batch_seconds.Add(s);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(config.clients);
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    threads.emplace_back(client_main, c);
+  }
+  for (auto& thread : threads) thread.join();
+
+  if (!first_error.ok()) return first_error;
+  report.total_seconds = total.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace vdb

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file multiproc_client.hpp
+/// The paper's recommended alternative to asyncio for insertion (section 3.2
+/// conclusion: "multiprocessing may be better suited than asyncio for
+/// single-client parallelism"): N independent clients, each with its own
+/// thread, each converting and uploading its own slice — so batch conversion
+/// parallelizes instead of serializing on one event loop. Also matches the
+/// paper's distributed deployment, which assigns one client process per
+/// Qdrant worker (section 3.2).
+
+#include <vector>
+
+#include "client/client.hpp"
+#include "cluster/router.hpp"
+
+namespace vdb {
+
+struct MultiProcConfig {
+  std::size_t batch_size = 32;
+  /// Number of worker clients ("processes").
+  std::size_t clients = 4;
+  /// Partitioning: by contiguous slice (one client per range) or by owning
+  /// worker (one client per Qdrant worker — the paper's deployment).
+  enum class Partition { kSlice, kByWorker } partition = Partition::kSlice;
+};
+
+class MultiProcUploader {
+ public:
+  MultiProcUploader(InprocTransport& transport, const ShardPlacement& placement);
+
+  /// Uploads all points across `config.clients` concurrent client threads.
+  /// The returned report aggregates all clients; convert/await seconds are
+  /// summed across clients (CPU-seconds), total_seconds is wall-clock.
+  Result<UploadReport> Upload(const std::vector<PointRecord>& points,
+                              const MultiProcConfig& config);
+
+ private:
+  InprocTransport& transport_;
+  const ShardPlacement& placement_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,44 @@
+#include "client/tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace vdb {
+
+Result<TuneResult> SweepParameter(
+    const std::string& parameter_name, const std::vector<std::uint64_t>& candidates,
+    const std::function<Result<double>(std::uint64_t)>& trial) {
+  if (candidates.empty()) return Status::InvalidArgument("no candidates to sweep");
+  TuneResult result;
+  result.parameter_name = parameter_name;
+  result.best_seconds = std::numeric_limits<double>::infinity();
+  for (const std::uint64_t candidate : candidates) {
+    VDB_ASSIGN_OR_RETURN(const double seconds, trial(candidate));
+    result.curve.push_back(TunePoint{candidate, seconds});
+    if (seconds < result.best_seconds) {
+      result.best_seconds = seconds;
+      result.best_parameter = candidate;
+    }
+  }
+  return result;
+}
+
+bool IsConvexAroundMin(const std::vector<TunePoint>& curve, double slack) {
+  if (curve.size() < 3) return true;
+  const auto min_it = std::min_element(
+      curve.begin(), curve.end(),
+      [](const TunePoint& a, const TunePoint& b) { return a.seconds < b.seconds; });
+  const auto min_index = static_cast<std::size_t>(min_it - curve.begin());
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    if (i + 1 <= min_index) {
+      // Descending (or flat within slack) towards the minimum.
+      if (curve[i + 1].seconds > curve[i].seconds * (1.0 + slack)) return false;
+    } else {
+      // Ascending (or flat within slack) after the minimum.
+      if (curve[i + 1].seconds < curve[i].seconds * (1.0 - slack)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vdb

@@ -1,0 +1,109 @@
+#include "cluster/cluster.hpp"
+
+namespace vdb {
+
+LocalCluster::~LocalCluster() {
+  // Workers unregister their endpoints before the transport dies.
+  workers_.clear();
+}
+
+Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(ClusterConfig config) {
+  if (config.num_workers == 0) return Status::InvalidArgument("need >= 1 worker");
+  if (config.num_shards == 0) config.num_shards = config.num_workers;
+
+  std::unique_ptr<LocalCluster> cluster(new LocalCluster());
+  cluster->config_ = config;
+  cluster->transport_ = std::make_unique<InprocTransport>();
+
+  VDB_ASSIGN_OR_RETURN(
+      ShardPlacement placement,
+      ShardPlacement::RoundRobin(config.num_shards, config.num_workers,
+                                 config.replication));
+  cluster->placement_ = std::make_shared<const ShardPlacement>(std::move(placement));
+
+  for (WorkerId id = 0; id < config.num_workers; ++id) {
+    WorkerConfig worker_config;
+    worker_config.id = id;
+    worker_config.collection_template = config.collection_template;
+    worker_config.service_threads = config.service_threads_per_worker;
+    VDB_ASSIGN_OR_RETURN(auto worker, Worker::Start(*cluster->transport_,
+                                                    cluster->placement_, worker_config));
+    cluster->workers_.push_back(std::move(worker));
+  }
+  cluster->router_ = std::make_unique<Router>(*cluster->transport_, cluster->placement_);
+  return cluster;
+}
+
+Status LocalCluster::StopWorker(WorkerId id) {
+  if (id >= workers_.size() || workers_[id] == nullptr) {
+    return Status::NotFound("no running worker " + std::to_string(id));
+  }
+  workers_[id].reset();  // destructor unregisters the endpoints
+  return Status::Ok();
+}
+
+Status LocalCluster::RestartWorker(WorkerId id) {
+  if (id >= workers_.size()) return Status::OutOfRange("worker id beyond cluster");
+  if (workers_[id] != nullptr) return Status::AlreadyExists("worker still running");
+  WorkerConfig worker_config;
+  worker_config.id = id;
+  worker_config.collection_template = config_.collection_template;
+  worker_config.service_threads = config_.service_threads_per_worker;
+  VDB_ASSIGN_OR_RETURN(auto worker, Worker::Start(*transport_, placement_, worker_config));
+  workers_[id] = std::move(worker);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> LocalCluster::ScaleTo(std::uint32_t new_num_workers) {
+  if (new_num_workers == 0) return Status::InvalidArgument("need >= 1 worker");
+  if (new_num_workers == workers_.size()) return static_cast<std::uint64_t>(0);
+  if (new_num_workers < config_.replication) {
+    return Status::InvalidArgument("cannot shrink below replication factor");
+  }
+
+  // Start any new workers against the *old* placement (they own nothing yet).
+  for (WorkerId id = static_cast<WorkerId>(workers_.size()); id < new_num_workers; ++id) {
+    WorkerConfig worker_config;
+    worker_config.id = id;
+    worker_config.collection_template = config_.collection_template;
+    worker_config.service_threads = config_.service_threads_per_worker;
+    VDB_ASSIGN_OR_RETURN(auto worker, Worker::Start(*transport_, placement_, worker_config));
+    workers_.push_back(std::move(worker));
+  }
+
+  auto [next_placement, moves] = placement_->RebalanceTo(new_num_workers);
+  auto next = std::make_shared<const ShardPlacement>(std::move(next_placement));
+
+  // Every running worker (and the router) adopts the new placement so newly
+  // owned shards get provisioned before data arrives.
+  for (auto& worker : workers_) {
+    if (worker != nullptr) worker->SetPlacement(next);
+  }
+  router_->SetPlacement(next);
+
+  // Move shard contents. Data is exported from the old primary and shipped
+  // over the transport so the transfer cost is observable, then dropped.
+  std::uint64_t transferred = 0;
+  for (const ShardMove& move : moves) {
+    auto points = workers_.at(move.from)->ExportShard(move.shard);
+    TransferShardRequest request;
+    request.shard = move.shard;
+    request.points = std::move(points);
+    const Message reply =
+        transport_->Call(WorkerEndpoint(move.to), EncodeTransferShardRequest(request));
+    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+    VDB_ASSIGN_OR_RETURN(const TransferShardResponse response,
+                         DecodeTransferShardResponse(reply));
+    transferred += response.received;
+    VDB_RETURN_IF_ERROR(workers_.at(move.from)->DropShard(move.shard));
+  }
+
+  // Scale-in: stop surplus workers after their shards moved away.
+  while (workers_.size() > new_num_workers) workers_.pop_back();
+
+  placement_ = next;
+  config_.num_workers = new_num_workers;
+  return transferred;
+}
+
+}  // namespace vdb

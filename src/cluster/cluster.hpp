@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file cluster.hpp
+/// LocalCluster: assembles transport + placement + N workers + router into a
+/// running distributed vector database inside one process — the deployable
+/// unit examples and integration tests drive. Also implements elastic
+/// scale-out with shard rebalancing (the data movement cost inherent to the
+/// stateful architecture, paper section 2.2).
+
+#include <memory>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "cluster/worker.hpp"
+
+namespace vdb {
+
+struct ClusterConfig {
+  std::uint32_t num_workers = 4;
+  /// Total shards. 0 = one shard per worker (the paper's deployment shape).
+  std::uint32_t num_shards = 0;
+  std::uint32_t replication = 1;
+  CollectionConfig collection_template;
+  std::size_t service_threads_per_worker = 2;
+};
+
+class LocalCluster {
+ public:
+  static Result<std::unique_ptr<LocalCluster>> Start(ClusterConfig config);
+
+  ~LocalCluster();
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  Router& GetRouter() { return *router_; }
+  InprocTransport& Transport() { return *transport_; }
+  const ShardPlacement& Placement() const { return *placement_; }
+
+  std::size_t NumWorkers() const { return workers_.size(); }
+  Worker& GetWorker(std::size_t i) { return *workers_.at(i); }
+  bool IsWorkerUp(std::size_t i) const {
+    return i < workers_.size() && workers_[i] != nullptr;
+  }
+
+  /// Simulates a worker crash: its endpoints disappear, its shard data is
+  /// lost (stateful architecture, no replication = data gone). Searches via
+  /// surviving workers fail unless made with Router::SearchDegraded.
+  Status StopWorker(WorkerId id);
+
+  /// Restarts a previously stopped worker with empty shards.
+  Status RestartWorker(WorkerId id);
+
+  /// Elastic scale-out/in: starts (or stops) workers, computes the rebalance
+  /// plan, moves shard data to new owners, and updates routing. Returns the
+  /// number of points transferred — the "expensive repartitioning" the paper
+  /// contrasts against compute/storage separation.
+  Result<std::uint64_t> ScaleTo(std::uint32_t new_num_workers);
+
+ private:
+  LocalCluster() = default;
+
+  ClusterConfig config_;
+  std::unique_ptr<InprocTransport> transport_;
+  std::shared_ptr<const ShardPlacement> placement_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Router> router_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,80 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+
+namespace vdb {
+
+ShardId ShardForPoint(PointId id, std::uint32_t num_shards) {
+  if (num_shards == 0) return 0;
+  // Fibonacci hashing spreads sequential ids (the common bulk-load pattern)
+  // uniformly across shards.
+  const std::uint64_t hashed = id * 0x9E3779B97F4A7C15ULL;
+  return static_cast<ShardId>((hashed >> 32) % num_shards);
+}
+
+Result<ShardPlacement> ShardPlacement::RoundRobin(std::uint32_t num_shards,
+                                                  std::uint32_t num_workers,
+                                                  std::uint32_t replication) {
+  if (num_shards == 0) return Status::InvalidArgument("num_shards must be > 0");
+  if (num_workers == 0) return Status::InvalidArgument("num_workers must be > 0");
+  if (replication == 0) return Status::InvalidArgument("replication must be > 0");
+  if (replication > num_workers) {
+    return Status::InvalidArgument("replication exceeds worker count");
+  }
+  ShardPlacement placement;
+  placement.num_workers_ = num_workers;
+  placement.replication_ = replication;
+  placement.replicas_.resize(num_shards);
+  for (std::uint32_t shard = 0; shard < num_shards; ++shard) {
+    auto& replicas = placement.replicas_[shard];
+    replicas.reserve(replication);
+    for (std::uint32_t r = 0; r < replication; ++r) {
+      replicas.push_back((shard + r) % num_workers);
+    }
+  }
+  return placement;
+}
+
+const std::vector<WorkerId>& ShardPlacement::ReplicasOf(ShardId shard) const {
+  return replicas_.at(shard);
+}
+
+bool ShardPlacement::Owns(WorkerId worker, ShardId shard) const {
+  const auto& replicas = ReplicasOf(shard);
+  return std::find(replicas.begin(), replicas.end(), worker) != replicas.end();
+}
+
+std::vector<ShardId> ShardPlacement::ShardsOwnedBy(WorkerId worker) const {
+  std::vector<ShardId> shards;
+  for (std::uint32_t shard = 0; shard < NumShards(); ++shard) {
+    if (Owns(worker, shard)) shards.push_back(shard);
+  }
+  return shards;
+}
+
+std::pair<std::size_t, std::size_t> ShardPlacement::LoadExtremes() const {
+  std::vector<std::size_t> counts(num_workers_, 0);
+  for (const auto& replicas : replicas_) {
+    for (const WorkerId worker : replicas) ++counts[worker];
+  }
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  return {*max_it, *min_it};
+}
+
+std::pair<ShardPlacement, std::vector<ShardMove>> ShardPlacement::RebalanceTo(
+    std::uint32_t new_num_workers) const {
+  auto target = RoundRobin(NumShards(), new_num_workers, replication_);
+  // Same shard/replication counts as the source: cannot fail.
+  ShardPlacement next = std::move(target).value();
+  std::vector<ShardMove> moves;
+  for (std::uint32_t shard = 0; shard < NumShards(); ++shard) {
+    const WorkerId old_primary = PrimaryOf(shard);
+    const WorkerId new_primary = next.PrimaryOf(shard);
+    if (old_primary != new_primary) {
+      moves.push_back(ShardMove{shard, old_primary, new_primary});
+    }
+  }
+  return {std::move(next), std::move(moves)};
+}
+
+}  // namespace vdb

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file placement.hpp
+/// Shard placement: hashes points to shards and assigns shards (with replica
+/// sets) to workers. Stateful architecture (paper fig. 1 approach 1): a worker
+/// *owns* its shards' data, so scaling out requires explicit shard moves —
+/// RebalancePlan computes the minimal set, the cost the paper's section 2.2
+/// highlights as the price of stateful designs.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace vdb {
+
+/// Stable point->shard hash (Fibonacci multiplicative hashing).
+ShardId ShardForPoint(PointId id, std::uint32_t num_shards);
+
+/// One shard relocation.
+struct ShardMove {
+  ShardId shard = 0;
+  WorkerId from = 0;
+  WorkerId to = 0;
+};
+
+class ShardPlacement {
+ public:
+  /// Round-robin assignment of `num_shards` shards across `num_workers`
+  /// workers with `replication` replicas each (primary first in each set).
+  static Result<ShardPlacement> RoundRobin(std::uint32_t num_shards,
+                                           std::uint32_t num_workers,
+                                           std::uint32_t replication = 1);
+
+  std::uint32_t NumShards() const { return static_cast<std::uint32_t>(replicas_.size()); }
+  std::uint32_t NumWorkers() const { return num_workers_; }
+  std::uint32_t Replication() const { return replication_; }
+
+  ShardId ShardFor(PointId id) const { return ShardForPoint(id, NumShards()); }
+
+  /// Replica set of a shard; element 0 is the primary.
+  const std::vector<WorkerId>& ReplicasOf(ShardId shard) const;
+  WorkerId PrimaryOf(ShardId shard) const { return ReplicasOf(shard)[0]; }
+
+  /// True when `worker` holds a replica of `shard`.
+  bool Owns(WorkerId worker, ShardId shard) const;
+
+  /// Shards whose replica set includes `worker`.
+  std::vector<ShardId> ShardsOwnedBy(WorkerId worker) const;
+
+  /// Largest/smallest per-worker shard counts — balance metric for tests.
+  std::pair<std::size_t, std::size_t> LoadExtremes() const;
+
+  /// Computes a new round-robin placement over `new_num_workers` and the
+  /// minimal move list (per replica slot) to get there. Only primaries
+  /// produce moves; replica churn follows the same mapping.
+  std::pair<ShardPlacement, std::vector<ShardMove>> RebalanceTo(
+      std::uint32_t new_num_workers) const;
+
+ private:
+  ShardPlacement() = default;
+
+  std::uint32_t num_workers_ = 0;
+  std::uint32_t replication_ = 1;
+  std::vector<std::vector<WorkerId>> replicas_;  // indexed by shard
+};
+
+}  // namespace vdb

@@ -1,0 +1,51 @@
+#include "cluster/replication.hpp"
+
+namespace vdb {
+
+ReplicaHealth::ReplicaHealth(std::uint32_t num_workers) : up_(num_workers, true) {}
+
+void ReplicaHealth::MarkDown(WorkerId worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (worker < up_.size()) up_[worker] = false;
+}
+
+void ReplicaHealth::MarkUp(WorkerId worker) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (worker < up_.size()) up_[worker] = true;
+}
+
+bool ReplicaHealth::IsUp(WorkerId worker) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return worker < up_.size() && up_[worker];
+}
+
+std::size_t ReplicaHealth::UpCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const bool up : up_) count += up ? 1 : 0;
+  return count;
+}
+
+ReadChoice SelectReadReplica(const ShardPlacement& placement, ShardId shard,
+                             const ReplicaHealth& health, std::uint64_t round_robin) {
+  const auto& replicas = placement.ReplicasOf(shard);
+  const std::size_t n = replicas.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const WorkerId candidate = replicas[(round_robin + i) % n];
+    if (health.IsUp(candidate)) return ReadChoice{true, candidate};
+  }
+  return ReadChoice{};
+}
+
+bool HasWriteQuorum(const ShardPlacement& placement, ShardId shard,
+                    const ReplicaHealth& health, std::size_t quorum) {
+  std::size_t up = 0;
+  for (const WorkerId worker : placement.ReplicasOf(shard)) {
+    up += health.IsUp(worker) ? 1 : 0;
+  }
+  return up >= quorum;
+}
+
+std::size_t MajorityQuorum(std::size_t replication) { return replication / 2 + 1; }
+
+}  // namespace vdb

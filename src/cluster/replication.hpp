@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file replication.hpp
+/// Replica health tracking and read/write routing policies. The feature table
+/// the paper reproduces (table 1) lists shard replication for availability as
+/// universal across distributed vector databases; this module provides the
+/// policy layer: which replica serves a read, when a write has quorum, and
+/// failover ordering when a worker is marked down.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "cluster/placement.hpp"
+
+namespace vdb {
+
+/// Thread-safe up/down registry for workers.
+class ReplicaHealth {
+ public:
+  explicit ReplicaHealth(std::uint32_t num_workers);
+
+  void MarkDown(WorkerId worker);
+  void MarkUp(WorkerId worker);
+  bool IsUp(WorkerId worker) const;
+  std::size_t UpCount() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<bool> up_;
+};
+
+/// Chooses the replica to serve a read of `shard`: the first healthy replica,
+/// starting from an offset that round-robins across calls so load spreads
+/// among replicas. Returns kFailed when every replica is down.
+struct ReadChoice {
+  bool ok = false;
+  WorkerId worker = 0;
+};
+ReadChoice SelectReadReplica(const ShardPlacement& placement, ShardId shard,
+                             const ReplicaHealth& health, std::uint64_t round_robin);
+
+/// True when enough replicas of `shard` are healthy for a write at the given
+/// quorum (e.g. majority = replication/2 + 1).
+bool HasWriteQuorum(const ShardPlacement& placement, ShardId shard,
+                    const ReplicaHealth& health, std::size_t quorum);
+
+/// Majority quorum for a replication factor.
+std::size_t MajorityQuorum(std::size_t replication);
+
+}  // namespace vdb

@@ -1,0 +1,162 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace vdb {
+
+Router::Router(InprocTransport& transport,
+               std::shared_ptr<const ShardPlacement> placement)
+    : transport_(transport), placement_(std::move(placement)) {}
+
+void Router::SetPlacement(std::shared_ptr<const ShardPlacement> placement) {
+  placement_ = std::move(placement);
+}
+
+Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points) {
+  // Group points by shard (the CPU-side "batch conversion" work the paper
+  // profiles at 45.64 ms per 32-vector batch — here it is grouping + binary
+  // encoding).
+  std::map<ShardId, UpsertBatchRequest> by_shard;
+  for (const auto& point : points) {
+    const ShardId shard = placement_->ShardFor(point.id);
+    auto& request = by_shard[shard];
+    request.shard = shard;
+    request.points.push_back(point);
+  }
+
+  // One request per (shard, replica); primaries and replicas get the same data.
+  std::vector<std::future<Message>> futures;
+  std::vector<std::size_t> primary_counts;
+  for (auto& [shard, request] : by_shard) {
+    const Message encoded = EncodeUpsertBatchRequest(request);
+    const auto& replicas = placement_->ReplicasOf(shard);
+    for (std::size_t r = 0; r < replicas.size(); ++r) {
+      futures.push_back(transport_.CallAsync(WorkerEndpoint(replicas[r]), encoded));
+      primary_counts.push_back(r == 0 ? request.points.size() : 0);
+    }
+  }
+
+  std::uint64_t acknowledged = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Message reply = futures[i].get();
+    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+    VDB_ASSIGN_OR_RETURN(const UpsertBatchResponse response,
+                         DecodeUpsertBatchResponse(reply));
+    if (primary_counts[i] > 0) acknowledged += response.upserted;
+  }
+  return acknowledged;
+}
+
+Status Router::Delete(PointId id) {
+  const ShardId shard = placement_->ShardFor(id);
+  const Message request = EncodeDeleteRequest(DeleteRequest{shard, id});
+  bool any_deleted = false;
+  for (const WorkerId worker : placement_->ReplicasOf(shard)) {
+    const Message reply = transport_.Call(WorkerEndpoint(worker), request);
+    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+    VDB_ASSIGN_OR_RETURN(const DeleteResponse response, DecodeDeleteResponse(reply));
+    any_deleted |= response.deleted;
+  }
+  return any_deleted ? Status::Ok() : Status::NotFound("point not found in cluster");
+}
+
+Result<std::vector<ScoredPoint>> Router::Search(VectorView query,
+                                                const SearchParams& params) {
+  const WorkerId entry =
+      next_entry_.fetch_add(1, std::memory_order_relaxed) % placement_->NumWorkers();
+  return SearchVia(entry, query, params);
+}
+
+Result<std::vector<ScoredPoint>> Router::SearchVia(WorkerId entry, VectorView query,
+                                                   const SearchParams& params) {
+  SearchRequest request;
+  request.query.assign(query.begin(), query.end());
+  request.params = params;
+  request.fan_out = true;
+  const Message reply = transport_.Call(WorkerEndpoint(entry), EncodeSearchRequest(request));
+  VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+  VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
+  return std::move(response.hits);
+}
+
+Result<std::vector<ScoredPoint>> Router::SearchFiltered(VectorView query,
+                                                        const SearchParams& params,
+                                                        const Filter& filter) {
+  const WorkerId entry =
+      next_entry_.fetch_add(1, std::memory_order_relaxed) % placement_->NumWorkers();
+  SearchRequest request;
+  request.query.assign(query.begin(), query.end());
+  request.params = params;
+  request.fan_out = true;
+  request.filter = filter;
+  const Message reply =
+      transport_.Call(WorkerEndpoint(entry), EncodeSearchRequest(request));
+  VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+  VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
+  return std::move(response.hits);
+}
+
+Result<std::vector<std::vector<ScoredPoint>>> Router::SearchBatch(
+    const std::vector<Vector>& queries, const SearchParams& params) {
+  const WorkerId entry =
+      next_entry_.fetch_add(1, std::memory_order_relaxed) % placement_->NumWorkers();
+  SearchBatchRequest request;
+  request.queries = queries;
+  request.params = params;
+  request.fan_out = true;
+  const Message reply =
+      transport_.Call(WorkerEndpoint(entry), EncodeSearchBatchRequest(request));
+  VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+  VDB_ASSIGN_OR_RETURN(SearchBatchResponse response, DecodeSearchBatchResponse(reply));
+  return std::move(response.results);
+}
+
+Result<Router::DegradedResult> Router::SearchDegraded(WorkerId entry, VectorView query,
+                                                      const SearchParams& params) {
+  SearchRequest request;
+  request.query.assign(query.begin(), query.end());
+  request.params = params;
+  request.fan_out = true;
+  request.allow_partial = true;
+  const Message reply =
+      transport_.Call(WorkerEndpoint(entry), EncodeSearchRequest(request));
+  VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+  VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
+  DegradedResult result;
+  result.hits = std::move(response.hits);
+  result.peers_failed = response.peers_failed;
+  result.shards_searched = response.shards_searched;
+  return result;
+}
+
+Result<double> Router::BuildAllIndexes() {
+  const Message request = EncodeBuildIndexRequest(BuildIndexRequest{true});
+  std::vector<std::future<Message>> futures;
+  for (WorkerId worker = 0; worker < placement_->NumWorkers(); ++worker) {
+    futures.push_back(transport_.CallAsync(WorkerEndpoint(worker), request));
+  }
+  double max_seconds = 0.0;
+  for (auto& future : futures) {
+    const Message reply = future.get();
+    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+    VDB_ASSIGN_OR_RETURN(const BuildIndexResponse response,
+                         DecodeBuildIndexResponse(reply));
+    max_seconds = std::max(max_seconds, response.build_seconds);
+  }
+  return max_seconds;
+}
+
+Result<std::uint64_t> Router::TotalPoints() {
+  const Message request = EncodeInfoRequest(InfoRequest{});
+  std::uint64_t total = 0;
+  for (WorkerId worker = 0; worker < placement_->NumWorkers(); ++worker) {
+    const Message reply = transport_.Call(WorkerEndpoint(worker), request);
+    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+    VDB_ASSIGN_OR_RETURN(const InfoResponse response, DecodeInfoResponse(reply));
+    total += response.live_points;
+  }
+  return total;
+}
+
+}  // namespace vdb

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file router.hpp
+/// Client-side routing: shards upsert batches to primary owners (fanning out
+/// to replicas when replication > 1), round-robins search entry workers, and
+/// exposes cluster-wide admin operations. This is the library equivalent of
+/// the Qdrant client the paper drives from Python.
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "cluster/worker.hpp"
+#include "rpc/transport.hpp"
+
+namespace vdb {
+
+class Router {
+ public:
+  /// Transport and placement must outlive the router.
+  Router(InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement);
+
+  /// Groups `points` by owning shard and sends one UpsertBatch per replica of
+  /// each shard. Returns total points acknowledged by primaries.
+  Result<std::uint64_t> UpsertBatch(const std::vector<PointRecord>& points);
+
+  /// Deletes a point on every replica of its shard.
+  Status Delete(PointId id);
+
+  /// Sends the query to an entry worker (round-robin), which fans out — the
+  /// paper's section 3.4 execution model.
+  Result<std::vector<ScoredPoint>> Search(VectorView query, const SearchParams& params);
+
+  /// Same but pinning the entry worker (experiments & tests).
+  Result<std::vector<ScoredPoint>> SearchVia(WorkerId entry, VectorView query,
+                                             const SearchParams& params);
+
+  /// Predicated search (paper footnote 4): workers prefilter shards by
+  /// payload equality, then rank only the survivors.
+  Result<std::vector<ScoredPoint>> SearchFiltered(VectorView query,
+                                                  const SearchParams& params,
+                                                  const Filter& filter);
+
+  /// Batched search: all `queries` answered by one RPC to the entry worker,
+  /// which broadcasts the batch once to every peer (the paper's query-batch
+  /// unit; fig. 4 tunes its size). results[i] answers queries[i].
+  Result<std::vector<std::vector<ScoredPoint>>> SearchBatch(
+      const std::vector<Vector>& queries, const SearchParams& params);
+
+  /// Degraded-mode search: tolerates unreachable peers and reports how many
+  /// were skipped — availability over completeness when workers are down.
+  struct DegradedResult {
+    std::vector<ScoredPoint> hits;
+    std::uint32_t peers_failed = 0;
+    std::uint32_t shards_searched = 0;
+  };
+  Result<DegradedResult> SearchDegraded(WorkerId entry, VectorView query,
+                                        const SearchParams& params);
+
+  /// Triggers a full index build on every worker; returns max build seconds.
+  Result<double> BuildAllIndexes();
+
+  /// Aggregated point count across workers.
+  Result<std::uint64_t> TotalPoints();
+
+  /// Replaces the routing placement after a rebalance.
+  void SetPlacement(std::shared_ptr<const ShardPlacement> placement);
+
+  const ShardPlacement& Placement() const { return *placement_; }
+
+ private:
+  InprocTransport& transport_;
+  std::shared_ptr<const ShardPlacement> placement_;
+  std::atomic<std::uint32_t> next_entry_{0};
+};
+
+}  // namespace vdb

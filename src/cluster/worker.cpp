@@ -1,0 +1,381 @@
+#include "cluster/worker.hpp"
+
+#include <future>
+
+#include "common/logging.hpp"
+
+namespace vdb {
+
+std::string WorkerEndpoint(WorkerId id) { return "worker/" + std::to_string(id); }
+
+std::string WorkerLocalEndpoint(WorkerId id) {
+  return WorkerEndpoint(id) + "/local";
+}
+
+Worker::Worker(InprocTransport& transport,
+               std::shared_ptr<const ShardPlacement> placement, WorkerConfig config)
+    : transport_(transport), placement_(std::move(placement)), config_(std::move(config)) {}
+
+Worker::~Worker() {
+  // Endpoints may already be gone during teardown; ignore NotFound.
+  (void)transport_.UnregisterEndpoint(Endpoint());
+  (void)transport_.UnregisterEndpoint(WorkerLocalEndpoint(config_.id));
+}
+
+Result<std::unique_ptr<Worker>> Worker::Start(
+    InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement,
+    WorkerConfig config) {
+  if (placement == nullptr) return Status::InvalidArgument("null placement");
+  std::unique_ptr<Worker> worker(new Worker(transport, std::move(placement), config));
+  VDB_RETURN_IF_ERROR(worker->ProvisionOwnedShards());
+  Worker* raw = worker.get();
+  VDB_RETURN_IF_ERROR(transport.RegisterEndpoint(
+      worker->Endpoint(), [raw](const Message& request) { return raw->Handle(request); },
+      config.service_threads));
+  // Peer-local searches get their own service threads (see WorkerLocalEndpoint).
+  VDB_RETURN_IF_ERROR(transport.RegisterEndpoint(
+      WorkerLocalEndpoint(config.id),
+      [raw](const Message& request) { return raw->Handle(request); },
+      config.service_threads));
+  return worker;
+}
+
+Status Worker::EnsureShard(ShardId shard) {
+  {
+    std::shared_lock lock(shards_mutex_);
+    if (shards_.count(shard) != 0) return Status::Ok();
+  }
+  CollectionConfig cfg = config_.collection_template;
+  cfg.name += "/worker" + std::to_string(config_.id) + "/shard" + std::to_string(shard);
+  if (!cfg.data_dir.empty()) {
+    cfg.data_dir = cfg.data_dir / ("worker" + std::to_string(config_.id)) /
+                   ("shard" + std::to_string(shard));
+  }
+  VDB_ASSIGN_OR_RETURN(auto collection, Collection::Open(std::move(cfg)));
+  std::unique_lock lock(shards_mutex_);
+  shards_.emplace(shard, std::move(collection));
+  return Status::Ok();
+}
+
+Status Worker::ProvisionOwnedShards() {
+  for (const ShardId shard : placement_->ShardsOwnedBy(config_.id)) {
+    VDB_RETURN_IF_ERROR(EnsureShard(shard));
+  }
+  return Status::Ok();
+}
+
+void Worker::SetPlacement(std::shared_ptr<const ShardPlacement> placement) {
+  placement_ = std::move(placement);
+  const Status status = ProvisionOwnedShards();
+  if (!status.ok()) {
+    VDB_WARN << "worker " << config_.id
+             << " failed to provision shards after rebalance: " << status.ToString();
+  }
+}
+
+Result<Collection*> Worker::GetShard(ShardId shard) {
+  std::shared_lock lock(shards_mutex_);
+  const auto it = shards_.find(shard);
+  if (it == shards_.end()) {
+    return Status::NotFound("worker " + std::to_string(config_.id) +
+                            " does not own shard " + std::to_string(shard));
+  }
+  return it->second.get();
+}
+
+std::vector<PointRecord> Worker::ExportShard(ShardId shard) {
+  auto collection = GetShard(shard);
+  if (!collection.ok()) return {};
+  return (*collection)->ExportPoints();
+}
+
+Status Worker::DropShard(ShardId shard) {
+  std::unique_lock lock(shards_mutex_);
+  const auto it = shards_.find(shard);
+  if (it == shards_.end()) return Status::NotFound("shard not owned");
+  shards_.erase(it);
+  return Status::Ok();
+}
+
+Collection* Worker::ShardForTest(ShardId shard) {
+  auto result = GetShard(shard);
+  return result.ok() ? *result : nullptr;
+}
+
+std::uint64_t Worker::LivePoints() const {
+  std::shared_lock lock(shards_mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [shard, collection] : shards_) total += collection->Count();
+  return total;
+}
+
+WorkerCounters Worker::Counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+Message Worker::Handle(const Message& request) {
+  switch (request.type) {
+    case MessageType::kUpsertBatchRequest: return HandleUpsert(request);
+    case MessageType::kDeleteRequest: return HandleDelete(request);
+    case MessageType::kSearchRequest: return HandleSearch(request);
+    case MessageType::kSearchBatchRequest: return HandleSearchBatch(request);
+    case MessageType::kBuildIndexRequest: return HandleBuildIndex(request);
+    case MessageType::kInfoRequest: return HandleInfo(request);
+    case MessageType::kCreateShardRequest: return HandleCreateShard(request);
+    case MessageType::kTransferShardRequest: return HandleTransferShard(request);
+    default:
+      return EncodeErrorResponse(
+          Status::InvalidArgument("worker cannot handle message type " +
+                                  std::to_string(static_cast<int>(request.type))));
+  }
+}
+
+Message Worker::HandleUpsert(const Message& request) {
+  auto decoded = DecodeUpsertBatchRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  auto shard = GetShard(decoded->shard);
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  const Status status = (*shard)->UpsertBatch(decoded->points);
+  if (!status.ok()) return EncodeErrorResponse(status);
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.upsert_batches;
+    counters_.points_upserted += decoded->points.size();
+  }
+  return EncodeUpsertBatchResponse(
+      UpsertBatchResponse{static_cast<std::uint32_t>(decoded->points.size())});
+}
+
+Message Worker::HandleDelete(const Message& request) {
+  auto decoded = DecodeDeleteRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  auto shard = GetShard(decoded->shard);
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  const Status status = (*shard)->Delete(decoded->id);
+  if (!status.ok() && status.code() != StatusCode::kNotFound) {
+    return EncodeErrorResponse(status);
+  }
+  return EncodeDeleteResponse(DeleteResponse{status.ok()});
+}
+
+Result<SearchResponse> Worker::SearchLocal(const SearchRequest& request) const {
+  std::vector<std::vector<ScoredPoint>> partials;
+  std::uint32_t searched = 0;
+  {
+    std::shared_lock lock(shards_mutex_);
+    partials.reserve(shards_.size());
+    for (const auto& [shard, collection] : shards_) {
+      // Predicated queries prefilter by payload equality per shard (the
+      // prefiltering strategy of the paper's footnote 4).
+      auto hits = request.filter.Active()
+                      ? collection->SearchFiltered(request.query, request.params,
+                                                   request.filter)
+                      : collection->Search(request.query, request.params);
+      VDB_RETURN_IF_ERROR(hits.status());
+      partials.push_back(std::move(*hits));
+      ++searched;
+    }
+  }
+  SearchResponse response;
+  response.hits = MergeTopK(partials, request.params.k);
+  response.shards_searched = searched;
+  return response;
+}
+
+Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
+  // Broadcast to every peer worker; each runs a local (non-fan-out) search.
+  SearchRequest peer_request = request;
+  peer_request.fan_out = false;
+  const Message peer_message = EncodeSearchRequest(peer_request);
+
+  std::vector<std::future<Message>> futures;
+  for (WorkerId peer = 0; peer < placement_->NumWorkers(); ++peer) {
+    if (peer == config_.id) continue;
+    futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), peer_message));
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.peer_calls;
+  }
+
+  VDB_ASSIGN_OR_RETURN(SearchResponse local, SearchLocal(request));
+  std::vector<std::vector<ScoredPoint>> partials;
+  partials.push_back(std::move(local.hits));
+  std::uint32_t searched = local.shards_searched;
+  std::uint32_t peers_failed = 0;
+
+  for (auto& future : futures) {
+    const Message reply = future.get();
+    const Status status = MessageToStatus(reply);
+    if (!status.ok()) {
+      // Availability-over-completeness: with allow_partial the entry worker
+      // degrades gracefully when a peer is unreachable instead of failing
+      // the whole query.
+      if (request.allow_partial) {
+        ++peers_failed;
+        continue;
+      }
+      return status;
+    }
+    VDB_ASSIGN_OR_RETURN(SearchResponse partial, DecodeSearchResponse(reply));
+    searched += partial.shards_searched;
+    partials.push_back(std::move(partial.hits));
+  }
+
+  SearchResponse response;
+  response.hits = MergeTopK(partials, request.params.k);
+  response.shards_searched = searched;
+  response.peers_failed = peers_failed;
+  return response;
+}
+
+Message Worker::HandleSearch(const Message& request) {
+  auto decoded = DecodeSearchRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  Result<SearchResponse> response = decoded->fan_out ? SearchFanOut(*decoded)
+                                                     : SearchLocal(*decoded);
+  if (!response.ok()) return EncodeErrorResponse(response.status());
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    if (decoded->fan_out) {
+      ++counters_.searches_fanned_out;
+    } else {
+      ++counters_.searches_local;
+    }
+  }
+  return EncodeSearchResponse(*response);
+}
+
+Result<SearchBatchResponse> Worker::SearchBatchLocal(
+    const SearchBatchRequest& request) const {
+  SearchBatchResponse response;
+  response.results.reserve(request.queries.size());
+  SearchRequest single;
+  single.params = request.params;
+  single.fan_out = false;
+  for (const auto& query : request.queries) {
+    single.query = query;
+    VDB_ASSIGN_OR_RETURN(SearchResponse partial, SearchLocal(single));
+    response.results.push_back(std::move(partial.hits));
+  }
+  return response;
+}
+
+Result<SearchBatchResponse> Worker::SearchBatchFanOut(const SearchBatchRequest& request) {
+  // One broadcast per batch (not per query): the batching amortization the
+  // paper measures in fig. 4.
+  SearchBatchRequest peer_request = request;
+  peer_request.fan_out = false;
+  const Message peer_message = EncodeSearchBatchRequest(peer_request);
+
+  std::vector<std::future<Message>> futures;
+  for (WorkerId peer = 0; peer < placement_->NumWorkers(); ++peer) {
+    if (peer == config_.id) continue;
+    futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), peer_message));
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.peer_calls;
+  }
+
+  VDB_ASSIGN_OR_RETURN(SearchBatchResponse local, SearchBatchLocal(request));
+
+  // partials[q] collects per-worker hit lists for query q.
+  std::vector<std::vector<std::vector<ScoredPoint>>> partials(request.queries.size());
+  for (std::size_t q = 0; q < local.results.size(); ++q) {
+    partials[q].push_back(std::move(local.results[q]));
+  }
+  std::uint32_t peers_failed = 0;
+  for (auto& future : futures) {
+    const Message reply = future.get();
+    const Status status = MessageToStatus(reply);
+    if (!status.ok()) {
+      if (request.allow_partial) {
+        ++peers_failed;
+        continue;
+      }
+      return status;
+    }
+    VDB_ASSIGN_OR_RETURN(SearchBatchResponse partial, DecodeSearchBatchResponse(reply));
+    if (partial.results.size() != request.queries.size()) {
+      return Status::Internal("peer returned mismatched batch size");
+    }
+    for (std::size_t q = 0; q < partial.results.size(); ++q) {
+      partials[q].push_back(std::move(partial.results[q]));
+    }
+  }
+
+  SearchBatchResponse response;
+  response.peers_failed = peers_failed;
+  response.results.reserve(request.queries.size());
+  for (auto& per_query : partials) {
+    response.results.push_back(MergeTopK(per_query, request.params.k));
+  }
+  return response;
+}
+
+Message Worker::HandleSearchBatch(const Message& request) {
+  auto decoded = DecodeSearchBatchRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  Result<SearchBatchResponse> response =
+      decoded->fan_out ? SearchBatchFanOut(*decoded) : SearchBatchLocal(*decoded);
+  if (!response.ok()) return EncodeErrorResponse(response.status());
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    if (decoded->fan_out) {
+      ++counters_.searches_fanned_out;
+    } else {
+      ++counters_.searches_local;
+    }
+  }
+  return EncodeSearchBatchResponse(*response);
+}
+
+Message Worker::HandleBuildIndex(const Message& request) {
+  auto decoded = DecodeBuildIndexRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  BuildIndexResponse response;
+  std::shared_lock lock(shards_mutex_);
+  for (const auto& [shard, collection] : shards_) {
+    const Status status = collection->BuildIndex();
+    if (!status.ok()) return EncodeErrorResponse(status);
+    response.indexed_points += collection->Info().indexed_points;
+  }
+  return EncodeBuildIndexResponse(response);
+}
+
+Message Worker::HandleInfo(const Message& request) {
+  auto decoded = DecodeInfoRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  InfoResponse response;
+  std::shared_lock lock(shards_mutex_);
+  response.shard_count = static_cast<std::uint32_t>(shards_.size());
+  response.index_ready = !shards_.empty();
+  for (const auto& [shard, collection] : shards_) {
+    const CollectionInfo info = collection->Info();
+    response.live_points += info.live_points;
+    response.indexed_points += info.indexed_points;
+    response.index_ready = response.index_ready && info.index_ready;
+  }
+  return EncodeInfoResponse(response);
+}
+
+Message Worker::HandleCreateShard(const Message& request) {
+  auto decoded = DecodeCreateShardRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  const Status status = EnsureShard(decoded->shard);
+  if (!status.ok()) return EncodeErrorResponse(status);
+  return EncodeCreateShardResponse(CreateShardResponse{true});
+}
+
+Message Worker::HandleTransferShard(const Message& request) {
+  auto decoded = DecodeTransferShardRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  const Status ensure = EnsureShard(decoded->shard);
+  if (!ensure.ok()) return EncodeErrorResponse(ensure);
+  auto shard = GetShard(decoded->shard);
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  const Status status = (*shard)->UpsertBatch(decoded->points);
+  if (!status.ok()) return EncodeErrorResponse(status);
+  return EncodeTransferShardResponse(
+      TransferShardResponse{decoded->points.size()});
+}
+
+}  // namespace vdb

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file worker.hpp
+/// A stateful Qdrant-style worker: owns one Collection per assigned shard,
+/// serves RPCs (upsert / delete / search / build-index / info), and executes
+/// the broadcast–reduce query protocol the paper describes in section 3.4:
+/// "the client submits a query to one of the workers, which broadcasts it to
+/// the others. Each worker then searches its local shards and returns partial
+/// results to the worker first contacted by the client."
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "collection/collection.hpp"
+#include "rpc/transport.hpp"
+
+namespace vdb {
+
+/// Endpoint name for a worker id ("worker/3").
+std::string WorkerEndpoint(WorkerId id);
+
+/// Dedicated endpoint peers use for partial (non-fan-out) searches. Keeping
+/// peer traffic on its own service threads prevents distributed deadlock when
+/// several entry workers block on fan-out aggregation simultaneously.
+std::string WorkerLocalEndpoint(WorkerId id);
+
+struct WorkerConfig {
+  WorkerId id = 0;
+  /// Template for per-shard collections; `data_dir` (if set) gains a
+  /// worker<id>/shard<id> suffix, `name` likewise.
+  CollectionConfig collection_template;
+  /// RPC service threads for this worker.
+  std::size_t service_threads = 2;
+};
+
+struct WorkerCounters {
+  std::uint64_t upsert_batches = 0;
+  std::uint64_t points_upserted = 0;
+  std::uint64_t searches_local = 0;
+  std::uint64_t searches_fanned_out = 0;
+  std::uint64_t peer_calls = 0;
+};
+
+class Worker {
+ public:
+  /// Registers the worker's endpoint on `transport`. `placement` is shared
+  /// cluster metadata (consistent across workers, as with Qdrant's Raft-backed
+  /// consensus state). The transport and placement must outlive the worker.
+  static Result<std::unique_ptr<Worker>> Start(InprocTransport& transport,
+                                               std::shared_ptr<const ShardPlacement> placement,
+                                               WorkerConfig config);
+
+  ~Worker();
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  WorkerId Id() const { return config_.id; }
+  std::string Endpoint() const { return WorkerEndpoint(config_.id); }
+
+  /// Creates local collections for every shard this worker owns.
+  Status ProvisionOwnedShards();
+
+  /// RPC dispatch (also callable directly in tests).
+  Message Handle(const Message& request);
+
+  /// Updates the placement (rebalance). Existing shard collections are kept;
+  /// newly owned shards are provisioned empty, awaiting transfer.
+  void SetPlacement(std::shared_ptr<const ShardPlacement> placement);
+
+  /// Points currently held across this worker's shards.
+  std::uint64_t LivePoints() const;
+
+  WorkerCounters Counters() const;
+
+  /// Exports a shard's points for transfer (empty when not owned).
+  std::vector<PointRecord> ExportShard(ShardId shard);
+
+  /// Drops a local shard after its contents moved elsewhere.
+  Status DropShard(ShardId shard);
+
+  /// Direct access for tests (nullptr when not owned).
+  Collection* ShardForTest(ShardId shard);
+
+ private:
+  Worker(InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement,
+         WorkerConfig config);
+
+  Message HandleUpsert(const Message& request);
+  Message HandleDelete(const Message& request);
+  Message HandleSearch(const Message& request);
+  Message HandleSearchBatch(const Message& request);
+  Message HandleBuildIndex(const Message& request);
+  Message HandleInfo(const Message& request);
+  Message HandleCreateShard(const Message& request);
+  Message HandleTransferShard(const Message& request);
+
+  /// Searches all local shards, merging per-shard top-k.
+  Result<SearchResponse> SearchLocal(const SearchRequest& request) const;
+
+  /// Entry-worker path: fan out to peers, search locally, reduce.
+  Result<SearchResponse> SearchFanOut(const SearchRequest& request);
+
+  /// Batched variants: one RPC carries many queries (the paper's query
+  /// batch); the whole batch is broadcast to each peer once.
+  Result<SearchBatchResponse> SearchBatchLocal(const SearchBatchRequest& request) const;
+  Result<SearchBatchResponse> SearchBatchFanOut(const SearchBatchRequest& request);
+
+  Result<Collection*> GetShard(ShardId shard);
+  Status EnsureShard(ShardId shard);
+
+  InprocTransport& transport_;
+  std::shared_ptr<const ShardPlacement> placement_;
+  WorkerConfig config_;
+
+  mutable std::shared_mutex shards_mutex_;
+  std::map<ShardId, std::unique_ptr<Collection>> shards_;
+
+  mutable std::mutex counters_mutex_;
+  WorkerCounters counters_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,395 @@
+#include "collection/collection.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace vdb {
+
+Collection::Collection(CollectionConfig config) : config_(std::move(config)) {
+  store_ = std::make_unique<VectorStore>(config_.dim, config_.metric);
+}
+
+Collection::~Collection() = default;
+
+Result<std::unique_ptr<Collection>> Collection::Open(CollectionConfig config) {
+  if (config.dim == 0) return Status::InvalidArgument("dim must be > 0");
+  std::unique_ptr<Collection> collection(new Collection(std::move(config)));
+
+  const auto& cfg = collection->config_;
+  if (!cfg.data_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.data_dir, ec);
+    if (ec) return Status::IoError("cannot create data dir: " + ec.message());
+    VDB_RETURN_IF_ERROR(collection->Recover());
+    VDB_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Open(cfg.data_dir / "wal.log"));
+    collection->wal_ = std::move(writer);
+  }
+
+  VDB_ASSIGN_OR_RETURN(auto index, CreateIndex(*collection->store_, cfg.index));
+  collection->index_ = std::move(index);
+
+  // If the manifest names a persisted HNSW graph, load it instead of
+  // rebuilding — valid because the graph is only ever saved when the flush
+  // had zero tombstones, so recovered offsets match the graph's.
+  if (!collection->pending_graph_file_.empty() && cfg.index.type == "hnsw") {
+    auto* hnsw = static_cast<HnswIndex*>(collection->index_.get());
+    const Status loaded =
+        hnsw->LoadFromFile(cfg.data_dir / collection->pending_graph_file_);
+    if (loaded.ok()) {
+      collection->next_unindexed_offset_ =
+          static_cast<std::uint32_t>(hnsw->NodeCount());
+    } else {
+      VDB_WARN << "ignoring persisted hnsw graph: " << loaded.ToString();
+    }
+  }
+
+  // Re-index recovered points (the WAL tail, or everything when no usable
+  // graph was persisted) unless indexing is deferred.
+  if (!cfg.defer_indexing && collection->store_->Size() > 0) {
+    VDB_RETURN_IF_ERROR(collection->IndexPending());
+  }
+  return collection;
+}
+
+Status Collection::Recover() {
+  const auto manifest_path = config_.data_dir / "MANIFEST";
+  SnapshotManifest manifest;
+  if (std::filesystem::exists(manifest_path)) {
+    VDB_ASSIGN_OR_RETURN(manifest, ReadManifest(manifest_path));
+    if (manifest.dim != config_.dim) {
+      return Status::FailedPrecondition("on-disk dim mismatch");
+    }
+    for (const auto& file : manifest.segment_files) {
+      VDB_ASSIGN_OR_RETURN(SegmentData segment, ReadSegment(config_.data_dir / file));
+      for (std::size_t row = 0; row < segment.Count(); ++row) {
+        VDB_RETURN_IF_ERROR(
+            UpsertLocked(segment.ids[row], segment.RowAt(row), {}, /*log_wal=*/false));
+      }
+      flushed_segments_.push_back(file);
+    }
+    next_segment_seq_ = manifest.sequence + 1;
+    flushed_point_count_ = store_->Size();
+    first_unflushed_offset_ = static_cast<std::uint32_t>(store_->Size());
+    pending_graph_file_ = manifest.hnsw_graph_file;
+  }
+
+  // Replay WAL records beyond the manifest's checkpoint.
+  std::uint64_t skip = manifest.wal_records_applied;
+  std::uint64_t seen = 0;
+  auto replayed = WalReader::Replay(
+      config_.data_dir / "wal.log", [&](const WalRecord& record) -> Status {
+        ++seen;
+        if (seen <= skip) return Status::Ok();
+        switch (record.type) {
+          case WalRecordType::kUpsert: {
+            VDB_ASSIGN_OR_RETURN(auto decoded, DecodeUpsertPayload(record.payload));
+            return UpsertLocked(decoded.first, decoded.second, {}, /*log_wal=*/false);
+          }
+          case WalRecordType::kDelete: {
+            VDB_ASSIGN_OR_RETURN(PointId id, DecodeDeletePayload(record.payload));
+            return DeleteLocked(id, /*log_wal=*/false);
+          }
+          case WalRecordType::kCheckpoint:
+            return Status::Ok();
+        }
+        return Status::Corruption("unknown WAL record type");
+      });
+  if (!replayed.ok()) return replayed.status();
+  recovered_wal_records_ = seen;
+  wal_records_ = seen;
+  return Status::Ok();
+}
+
+Status Collection::UpsertLocked(PointId id, VectorView vector, Payload payload,
+                                bool log_wal) {
+  if (vector.size() != config_.dim) {
+    return Status::InvalidArgument("vector dim mismatch");
+  }
+  if (id == kInvalidPointId) return Status::InvalidArgument("invalid point id");
+
+  if (log_wal && wal_.has_value()) {
+    VDB_RETURN_IF_ERROR(wal_->AppendUpsert(id, vector));
+    ++wal_records_;
+  }
+
+  const auto existing = id_to_offset_.find(id);
+  if (existing != id_to_offset_.end()) {
+    VDB_RETURN_IF_ERROR(store_->MarkDeleted(existing->second));
+  }
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t offset, store_->Add(id, vector));
+  id_to_offset_[id] = offset;
+  if (!payload.empty()) payloads_.Set(id, std::move(payload));
+  return Status::Ok();
+}
+
+Status Collection::DeleteLocked(PointId id, bool log_wal) {
+  const auto it = id_to_offset_.find(id);
+  if (it == id_to_offset_.end()) return Status::NotFound("point not found");
+  if (log_wal && wal_.has_value()) {
+    VDB_RETURN_IF_ERROR(wal_->AppendDelete(id));
+    ++wal_records_;
+  }
+  VDB_RETURN_IF_ERROR(store_->MarkDeleted(it->second));
+  id_to_offset_.erase(it);
+  payloads_.Remove(id);
+  return Status::Ok();
+}
+
+Status Collection::Upsert(PointId id, VectorView vector, Payload payload) {
+  std::unique_lock lock(mutex_);
+  VDB_RETURN_IF_ERROR(UpsertLocked(id, vector, std::move(payload), /*log_wal=*/true));
+  // Incremental indexing (Qdrant default mode): index the new point right
+  // away once past the indexing threshold.
+  if (!config_.defer_indexing && index_ != nullptr &&
+      store_->Size() >= config_.indexing_threshold) {
+    const std::uint32_t offset = id_to_offset_.at(id);
+    const Status status = index_->Add(offset);
+    if (status.ok()) {
+      next_unindexed_offset_ = std::max(next_unindexed_offset_, offset + 1);
+    } else if (status.code() != StatusCode::kFailedPrecondition) {
+      // FailedPrecondition = index type requires bulk Build(); benign here.
+      return status;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Collection::UpsertBatch(const std::vector<PointRecord>& points) {
+  for (const auto& point : points) {
+    if (point.vector.size() != config_.dim) {
+      return Status::InvalidArgument("batch contains wrong-dim vector");
+    }
+  }
+  for (const auto& point : points) {
+    VDB_RETURN_IF_ERROR(Upsert(point.id, point.vector, point.payload));
+  }
+  return Status::Ok();
+}
+
+Status Collection::Delete(PointId id) {
+  std::unique_lock lock(mutex_);
+  return DeleteLocked(id, /*log_wal=*/true);
+}
+
+bool Collection::Contains(PointId id) const {
+  std::shared_lock lock(mutex_);
+  return id_to_offset_.count(id) != 0;
+}
+
+Result<Vector> Collection::GetVector(PointId id) const {
+  std::shared_lock lock(mutex_);
+  const auto it = id_to_offset_.find(id);
+  if (it == id_to_offset_.end()) return Status::NotFound("point not found");
+  const VectorView view = store_->At(it->second);
+  return Vector(view.begin(), view.end());
+}
+
+Result<Payload> Collection::GetPayload(PointId id) const {
+  std::shared_lock lock(mutex_);
+  if (id_to_offset_.count(id) == 0) return Status::NotFound("point not found");
+  auto payload = payloads_.Get(id);
+  if (!payload.ok()) return Payload{};  // point exists with empty payload
+  return payload;
+}
+
+Result<std::vector<ScoredPoint>> Collection::Search(VectorView query,
+                                                    SearchParams params) const {
+  std::shared_lock lock(mutex_);
+  if (query.size() != config_.dim) return Status::InvalidArgument("query dim mismatch");
+  // Use the index only when it covers every live point; otherwise fall back
+  // to the exact scan (Qdrant searches unindexed segments exactly).
+  const bool index_usable = index_ != nullptr && index_->Ready() &&
+                            next_unindexed_offset_ >= store_->Size();
+  if (index_usable) {
+    return index_->Search(query, params);
+  }
+  return ExactSearch(*store_, query, params.k);
+}
+
+Result<std::vector<ScoredPoint>> Collection::SearchFiltered(
+    VectorView query, SearchParams params, const Filter& filter) const {
+  std::shared_lock lock(mutex_);
+  if (query.size() != config_.dim) return Status::InvalidArgument("query dim mismatch");
+
+  Vector normalized;
+  VectorView effective = query;
+  if (PrefersNormalized(config_.metric)) {
+    normalized.assign(query.begin(), query.end());
+    NormalizeInPlace(normalized);
+    effective = normalized;
+  }
+
+  TopK collector(params.k);
+  const Metric metric = store_->SearchMetric();
+  for (const PointId id : payloads_.ScanEquals(filter.field, filter.value)) {
+    const auto it = id_to_offset_.find(id);
+    if (it == id_to_offset_.end()) continue;
+    collector.Push(id, Score(metric, effective, store_->At(it->second)));
+  }
+  return collector.Take();
+}
+
+Status Collection::BuildIndex() {
+  std::unique_lock lock(mutex_);
+  if (index_ == nullptr) return Status::FailedPrecondition("no index configured");
+  VDB_RETURN_IF_ERROR(index_->Build());
+  next_unindexed_offset_ = static_cast<std::uint32_t>(store_->Size());
+  return Status::Ok();
+}
+
+Status Collection::IndexPending() {
+  std::unique_lock lock(mutex_);
+  if (index_ == nullptr) return Status::FailedPrecondition("no index configured");
+  const auto size = static_cast<std::uint32_t>(store_->Size());
+  for (std::uint32_t offset = next_unindexed_offset_; offset < size; ++offset) {
+    if (store_->IsDeleted(offset)) continue;
+    const Status status = index_->Add(offset);
+    if (!status.ok() && status.code() == StatusCode::kFailedPrecondition) {
+      // Bulk-only index: rebuild instead.
+      VDB_RETURN_IF_ERROR(index_->Build());
+      break;
+    }
+    if (!status.ok() && status.code() != StatusCode::kAlreadyExists) return status;
+  }
+  next_unindexed_offset_ = size;
+  return Status::Ok();
+}
+
+std::size_t Collection::PendingIndexCount() const {
+  std::shared_lock lock(mutex_);
+  return store_->Size() - next_unindexed_offset_;
+}
+
+Status Collection::Flush() {
+  std::unique_lock lock(mutex_);
+  if (config_.data_dir.empty()) return Status::Ok();  // in-memory mode: no-op
+
+  const auto size = static_cast<std::uint32_t>(store_->Size());
+  // Deletes that landed on already-flushed offsets cannot stay checkpointed
+  // away in the WAL (recovery would resurrect them from the old segments), so
+  // any new tombstone since the last flush forces a full compaction: one
+  // fresh segment with every live point, replacing the old segment set.
+  const bool need_compaction = store_->DeletedCount() > deleted_at_last_flush_;
+  const std::uint32_t flush_from = need_compaction ? 0 : first_unflushed_offset_;
+  if (flush_from < size || need_compaction) {
+    SegmentData segment;
+    segment.dim = static_cast<std::uint32_t>(config_.dim);
+    segment.metric = config_.metric;
+    for (std::uint32_t offset = flush_from; offset < size; ++offset) {
+      if (store_->IsDeleted(offset)) continue;
+      segment.ids.push_back(store_->IdAt(offset));
+      const VectorView v = store_->At(offset);
+      segment.vectors.insert(segment.vectors.end(), v.begin(), v.end());
+    }
+    if (need_compaction) {
+      for (const auto& file : flushed_segments_) {
+        std::error_code ec;
+        std::filesystem::remove(config_.data_dir / file, ec);
+      }
+      flushed_segments_.clear();
+    }
+    if (!segment.ids.empty()) {
+      const std::string file = "segment_" + std::to_string(next_segment_seq_) + ".vdb";
+      VDB_RETURN_IF_ERROR(WriteSegment(config_.data_dir / file, segment));
+      flushed_segments_.push_back(file);
+      ++next_segment_seq_;
+    }
+    first_unflushed_offset_ = size;
+    deleted_at_last_flush_ = store_->DeletedCount();
+  }
+
+  SnapshotManifest manifest;
+  manifest.sequence = next_segment_seq_;
+  manifest.dim = static_cast<std::uint32_t>(config_.dim);
+  manifest.metric = std::string(MetricName(config_.metric));
+  manifest.segment_files = flushed_segments_;
+  manifest.wal_records_applied = wal_records_;
+
+  // Persist the HNSW graph when it is safe: the graph references store
+  // offsets, which only survive recovery unchanged if no tombstones existed
+  // (segment flushes compact deleted rows away). With tombstones present, any
+  // stale graph file is dropped so recovery falls back to a rebuild.
+  const std::string graph_file = "graph.hnsw";
+  if (config_.index.type == "hnsw" && index_ != nullptr && index_->Ready() &&
+      store_->DeletedCount() == 0 && next_unindexed_offset_ >= store_->Size()) {
+    auto* hnsw = static_cast<HnswIndex*>(index_.get());
+    VDB_RETURN_IF_ERROR(hnsw->SaveToFile(config_.data_dir / graph_file));
+    manifest.hnsw_graph_file = graph_file;
+  } else {
+    std::error_code ec;
+    std::filesystem::remove(config_.data_dir / graph_file, ec);
+  }
+  VDB_RETURN_IF_ERROR(WriteManifest(config_.data_dir / "MANIFEST", manifest));
+
+  if (wal_.has_value()) {
+    VDB_RETURN_IF_ERROR(wal_->AppendCheckpoint(next_segment_seq_));
+    ++wal_records_;
+    VDB_RETURN_IF_ERROR(wal_->Sync());
+  }
+  return Status::Ok();
+}
+
+std::size_t Collection::Count() const {
+  std::shared_lock lock(mutex_);
+  return id_to_offset_.size();
+}
+
+CollectionInfo Collection::Info() const {
+  std::shared_lock lock(mutex_);
+  CollectionInfo info;
+  info.live_points = id_to_offset_.size();
+  info.deleted_points = store_->DeletedCount();
+  info.indexed_points = index_ != nullptr ? index_->Stats().indexed_count : 0;
+  info.segments_flushed = flushed_segments_.size();
+  info.wal_bytes = wal_.has_value() ? wal_->BytesWritten() : 0;
+  info.memory_bytes =
+      store_->MemoryBytes() + payloads_.MemoryBytes() +
+      (index_ != nullptr ? index_->MemoryBytes() : 0);
+  info.index_ready = index_ != nullptr && index_->Ready();
+  return info;
+}
+
+std::vector<ScoredPoint> Collection::ExactSearchForTest(VectorView query,
+                                                        std::size_t k) const {
+  std::shared_lock lock(mutex_);
+  return ExactSearch(*store_, query, k);
+}
+
+Collection::ScrollPage Collection::Scroll(std::optional<PointId> from,
+                                          std::size_t limit) const {
+  std::shared_lock lock(mutex_);
+  ScrollPage page;
+  auto it = from.has_value() ? id_to_offset_.lower_bound(*from) : id_to_offset_.begin();
+  for (; it != id_to_offset_.end() && page.points.size() < limit; ++it) {
+    PointRecord record;
+    record.id = it->first;
+    const VectorView v = store_->At(it->second);
+    record.vector.assign(v.begin(), v.end());
+    if (auto payload = payloads_.Get(it->first); payload.ok()) {
+      record.payload = std::move(*payload);
+    }
+    page.points.push_back(std::move(record));
+  }
+  if (it != id_to_offset_.end()) page.next_from = it->first;
+  return page;
+}
+
+std::vector<PointRecord> Collection::ExportPoints() const {
+  std::shared_lock lock(mutex_);
+  std::vector<PointRecord> points;
+  points.reserve(id_to_offset_.size());
+  for (const auto& [id, offset] : id_to_offset_) {
+    PointRecord record;
+    record.id = id;
+    const VectorView v = store_->At(offset);
+    record.vector.assign(v.begin(), v.end());
+    if (auto payload = payloads_.Get(id); payload.ok()) {
+      record.payload = std::move(*payload);
+    }
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+}  // namespace vdb

@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file collection.hpp
+/// A Collection is the unit of data a worker owns for a shard: vectors +
+/// payloads + an ANN index + durability (WAL, segments). It mirrors Qdrant's
+/// collection semantics: upsert/delete/search, deferred or incremental index
+/// construction, and background optimization (see optimizer.hpp).
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "index/factory.hpp"
+#include "storage/payload_store.hpp"
+#include "storage/segment.hpp"
+#include "storage/snapshot.hpp"
+#include "storage/wal.hpp"
+
+namespace vdb {
+
+struct CollectionConfig {
+  std::string name = "collection";
+  std::size_t dim = kPaperDim;
+  Metric metric = Metric::kCosine;
+  IndexSpec index;
+
+  /// Bulk-upload mode from the paper (section 3.3): skip incremental index
+  /// maintenance during insertion; callers invoke BuildIndex() afterwards.
+  bool defer_indexing = false;
+
+  /// Incremental indexing kicks in only once this many points exist
+  /// (Qdrant's `indexing_threshold`); below it searches scan exactly.
+  std::size_t indexing_threshold = 0;
+
+  /// Empty => purely in-memory (no WAL, no segments). Otherwise the directory
+  /// holding wal.log / segments / MANIFEST.
+  std::filesystem::path data_dir;
+
+  /// Points per flushed segment file.
+  std::size_t flush_threshold = 8192;
+};
+
+struct CollectionInfo {
+  std::size_t live_points = 0;
+  std::size_t deleted_points = 0;
+  std::size_t indexed_points = 0;
+  std::size_t segments_flushed = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t memory_bytes = 0;
+  bool index_ready = false;
+};
+
+/// Thread-safe (readers-writer) collection.
+class Collection {
+ public:
+  /// Creates or re-opens a collection. With a data_dir, recovery order is:
+  /// segments from MANIFEST, then WAL records beyond the checkpoint.
+  static Result<std::unique_ptr<Collection>> Open(CollectionConfig config);
+
+  ~Collection();
+  Collection(const Collection&) = delete;
+  Collection& operator=(const Collection&) = delete;
+
+  const CollectionConfig& Config() const { return config_; }
+
+  /// Inserts or replaces one point. Replacement tombstones the old version.
+  Status Upsert(PointId id, VectorView vector, Payload payload = {});
+
+  /// Batch upsert — the unit the paper's insertion experiments tune (batch
+  /// size sweep, fig. 2). All-or-nothing on argument validation, point-wise
+  /// afterwards.
+  Status UpsertBatch(const std::vector<PointRecord>& points);
+
+  /// Tombstones a point.
+  Status Delete(PointId id);
+
+  /// True if `id` currently maps to a live point.
+  bool Contains(PointId id) const;
+
+  Result<Vector> GetVector(PointId id) const;
+  Result<Payload> GetPayload(PointId id) const;
+
+  /// ANN search (index when ready, exact scan otherwise — Qdrant's fallback
+  /// for unindexed segments).
+  Result<std::vector<ScoredPoint>> Search(VectorView query, SearchParams params) const;
+
+  /// Predicated search: prefilter ids by payload equality, then exact-score
+  /// the survivors (prefiltering strategy from the paper's footnote).
+  Result<std::vector<ScoredPoint>> SearchFiltered(VectorView query, SearchParams params,
+                                                  const Filter& filter) const;
+
+  /// Full index (re)build over all live points — the deferred-index path the
+  /// paper measures in section 3.3.
+  Status BuildIndex();
+
+  /// Indexes any points not yet in the index incrementally (optimizer hook).
+  Status IndexPending();
+
+  /// Number of points not yet visible to the index.
+  std::size_t PendingIndexCount() const;
+
+  /// Flushes buffered points to an immutable segment + WAL checkpoint.
+  Status Flush();
+
+  std::size_t Count() const;
+  CollectionInfo Info() const;
+
+  /// Exact scan baseline regardless of index state (ground truth in tests).
+  std::vector<ScoredPoint> ExactSearchForTest(VectorView query, std::size_t k) const;
+
+  /// Snapshot of every live point (id + vector + payload) — shard transfer
+  /// during rebalance reads through this.
+  std::vector<PointRecord> ExportPoints() const;
+
+  /// Paged listing in ascending id order (Qdrant's scroll API). Returns up to
+  /// `limit` points with ids >= `from` (std::nullopt = start), plus the id to
+  /// pass as the next page's `from` (std::nullopt = exhausted).
+  struct ScrollPage {
+    std::vector<PointRecord> points;
+    std::optional<PointId> next_from;
+  };
+  ScrollPage Scroll(std::optional<PointId> from, std::size_t limit) const;
+
+ private:
+  explicit Collection(CollectionConfig config);
+
+  Status Recover();
+  Status UpsertLocked(PointId id, VectorView vector, Payload payload, bool log_wal);
+  Status DeleteLocked(PointId id, bool log_wal);
+
+  CollectionConfig config_;
+  mutable std::shared_mutex mutex_;
+
+  std::unique_ptr<VectorStore> store_;
+  std::unique_ptr<VectorIndex> index_;
+  PayloadStore payloads_;
+  /// Ordered so Scroll() pages in stable id order.
+  std::map<PointId, std::uint32_t> id_to_offset_;
+
+  std::optional<WalWriter> wal_;
+  std::uint64_t wal_records_ = 0;
+  std::uint64_t recovered_wal_records_ = 0;
+
+  std::uint64_t next_segment_seq_ = 0;
+  std::vector<std::string> flushed_segments_;
+  std::size_t flushed_point_count_ = 0;
+  std::uint32_t first_unflushed_offset_ = 0;
+  std::size_t deleted_at_last_flush_ = 0;  ///< tombstones covered by segments
+  std::string pending_graph_file_;  ///< graph named by the recovered manifest
+
+  std::uint32_t next_unindexed_offset_ = 0;
+};
+
+}  // namespace vdb

@@ -1,0 +1,68 @@
+#include "collection/optimizer.hpp"
+
+#include "common/logging.hpp"
+
+namespace vdb {
+
+Optimizer::Optimizer(Collection& collection, OptimizerConfig config)
+    : collection_(collection), config_(config), thread_([this] { Loop(); }) {}
+
+Optimizer::~Optimizer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Optimizer::Nudge() { wake_.notify_one(); }
+
+bool Optimizer::RunOnce() {
+  bool did_work = false;
+  if (collection_.PendingIndexCount() >= config_.index_batch_threshold) {
+    const Status status = collection_.IndexPending();
+    if (!status.ok()) {
+      VDB_WARN << "optimizer index pass failed: " << status.ToString();
+    }
+    ++index_passes_;
+    did_work = true;
+  }
+  if (config_.flush_threshold > 0) {
+    const std::size_t count = collection_.Count();
+    if (count >= points_at_last_flush_ + config_.flush_threshold) {
+      const Status status = collection_.Flush();
+      if (!status.ok()) {
+        VDB_WARN << "optimizer flush failed: " << status.ToString();
+      }
+      points_at_last_flush_ = count;
+      ++flushes_;
+      did_work = true;
+    }
+  }
+  return did_work;
+}
+
+void Optimizer::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    lock.unlock();
+    const bool did_work = RunOnce();
+    lock.lock();
+    if (stop_) break;
+    if (!did_work) {
+      wake_.wait_for(lock, config_.poll_interval);
+    }
+  }
+}
+
+void Optimizer::Drain() {
+  // Index every pending point regardless of thresholds, then flush once.
+  while (collection_.PendingIndexCount() > 0) {
+    const Status status = collection_.IndexPending();
+    if (!status.ok()) break;
+    ++index_passes_;
+  }
+}
+
+}  // namespace vdb

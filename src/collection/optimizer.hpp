@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file optimizer.hpp
+/// Background optimizer thread: Qdrant performs segment optimization and
+/// index maintenance concurrently with insertion — the paper observes this as
+/// hidden CPU work during upload ("Qdrant is storing the data, optimizing the
+/// data layout ... building indexes in the background", section 3.2). The
+/// Optimizer polls a collection, incrementally indexes pending points, and
+/// flushes segments once enough unflushed data accumulates.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "collection/collection.hpp"
+
+namespace vdb {
+
+struct OptimizerConfig {
+  /// Poll cadence when idle.
+  std::chrono::milliseconds poll_interval{20};
+  /// Index pending points once at least this many accumulate.
+  std::size_t index_batch_threshold = 256;
+  /// Flush after this many new points (0 disables auto-flush).
+  std::size_t flush_threshold = 0;
+};
+
+/// Owns a background thread for the lifetime of the object (RAII).
+class Optimizer {
+ public:
+  Optimizer(Collection& collection, OptimizerConfig config);
+  ~Optimizer();
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Wakes the thread immediately (e.g. after a large batch lands).
+  void Nudge();
+
+  /// Blocks until no pending work remains (used by tests and bulk loads).
+  void Drain();
+
+  /// Cumulative counters.
+  std::size_t IndexPassCount() const { return index_passes_.load(); }
+  std::size_t FlushCount() const { return flushes_.load(); }
+
+ private:
+  void Loop();
+  bool RunOnce();
+
+  Collection& collection_;
+  OptimizerConfig config_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  std::atomic<std::size_t> index_passes_{0};
+  std::atomic<std::size_t> flushes_{0};
+  std::size_t points_at_last_flush_ = 0;
+
+  std::thread thread_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,113 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace vdb {
+namespace {
+
+std::string FormatWithUnits(std::uint64_t bytes, std::uint64_t base,
+                            const std::array<const char*, 5>& units) {
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= static_cast<double>(base) && unit + 1 < units.size()) {
+    value /= static_cast<double>(base);
+    ++unit;
+  }
+  char buf[64];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu %s",
+                  static_cast<unsigned long long>(bytes), units[0]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytesBinary(std::uint64_t bytes) {
+  return FormatWithUnits(bytes, kKiB, {"B", "KiB", "MiB", "GiB", "TiB"});
+}
+
+std::string FormatBytesDecimal(std::uint64_t bytes) {
+  return FormatWithUnits(bytes, kKB, {"B", "KB", "MB", "GB", "TB"});
+}
+
+Result<std::uint64_t> ParseBytes(const std::string& text) {
+  std::size_t pos = 0;
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::size_t end = pos;
+  bool seen_digit = false;
+  while (end < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[end])) || text[end] == '.')) {
+    seen_digit |= std::isdigit(static_cast<unsigned char>(text[end])) != 0;
+    ++end;
+  }
+  if (!seen_digit) return Status::InvalidArgument("no number in '" + text + "'");
+  const double value = std::stod(text.substr(pos, end - pos));
+  if (value < 0) return Status::InvalidArgument("negative size");
+
+  std::string suffix;
+  for (std::size_t i = end; i < text.size(); ++i) {
+    const char c = text[i];
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      suffix += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  double multiplier = 1.0;
+  if (suffix.empty() || suffix == "b") {
+    multiplier = 1.0;
+  } else if (suffix == "kb") {
+    multiplier = static_cast<double>(kKB);
+  } else if (suffix == "mb") {
+    multiplier = static_cast<double>(kMB);
+  } else if (suffix == "gb") {
+    multiplier = static_cast<double>(kGB);
+  } else if (suffix == "tb") {
+    multiplier = 1e12;
+  } else if (suffix == "kib") {
+    multiplier = static_cast<double>(kKiB);
+  } else if (suffix == "mib") {
+    multiplier = static_cast<double>(kMiB);
+  } else if (suffix == "gib") {
+    multiplier = static_cast<double>(kGiB);
+  } else if (suffix == "tib") {
+    multiplier = static_cast<double>(kGiB) * 1024.0;
+  } else {
+    return Status::InvalidArgument("unknown byte suffix '" + suffix + "'");
+  }
+  return static_cast<std::uint64_t>(std::llround(value * multiplier));
+}
+
+std::string FormatDuration(double seconds) {
+  char buf[64];
+  const double abs = std::fabs(seconds);
+  if (abs >= 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  } else if (abs >= 600.0) {
+    // The paper keeps seconds up to several hundred (fig. 2: "468 s") and
+    // switches to minutes for longer runs (table 3: "35.92 m").
+    std::snprintf(buf, sizeof(buf), "%.2f m", seconds / 60.0);
+  } else if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::uint64_t VectorsPerBytes(std::uint64_t bytes, std::size_t dim) {
+  const std::uint64_t per_vector = static_cast<std::uint64_t>(dim) * sizeof(float);
+  return per_vector == 0 ? 0 : bytes / per_vector;
+}
+
+std::uint64_t BytesPerVectors(std::uint64_t count, std::size_t dim) {
+  return count * static_cast<std::uint64_t>(dim) * sizeof(float);
+}
+
+}  // namespace vdb

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file bytes.hpp
+/// Byte-size arithmetic and human-readable formatting used everywhere dataset
+/// sizes appear (the paper reasons in "1 GB subset", "~80 GB full dataset").
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace vdb {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// The paper uses decimal GB when sizing datasets; keep both available.
+inline constexpr std::uint64_t kKB = 1000ULL;
+inline constexpr std::uint64_t kMB = 1000ULL * kKB;
+inline constexpr std::uint64_t kGB = 1000ULL * kMB;
+
+/// "1.50 GiB", "381 B", "12.0 MiB" — binary units.
+std::string FormatBytesBinary(std::uint64_t bytes);
+
+/// "1.50 GB" — decimal units, matches the paper's axis labels.
+std::string FormatBytesDecimal(std::uint64_t bytes);
+
+/// Parses "64", "64KB", "1.5GiB", "80 GB" (case-insensitive, optional space).
+Result<std::uint64_t> ParseBytes(const std::string& text);
+
+/// Seconds → "8.22 h", "35.92 m", "381 s", "45.6 ms" — the units the paper's
+/// tables mix freely.
+std::string FormatDuration(double seconds);
+
+/// Number of vectors of dimension `dim` (float32 payload) that fit in `bytes`.
+std::uint64_t VectorsPerBytes(std::uint64_t bytes, std::size_t dim);
+
+/// Raw float32 bytes occupied by `count` vectors of dimension `dim`.
+std::uint64_t BytesPerVectors(std::uint64_t count, std::size_t dim);
+
+}  // namespace vdb

@@ -1,0 +1,105 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/bytes.hpp"
+
+namespace vdb {
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Result<Config> Config::FromArgs(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 0; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) token = token.substr(2);
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got '" + std::string(argv[i]) + "'");
+    }
+    config.Set(Trim(token.substr(0, eq)), Trim(token.substr(eq + 1)));
+  }
+  return config;
+}
+
+Result<Config> Config::FromText(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("expected key=value line, got '" + line + "'");
+    }
+    config.Set(Trim(line.substr(0, eq)), Trim(line.substr(eq + 1)));
+  }
+  return config;
+}
+
+void Config::Set(const std::string& key, std::string value) {
+  if (values_.find(key) == values_.end()) order_.push_back(key);
+  values_[key] = std::move(value);
+}
+
+bool Config::Has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string Config::GetString(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Config::GetInt(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::uint64_t Config::GetBytes(const std::string& key, std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  auto parsed = ParseBytes(it->second);
+  return parsed.ok() ? *parsed : fallback;
+}
+
+std::vector<std::string> Config::Keys() const { return order_; }
+
+std::string Config::ToString() const {
+  std::string out;
+  for (const auto& key : order_) {
+    if (!out.empty()) out += ' ';
+    out += key + "=" + values_.at(key);
+  }
+  return out;
+}
+
+}  // namespace vdb

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file config.hpp
+/// Flat key=value configuration with typed accessors. Used by examples and
+/// bench harnesses to expose experiment parameters (`--dim=2560 --workers=32`).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vdb {
+
+/// Ordered key→string map with typed getters and CLI parsing.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `--key=value` / `key=value` tokens; unknown formats are rejected.
+  static Result<Config> FromArgs(int argc, const char* const* argv);
+
+  /// Parses newline-separated `key = value` text ('#' comments allowed).
+  static Result<Config> FromText(const std::string& text);
+
+  void Set(const std::string& key, std::string value);
+  bool Has(const std::string& key) const;
+
+  /// Typed getters return `fallback` when the key is absent; a present but
+  /// malformed value is an error surfaced via GetStatus().
+  std::string GetString(const std::string& key, const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  /// Byte sizes accept suffixes: "80GB", "512MiB".
+  std::uint64_t GetBytes(const std::string& key, std::uint64_t fallback) const;
+
+  /// Keys in insertion order.
+  std::vector<std::string> Keys() const;
+
+  /// One-line rendering "a=1 b=x" for logging the experiment setup.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace vdb

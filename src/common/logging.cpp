@@ -1,0 +1,61 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace vdb {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogSink> g_sink{nullptr};
+std::mutex g_log_mutex;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void SetLogSink(LogSink sink) { g_sink.store(sink); }
+
+namespace detail {
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (const LogSink sink = g_sink.load(); sink != nullptr) {
+    sink(level, message);
+    return;
+  }
+  using Clock = std::chrono::system_clock;
+  const auto now = Clock::now().time_since_epoch();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+               static_cast<long long>(ms / 1000), static_cast<long long>(ms % 1000),
+               LevelTag(level), message.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << base << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() { LogLine(level_, stream_.str()); }
+
+}  // namespace detail
+}  // namespace vdb

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file logging.hpp
+/// Minimal leveled logger. Thread-safe, writes to stderr. Benchmarks default
+/// to kWarn so harness output stays clean.
+
+#include <sstream>
+#include <string>
+
+namespace vdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Redirects log lines to `sink` instead of stderr (nullptr restores stderr).
+/// Used by tests and by embedding applications that own their logging.
+using LogSink = void (*)(LogLevel level, const std::string& message);
+void SetLogSink(LogSink sink);
+
+namespace detail {
+
+/// Emits one formatted line (timestamped, level-tagged) under a global mutex.
+void LogLine(LogLevel level, const std::string& message);
+
+/// Stream-collecting helper behind the VDB_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define VDB_LOG(level)                                               \
+  if (::vdb::GetLogLevel() > ::vdb::LogLevel::level) {               \
+  } else                                                             \
+    ::vdb::detail::LogMessage(::vdb::LogLevel::level, __FILE__, __LINE__).stream()
+
+#define VDB_DEBUG VDB_LOG(kDebug)
+#define VDB_INFO VDB_LOG(kInfo)
+#define VDB_WARN VDB_LOG(kWarn)
+#define VDB_ERROR VDB_LOG(kError)
+
+}  // namespace vdb

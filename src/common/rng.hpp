@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation. All stochastic behaviour in vdbhpc
+/// (workload synthesis, HNSW level sampling, simulated timing jitter) flows
+/// through Rng so experiments are bit-reproducible from a single 64-bit seed.
+
+#include <cstdint>
+#include <vector>
+
+namespace vdb {
+
+/// splitmix64 — used to expand one seed into independent stream seeds.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+class Rng {
+ public:
+  /// Seeds the four 64-bit state words via splitmix64 expansion of `seed`.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses Lemire rejection to
+  /// avoid modulo bias.
+  std::uint64_t NextU64(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Uniform float in [0, 1).
+  float NextFloat();
+
+  /// Standard normal via Box–Muller (cached second sample).
+  double NextGaussian();
+
+  /// Normal with given mean/stddev.
+  double NextGaussian(double mean, double stddev);
+
+  /// Log-normal: exp(N(mu, sigma)). Parameters are of the underlying normal.
+  double NextLogNormal(double mu, double sigma);
+
+  /// Exponential with rate lambda (mean 1/lambda).
+  double NextExponential(double lambda);
+
+  /// True with probability p.
+  bool NextBernoulli(double p);
+
+  /// Derives an independent child generator; stable given call order.
+  Rng Fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(NextU64(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace vdb

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file status.hpp
+/// Lightweight error-handling vocabulary: Status + Result<T>.
+/// Exceptions are reserved for programmer errors (assert-like); expected
+/// runtime failures (I/O, corrupt file, missing point) travel as Status.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace vdb {
+
+/// Error category, deliberately small.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kCorruption,
+  kIoError,
+  kUnavailable,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Success-or-error result of an operation without a value.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status IoError(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "NotFound: point 7 missing".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error. Minimal std::expected stand-in (C++20 toolchain here has
+/// no <expected>).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from value — enables `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit from error status — enables `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define VDB_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::vdb::Status vdb_status_ = (expr);        \
+    if (!vdb_status_.ok()) return vdb_status_; \
+  } while (false)
+
+/// Assigns a Result's value to `lhs` or propagates the error.
+#define VDB_ASSIGN_OR_RETURN(lhs, expr)               \
+  auto VDB_CONCAT_(vdb_result_, __LINE__) = (expr);   \
+  if (!VDB_CONCAT_(vdb_result_, __LINE__).ok())       \
+    return VDB_CONCAT_(vdb_result_, __LINE__).status(); \
+  lhs = std::move(VDB_CONCAT_(vdb_result_, __LINE__)).value()
+
+#define VDB_CONCAT_INNER_(a, b) a##b
+#define VDB_CONCAT_(a, b) VDB_CONCAT_INNER_(a, b)
+
+}  // namespace vdb

@@ -1,0 +1,32 @@
+#include "common/stopwatch.hpp"
+
+namespace vdb {
+
+Stopwatch::Stopwatch() { Reset(); }
+
+void Stopwatch::Reset() {
+  start_ = std::chrono::steady_clock::now();
+  lap_ = start_;
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+double Stopwatch::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+std::uint64_t Stopwatch::ElapsedNanos() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+double Stopwatch::LapSeconds() {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - lap_).count();
+  lap_ = now;
+  return elapsed;
+}
+
+}  // namespace vdb

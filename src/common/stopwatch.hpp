@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file stopwatch.hpp
+/// Wall-clock timing for the real engine path. Simulated experiments never use
+/// this — they read the virtual clock (sim/clock.hpp).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace vdb {
+
+/// Monotonic stopwatch with lap support.
+class Stopwatch {
+ public:
+  /// Starts running immediately.
+  Stopwatch();
+
+  /// Restarts from zero.
+  void Reset();
+
+  /// Seconds since construction/Reset.
+  double ElapsedSeconds() const;
+  double ElapsedMillis() const;
+  std::uint64_t ElapsedNanos() const;
+
+  /// Seconds since the previous Lap() (or Reset), then marks a new lap.
+  double LapSeconds();
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lap_;
+};
+
+/// RAII scope timer: accumulates elapsed seconds into a target on destruction.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(double& accumulator) : accumulator_(accumulator) {}
+  ~ScopeTimer() { accumulator_ += watch_.ElapsedSeconds(); }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  double& accumulator_;
+  Stopwatch watch_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental identifier and numeric types shared across all vdbhpc modules.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace vdb {
+
+/// Unique identifier of a point (vector + payload) within a collection.
+/// Qdrant uses u64/UUID point ids; we use u64 throughout.
+using PointId = std::uint64_t;
+
+/// Sentinel id meaning "no point".
+inline constexpr PointId kInvalidPointId = std::numeric_limits<PointId>::max();
+
+/// Identifier of a shard within a collection.
+using ShardId = std::uint32_t;
+
+/// Identifier of a worker (stateful node process) in a cluster.
+using WorkerId = std::uint32_t;
+
+/// Identifier of a physical compute node hosting one or more workers.
+using NodeId = std::uint32_t;
+
+/// Vector component type. The paper's embeddings are float32 (Qwen3-Embedding-4B).
+using Scalar = float;
+
+/// Borrowed view of one embedding vector.
+using VectorView = std::span<const Scalar>;
+
+/// Owned embedding vector.
+using Vector = std::vector<Scalar>;
+
+/// Dimensionality used by the paper's workload: Qwen3-Embedding-4B emits
+/// 2560-dimensional embeddings.
+inline constexpr std::size_t kPaperDim = 2560;
+
+/// Number of embeddings in the full peS2o-derived dataset (paper section 3.1).
+inline constexpr std::uint64_t kPaperNumVectors = 8'293'485;
+
+/// Number of BV-BRC genome terms used to build the query workload (section 3).
+inline constexpr std::uint64_t kPaperNumQueryTerms = 22'723;
+
+}  // namespace vdb

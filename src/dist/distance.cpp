@@ -1,0 +1,116 @@
+#include "dist/distance.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace vdb {
+
+std::string_view MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2: return "l2";
+    case Metric::kInnerProduct: return "ip";
+    case Metric::kCosine: return "cosine";
+  }
+  return "?";
+}
+
+Result<Metric> ParseMetric(const std::string& name) {
+  if (name == "l2" || name == "euclid" || name == "euclidean") return Metric::kL2;
+  if (name == "ip" || name == "dot" || name == "inner_product") return Metric::kInnerProduct;
+  if (name == "cosine" || name == "cos") return Metric::kCosine;
+  return Status::InvalidArgument("unknown metric '" + name + "'");
+}
+
+Scalar DotProduct(VectorView a, VectorView b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  const Scalar* pa = a.data();
+  const Scalar* pb = b.data();
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += pa[i] * pb[i];
+    acc1 += pa[i + 1] * pb[i + 1];
+    acc2 += pa[i + 2] * pb[i + 2];
+    acc3 += pa[i + 3] * pb[i + 3];
+  }
+  for (; i < n; ++i) acc0 += pa[i] * pb[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+Scalar L2SquaredDistance(VectorView a, VectorView b) {
+  assert(a.size() == b.size());
+  const std::size_t n = a.size();
+  const Scalar* pa = a.data();
+  const Scalar* pb = b.data();
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float d0 = pa[i] - pb[i];
+    const float d1 = pa[i + 1] - pb[i + 1];
+    const float d2 = pa[i + 2] - pb[i + 2];
+    const float d3 = pa[i + 3] - pb[i + 3];
+    acc0 += d0 * d0;
+    acc1 += d1 * d1;
+    acc2 += d2 * d2;
+    acc3 += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const float d = pa[i] - pb[i];
+    acc0 += d * d;
+  }
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+Scalar Norm(VectorView a) { return std::sqrt(DotProduct(a, a)); }
+
+Scalar Score(Metric metric, VectorView a, VectorView b) {
+  switch (metric) {
+    case Metric::kL2:
+      return -L2SquaredDistance(a, b);
+    case Metric::kInnerProduct:
+      return DotProduct(a, b);
+    case Metric::kCosine: {
+      const Scalar na = Norm(a);
+      const Scalar nb = Norm(b);
+      if (na <= 0.f || nb <= 0.f) return 0.f;
+      return DotProduct(a, b) / (na * nb);
+    }
+  }
+  return 0.f;
+}
+
+void ScoreBatch(Metric metric, VectorView query, const Scalar* base,
+                std::size_t dim, std::size_t count, Scalar* out) {
+  assert(query.size() == dim);
+  const Scalar query_norm = metric == Metric::kCosine ? Norm(query) : 1.f;
+  for (std::size_t row = 0; row < count; ++row) {
+    const VectorView v(base + row * dim, dim);
+    switch (metric) {
+      case Metric::kL2:
+        out[row] = -L2SquaredDistance(query, v);
+        break;
+      case Metric::kInnerProduct:
+        out[row] = DotProduct(query, v);
+        break;
+      case Metric::kCosine: {
+        const Scalar nv = Norm(v);
+        out[row] = (query_norm <= 0.f || nv <= 0.f)
+                       ? 0.f
+                       : DotProduct(query, v) / (query_norm * nv);
+        break;
+      }
+    }
+  }
+}
+
+void NormalizeInPlace(Vector& v) {
+  const Scalar n = Norm(v);
+  if (n <= 1e-30f) return;
+  const Scalar inv = 1.0f / n;
+  for (auto& x : v) x *= inv;
+}
+
+bool PrefersNormalized(Metric metric) { return metric == Metric::kCosine; }
+
+}  // namespace vdb

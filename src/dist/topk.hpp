@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file topk.hpp
+/// Bounded top-k accumulation and k-way merge of partial results — the
+/// "reduce" half of the broadcast–reduce query path (paper section 2.1: each
+/// worker searches its shards, partial results are aggregated, top results
+/// returned).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vdb {
+
+/// One search hit. Higher score == better (see dist/distance.hpp).
+struct ScoredPoint {
+  PointId id = kInvalidPointId;
+  Scalar score = 0.f;
+
+  friend bool operator==(const ScoredPoint&, const ScoredPoint&) = default;
+};
+
+/// Fixed-capacity max-result collector backed by a min-heap of the current
+/// best k. Push is O(log k); Take() returns hits best-first.
+class TopK {
+ public:
+  explicit TopK(std::size_t k);
+
+  /// Capacity (the `k`).
+  std::size_t Limit() const { return k_; }
+  std::size_t Size() const { return heap_.size(); }
+  bool Full() const { return heap_.size() >= k_; }
+
+  /// Worst score currently retained; only meaningful when Full().
+  Scalar Threshold() const;
+
+  /// Returns true if the candidate was kept (better than the current worst or
+  /// heap not yet full).
+  bool Push(ScoredPoint candidate);
+  bool Push(PointId id, Scalar score) { return Push(ScoredPoint{id, score}); }
+
+  /// Extracts all retained hits ordered best-to-worst; the collector empties.
+  std::vector<ScoredPoint> Take();
+
+ private:
+  std::size_t k_;
+  std::vector<ScoredPoint> heap_;  // min-heap on score
+};
+
+/// Merges several already-sorted (best-first) partial result lists into the
+/// global best-first top-k. This is the router's aggregation step. Duplicate
+/// point ids (possible with replicated shards) are deduplicated keeping the
+/// best score.
+std::vector<ScoredPoint> MergeTopK(
+    const std::vector<std::vector<ScoredPoint>>& partials, std::size_t k);
+
+/// Recall@k of `got` against exact `expected` (fraction of expected ids found).
+double RecallAtK(const std::vector<ScoredPoint>& got,
+                 const std::vector<ScoredPoint>& expected, std::size_t k);
+
+}  // namespace vdb

@@ -1,0 +1,47 @@
+#include "embed/batching.hpp"
+
+namespace vdb::embed {
+
+std::vector<MicroBatch> PackMicroBatches(const std::vector<Document>& docs,
+                                         const BatchLimits& limits) {
+  std::vector<MicroBatch> batches;
+  MicroBatch current;
+  for (std::uint32_t i = 0; i < docs.size(); ++i) {
+    const std::uint64_t chars = docs[i].char_count;
+    const bool fits = current.doc_indexes.size() < limits.max_papers &&
+                      current.total_chars + chars <= limits.max_chars;
+    if (!current.doc_indexes.empty() && !fits) {
+      batches.push_back(std::move(current));
+      current = MicroBatch{};
+    }
+    current.doc_indexes.push_back(i);
+    current.total_chars += chars;
+  }
+  if (!current.doc_indexes.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+bool ValidatePacking(const std::vector<Document>& docs,
+                     const std::vector<MicroBatch>& batches,
+                     const BatchLimits& limits) {
+  std::vector<bool> seen(docs.size(), false);
+  for (const auto& batch : batches) {
+    if (batch.doc_indexes.empty()) return false;
+    if (batch.doc_indexes.size() > limits.max_papers) return false;
+    std::uint64_t chars = 0;
+    for (const std::uint32_t index : batch.doc_indexes) {
+      if (index >= docs.size() || seen[index]) return false;
+      seen[index] = true;
+      chars += docs[index].char_count;
+    }
+    if (chars != batch.total_chars) return false;
+    // Over-budget batches are legal only as singletons (oversized papers).
+    if (chars > limits.max_chars && batch.doc_indexes.size() > 1) return false;
+  }
+  for (const bool s : seen) {
+    if (!s) return false;
+  }
+  return true;
+}
+
+}  // namespace vdb::embed

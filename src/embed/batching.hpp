@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file batching.hpp
+/// The paper's GPU batching heuristic (section 3.1): pack papers into
+/// micro-batches bounded by a total-character budget (150,000) and a maximum
+/// paper count (8). "Based on empirical observations ... the batching
+/// heuristic was highly successful at preventing memory errors while
+/// promoting parallelism."
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/corpus.hpp"
+
+namespace vdb::embed {
+
+struct BatchLimits {
+  std::uint64_t max_chars = 150'000;
+  std::uint32_t max_papers = 8;
+};
+
+/// One GPU micro-batch: indexes into the document slice it was built from.
+struct MicroBatch {
+  std::vector<std::uint32_t> doc_indexes;
+  std::uint64_t total_chars = 0;
+};
+
+/// Greedy first-fit packing in document order (matches the streaming pipeline:
+/// papers arrive in corpus order). A single paper larger than the character
+/// budget still forms its own batch — the heuristic never truncates papers
+/// ("ensuring that there is no possibility of truncated papers").
+std::vector<MicroBatch> PackMicroBatches(const std::vector<Document>& docs,
+                                         const BatchLimits& limits);
+
+/// Invariant check used by tests: every batch respects both limits (except
+/// singleton oversized papers) and every document appears exactly once.
+bool ValidatePacking(const std::vector<Document>& docs,
+                     const std::vector<MicroBatch>& batches,
+                     const BatchLimits& limits);
+
+}  // namespace vdb::embed

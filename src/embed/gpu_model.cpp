@@ -1,0 +1,39 @@
+#include "embed/gpu_model.hpp"
+
+namespace vdb::embed {
+
+GpuModel::GpuModel(GpuParams params) : params_(params), rng_(params.seed) {}
+
+double GpuModel::InferSeconds(std::uint64_t chars) const {
+  return static_cast<double>(chars) * params_.seconds_per_char;
+}
+
+BatchOutcome GpuModel::RunBatch(const MicroBatch& batch,
+                                const std::vector<Document>& docs) {
+  BatchOutcome outcome;
+  // Activation memory scales with batch characters, with run-to-run noise
+  // (padding, sequence packing). OOM when the noisy draw exceeds capacity.
+  const double capacity = static_cast<double>(params_.char_budget) *
+                          (1.0 + params_.oom_zscore * params_.memory_sigma);
+  const double drawn = static_cast<double>(batch.total_chars) *
+                       (1.0 + params_.memory_sigma * rng_.NextGaussian());
+
+  if (batch.doc_indexes.size() > 1 && drawn > capacity) {
+    outcome.oom = true;
+    // The failed attempt still costs a partial forward pass before the OOM
+    // surfaces (roughly half the batch), then every paper reruns alone.
+    outcome.seconds += params_.batch_fixed_seconds +
+                       0.5 * InferSeconds(batch.total_chars);
+    for (const std::uint32_t index : batch.doc_indexes) {
+      outcome.seconds += params_.batch_fixed_seconds +
+                         InferSeconds(docs[index].char_count);
+      ++outcome.papers_sequential;
+    }
+    return outcome;
+  }
+
+  outcome.seconds = params_.batch_fixed_seconds + InferSeconds(batch.total_chars);
+  return outcome;
+}
+
+}  // namespace vdb::embed

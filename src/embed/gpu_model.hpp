@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file gpu_model.hpp
+/// Calibrated A100 device model for embedding inference: throughput
+/// proportional to characters processed, a fixed per-launch overhead, and a
+/// stochastic activation-memory draw that occasionally OOMs near the packing
+/// budget — the event the paper's heuristic guards against (<0.10% of papers
+/// fell back to sequential processing).
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "embed/batching.hpp"
+
+namespace vdb::embed {
+
+struct GpuParams {
+  /// Inference seconds per character (Qwen3-Embedding-4B on a 40 GB A100,
+  /// calibrated so a 1000-paper GPU share ~ 2382 s, paper table 2).
+  double seconds_per_char = 1.073e-4;
+  /// Kernel-launch / host-side overhead per micro-batch.
+  double batch_fixed_seconds = 0.05;
+  /// Effective character capacity before OOM, as multiple of the packing
+  /// budget. Activation memory is noisy; capacity = budget*(1 + z*sigma).
+  std::uint64_t char_budget = 150'000;
+  double memory_sigma = 0.05;
+  double oom_zscore = 3.15;
+  std::uint64_t seed = 4242;
+};
+
+struct BatchOutcome {
+  double seconds = 0.0;        ///< total device time spent (incl. failed try)
+  bool oom = false;            ///< first attempt hit OOM
+  std::uint32_t papers_sequential = 0;  ///< papers redone one-by-one
+};
+
+/// One simulated GPU. Deterministic given (params.seed, call order).
+class GpuModel {
+ public:
+  explicit GpuModel(GpuParams params);
+
+  /// Runs one micro-batch; on OOM, falls back to per-paper sequential
+  /// processing (the paper's recovery path), charging both the failed
+  /// attempt and the sequential redo.
+  BatchOutcome RunBatch(const MicroBatch& batch, const std::vector<Document>& docs);
+
+  /// Inference seconds for `chars` characters (no overhead, no OOM).
+  double InferSeconds(std::uint64_t chars) const;
+
+  const GpuParams& Params() const { return params_; }
+
+ private:
+  GpuParams params_;
+  Rng rng_;
+};
+
+}  // namespace vdb::embed

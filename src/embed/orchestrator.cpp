@@ -1,0 +1,98 @@
+#include "embed/orchestrator.hpp"
+
+#include <algorithm>
+
+namespace vdb::embed {
+
+double CampaignReport::MeanInferenceFraction() const {
+  const double total = model_load_seconds.Mean() + io_seconds.Mean() +
+                       inference_seconds.Mean();
+  return total > 0.0 ? inference_seconds.Mean() / total : 0.0;
+}
+
+double CampaignReport::SequentialPaperFraction() const {
+  return papers > 0 ? static_cast<double>(papers_sequential) /
+                          static_cast<double>(papers)
+                    : 0.0;
+}
+
+Orchestrator::Orchestrator(sim::Simulation& sim, const SyntheticCorpus& corpus,
+                           OrchestratorParams params)
+    : sim_(sim), corpus_(corpus), params_(std::move(params)) {
+  running_per_queue_.assign(params_.queues.size(), 0);
+}
+
+std::uint64_t Orchestrator::TotalJobs() const {
+  const std::uint64_t per_job = std::max<std::uint64_t>(1, params_.papers_per_job);
+  return (corpus_.Size() + per_job - 1) / per_job;
+}
+
+void Orchestrator::Start() {
+  sim_.After(0.0, [this] { TrySubmit(); });
+}
+
+void Orchestrator::Pause() { paused_ = true; }
+
+void Orchestrator::Resume() {
+  if (!paused_) return;
+  paused_ = false;
+  sim_.After(0.0, [this] { TrySubmit(); });
+}
+
+void Orchestrator::TrySubmit() {
+  if (paused_) return;
+  // Fill every queue with available slots, preferring the least-loaded queue
+  // (the "monitor a user-defined set of queues, submit as availability opens"
+  // policy from the paper).
+  while (next_job_ < TotalJobs()) {
+    std::size_t best_queue = params_.queues.size();
+    std::uint32_t best_headroom = 0;
+    for (std::size_t q = 0; q < params_.queues.size(); ++q) {
+      const std::uint32_t cap = params_.queues[q].max_concurrent_jobs;
+      if (running_per_queue_[q] >= cap) continue;
+      const std::uint32_t headroom = cap - running_per_queue_[q];
+      if (best_queue == params_.queues.size() || headroom > best_headroom) {
+        best_queue = q;
+        best_headroom = headroom;
+      }
+    }
+    if (best_queue == params_.queues.size()) return;  // all queues full
+
+    const std::uint64_t job_index = next_job_++;
+    ++running_per_queue_[best_queue];
+
+    const std::uint64_t per_job = params_.papers_per_job;
+    const std::uint64_t begin = job_index * per_job;
+    const std::uint64_t end = std::min(corpus_.Size(), begin + per_job);
+
+    // Dispatch delay models scheduler queue wait; the job's compute time is
+    // produced by the (deterministic) node-job pipeline.
+    const double dispatch = params_.queues[best_queue].dispatch_delay_seconds;
+    sim_.After(dispatch, [this, best_queue, job_index, begin, end] {
+      const auto docs = corpus_.GetRange(begin, end);
+      const JobReport job =
+          RunNodeJob(docs, params_.job, params_.seed ^ (job_index + 1));
+
+      report_.jobs += 1;
+      report_.papers += job.papers;
+      report_.papers_sequential += job.papers_sequential;
+      report_.oom_events += job.oom_events;
+      report_.model_load_seconds.Add(job.model_load_seconds);
+      report_.io_seconds.Add(job.io_seconds);
+      report_.inference_seconds.Add(job.inference_seconds);
+      report_.job_total_seconds.Add(job.total_seconds);
+
+      sim_.After(job.total_seconds, [this, best_queue, job_index] {
+        OnJobFinished(best_queue, job_index);
+      });
+    });
+  }
+}
+
+void Orchestrator::OnJobFinished(std::size_t queue_index, std::uint64_t /*job_index*/) {
+  --running_per_queue_[queue_index];
+  report_.campaign_seconds = std::max(report_.campaign_seconds, sim_.Now());
+  TrySubmit();
+}
+
+}  // namespace vdb::embed

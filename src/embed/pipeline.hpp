@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// Single-node embedding job: the unit the orchestrator submits to a queue.
+/// Within a job (paper section 3.1), multiprocessing splits the papers across
+/// all available GPUs; each GPU packs its share into micro-batches via the
+/// heuristic and processes them, falling back to sequential mode on OOM.
+/// Job runtime decomposes into model loading, I/O, and inference — the three
+/// columns of table 2.
+
+#include <vector>
+
+#include "embed/gpu_model.hpp"
+#include "workload/corpus.hpp"
+
+namespace vdb::embed {
+
+struct JobParams {
+  std::uint32_t gpus = 4;   ///< Polaris: 4x A100 per node
+  GpuParams gpu;
+  double model_load_seconds = 28.17;  ///< weights from disk + H2D transfer
+  double io_seconds = 7.49;           ///< raw text read from the PFS
+  BatchLimits limits;
+};
+
+struct JobReport {
+  double model_load_seconds = 0.0;
+  double io_seconds = 0.0;
+  double inference_seconds = 0.0;  ///< max over GPUs (they run in parallel)
+  double total_seconds = 0.0;
+  std::uint64_t papers = 0;
+  std::uint64_t papers_sequential = 0;
+  std::uint64_t micro_batches = 0;
+  std::uint64_t oom_events = 0;
+};
+
+/// Runs one node-job over `docs`. `job_seed` decorrelates GPU noise across
+/// jobs. Pure computation — the caller (orchestrator) owns simulated time.
+JobReport RunNodeJob(const std::vector<Document>& docs, const JobParams& params,
+                     std::uint64_t job_seed);
+
+}  // namespace vdb::embed

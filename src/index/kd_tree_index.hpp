@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file kd_tree_index.hpp
+/// KD-tree index (Bentley 1975) with bounded best-bin-first search — the
+/// tree-based family from the paper's background section. KD-trees degrade in
+/// high dimensions (the "curse of dimensionality"); this implementation exists
+/// to *demonstrate* that trade-off in the ablation bench, exactly the framing
+/// the paper cites from Muja & Lowe.
+
+#include <vector>
+
+#include "index/index.hpp"
+
+namespace vdb {
+
+struct KdTreeParams {
+  /// Leaves stop splitting at this many points.
+  std::size_t leaf_size = 32;
+  /// Max leaves visited per query (best-bin-first budget). Higher = better
+  /// recall, slower. This plays the role ef_search plays for HNSW.
+  std::size_t max_leaf_visits = 64;
+};
+
+class KdTreeIndex final : public VectorIndex {
+ public:
+  KdTreeIndex(const VectorStore& store, KdTreeParams params);
+
+  std::string_view Type() const override { return "kd_tree"; }
+  Status Add(std::uint32_t offset) override;
+  Status Build() override;
+  bool Ready() const override { return built_; }
+  Result<std::vector<ScoredPoint>> Search(VectorView query,
+                                          const SearchParams& params) const override;
+  const BuildStats& Stats() const override { return stats_; }
+  std::uint64_t MemoryBytes() const override;
+
+  std::size_t NodeCountForTest() const { return nodes_.size(); }
+  std::size_t DepthForTest() const;
+
+ private:
+  struct TreeNode {
+    // Internal node fields
+    std::uint32_t split_dim = 0;
+    Scalar split_value = 0.f;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaf: contiguous range in points_
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    bool leaf = false;
+  };
+
+  std::int32_t BuildRecursive(std::uint32_t begin, std::uint32_t end, int depth);
+
+  const VectorStore& store_;
+  KdTreeParams params_;
+  bool built_ = false;
+  std::vector<TreeNode> nodes_;
+  std::vector<std::uint32_t> points_;  // store offsets, partitioned by leaves
+  std::int32_t root_ = -1;
+  BuildStats stats_;
+};
+
+}  // namespace vdb

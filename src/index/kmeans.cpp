@@ -1,0 +1,128 @@
+#include "index/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "dist/distance.hpp"
+
+namespace vdb {
+namespace {
+
+double SquaredDistance(const Scalar* a, const Scalar* b, std::size_t dim) {
+  return static_cast<double>(
+      L2SquaredDistance(VectorView(a, dim), VectorView(b, dim)));
+}
+
+}  // namespace
+
+std::uint32_t NearestCentroid(VectorView v, const std::vector<Scalar>& centroids,
+                              std::size_t dim) {
+  const std::size_t k = centroids.size() / dim;
+  std::uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < k; ++c) {
+    const double d = SquaredDistance(v.data(), centroids.data() + c * dim, dim);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+KMeansResult KMeansCluster(const Scalar* data, std::size_t count, std::size_t dim,
+                           const KMeansParams& params) {
+  KMeansResult result;
+  const std::size_t k = std::max<std::size_t>(1, params.k);
+  result.centroids.assign(k * dim, 0.f);
+  result.assignments.assign(count, 0);
+  if (count == 0) return result;
+
+  Rng rng(params.seed);
+
+  // k-means++ seeding: first centroid uniform, subsequent ones proportional to
+  // squared distance to the nearest already-chosen centroid.
+  std::vector<std::size_t> chosen;
+  chosen.push_back(static_cast<std::size_t>(rng.NextU64(count)));
+  std::vector<double> min_dist(count, std::numeric_limits<double>::infinity());
+  while (chosen.size() < k) {
+    const Scalar* last = data + chosen.back() * dim;
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      min_dist[i] = std::min(min_dist[i], SquaredDistance(data + i * dim, last, dim));
+      total += min_dist[i];
+    }
+    if (total <= 0.0) {
+      // All points identical to chosen centroids; duplicate a sample.
+      chosen.push_back(static_cast<std::size_t>(rng.NextU64(count)));
+      continue;
+    }
+    double target = rng.NextDouble() * total;
+    std::size_t pick = count - 1;
+    for (std::size_t i = 0; i < count; ++i) {
+      target -= min_dist[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    chosen.push_back(pick);
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    std::memcpy(result.centroids.data() + c * dim, data + chosen[c] * dim,
+                dim * sizeof(Scalar));
+  }
+
+  // Lloyd iterations.
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    std::size_t changed = 0;
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const VectorView v(data + i * dim, dim);
+      const std::uint32_t nearest = NearestCentroid(v, result.centroids, dim);
+      result.inertia +=
+          SquaredDistance(v.data(), result.centroids.data() + nearest * dim, dim);
+      if (nearest != result.assignments[i]) {
+        result.assignments[i] = nearest;
+        ++changed;
+      }
+    }
+    result.iterations = iter + 1;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint32_t c = result.assignments[i];
+      ++counts[c];
+      const Scalar* v = data + i * dim;
+      double* sum = sums.data() + static_cast<std::size_t>(c) * dim;
+      for (std::size_t d = 0; d < dim; ++d) sum[d] += v[d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from a random point to avoid dead centroids.
+        const std::size_t pick = static_cast<std::size_t>(rng.NextU64(count));
+        std::memcpy(result.centroids.data() + c * dim, data + pick * dim,
+                    dim * sizeof(Scalar));
+        continue;
+      }
+      Scalar* centroid = result.centroids.data() + c * dim;
+      const double inv = 1.0 / static_cast<double>(counts[c]);
+      for (std::size_t d = 0; d < dim; ++d) {
+        centroid[d] = static_cast<Scalar>(sums[c * dim + d] * inv);
+      }
+    }
+
+    if (static_cast<double>(changed) <=
+        params.convergence_fraction * static_cast<double>(count)) {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace vdb

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file kmeans.hpp
+/// Lloyd's k-means with k-means++ seeding. Training substrate for the IVF
+/// coarse quantizer and each product-quantization codebook (paper section 2.1:
+/// "inverted file structures often paired with product quantization").
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vdb {
+
+struct KMeansParams {
+  std::size_t k = 16;
+  std::size_t max_iterations = 25;
+  /// Stop early when the fraction of points changing assignment drops below this.
+  double convergence_fraction = 0.001;
+  std::uint64_t seed = 42;
+};
+
+struct KMeansResult {
+  /// Row-major centroids, k rows of `dim`.
+  std::vector<Scalar> centroids;
+  std::vector<std::uint32_t> assignments;
+  double inertia = 0.0;  ///< sum of squared distances to assigned centroid
+  std::size_t iterations = 0;
+};
+
+/// Clusters `count` row-major vectors of dimension `dim`. If count < k, the
+/// trailing centroids duplicate sampled points so callers always get k rows.
+KMeansResult KMeansCluster(const Scalar* data, std::size_t count, std::size_t dim,
+                           const KMeansParams& params);
+
+/// Index of the centroid nearest (L2) to `v`.
+std::uint32_t NearestCentroid(VectorView v, const std::vector<Scalar>& centroids,
+                              std::size_t dim);
+
+}  // namespace vdb

@@ -1,0 +1,162 @@
+#include "index/sq_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.hpp"
+
+namespace vdb {
+
+SqIndex::SqIndex(const VectorStore& store, SqParams params)
+    : store_(store), params_(params) {
+  params_.quantile = std::clamp(params_.quantile, 0.5, 1.0);
+}
+
+Status SqIndex::Build() {
+  Stopwatch watch;
+  const std::size_t n = store_.Size();
+  const std::size_t dim = store_.Dim();
+  if (n == 0) return Status::FailedPrecondition("empty store");
+
+  // Per-dimension clipped ranges. Collect a column sample per dimension; for
+  // bounded memory, sample at most 4096 rows (deterministic stride).
+  const std::size_t sample = std::min<std::size_t>(n, 4096);
+  const std::size_t stride = std::max<std::size_t>(1, n / sample);
+  dim_min_.assign(dim, 0.f);
+  dim_scale_.assign(dim, 1.f);
+  std::vector<float> column;
+  column.reserve(sample);
+  for (std::size_t d = 0; d < dim; ++d) {
+    column.clear();
+    for (std::size_t row = 0; row < n; row += stride) {
+      column.push_back(store_.At(static_cast<std::uint32_t>(row))[d]);
+    }
+    std::sort(column.begin(), column.end());
+    const double q = params_.quantile;
+    const auto lo_index = static_cast<std::size_t>((1.0 - q) * (column.size() - 1));
+    const auto hi_index = static_cast<std::size_t>(q * (column.size() - 1));
+    float lo = column[lo_index];
+    float hi = column[hi_index];
+    if (hi - lo < 1e-12f) hi = lo + 1e-6f;  // constant dimension
+    dim_min_[d] = lo;
+    dim_scale_[d] = (hi - lo) / 255.0f;
+  }
+  trained_ = true;
+
+  codes_.clear();
+  offsets_.clear();
+  codes_.reserve(n * dim);
+  for (std::uint32_t offset = 0; offset < n; ++offset) {
+    if (store_.IsDeleted(offset)) continue;
+    VDB_RETURN_IF_ERROR(Add(offset));
+  }
+  stats_.indexed_count = offsets_.size();
+  stats_.build_seconds += watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+void SqIndex::Encode(VectorView v, std::uint8_t* out) const {
+  const std::size_t dim = store_.Dim();
+  for (std::size_t d = 0; d < dim; ++d) {
+    const float normalized = (v[d] - dim_min_[d]) / dim_scale_[d];
+    out[d] = static_cast<std::uint8_t>(std::clamp(normalized, 0.f, 255.f));
+  }
+}
+
+Status SqIndex::Add(std::uint32_t offset) {
+  if (!trained_) return Status::FailedPrecondition("SQ8 requires Build() before Add()");
+  if (offset >= store_.Size()) return Status::OutOfRange("offset beyond store");
+  const std::size_t base = codes_.size();
+  codes_.resize(base + store_.Dim());
+  Encode(store_.At(offset), codes_.data() + base);
+  offsets_.push_back(offset);
+  return Status::Ok();
+}
+
+float SqIndex::ScoreCodes(const float* query_adj, const std::uint8_t* codes) const {
+  // Approximate inner product: sum_d q[d] * dequant(code[d]) decomposes into
+  // sum_d q[d]*min[d] + sum_d (q[d]*scale[d]) * code[d]; the caller passes
+  // query_adj[d] = q[d]*scale[d] and folds the constant part separately —
+  // here we only need the code-dependent sum (ranking is shift-invariant
+  // per query... the shift is constant across candidates, so it cancels).
+  const std::size_t dim = store_.Dim();
+  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
+  std::size_t d = 0;
+  for (; d + 4 <= dim; d += 4) {
+    acc0 += query_adj[d] * codes[d];
+    acc1 += query_adj[d + 1] * codes[d + 1];
+    acc2 += query_adj[d + 2] * codes[d + 2];
+    acc3 += query_adj[d + 3] * codes[d + 3];
+  }
+  for (; d < dim; ++d) acc0 += query_adj[d] * codes[d];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+Result<std::vector<ScoredPoint>> SqIndex::Search(VectorView query,
+                                                 const SearchParams& params) const {
+  if (!trained_) return Status::FailedPrecondition("index not built");
+  if (query.size() != store_.Dim()) return Status::InvalidArgument("query dim mismatch");
+
+  // SQ8 scans rank by approximate inner product. For L2 stores this is not
+  // order-equivalent in general, but the repo's cosine/IP stores hold
+  // normalized vectors where IP ordering is the similarity ordering.
+  Vector normalized;
+  VectorView effective = query;
+  if (PrefersNormalized(store_.GetMetric())) {
+    normalized.assign(query.begin(), query.end());
+    NormalizeInPlace(normalized);
+    effective = normalized;
+  }
+
+  const std::size_t dim = store_.Dim();
+  std::vector<float> query_adj(dim);
+  for (std::size_t d = 0; d < dim; ++d) query_adj[d] = effective[d] * dim_scale_[d];
+
+  const std::size_t fetch =
+      params_.rerank > 0 ? std::max(params.k, params_.rerank) : params.k;
+  TopK coarse(fetch);
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    const std::uint32_t offset = offsets_[i];
+    if (store_.IsDeleted(offset)) continue;
+    coarse.Push(ScoredPoint{offset, ScoreCodes(query_adj.data(), codes_.data() + i * dim)});
+  }
+
+  auto candidates = coarse.Take();
+  if (params_.rerank > 0) {
+    TopK reranked(params.k);
+    for (const auto& candidate : candidates) {
+      const auto offset = static_cast<std::uint32_t>(candidate.id);
+      reranked.Push(store_.IdAt(offset),
+                    Score(store_.SearchMetric(), effective, store_.At(offset)));
+    }
+    return reranked.Take();
+  }
+  std::vector<ScoredPoint> out;
+  out.reserve(std::min(candidates.size(), params.k));
+  for (std::size_t i = 0; i < candidates.size() && i < params.k; ++i) {
+    out.push_back(ScoredPoint{store_.IdAt(static_cast<std::uint32_t>(candidates[i].id)),
+                              candidates[i].score});
+  }
+  return out;
+}
+
+std::uint64_t SqIndex::MemoryBytes() const {
+  return codes_.size() + offsets_.size() * sizeof(std::uint32_t) +
+         (dim_min_.size() + dim_scale_.size()) * sizeof(float);
+}
+
+std::vector<std::uint8_t> SqIndex::EncodeForTest(VectorView v) const {
+  std::vector<std::uint8_t> codes(store_.Dim());
+  Encode(v, codes.data());
+  return codes;
+}
+
+Vector SqIndex::DecodeForTest(const std::vector<std::uint8_t>& codes) const {
+  Vector out(store_.Dim());
+  for (std::size_t d = 0; d < out.size() && d < codes.size(); ++d) {
+    out[d] = dim_min_[d] + dim_scale_[d] * static_cast<float>(codes[d]);
+  }
+  return out;
+}
+
+}  // namespace vdb

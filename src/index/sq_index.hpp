@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file sq_index.hpp
+/// Scalar-quantized (SQ8) flat index: stores each vector as one byte per
+/// dimension with per-dimension affine dequantization, then scans
+/// exhaustively with an optional float rerank of the top candidates. This is
+/// Qdrant's "scalar quantization" storage option — 4x less memory and better
+/// cache behaviour than float32 at a small recall cost, directly relevant to
+/// the paper's memory-pressure observations during index builds (fig. 3).
+
+#include <vector>
+
+#include "index/index.hpp"
+
+namespace vdb {
+
+struct SqParams {
+  /// Rerank the top `rerank` candidates with exact float scores (0 = off).
+  std::size_t rerank = 32;
+  /// Clip quantization range to this quantile of per-dim values (outlier
+  /// robustness; 1.0 = min/max).
+  double quantile = 0.99;
+};
+
+class SqIndex final : public VectorIndex {
+ public:
+  SqIndex(const VectorStore& store, SqParams params);
+
+  std::string_view Type() const override { return "sq8"; }
+
+  /// Valid after Build() (needs the per-dimension ranges); encodes and appends.
+  Status Add(std::uint32_t offset) override;
+
+  /// Trains per-dimension ranges over the store, then encodes every vector.
+  Status Build() override;
+
+  bool Ready() const override { return trained_; }
+
+  Result<std::vector<ScoredPoint>> Search(VectorView query,
+                                          const SearchParams& params) const override;
+
+  const BuildStats& Stats() const override { return stats_; }
+  std::uint64_t MemoryBytes() const override;
+
+  /// Quantize/dequantize one vector — exposed for round-trip tests.
+  std::vector<std::uint8_t> EncodeForTest(VectorView v) const;
+  Vector DecodeForTest(const std::vector<std::uint8_t>& codes) const;
+
+ private:
+  void Encode(VectorView v, std::uint8_t* out) const;
+  float ScoreCodes(const float* query_adj, const std::uint8_t* codes) const;
+
+  const VectorStore& store_;
+  SqParams params_;
+  bool trained_ = false;
+
+  std::vector<float> dim_min_;    ///< per-dimension lower bound
+  std::vector<float> dim_scale_;  ///< (hi - lo) / 255
+  std::vector<std::uint8_t> codes_;        ///< store.Size() x dim
+  std::vector<std::uint32_t> offsets_;     ///< encoded store offsets, in order
+
+  BuildStats stats_;
+};
+
+}  // namespace vdb

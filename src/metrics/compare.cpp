@@ -1,0 +1,72 @@
+#include "metrics/compare.hpp"
+
+#include <cmath>
+
+#include "metrics/table.hpp"
+
+namespace vdb {
+
+ComparisonReport::ComparisonReport(std::string experiment_name)
+    : name_(std::move(experiment_name)) {}
+
+void ComparisonReport::Add(Comparison comparison) {
+  comparisons_.push_back(std::move(comparison));
+}
+
+void ComparisonReport::Add(const std::string& id, double paper, double measured,
+                           const std::string& unit, double tolerance) {
+  comparisons_.push_back(Comparison{id, id, paper, measured, unit, tolerance});
+}
+
+void ComparisonReport::AddClaim(const std::string& claim, bool holds) {
+  claims_.emplace_back(claim, holds);
+}
+
+namespace {
+
+bool WithinTolerance(const Comparison& c) {
+  if (c.paper_value == 0.0) return c.measured_value == 0.0;
+  return std::fabs(c.measured_value / c.paper_value - 1.0) <= c.tolerance;
+}
+
+}  // namespace
+
+bool ComparisonReport::AllWithinTolerance() const {
+  for (const auto& c : comparisons_) {
+    if (!WithinTolerance(c)) return false;
+  }
+  for (const auto& [claim, holds] : claims_) {
+    if (!holds) return false;
+  }
+  return true;
+}
+
+double ComparisonReport::PassRate() const {
+  const std::size_t total = comparisons_.size() + claims_.size();
+  if (total == 0) return 1.0;
+  std::size_t pass = 0;
+  for (const auto& c : comparisons_) pass += WithinTolerance(c) ? 1 : 0;
+  for (const auto& [claim, holds] : claims_) pass += holds ? 1 : 0;
+  return static_cast<double>(pass) / static_cast<double>(total);
+}
+
+std::string ComparisonReport::Render() const {
+  TextTable table("== " + name_ + ": paper vs. measured ==");
+  table.SetHeader({"id", "paper", "measured", "ratio", "unit", "ok"});
+  for (const auto& c : comparisons_) {
+    const double ratio = c.paper_value != 0.0 ? c.measured_value / c.paper_value : 0.0;
+    table.AddRow({c.id, TextTable::Sig(c.paper_value), TextTable::Sig(c.measured_value),
+                  TextTable::Num(ratio, 3), c.unit,
+                  WithinTolerance(c) ? "yes" : "NO"});
+  }
+  std::string out = table.Render();
+  for (const auto& [claim, holds] : claims_) {
+    out += std::string("claim: ") + claim + " -> " + (holds ? "HOLDS" : "VIOLATED") + "\n";
+  }
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "pass rate: %.0f%%\n", PassRate() * 100.0);
+  out += buf;
+  return out;
+}
+
+}  // namespace vdb

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file compare.hpp
+/// Paper-vs-measured comparison reporter. Each bench registers the paper's
+/// published value alongside the value our reproduction measured; the report
+/// prints both, the ratio, and whether the qualitative claim (ordering /
+/// crossover / ceiling) holds.
+
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+/// One compared quantity.
+struct Comparison {
+  std::string id;          ///< e.g. "table3/workers=32"
+  std::string description; ///< human-readable metric name
+  double paper_value = 0.0;
+  double measured_value = 0.0;
+  std::string unit;
+  /// Acceptable |measured/paper - 1| for the "shape holds" verdict. Measurement
+  /// studies reproduce shapes, not testbed absolutes; default is generous.
+  double tolerance = 0.25;
+};
+
+/// Collects comparisons for one experiment and renders a verdict table.
+class ComparisonReport {
+ public:
+  explicit ComparisonReport(std::string experiment_name);
+
+  void Add(Comparison comparison);
+  /// Convenience: id, paper value, measured value, unit.
+  void Add(const std::string& id, double paper, double measured,
+           const std::string& unit, double tolerance = 0.25);
+
+  /// Records a qualitative claim checked in code (e.g. "optimum at batch=32").
+  void AddClaim(const std::string& claim, bool holds);
+
+  /// True when every quantitative row is within tolerance and every claim holds.
+  bool AllWithinTolerance() const;
+
+  /// Fraction of rows within tolerance (claims count as 0/1).
+  double PassRate() const;
+
+  std::string Render() const;
+
+  const std::vector<Comparison>& comparisons() const { return comparisons_; }
+
+ private:
+  std::string name_;
+  std::vector<Comparison> comparisons_;
+  std::vector<std::pair<std::string, bool>> claims_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,115 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace vdb {
+
+LatencyHistogram::LatencyHistogram()
+    : buckets_(static_cast<std::size_t>(kSubBuckets) * kDecades, 0) {}
+
+std::size_t LatencyHistogram::BucketFor(double value) const {
+  if (value < 1.0) return 0;
+  const double log10v = std::log10(value);
+  int decade = static_cast<int>(log10v);
+  if (decade >= kDecades) decade = kDecades - 1;
+  const double decade_lo = std::pow(10.0, decade);
+  // Linear sub-bucket within the decade [decade_lo, 10*decade_lo).
+  int sub = static_cast<int>((value - decade_lo) / (9.0 * decade_lo) * kSubBuckets);
+  sub = std::clamp(sub, 0, kSubBuckets - 1);
+  return static_cast<std::size_t>(decade) * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+double LatencyHistogram::BucketLow(std::size_t bucket) const {
+  const std::size_t decade = bucket / kSubBuckets;
+  const std::size_t sub = bucket % kSubBuckets;
+  const double decade_lo = std::pow(10.0, static_cast<double>(decade));
+  return decade_lo + static_cast<double>(sub) * 9.0 * decade_lo / kSubBuckets;
+}
+
+double LatencyHistogram::BucketMid(std::size_t bucket) const {
+  const double lo = BucketLow(bucket);
+  const double hi = bucket + 1 < buckets_.size() ? BucketLow(bucket + 1) : lo * 1.1;
+  return (lo + hi) / 2.0;
+}
+
+void LatencyHistogram::Record(double value) { RecordN(value, 1); }
+
+void LatencyHistogram::RecordN(double value, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  buckets_[BucketFor(value)] += n;
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double LatencyHistogram::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+double LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return std::clamp(BucketMid(i), min_, max_);
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "p50=%.4g p90=%.4g p99=%.4g min=%.4g max=%.4g mean=%.4g n=%llu",
+                Quantile(0.5), Quantile(0.9), Quantile(0.99), Min(), Max(), Mean(),
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+std::string LatencyHistogram::Render(std::size_t max_width) const {
+  std::string out;
+  std::uint64_t peak = 0;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  if (peak == 0) return "(empty histogram)\n";
+  char line[256];
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(buckets_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    std::snprintf(line, sizeof(line), "%12.4g | %-*s %llu\n", BucketLow(i),
+                  static_cast<int>(max_width),
+                  std::string(std::max<std::size_t>(width, 1), '#').c_str(),
+                  static_cast<unsigned long long>(buckets_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vdb

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Log-bucketed latency histogram (HdrHistogram-style). Constant memory,
+/// bounded relative error, mergeable — suitable for millions of per-request
+/// samples in the simulator.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+/// Values are recorded in abstract "units" (callers use nanoseconds or
+/// microseconds consistently). Buckets grow geometrically: each decade is
+/// split into `kSubBuckets` linear sub-buckets, giving <= ~1.5% relative error.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double value);
+  void RecordN(double value, std::uint64_t n);
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Quantile from bucket midpoints, q in [0,1].
+  double Quantile(double q) const;
+
+  /// "p50=.. p90=.. p99=.. max=.. n=.."
+  std::string Summary() const;
+
+  /// Multi-line ASCII bar rendering of non-empty buckets.
+  std::string Render(std::size_t max_width = 50) const;
+
+ private:
+  static constexpr int kSubBuckets = 32;
+  static constexpr int kDecades = 12;  // covers [1, 1e12) units
+
+  std::size_t BucketFor(double value) const;
+  double BucketMid(std::size_t bucket) const;
+  double BucketLow(std::size_t bucket) const;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace vdb

@@ -1,0 +1,109 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace vdb {
+
+void StreamingStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  sum_ += other.sum_;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double StreamingStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StreamingStats::Variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::Stddev() const { return std::sqrt(Variance()); }
+
+double StreamingStats::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double StreamingStats::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+std::string StreamingStats::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "mean=%.4g sd=%.4g min=%.4g max=%.4g n=%zu",
+                Mean(), Stddev(), Min(), Max(), count_);
+  return buf;
+}
+
+void SampleSet::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double mean = Mean();
+  double m2 = 0.0;
+  for (double s : samples_) m2 += (s - mean) * (s - mean);
+  return std::sqrt(m2 / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::Min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::Max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void SampleSet::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleSet::Quantile(double q) const {
+  EnsureSorted();
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+}  // namespace vdb

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming summary statistics (Welford) and exact percentile summaries.
+/// The paper reports means ± stddev (e.g. inference 2417.84 ± 113.92 s) and
+/// per-batch latencies — these types back those reports.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+/// Online mean/variance/min/max via Welford's algorithm. O(1) memory.
+class StreamingStats {
+ public:
+  void Add(double value);
+  void Merge(const StreamingStats& other);
+
+  std::size_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const;
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double Variance() const;
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+
+  /// "mean=2417.84 sd=113.92 min=... max=... n=2079"
+  std::string ToString() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Keeps all samples; exact quantiles. Use for bounded-cardinality series
+/// (per-batch latencies within one experiment).
+class SampleSet {
+ public:
+  void Add(double value);
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t Count() const { return samples_.size(); }
+  double Mean() const;
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+  /// Linear-interpolated quantile, q in [0,1]. Precondition: non-empty.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P99() const { return Quantile(0.99); }
+
+  const std::vector<double>& Samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace vdb

@@ -1,0 +1,98 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vdb {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::Sig(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", value);
+  return buf;
+}
+
+std::string TextTable::Int(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  // Compute column widths over header + rows.
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> widths(columns, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  if (!header_.empty()) account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      line += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  auto separator = [&] {
+    std::string line = "+";
+    for (std::size_t i = 0; i < columns; ++i) line += std::string(widths[i] + 2, '-') + "+";
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += separator();
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += separator();
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  out += separator();
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    return out + "\"";
+  };
+  std::string out;
+  auto render = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += escape(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) render(header_);
+  for (const auto& row : rows_) render(row);
+  return out;
+}
+
+}  // namespace vdb

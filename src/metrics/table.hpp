@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table renderer for bench harness output — every reproduced paper
+/// table/figure prints through this so rows line up and are grep-able.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vdb {
+
+/// Column-aligned text table with an optional title. Cells are strings;
+/// numeric helpers format consistently.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "");
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row. Rows may be ragged; short rows are padded.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats with fixed precision: Num(3.14159, 2) -> "3.14".
+  static std::string Num(double value, int precision = 2);
+  /// Engineering-style: 4 significant digits.
+  static std::string Sig(double value);
+  static std::string Int(std::int64_t value);
+
+  /// Renders with box-drawing separators.
+  std::string Render() const;
+
+  /// Renders as CSV (header + rows) for downstream plotting.
+  std::string RenderCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,517 @@
+#include "rpc/codec.hpp"
+
+#include <cstring>
+
+namespace vdb {
+namespace {
+
+/// Append-only little-endian writer.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void U8(std::uint8_t v) { out_.push_back(v); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void F32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U32(bits);
+  }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void FloatArray(VectorView v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    const std::size_t base = out_.size();
+    out_.resize(base + v.size() * sizeof(Scalar));
+    std::memcpy(out_.data() + base, v.data(), v.size() * sizeof(Scalar));
+  }
+  void Blob(const std::vector<std::uint8_t>& bytes) {
+    U32(static_cast<std::uint32_t>(bytes.size()));
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Bounds-checked little-endian reader.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  Result<std::uint8_t> U8() {
+    if (pos_ + 1 > size_) return Truncated();
+    return data_[pos_++];
+  }
+  Result<std::uint32_t> U32() {
+    if (pos_ + 4 > size_) return Truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  Result<std::uint64_t> U64() {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t lo, U32());
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t hi, U32());
+    return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+  }
+  Result<float> F32() {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t bits, U32());
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<double> F64() {
+    VDB_ASSIGN_OR_RETURN(const std::uint64_t bits, U64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<std::string> Str() {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t n, U32());
+    if (pos_ + n > size_) return Truncated();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  Result<Vector> FloatArray() {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t n, U32());
+    if (pos_ + static_cast<std::size_t>(n) * sizeof(Scalar) > size_) return Truncated();
+    Vector v(n);
+    std::memcpy(v.data(), data_ + pos_, static_cast<std::size_t>(n) * sizeof(Scalar));
+    pos_ += static_cast<std::size_t>(n) * sizeof(Scalar);
+    return v;
+  }
+  Result<std::vector<std::uint8_t>> Blob() {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t n, U32());
+    if (pos_ + n > size_) return Truncated();
+    std::vector<std::uint8_t> bytes(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return bytes;
+  }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  static Status Truncated() { return Status::Corruption("message truncated"); }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+Status ExpectType(const Message& msg, MessageType type) {
+  if (msg.type != type) {
+    return Status::InvalidArgument("unexpected message type " +
+                                   std::to_string(static_cast<int>(msg.type)));
+  }
+  return Status::Ok();
+}
+
+void WritePoint(Writer& w, const PointRecord& point) {
+  w.U64(point.id);
+  w.FloatArray(point.vector);
+  w.Blob(EncodePayload(point.payload));
+}
+
+Result<PointRecord> ReadPoint(Reader& r) {
+  PointRecord point;
+  VDB_ASSIGN_OR_RETURN(point.id, r.U64());
+  VDB_ASSIGN_OR_RETURN(point.vector, r.FloatArray());
+  VDB_ASSIGN_OR_RETURN(const auto payload_bytes, r.Blob());
+  VDB_ASSIGN_OR_RETURN(point.payload,
+                       DecodePayload(payload_bytes.data(), payload_bytes.size()));
+  return point;
+}
+
+void WritePoints(Writer& w, const std::vector<PointRecord>& points) {
+  w.U32(static_cast<std::uint32_t>(points.size()));
+  for (const auto& point : points) WritePoint(w, point);
+}
+
+Result<std::vector<PointRecord>> ReadPoints(Reader& r) {
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+  std::vector<PointRecord> points;
+  points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VDB_ASSIGN_OR_RETURN(PointRecord point, ReadPoint(r));
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace
+
+Message EncodeUpsertBatchRequest(const UpsertBatchRequest& req) {
+  Message msg{MessageType::kUpsertBatchRequest, {}};
+  Writer w(msg.body);
+  w.U32(req.shard);
+  WritePoints(w, req.points);
+  return msg;
+}
+
+Result<UpsertBatchRequest> DecodeUpsertBatchRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kUpsertBatchRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  UpsertBatchRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  VDB_ASSIGN_OR_RETURN(req.points, ReadPoints(r));
+  return req;
+}
+
+Message EncodeUpsertBatchResponse(const UpsertBatchResponse& resp) {
+  Message msg{MessageType::kUpsertBatchResponse, {}};
+  Writer w(msg.body);
+  w.U32(resp.upserted);
+  return msg;
+}
+
+Result<UpsertBatchResponse> DecodeUpsertBatchResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kUpsertBatchResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  UpsertBatchResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.upserted, r.U32());
+  return resp;
+}
+
+Message EncodeSearchRequest(const SearchRequest& req) {
+  Message msg{MessageType::kSearchRequest, {}};
+  Writer w(msg.body);
+  w.FloatArray(req.query);
+  w.U32(static_cast<std::uint32_t>(req.params.k));
+  w.U32(static_cast<std::uint32_t>(req.params.ef_search));
+  w.U32(static_cast<std::uint32_t>(req.params.n_probes));
+  w.U8(req.fan_out ? 1 : 0);
+  w.U8(req.allow_partial ? 1 : 0);
+  // Filter rides as a 0- or 1-field payload blob.
+  Payload filter_payload;
+  if (req.filter.Active()) filter_payload[req.filter.field] = req.filter.value;
+  w.Blob(EncodePayload(filter_payload));
+  return msg;
+}
+
+Result<SearchRequest> DecodeSearchRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  SearchRequest req;
+  VDB_ASSIGN_OR_RETURN(req.query, r.FloatArray());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t k, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t ef, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t probes, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t fan_out, r.U8());
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t allow_partial, r.U8());
+  req.params.k = k;
+  req.params.ef_search = ef;
+  req.params.n_probes = probes;
+  req.fan_out = fan_out != 0;
+  req.allow_partial = allow_partial != 0;
+  VDB_ASSIGN_OR_RETURN(const auto filter_bytes, r.Blob());
+  VDB_ASSIGN_OR_RETURN(const Payload filter_payload,
+                       DecodePayload(filter_bytes.data(), filter_bytes.size()));
+  if (!filter_payload.empty()) {
+    req.filter.field = filter_payload.begin()->first;
+    req.filter.value = filter_payload.begin()->second;
+  }
+  return req;
+}
+
+Message EncodeSearchResponse(const SearchResponse& resp) {
+  Message msg{MessageType::kSearchResponse, {}};
+  Writer w(msg.body);
+  w.U32(static_cast<std::uint32_t>(resp.hits.size()));
+  for (const auto& hit : resp.hits) {
+    w.U64(hit.id);
+    w.F32(hit.score);
+  }
+  w.U32(resp.shards_searched);
+  w.U32(resp.peers_failed);
+  return msg;
+}
+
+Result<SearchResponse> DecodeSearchResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  SearchResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+  resp.hits.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ScoredPoint hit;
+    VDB_ASSIGN_OR_RETURN(hit.id, r.U64());
+    VDB_ASSIGN_OR_RETURN(hit.score, r.F32());
+    resp.hits.push_back(hit);
+  }
+  VDB_ASSIGN_OR_RETURN(resp.shards_searched, r.U32());
+  VDB_ASSIGN_OR_RETURN(resp.peers_failed, r.U32());
+  return resp;
+}
+
+Message EncodeSearchBatchRequest(const SearchBatchRequest& req) {
+  Message msg{MessageType::kSearchBatchRequest, {}};
+  Writer w(msg.body);
+  w.U32(static_cast<std::uint32_t>(req.queries.size()));
+  for (const auto& query : req.queries) w.FloatArray(query);
+  w.U32(static_cast<std::uint32_t>(req.params.k));
+  w.U32(static_cast<std::uint32_t>(req.params.ef_search));
+  w.U32(static_cast<std::uint32_t>(req.params.n_probes));
+  w.U8(req.fan_out ? 1 : 0);
+  w.U8(req.allow_partial ? 1 : 0);
+  return msg;
+}
+
+Result<SearchBatchRequest> DecodeSearchBatchRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchBatchRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  SearchBatchRequest req;
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+  req.queries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VDB_ASSIGN_OR_RETURN(Vector query, r.FloatArray());
+    req.queries.push_back(std::move(query));
+  }
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t k, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t ef, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t probes, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t fan_out, r.U8());
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t allow_partial, r.U8());
+  req.params.k = k;
+  req.params.ef_search = ef;
+  req.params.n_probes = probes;
+  req.fan_out = fan_out != 0;
+  req.allow_partial = allow_partial != 0;
+  return req;
+}
+
+Message EncodeSearchBatchResponse(const SearchBatchResponse& resp) {
+  Message msg{MessageType::kSearchBatchResponse, {}};
+  Writer w(msg.body);
+  w.U32(static_cast<std::uint32_t>(resp.results.size()));
+  for (const auto& hits : resp.results) {
+    w.U32(static_cast<std::uint32_t>(hits.size()));
+    for (const auto& hit : hits) {
+      w.U64(hit.id);
+      w.F32(hit.score);
+    }
+  }
+  w.U32(resp.peers_failed);
+  return msg;
+}
+
+Result<SearchBatchResponse> DecodeSearchBatchResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchBatchResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  SearchBatchResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+  resp.results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t hits_count, r.U32());
+    std::vector<ScoredPoint> hits;
+    hits.reserve(hits_count);
+    for (std::uint32_t h = 0; h < hits_count; ++h) {
+      ScoredPoint hit;
+      VDB_ASSIGN_OR_RETURN(hit.id, r.U64());
+      VDB_ASSIGN_OR_RETURN(hit.score, r.F32());
+      hits.push_back(hit);
+    }
+    resp.results.push_back(std::move(hits));
+  }
+  VDB_ASSIGN_OR_RETURN(resp.peers_failed, r.U32());
+  return resp;
+}
+
+Message EncodeDeleteRequest(const DeleteRequest& req) {
+  Message msg{MessageType::kDeleteRequest, {}};
+  Writer w(msg.body);
+  w.U32(req.shard);
+  w.U64(req.id);
+  return msg;
+}
+
+Result<DeleteRequest> DecodeDeleteRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kDeleteRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  DeleteRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  VDB_ASSIGN_OR_RETURN(req.id, r.U64());
+  return req;
+}
+
+Message EncodeDeleteResponse(const DeleteResponse& resp) {
+  Message msg{MessageType::kDeleteResponse, {}};
+  Writer w(msg.body);
+  w.U8(resp.deleted ? 1 : 0);
+  return msg;
+}
+
+Result<DeleteResponse> DecodeDeleteResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kDeleteResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  DeleteResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t deleted, r.U8());
+  resp.deleted = deleted != 0;
+  return resp;
+}
+
+Message EncodeBuildIndexRequest(const BuildIndexRequest& req) {
+  Message msg{MessageType::kBuildIndexRequest, {}};
+  Writer w(msg.body);
+  w.U8(req.wait ? 1 : 0);
+  return msg;
+}
+
+Result<BuildIndexRequest> DecodeBuildIndexRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kBuildIndexRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  BuildIndexRequest req;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t wait, r.U8());
+  req.wait = wait != 0;
+  return req;
+}
+
+Message EncodeBuildIndexResponse(const BuildIndexResponse& resp) {
+  Message msg{MessageType::kBuildIndexResponse, {}};
+  Writer w(msg.body);
+  w.F64(resp.build_seconds);
+  w.U64(resp.indexed_points);
+  return msg;
+}
+
+Result<BuildIndexResponse> DecodeBuildIndexResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kBuildIndexResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  BuildIndexResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.build_seconds, r.F64());
+  VDB_ASSIGN_OR_RETURN(resp.indexed_points, r.U64());
+  return resp;
+}
+
+Message EncodeInfoRequest(const InfoRequest&) {
+  return Message{MessageType::kInfoRequest, {}};
+}
+
+Result<InfoRequest> DecodeInfoRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kInfoRequest));
+  return InfoRequest{};
+}
+
+Message EncodeInfoResponse(const InfoResponse& resp) {
+  Message msg{MessageType::kInfoResponse, {}};
+  Writer w(msg.body);
+  w.U64(resp.live_points);
+  w.U64(resp.indexed_points);
+  w.U32(resp.shard_count);
+  w.U8(resp.index_ready ? 1 : 0);
+  return msg;
+}
+
+Result<InfoResponse> DecodeInfoResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kInfoResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  InfoResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.live_points, r.U64());
+  VDB_ASSIGN_OR_RETURN(resp.indexed_points, r.U64());
+  VDB_ASSIGN_OR_RETURN(resp.shard_count, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t ready, r.U8());
+  resp.index_ready = ready != 0;
+  return resp;
+}
+
+Message EncodeCreateShardRequest(const CreateShardRequest& req) {
+  Message msg{MessageType::kCreateShardRequest, {}};
+  Writer w(msg.body);
+  w.U32(req.shard);
+  return msg;
+}
+
+Result<CreateShardRequest> DecodeCreateShardRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kCreateShardRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  CreateShardRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  return req;
+}
+
+Message EncodeCreateShardResponse(const CreateShardResponse& resp) {
+  Message msg{MessageType::kCreateShardResponse, {}};
+  Writer w(msg.body);
+  w.U8(resp.created ? 1 : 0);
+  return msg;
+}
+
+Result<CreateShardResponse> DecodeCreateShardResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kCreateShardResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  CreateShardResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t created, r.U8());
+  resp.created = created != 0;
+  return resp;
+}
+
+Message EncodeTransferShardRequest(const TransferShardRequest& req) {
+  Message msg{MessageType::kTransferShardRequest, {}};
+  Writer w(msg.body);
+  w.U32(req.shard);
+  WritePoints(w, req.points);
+  return msg;
+}
+
+Result<TransferShardRequest> DecodeTransferShardRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kTransferShardRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  TransferShardRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  VDB_ASSIGN_OR_RETURN(req.points, ReadPoints(r));
+  return req;
+}
+
+Message EncodeTransferShardResponse(const TransferShardResponse& resp) {
+  Message msg{MessageType::kTransferShardResponse, {}};
+  Writer w(msg.body);
+  w.U64(resp.received);
+  return msg;
+}
+
+Result<TransferShardResponse> DecodeTransferShardResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kTransferShardResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  TransferShardResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.received, r.U64());
+  return resp;
+}
+
+Message EncodeErrorResponse(const Status& status) {
+  Message msg{MessageType::kErrorResponse, {}};
+  Writer w(msg.body);
+  w.U32(static_cast<std::uint32_t>(status.code()));
+  w.Str(status.message());
+  return msg;
+}
+
+Result<ErrorResponse> DecodeErrorResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kErrorResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  ErrorResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t code, r.U32());
+  resp.code = static_cast<std::int32_t>(code);
+  VDB_ASSIGN_OR_RETURN(resp.message, r.Str());
+  return resp;
+}
+
+Status MessageToStatus(const Message& msg) {
+  if (msg.type != MessageType::kErrorResponse) return Status::Ok();
+  auto decoded = DecodeErrorResponse(msg);
+  if (!decoded.ok()) return decoded.status();
+  return Status(static_cast<StatusCode>(decoded->code), decoded->message);
+}
+
+}  // namespace vdb

@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file codec.hpp
+/// Binary wire format for worker RPCs. Length-prefixed little-endian encoding
+/// of every request/response the cluster layer exchanges — the stand-in for
+/// Qdrant's gRPC surface. Keeping serialization explicit (rather than passing
+/// pointers through the in-process transport) preserves the real cost
+/// structure the paper measures: batch *conversion* is CPU work distinct from
+/// the RPC await (section 3.2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "dist/topk.hpp"
+#include "index/index.hpp"
+#include "storage/payload_store.hpp"
+
+namespace vdb {
+
+enum class MessageType : std::uint8_t {
+  kUpsertBatchRequest = 1,
+  kUpsertBatchResponse = 2,
+  kSearchRequest = 3,
+  kSearchResponse = 4,
+  kDeleteRequest = 5,
+  kDeleteResponse = 6,
+  kBuildIndexRequest = 7,
+  kBuildIndexResponse = 8,
+  kInfoRequest = 9,
+  kInfoResponse = 10,
+  kErrorResponse = 11,
+  kCreateShardRequest = 12,
+  kCreateShardResponse = 13,
+  kTransferShardRequest = 14,
+  kTransferShardResponse = 15,
+  kSearchBatchRequest = 16,
+  kSearchBatchResponse = 17,
+};
+
+/// Opaque framed message.
+struct Message {
+  MessageType type = MessageType::kErrorResponse;
+  std::vector<std::uint8_t> body;
+
+  std::size_t WireBytes() const { return body.size() + 5; }
+};
+
+// ---- Typed payloads -------------------------------------------------------
+
+struct UpsertBatchRequest {
+  ShardId shard = 0;
+  std::vector<PointRecord> points;
+};
+
+struct UpsertBatchResponse {
+  std::uint32_t upserted = 0;
+};
+
+struct SearchRequest {
+  Vector query;
+  SearchParams params;
+  /// True when the receiving worker should broadcast to peers and aggregate
+  /// (the client-facing entry); false for worker-to-worker partial searches.
+  bool fan_out = true;
+  /// Availability-over-completeness: when true, the entry worker tolerates
+  /// unreachable peers and returns results from the shards it could reach
+  /// (reporting the gap via SearchResponse::peers_failed).
+  bool allow_partial = false;
+  /// Predicated query (paper section 2.1 footnote 4): each worker prefilters
+  /// its shards by payload equality before scoring. Inactive when
+  /// filter.field is empty.
+  Filter filter;
+};
+
+struct SearchResponse {
+  std::vector<ScoredPoint> hits;
+  std::uint32_t shards_searched = 0;
+  /// Peers that failed to answer (only non-zero with allow_partial).
+  std::uint32_t peers_failed = 0;
+};
+
+/// Batched search: several queries answered by one RPC — the unit the paper
+/// tunes in figs. 2/4 ("query batch size"). Amortizes per-request overhead.
+struct SearchBatchRequest {
+  std::vector<Vector> queries;
+  SearchParams params;
+  bool fan_out = true;
+  bool allow_partial = false;
+};
+
+struct SearchBatchResponse {
+  /// results[i] corresponds to queries[i].
+  std::vector<std::vector<ScoredPoint>> results;
+  std::uint32_t peers_failed = 0;
+};
+
+struct DeleteRequest {
+  ShardId shard = 0;
+  PointId id = kInvalidPointId;
+};
+
+struct DeleteResponse {
+  bool deleted = false;
+};
+
+struct BuildIndexRequest {
+  bool wait = true;
+};
+
+struct BuildIndexResponse {
+  double build_seconds = 0.0;
+  std::uint64_t indexed_points = 0;
+};
+
+struct InfoRequest {};
+
+struct InfoResponse {
+  std::uint64_t live_points = 0;
+  std::uint64_t indexed_points = 0;
+  std::uint32_t shard_count = 0;
+  bool index_ready = false;
+};
+
+struct CreateShardRequest {
+  ShardId shard = 0;
+};
+
+struct CreateShardResponse {
+  bool created = false;
+};
+
+/// Moves the full contents of a shard to another worker (rebalance path —
+/// stateful architectures must move data to use new workers, section 2.2).
+struct TransferShardRequest {
+  ShardId shard = 0;
+  std::vector<PointRecord> points;
+};
+
+struct TransferShardResponse {
+  std::uint64_t received = 0;
+};
+
+struct ErrorResponse {
+  std::int32_t code = 0;
+  std::string message;
+};
+
+// ---- Encode / decode ------------------------------------------------------
+
+Message EncodeUpsertBatchRequest(const UpsertBatchRequest& req);
+Result<UpsertBatchRequest> DecodeUpsertBatchRequest(const Message& msg);
+
+Message EncodeUpsertBatchResponse(const UpsertBatchResponse& resp);
+Result<UpsertBatchResponse> DecodeUpsertBatchResponse(const Message& msg);
+
+Message EncodeSearchRequest(const SearchRequest& req);
+Result<SearchRequest> DecodeSearchRequest(const Message& msg);
+
+Message EncodeSearchResponse(const SearchResponse& resp);
+Result<SearchResponse> DecodeSearchResponse(const Message& msg);
+
+Message EncodeSearchBatchRequest(const SearchBatchRequest& req);
+Result<SearchBatchRequest> DecodeSearchBatchRequest(const Message& msg);
+
+Message EncodeSearchBatchResponse(const SearchBatchResponse& resp);
+Result<SearchBatchResponse> DecodeSearchBatchResponse(const Message& msg);
+
+Message EncodeDeleteRequest(const DeleteRequest& req);
+Result<DeleteRequest> DecodeDeleteRequest(const Message& msg);
+
+Message EncodeDeleteResponse(const DeleteResponse& resp);
+Result<DeleteResponse> DecodeDeleteResponse(const Message& msg);
+
+Message EncodeBuildIndexRequest(const BuildIndexRequest& req);
+Result<BuildIndexRequest> DecodeBuildIndexRequest(const Message& msg);
+
+Message EncodeBuildIndexResponse(const BuildIndexResponse& resp);
+Result<BuildIndexResponse> DecodeBuildIndexResponse(const Message& msg);
+
+Message EncodeInfoRequest(const InfoRequest& req);
+Result<InfoRequest> DecodeInfoRequest(const Message& msg);
+
+Message EncodeInfoResponse(const InfoResponse& resp);
+Result<InfoResponse> DecodeInfoResponse(const Message& msg);
+
+Message EncodeCreateShardRequest(const CreateShardRequest& req);
+Result<CreateShardRequest> DecodeCreateShardRequest(const Message& msg);
+
+Message EncodeCreateShardResponse(const CreateShardResponse& resp);
+Result<CreateShardResponse> DecodeCreateShardResponse(const Message& msg);
+
+Message EncodeTransferShardRequest(const TransferShardRequest& req);
+Result<TransferShardRequest> DecodeTransferShardRequest(const Message& msg);
+
+Message EncodeTransferShardResponse(const TransferShardResponse& resp);
+Result<TransferShardResponse> DecodeTransferShardResponse(const Message& msg);
+
+Message EncodeErrorResponse(const Status& status);
+Result<ErrorResponse> DecodeErrorResponse(const Message& msg);
+
+/// Converts an ErrorResponse message back into a Status (identity for OK).
+Status MessageToStatus(const Message& msg);
+
+}  // namespace vdb

@@ -1,0 +1,183 @@
+#include "rpc/transport.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace vdb {
+
+LatencyModel NoLatency() {
+  return [](std::size_t) { return 0.0; };
+}
+
+LatencyModel LinearLatency(double base_seconds, double bytes_per_second) {
+  return [=](std::size_t bytes) {
+    return base_seconds + static_cast<double>(bytes) / bytes_per_second;
+  };
+}
+
+namespace {
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+struct PendingCall {
+  Message request;
+  std::promise<Message> response;
+  /// Round-trip network delay applied asynchronously (never blocks the
+  /// caller or a service thread — a real NIC doesn't hold a CPU while a
+  /// message is in flight).
+  double rtt_delay = 0.0;
+};
+
+}  // namespace
+
+struct InprocTransport::Endpoint {
+  std::string name;
+  RpcHandler handler;
+  MpmcQueue<PendingCall> queue;
+  std::vector<std::thread> threads;
+
+  Endpoint(std::string n, RpcHandler h) : name(std::move(n)), handler(std::move(h)) {}
+
+  void Serve() {
+    while (auto call = queue.Pop()) {
+      Message response = handler(call->request);
+      if (call->rtt_delay > 0.0) {
+        // Deliver after the simulated round trip without occupying a service
+        // thread: overlapping in-flight RPCs must not serialize on latency.
+        std::thread([delay = call->rtt_delay,
+                     promise = std::move(call->response),
+                     value = std::move(response)]() mutable {
+          SleepSeconds(delay);
+          promise.set_value(std::move(value));
+        }).detach();
+      } else {
+        call->response.set_value(std::move(response));
+      }
+    }
+  }
+
+  void Shutdown() {
+    queue.Close();
+    for (auto& thread : threads) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+};
+
+InprocTransport::InprocTransport() : latency_(NoLatency()) {}
+
+InprocTransport::~InprocTransport() {
+  std::unordered_map<std::string, std::shared_ptr<Endpoint>> endpoints;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    endpoints.swap(endpoints_);
+  }
+  for (auto& [name, endpoint] : endpoints) endpoint->Shutdown();
+}
+
+Status InprocTransport::RegisterEndpoint(const std::string& name, RpcHandler handler,
+                                         std::size_t service_threads) {
+  auto endpoint = std::make_shared<Endpoint>(name, std::move(handler));
+  const std::size_t threads = std::max<std::size_t>(1, service_threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    endpoint->threads.emplace_back([ep = endpoint.get()] { ep->Serve(); });
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (endpoints_.count(name) != 0) {
+    endpoint->Shutdown();
+    return Status::AlreadyExists("endpoint '" + name + "' already registered");
+  }
+  endpoints_[name] = std::move(endpoint);
+  return Status::Ok();
+}
+
+Status InprocTransport::UnregisterEndpoint(const std::string& name) {
+  std::shared_ptr<Endpoint> endpoint;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) return Status::NotFound("endpoint '" + name + "'");
+    endpoint = it->second;
+    endpoints_.erase(it);
+  }
+  endpoint->Shutdown();
+  return Status::Ok();
+}
+
+bool InprocTransport::HasEndpoint(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoints_.count(name) != 0;
+}
+
+std::shared_ptr<InprocTransport::Endpoint> InprocTransport::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = endpoints_.find(name);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+std::future<Message> InprocTransport::CallAsync(const std::string& endpoint_name,
+                                                Message request) {
+  const std::size_t wire_bytes = request.WireBytes();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.calls;
+    stats_.bytes_sent += wire_bytes;
+  }
+
+  auto endpoint = Find(endpoint_name);
+  std::promise<Message> promise;
+  std::future<Message> future = promise.get_future();
+  if (endpoint == nullptr) {
+    promise.set_value(
+        EncodeErrorResponse(Status::Unavailable("no endpoint '" + endpoint_name + "'")));
+    return future;
+  }
+
+  LatencyModel latency;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    latency = latency_;
+  }
+
+  PendingCall call;
+  call.request = std::move(request);
+  call.response = std::move(promise);
+  // Round trip: request transit (size-dependent) + response transit
+  // (responses are small: top-k ids). Applied asynchronously after the
+  // handler so concurrent in-flight calls overlap their latency, as on a
+  // real network.
+  call.rtt_delay = latency(wire_bytes) + latency(256);
+
+  if (!endpoint->queue.Push(std::move(call))) {
+    std::promise<Message> closed;
+    future = closed.get_future();
+    closed.set_value(
+        EncodeErrorResponse(Status::Unavailable("endpoint '" + endpoint_name + "' closed")));
+  }
+  return future;
+}
+
+Message InprocTransport::Call(const std::string& endpoint, Message request) {
+  auto future = CallAsync(endpoint, std::move(request));
+  Message response = future.get();
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats_.bytes_received += response.WireBytes();
+  return response;
+}
+
+void InprocTransport::SetLatencyModel(LatencyModel model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_ = std::move(model);
+}
+
+TransportStats InprocTransport::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace vdb

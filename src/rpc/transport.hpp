@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file transport.hpp
+/// In-process RPC transport: named endpoints with dedicated server threads and
+/// bounded request queues, plus a pluggable latency model so tests can inject
+/// interconnect delay. This stands in for Qdrant's gRPC plane while keeping
+/// the concurrency structure (per-worker service threads, queueing under
+/// saturation) that drives the paper's section 3.4 observations.
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/mpmc_queue.hpp"
+#include "common/status.hpp"
+#include "rpc/codec.hpp"
+
+namespace vdb {
+
+/// Server-side request handler. Must be thread-safe when the endpoint runs
+/// more than one service thread.
+using RpcHandler = std::function<Message(const Message&)>;
+
+/// Models one-way message delay as a function of payload size. Return seconds;
+/// the transport sleeps for that long before handing the request to the
+/// endpoint (and again before completing the response future).
+using LatencyModel = std::function<double(std::size_t wire_bytes)>;
+
+/// Zero-latency model (default).
+LatencyModel NoLatency();
+
+/// latency = base + bytes/bandwidth. Rough Slingshot-style point-to-point.
+LatencyModel LinearLatency(double base_seconds, double bytes_per_second);
+
+struct TransportStats {
+  std::uint64_t calls = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Thread-per-endpoint in-process transport.
+class InprocTransport {
+ public:
+  InprocTransport();
+  ~InprocTransport();
+
+  InprocTransport(const InprocTransport&) = delete;
+  InprocTransport& operator=(const InprocTransport&) = delete;
+
+  /// Registers an endpoint served by `service_threads` threads.
+  Status RegisterEndpoint(const std::string& name, RpcHandler handler,
+                          std::size_t service_threads = 1);
+
+  /// Removes an endpoint after draining in-flight requests.
+  Status UnregisterEndpoint(const std::string& name);
+
+  bool HasEndpoint(const std::string& name) const;
+
+  /// Asynchronous call; the future resolves with the response (or an
+  /// ErrorResponse message when the endpoint is unknown/closed).
+  std::future<Message> CallAsync(const std::string& endpoint, Message request);
+
+  /// Synchronous convenience wrapper.
+  Message Call(const std::string& endpoint, Message request);
+
+  /// Installs a latency model applied to every call (both directions).
+  void SetLatencyModel(LatencyModel model);
+
+  TransportStats Stats() const;
+
+ private:
+  struct Endpoint;
+
+  std::shared_ptr<Endpoint> Find(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+  LatencyModel latency_;
+  mutable std::mutex stats_mutex_;
+  TransportStats stats_;
+};
+
+}  // namespace vdb

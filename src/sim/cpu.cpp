@@ -1,0 +1,121 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace vdb::sim {
+
+SimCpu::SimCpu(Simulation& sim, CpuParams params) : sim_(sim), params_(params) {
+  last_update_ = sim_.Now();
+}
+
+double SimCpu::Utilization() const {
+  double demand = 0.0;
+  for (const auto& [id, job] : jobs_) demand += job.max_parallelism;
+  return params_.cores > 0 ? demand / params_.cores : 0.0;
+}
+
+SimCpu::JobId SimCpu::Submit(double core_seconds, double max_parallelism,
+                             std::function<void()> on_complete) {
+  Accrue();
+  const JobId id = next_id_++;
+  Job job;
+  job.remaining = std::max(0.0, core_seconds);
+  job.max_parallelism = std::max(1e-9, max_parallelism);
+  job.on_complete = std::move(on_complete);
+  jobs_.emplace(id, std::move(job));
+  Replan();
+  return id;
+}
+
+void SimCpu::Accrue() {
+  const SimTime now = sim_.Now();
+  const double elapsed = now - last_update_;
+  if (elapsed > 0.0) {
+    for (auto& [id, job] : jobs_) {
+      job.remaining = std::max(0.0, job.remaining - job.rate * elapsed);
+    }
+  }
+  last_update_ = now;
+}
+
+void SimCpu::ComputeRates() {
+  // Water-filling fair share capped by per-job max parallelism.
+  const std::size_t n = jobs_.size();
+  if (n == 0) return;
+  const double penalty =
+      1.0 + params_.contention_per_corunner * static_cast<double>(n - 1);
+
+  std::vector<Job*> unsatisfied;
+  unsatisfied.reserve(n);
+  for (auto& [id, job] : jobs_) unsatisfied.push_back(&job);
+
+  double capacity = params_.cores;
+  bool changed = true;
+  while (changed && !unsatisfied.empty()) {
+    changed = false;
+    const double share = capacity / static_cast<double>(unsatisfied.size());
+    for (std::size_t i = 0; i < unsatisfied.size();) {
+      if (unsatisfied[i]->max_parallelism <= share) {
+        unsatisfied[i]->rate = unsatisfied[i]->max_parallelism / penalty;
+        capacity -= unsatisfied[i]->max_parallelism;
+        unsatisfied[i] = unsatisfied.back();
+        unsatisfied.pop_back();
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (!unsatisfied.empty()) {
+    const double share = capacity / static_cast<double>(unsatisfied.size());
+    for (Job* job : unsatisfied) job->rate = share / penalty;
+  }
+}
+
+void SimCpu::Replan() {
+  ComputeRates();
+
+  // Fire zero-work jobs immediately (still via the event queue so callbacks
+  // never run re-entrantly inside Submit).
+  double next_completion = std::numeric_limits<double>::infinity();
+  for (auto& [id, job] : jobs_) {
+    if (job.rate <= 0.0 && job.remaining > 0.0) continue;  // starved (cores==0)
+    const double eta = job.rate > 0.0 ? job.remaining / job.rate : 0.0;
+    next_completion = std::min(next_completion, eta);
+  }
+  if (next_completion == std::numeric_limits<double>::infinity()) return;
+
+  const std::uint64_t generation = ++generation_;
+  sim_.After(next_completion, [this, generation] { OnTimer(generation); });
+}
+
+void SimCpu::OnTimer(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a later replan
+  Accrue();
+
+  // Completion slack must scale with the clock's ULP: at virtual time T the
+  // smallest representable advance is ~T*2^-52, so a residual of
+  // rate * few-ulps(T) can never be worked off (the next timer would land on
+  // the same double). Treat such residuals as complete; the distortion is a
+  // few nanoseconds of core time on second-scale jobs.
+  const double time_slack = std::max(1e-12, sim_.Now() * 1e-13);
+
+  // Collect completions first: callbacks may Submit() new jobs re-entrantly.
+  std::vector<std::function<void()>> completed;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= it->second.rate * time_slack + 1e-12) {
+      completed.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Replan();
+  for (auto& callback : completed) {
+    if (callback) callback();
+  }
+}
+
+}  // namespace vdb::sim

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file cpu.hpp
+/// Processor-sharing CPU resource for the simulator: a node with `cores`
+/// capacity runs jobs that each demand core-seconds of work and can use at
+/// most `max_parallelism` cores. Concurrent jobs split capacity fairly
+/// (water-filling), with an optional per-corunner contention penalty modelling
+/// memory-bandwidth/scheduler interference — the effect behind the paper's
+/// observations that 4 Qdrant workers sharing a Polaris node scale sub-
+/// linearly (section 3.3) and that co-located clients slow each other during
+/// the 32-worker insertion run (section 3.2).
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/simulation.hpp"
+
+namespace vdb::sim {
+
+struct CpuParams {
+  double cores = 32.0;  ///< Polaris: 32-core AMD EPYC 7543P
+  /// Each active co-runner slows every job by this fraction (memory-bandwidth
+  /// interference). 0 = ideal sharing.
+  double contention_per_corunner = 0.0;
+};
+
+class SimCpu {
+ public:
+  using JobId = std::uint64_t;
+
+  SimCpu(Simulation& sim, CpuParams params);
+
+  /// Submits a job needing `core_seconds` of work, using at most
+  /// `max_parallelism` cores. `on_complete` fires at its virtual finish time.
+  JobId Submit(double core_seconds, double max_parallelism,
+               std::function<void()> on_complete);
+
+  std::size_t ActiveJobs() const { return jobs_.size(); }
+
+  /// Instantaneous demand as a fraction of capacity (can exceed 1).
+  double Utilization() const;
+
+  const CpuParams& Params() const { return params_; }
+
+ private:
+  struct Job {
+    double remaining = 0.0;  ///< core-seconds left
+    double max_parallelism = 1.0;
+    double rate = 0.0;  ///< cores currently attained
+    std::function<void()> on_complete;
+  };
+
+  /// Accrues progress since last_update_, then recomputes rates and schedules
+  /// the next completion event.
+  void Replan();
+  void Accrue();
+  void ComputeRates();
+  void OnTimer(std::uint64_t generation);
+
+  Simulation& sim_;
+  CpuParams params_;
+  std::unordered_map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  SimTime last_update_ = 0.0;
+  std::uint64_t generation_ = 0;  ///< invalidates stale completion timers
+};
+
+}  // namespace vdb::sim

@@ -1,0 +1,21 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace vdb::sim {
+
+void EventQueue::Schedule(SimTime time, EventFn fn) {
+  heap_.push(Entry{time, next_seq_++, std::move(fn)});
+}
+
+SimTime EventQueue::NextTime() const { return heap_.top().time; }
+
+EventFn EventQueue::PopNext() {
+  // priority_queue::top() is const; the function object must be moved out via
+  // const_cast (standard pattern — the entry is popped immediately after).
+  EventFn fn = std::move(const_cast<Entry&>(heap_.top()).fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace vdb::sim

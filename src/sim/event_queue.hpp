@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Priority queue of timestamped events. Ties break on insertion sequence so
+/// simulations are fully deterministic regardless of container internals.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace vdb::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  void Schedule(SimTime time, EventFn fn);
+
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  /// Time of the next event. Precondition: !Empty().
+  SimTime NextTime() const;
+
+  /// Removes and returns the next event's action. Precondition: !Empty().
+  EventFn PopNext();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vdb::sim

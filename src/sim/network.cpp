@@ -1,0 +1,41 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace vdb::sim {
+
+SimNetwork::SimNetwork(Simulation& sim, NetworkParams params, std::uint32_t num_nodes)
+    : sim_(sim), params_(params), nic_free_(num_nodes, 0.0) {}
+
+double SimNetwork::LatencyBetween(NodeId from, NodeId to) const {
+  if (from == to) return params_.local_latency;
+  const std::uint32_t group_a = from / params_.nodes_per_group;
+  const std::uint32_t group_b = to / params_.nodes_per_group;
+  return group_a == group_b ? params_.intra_group_latency
+                            : params_.inter_group_latency;
+}
+
+void SimNetwork::Send(NodeId from, NodeId to, std::uint64_t bytes,
+                      std::function<void()> on_delivered) {
+  ++stats_.messages;
+  stats_.bytes += bytes;
+
+  const SimTime now = sim_.Now();
+  double serialization = 0.0;
+  SimTime departure = now;
+  if (from != to) {
+    // FIFO at the sender NIC: the message starts serializing when the NIC
+    // frees up, occupying it for bytes/bandwidth.
+    serialization = static_cast<double>(bytes) / params_.bandwidth;
+    SimTime& nic_free = nic_free_.at(from);
+    const SimTime start = std::max(now, nic_free);
+    departure = start + serialization;
+    nic_free = departure;
+    stats_.busy_seconds += serialization;
+  }
+  const double delivery =
+      (departure - now) + LatencyBetween(from, to) + params_.software_overhead;
+  sim_.After(delivery, std::move(on_delivered));
+}
+
+}  // namespace vdb::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file network.hpp
+/// Interconnect model: HPE Slingshot-11-style network with dragonfly grouping.
+/// Message cost = sender-NIC serialization (FIFO at link bandwidth) +
+/// propagation latency that depends on hop distance (same node < same
+/// dragonfly group < across groups). Polaris nodes are grouped in dragonfly
+/// topology; the paper attributes multi-worker query overheads to exactly
+/// this interworker communication (sections 3.3, 3.4).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/simulation.hpp"
+
+namespace vdb::sim {
+
+struct NetworkParams {
+  /// Loopback delivery (co-located worker processes), seconds.
+  double local_latency = 2e-6;
+  /// One-way latency within a dragonfly group.
+  double intra_group_latency = 1.8e-6;
+  /// One-way latency across groups (global links).
+  double inter_group_latency = 3.6e-6;
+  /// Per-NIC injection bandwidth, bytes/second (Slingshot-11: 25 GB/s).
+  double bandwidth = 25e9;
+  /// Nodes per dragonfly group.
+  std::uint32_t nodes_per_group = 16;
+  /// Software/RPC overhead added to every message (gRPC stack, syscalls).
+  double software_overhead = 30e-6;
+};
+
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  double busy_seconds = 0.0;  ///< total NIC serialization time
+};
+
+class SimNetwork {
+ public:
+  SimNetwork(Simulation& sim, NetworkParams params, std::uint32_t num_nodes);
+
+  /// Delivers `bytes` from `from` to `to`, then runs `on_delivered`.
+  void Send(NodeId from, NodeId to, std::uint64_t bytes,
+            std::function<void()> on_delivered);
+
+  /// One-way latency between two nodes (no serialization component).
+  double LatencyBetween(NodeId from, NodeId to) const;
+
+  std::uint32_t NumNodes() const { return static_cast<std::uint32_t>(nic_free_.size()); }
+  const NetworkStats& Stats() const { return stats_; }
+
+ private:
+  Simulation& sim_;
+  NetworkParams params_;
+  std::vector<SimTime> nic_free_;  ///< per-node sender NIC availability
+  NetworkStats stats_;
+};
+
+}  // namespace vdb::sim

@@ -1,0 +1,38 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+
+namespace vdb::sim {
+
+void Simulation::At(SimTime t, EventFn fn) {
+  assert(t >= Now() && "cannot schedule in the past");
+  queue_.Schedule(t, std::move(fn));
+}
+
+void Simulation::After(SimTime delay, EventFn fn) {
+  assert(delay >= 0.0);
+  queue_.Schedule(Now() + delay, std::move(fn));
+}
+
+SimTime Simulation::Run() {
+  while (!queue_.Empty()) {
+    clock_.AdvanceTo(queue_.NextTime());
+    EventFn fn = queue_.PopNext();
+    ++events_processed_;
+    fn();
+  }
+  return Now();
+}
+
+SimTime Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    clock_.AdvanceTo(queue_.NextTime());
+    EventFn fn = queue_.PopNext();
+    ++events_processed_;
+    fn();
+  }
+  if (Now() < deadline) clock_.AdvanceTo(deadline);
+  return Now();
+}
+
+}  // namespace vdb::sim

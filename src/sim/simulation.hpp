@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file simulation.hpp
+/// The discrete-event simulation engine: a clock plus an event queue plus the
+/// run loop. Entities (CPUs, networks, clients, workers) schedule callbacks;
+/// Run() drains them in timestamp order, advancing virtual time.
+
+#include <cstdint>
+
+#include "sim/clock.hpp"
+#include "sim/event_queue.hpp"
+
+namespace vdb::sim {
+
+class Simulation {
+ public:
+  SimTime Now() const { return clock_.Now(); }
+
+  /// Schedules `fn` at absolute time `t` (>= Now()).
+  void At(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after `delay` seconds of virtual time.
+  void After(SimTime delay, EventFn fn);
+
+  /// Runs until the event queue is empty. Returns the final time.
+  SimTime Run();
+
+  /// Runs until the queue empties or time would exceed `deadline`.
+  SimTime RunUntil(SimTime deadline);
+
+  std::uint64_t EventsProcessed() const { return events_processed_; }
+
+ private:
+  SimClock clock_;
+  EventQueue queue_;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace vdb::sim

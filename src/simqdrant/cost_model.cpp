@@ -1,0 +1,91 @@
+#include "simqdrant/cost_model.hpp"
+
+#include <cmath>
+
+namespace vdb::simq {
+
+// ---------------------------------------------------------------------------
+// Calibration derivations.
+//
+// Insertion (fig. 2, 1 GB = 97,656 vectors of 2560-d float32, single worker):
+//   per-vector time g(bs) = (S(bs) + W(bs)) / bs with
+//     S(bs) = s0 + s1*bs   (serial client CPU)
+//     W(bs) = w0 + w1*bs + w2*bs^1.8 (awaitable service)
+//   Anchors from the paper: total(bs=1) = 468 s, total(bs=32) = 381 s with the
+//   optimum at bs = 32, and the profiled awaitable share at bs=32 = 14.86 ms
+//   (vs 45.64 ms CPU-bound conversion; the remaining serial per-batch time is
+//   interpreter/bookkeeping overhead implied by the paper's own totals).
+//   Setting d/d(bs) g(bs) = 0 at bs=32 gives (s0+w0) = 0.8*w2*32^1.8, and the
+//   two totals give:
+//     s0+w0 = 0.9553 ms,  s1+w1 = 3.834 ms,  w2 = 0.002334 ms.
+//   Split: w0 = 0.4 ms (network + server dispatch), w1 chosen so
+//   W(32) = 14.86 ms; the rest is client-serial.
+//
+// Insertion scaling (table 3): with conversion dominating, per-worker upload
+//   time ~ (V/W) * s1, and co-located clients on the one client node interfere
+//   (memory bandwidth): effective slowdown (1 + 0.0105*(W-1)) reproduces
+//   8.22 h / 2.11 h / 1.14 h / 35.92 m / 21.67 m within ~6%.
+//
+// Index build (fig. 3): per-vector cost k_build*ln(n) core-seconds; thread
+//   efficiency 0.82 at 32 threads (single shared graph) vs 0.95 at 8 threads;
+//   memory-bandwidth penalty (1 + 0.01287 * GB-on-node). These yield the
+//   paper's two anchors: 1->4 workers max speedup 1.27x and 1->32 workers
+//   21.32x at the full dataset.
+//
+// Query (figs. 4, 5): per-batch time q(bs) = q0 + q1*bs anchored at
+//   total(bs=1) = 139 s and total(bs=16) = 73 s over 22,723 queries:
+//   q0 = 3.098 ms (client 2.098 + server dispatch 1.0),
+//   q1 = 3.019 ms (client 0.119 + server search 2.9 = f + eta*1GB).
+//   Splitting the per-query server time into fixed 2.43 ms + 0.47 ms/GB gives
+//   the fig. 5 crossover at ~26-30 GB and a max multi-worker speedup of ~2.9x
+//   against the paper's 3.57x, with gains beyond 4 workers diminishing.
+//   Worker-side concurrency contention of 6% per extra in-flight batch makes
+//   2 parallel requests optimal and reproduces the superlinear growth of
+//   per-batch call times (30.7 -> 76.4 -> 170 ms at 2/4/8).
+//
+// Embedding (table 2): a ~4000-paper job splits across 4 GPUs; with the
+//   corpus' ~21.6k-char log-normal mean, per-GPU inference = 1000 * 21.6e3
+//   chars * embed_infer_per_char ~ 2382 s, matching the paper's 2381.97 s
+//   mean and its 98.5% share of job runtime next to 28.17 s model load +
+//   7.49 s I/O.
+// ---------------------------------------------------------------------------
+
+PolarisCostModel PolarisCostModel::Calibrated() { return PolarisCostModel{}; }
+
+std::uint64_t PolarisCostModel::VectorsForGB(double gb) const {
+  return static_cast<std::uint64_t>(gb * 1e9 / BytesPerVector());
+}
+
+double PolarisCostModel::GBForVectors(std::uint64_t vectors) const {
+  return static_cast<double>(vectors) * BytesPerVector() / 1e9;
+}
+
+double PolarisCostModel::ClientSerialPerBatch(std::uint64_t bs) const {
+  return client_serial_fixed + client_serial_per_vector * static_cast<double>(bs);
+}
+
+double PolarisCostModel::ServerInsertPerBatch(std::uint64_t bs) const {
+  const double b = static_cast<double>(bs);
+  return server_insert_fixed + server_insert_per_vector * b +
+         server_insert_super_coeff * std::pow(b, server_insert_super_exp);
+}
+
+double PolarisCostModel::QueryServicePerBatch(std::uint64_t bs, double local_gb) const {
+  const double b = static_cast<double>(bs);
+  return query_server_fixed_per_batch +
+         b * (query_server_fixed_per_query + query_server_per_gb * local_gb) +
+         query_server_super_coeff * std::pow(b, query_server_super_exp);
+}
+
+double PolarisCostModel::ThreadEfficiency(double threads) const {
+  // Piecewise-linear interpolation over measured-style anchor points:
+  // <=4 threads: 0.98, 8: 0.95, 16: 0.89, 32: 0.82 (one shared HNSW graph
+  // suffers increasing synchronization cost with thread count).
+  if (threads <= 4.0) return 0.98;
+  if (threads <= 8.0) return 0.98 + (0.95 - 0.98) * (threads - 4.0) / 4.0;
+  if (threads <= 16.0) return 0.95 + (0.89 - 0.95) * (threads - 8.0) / 8.0;
+  if (threads <= 32.0) return 0.89 + (0.82 - 0.89) * (threads - 16.0) / 16.0;
+  return 0.82;
+}
+
+}  // namespace vdb::simq

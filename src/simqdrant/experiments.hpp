@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file experiments.hpp
+/// Drivers that regenerate each of the paper's quantitative results on the
+/// simulated Polaris deployment. Each returns plain data; the bench binaries
+/// render tables and paper-vs-measured comparisons, and the test suite
+/// asserts the qualitative claims (optima, crossovers, ceilings).
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "simqdrant/cost_model.hpp"
+
+namespace vdb::simq {
+
+struct SweepPoint {
+  std::uint64_t parameter = 0;
+  double seconds = 0.0;
+};
+
+// ---- Shared single-run primitives ------------------------------------------
+
+/// Full insert run: `workers` Qdrant workers, one event-loop client per
+/// worker (all clients on node 0), each uploading its share of
+/// `total_vectors` with the given batch size and in-flight window. Returns
+/// the virtual makespan in seconds.
+double SimulateInsertRun(const PolarisCostModel& model, std::uint32_t workers,
+                         std::uint64_t total_vectors, std::uint64_t batch_size,
+                         std::size_t max_in_flight);
+
+/// Multi-stream variant (the paper's lesson #2 at deployment scale): each
+/// worker is fed by `streams_per_worker` independent event-loop clients, all
+/// sharing the single client node. More streams parallelize the CPU-bound
+/// batch conversion — until W x streams saturates the node's 32 cores.
+double SimulateInsertRunMultiStream(const PolarisCostModel& model,
+                                    std::uint32_t workers,
+                                    std::uint64_t total_vectors,
+                                    std::uint64_t batch_size,
+                                    std::size_t max_in_flight,
+                                    std::uint32_t streams_per_worker);
+
+/// Query run: `queries` searches in batches against a cluster holding
+/// `dataset_gb` split across `workers`. Entry worker is fixed (worker 0),
+/// matching the paper's client that submits to one worker which broadcasts.
+/// `call_times` (optional) receives per-batch request->response seconds.
+double SimulateQueryRun(const PolarisCostModel& model, std::uint32_t workers,
+                        double dataset_gb, std::uint64_t queries,
+                        std::uint64_t batch_size, std::size_t max_in_flight,
+                        SampleSet* call_times = nullptr);
+
+/// Deferred full index build of `dataset_gb` split across `workers`
+/// (paper section 3.3): per-worker HNSW builds run concurrently, sharing
+/// node CPUs (4 workers/node) and memory bandwidth.
+double SimulateIndexBuild(const PolarisCostModel& model, std::uint32_t workers,
+                          double dataset_gb);
+
+/// What-if from the paper's future work (section 4): index builds offloaded
+/// to GPUs — one A100 per worker, no node-CPU contention, no DRAM-bandwidth
+/// interference (HBM-local). Returns the virtual build makespan.
+double SimulateIndexBuildGpu(const PolarisCostModel& model, std::uint32_t workers,
+                             double dataset_gb);
+
+/// Variability study (paper section 4 future work): repeats the query run
+/// `trials` times with mean-preserving log-normal service jitter of
+/// `jitter_sigma`, varying only the noise seed. Returns per-trial totals.
+struct VariabilityResult {
+  double jitter_sigma = 0.0;
+  SampleSet trial_seconds;
+  double MeanSeconds() const { return trial_seconds.Mean(); }
+  /// Coefficient of variation across trials.
+  double CV() const {
+    return trial_seconds.Mean() > 0 ? trial_seconds.Stddev() / trial_seconds.Mean()
+                                    : 0.0;
+  }
+};
+
+VariabilityResult RunVariabilityStudy(const PolarisCostModel& model,
+                                      double jitter_sigma, std::uint32_t workers,
+                                      double dataset_gb, std::uint64_t queries,
+                                      std::size_t trials);
+
+/// Continual-ingest what-if (paper section 3.2: continual insert/index/search
+/// workloads): runs the query workload while `ingest_clients_per_worker`
+/// event-loop clients stream inserts into every worker. Ingest volume is
+/// sized to outlast the query run so interference is sustained throughout.
+struct MixedWorkloadResult {
+  double query_seconds = 0.0;   ///< query-workload makespan under ingest
+  double mean_call_ms = 0.0;    ///< mean per-batch query call time
+  double ingest_rate_vps = 0.0; ///< sustained insert throughput (vectors/s)
+};
+
+MixedWorkloadResult RunMixedWorkload(const PolarisCostModel& model,
+                                     std::uint32_t workers, double dataset_gb,
+                                     std::uint64_t queries,
+                                     std::uint32_t ingest_clients_per_worker);
+
+// ---- Fig. 2: insertion tuning ----------------------------------------------
+
+struct Fig2Result {
+  std::vector<SweepPoint> batch_size_curve;   ///< concurrency 1
+  std::vector<SweepPoint> concurrency_curve;  ///< at the optimal batch size
+  std::uint64_t best_batch_size = 0;
+  std::uint64_t best_concurrency = 0;
+  /// Profile decomposition at batch 32 (paper: 45.64 ms convert vs 14.86 ms
+  /// insert RPC -> Amdahl ceiling 1.31x).
+  double awaitable_ms_at_32 = 0.0;
+  double amdahl_ceiling = 0.0;
+};
+
+Fig2Result RunFig2InsertTuning(const PolarisCostModel& model, double dataset_gb = 1.0);
+
+// ---- Table 3: full-dataset insertion scaling --------------------------------
+
+struct Table3Row {
+  std::uint32_t workers = 0;
+  double seconds = 0.0;
+};
+
+std::vector<Table3Row> RunTable3InsertScaling(
+    const PolarisCostModel& model, const std::vector<std::uint32_t>& worker_counts,
+    std::uint64_t total_vectors);
+
+// ---- Fig. 3: index build scaling ---------------------------------------------
+
+struct GridResult {
+  std::vector<double> sizes_gb;
+  std::vector<std::uint32_t> worker_counts;
+  /// seconds[size_index][worker_index]
+  std::vector<std::vector<double>> seconds;
+};
+
+GridResult RunFig3IndexBuild(const PolarisCostModel& model,
+                             const std::vector<double>& sizes_gb,
+                             const std::vector<std::uint32_t>& worker_counts);
+
+// ---- Fig. 4: query tuning ----------------------------------------------------
+
+struct Fig4Result {
+  std::vector<SweepPoint> batch_size_curve;   ///< concurrency 1
+  std::vector<SweepPoint> concurrency_curve;  ///< at the optimal batch size
+  std::uint64_t best_batch_size = 0;
+  std::uint64_t best_concurrency = 0;
+  /// Mean per-batch call time (ms) at concurrency 2/4/8 — the paper's
+  /// follow-up saturation test (30.7 / 76.4 / 170 ms).
+  std::vector<SweepPoint> call_time_ms;
+};
+
+Fig4Result RunFig4QueryTuning(const PolarisCostModel& model, double dataset_gb = 1.0,
+                              std::uint64_t queries = kPaperNumQueryTerms);
+
+// ---- Fig. 5: query scaling ----------------------------------------------------
+
+GridResult RunFig5QueryScaling(const PolarisCostModel& model,
+                               const std::vector<double>& sizes_gb,
+                               const std::vector<std::uint32_t>& worker_counts,
+                               std::uint64_t queries = kPaperNumQueryTerms);
+
+}  // namespace vdb::simq

@@ -1,0 +1,142 @@
+#include "simqdrant/sim_client.hpp"
+
+#include <algorithm>
+
+#include "simqdrant/sim_cluster.hpp"
+
+namespace vdb::simq {
+
+// ---- SimInsertClient --------------------------------------------------------
+
+SimInsertClient::SimInsertClient(SimQdrantCluster& cluster, InsertClientConfig config)
+    : cluster_(cluster), config_(config) {}
+
+void SimInsertClient::Start(std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  cluster_.Sim().After(0.0, [this] { LoopStep(); });
+}
+
+void SimInsertClient::LoopStep() {
+  if (converting_) return;
+  if (vectors_sent_ >= config_.total_vectors) return;  // OnAck finishes up
+  if (in_flight_ >= config_.max_in_flight) {
+    if (await_started_ < 0.0) await_started_ = cluster_.Sim().Now();
+    return;  // event loop blocked on the await; an ack resumes it
+  }
+
+  const std::uint64_t batch =
+      std::min<std::uint64_t>(config_.batch_size, config_.total_vectors - vectors_sent_);
+
+  // CPU-bound conversion + per-task loop bookkeeping. Runs on the *shared*
+  // client node CPU at parallelism 1 (the event loop is one thread), so
+  // co-located clients interfere via the node's contention model.
+  const PolarisCostModel& model = cluster_.Model();
+  const double serial =
+      model.ClientSerialPerBatch(batch) +
+      model.asyncio_task_overhead * static_cast<double>(config_.max_in_flight - 1);
+  report_.serial_cpu_seconds += serial;
+  converting_ = true;
+  cluster_.NodeCpu(cluster_.ClientNode()).Submit(serial, 1.0, [this, batch] {
+    converting_ = false;
+    Dispatch(batch);
+    LoopStep();
+  });
+}
+
+void SimInsertClient::Dispatch(std::uint64_t batch) {
+  ++in_flight_;
+  vectors_sent_ += batch;
+  ++report_.batches;
+
+  const std::uint64_t bytes =
+      batch * static_cast<std::uint64_t>(cluster_.Model().BytesPerVector());
+  const NodeId client_node = cluster_.ClientNode();
+  const NodeId worker_node = cluster_.NodeOfWorker(config_.target_worker);
+  cluster_.Network().Send(client_node, worker_node, bytes,
+                          [this, batch, client_node, worker_node] {
+    cluster_.GetWorker(config_.target_worker)
+        .HandleInsertBatch(batch, [this, client_node, worker_node] {
+          cluster_.Network().Send(worker_node, client_node, /*ack bytes*/ 128,
+                                  [this] { OnAck(); });
+        });
+  });
+}
+
+void SimInsertClient::OnAck() {
+  --in_flight_;
+  if (await_started_ >= 0.0) {
+    report_.await_seconds += cluster_.Sim().Now() - await_started_;
+    await_started_ = -1.0;
+  }
+  if (vectors_sent_ >= config_.total_vectors && in_flight_ == 0) {
+    report_.finish_time = cluster_.Sim().Now();
+    if (on_done_) on_done_();
+    return;
+  }
+  LoopStep();
+}
+
+// ---- SimQueryClient ---------------------------------------------------------
+
+SimQueryClient::SimQueryClient(SimQdrantCluster& cluster, QueryClientConfig config)
+    : cluster_(cluster), config_(config) {}
+
+void SimQueryClient::Start(std::function<void()> on_done) {
+  on_done_ = std::move(on_done);
+  cluster_.Sim().After(0.0, [this] { LoopStep(); });
+}
+
+void SimQueryClient::LoopStep() {
+  if (converting_) return;
+  if (queries_sent_ >= config_.total_queries) return;
+  if (in_flight_ >= config_.max_in_flight) return;
+
+  const std::uint64_t batch =
+      std::min<std::uint64_t>(config_.batch_size, config_.total_queries - queries_sent_);
+
+  const PolarisCostModel& model = cluster_.Model();
+  const double serial =
+      model.query_client_fixed +
+      model.query_client_per_query * static_cast<double>(batch) +
+      model.asyncio_task_overhead * 0.1 *
+          static_cast<double>(config_.max_in_flight - 1);
+  converting_ = true;
+  cluster_.NodeCpu(cluster_.ClientNode()).Submit(serial, 1.0, [this, batch] {
+    converting_ = false;
+    Dispatch(batch);
+    LoopStep();
+  });
+}
+
+void SimQueryClient::Dispatch(std::uint64_t batch) {
+  ++in_flight_;
+  queries_sent_ += batch;
+  ++report_.batches;
+  const double issued_at = cluster_.Sim().Now();
+
+  const std::uint64_t bytes =
+      batch * static_cast<std::uint64_t>(cluster_.Model().BytesPerVector());
+  const NodeId client_node = cluster_.ClientNode();
+  const NodeId entry_node = cluster_.NodeOfWorker(config_.entry_worker);
+  cluster_.Network().Send(client_node, entry_node, bytes,
+                          [this, batch, client_node, entry_node, issued_at] {
+    cluster_.GetWorker(config_.entry_worker)
+        .HandleFanOutQuery(batch, [this, client_node, entry_node, issued_at] {
+          cluster_.Network().Send(entry_node, client_node, /*top-k ids*/ 4096,
+                                  [this, issued_at] { OnResponse(issued_at); });
+        });
+  });
+}
+
+void SimQueryClient::OnResponse(double issued_at) {
+  --in_flight_;
+  report_.call_seconds.Add(cluster_.Sim().Now() - issued_at);
+  if (queries_sent_ >= config_.total_queries && in_flight_ == 0) {
+    report_.finish_time = cluster_.Sim().Now();
+    if (on_done_) on_done_();
+    return;
+  }
+  LoopStep();
+}
+
+}  // namespace vdb::simq

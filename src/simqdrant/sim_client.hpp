@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file sim_client.hpp
+/// Simulated clients. SimInsertClient is the Python-asyncio upload client of
+/// paper section 3.2: a single event-loop thread whose CPU-bound batch
+/// conversion blocks the loop while up to `max_in_flight` upload RPCs await.
+/// SimQueryClient is the section 3.4 analogue for search batches. Both run on
+/// the shared client node's CPU (node 0) so co-located clients contend.
+
+#include <cstdint>
+#include <functional>
+
+#include "metrics/stats.hpp"
+#include "simqdrant/cost_model.hpp"
+
+namespace vdb::simq {
+
+class SimQdrantCluster;
+
+struct InsertClientConfig {
+  std::uint64_t total_vectors = 0;
+  std::uint64_t batch_size = 32;
+  std::size_t max_in_flight = 1;
+  WorkerId target_worker = 0;
+};
+
+struct InsertClientReport {
+  double finish_time = 0.0;   ///< virtual time the last ack arrived
+  double serial_cpu_seconds = 0.0;
+  double await_seconds = 0.0;
+  std::uint64_t batches = 0;
+};
+
+/// Event-loop insert client (one per Qdrant worker in the paper's deployment).
+class SimInsertClient {
+ public:
+  SimInsertClient(SimQdrantCluster& cluster, InsertClientConfig config);
+
+  /// Begins uploading; `on_done` fires (in virtual time) after the final ack.
+  void Start(std::function<void()> on_done);
+
+  const InsertClientReport& Report() const { return report_; }
+
+ private:
+  void LoopStep();       ///< convert next batch (serial CPU), then dispatch
+  void Dispatch(std::uint64_t batch);
+  void OnAck();
+
+  SimQdrantCluster& cluster_;
+  InsertClientConfig config_;
+  InsertClientReport report_;
+  std::function<void()> on_done_;
+
+  std::uint64_t vectors_sent_ = 0;
+  std::size_t in_flight_ = 0;
+  bool converting_ = false;
+  double await_started_ = -1.0;  ///< loop-idle bookkeeping
+};
+
+struct QueryClientConfig {
+  std::uint64_t total_queries = 0;
+  std::uint64_t batch_size = 16;
+  std::size_t max_in_flight = 1;
+  /// Entry worker for every batch (the paper's client submits to one worker).
+  WorkerId entry_worker = 0;
+};
+
+struct QueryClientReport {
+  double finish_time = 0.0;
+  std::uint64_t batches = 0;
+  SampleSet call_seconds;  ///< per-batch request->response times
+};
+
+class SimQueryClient {
+ public:
+  SimQueryClient(SimQdrantCluster& cluster, QueryClientConfig config);
+
+  void Start(std::function<void()> on_done);
+
+  const QueryClientReport& Report() const { return report_; }
+
+ private:
+  void LoopStep();
+  void Dispatch(std::uint64_t batch);
+  void OnResponse(double issued_at);
+
+  SimQdrantCluster& cluster_;
+  QueryClientConfig config_;
+  QueryClientReport report_;
+  std::function<void()> on_done_;
+
+  std::uint64_t queries_sent_ = 0;
+  std::size_t in_flight_ = 0;
+  bool converting_ = false;
+};
+
+}  // namespace vdb::simq

@@ -1,0 +1,59 @@
+#include "simqdrant/sim_cluster.hpp"
+
+namespace vdb::simq {
+
+double SimQdrantCluster::Jitter(double seconds) {
+  const double sigma = config_.model.service_jitter_sigma;
+  if (sigma <= 0.0) return seconds;
+  // Mean-preserving log-normal: E[exp(N(-s^2/2, s))] = 1.
+  return seconds * jitter_rng_.NextLogNormal(-0.5 * sigma * sigma, sigma);
+}
+
+SimQdrantCluster::SimQdrantCluster(sim::Simulation& sim, SimClusterConfig config)
+    : sim_(sim), config_(config), jitter_rng_(config.model.jitter_seed) {
+  const PolarisCostModel& model = config_.model;
+
+  const std::uint32_t worker_nodes =
+      1 + (config_.num_workers - 1) / model.workers_per_node;
+  const std::uint32_t total_nodes = 1 + worker_nodes;
+
+  sim::NetworkParams net;
+  net.bandwidth = model.net_bandwidth;
+  net.local_latency = model.net_latency_local;
+  net.intra_group_latency = model.net_latency_intra_group;
+  net.inter_group_latency = model.net_latency_inter_group;
+  net.software_overhead = model.net_software_overhead;
+  network_ = std::make_unique<sim::SimNetwork>(sim_, net, total_nodes);
+
+  // Node 0: client node. Co-located clients interfere (memory bandwidth),
+  // driving the sublinear scaling of table 3.
+  {
+    sim::CpuParams cpu;
+    cpu.cores = model.node_cores;
+    cpu.contention_per_corunner = model.client_node_contention;
+    node_cpus_.push_back(std::make_unique<sim::SimCpu>(sim_, cpu));
+  }
+  // Worker nodes: plain processor sharing.
+  for (std::uint32_t n = 0; n < worker_nodes; ++n) {
+    sim::CpuParams cpu;
+    cpu.cores = model.node_cores;
+    node_cpus_.push_back(std::make_unique<sim::SimCpu>(sim_, cpu));
+  }
+
+  const double per_worker_gb =
+      config_.num_workers > 0 ? config_.preloaded_gb / config_.num_workers : 0.0;
+  for (WorkerId id = 0; id < config_.num_workers; ++id) {
+    workers_.push_back(std::make_unique<SimWorker>(*this, id, per_worker_gb));
+  }
+}
+
+std::uint32_t SimQdrantCluster::WorkersOnNode(NodeId node) const {
+  if (node == 0) return 0;
+  std::uint32_t count = 0;
+  for (WorkerId id = 0; id < NumWorkers(); ++id) {
+    if (NodeOfWorker(id) == node) ++count;
+  }
+  return count;
+}
+
+}  // namespace vdb::simq

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file sim_cluster.hpp
+/// Simulated Polaris deployment: node 0 hosts all clients (the paper runs
+/// every client on a single compute node, section 3.2); worker nodes follow,
+/// four Qdrant workers per node, connected by the Slingshot network model.
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+#include "simqdrant/cost_model.hpp"
+#include "simqdrant/sim_worker.hpp"
+
+namespace vdb::simq {
+
+struct SimClusterConfig {
+  std::uint32_t num_workers = 1;
+  PolarisCostModel model = PolarisCostModel::Calibrated();
+  /// Total decimal GB of vectors already resident (for query/build
+  /// experiments); split evenly across workers.
+  double preloaded_gb = 0.0;
+};
+
+class SimQdrantCluster {
+ public:
+  SimQdrantCluster(sim::Simulation& sim, SimClusterConfig config);
+
+  std::uint32_t NumWorkers() const { return static_cast<std::uint32_t>(workers_.size()); }
+  SimWorker& GetWorker(WorkerId id) { return *workers_.at(id); }
+
+  /// Node 0 is the client node.
+  NodeId ClientNode() const { return 0; }
+  NodeId NodeOfWorker(WorkerId id) const {
+    return 1 + id / config_.model.workers_per_node;
+  }
+  std::uint32_t NumNodes() const {
+    return 2 + (NumWorkers() - 1) / config_.model.workers_per_node;
+  }
+  std::uint32_t WorkersOnNode(NodeId node) const;
+
+  sim::SimCpu& NodeCpu(NodeId node) { return *node_cpus_.at(node); }
+  sim::SimNetwork& Network() { return *network_; }
+  sim::Simulation& Sim() { return sim_; }
+  const PolarisCostModel& Model() const { return config_.model; }
+
+  /// Multiplies a nominal service time by mean-preserving log-normal noise
+  /// (identity when the model's jitter sigma is 0).
+  double Jitter(double seconds);
+
+ private:
+  sim::Simulation& sim_;
+  SimClusterConfig config_;
+  Rng jitter_rng_;
+  std::unique_ptr<sim::SimNetwork> network_;
+  std::vector<std::unique_ptr<sim::SimCpu>> node_cpus_;
+  std::vector<std::unique_ptr<SimWorker>> workers_;
+};
+
+}  // namespace vdb::simq

@@ -1,0 +1,102 @@
+#include "simqdrant/sim_worker.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "simqdrant/sim_cluster.hpp"
+
+namespace vdb::simq {
+
+SimWorker::SimWorker(SimQdrantCluster& cluster, WorkerId id, double local_gb)
+    : cluster_(cluster), id_(id), local_gb_(local_gb) {
+  sim::CpuParams params;
+  params.cores = 1.0;  // one query pipeline; batch search is internally parallel
+  params.contention_per_corunner = cluster.Model().query_concurrency_contention;
+  query_cpu_ = std::make_unique<sim::SimCpu>(cluster.Sim(), params);
+}
+
+void SimWorker::HandleInsertBatch(std::uint64_t batch_size,
+                                  std::function<void()> respond) {
+  const PolarisCostModel& model = cluster_.Model();
+  const double service = cluster_.Jitter(model.ServerInsertPerBatch(batch_size));
+  auto& node_cpu = cluster_.NodeCpu(cluster_.NodeOfWorker(id_));
+
+  // Awaitable service: storing vectors + WAL + request handling.
+  node_cpu.Submit(service, 1.0, [this, batch_size, respond = std::move(respond)] {
+    // Background optimizer (data layout + index bookkeeping) continues after
+    // the acknowledgement — fire-and-forget CPU load that contends with
+    // everything else on the node (paper section 3.2).
+    const double background = cluster_.Model().server_background_per_vector *
+                              static_cast<double>(batch_size);
+    cluster_.NodeCpu(cluster_.NodeOfWorker(id_)).Submit(background, 1.0, [] {});
+    AddLocalGB(cluster_.Model().GBForVectors(batch_size));
+    respond();
+  });
+}
+
+void SimWorker::HandleLocalQuery(std::uint64_t batch_size,
+                                 std::function<void()> respond) {
+  double service =
+      cluster_.Jitter(cluster_.Model().QueryServicePerBatch(batch_size, local_gb_));
+  // Concurrent ingest (insert handling + background optimization) contends
+  // for the node's cores: searches slow in proportion to node utilization.
+  const double utilization = std::min(
+      1.0, cluster_.NodeCpu(cluster_.NodeOfWorker(id_)).Utilization());
+  service *= 1.0 + cluster_.Model().query_ingest_interference * utilization;
+  query_cpu_->Submit(service, 1.0, std::move(respond));
+}
+
+void SimWorker::HandleFanOutQuery(std::uint64_t batch_size,
+                                  std::function<void()> respond) {
+  const PolarisCostModel& model = cluster_.Model();
+  const std::uint32_t workers = cluster_.NumWorkers();
+
+  if (workers <= 1) {
+    HandleLocalQuery(batch_size, std::move(respond));
+    return;
+  }
+
+  // Entry-worker aggregation cost: request unpacking, fan-out bookkeeping and
+  // partial-result merging, proportional to batch size and peer count.
+  const double overhead =
+      static_cast<double>(batch_size) *
+      (model.broadcast_entry_overhead +
+       model.broadcast_per_peer * static_cast<double>(workers - 1));
+
+  // Shared completion state: local search + (workers-1) peer partials + the
+  // entry overhead job must all finish before the response leaves.
+  struct FanOutState {
+    std::uint32_t remaining = 0;
+    std::function<void()> respond;
+  };
+  auto state = std::make_shared<FanOutState>();
+  state->remaining = workers + 1;  // peers + local + overhead job
+  state->respond = std::move(respond);
+  auto arrive = [state] {
+    if (--state->remaining == 0) state->respond();
+  };
+
+  query_cpu_->Submit(overhead, 1.0, arrive);
+  HandleLocalQuery(batch_size, arrive);
+
+  const std::uint64_t query_bytes =
+      batch_size * static_cast<std::uint64_t>(model.BytesPerVector());
+  const NodeId my_node = cluster_.NodeOfWorker(id_);
+  for (WorkerId peer = 0; peer < workers; ++peer) {
+    if (peer == id_) continue;
+    const NodeId peer_node = cluster_.NodeOfWorker(peer);
+    // Broadcast leg: query travels to the peer, the peer searches its shards,
+    // the partial result (top-k ids, small) travels back.
+    cluster_.Network().Send(my_node, peer_node, query_bytes,
+                            [this, peer, peer_node, my_node, batch_size, arrive] {
+                              cluster_.GetWorker(peer).HandleLocalQuery(
+                                  batch_size, [this, peer_node, my_node, arrive] {
+                                    cluster_.Network().Send(peer_node, my_node,
+                                                            /*bytes=*/1024, arrive);
+                                  });
+                            });
+  }
+}
+
+}  // namespace vdb::simq

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file sim_worker.hpp
+/// Simulated Qdrant worker: consumes node CPU for insert handling and
+/// background optimization, owns a query-service pipeline with concurrency
+/// contention, and executes the broadcast–reduce protocol when acting as the
+/// entry worker for a fanned-out query.
+
+#include <functional>
+#include <memory>
+
+#include "sim/cpu.hpp"
+#include "simqdrant/cost_model.hpp"
+
+namespace vdb::simq {
+
+class SimQdrantCluster;
+
+class SimWorker {
+ public:
+  SimWorker(SimQdrantCluster& cluster, WorkerId id, double local_gb);
+
+  WorkerId Id() const { return id_; }
+  double LocalGB() const { return local_gb_; }
+  void AddLocalGB(double gb) { local_gb_ += gb; }
+
+  /// Server-side handling of one insert batch: awaitable service consumed on
+  /// the worker node's CPU, plus fire-and-forget background optimizer work.
+  /// `respond` fires when the acknowledgement should travel back.
+  void HandleInsertBatch(std::uint64_t batch_size, std::function<void()> respond);
+
+  /// Local (non-fanned) search of one query batch on this worker's shards.
+  void HandleLocalQuery(std::uint64_t batch_size, std::function<void()> respond);
+
+  /// Entry-worker path: broadcast the batch to every peer, search locally,
+  /// aggregate partials, respond (paper section 3.4).
+  void HandleFanOutQuery(std::uint64_t batch_size, std::function<void()> respond);
+
+ private:
+  SimQdrantCluster& cluster_;
+  WorkerId id_;
+  double local_gb_;
+  /// One "query pipeline" unit: batch search already uses the worker's cores
+  /// internally, so concurrent batches share this unit with a contention
+  /// penalty (paper: per-batch call time grows superlinearly past 2 in-flight).
+  std::unique_ptr<sim::SimCpu> query_cpu_;
+};
+
+}  // namespace vdb::simq

@@ -1,0 +1,157 @@
+#include "stateless/object_store.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+namespace vdb::stateless {
+
+Status ValidateObjectKey(const ObjectKey& key) {
+  if (key.empty()) return Status::InvalidArgument("empty object key");
+  if (key.front() == '/' || key.back() == '/') {
+    return Status::InvalidArgument("object key must not start or end with '/'");
+  }
+  if (key.find("..") != std::string::npos) {
+    return Status::InvalidArgument("object key must not contain '..'");
+  }
+  for (const char c : key) {
+    if (!std::isprint(static_cast<unsigned char>(c)) || c == '\\') {
+      return Status::InvalidArgument("object key contains invalid character");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- MemoryObjectStore -------------------------------------------------------
+
+Status MemoryObjectStore::Put(const ObjectKey& key, const ObjectBytes& bytes) {
+  VDB_RETURN_IF_ERROR(ValidateObjectKey(key));
+  std::lock_guard<std::mutex> lock(mutex_);
+  objects_[key] = bytes;
+  return Status::Ok();
+}
+
+Result<ObjectBytes> MemoryObjectStore::Get(const ObjectKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("no object '" + key + "'");
+  return it->second;
+}
+
+bool MemoryObjectStore::Exists(const ObjectKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.count(key) != 0;
+}
+
+std::vector<ObjectKey> MemoryObjectStore::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ObjectKey> keys;
+  for (auto it = objects_.lower_bound(prefix); it != objects_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+Status MemoryObjectStore::Delete(const ObjectKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (objects_.erase(key) == 0) return Status::NotFound("no object '" + key + "'");
+  return Status::Ok();
+}
+
+std::uint64_t MemoryObjectStore::TotalBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, bytes] : objects_) total += bytes.size();
+  return total;
+}
+
+// ---- DirectoryObjectStore ----------------------------------------------------
+
+DirectoryObjectStore::DirectoryObjectStore(std::filesystem::path root)
+    : root_(std::move(root)) {}
+
+Result<std::unique_ptr<DirectoryObjectStore>> DirectoryObjectStore::Open(
+    const std::filesystem::path& root) {
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) return Status::IoError("cannot create object store root: " + ec.message());
+  return std::unique_ptr<DirectoryObjectStore>(new DirectoryObjectStore(root));
+}
+
+Result<std::filesystem::path> DirectoryObjectStore::PathFor(const ObjectKey& key) const {
+  VDB_RETURN_IF_ERROR(ValidateObjectKey(key));
+  return root_ / key;
+}
+
+Status DirectoryObjectStore::Put(const ObjectKey& key, const ObjectBytes& bytes) {
+  VDB_ASSIGN_OR_RETURN(const std::filesystem::path path, PathFor(key));
+  std::error_code ec;
+  std::filesystem::create_directories(path.parent_path(), ec);
+  if (ec) return Status::IoError("cannot create object directory: " + ec.message());
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot create " + tmp.string());
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out.good()) return Status::IoError("object write failed");
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IoError("object rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+Result<ObjectBytes> DirectoryObjectStore::Get(const ObjectKey& key) const {
+  VDB_ASSIGN_OR_RETURN(const std::filesystem::path path, PathFor(key));
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return Status::NotFound("no object '" + key + "'");
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  ObjectBytes bytes(size);
+  in.read(reinterpret_cast<char*>(bytes.data()), static_cast<std::streamsize>(size));
+  if (!in.good() && size > 0) return Status::IoError("object read failed");
+  return bytes;
+}
+
+bool DirectoryObjectStore::Exists(const ObjectKey& key) const {
+  auto path = PathFor(key);
+  return path.ok() && std::filesystem::exists(*path);
+}
+
+std::vector<ObjectKey> DirectoryObjectStore::List(const std::string& prefix) const {
+  std::vector<ObjectKey> keys;
+  std::error_code ec;
+  for (auto it = std::filesystem::recursive_directory_iterator(root_, ec);
+       !ec && it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (!it->is_regular_file()) continue;
+    std::string key = std::filesystem::relative(it->path(), root_, ec).generic_string();
+    if (ec) continue;
+    if (key.size() >= 4 && key.ends_with(".tmp")) continue;
+    if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(std::move(key));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Status DirectoryObjectStore::Delete(const ObjectKey& key) {
+  VDB_ASSIGN_OR_RETURN(const std::filesystem::path path, PathFor(key));
+  std::error_code ec;
+  if (!std::filesystem::remove(path, ec) || ec) {
+    return Status::NotFound("no object '" + key + "'");
+  }
+  return Status::Ok();
+}
+
+std::uint64_t DirectoryObjectStore::TotalBytes() const {
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (auto it = std::filesystem::recursive_directory_iterator(root_, ec);
+       !ec && it != std::filesystem::recursive_directory_iterator(); ++it) {
+    if (it->is_regular_file()) total += it->file_size(ec);
+  }
+  return total;
+}
+
+}  // namespace vdb::stateless

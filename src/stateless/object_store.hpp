@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file object_store.hpp
+/// Durable shared object storage — the "separate, durable storage layer
+/// (often an object storage or file system)" of the paper's fig. 1 approach 2
+/// (Vespa, Milvus). Workers in the stateless architecture keep no durable
+/// state; every shard segment lives here. Two backends: in-memory (tests,
+/// simulation) and directory-backed (one file per object, atomic writes).
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vdb::stateless {
+
+using ObjectKey = std::string;
+using ObjectBytes = std::vector<std::uint8_t>;
+
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  /// Atomically creates/replaces the object.
+  virtual Status Put(const ObjectKey& key, const ObjectBytes& bytes) = 0;
+
+  virtual Result<ObjectBytes> Get(const ObjectKey& key) const = 0;
+
+  virtual bool Exists(const ObjectKey& key) const = 0;
+
+  /// Keys with the given prefix, lexicographically sorted.
+  virtual std::vector<ObjectKey> List(const std::string& prefix) const = 0;
+
+  virtual Status Delete(const ObjectKey& key) = 0;
+
+  /// Total stored bytes (capacity accounting).
+  virtual std::uint64_t TotalBytes() const = 0;
+};
+
+/// Heap-backed store. Thread-safe.
+class MemoryObjectStore final : public ObjectStore {
+ public:
+  Status Put(const ObjectKey& key, const ObjectBytes& bytes) override;
+  Result<ObjectBytes> Get(const ObjectKey& key) const override;
+  bool Exists(const ObjectKey& key) const override;
+  std::vector<ObjectKey> List(const std::string& prefix) const override;
+  Status Delete(const ObjectKey& key) override;
+  std::uint64_t TotalBytes() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<ObjectKey, ObjectBytes> objects_;
+};
+
+/// Directory-backed store: each object is a file (keys' '/' map to
+/// subdirectories); writes go through a temp file + rename.
+class DirectoryObjectStore final : public ObjectStore {
+ public:
+  /// Creates the root directory if needed.
+  static Result<std::unique_ptr<DirectoryObjectStore>> Open(
+      const std::filesystem::path& root);
+
+  Status Put(const ObjectKey& key, const ObjectBytes& bytes) override;
+  Result<ObjectBytes> Get(const ObjectKey& key) const override;
+  bool Exists(const ObjectKey& key) const override;
+  std::vector<ObjectKey> List(const std::string& prefix) const override;
+  Status Delete(const ObjectKey& key) override;
+  std::uint64_t TotalBytes() const override;
+
+ private:
+  explicit DirectoryObjectStore(std::filesystem::path root);
+  Result<std::filesystem::path> PathFor(const ObjectKey& key) const;
+
+  std::filesystem::path root_;
+};
+
+/// Validates a key: non-empty, no leading/trailing '/', no "..", printable.
+Status ValidateObjectKey(const ObjectKey& key);
+
+}  // namespace vdb::stateless

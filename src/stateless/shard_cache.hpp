@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file shard_cache.hpp
+/// The cache layer of the stateless architecture: "data is stored in a
+/// separate, durable storage layer ... and loaded into a cache layer when
+/// needed" (paper section 2.1). An LRU of fully materialized shards
+/// (vectors + a search index built at load time) under a byte budget —
+/// the cache warm-up cost is exactly the price stateless designs pay in
+/// exchange for free elasticity.
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "index/factory.hpp"
+#include "stateless/shard_io.hpp"
+
+namespace vdb::stateless {
+
+/// A shard materialized in worker memory: contiguous vectors plus an index.
+class LoadedShard {
+ public:
+  /// Loads every segment object of `shard` and builds the index.
+  static Result<std::shared_ptr<const LoadedShard>> Load(const ObjectStore& store,
+                                                         ShardId shard,
+                                                         std::size_t dim,
+                                                         Metric metric,
+                                                         const IndexSpec& index_spec);
+
+  Result<std::vector<ScoredPoint>> Search(VectorView query,
+                                          const SearchParams& params) const;
+
+  std::size_t PointCount() const { return vectors_->Size(); }
+  std::size_t SegmentsLoaded() const { return segments_loaded_; }
+  std::uint64_t MemoryBytes() const;
+
+ private:
+  LoadedShard(std::size_t dim, Metric metric);
+
+  std::unique_ptr<VectorStore> vectors_;
+  std::unique_ptr<VectorIndex> index_;
+  std::size_t segments_loaded_ = 0;
+};
+
+struct CacheConfig {
+  std::uint64_t byte_budget = 256ull << 20;
+  std::size_t dim = 64;
+  Metric metric = Metric::kCosine;
+  IndexSpec index_spec;  ///< index built per shard at load ("flat" for cheap loads)
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::size_t resident_shards = 0;
+  double load_seconds = 0.0;  ///< cumulative cold-load time (cache warm-up)
+};
+
+/// Thread-safe LRU shard cache.
+class ShardCache {
+ public:
+  ShardCache(const ObjectStore& store, CacheConfig config);
+
+  /// Returns the cached shard, loading (and possibly evicting) on miss.
+  Result<std::shared_ptr<const LoadedShard>> GetOrLoad(ShardId shard);
+
+  /// Drops a shard (e.g. after new segments were appended to it).
+  void Invalidate(ShardId shard);
+
+  /// Drops everything (worker restart).
+  void Clear();
+
+  CacheStats Stats() const;
+
+ private:
+  void EvictUntilWithinBudget();
+
+  const ObjectStore& store_;
+  CacheConfig config_;
+
+  mutable std::mutex mutex_;
+  /// MRU at front.
+  std::list<ShardId> lru_;
+  struct Entry {
+    std::shared_ptr<const LoadedShard> shard;
+    std::list<ShardId>::iterator lru_position;
+  };
+  std::unordered_map<ShardId, Entry> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace vdb::stateless

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file stateless_cluster.hpp
+/// The compute/storage-separated architecture end to end (paper fig. 1,
+/// approach 2 — Vespa/Milvus): stateless workers with shard caches over one
+/// shared object store, an ingestor that appends immutable segment objects,
+/// and a router using rendezvous hashing for cache affinity. The payoff the
+/// paper highlights in section 2.2: "the ability to scale compute
+/// independently of state allows the workflow to add more workers without
+/// repartitioning persisted data" — ScaleTo() here moves zero bytes.
+
+#include <memory>
+#include <vector>
+
+#include "dist/topk.hpp"
+#include "stateless/shard_cache.hpp"
+#include "storage/payload_store.hpp"  // PointRecord
+
+namespace vdb::stateless {
+
+/// Buffers points per shard and appends immutable segment objects.
+class StatelessIngestor {
+ public:
+  StatelessIngestor(ObjectStore& store, std::uint32_t num_shards, std::size_t dim,
+                    Metric metric, std::size_t points_per_segment = 4096);
+
+  /// Buffers a point (routed by id hash); flushes full shard buffers.
+  Status Append(const PointRecord& point);
+  Status AppendBatch(const std::vector<PointRecord>& points);
+
+  /// Flushes every non-empty buffer as a segment object.
+  Status Flush();
+
+  std::uint64_t PointsWritten() const { return points_written_; }
+  std::uint64_t SegmentsWritten() const { return segments_written_; }
+
+ private:
+  Status FlushShard(ShardId shard);
+
+  ObjectStore& store_;
+  std::uint32_t num_shards_;
+  std::size_t dim_;
+  Metric metric_;
+  std::size_t points_per_segment_;
+  std::vector<SegmentData> buffers_;
+  std::uint64_t points_written_ = 0;
+  std::uint64_t segments_written_ = 0;
+};
+
+/// One stateless compute worker: a cache over the shared store, no durable
+/// local state at all.
+class StatelessWorker {
+ public:
+  StatelessWorker(WorkerId id, const ObjectStore& store, CacheConfig cache_config);
+
+  WorkerId Id() const { return id_; }
+
+  /// Searches the given shards (loading through the cache) and merges.
+  Result<std::vector<ScoredPoint>> SearchShards(const std::vector<ShardId>& shards,
+                                                VectorView query,
+                                                const SearchParams& params);
+
+  CacheStats Cache() const { return cache_.Stats(); }
+  void DropCache() { cache_.Clear(); }
+  void Invalidate(ShardId shard) { cache_.Invalidate(shard); }
+
+ private:
+  WorkerId id_;
+  ShardCache cache_;
+};
+
+struct StatelessClusterConfig {
+  std::uint32_t num_workers = 4;
+  std::uint32_t num_shards = 16;
+  CacheConfig cache;
+};
+
+class StatelessCluster {
+ public:
+  /// The store must outlive the cluster (it is the durable layer).
+  StatelessCluster(ObjectStore& store, StatelessClusterConfig config);
+
+  std::uint32_t NumWorkers() const { return static_cast<std::uint32_t>(workers_.size()); }
+  StatelessWorker& GetWorker(std::size_t i) { return *workers_.at(i); }
+
+  /// Rendezvous (highest-random-weight) owner of a shard for the current
+  /// worker count — maximizes cache affinity across membership changes.
+  WorkerId OwnerOf(ShardId shard) const;
+
+  /// Fan-out search: each worker searches the shards it owns, results merge.
+  Result<std::vector<ScoredPoint>> Search(VectorView query, const SearchParams& params);
+
+  /// Elastic scaling: adds/removes workers. No data moves — the return value
+  /// is the bytes transferred, always 0, the stateful architecture's foil.
+  /// Rendezvous hashing keeps most shard->worker assignments stable.
+  std::uint64_t ScaleTo(std::uint32_t new_num_workers);
+
+  /// Tells every worker a shard changed (post-ingest visibility).
+  void InvalidateShard(ShardId shard);
+
+  CacheStats AggregateCacheStats() const;
+
+ private:
+  ObjectStore& store_;
+  StatelessClusterConfig config_;
+  std::vector<std::unique_ptr<StatelessWorker>> workers_;
+};
+
+}  // namespace vdb::stateless

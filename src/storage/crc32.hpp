@@ -1,0 +1,16 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32C (Castagnoli) checksum, table-driven. Guards every WAL record and
+/// segment block against torn writes and bit rot — a stateful vector database
+/// owns its data durability (paper fig. 1, approach 1).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vdb {
+
+/// CRC-32C of `size` bytes, seeded by `seed` (pass a previous result to chain).
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t seed = 0);
+
+}  // namespace vdb

@@ -1,0 +1,168 @@
+#include "storage/payload_store.hpp"
+
+#include <cstring>
+
+namespace vdb {
+namespace {
+
+enum class Tag : std::uint8_t { kString = 0, kInt = 1, kDouble = 2, kBool = 3 };
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void PutBytes(std::vector<std::uint8_t>& out, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out.insert(out.end(), p, p + size);
+}
+
+void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
+  PutU32(out, static_cast<std::uint32_t>(s.size()));
+  PutBytes(out, s.data(), s.size());
+}
+
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+
+  bool Remaining(std::size_t n) const { return pos + n <= size; }
+
+  Result<std::uint32_t> U32() {
+    if (!Remaining(4)) return Status::Corruption("payload truncated u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+    return v;
+  }
+
+  Result<std::string> String() {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t n, U32());
+    if (!Remaining(n)) return Status::Corruption("payload truncated string");
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodePayload(const Payload& payload) {
+  std::vector<std::uint8_t> out;
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  for (const auto& [key, value] : payload) {
+    PutString(out, key);
+    out.push_back(static_cast<std::uint8_t>(value.index()));
+    switch (static_cast<Tag>(value.index())) {
+      case Tag::kString:
+        PutString(out, std::get<std::string>(value));
+        break;
+      case Tag::kInt: {
+        const auto v = std::get<std::int64_t>(value);
+        PutBytes(out, &v, sizeof(v));
+        break;
+      }
+      case Tag::kDouble: {
+        const auto v = std::get<double>(value);
+        PutBytes(out, &v, sizeof(v));
+        break;
+      }
+      case Tag::kBool:
+        out.push_back(std::get<bool>(value) ? 1 : 0);
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Payload> DecodePayload(const std::uint8_t* data, std::size_t size) {
+  Reader reader{data, size};
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t fields, reader.U32());
+  Payload payload;
+  for (std::uint32_t i = 0; i < fields; ++i) {
+    VDB_ASSIGN_OR_RETURN(std::string key, reader.String());
+    if (!reader.Remaining(1)) return Status::Corruption("payload truncated tag");
+    const Tag tag = static_cast<Tag>(data[reader.pos++]);
+    switch (tag) {
+      case Tag::kString: {
+        VDB_ASSIGN_OR_RETURN(std::string v, reader.String());
+        payload[key] = std::move(v);
+        break;
+      }
+      case Tag::kInt: {
+        if (!reader.Remaining(8)) return Status::Corruption("payload truncated int");
+        std::int64_t v;
+        std::memcpy(&v, data + reader.pos, sizeof(v));
+        reader.pos += sizeof(v);
+        payload[key] = v;
+        break;
+      }
+      case Tag::kDouble: {
+        if (!reader.Remaining(8)) return Status::Corruption("payload truncated double");
+        double v;
+        std::memcpy(&v, data + reader.pos, sizeof(v));
+        reader.pos += sizeof(v);
+        payload[key] = v;
+        break;
+      }
+      case Tag::kBool: {
+        if (!reader.Remaining(1)) return Status::Corruption("payload truncated bool");
+        payload[key] = data[reader.pos++] != 0;
+        break;
+      }
+      default:
+        return Status::Corruption("unknown payload tag");
+    }
+  }
+  return payload;
+}
+
+void PayloadStore::Set(PointId id, Payload payload) {
+  payloads_[id] = std::move(payload);
+}
+
+void PayloadStore::Merge(PointId id, const Payload& fields) {
+  auto& existing = payloads_[id];
+  for (const auto& [key, value] : fields) existing[key] = value;
+}
+
+Result<Payload> PayloadStore::Get(PointId id) const {
+  const auto it = payloads_.find(id);
+  if (it == payloads_.end()) return Status::NotFound("no payload for point");
+  return it->second;
+}
+
+bool PayloadStore::Contains(PointId id) const { return payloads_.count(id) != 0; }
+
+void PayloadStore::Remove(PointId id) { payloads_.erase(id); }
+
+bool PayloadStore::Matches(PointId id, const std::string& field,
+                           const PayloadValue& value) const {
+  const auto it = payloads_.find(id);
+  if (it == payloads_.end()) return false;
+  const auto field_it = it->second.find(field);
+  return field_it != it->second.end() && field_it->second == value;
+}
+
+std::vector<PointId> PayloadStore::ScanEquals(const std::string& field,
+                                              const PayloadValue& value) const {
+  std::vector<PointId> out;
+  for (const auto& [id, payload] : payloads_) {
+    const auto it = payload.find(field);
+    if (it != payload.end() && it->second == value) out.push_back(id);
+  }
+  return out;
+}
+
+std::uint64_t PayloadStore::MemoryBytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [id, payload] : payloads_) {
+    bytes += sizeof(id) + 48;
+    for (const auto& [key, value] : payload) {
+      bytes += key.size() + 32;
+      if (const auto* s = std::get_if<std::string>(&value)) bytes += s->size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace vdb

@@ -1,0 +1,119 @@
+#include "storage/segment.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "storage/crc32.hpp"
+
+namespace vdb {
+namespace {
+
+struct Header {
+  std::uint32_t magic;
+  std::uint32_t version;
+  std::uint32_t dim;
+  std::uint32_t metric;
+  std::uint64_t count;
+};
+static_assert(sizeof(Header) == 24);
+
+}  // namespace
+
+Status WriteSegment(const std::filesystem::path& path, const SegmentData& data) {
+  if (data.vectors.size() != data.ids.size() * data.dim) {
+    return Status::InvalidArgument("segment vectors/ids size mismatch");
+  }
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot create " + tmp.string());
+
+    Header header{kSegmentMagic, kSegmentVersion, data.dim,
+                  static_cast<std::uint32_t>(data.metric), data.ids.size()};
+    std::uint32_t crc = Crc32c(&header, sizeof(header));
+    out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+
+    if (!data.ids.empty()) {
+      const std::size_t id_bytes = data.ids.size() * sizeof(PointId);
+      crc = Crc32c(data.ids.data(), id_bytes, crc);
+      out.write(reinterpret_cast<const char*>(data.ids.data()),
+                static_cast<std::streamsize>(id_bytes));
+
+      const std::size_t vec_bytes = data.vectors.size() * sizeof(Scalar);
+      crc = Crc32c(data.vectors.data(), vec_bytes, crc);
+      out.write(reinterpret_cast<const char*>(data.vectors.data()),
+                static_cast<std::streamsize>(vec_bytes));
+    }
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    if (!out.good()) return Status::IoError("segment write failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IoError("segment rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+namespace {
+
+Result<SegmentData> ReadSegmentImpl(const std::filesystem::path& path,
+                                    bool materialize) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::NotFound("no segment at " + path.string());
+
+  Header header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (in.gcount() != sizeof(header)) return Status::Corruption("segment truncated header");
+  if (header.magic != kSegmentMagic) return Status::Corruption("bad segment magic");
+  if (header.version != kSegmentVersion) {
+    return Status::Corruption("unsupported segment version " + std::to_string(header.version));
+  }
+  std::uint32_t crc = Crc32c(&header, sizeof(header));
+
+  SegmentData data;
+  data.dim = header.dim;
+  data.metric = static_cast<Metric>(header.metric);
+  data.ids.resize(header.count);
+  data.vectors.resize(header.count * header.dim);
+
+  if (header.count > 0) {
+    const std::size_t id_bytes = data.ids.size() * sizeof(PointId);
+    in.read(reinterpret_cast<char*>(data.ids.data()),
+            static_cast<std::streamsize>(id_bytes));
+    if (in.gcount() != static_cast<std::streamsize>(id_bytes)) {
+      return Status::Corruption("segment truncated ids");
+    }
+    crc = Crc32c(data.ids.data(), id_bytes, crc);
+
+    const std::size_t vec_bytes = data.vectors.size() * sizeof(Scalar);
+    in.read(reinterpret_cast<char*>(data.vectors.data()),
+            static_cast<std::streamsize>(vec_bytes));
+    if (in.gcount() != static_cast<std::streamsize>(vec_bytes)) {
+      return Status::Corruption("segment truncated vectors");
+    }
+    crc = Crc32c(data.vectors.data(), vec_bytes, crc);
+  }
+
+  std::uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  if (in.gcount() != sizeof(stored_crc)) return Status::Corruption("segment missing crc");
+  if (stored_crc != crc) return Status::Corruption("segment crc mismatch");
+
+  if (!materialize) {
+    data.ids.clear();
+    data.vectors.clear();
+  }
+  return data;
+}
+
+}  // namespace
+
+Result<SegmentData> ReadSegment(const std::filesystem::path& path) {
+  return ReadSegmentImpl(path, /*materialize=*/true);
+}
+
+Status VerifySegment(const std::filesystem::path& path) {
+  auto result = ReadSegmentImpl(path, /*materialize=*/false);
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+}  // namespace vdb

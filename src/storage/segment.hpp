@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file segment.hpp
+/// On-disk immutable vector segments. A collection accumulates points in a
+/// mutable in-memory buffer (the VectorStore) and periodically flushes them to
+/// immutable segment files — Qdrant's segment/optimizer architecture, and the
+/// "storing the data, optimizing the data layout" work the paper observes
+/// competing with insertion bandwidth (section 3.2).
+///
+/// File layout (little-endian):
+///   [magic u32][version u32][dim u32][metric u32][count u64]
+///   [ids: count * u64]
+///   [vectors: count * dim * f32]
+///   [crc of everything above: u32]
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "dist/distance.hpp"
+
+namespace vdb {
+
+inline constexpr std::uint32_t kSegmentMagic = 0x56444253u;  // "VDBS"
+inline constexpr std::uint32_t kSegmentVersion = 1;
+
+/// In-memory image of a segment (used both for writing and after loading).
+struct SegmentData {
+  std::uint32_t dim = 0;
+  Metric metric = Metric::kCosine;
+  std::vector<PointId> ids;
+  std::vector<Scalar> vectors;  // row-major, ids.size() rows
+
+  std::size_t Count() const { return ids.size(); }
+  VectorView RowAt(std::size_t row) const {
+    return VectorView(vectors.data() + row * dim, dim);
+  }
+};
+
+/// Writes `data` atomically (tmp file + rename) to `path`.
+Status WriteSegment(const std::filesystem::path& path, const SegmentData& data);
+
+/// Loads and CRC-verifies a segment file.
+Result<SegmentData> ReadSegment(const std::filesystem::path& path);
+
+/// Validates header+crc without materializing vectors (cheap integrity scan).
+Status VerifySegment(const std::filesystem::path& path);
+
+}  // namespace vdb

@@ -1,0 +1,82 @@
+#include "storage/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "storage/crc32.hpp"
+
+namespace vdb {
+
+Status WriteManifest(const std::filesystem::path& path,
+                     const SnapshotManifest& manifest) {
+  std::ostringstream body;
+  body << "sequence=" << manifest.sequence << "\n";
+  body << "dim=" << manifest.dim << "\n";
+  body << "metric=" << manifest.metric << "\n";
+  body << "wal_records_applied=" << manifest.wal_records_applied << "\n";
+  if (!manifest.hnsw_graph_file.empty()) {
+    body << "hnsw_graph=" << manifest.hnsw_graph_file << "\n";
+  }
+  for (const auto& file : manifest.segment_files) {
+    body << "segment=" << file << "\n";
+  }
+  const std::string text = body.str();
+  const std::uint32_t crc = Crc32c(text.data(), text.size());
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot create " + tmp.string());
+    out << text << "crc=" << crc << "\n";
+    if (!out.good()) return Status::IoError("manifest write failed");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IoError("manifest rename failed: " + ec.message());
+  return Status::Ok();
+}
+
+Result<SnapshotManifest> ReadManifest(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("no manifest at " + path.string());
+
+  SnapshotManifest manifest;
+  std::string body;
+  std::string line;
+  bool saw_crc = false;
+  std::uint32_t stored_crc = 0;
+  while (std::getline(in, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) return Status::Corruption("manifest line without '='");
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "crc") {
+      stored_crc = static_cast<std::uint32_t>(std::stoull(value));
+      saw_crc = true;
+      break;
+    }
+    body += line + "\n";
+    if (key == "sequence") {
+      manifest.sequence = std::stoull(value);
+    } else if (key == "dim") {
+      manifest.dim = static_cast<std::uint32_t>(std::stoul(value));
+    } else if (key == "metric") {
+      manifest.metric = value;
+    } else if (key == "wal_records_applied") {
+      manifest.wal_records_applied = std::stoull(value);
+    } else if (key == "hnsw_graph") {
+      manifest.hnsw_graph_file = value;
+    } else if (key == "segment") {
+      manifest.segment_files.push_back(value);
+    } else {
+      return Status::Corruption("unknown manifest key '" + key + "'");
+    }
+  }
+  if (!saw_crc) return Status::Corruption("manifest missing crc");
+  if (Crc32c(body.data(), body.size()) != stored_crc) {
+    return Status::Corruption("manifest crc mismatch");
+  }
+  return manifest;
+}
+
+}  // namespace vdb

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Snapshot manifest: records which segment files plus WAL position make up a
+/// consistent collection state. Text format, one entry per line, CRC-sealed —
+/// simple enough to inspect by hand on a parallel file system.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace vdb {
+
+struct SnapshotManifest {
+  std::uint64_t sequence = 0;              ///< monotonically increasing snapshot id
+  std::uint32_t dim = 0;
+  std::string metric = "cosine";
+  std::vector<std::string> segment_files;  ///< relative to the manifest directory
+  std::uint64_t wal_records_applied = 0;   ///< replay may skip this many records
+  /// Serialized HNSW graph covering the flushed points (empty = none). Only
+  /// written when the flush happened with zero tombstones, so recovered store
+  /// offsets are guaranteed to match the graph's.
+  std::string hnsw_graph_file;
+};
+
+/// Writes the manifest atomically to `path`.
+Status WriteManifest(const std::filesystem::path& path, const SnapshotManifest& manifest);
+
+/// Loads and validates a manifest.
+Result<SnapshotManifest> ReadManifest(const std::filesystem::path& path);
+
+}  // namespace vdb

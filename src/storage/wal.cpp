@@ -1,0 +1,177 @@
+#include "storage/wal.hpp"
+
+#include <cstring>
+
+#include "storage/crc32.hpp"
+
+namespace vdb {
+namespace {
+
+void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeUpsertPayload(PointId id, VectorView vector) {
+  std::vector<std::uint8_t> out;
+  out.reserve(12 + vector.size() * sizeof(Scalar));
+  PutU64(out, id);
+  PutU32(out, static_cast<std::uint32_t>(vector.size()));
+  const std::size_t base = out.size();
+  out.resize(base + vector.size() * sizeof(Scalar));
+  std::memcpy(out.data() + base, vector.data(), vector.size() * sizeof(Scalar));
+  return out;
+}
+
+Result<std::pair<PointId, Vector>> DecodeUpsertPayload(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < 12) return Status::Corruption("upsert payload too short");
+  const PointId id = GetU64(payload.data());
+  const std::uint32_t dim = GetU32(payload.data() + 8);
+  if (payload.size() != 12 + static_cast<std::size_t>(dim) * sizeof(Scalar)) {
+    return Status::Corruption("upsert payload size mismatch");
+  }
+  Vector vector(dim);
+  std::memcpy(vector.data(), payload.data() + 12, dim * sizeof(Scalar));
+  return std::make_pair(id, std::move(vector));
+}
+
+std::vector<std::uint8_t> EncodeDeletePayload(PointId id) {
+  std::vector<std::uint8_t> out;
+  PutU64(out, id);
+  return out;
+}
+
+Result<PointId> DecodeDeletePayload(const std::vector<std::uint8_t>& payload) {
+  if (payload.size() != 8) return Status::Corruption("delete payload size mismatch");
+  return GetU64(payload.data());
+}
+
+Result<WalWriter> WalWriter::Open(const std::filesystem::path& path) {
+  WalWriter writer;
+  writer.out_.open(path, std::ios::binary | std::ios::app);
+  if (!writer.out_.is_open()) {
+    return Status::IoError("cannot open WAL at " + path.string());
+  }
+  return writer;
+}
+
+Status WalWriter::Append(WalRecordType type, const std::vector<std::uint8_t>& payload) {
+  // crc covers [type | payload].
+  std::vector<std::uint8_t> body;
+  body.reserve(1 + payload.size());
+  body.push_back(static_cast<std::uint8_t>(type));
+  body.insert(body.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = Crc32c(body.data(), body.size());
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(8 + body.size());
+  PutU32(frame, crc);
+  PutU32(frame, static_cast<std::uint32_t>(body.size()));
+  frame.insert(frame.end(), body.begin(), body.end());
+
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  if (!out_.good()) return Status::IoError("WAL append failed");
+  bytes_written_ += frame.size();
+  return Status::Ok();
+}
+
+Status WalWriter::AppendUpsert(PointId id, VectorView vector) {
+  return Append(WalRecordType::kUpsert, EncodeUpsertPayload(id, vector));
+}
+
+Status WalWriter::AppendDelete(PointId id) {
+  return Append(WalRecordType::kDelete, EncodeDeletePayload(id));
+}
+
+Status WalWriter::AppendCheckpoint(std::uint64_t segment_seq) {
+  std::vector<std::uint8_t> payload;
+  PutU64(payload, segment_seq);
+  return Append(WalRecordType::kCheckpoint, payload);
+}
+
+Status WalWriter::Sync() {
+  out_.flush();
+  return out_.good() ? Status::Ok() : Status::IoError("WAL sync failed");
+}
+
+Result<std::size_t> WalReader::Replay(
+    const std::filesystem::path& path,
+    const std::function<Status(const WalRecord&)>& visit) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    // A missing WAL is an empty WAL (fresh worker).
+    return static_cast<std::size_t>(0);
+  }
+  std::size_t count = 0;
+  bool saw_torn = false;
+  while (true) {
+    std::uint8_t header[8];
+    in.read(reinterpret_cast<char*>(header), sizeof(header));
+    if (in.gcount() == 0) break;  // clean EOF
+    if (in.gcount() < static_cast<std::streamsize>(sizeof(header))) {
+      saw_torn = true;
+      break;
+    }
+    const std::uint32_t crc = GetU32(header);
+    const std::uint32_t length = GetU32(header + 4);
+    if (length == 0 || length > (1u << 30)) {
+      saw_torn = true;
+      break;
+    }
+    std::vector<std::uint8_t> body(length);
+    in.read(reinterpret_cast<char*>(body.data()), length);
+    if (in.gcount() < static_cast<std::streamsize>(length)) {
+      saw_torn = true;
+      break;
+    }
+    if (Crc32c(body.data(), body.size()) != crc) {
+      saw_torn = true;
+      break;
+    }
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(body[0]);
+    record.payload.assign(body.begin() + 1, body.end());
+    VDB_RETURN_IF_ERROR(visit(record));
+    ++count;
+  }
+  if (saw_torn) {
+    // Check whether valid-looking data follows the tear: that means mid-log
+    // corruption, which is a real error rather than a crash artifact.
+    // (Heuristic: any further readable byte counts.)
+    char probe;
+    // Skip ahead one byte from the failure point and see if the stream still
+    // has content.
+    in.clear();
+    if (in.read(&probe, 1); in.gcount() == 1) {
+      // There is data after the corrupt record. Give the caller a chance to
+      // notice, but preserve the recovered prefix.
+      return Status::Corruption("WAL corrupt mid-log after " + std::to_string(count) +
+                                " records");
+    }
+  }
+  return count;
+}
+
+}  // namespace vdb

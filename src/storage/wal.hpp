@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file wal.hpp
+/// Append-only write-ahead log. Every mutation a worker accepts (upsert,
+/// delete) is logged before acknowledgement; on restart the collection
+/// replays the tail to recover state newer than the last flushed segment.
+/// Record framing: [u32 crc][u32 length][u8 type][payload...], little-endian.
+/// Replay stops cleanly at the first corrupt/torn record (standard WAL
+/// contract — a torn tail is not an error, it is the crash point).
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace vdb {
+
+enum class WalRecordType : std::uint8_t {
+  kUpsert = 1,
+  kDelete = 2,
+  kCheckpoint = 3,  ///< segment flush marker; replay may skip earlier records
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kUpsert;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize an upsert (id + vector) into a WAL payload and back.
+std::vector<std::uint8_t> EncodeUpsertPayload(PointId id, VectorView vector);
+Result<std::pair<PointId, Vector>> DecodeUpsertPayload(
+    const std::vector<std::uint8_t>& payload);
+std::vector<std::uint8_t> EncodeDeletePayload(PointId id);
+Result<PointId> DecodeDeletePayload(const std::vector<std::uint8_t>& payload);
+
+/// Appender half. Not thread-safe; callers serialize (collections hold one
+/// writer under their write lock).
+class WalWriter {
+ public:
+  /// Opens (creating or appending) the log at `path`.
+  static Result<WalWriter> Open(const std::filesystem::path& path);
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  Status Append(WalRecordType type, const std::vector<std::uint8_t>& payload);
+  Status AppendUpsert(PointId id, VectorView vector);
+  Status AppendDelete(PointId id);
+  Status AppendCheckpoint(std::uint64_t segment_seq);
+
+  /// Flushes buffered bytes to the OS.
+  Status Sync();
+
+  std::uint64_t BytesWritten() const { return bytes_written_; }
+
+ private:
+  WalWriter() = default;
+  std::ofstream out_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Replay half.
+class WalReader {
+ public:
+  /// Reads every intact record, invoking `visit` in order. Returns the count
+  /// of records visited. A torn/corrupt tail terminates replay silently; a
+  /// corrupt record *followed by* valid data is reported as kCorruption.
+  static Result<std::size_t> Replay(
+      const std::filesystem::path& path,
+      const std::function<Status(const WalRecord&)>& visit);
+};
+
+}  // namespace vdb

@@ -1,0 +1,44 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdb {
+
+SyntheticCorpus::SyntheticCorpus(CorpusParams params) : params_(params) {}
+
+Document SyntheticCorpus::Get(std::uint64_t index) const {
+  // Derive a per-document RNG so access is order-independent.
+  std::uint64_t state = params_.seed ^ (index * 0x9E3779B97F4A7C15ULL);
+  Rng rng(SplitMix64(state));
+
+  Document doc;
+  doc.id = index;
+  const double chars = rng.NextLogNormal(params_.log_mu, params_.log_sigma);
+  doc.char_count = static_cast<std::uint32_t>(
+      std::min<double>(params_.max_chars, std::max(200.0, chars)));
+  doc.topic = static_cast<std::uint16_t>(rng.NextU64(params_.num_topics));
+  doc.year = static_cast<std::uint16_t>(1990 + rng.NextU64(36));
+  return doc;
+}
+
+std::vector<Document> SyntheticCorpus::GetRange(std::uint64_t begin,
+                                                std::uint64_t end) const {
+  std::vector<Document> docs;
+  docs.reserve(end > begin ? end - begin : 0);
+  for (std::uint64_t i = begin; i < end && i < Size(); ++i) docs.push_back(Get(i));
+  return docs;
+}
+
+std::uint64_t SyntheticCorpus::TotalChars(std::uint64_t begin, std::uint64_t end) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t i = begin; i < end && i < Size(); ++i) total += Get(i).char_count;
+  return total;
+}
+
+std::string SyntheticCorpus::TitleOf(const Document& doc) {
+  return "synthetic-paper-" + std::to_string(doc.id) + "-topic" +
+         std::to_string(doc.topic);
+}
+
+}  // namespace vdb

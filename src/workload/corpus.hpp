@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file corpus.hpp
+/// Synthetic stand-in for the peS2o scientific-text corpus (Soldaini & Lo,
+/// 2023). The paper feeds 8,293,485 full-text papers through
+/// Qwen3-Embedding-4B; for runtime studies only the *size distribution* of
+/// documents matters (it drives the GPU batching heuristic of section 3.1).
+/// Document lengths are sampled log-normally, calibrated so that the paper's
+/// batching heuristic (150,000-char budget, max 8 papers per micro-batch)
+/// produces the mix of full and truncated micro-batches the paper reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace vdb {
+
+/// One synthetic paper. Text is not materialized (only its length matters for
+/// the pipeline study); `title` is generated lazily for payload-carrying
+/// examples.
+struct Document {
+  std::uint64_t id = 0;
+  std::uint32_t char_count = 0;
+  std::uint16_t topic = 0;    ///< planted cluster / subject area
+  std::uint16_t year = 2000;  ///< publication year (payload filter field)
+};
+
+struct CorpusParams {
+  std::uint64_t num_documents = 100000;
+  /// Log-normal parameters of character counts. Defaults give a median of
+  /// ~18.6k chars and a heavy right tail — full-text scientific papers —
+  /// so ~8 average papers fit the 150k-char GPU budget (paper section 3.1).
+  double log_mu = 9.83;     // exp(9.83) ~ 18,600 chars
+  double log_sigma = 0.55;
+  std::uint32_t max_chars = 2'000'000;  ///< clamp pathological tail
+  std::uint16_t num_topics = 256;
+  std::uint64_t seed = 2025;
+};
+
+/// Deterministic streaming corpus generator: Get(i) is pure in (params, i).
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(CorpusParams params);
+
+  std::uint64_t Size() const { return params_.num_documents; }
+  const CorpusParams& Params() const { return params_; }
+
+  /// The i-th document (O(1), independent of access order).
+  Document Get(std::uint64_t index) const;
+
+  /// Batch convenience.
+  std::vector<Document> GetRange(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Total characters across a range (what the embedding pipeline reads).
+  std::uint64_t TotalChars(std::uint64_t begin, std::uint64_t end) const;
+
+  /// Deterministic title used when building payloads.
+  static std::string TitleOf(const Document& doc);
+
+ private:
+  CorpusParams params_;
+};
+
+}  // namespace vdb

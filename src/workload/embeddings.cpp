@@ -1,0 +1,68 @@
+#include "workload/embeddings.hpp"
+
+#include <cmath>
+
+#include "dist/distance.hpp"
+
+namespace vdb {
+
+EmbeddingGenerator::EmbeddingGenerator(EmbeddingParams params) : params_(params) {}
+
+Vector EmbeddingGenerator::UnitGaussian(std::uint64_t stream, std::size_t n,
+                                        double scale) const {
+  std::uint64_t state = params_.seed ^ stream;
+  Rng rng(SplitMix64(state));
+  Vector v(n);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian() * scale);
+  return v;
+}
+
+Vector EmbeddingGenerator::CentroidOf(std::uint16_t topic) const {
+  Vector centroid = UnitGaussian(0xC3A7u ^ (static_cast<std::uint64_t>(topic) << 16),
+                                 params_.dim, 1.0);
+  NormalizeInPlace(centroid);
+  return centroid;
+}
+
+Vector EmbeddingGenerator::EmbeddingOf(const Document& doc) const {
+  Vector embedding = CentroidOf(doc.topic);
+  const Vector noise =
+      UnitGaussian(0xD0C5u ^ (doc.id * 0x2545F4914F6CDD1DULL), params_.dim,
+                   params_.noise / std::sqrt(static_cast<double>(params_.dim)));
+  for (std::size_t i = 0; i < params_.dim; ++i) embedding[i] += noise[i];
+  NormalizeInPlace(embedding);
+  return embedding;
+}
+
+Vector EmbeddingGenerator::QueryFor(std::uint16_t topic, std::uint64_t term_id) const {
+  Vector query = CentroidOf(topic);
+  const Vector noise =
+      UnitGaussian(0x9E37u ^ (term_id * 0xDA942042E4DD58B5ULL), params_.dim,
+                   0.5 * params_.noise / std::sqrt(static_cast<double>(params_.dim)));
+  for (std::size_t i = 0; i < params_.dim; ++i) query[i] += noise[i];
+  NormalizeInPlace(query);
+  return query;
+}
+
+std::vector<PointRecord> EmbeddingGenerator::MakePoints(const SyntheticCorpus& corpus,
+                                                        std::uint64_t begin,
+                                                        std::uint64_t end,
+                                                        bool with_payload) const {
+  std::vector<PointRecord> points;
+  points.reserve(end > begin ? end - begin : 0);
+  for (std::uint64_t i = begin; i < end && i < corpus.Size(); ++i) {
+    const Document doc = corpus.Get(i);
+    PointRecord record;
+    record.id = doc.id;
+    record.vector = EmbeddingOf(doc);
+    if (with_payload) {
+      record.payload["topic"] = static_cast<std::int64_t>(doc.topic);
+      record.payload["year"] = static_cast<std::int64_t>(doc.year);
+      record.payload["title"] = SyntheticCorpus::TitleOf(doc);
+    }
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+}  // namespace vdb

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file embeddings.hpp
+/// Deterministic pseudo-embeddings with planted cluster structure. Substitute
+/// for running Qwen3-Embedding-4B over peS2o: each topic owns a random unit
+/// centroid; a document's embedding is its topic centroid plus isotropic
+/// noise, renormalized. This preserves (a) the vector count/dimension/bytes
+/// that drive every runtime result in the paper, and (b) enough semantic
+/// structure that recall of our ANN indexes is measurable against exact
+/// search.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "storage/payload_store.hpp"
+#include "workload/corpus.hpp"
+
+namespace vdb {
+
+struct EmbeddingParams {
+  std::size_t dim = 256;  ///< tests use small dims; the paper's is 2560
+  std::uint16_t num_topics = 256;
+  /// Noise stddev relative to centroid norm; smaller = tighter clusters.
+  double noise = 0.35;
+  std::uint64_t seed = 7;
+};
+
+/// Pure-function embedding generator: EmbeddingOf(doc) depends only on
+/// (params, doc.id, doc.topic).
+class EmbeddingGenerator {
+ public:
+  explicit EmbeddingGenerator(EmbeddingParams params);
+
+  std::size_t Dim() const { return params_.dim; }
+  const EmbeddingParams& Params() const { return params_; }
+
+  /// Unit-norm embedding for a document.
+  Vector EmbeddingOf(const Document& doc) const;
+
+  /// Unit-norm centroid of a topic (the "true" cluster center).
+  Vector CentroidOf(std::uint16_t topic) const;
+
+  /// Query vector near a topic's centroid (tighter noise than documents —
+  /// a term query is more "on-topic" than any single paper).
+  Vector QueryFor(std::uint16_t topic, std::uint64_t term_id) const;
+
+  /// Materializes PointRecords for a corpus range: id, embedding, payload
+  /// (topic + year + title).
+  std::vector<PointRecord> MakePoints(const SyntheticCorpus& corpus,
+                                      std::uint64_t begin, std::uint64_t end,
+                                      bool with_payload = true) const;
+
+ private:
+  Vector UnitGaussian(std::uint64_t stream, std::size_t n, double scale) const;
+
+  EmbeddingParams params_;
+};
+
+}  // namespace vdb

@@ -1,0 +1,48 @@
+#include "workload/queries.hpp"
+
+#include <cstdio>
+
+namespace vdb {
+
+BvBrcTermGenerator::BvBrcTermGenerator(QueryWorkloadParams params,
+                                       const EmbeddingGenerator& embedder)
+    : params_(params),
+      embedder_(embedder),
+      topic_sampler_(embedder.Params().num_topics, params.topic_skew) {}
+
+QueryTerm BvBrcTermGenerator::TermAt(std::uint64_t index) const {
+  std::uint64_t state = params_.seed ^ (index * 0xBF58476D1CE4E5B9ULL);
+  Rng rng(SplitMix64(state));
+  QueryTerm term;
+  term.term_id = index;
+  term.topic = static_cast<std::uint16_t>(topic_sampler_.Sample(rng));
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "genome-term-%05llu",
+                static_cast<unsigned long long>(index));
+  term.term = buf;
+  return term;
+}
+
+Vector BvBrcTermGenerator::QueryVectorOf(const QueryTerm& term) const {
+  return embedder_.QueryFor(term.topic, term.term_id);
+}
+
+std::vector<Vector> BvBrcTermGenerator::MakeQueries(std::uint64_t count) const {
+  const std::uint64_t n = count == 0 ? params_.num_terms : std::min(count, params_.num_terms);
+  std::vector<Vector> queries;
+  queries.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    queries.push_back(QueryVectorOf(TermAt(i)));
+  }
+  return queries;
+}
+
+std::vector<std::uint64_t> BvBrcTermGenerator::TopicHistogram() const {
+  std::vector<std::uint64_t> histogram(embedder_.Params().num_topics, 0);
+  for (std::uint64_t i = 0; i < params_.num_terms; ++i) {
+    ++histogram[TermAt(i).topic];
+  }
+  return histogram;
+}
+
+}  // namespace vdb

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file queries.hpp
+/// The BV-BRC-derived query workload: 22,723 genome-related terms, each
+/// generating one query that searches the paper corpus for related documents
+/// (paper section 3). Terms map to topics with Zipf skew; each term's query
+/// vector sits near its topic centroid.
+
+#include <string>
+#include <vector>
+
+#include "workload/embeddings.hpp"
+#include "workload/zipf.hpp"
+
+namespace vdb {
+
+struct QueryTerm {
+  std::uint64_t term_id = 0;
+  std::string term;        ///< e.g. "genome-term-00042"
+  std::uint16_t topic = 0; ///< planted topic the term is about
+};
+
+struct QueryWorkloadParams {
+  std::uint64_t num_terms = kPaperNumQueryTerms;  // 22,723
+  double topic_skew = 0.9;
+  std::uint64_t seed = 99;
+};
+
+/// Deterministic term/query generator.
+class BvBrcTermGenerator {
+ public:
+  BvBrcTermGenerator(QueryWorkloadParams params, const EmbeddingGenerator& embedder);
+
+  std::uint64_t Size() const { return params_.num_terms; }
+
+  /// The i-th term (pure in params + i).
+  QueryTerm TermAt(std::uint64_t index) const;
+
+  /// Query vector for a term.
+  Vector QueryVectorOf(const QueryTerm& term) const;
+
+  /// Materializes the first `count` query vectors (count==0 => all).
+  std::vector<Vector> MakeQueries(std::uint64_t count = 0) const;
+
+  /// Topic histogram over all terms — used to verify the Zipf skew.
+  std::vector<std::uint64_t> TopicHistogram() const;
+
+ private:
+  QueryWorkloadParams params_;
+  const EmbeddingGenerator& embedder_;
+  ZipfSampler topic_sampler_;
+};
+
+}  // namespace vdb

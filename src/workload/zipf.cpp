@@ -1,0 +1,31 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vdb {
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) {
+  cdf_.resize(std::max<std::size_t>(1, n));
+  double total = 0.0;
+  for (std::size_t rank = 0; rank < cdf_.size(); ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank + 1), skew);
+    cdf_[rank] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cdf_.begin(),
+                               static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double ZipfSampler::ProbabilityOf(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace vdb

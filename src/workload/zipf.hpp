@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file zipf.hpp
+/// Zipf-distributed sampling. Real query workloads over scientific corpora are
+/// topic-skewed (the paper cites Mohoney et al. 2025 on skewed access
+/// patterns); the BV-BRC term workload maps terms to topics through this
+/// distribution so a few genome topics dominate queries.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vdb {
+
+/// Zipf(s) over {0, 1, ..., n-1} via precomputed inverse-CDF table.
+class ZipfSampler {
+ public:
+  /// `skew` = 0 degenerates to uniform; typical web/term skew is 0.8–1.2.
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t Sample(Rng& rng) const;
+
+  /// P(X = rank).
+  double ProbabilityOf(std::size_t rank) const;
+
+  std::size_t Size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace vdb

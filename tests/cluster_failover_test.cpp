@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+ClusterConfig SmallCluster(std::uint32_t workers) {
+  ClusterConfig config;
+  config.num_workers = workers;
+  config.collection_template.dim = 8;
+  config.collection_template.metric = Metric::kCosine;
+  config.collection_template.index.type = "hnsw";
+  config.collection_template.index.hnsw.m = 8;
+  config.collection_template.index.hnsw.build_threads = 1;
+  return config;
+}
+
+std::vector<PointRecord> RandomPoints(std::size_t count, std::uint64_t seed = 61) {
+  Rng rng(seed);
+  std::vector<PointRecord> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    PointRecord record;
+    record.id = i;
+    record.vector.resize(8);
+    for (auto& x : record.vector) x = static_cast<Scalar>(rng.NextGaussian());
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+TEST(FailoverTest, StopWorkerRemovesEndpoints) {
+  auto cluster = LocalCluster::Start(SmallCluster(3));
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_TRUE((*cluster)->IsWorkerUp(1));
+  ASSERT_TRUE((*cluster)->StopWorker(1).ok());
+  EXPECT_FALSE((*cluster)->IsWorkerUp(1));
+  EXPECT_FALSE((*cluster)->Transport().HasEndpoint(WorkerEndpoint(1)));
+  EXPECT_EQ((*cluster)->StopWorker(1).code(), StatusCode::kNotFound);
+}
+
+TEST(FailoverTest, StrictSearchFailsWithPeerDown) {
+  auto cluster = LocalCluster::Start(SmallCluster(3));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(RandomPoints(120)).ok());
+  ASSERT_TRUE((*cluster)->StopWorker(2).ok());
+
+  SearchParams params;
+  auto hits = (*cluster)->GetRouter().SearchVia(0, Vector(8, 0.5f), params);
+  EXPECT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FailoverTest, DegradedSearchReturnsSurvivingShards) {
+  auto cluster = LocalCluster::Start(SmallCluster(3));
+  ASSERT_TRUE(cluster.ok());
+  const auto points = RandomPoints(120);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+  const std::uint64_t lost = (*cluster)->GetWorker(2).LivePoints();
+  ASSERT_TRUE((*cluster)->StopWorker(2).ok());
+
+  SearchParams params;
+  params.k = 120;
+  params.ef_search = 512;
+  auto result = (*cluster)->GetRouter().SearchDegraded(0, Vector(8, 0.5f), params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->peers_failed, 1u);
+  // Exactly the points on the dead worker are missing.
+  EXPECT_EQ(result->hits.size(), 120u - lost);
+}
+
+TEST(FailoverTest, DegradedSearchWithAllPeersUpReportsNoFailures) {
+  auto cluster = LocalCluster::Start(SmallCluster(3));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(RandomPoints(60)).ok());
+  SearchParams params;
+  params.k = 5;
+  auto result = (*cluster)->GetRouter().SearchDegraded(1, Vector(8, 0.1f), params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->peers_failed, 0u);
+  EXPECT_EQ(result->hits.size(), 5u);
+}
+
+TEST(FailoverTest, UpsertToDeadPrimaryFails) {
+  auto cluster = LocalCluster::Start(SmallCluster(2));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->StopWorker(1).ok());
+  // Some points hash to worker 1's shard; the batch as a whole must fail.
+  auto acknowledged = (*cluster)->GetRouter().UpsertBatch(RandomPoints(50));
+  EXPECT_FALSE(acknowledged.ok());
+}
+
+TEST(FailoverTest, RestartedWorkerServesAgainButLostItsData) {
+  auto cluster = LocalCluster::Start(SmallCluster(3));
+  ASSERT_TRUE(cluster.ok());
+  const auto points = RandomPoints(90);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+  const std::uint64_t held_before = (*cluster)->GetWorker(1).LivePoints();
+  ASSERT_GT(held_before, 0u);
+
+  ASSERT_TRUE((*cluster)->StopWorker(1).ok());
+  ASSERT_TRUE((*cluster)->RestartWorker(1).ok());
+  EXPECT_TRUE((*cluster)->IsWorkerUp(1));
+  // Stateful architecture without replication: the restarted worker comes
+  // back empty (in-memory collections died with it).
+  EXPECT_EQ((*cluster)->GetWorker(1).LivePoints(), 0u);
+
+  // Strict search works again (all endpoints answer).
+  SearchParams params;
+  auto hits = (*cluster)->GetRouter().SearchVia(0, points[0].vector, params);
+  EXPECT_TRUE(hits.ok());
+}
+
+TEST(FailoverTest, RestartRejectsRunningWorkerAndBadIds) {
+  auto cluster = LocalCluster::Start(SmallCluster(2));
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ((*cluster)->RestartWorker(0).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ((*cluster)->RestartWorker(9).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FailoverTest, DurableWorkerRecoversDataAfterRestart) {
+  // With a data_dir, the restarted worker replays its WAL: the stateful
+  // architecture's answer to node loss (paper table 1: persistence).
+  vdb::testing::TempDir dir("failover_durable");
+  ClusterConfig config = SmallCluster(2);
+  config.collection_template.data_dir = dir.Path();
+  auto cluster = LocalCluster::Start(config);
+  ASSERT_TRUE(cluster.ok());
+  const auto points = RandomPoints(80);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+  const std::uint64_t held_before = (*cluster)->GetWorker(1).LivePoints();
+  ASSERT_GT(held_before, 0u);
+
+  ASSERT_TRUE((*cluster)->StopWorker(1).ok());
+  ASSERT_TRUE((*cluster)->RestartWorker(1).ok());
+  EXPECT_EQ((*cluster)->GetWorker(1).LivePoints(), held_before);
+
+  auto total = (*cluster)->GetRouter().TotalPoints();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 80u);
+}
+
+}  // namespace
+}  // namespace vdb

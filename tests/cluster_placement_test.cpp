@@ -1,0 +1,179 @@
+#include "cluster/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/replication.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(PlacementTest, RoundRobinValidatesArguments) {
+  EXPECT_FALSE(ShardPlacement::RoundRobin(0, 4).ok());
+  EXPECT_FALSE(ShardPlacement::RoundRobin(4, 0).ok());
+  EXPECT_FALSE(ShardPlacement::RoundRobin(4, 2, 0).ok());
+  EXPECT_FALSE(ShardPlacement::RoundRobin(4, 2, 3).ok());  // replication > workers
+}
+
+TEST(PlacementTest, EveryShardHasReplicationReplicas) {
+  auto placement = ShardPlacement::RoundRobin(12, 4, 3);
+  ASSERT_TRUE(placement.ok());
+  for (ShardId shard = 0; shard < 12; ++shard) {
+    const auto& replicas = placement->ReplicasOf(shard);
+    EXPECT_EQ(replicas.size(), 3u);
+    // Replicas are distinct workers.
+    std::set<WorkerId> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(PlacementTest, LoadIsBalanced) {
+  auto placement = ShardPlacement::RoundRobin(32, 8, 2);
+  ASSERT_TRUE(placement.ok());
+  const auto [max_load, min_load] = placement->LoadExtremes();
+  EXPECT_LE(max_load - min_load, 1u);
+}
+
+TEST(PlacementTest, ShardForPointIsStableAndUniform) {
+  auto placement = ShardPlacement::RoundRobin(8, 8);
+  ASSERT_TRUE(placement.ok());
+  std::map<ShardId, int> histogram;
+  for (PointId id = 0; id < 80000; ++id) {
+    const ShardId shard = placement->ShardFor(id);
+    EXPECT_EQ(shard, placement->ShardFor(id));  // deterministic
+    ++histogram[shard];
+  }
+  ASSERT_EQ(histogram.size(), 8u);
+  for (const auto& [shard, count] : histogram) {
+    EXPECT_NEAR(count, 10000, 500);  // within 5% of uniform
+  }
+}
+
+TEST(PlacementTest, OwnershipQueriesConsistent) {
+  auto placement = ShardPlacement::RoundRobin(6, 3, 2);
+  ASSERT_TRUE(placement.ok());
+  for (WorkerId worker = 0; worker < 3; ++worker) {
+    for (const ShardId shard : placement->ShardsOwnedBy(worker)) {
+      EXPECT_TRUE(placement->Owns(worker, shard));
+    }
+  }
+  std::size_t total_ownerships = 0;
+  for (WorkerId worker = 0; worker < 3; ++worker) {
+    total_ownerships += placement->ShardsOwnedBy(worker).size();
+  }
+  EXPECT_EQ(total_ownerships, 6u * 2u);
+}
+
+TEST(PlacementTest, PrimaryIsFirstReplica) {
+  auto placement = ShardPlacement::RoundRobin(4, 4, 2);
+  ASSERT_TRUE(placement.ok());
+  for (ShardId shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(placement->PrimaryOf(shard), placement->ReplicasOf(shard)[0]);
+  }
+}
+
+TEST(PlacementTest, RebalanceMovesOnlyChangedPrimaries) {
+  auto placement = ShardPlacement::RoundRobin(8, 2);
+  ASSERT_TRUE(placement.ok());
+  const auto [next, moves] = placement->RebalanceTo(4);
+  EXPECT_EQ(next.NumWorkers(), 4u);
+  for (const ShardMove& move : moves) {
+    EXPECT_EQ(placement->PrimaryOf(move.shard), move.from);
+    EXPECT_EQ(next.PrimaryOf(move.shard), move.to);
+    EXPECT_NE(move.from, move.to);
+  }
+  // Shards whose primary did not change must not appear in the move list.
+  std::set<ShardId> moved;
+  for (const ShardMove& move : moves) moved.insert(move.shard);
+  for (ShardId shard = 0; shard < 8; ++shard) {
+    if (moved.count(shard) == 0) {
+      EXPECT_EQ(placement->PrimaryOf(shard), next.PrimaryOf(shard));
+    }
+  }
+}
+
+TEST(PlacementTest, RebalanceToSameCountIsNoop) {
+  auto placement = ShardPlacement::RoundRobin(8, 4);
+  ASSERT_TRUE(placement.ok());
+  const auto [next, moves] = placement->RebalanceTo(4);
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(PlacementTest, ShardForPointHandlesSingleShard) {
+  EXPECT_EQ(ShardForPoint(123456, 1), 0u);
+  EXPECT_EQ(ShardForPoint(123456, 0), 0u);
+}
+
+TEST(ReplicaHealthTest, MarkDownAndUp) {
+  ReplicaHealth health(4);
+  EXPECT_TRUE(health.IsUp(2));
+  EXPECT_EQ(health.UpCount(), 4u);
+  health.MarkDown(2);
+  EXPECT_FALSE(health.IsUp(2));
+  EXPECT_EQ(health.UpCount(), 3u);
+  health.MarkUp(2);
+  EXPECT_TRUE(health.IsUp(2));
+}
+
+TEST(ReplicaHealthTest, OutOfRangeWorkerIsDown) {
+  ReplicaHealth health(2);
+  EXPECT_FALSE(health.IsUp(9));
+}
+
+TEST(ReplicationTest, ReadSelectionSkipsDownReplicas) {
+  auto placement = ShardPlacement::RoundRobin(4, 4, 2);
+  ASSERT_TRUE(placement.ok());
+  ReplicaHealth health(4);
+  const WorkerId primary = placement->PrimaryOf(0);
+  health.MarkDown(primary);
+  const ReadChoice choice = SelectReadReplica(*placement, 0, health, 0);
+  ASSERT_TRUE(choice.ok);
+  EXPECT_NE(choice.worker, primary);
+  EXPECT_TRUE(placement->Owns(choice.worker, 0));
+}
+
+TEST(ReplicationTest, ReadSelectionRoundRobinsAcrossReplicas) {
+  auto placement = ShardPlacement::RoundRobin(1, 4, 4);
+  ASSERT_TRUE(placement.ok());
+  ReplicaHealth health(4);
+  std::set<WorkerId> chosen;
+  for (std::uint64_t rr = 0; rr < 4; ++rr) {
+    const ReadChoice choice = SelectReadReplica(*placement, 0, health, rr);
+    ASSERT_TRUE(choice.ok);
+    chosen.insert(choice.worker);
+  }
+  EXPECT_EQ(chosen.size(), 4u);
+}
+
+TEST(ReplicationTest, AllReplicasDownFailsRead) {
+  auto placement = ShardPlacement::RoundRobin(2, 2, 2);
+  ASSERT_TRUE(placement.ok());
+  ReplicaHealth health(2);
+  health.MarkDown(0);
+  health.MarkDown(1);
+  EXPECT_FALSE(SelectReadReplica(*placement, 0, health, 0).ok);
+}
+
+TEST(ReplicationTest, WriteQuorum) {
+  auto placement = ShardPlacement::RoundRobin(1, 3, 3);
+  ASSERT_TRUE(placement.ok());
+  ReplicaHealth health(3);
+  EXPECT_EQ(MajorityQuorum(3), 2u);
+  EXPECT_TRUE(HasWriteQuorum(*placement, 0, health, 2));
+  health.MarkDown(0);
+  EXPECT_TRUE(HasWriteQuorum(*placement, 0, health, 2));
+  health.MarkDown(1);
+  EXPECT_FALSE(HasWriteQuorum(*placement, 0, health, 2));
+}
+
+TEST(ReplicationTest, MajorityQuorumValues) {
+  EXPECT_EQ(MajorityQuorum(1), 1u);
+  EXPECT_EQ(MajorityQuorum(2), 2u);
+  EXPECT_EQ(MajorityQuorum(4), 3u);
+  EXPECT_EQ(MajorityQuorum(5), 3u);
+}
+
+}  // namespace
+}  // namespace vdb

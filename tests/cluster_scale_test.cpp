@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+ClusterConfig ScaleConfig(std::uint32_t workers, std::uint32_t shards) {
+  ClusterConfig config;
+  config.num_workers = workers;
+  config.num_shards = shards;
+  config.collection_template.dim = 8;
+  config.collection_template.metric = Metric::kCosine;
+  config.collection_template.index.type = "hnsw";
+  config.collection_template.index.hnsw.m = 8;
+  config.collection_template.index.hnsw.build_threads = 1;
+  return config;
+}
+
+std::vector<PointRecord> RandomPoints(std::size_t count, std::uint64_t seed = 23) {
+  Rng rng(seed);
+  std::vector<PointRecord> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    PointRecord record;
+    record.id = i;
+    record.vector.resize(8);
+    for (auto& x : record.vector) x = static_cast<Scalar>(rng.NextGaussian());
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+TEST(ClusterScaleTest, ScaleOutMovesData) {
+  // 8 shards on 2 workers, then scale to 4: half the shards migrate — the
+  // stateful-architecture rebalancing cost from paper section 2.2.
+  auto cluster = LocalCluster::Start(ScaleConfig(2, 8));
+  ASSERT_TRUE(cluster.ok());
+  const auto points = RandomPoints(300);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+
+  auto transferred = (*cluster)->ScaleTo(4);
+  ASSERT_TRUE(transferred.ok());
+  EXPECT_GT(*transferred, 0u);
+  EXPECT_EQ((*cluster)->NumWorkers(), 4u);
+
+  // Every point still present exactly once.
+  auto total = (*cluster)->GetRouter().TotalPoints();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 300u);
+
+  // The new workers actually own data now.
+  EXPECT_GT((*cluster)->GetWorker(2).LivePoints() +
+                (*cluster)->GetWorker(3).LivePoints(),
+            0u);
+}
+
+TEST(ClusterScaleTest, SearchStillCorrectAfterScaleOut) {
+  auto cluster = LocalCluster::Start(ScaleConfig(2, 8));
+  ASSERT_TRUE(cluster.ok());
+  const auto points = RandomPoints(200);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+  ASSERT_TRUE((*cluster)->ScaleTo(4).ok());
+
+  SearchParams params;
+  params.k = 1;
+  params.ef_search = 256;
+  for (const PointId probe : {PointId{3}, PointId{77}, PointId{150}}) {
+    auto hits = (*cluster)->GetRouter().Search(points[probe].vector, params);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_FALSE(hits->empty());
+    EXPECT_EQ((*hits)[0].id, probe);
+  }
+}
+
+TEST(ClusterScaleTest, ScaleInConsolidatesData) {
+  auto cluster = LocalCluster::Start(ScaleConfig(4, 8));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(RandomPoints(200)).ok());
+
+  auto transferred = (*cluster)->ScaleTo(2);
+  ASSERT_TRUE(transferred.ok());
+  EXPECT_EQ((*cluster)->NumWorkers(), 2u);
+  auto total = (*cluster)->GetRouter().TotalPoints();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 200u);
+}
+
+TEST(ClusterScaleTest, ScaleToSameCountIsFreeNoop) {
+  auto cluster = LocalCluster::Start(ScaleConfig(2, 4));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(RandomPoints(50)).ok());
+  auto transferred = (*cluster)->ScaleTo(2);
+  ASSERT_TRUE(transferred.ok());
+  EXPECT_EQ(*transferred, 0u);
+}
+
+TEST(ClusterScaleTest, ScaleToZeroRejected) {
+  auto cluster = LocalCluster::Start(ScaleConfig(2, 4));
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_FALSE((*cluster)->ScaleTo(0).ok());
+}
+
+TEST(ClusterScaleTest, UpsertsAfterScaleRouteToNewOwners) {
+  auto cluster = LocalCluster::Start(ScaleConfig(2, 8));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(RandomPoints(100)).ok());
+  ASSERT_TRUE((*cluster)->ScaleTo(4).ok());
+
+  auto fresh = RandomPoints(100, 99);
+  for (auto& record : fresh) record.id += 10000;
+  auto acknowledged = (*cluster)->GetRouter().UpsertBatch(fresh);
+  ASSERT_TRUE(acknowledged.ok());
+  EXPECT_EQ(*acknowledged, 100u);
+  auto total = (*cluster)->GetRouter().TotalPoints();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 200u);
+}
+
+}  // namespace
+}  // namespace vdb

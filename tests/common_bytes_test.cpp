@@ -1,0 +1,73 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(BytesFormatTest, BinaryUnits) {
+  EXPECT_EQ(FormatBytesBinary(512), "512 B");
+  EXPECT_EQ(FormatBytesBinary(1536), "1.50 KiB");
+  EXPECT_EQ(FormatBytesBinary(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(FormatBytesBinary(80 * kGiB), "80.00 GiB");
+}
+
+TEST(BytesFormatTest, DecimalUnits) {
+  EXPECT_EQ(FormatBytesDecimal(999), "999 B");
+  EXPECT_EQ(FormatBytesDecimal(1500), "1.50 KB");
+  EXPECT_EQ(FormatBytesDecimal(80 * kGB), "80.00 GB");
+}
+
+TEST(ParseBytesTest, PlainNumber) {
+  auto parsed = ParseBytes("4096");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, 4096u);
+}
+
+TEST(ParseBytesTest, DecimalSuffixes) {
+  EXPECT_EQ(*ParseBytes("80GB"), 80 * kGB);
+  EXPECT_EQ(*ParseBytes("1.5 kb"), 1500u);
+  EXPECT_EQ(*ParseBytes("2MB"), 2 * kMB);
+}
+
+TEST(ParseBytesTest, BinarySuffixes) {
+  EXPECT_EQ(*ParseBytes("1KiB"), kKiB);
+  EXPECT_EQ(*ParseBytes("1.5GiB"), kGiB + kGiB / 2);
+}
+
+TEST(ParseBytesTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseBytes("eighty gigs").ok());
+  EXPECT_FALSE(ParseBytes("12XB").ok());
+  EXPECT_FALSE(ParseBytes("").ok());
+}
+
+TEST(FormatDurationTest, PicksPaperStyleUnits) {
+  // Table 3 mixes hours and minutes; fig. 2 uses seconds.
+  EXPECT_EQ(FormatDuration(8.22 * 3600), "8.22 h");
+  EXPECT_EQ(FormatDuration(35.92 * 60), "35.92 m");
+  EXPECT_EQ(FormatDuration(381.0), "381.00 s");
+  EXPECT_EQ(FormatDuration(0.04564), "45.64 ms");
+  EXPECT_EQ(FormatDuration(2e-5), "20.00 us");
+}
+
+TEST(VectorSizingTest, RoundTripsPaperGeometry) {
+  // 8,293,485 vectors of 2560-d float32 ~ 85 GB -> "approximately 80 GB".
+  const std::uint64_t bytes = BytesPerVectors(kPaperNumVectors, kPaperDim);
+  EXPECT_NEAR(static_cast<double>(bytes) / 1e9, 84.9, 0.5);
+  EXPECT_EQ(VectorsPerBytes(bytes, kPaperDim), kPaperNumVectors);
+}
+
+TEST(VectorSizingTest, OneGBSubsetVectorCount) {
+  // The tuning subset: 1 GB of 2560-d float32 ~ 97k vectors.
+  const std::uint64_t vectors = VectorsPerBytes(kGB, kPaperDim);
+  EXPECT_NEAR(static_cast<double>(vectors), 97656.0, 2.0);
+}
+
+TEST(VectorSizingTest, ZeroDimYieldsZero) {
+  EXPECT_EQ(VectorsPerBytes(kGB, 0), 0u);
+}
+
+}  // namespace
+}  // namespace vdb

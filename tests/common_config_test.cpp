@@ -1,0 +1,82 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(ConfigTest, FromArgsParsesKeyValues) {
+  const char* argv[] = {"--dim=2560", "workers=32", "--name=run1"};
+  auto config = Config::FromArgs(3, argv);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("dim", 0), 2560);
+  EXPECT_EQ(config->GetInt("workers", 0), 32);
+  EXPECT_EQ(config->GetString("name", ""), "run1");
+}
+
+TEST(ConfigTest, FromArgsRejectsBareFlag) {
+  const char* argv[] = {"--verbose"};
+  EXPECT_FALSE(Config::FromArgs(1, argv).ok());
+}
+
+TEST(ConfigTest, FromTextIgnoresCommentsAndBlankLines) {
+  auto config = Config::FromText("# experiment\n\ndim = 64\nmetric = cosine\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->GetInt("dim", 0), 64);
+  EXPECT_EQ(config->GetString("metric", ""), "cosine");
+}
+
+TEST(ConfigTest, FromTextRejectsMalformedLine) {
+  EXPECT_FALSE(Config::FromText("dim 64\n").ok());
+}
+
+TEST(ConfigTest, TypedGettersFallBack) {
+  Config config;
+  EXPECT_EQ(config.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(config.GetDouble("missing", 1.5), 1.5);
+  EXPECT_TRUE(config.GetBool("missing", true));
+  EXPECT_EQ(config.GetString("missing", "x"), "x");
+  EXPECT_EQ(config.GetBytes("missing", 99), 99u);
+}
+
+TEST(ConfigTest, BoolAcceptsCommonSpellings) {
+  Config config;
+  config.Set("a", "true");
+  config.Set("b", "YES");
+  config.Set("c", "1");
+  config.Set("d", "off");
+  EXPECT_TRUE(config.GetBool("a", false));
+  EXPECT_TRUE(config.GetBool("b", false));
+  EXPECT_TRUE(config.GetBool("c", false));
+  EXPECT_FALSE(config.GetBool("d", true));
+}
+
+TEST(ConfigTest, BytesGetterParsesSuffix) {
+  Config config;
+  config.Set("dataset", "80GB");
+  EXPECT_EQ(config.GetBytes("dataset", 0), 80 * kGB);
+}
+
+TEST(ConfigTest, SetOverwritesButKeepsOrder) {
+  Config config;
+  config.Set("a", "1");
+  config.Set("b", "2");
+  config.Set("a", "3");
+  EXPECT_EQ(config.GetInt("a", 0), 3);
+  const auto keys = config.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(ConfigTest, ToStringRendersInOrder) {
+  Config config;
+  config.Set("workers", "8");
+  config.Set("dim", "64");
+  EXPECT_EQ(config.ToString(), "workers=8 dim=64");
+}
+
+}  // namespace
+}  // namespace vdb

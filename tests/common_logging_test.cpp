@@ -1,0 +1,82 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vdb {
+namespace {
+
+std::vector<std::pair<LogLevel, std::string>>& Captured() {
+  static std::vector<std::pair<LogLevel, std::string>> lines;
+  return lines;
+}
+
+void CaptureSink(LogLevel level, const std::string& message) {
+  Captured().emplace_back(level, message);
+}
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Captured().clear();
+    previous_level_ = GetLogLevel();
+    SetLogSink(&CaptureSink);
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(previous_level_);
+  }
+  LogLevel previous_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, LevelFiltersMessages) {
+  SetLogLevel(LogLevel::kWarn);
+  VDB_DEBUG << "dropped";
+  VDB_INFO << "also dropped";
+  VDB_WARN << "kept";
+  VDB_ERROR << "kept too";
+  ASSERT_EQ(Captured().size(), 2u);
+  EXPECT_EQ(Captured()[0].first, LogLevel::kWarn);
+  EXPECT_EQ(Captured()[1].first, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  VDB_ERROR << "swallowed";
+  EXPECT_TRUE(Captured().empty());
+}
+
+TEST_F(LoggingTest, MessageCarriesFileAndContent) {
+  SetLogLevel(LogLevel::kDebug);
+  VDB_INFO << "hello " << 42;
+  ASSERT_EQ(Captured().size(), 1u);
+  const std::string& line = Captured()[0].second;
+  EXPECT_NE(line.find("common_logging_test.cpp"), std::string::npos);
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+}
+
+TEST_F(LoggingTest, StreamExpressionNotEvaluatedWhenFiltered) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  VDB_DEBUG << expensive();
+  EXPECT_EQ(evaluations, 0);
+  VDB_ERROR << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                               LogLevel::kError, LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,99 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "Ok");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  const Status status = Status::NotFound("point 7 missing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "point 7 missing");
+  EXPECT_EQ(status.ToString(), "NotFound: point 7 missing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+        StatusCode::kOutOfRange, StatusCode::kCorruption, StatusCode::kIoError,
+        StatusCode::kUnavailable, StatusCode::kResourceExhausted,
+        StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::IoError("disk gone");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(5);
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> result = std::string("hit");
+  EXPECT_EQ(result.value_or("miss"), "hit");
+}
+
+Status FailWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status UsesReturnIfError(int x) {
+  VDB_RETURN_IF_ERROR(FailWhenNegative(x));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(1).ok());
+  EXPECT_EQ(UsesReturnIfError(-1).code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> Doubler(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return 2 * x;
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  VDB_ASSIGN_OR_RETURN(const int doubled, Doubler(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = UsesAssignOrReturn(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(UsesAssignOrReturn(-3).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include "embed/batching.hpp"
+#include "embed/gpu_model.hpp"
+#include "embed/orchestrator.hpp"
+#include "embed/pipeline.hpp"
+
+namespace vdb::embed {
+namespace {
+
+std::vector<Document> MakeDocs(std::size_t count, std::uint32_t chars_each) {
+  std::vector<Document> docs;
+  for (std::size_t i = 0; i < count; ++i) {
+    Document doc;
+    doc.id = i;
+    doc.char_count = chars_each;
+    docs.push_back(doc);
+  }
+  return docs;
+}
+
+TEST(BatchingTest, RespectsPaperLimits) {
+  // 20k-char papers, 150k budget, 8-paper cap: 7 papers fit by chars.
+  const auto docs = MakeDocs(100, 20000);
+  const BatchLimits limits;
+  const auto batches = PackMicroBatches(docs, limits);
+  EXPECT_TRUE(ValidatePacking(docs, batches, limits));
+  for (const auto& batch : batches) {
+    EXPECT_LE(batch.doc_indexes.size(), 7u);
+  }
+}
+
+TEST(BatchingTest, PaperCapBindsForShortDocs) {
+  // Tiny docs: the 8-paper cap binds before the char budget.
+  const auto docs = MakeDocs(80, 100);
+  const BatchLimits limits;
+  const auto batches = PackMicroBatches(docs, limits);
+  EXPECT_TRUE(ValidatePacking(docs, batches, limits));
+  EXPECT_EQ(batches.size(), 10u);
+  for (const auto& batch : batches) {
+    EXPECT_EQ(batch.doc_indexes.size(), 8u);
+  }
+}
+
+TEST(BatchingTest, OversizedPaperFormsSingletonWithoutTruncation) {
+  auto docs = MakeDocs(3, 10000);
+  docs[1].char_count = 500000;  // bigger than the whole budget
+  const BatchLimits limits;
+  const auto batches = PackMicroBatches(docs, limits);
+  EXPECT_TRUE(ValidatePacking(docs, batches, limits));
+  bool found_singleton = false;
+  for (const auto& batch : batches) {
+    if (batch.total_chars == 500000) {
+      EXPECT_EQ(batch.doc_indexes.size(), 1u);
+      found_singleton = true;
+    }
+  }
+  EXPECT_TRUE(found_singleton);
+}
+
+TEST(BatchingTest, EmptyInput) {
+  EXPECT_TRUE(PackMicroBatches({}, BatchLimits{}).empty());
+}
+
+TEST(BatchingTest, ValidatorCatchesViolations) {
+  const auto docs = MakeDocs(10, 1000);
+  auto batches = PackMicroBatches(docs, BatchLimits{});
+  // Drop a document -> coverage violation.
+  batches.back().doc_indexes.pop_back();
+  EXPECT_FALSE(ValidatePacking(docs, batches, BatchLimits{}));
+}
+
+TEST(GpuModelTest, InferenceTimeProportionalToChars) {
+  GpuParams params;
+  GpuModel gpu(params);
+  EXPECT_NEAR(gpu.InferSeconds(2000000), 2.0 * 1e6 * params.seconds_per_char, 1e-9);
+  EXPECT_GT(gpu.InferSeconds(100000), gpu.InferSeconds(50000));
+}
+
+TEST(GpuModelTest, WellUnderBudgetNeverOoms) {
+  GpuParams params;
+  GpuModel gpu(params);
+  const auto docs = MakeDocs(4, 10000);  // 40k chars, far below capacity
+  MicroBatch batch;
+  batch.doc_indexes = {0, 1, 2, 3};
+  batch.total_chars = 40000;
+  for (int i = 0; i < 2000; ++i) {
+    const auto outcome = gpu.RunBatch(batch, docs);
+    EXPECT_FALSE(outcome.oom);
+  }
+}
+
+TEST(GpuModelTest, OomRateNearBudgetIsRareButNonzero) {
+  GpuParams params;
+  GpuModel gpu(params);
+  const auto docs = MakeDocs(8, 18700);  // ~149.6k chars: right at the budget
+  MicroBatch batch;
+  batch.doc_indexes = {0, 1, 2, 3, 4, 5, 6, 7};
+  batch.total_chars = 8 * 18700;
+  int ooms = 0;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    ooms += gpu.RunBatch(batch, docs).oom ? 1 : 0;
+  }
+  const double rate = static_cast<double>(ooms) / trials;
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 0.005);  // consistent with <0.10% of papers sequential
+}
+
+TEST(GpuModelTest, OomFallbackProcessesEveryPaperSequentially) {
+  GpuParams params;
+  params.oom_zscore = -20.0;  // capacity collapses to zero: every multi-paper batch OOMs
+  GpuModel gpu(params);
+  const auto docs = MakeDocs(5, 10000);
+  MicroBatch batch;
+  batch.doc_indexes = {0, 1, 2, 3, 4};
+  batch.total_chars = 50000;
+  const auto outcome = gpu.RunBatch(batch, docs);
+  EXPECT_TRUE(outcome.oom);
+  EXPECT_EQ(outcome.papers_sequential, 5u);
+  // Sequential redo costs more than the clean batch would have.
+  EXPECT_GT(outcome.seconds, params.batch_fixed_seconds + gpu.InferSeconds(50000));
+}
+
+TEST(GpuModelTest, SingletonBatchNeverOoms) {
+  GpuParams params;
+  params.oom_zscore = -20.0;
+  GpuModel gpu(params);
+  const auto docs = MakeDocs(1, 400000);
+  MicroBatch batch;
+  batch.doc_indexes = {0};
+  batch.total_chars = 400000;
+  EXPECT_FALSE(gpu.RunBatch(batch, docs).oom);
+}
+
+TEST(NodeJobTest, SplitsAcrossGpusAndReportsMax) {
+  JobParams params;
+  params.gpus = 4;
+  const auto docs = MakeDocs(400, 20000);
+  const JobReport report = RunNodeJob(docs, params, 1);
+  EXPECT_EQ(report.papers, 400u);
+  EXPECT_DOUBLE_EQ(report.model_load_seconds, 28.17);
+  EXPECT_DOUBLE_EQ(report.io_seconds, 7.49);
+  EXPECT_GT(report.inference_seconds, 0.0);
+  EXPECT_NEAR(report.total_seconds,
+              report.model_load_seconds + report.io_seconds + report.inference_seconds,
+              1e-9);
+  // 4 GPUs in parallel: inference ~ cost of 100 papers, not 400.
+  GpuModel gpu(params.gpu);
+  const double serial_all = gpu.InferSeconds(400ull * 20000ull);
+  EXPECT_LT(report.inference_seconds, serial_all / 3.0);
+}
+
+TEST(NodeJobTest, MoreGpusFinishFaster) {
+  const auto docs = MakeDocs(800, 20000);
+  JobParams one;
+  one.gpus = 1;
+  JobParams four;
+  four.gpus = 4;
+  EXPECT_GT(RunNodeJob(docs, one, 1).inference_seconds,
+            RunNodeJob(docs, four, 1).inference_seconds * 2.5);
+}
+
+TEST(OrchestratorTest, ProcessesWholeCorpus) {
+  sim::Simulation sim;
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 4000;
+  SyntheticCorpus corpus(corpus_params);
+  OrchestratorParams params;
+  params.papers_per_job = 500;
+  Orchestrator orchestrator(sim, corpus, params);
+  orchestrator.Start();
+  sim.Run();
+  const CampaignReport& report = orchestrator.Report();
+  EXPECT_EQ(report.jobs, 8u);
+  EXPECT_EQ(report.papers, 4000u);
+  EXPECT_GT(report.campaign_seconds, 0.0);
+}
+
+TEST(OrchestratorTest, InferenceDominatesLikeTable2) {
+  sim::Simulation sim;
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 20000;
+  SyntheticCorpus corpus(corpus_params);
+  OrchestratorParams params;
+  params.papers_per_job = 4000;
+  Orchestrator orchestrator(sim, corpus, params);
+  orchestrator.Start();
+  sim.Run();
+  const CampaignReport& report = orchestrator.Report();
+  // Paper: inference is 98.5% of job runtime; sequential fallback <0.10%.
+  EXPECT_GT(report.MeanInferenceFraction(), 0.97);
+  EXPECT_LT(report.SequentialPaperFraction(), 0.001);
+  EXPECT_NEAR(report.inference_seconds.Mean(), 2381.97, 2381.97 * 0.15);
+}
+
+TEST(OrchestratorTest, QueueCapLimitsConcurrency) {
+  // With one queue of capacity 1, jobs serialize: campaign ~= sum of jobs.
+  sim::Simulation sim;
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 2000;
+  SyntheticCorpus corpus(corpus_params);
+  OrchestratorParams serial_params;
+  serial_params.papers_per_job = 500;
+  serial_params.queues = {QueueSpec{"small", 1, 0.0}};
+  Orchestrator serial(sim, corpus, serial_params);
+  serial.Start();
+  sim.Run();
+  const double serial_time = serial.Report().campaign_seconds;
+
+  sim::Simulation sim2;
+  OrchestratorParams wide_params = serial_params;
+  wide_params.queues = {QueueSpec{"wide", 4, 0.0}};
+  Orchestrator wide(sim2, corpus, wide_params);
+  wide.Start();
+  sim2.Run();
+  EXPECT_LT(wide.Report().campaign_seconds, serial_time / 2.0);
+}
+
+TEST(OrchestratorTest, MultipleQueuesShareLoad) {
+  sim::Simulation sim;
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 4000;
+  SyntheticCorpus corpus(corpus_params);
+  OrchestratorParams params;
+  params.papers_per_job = 500;
+  params.queues = {QueueSpec{"debug", 1, 10.0}, QueueSpec{"prod", 2, 60.0}};
+  Orchestrator orchestrator(sim, corpus, params);
+  orchestrator.Start();
+  sim.Run();
+  EXPECT_EQ(orchestrator.Report().jobs, 8u);
+}
+
+TEST(OrchestratorTest, PauseStopsNewSubmissionsResumeContt) {
+  sim::Simulation sim;
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 4000;
+  SyntheticCorpus corpus(corpus_params);
+  OrchestratorParams params;
+  params.papers_per_job = 500;
+  params.queues = {QueueSpec{"q", 1, 0.0}};
+  Orchestrator orchestrator(sim, corpus, params);
+  orchestrator.Start();
+
+  // Pause shortly after the first job begins.
+  sim.After(1.0, [&] { orchestrator.Pause(); });
+  sim.Run();
+  EXPECT_TRUE(orchestrator.IsPaused());
+  const auto submitted_at_pause = orchestrator.JobsSubmitted();
+  EXPECT_LT(submitted_at_pause, 8u);
+
+  orchestrator.Resume();
+  sim.Run();
+  EXPECT_EQ(orchestrator.Report().jobs, 8u);
+  EXPECT_EQ(orchestrator.Report().papers, 4000u);
+}
+
+}  // namespace
+}  // namespace vdb::embed

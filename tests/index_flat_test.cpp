@@ -1,0 +1,133 @@
+#include "index/flat_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(VectorStoreTest, AddAndRetrieve) {
+  VectorStore store(4, Metric::kL2);
+  const Vector v{1, 2, 3, 4};
+  auto offset = store.Add(99, v);
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 0u);
+  EXPECT_EQ(store.Size(), 1u);
+  EXPECT_EQ(store.IdAt(0), 99u);
+  const VectorView stored = store.At(0);
+  EXPECT_FLOAT_EQ(stored[2], 3.0f);
+}
+
+TEST(VectorStoreTest, RejectsWrongDimension) {
+  VectorStore store(4, Metric::kL2);
+  const Vector v{1, 2, 3};
+  EXPECT_FALSE(store.Add(1, v).ok());
+}
+
+TEST(VectorStoreTest, CosineStoreNormalizesOnIngest) {
+  VectorStore store(2, Metric::kCosine);
+  const Vector v{3, 4};
+  ASSERT_TRUE(store.Add(1, v).ok());
+  EXPECT_NEAR(Norm(store.At(0)), 1.0f, 1e-6);
+  EXPECT_EQ(store.SearchMetric(), Metric::kInnerProduct);
+}
+
+TEST(VectorStoreTest, L2StoreKeepsRawVectors) {
+  VectorStore store(2, Metric::kL2);
+  const Vector v{3, 4};
+  ASSERT_TRUE(store.Add(1, v).ok());
+  EXPECT_FLOAT_EQ(store.At(0)[0], 3.0f);
+  EXPECT_EQ(store.SearchMetric(), Metric::kL2);
+}
+
+TEST(VectorStoreTest, DeleteMarksTombstone) {
+  VectorStore store(2, Metric::kL2);
+  (void)store.Add(1, Vector{1, 1});
+  (void)store.Add(2, Vector{2, 2});
+  ASSERT_TRUE(store.MarkDeleted(0).ok());
+  EXPECT_TRUE(store.IsDeleted(0));
+  EXPECT_FALSE(store.IsDeleted(1));
+  EXPECT_EQ(store.DeletedCount(), 1u);
+  // Idempotent.
+  ASSERT_TRUE(store.MarkDeleted(0).ok());
+  EXPECT_EQ(store.DeletedCount(), 1u);
+}
+
+TEST(VectorStoreTest, DeleteOutOfRangeFails) {
+  VectorStore store(2, Metric::kL2);
+  EXPECT_EQ(store.MarkDeleted(5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ExactSearchTest, FindsNearestUnderL2) {
+  VectorStore store(2, Metric::kL2);
+  (void)store.Add(1, Vector{0, 0});
+  (void)store.Add(2, Vector{5, 5});
+  (void)store.Add(3, Vector{1, 0});
+  const auto hits = ExactSearch(store, Vector{0.9f, 0.1f}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 3u);
+  EXPECT_EQ(hits[1].id, 1u);
+}
+
+TEST(ExactSearchTest, SkipsDeletedPoints) {
+  VectorStore store(2, Metric::kL2);
+  (void)store.Add(1, Vector{0, 0});
+  (void)store.Add(2, Vector{1, 1});
+  (void)store.MarkDeleted(0);
+  const auto hits = ExactSearch(store, Vector{0, 0}, 2);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 2u);
+}
+
+TEST(ExactSearchTest, CosineQueryNormalizedConsistently) {
+  VectorStore store(2, Metric::kCosine);
+  (void)store.Add(1, Vector{1, 0});
+  (void)store.Add(2, Vector{0, 1});
+  // Same direction as point 1, different magnitude: must score ~1.0.
+  const auto hits = ExactSearch(store, Vector{100, 0}, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 1u);
+  EXPECT_NEAR(hits[0].score, 1.0f, 1e-5);
+}
+
+TEST(FlatIndexTest, AlwaysReadyAndExact) {
+  VectorStore store(8, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 200);
+  FlatIndex index(store);
+  EXPECT_TRUE(index.Ready());
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams params;
+  const double recall = vdb::testing::MeanRecall(index, store, raw, 20, 10, params);
+  EXPECT_DOUBLE_EQ(recall, 1.0);
+}
+
+TEST(FlatIndexTest, SearchValidatesDimension) {
+  VectorStore store(4, Metric::kL2);
+  FlatIndex index(store);
+  SearchParams params;
+  EXPECT_FALSE(index.Search(Vector{1, 2}, params).ok());
+}
+
+TEST(FlatIndexTest, KLargerThanStoreReturnsAll) {
+  VectorStore store(2, Metric::kL2);
+  (void)store.Add(1, Vector{0, 0});
+  (void)store.Add(2, Vector{1, 1});
+  FlatIndex index(store);
+  SearchParams params;
+  params.k = 10;
+  auto hits = index.Search(Vector{0, 0}, params);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+}
+
+TEST(FlatIndexTest, AddValidatesOffset) {
+  VectorStore store(2, Metric::kL2);
+  FlatIndex index(store);
+  EXPECT_EQ(index.Add(0).code(), StatusCode::kOutOfRange);
+  (void)store.Add(1, Vector{0, 0});
+  EXPECT_TRUE(index.Add(0).ok());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "index/hnsw_index.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+HnswParams SmallParams() {
+  HnswParams params;
+  params.m = 8;
+  params.m0 = 16;
+  params.ef_construction = 48;
+  params.build_threads = 1;
+  return params;
+}
+
+TEST(HnswIoTest, StreamRoundTripPreservesGraph) {
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 400);
+  HnswIndex original(store, SmallParams());
+  ASSERT_TRUE(original.Build().ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveToStream(buffer).ok());
+
+  HnswIndex loaded(store, SmallParams());
+  ASSERT_TRUE(loaded.LoadFromStream(buffer).ok());
+
+  EXPECT_EQ(loaded.MaxLevel(), original.MaxLevel());
+  EXPECT_EQ(loaded.NodeCount(), original.NodeCount());
+  for (std::uint32_t offset = 0; offset < 400; offset += 13) {
+    EXPECT_EQ(loaded.NeighborsForTest(offset, 0), original.NeighborsForTest(offset, 0));
+  }
+}
+
+TEST(HnswIoTest, LoadedGraphSearchesIdentically) {
+  VectorStore store(16, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 600);
+  HnswIndex original(store, SmallParams());
+  ASSERT_TRUE(original.Build().ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveToStream(buffer).ok());
+  HnswIndex loaded(store, SmallParams());
+  ASSERT_TRUE(loaded.LoadFromStream(buffer).ok());
+  EXPECT_TRUE(loaded.Ready());
+
+  SearchParams params;
+  params.k = 10;
+  params.ef_search = 64;
+  for (int q = 0; q < 10; ++q) {
+    auto expected = original.Search(raw[static_cast<std::size_t>(q) * 37], params);
+    auto got = loaded.Search(raw[static_cast<std::size_t>(q) * 37], params);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *expected);
+  }
+}
+
+TEST(HnswIoTest, FileRoundTrip) {
+  vdb::testing::TempDir dir("hnsw_io");
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 200);
+  HnswIndex original(store, SmallParams());
+  ASSERT_TRUE(original.Build().ok());
+
+  const auto path = dir.Path() / "graph.hnsw";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  HnswIndex loaded(store, SmallParams());
+  ASSERT_TRUE(loaded.LoadFromFile(path).ok());
+  EXPECT_EQ(loaded.NodeCount(), 200u);
+}
+
+TEST(HnswIoTest, MissingFileIsNotFound) {
+  vdb::testing::TempDir dir("hnsw_io");
+  VectorStore store(8, Metric::kCosine);
+  HnswIndex index(store, SmallParams());
+  EXPECT_EQ(index.LoadFromFile(dir.Path() / "nope.hnsw").code(), StatusCode::kNotFound);
+}
+
+TEST(HnswIoTest, CorruptionDetected) {
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 100);
+  HnswIndex original(store, SmallParams());
+  ASSERT_TRUE(original.Build().ok());
+
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveToStream(buffer).ok());
+  std::string data = buffer.str();
+  data[data.size() / 2] ^= 0x5A;
+
+  std::stringstream corrupt(data);
+  HnswIndex loaded(store, SmallParams());
+  EXPECT_EQ(loaded.LoadFromStream(corrupt).code(), StatusCode::kCorruption);
+}
+
+TEST(HnswIoTest, ParameterMismatchRejected) {
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 50);
+  HnswIndex original(store, SmallParams());
+  ASSERT_TRUE(original.Build().ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveToStream(buffer).ok());
+
+  HnswParams other = SmallParams();
+  other.m = 16;
+  other.m0 = 32;
+  HnswIndex loaded(store, other);
+  EXPECT_EQ(loaded.LoadFromStream(buffer).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HnswIoTest, GraphBiggerThanStoreRejected) {
+  VectorStore big(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(big, 100);
+  HnswIndex original(big, SmallParams());
+  ASSERT_TRUE(original.Build().ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveToStream(buffer).ok());
+
+  VectorStore small(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(small, 10);
+  HnswIndex loaded(small, SmallParams());
+  const Status status = loaded.LoadFromStream(buffer);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(HnswIoTest, EmptyGraphRoundTrip) {
+  VectorStore store(8, Metric::kCosine);
+  HnswIndex original(store, SmallParams());
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveToStream(buffer).ok());
+  HnswIndex loaded(store, SmallParams());
+  ASSERT_TRUE(loaded.LoadFromStream(buffer).ok());
+  EXPECT_FALSE(loaded.Ready());
+  EXPECT_EQ(loaded.NodeCount(), 0u);
+}
+
+TEST(HnswIoTest, LoadedGraphAcceptsIncrementalAdds) {
+  VectorStore store(8, Metric::kCosine);
+  auto raw = vdb::testing::FillRandomStore(store, 150);
+  HnswIndex original(store, SmallParams());
+  ASSERT_TRUE(original.Build().ok());
+  std::stringstream buffer;
+  ASSERT_TRUE(original.SaveToStream(buffer).ok());
+
+  HnswIndex loaded(store, SmallParams());
+  ASSERT_TRUE(loaded.LoadFromStream(buffer).ok());
+
+  // Grow the store and index the new point into the loaded graph.
+  Rng rng(55);
+  Vector v(8);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+  auto offset = store.Add(9999, v);
+  ASSERT_TRUE(offset.ok());
+  ASSERT_TRUE(loaded.Add(*offset).ok());
+
+  SearchParams params;
+  params.k = 1;
+  params.ef_search = 64;
+  auto hits = loaded.Search(v, params);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].id, 9999u);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,213 @@
+#include "index/ivf_pq_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "index/kmeans.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+IvfPqParams SmallParams() {
+  IvfPqParams params;
+  params.n_lists = 16;
+  params.n_subspaces = 8;
+  params.codebook_size = 32;
+  params.train_sample = 4096;
+  params.rerank = 64;
+  return params;
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  // Two tight blobs around (0,0) and (10,10).
+  Rng rng(1);
+  std::vector<Scalar> data;
+  for (int i = 0; i < 100; ++i) {
+    const float base = i < 50 ? 0.f : 10.f;
+    data.push_back(base + static_cast<Scalar>(rng.NextGaussian() * 0.1));
+    data.push_back(base + static_cast<Scalar>(rng.NextGaussian() * 0.1));
+  }
+  KMeansParams params;
+  params.k = 2;
+  const auto result = KMeansCluster(data.data(), 100, 2, params);
+  EXPECT_EQ(result.assignments.size(), 100u);
+  // All points in each half share an assignment, and the halves differ.
+  for (int i = 1; i < 50; ++i) EXPECT_EQ(result.assignments[i], result.assignments[0]);
+  for (int i = 51; i < 100; ++i) EXPECT_EQ(result.assignments[i], result.assignments[50]);
+  EXPECT_NE(result.assignments[0], result.assignments[50]);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(2);
+  std::vector<Scalar> data(500 * 4);
+  for (auto& x : data) x = static_cast<Scalar>(rng.NextGaussian());
+  KMeansParams k2;
+  k2.k = 2;
+  KMeansParams k16;
+  k16.k = 16;
+  const auto coarse = KMeansCluster(data.data(), 500, 4, k2);
+  const auto fine = KMeansCluster(data.data(), 500, 4, k16);
+  EXPECT_LT(fine.inertia, coarse.inertia);
+}
+
+TEST(KMeansTest, EmptyInputIsSafe) {
+  KMeansParams params;
+  const auto result = KMeansCluster(nullptr, 0, 4, params);
+  EXPECT_TRUE(result.assignments.empty());
+}
+
+TEST(KMeansTest, FewerPointsThanCentroidsStillYieldsKRows) {
+  Rng rng(3);
+  std::vector<Scalar> data(3 * 2);
+  for (auto& x : data) x = static_cast<Scalar>(rng.NextGaussian());
+  KMeansParams params;
+  params.k = 8;
+  const auto result = KMeansCluster(data.data(), 3, 2, params);
+  EXPECT_EQ(result.centroids.size(), 8u * 2u);
+}
+
+TEST(KMeansTest, NearestCentroidPicksArgmin) {
+  const std::vector<Scalar> centroids = {0, 0, 10, 10, -5, 5};
+  const Vector v{9, 9};
+  EXPECT_EQ(NearestCentroid(v, centroids, 2), 1u);
+}
+
+TEST(IvfPqTest, AddBeforeBuildFails) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 10);
+  IvfPqIndex index(store, SmallParams());
+  EXPECT_EQ(index.Add(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(index.Ready());
+}
+
+TEST(IvfPqTest, BuildOnEmptyStoreFails) {
+  VectorStore store(16, Metric::kCosine);
+  IvfPqIndex index(store, SmallParams());
+  EXPECT_EQ(index.Build().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IvfPqTest, SubspacesDivideDimension) {
+  VectorStore store(20, Metric::kL2);
+  IvfPqParams params;
+  params.n_subspaces = 8;  // does not divide 20; must shrink to 5
+  IvfPqIndex index(store, params);
+  EXPECT_EQ(20 % index.NumSubspaces(), 0u);
+}
+
+TEST(IvfPqTest, EncodeDecodeRoundTripApproximates) {
+  VectorStore store(16, Metric::kL2);
+  const auto raw = vdb::testing::FillRandomStore(store, 2000);
+  IvfPqIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Build().ok());
+
+  // PQ reconstruction must be closer to the original than a random other
+  // vector is, on average.
+  double self_error = 0.0;
+  double cross_error = 0.0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const auto codes = index.EncodeForTest(store.At(static_cast<std::uint32_t>(i)));
+    const Vector decoded = index.DecodeForTest(codes);
+    self_error += L2SquaredDistance(store.At(static_cast<std::uint32_t>(i)), decoded);
+    cross_error += L2SquaredDistance(store.At(static_cast<std::uint32_t>(i + 100)), decoded);
+  }
+  EXPECT_LT(self_error, cross_error * 0.7);
+}
+
+TEST(IvfPqTest, RecallWithRerankOnClusteredData) {
+  // IVF shines on clustered data; build planted clusters.
+  VectorStore store(16, Metric::kCosine);
+  Rng rng(5);
+  std::vector<Vector> centroids;
+  for (int c = 0; c < 8; ++c) {
+    Vector centroid(16);
+    for (auto& x : centroid) x = static_cast<Scalar>(rng.NextGaussian());
+    NormalizeInPlace(centroid);
+    centroids.push_back(centroid);
+  }
+  std::vector<Vector> raw;
+  for (int i = 0; i < 1600; ++i) {
+    Vector v = centroids[i % 8];
+    for (auto& x : v) x += static_cast<Scalar>(rng.NextGaussian() * 0.1);
+    (void)store.Add(static_cast<PointId>(i), v);
+    raw.push_back(std::move(v));
+  }
+  IvfPqIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_TRUE(index.Ready());
+  SearchParams params;
+  params.n_probes = 8;
+  const double recall = vdb::testing::MeanRecall(index, store, raw, 25, 10, params);
+  EXPECT_GE(recall, 0.7);
+}
+
+TEST(IvfPqTest, MoreProbesImproveOrMatchRecall) {
+  VectorStore store(16, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 1500);
+  IvfPqIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams narrow;
+  narrow.n_probes = 1;
+  SearchParams wide;
+  wide.n_probes = 16;
+  const double recall_narrow = vdb::testing::MeanRecall(index, store, raw, 20, 10, narrow);
+  const double recall_wide = vdb::testing::MeanRecall(index, store, raw, 20, 10, wide);
+  EXPECT_GE(recall_wide + 1e-9, recall_narrow);
+}
+
+TEST(IvfPqTest, IncrementalAddAfterBuild) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 500);
+  IvfPqIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Build().ok());
+  Rng rng(9);
+  Vector v(16);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+  auto offset = store.Add(9999, v);
+  ASSERT_TRUE(offset.ok());
+  ASSERT_TRUE(index.Add(*offset).ok());
+  SearchParams params;
+  params.n_probes = 16;
+  params.k = 5;
+  auto hits = index.Search(v, params);
+  ASSERT_TRUE(hits.ok());
+  bool found = false;
+  for (const auto& hit : *hits) found |= hit.id == 9999u;
+  EXPECT_TRUE(found);
+}
+
+TEST(IvfPqTest, DeletedPointsExcluded) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 300);
+  IvfPqIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Build().ok());
+  (void)store.MarkDeleted(7);
+  SearchParams params;
+  params.n_probes = 16;
+  params.k = 300;
+  auto hits = index.Search(store.At(7), params);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& hit : *hits) EXPECT_NE(hit.id, 7u);
+}
+
+TEST(IvfPqTest, MemoryFootprintSmallerThanRawVectors) {
+  VectorStore store(64, Metric::kL2);
+  vdb::testing::FillRandomStore(store, 2000);
+  IvfPqParams params = SmallParams();
+  params.rerank = 0;
+  IvfPqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+  // Codes are n_subspaces bytes per vector vs dim*4 raw.
+  EXPECT_LT(index.MemoryBytes(), store.MemoryBytes() / 4);
+}
+
+TEST(IvfPqTest, SearchValidatesState) {
+  VectorStore store(16, Metric::kL2);
+  vdb::testing::FillRandomStore(store, 10);
+  IvfPqIndex index(store, SmallParams());
+  SearchParams params;
+  EXPECT_EQ(index.Search(store.At(0), params).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,143 @@
+#include "index/kd_tree_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "index/factory.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+KdTreeParams SmallParams() {
+  KdTreeParams params;
+  params.leaf_size = 16;
+  params.max_leaf_visits = 64;
+  return params;
+}
+
+TEST(KdTreeTest, IncrementalAddUnsupported) {
+  VectorStore store(4, Metric::kL2);
+  vdb::testing::FillRandomStore(store, 10);
+  KdTreeIndex index(store, SmallParams());
+  EXPECT_EQ(index.Add(0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(KdTreeTest, EmptyBuildIsOk) {
+  VectorStore store(4, Metric::kL2);
+  KdTreeIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams params;
+  auto hits = index.Search(Vector{0, 0, 0, 0}, params);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(KdTreeTest, ExactInLowDimensionsWithFullBudget) {
+  // KD-trees are exact-ish in low dimensions when allowed to visit every leaf.
+  VectorStore store(3, Metric::kL2);
+  const auto raw = vdb::testing::FillRandomStore(store, 800);
+  KdTreeParams params = SmallParams();
+  params.max_leaf_visits = 10000;
+  KdTreeIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams search;
+  const double recall = vdb::testing::MeanRecall(index, store, raw, 30, 10, search);
+  EXPECT_GE(recall, 0.99);
+}
+
+TEST(KdTreeTest, HighDimensionRecallDegrades) {
+  // The curse of dimensionality (paper background): same visit budget, much
+  // worse recall at high dimension — the reason vector DBs prefer HNSW.
+  VectorStore low(4, Metric::kL2);
+  const auto raw_low = vdb::testing::FillRandomStore(low, 1500, 1);
+  VectorStore high(128, Metric::kL2);
+  const auto raw_high = vdb::testing::FillRandomStore(high, 1500, 1);
+
+  KdTreeParams params = SmallParams();
+  params.max_leaf_visits = 12;
+  KdTreeIndex low_index(low, params);
+  KdTreeIndex high_index(high, params);
+  ASSERT_TRUE(low_index.Build().ok());
+  ASSERT_TRUE(high_index.Build().ok());
+
+  SearchParams search;
+  const double recall_low = vdb::testing::MeanRecall(low_index, low, raw_low, 25, 10, search);
+  const double recall_high =
+      vdb::testing::MeanRecall(high_index, high, raw_high, 25, 10, search);
+  EXPECT_GT(recall_low, recall_high + 0.1);
+}
+
+TEST(KdTreeTest, DepthIsLogarithmic) {
+  VectorStore store(4, Metric::kL2);
+  vdb::testing::FillRandomStore(store, 1024);
+  KdTreeParams params = SmallParams();
+  params.leaf_size = 8;
+  KdTreeIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+  // 1024/8 = 128 leaves -> ideal depth 8; allow slack for uneven splits.
+  EXPECT_LE(index.DepthForTest(), 14u);
+  EXPECT_GE(index.DepthForTest(), 7u);
+}
+
+TEST(KdTreeTest, DeletedPointsExcluded) {
+  VectorStore store(4, Metric::kL2);
+  vdb::testing::FillRandomStore(store, 100);
+  (void)store.MarkDeleted(3);
+  KdTreeIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams params;
+  params.k = 100;
+  auto hits = index.Search(store.At(3), params);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& hit : *hits) EXPECT_NE(hit.id, 3u);
+}
+
+TEST(KdTreeTest, MoreLeafVisitsImproveOrMatchRecall) {
+  VectorStore store(16, Metric::kL2);
+  const auto raw = vdb::testing::FillRandomStore(store, 1000);
+  KdTreeParams narrow = SmallParams();
+  narrow.max_leaf_visits = 2;
+  KdTreeParams wide = SmallParams();
+  wide.max_leaf_visits = 256;
+  KdTreeIndex narrow_index(store, narrow);
+  KdTreeIndex wide_index(store, wide);
+  ASSERT_TRUE(narrow_index.Build().ok());
+  ASSERT_TRUE(wide_index.Build().ok());
+  SearchParams search;
+  const double recall_narrow =
+      vdb::testing::MeanRecall(narrow_index, store, raw, 20, 10, search);
+  const double recall_wide =
+      vdb::testing::MeanRecall(wide_index, store, raw, 20, 10, search);
+  EXPECT_GE(recall_wide + 1e-9, recall_narrow);
+}
+
+TEST(KdTreeTest, SearchBeforeBuildFails) {
+  VectorStore store(4, Metric::kL2);
+  vdb::testing::FillRandomStore(store, 10);
+  KdTreeIndex index(store, SmallParams());
+  SearchParams params;
+  EXPECT_EQ(index.Search(store.At(0), params).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexFactoryTest, CreatesEveryKnownType) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 50);
+  for (const std::string type : {"flat", "hnsw", "ivf_pq", "kd_tree"}) {
+    IndexSpec spec;
+    spec.type = type;
+    auto index = CreateIndex(store, spec);
+    ASSERT_TRUE(index.ok()) << type;
+    EXPECT_EQ((*index)->Type(), type);
+  }
+}
+
+TEST(IndexFactoryTest, RejectsUnknownType) {
+  VectorStore store(16, Metric::kCosine);
+  IndexSpec spec;
+  spec.type = "annoy";
+  EXPECT_FALSE(CreateIndex(store, spec).ok());
+}
+
+}  // namespace
+}  // namespace vdb

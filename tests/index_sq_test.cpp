@@ -1,0 +1,153 @@
+#include "index/sq_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "index/factory.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+SqParams DefaultParams() {
+  SqParams params;
+  params.rerank = 32;
+  return params;
+}
+
+TEST(SqIndexTest, AddBeforeBuildFails) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 10);
+  SqIndex index(store, DefaultParams());
+  EXPECT_EQ(index.Add(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(index.Ready());
+}
+
+TEST(SqIndexTest, BuildOnEmptyStoreFails) {
+  VectorStore store(16, Metric::kCosine);
+  SqIndex index(store, DefaultParams());
+  EXPECT_EQ(index.Build().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SqIndexTest, EncodeDecodeBoundedError) {
+  VectorStore store(32, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 1000);
+  SqIndex index(store, DefaultParams());
+  ASSERT_TRUE(index.Build().ok());
+
+  // Quantization error per dimension is at most one step (range/255) for
+  // in-range values; outliers beyond the 99% clipping quantile clamp, so the
+  // relative reconstruction error stays within a few percent.
+  for (std::uint32_t offset = 0; offset < 50; ++offset) {
+    const VectorView v = store.At(offset);
+    const auto codes = index.EncodeForTest(v);
+    const Vector decoded = index.DecodeForTest(codes);
+    const float err = L2SquaredDistance(v, decoded);
+    const float norm = DotProduct(v, v);
+    EXPECT_LT(err, norm * 0.025f) << "offset " << offset;
+  }
+}
+
+TEST(SqIndexTest, RecallCloseToExactWithRerank) {
+  VectorStore store(32, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 1500);
+  SqIndex index(store, DefaultParams());
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams params;
+  const double recall = vdb::testing::MeanRecall(index, store, raw, 25, 10, params);
+  EXPECT_GE(recall, 0.95);
+}
+
+TEST(SqIndexTest, NoRerankStillDecent) {
+  VectorStore store(32, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 1000);
+  SqParams params = DefaultParams();
+  params.rerank = 0;
+  SqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams search;
+  const double recall = vdb::testing::MeanRecall(index, store, raw, 20, 10, search);
+  EXPECT_GE(recall, 0.7);
+}
+
+TEST(SqIndexTest, MemoryRoughlyQuarterOfFloat) {
+  VectorStore store(256, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 500);
+  SqParams params = DefaultParams();
+  SqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+  // codes = n*dim bytes vs store n*dim*4 bytes (plus small side tables).
+  EXPECT_LT(index.MemoryBytes(), store.MemoryBytes() / 3);
+}
+
+TEST(SqIndexTest, IncrementalAddAfterBuild) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 300);
+  SqIndex index(store, DefaultParams());
+  ASSERT_TRUE(index.Build().ok());
+
+  Rng rng(3);
+  Vector v(16);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+  auto offset = store.Add(777, v);
+  ASSERT_TRUE(offset.ok());
+  ASSERT_TRUE(index.Add(*offset).ok());
+
+  SearchParams params;
+  params.k = 1;
+  auto hits = index.Search(v, params);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].id, 777u);
+}
+
+TEST(SqIndexTest, DeletedPointsExcluded) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 200);
+  SqIndex index(store, DefaultParams());
+  ASSERT_TRUE(index.Build().ok());
+  (void)store.MarkDeleted(5);
+  SearchParams params;
+  params.k = 200;
+  auto hits = index.Search(store.At(5), params);
+  ASSERT_TRUE(hits.ok());
+  for (const auto& hit : *hits) EXPECT_NE(hit.id, 5u);
+}
+
+TEST(SqIndexTest, ConstantDimensionHandled) {
+  // A dimension with zero spread must not divide by zero.
+  VectorStore store(4, Metric::kL2);
+  for (PointId i = 0; i < 20; ++i) {
+    (void)store.Add(i, Vector{1.0f, static_cast<Scalar>(i), 0.5f, -2.0f});
+  }
+  SqIndex index(store, DefaultParams());
+  ASSERT_TRUE(index.Build().ok());
+  SearchParams params;
+  params.k = 3;
+  auto hits = index.Search(Vector{1.0f, 10.0f, 0.5f, -2.0f}, params);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 3u);
+}
+
+TEST(SqIndexTest, FactoryCreatesSq8) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 20);
+  IndexSpec spec;
+  spec.type = "sq8";
+  auto index = CreateIndex(store, spec);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->Type(), "sq8");
+}
+
+TEST(SqIndexTest, SearchValidatesState) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 10);
+  SqIndex index(store, DefaultParams());
+  SearchParams params;
+  EXPECT_EQ(index.Search(store.At(0), params).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_FALSE(index.Search(Vector{1, 2}, params).ok());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "metrics/compare.hpp"
+#include "metrics/histogram.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(StreamingStatsTest, BasicMoments) {
+  StreamingStats stats;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.Count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_NEAR(stats.Stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StreamingStatsTest, EmptyIsSafe) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Stddev(), 0.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesSinglePass) {
+  Rng rng(5);
+  StreamingStats all;
+  StreamingStats left;
+  StreamingStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextGaussian(3.0, 2.0);
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), all.Count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), all.Max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats a;
+  StreamingStats b;
+  b.Add(4.0);
+  a.Merge(b);  // empty.Merge(nonempty)
+  EXPECT_EQ(a.Count(), 1u);
+  StreamingStats c;
+  a.Merge(c);  // nonempty.Merge(empty)
+  EXPECT_EQ(a.Count(), 1u);
+}
+
+TEST(SampleSetTest, ExactQuantiles) {
+  SampleSet samples;
+  for (int i = 1; i <= 100; ++i) samples.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(samples.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(samples.Max(), 100.0);
+  EXPECT_NEAR(samples.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(samples.Quantile(0.25), 25.75, 1e-9);
+  EXPECT_NEAR(samples.P99(), 99.01, 1e-9);
+}
+
+TEST(SampleSetTest, QuantileAfterLateAdd) {
+  SampleSet samples;
+  samples.Add(1.0);
+  samples.Add(3.0);
+  EXPECT_NEAR(samples.Median(), 2.0, 1e-12);
+  samples.Add(100.0);  // invalidates cached sort
+  EXPECT_NEAR(samples.Median(), 3.0, 1e-12);
+}
+
+TEST(LatencyHistogramTest, CountSumMinMax) {
+  LatencyHistogram histogram;
+  histogram.Record(10.0);
+  histogram.Record(100.0);
+  histogram.RecordN(50.0, 3);
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 260.0);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 10.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 52.0);
+}
+
+TEST(LatencyHistogramTest, QuantileWithinRelativeError) {
+  LatencyHistogram histogram;
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    histogram.Record(rng.NextDouble(100.0, 10000.0));
+  }
+  // Uniform on [100, 10000): p50 ~ 5050, p90 ~ 9010.
+  EXPECT_NEAR(histogram.Quantile(0.5), 5050.0, 5050.0 * 0.05);
+  EXPECT_NEAR(histogram.Quantile(0.9), 9010.0, 9010.0 * 0.05);
+}
+
+TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(1.0, 1e6);
+    (i % 2 == 0 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), combined.Count());
+  EXPECT_DOUBLE_EQ(a.Sum(), combined.Sum());
+  EXPECT_DOUBLE_EQ(a.Quantile(0.5), combined.Quantile(0.5));
+}
+
+TEST(LatencyHistogramTest, EmptyRendersPlaceholder) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.Render(), "(empty histogram)\n");
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.99), 0.0);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable table("t");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("| name      | value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| long-name | 22    |"), std::string::npos);
+}
+
+TEST(TextTableTest, RaggedRowsArePadded) {
+  TextTable table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"1"});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable table;
+  table.SetHeader({"k", "v"});
+  table.AddRow({"a,b", "say \"hi\""});
+  const std::string csv = table.RenderCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Int(-7), "-7");
+  EXPECT_EQ(TextTable::Sig(0.00012345), "0.0001234");
+}
+
+TEST(ComparisonReportTest, WithinToleranceVerdicts) {
+  ComparisonReport report("exp");
+  report.Add("a", 100.0, 110.0, "s", 0.25);  // 10% off: pass
+  report.Add("b", 100.0, 140.0, "s", 0.25);  // 40% off: fail
+  EXPECT_FALSE(report.AllWithinTolerance());
+  EXPECT_NEAR(report.PassRate(), 0.5, 1e-9);
+}
+
+TEST(ComparisonReportTest, ClaimsAffectVerdict) {
+  ComparisonReport report("exp");
+  report.Add("a", 1.0, 1.0, "x");
+  report.AddClaim("optimum at batch 32", true);
+  EXPECT_TRUE(report.AllWithinTolerance());
+  report.AddClaim("crossover at 30GB", false);
+  EXPECT_FALSE(report.AllWithinTolerance());
+  EXPECT_NE(report.Render().find("VIOLATED"), std::string::npos);
+}
+
+TEST(ComparisonReportTest, ZeroPaperValueRequiresZeroMeasured) {
+  ComparisonReport report("exp");
+  report.Add("z", 0.0, 0.0, "s");
+  EXPECT_TRUE(report.AllWithinTolerance());
+  report.Add("z2", 0.0, 0.1, "s");
+  EXPECT_FALSE(report.AllWithinTolerance());
+}
+
+TEST(ComparisonReportTest, RenderContainsRatio) {
+  ComparisonReport report("exp");
+  report.Add("row", 200.0, 100.0, "s");
+  EXPECT_NE(report.Render().find("0.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,135 @@
+#include "collection/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+using vdb::testing::TempDir;
+
+CollectionConfig DeferConfig() {
+  CollectionConfig config;
+  config.dim = 8;
+  config.metric = Metric::kCosine;
+  config.index.type = "hnsw";
+  config.index.hnsw.m = 8;
+  config.index.hnsw.build_threads = 1;
+  config.defer_indexing = true;  // optimizer owns indexing
+  return config;
+}
+
+std::vector<PointRecord> RandomPoints(std::size_t count, std::uint64_t seed = 21) {
+  Rng rng(seed);
+  std::vector<PointRecord> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    PointRecord record;
+    record.id = i;
+    record.vector.resize(8);
+    for (auto& x : record.vector) x = static_cast<Scalar>(rng.NextGaussian());
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+TEST(OptimizerTest, IndexesPendingPointsInBackground) {
+  auto collection = Collection::Open(DeferConfig());
+  ASSERT_TRUE(collection.ok());
+  OptimizerConfig config;
+  config.poll_interval = std::chrono::milliseconds(5);
+  config.index_batch_threshold = 64;
+  Optimizer optimizer(**collection, config);
+
+  ASSERT_TRUE((*collection)->UpsertBatch(RandomPoints(300)).ok());
+  optimizer.Nudge();
+
+  // Wait (bounded, generous for loaded CI machines) for the optimizer to
+  // drain the backlog AND publish its pass counter (the counter increments
+  // after the indexing work, so wait on both).
+  for (int i = 0; i < 2000 && ((*collection)->PendingIndexCount() >= 64 ||
+                               optimizer.IndexPassCount() == 0);
+       ++i) {
+    optimizer.Nudge();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_LT((*collection)->PendingIndexCount(), 64u);
+  EXPECT_GE(optimizer.IndexPassCount(), 1u);
+}
+
+TEST(OptimizerTest, DrainIndexesEverything) {
+  auto collection = Collection::Open(DeferConfig());
+  ASSERT_TRUE(collection.ok());
+  OptimizerConfig config;
+  config.index_batch_threshold = 1000000;  // never auto-triggers
+  Optimizer optimizer(**collection, config);
+  ASSERT_TRUE((*collection)->UpsertBatch(RandomPoints(120)).ok());
+  optimizer.Drain();
+  EXPECT_EQ((*collection)->PendingIndexCount(), 0u);
+}
+
+TEST(OptimizerTest, AutoFlushAfterThreshold) {
+  TempDir dir("optimizer_flush");
+  CollectionConfig collection_config = DeferConfig();
+  collection_config.data_dir = dir.Path();
+  auto collection = Collection::Open(collection_config);
+  ASSERT_TRUE(collection.ok());
+
+  OptimizerConfig config;
+  config.poll_interval = std::chrono::milliseconds(5);
+  config.flush_threshold = 50;
+  Optimizer optimizer(**collection, config);
+
+  ASSERT_TRUE((*collection)->UpsertBatch(RandomPoints(200)).ok());
+  optimizer.Nudge();
+  for (int i = 0; i < 200 && optimizer.FlushCount() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(optimizer.FlushCount(), 1u);
+  EXPECT_GE((*collection)->Info().segments_flushed, 1u);
+}
+
+TEST(OptimizerTest, SearchDuringBackgroundIndexingStaysCorrect) {
+  // The paper's insertion runs overlap uploads with background optimization;
+  // search must remain consistent (exact fallback until fully indexed).
+  auto collection = Collection::Open(DeferConfig());
+  ASSERT_TRUE(collection.ok());
+  OptimizerConfig config;
+  config.poll_interval = std::chrono::milliseconds(1);
+  config.index_batch_threshold = 32;
+  Optimizer optimizer(**collection, config);
+
+  const auto points = RandomPoints(400);
+  for (std::size_t begin = 0; begin < points.size(); begin += 40) {
+    std::vector<PointRecord> chunk(points.begin() + begin,
+                                   points.begin() + begin + 40);
+    ASSERT_TRUE((*collection)->UpsertBatch(chunk).ok());
+    SearchParams params;
+    params.k = 1;
+    params.ef_search = 64;
+    auto hits = (*collection)->Search(points[begin].vector, params);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_FALSE(hits->empty());
+  }
+  optimizer.Drain();
+  EXPECT_EQ((*collection)->PendingIndexCount(), 0u);
+}
+
+TEST(OptimizerTest, CleanShutdownWithWorkPending) {
+  auto collection = Collection::Open(DeferConfig());
+  ASSERT_TRUE(collection.ok());
+  {
+    OptimizerConfig config;
+    config.poll_interval = std::chrono::milliseconds(1);
+    Optimizer optimizer(**collection, config);
+    ASSERT_TRUE((*collection)->UpsertBatch(RandomPoints(500)).ok());
+    // Destructor must join without deadlock while work remains.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,167 @@
+#include "rpc/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vdb {
+namespace {
+
+PointRecord MakePoint(PointId id) {
+  PointRecord record;
+  record.id = id;
+  record.vector = {1.0f, 2.0f, static_cast<Scalar>(id)};
+  record.payload["topic"] = static_cast<std::int64_t>(id % 5);
+  record.payload["title"] = std::string("paper-") + std::to_string(id);
+  return record;
+}
+
+TEST(CodecTest, UpsertBatchRoundTrip) {
+  UpsertBatchRequest request;
+  request.shard = 3;
+  for (PointId id = 0; id < 10; ++id) request.points.push_back(MakePoint(id));
+
+  const Message message = EncodeUpsertBatchRequest(request);
+  EXPECT_EQ(message.type, MessageType::kUpsertBatchRequest);
+  auto decoded = DecodeUpsertBatchRequest(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard, 3u);
+  ASSERT_EQ(decoded->points.size(), 10u);
+  EXPECT_EQ(decoded->points[7].id, 7u);
+  EXPECT_EQ(decoded->points[7].vector, request.points[7].vector);
+  EXPECT_EQ(decoded->points[7].payload, request.points[7].payload);
+}
+
+TEST(CodecTest, UpsertResponseRoundTrip) {
+  auto decoded = DecodeUpsertBatchResponse(
+      EncodeUpsertBatchResponse(UpsertBatchResponse{321}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->upserted, 321u);
+}
+
+TEST(CodecTest, SearchRequestRoundTrip) {
+  SearchRequest request;
+  request.query = {0.1f, 0.2f, 0.3f};
+  request.params.k = 5;
+  request.params.ef_search = 99;
+  request.params.n_probes = 4;
+  request.fan_out = false;
+  request.allow_partial = true;
+  auto decoded = DecodeSearchRequest(EncodeSearchRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query, request.query);
+  EXPECT_EQ(decoded->params.k, 5u);
+  EXPECT_EQ(decoded->params.ef_search, 99u);
+  EXPECT_EQ(decoded->params.n_probes, 4u);
+  EXPECT_FALSE(decoded->fan_out);
+  EXPECT_TRUE(decoded->allow_partial);
+}
+
+TEST(CodecTest, SearchResponseRoundTrip) {
+  SearchResponse response;
+  response.hits = {{10, 0.9f}, {20, -0.5f}};
+  response.shards_searched = 8;
+  response.peers_failed = 2;
+  auto decoded = DecodeSearchResponse(EncodeSearchResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->hits.size(), 2u);
+  EXPECT_EQ(decoded->hits[0].id, 10u);
+  EXPECT_FLOAT_EQ(decoded->hits[1].score, -0.5f);
+  EXPECT_EQ(decoded->shards_searched, 8u);
+  EXPECT_EQ(decoded->peers_failed, 2u);
+}
+
+TEST(CodecTest, DeleteRoundTrip) {
+  auto request = DecodeDeleteRequest(EncodeDeleteRequest(DeleteRequest{2, 777}));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->shard, 2u);
+  EXPECT_EQ(request->id, 777u);
+  auto response = DecodeDeleteResponse(EncodeDeleteResponse(DeleteResponse{true}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->deleted);
+}
+
+TEST(CodecTest, BuildIndexRoundTrip) {
+  auto request = DecodeBuildIndexRequest(EncodeBuildIndexRequest(BuildIndexRequest{false}));
+  ASSERT_TRUE(request.ok());
+  EXPECT_FALSE(request->wait);
+  auto response = DecodeBuildIndexResponse(
+      EncodeBuildIndexResponse(BuildIndexResponse{12.5, 1000}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_DOUBLE_EQ(response->build_seconds, 12.5);
+  EXPECT_EQ(response->indexed_points, 1000u);
+}
+
+TEST(CodecTest, InfoRoundTrip) {
+  InfoResponse info;
+  info.live_points = 5;
+  info.indexed_points = 4;
+  info.shard_count = 2;
+  info.index_ready = true;
+  auto decoded = DecodeInfoResponse(EncodeInfoResponse(info));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->live_points, 5u);
+  EXPECT_EQ(decoded->indexed_points, 4u);
+  EXPECT_EQ(decoded->shard_count, 2u);
+  EXPECT_TRUE(decoded->index_ready);
+}
+
+TEST(CodecTest, CreateAndTransferShardRoundTrip) {
+  auto create = DecodeCreateShardRequest(EncodeCreateShardRequest(CreateShardRequest{9}));
+  ASSERT_TRUE(create.ok());
+  EXPECT_EQ(create->shard, 9u);
+
+  TransferShardRequest transfer;
+  transfer.shard = 4;
+  transfer.points.push_back(MakePoint(1));
+  auto decoded = DecodeTransferShardRequest(EncodeTransferShardRequest(transfer));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->shard, 4u);
+  ASSERT_EQ(decoded->points.size(), 1u);
+  EXPECT_EQ(decoded->points[0].id, 1u);
+}
+
+TEST(CodecTest, ErrorResponseCarriesStatus) {
+  const Message message = EncodeErrorResponse(Status::NotFound("shard 3 missing"));
+  const Status status = MessageToStatus(message);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "shard 3 missing");
+}
+
+TEST(CodecTest, MessageToStatusIsOkForNonError) {
+  EXPECT_TRUE(MessageToStatus(EncodeInfoRequest(InfoRequest{})).ok());
+}
+
+TEST(CodecTest, WrongTypeRejected) {
+  const Message message = EncodeInfoRequest(InfoRequest{});
+  EXPECT_FALSE(DecodeSearchRequest(message).ok());
+  EXPECT_FALSE(DecodeUpsertBatchRequest(message).ok());
+}
+
+TEST(CodecTest, TruncatedBodyRejected) {
+  UpsertBatchRequest request;
+  request.shard = 1;
+  request.points.push_back(MakePoint(5));
+  Message message = EncodeUpsertBatchRequest(request);
+  for (const std::size_t cut : {message.body.size() - 1, message.body.size() / 2}) {
+    Message truncated = message;
+    truncated.body.resize(cut);
+    EXPECT_FALSE(DecodeUpsertBatchRequest(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, EmptyBatchIsLegal) {
+  UpsertBatchRequest request;
+  request.shard = 0;
+  auto decoded = DecodeUpsertBatchRequest(EncodeUpsertBatchRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->points.empty());
+}
+
+TEST(CodecTest, WireBytesAccountsForBody) {
+  SearchRequest request;
+  request.query.assign(2560, 0.5f);  // paper-sized query vector
+  const Message message = EncodeSearchRequest(request);
+  EXPECT_GT(message.WireBytes(), 2560u * 4u);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,155 @@
+#include "rpc/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace vdb {
+namespace {
+
+Message EchoHandler(const Message& request) {
+  Message response = request;
+  response.type = MessageType::kInfoResponse;
+  return response;
+}
+
+TEST(TransportTest, RegisterCallUnregister) {
+  InprocTransport transport;
+  ASSERT_TRUE(transport.RegisterEndpoint("echo", EchoHandler).ok());
+  EXPECT_TRUE(transport.HasEndpoint("echo"));
+
+  Message request{MessageType::kInfoRequest, {1, 2, 3}};
+  const Message response = transport.Call("echo", request);
+  EXPECT_EQ(response.type, MessageType::kInfoResponse);
+  EXPECT_EQ(response.body, request.body);
+
+  ASSERT_TRUE(transport.UnregisterEndpoint("echo").ok());
+  EXPECT_FALSE(transport.HasEndpoint("echo"));
+}
+
+TEST(TransportTest, DuplicateRegistrationRejected) {
+  InprocTransport transport;
+  ASSERT_TRUE(transport.RegisterEndpoint("a", EchoHandler).ok());
+  EXPECT_EQ(transport.RegisterEndpoint("a", EchoHandler).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(TransportTest, UnknownEndpointYieldsUnavailable) {
+  InprocTransport transport;
+  const Message response = transport.Call("ghost", Message{MessageType::kInfoRequest, {}});
+  const Status status = MessageToStatus(response);
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST(TransportTest, UnregisterUnknownIsNotFound) {
+  InprocTransport transport;
+  EXPECT_EQ(transport.UnregisterEndpoint("ghost").code(), StatusCode::kNotFound);
+}
+
+TEST(TransportTest, AsyncCallsOverlap) {
+  InprocTransport transport;
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(
+                      "slow",
+                      [&](const Message& request) {
+                        const int now = ++active;
+                        int expected = peak.load();
+                        while (expected < now &&
+                               !peak.compare_exchange_weak(expected, now)) {
+                        }
+                        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+                        --active;
+                        return EchoHandler(request);
+                      },
+                      /*service_threads=*/4)
+                  .ok());
+  std::vector<std::future<Message>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(transport.CallAsync("slow", Message{MessageType::kInfoRequest, {}}));
+  }
+  for (auto& future : futures) (void)future.get();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(TransportTest, SingleThreadEndpointSerializes) {
+  InprocTransport transport;
+  std::atomic<int> active{0};
+  std::atomic<bool> overlapped{false};
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(
+                      "serial",
+                      [&](const Message& request) {
+                        if (++active > 1) overlapped = true;
+                        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+                        --active;
+                        return EchoHandler(request);
+                      },
+                      /*service_threads=*/1)
+                  .ok());
+  std::vector<std::future<Message>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(transport.CallAsync("serial", Message{MessageType::kInfoRequest, {}}));
+  }
+  for (auto& future : futures) (void)future.get();
+  EXPECT_FALSE(overlapped.load());
+}
+
+TEST(TransportTest, LatencyModelDelaysDelivery) {
+  InprocTransport transport;
+  ASSERT_TRUE(transport.RegisterEndpoint("echo", EchoHandler).ok());
+  transport.SetLatencyModel(LinearLatency(0.02, 1e12));
+
+  Stopwatch watch;
+  (void)transport.Call("echo", Message{MessageType::kInfoRequest, {}});
+  // Two directions x 20 ms.
+  EXPECT_GE(watch.ElapsedSeconds(), 0.035);
+}
+
+TEST(TransportTest, LinearLatencyScalesWithBytes) {
+  const LatencyModel model = LinearLatency(0.001, 1000.0);
+  EXPECT_NEAR(model(0), 0.001, 1e-12);
+  EXPECT_NEAR(model(1000), 1.001, 1e-12);
+}
+
+TEST(TransportTest, StatsCountCallsAndBytes) {
+  InprocTransport transport;
+  ASSERT_TRUE(transport.RegisterEndpoint("echo", EchoHandler).ok());
+  Message request{MessageType::kInfoRequest, std::vector<std::uint8_t>(100, 7)};
+  (void)transport.Call("echo", request);
+  (void)transport.Call("echo", request);
+  const TransportStats stats = transport.Stats();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_GE(stats.bytes_sent, 200u);
+  EXPECT_GT(stats.bytes_received, 0u);
+}
+
+TEST(TransportTest, DestructionDrainsInFlightWork) {
+  std::atomic<int> handled{0};
+  {
+    InprocTransport transport;
+    ASSERT_TRUE(transport
+                    .RegisterEndpoint("work",
+                                      [&](const Message& request) {
+                                        std::this_thread::sleep_for(
+                                            std::chrono::milliseconds(5));
+                                        ++handled;
+                                        return EchoHandler(request);
+                                      })
+                    .ok());
+    std::vector<std::future<Message>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(
+          transport.CallAsync("work", Message{MessageType::kInfoRequest, {}}));
+    }
+    for (auto& future : futures) (void)future.get();
+  }
+  EXPECT_EQ(handled.load(), 8);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace vdb::sim {
+namespace {
+
+TEST(SimulationTest, EventsRunInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(3.0, [&] { order.push_back(3); });
+  sim.At(1.0, [&] { order.push_back(1); });
+  sim.At(2.0, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+  EXPECT_EQ(sim.EventsProcessed(), 3u);
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.At(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, AfterSchedulesRelative) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.After(2.0, [&] {
+    sim.After(3.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(10.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, HoursOfVirtualTimeAreInstant) {
+  // An 8.22-hour insertion (table 3) must simulate without wall-clock cost.
+  Simulation sim;
+  double end = 0;
+  sim.At(8.22 * 3600.0, [&] { end = sim.Now(); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(end, 8.22 * 3600.0);
+}
+
+TEST(SimCpuTest, SingleJobRunsAtMaxParallelism) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{32.0, 0.0});
+  double finished = -1;
+  // 64 core-seconds at 8-way parallelism -> 8 seconds.
+  cpu.Submit(64.0, 8.0, [&] { finished = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(finished, 8.0, 1e-9);
+}
+
+TEST(SimCpuTest, JobCannotExceedNodeCapacity) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{4.0, 0.0});
+  double finished = -1;
+  cpu.Submit(40.0, 100.0, [&] { finished = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(finished, 10.0, 1e-9);  // capped at 4 cores
+}
+
+TEST(SimCpuTest, FairSharingBetweenEqualJobs) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{2.0, 0.0});
+  std::vector<double> finish(2, -1);
+  // Two jobs each wanting the full machine: each gets 1 core.
+  cpu.Submit(10.0, 2.0, [&] { finish[0] = sim.Now(); });
+  cpu.Submit(10.0, 2.0, [&] { finish[1] = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(finish[0], 10.0, 1e-9);
+  EXPECT_NEAR(finish[1], 10.0, 1e-9);
+}
+
+TEST(SimCpuTest, SmallJobLeavesCapacityToBigJob) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{4.0, 0.0});
+  double small_done = -1;
+  double big_done = -1;
+  cpu.Submit(10.0, 1.0, [&] { small_done = sim.Now(); });  // capped at 1 core
+  cpu.Submit(30.0, 4.0, [&] { big_done = sim.Now(); });    // gets remaining 3
+  sim.Run();
+  EXPECT_NEAR(small_done, 10.0, 1e-9);
+  // Big job: 10 s at 3 cores = 30 core-seconds -> exactly done at t=10 too.
+  EXPECT_NEAR(big_done, 10.0, 1e-6);
+}
+
+TEST(SimCpuTest, LateArrivalSlowsExistingJob) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{1.0, 0.0});
+  double first_done = -1;
+  cpu.Submit(10.0, 1.0, [&] { first_done = sim.Now(); });
+  sim.At(5.0, [&] {
+    cpu.Submit(10.0, 1.0, [] {});
+  });
+  sim.Run();
+  // First job: 5 s alone (5 units) + shared 0.5 rate for remaining 5 units
+  // -> finishes at 5 + 10 = 15.
+  EXPECT_NEAR(first_done, 15.0, 1e-6);
+}
+
+TEST(SimCpuTest, ContentionPenaltySlowsCorunners) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{32.0, 0.1});
+  std::vector<double> finish(2, -1);
+  cpu.Submit(10.0, 1.0, [&] { finish[0] = sim.Now(); });
+  cpu.Submit(10.0, 1.0, [&] { finish[1] = sim.Now(); });
+  sim.Run();
+  // Plenty of cores, but 2 corunners at 10% penalty -> rate 1/1.1.
+  EXPECT_NEAR(finish[0], 11.0, 1e-6);
+  EXPECT_NEAR(finish[1], 11.0, 1e-6);
+}
+
+TEST(SimCpuTest, ZeroWorkJobCompletesImmediately) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{1.0, 0.0});
+  bool done = false;
+  cpu.Submit(0.0, 1.0, [&] { done = true; });
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+}
+
+TEST(SimCpuTest, CompletionCallbackCanResubmit) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{1.0, 0.0});
+  int rounds = 0;
+  std::function<void()> chain = [&] {
+    if (++rounds < 3) cpu.Submit(1.0, 1.0, chain);
+  };
+  cpu.Submit(1.0, 1.0, chain);
+  sim.Run();
+  EXPECT_EQ(rounds, 3);
+  EXPECT_NEAR(sim.Now(), 3.0, 1e-9);
+}
+
+TEST(SimCpuTest, UtilizationReflectsDemand) {
+  Simulation sim;
+  SimCpu cpu(sim, CpuParams{32.0, 0.0});
+  EXPECT_DOUBLE_EQ(cpu.Utilization(), 0.0);
+  cpu.Submit(1000.0, 16.0, [] {});
+  EXPECT_DOUBLE_EQ(cpu.Utilization(), 0.5);
+}
+
+TEST(SimNetworkTest, LatencyHierarchy) {
+  Simulation sim;
+  NetworkParams params;
+  params.nodes_per_group = 4;
+  SimNetwork net(sim, params, 16);
+  EXPECT_DOUBLE_EQ(net.LatencyBetween(1, 1), params.local_latency);
+  EXPECT_DOUBLE_EQ(net.LatencyBetween(0, 3), params.intra_group_latency);
+  EXPECT_DOUBLE_EQ(net.LatencyBetween(0, 5), params.inter_group_latency);
+}
+
+TEST(SimNetworkTest, DeliveryTimeIncludesSerializationAndLatency) {
+  Simulation sim;
+  NetworkParams params;
+  params.bandwidth = 1e6;  // 1 MB/s for visible serialization
+  params.intra_group_latency = 0.001;
+  params.software_overhead = 0.0;
+  SimNetwork net(sim, params, 4);
+  double delivered = -1;
+  net.Send(0, 1, 1000, [&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(delivered, 0.001 + 0.001, 1e-9);  // 1 ms ser + 1 ms latency
+}
+
+TEST(SimNetworkTest, SenderNicSerializesBackToBackMessages) {
+  Simulation sim;
+  NetworkParams params;
+  params.bandwidth = 1e6;
+  params.intra_group_latency = 0.0;
+  params.software_overhead = 0.0;
+  SimNetwork net(sim, params, 4);
+  std::vector<double> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    net.Send(0, 1, 1000, [&] { deliveries.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_NEAR(deliveries[0], 0.001, 1e-9);
+  EXPECT_NEAR(deliveries[1], 0.002, 1e-9);  // queued behind message 0
+  EXPECT_NEAR(deliveries[2], 0.003, 1e-9);
+}
+
+TEST(SimNetworkTest, LocalDeliverySkipsNic) {
+  Simulation sim;
+  NetworkParams params;
+  params.bandwidth = 1.0;  // absurdly slow NIC would take ages
+  params.software_overhead = 0.0;
+  SimNetwork net(sim, params, 2);
+  double delivered = -1;
+  net.Send(1, 1, 1'000'000, [&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_NEAR(delivered, params.local_latency, 1e-9);
+}
+
+TEST(SimNetworkTest, StatsAccumulate) {
+  Simulation sim;
+  SimNetwork net(sim, NetworkParams{}, 4);
+  net.Send(0, 1, 100, [] {});
+  net.Send(0, 2, 200, [] {});
+  sim.Run();
+  EXPECT_EQ(net.Stats().messages, 2u);
+  EXPECT_EQ(net.Stats().bytes, 300u);
+  EXPECT_GT(net.Stats().busy_seconds, 0.0);
+}
+
+TEST(DeterminismTest, IdenticalRunsProduceIdenticalTimelines) {
+  auto run_once = [] {
+    Simulation sim;
+    SimCpu cpu(sim, CpuParams{8.0, 0.05});
+    SimNetwork net(sim, NetworkParams{}, 4);
+    std::vector<double> times;
+    for (int i = 0; i < 20; ++i) {
+      net.Send(0, 1 + i % 3, 1000 * (i + 1), [&, i] {
+        cpu.Submit(0.1 * (i % 5 + 1), 2.0, [&] { times.push_back(sim.Now()); });
+      });
+    }
+    sim.Run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace vdb::sim

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "simqdrant/experiments.hpp"
+
+namespace vdb::simq {
+namespace {
+
+const PolarisCostModel kModel = PolarisCostModel::Calibrated();
+
+// ---- GPU index-build what-if (paper section 4 future work) -----------------
+
+TEST(GpuBuildTest, GpuBeatsCpuAtEveryWorkerCount) {
+  const double full_gb = kModel.GBForVectors(kModel.full_dataset_vectors);
+  for (const std::uint32_t workers : {1u, 4u, 8u, 32u}) {
+    EXPECT_LT(SimulateIndexBuildGpu(kModel, workers, full_gb),
+              SimulateIndexBuild(kModel, workers, full_gb))
+        << "workers=" << workers;
+  }
+}
+
+TEST(GpuBuildTest, GpuScalingIsNearLinearAcrossWorkers) {
+  // The paper's hypothesis: offloading builds to per-worker GPUs removes the
+  // node-CPU contention that capped 1->4 workers at 1.27x.
+  const double full_gb = kModel.GBForVectors(kModel.full_dataset_vectors);
+  const double t1 = SimulateIndexBuildGpu(kModel, 1, full_gb);
+  const double t4 = SimulateIndexBuildGpu(kModel, 4, full_gb);
+  const double cpu_1_to_4 =
+      SimulateIndexBuild(kModel, 1, full_gb) / SimulateIndexBuild(kModel, 4, full_gb);
+  const double gpu_1_to_4 = t1 / t4;
+  EXPECT_GT(gpu_1_to_4, 3.5);        // near-linear (4 independent GPUs)
+  EXPECT_LT(cpu_1_to_4, 1.5);        // the paper's CPU ceiling
+  EXPECT_GT(gpu_1_to_4, cpu_1_to_4 * 2.0);
+}
+
+TEST(GpuBuildTest, BuildTimeGrowsWithData) {
+  EXPECT_GT(SimulateIndexBuildGpu(kModel, 4, 80.0),
+            SimulateIndexBuildGpu(kModel, 4, 10.0));
+}
+
+// ---- Variability study (paper section 4 future work) ------------------------
+
+TEST(VariabilityTest, ZeroJitterIsDeterministic) {
+  const auto result = RunVariabilityStudy(kModel, 0.0, 4, 10.0, 800, 4);
+  EXPECT_DOUBLE_EQ(result.trial_seconds.Min(), result.trial_seconds.Max());
+  EXPECT_DOUBLE_EQ(result.CV(), 0.0);
+}
+
+TEST(VariabilityTest, JitterProducesSpread) {
+  const auto result = RunVariabilityStudy(kModel, 0.15, 4, 10.0, 800, 8);
+  EXPECT_GT(result.CV(), 0.0);
+  EXPECT_LT(result.CV(), 0.2);  // totals average thousands of draws
+}
+
+TEST(VariabilityTest, SpreadGrowsWithSigma) {
+  const auto low = RunVariabilityStudy(kModel, 0.05, 4, 10.0, 800, 8);
+  const auto high = RunVariabilityStudy(kModel, 0.30, 4, 10.0, 800, 8);
+  EXPECT_GT(high.CV(), low.CV());
+}
+
+TEST(VariabilityTest, JitterIsMeanPreservingWithinTolerance) {
+  const double baseline = SimulateQueryRun(kModel, 4, 10.0, 800, 16, 2);
+  const auto noisy = RunVariabilityStudy(kModel, 0.15, 4, 10.0, 800, 8);
+  EXPECT_NEAR(noisy.MeanSeconds(), baseline, baseline * 0.10);
+}
+
+TEST(VariabilityTest, TrialsDifferFromEachOther) {
+  const auto result = RunVariabilityStudy(kModel, 0.2, 1, 5.0, 400, 5);
+  EXPECT_GT(result.trial_seconds.Max() - result.trial_seconds.Min(), 0.0);
+}
+
+// ---- Continual-ingest what-if (paper section 3.2 outlook) --------------------
+
+TEST(MixedWorkloadTest, IngestSlowsQueriesButBounded) {
+  const double idle = SimulateQueryRun(kModel, 4, 20.0, 1500, 16, 2);
+  const auto heavy = RunMixedWorkload(kModel, 4, 20.0, 1500, 4);
+  EXPECT_GT(heavy.query_seconds, idle);
+  EXPECT_LT(heavy.query_seconds, idle * 1.6);
+  EXPECT_GT(heavy.ingest_rate_vps, 0.0);
+}
+
+TEST(MixedWorkloadTest, HeavierIngestSustainsMoreThroughputAtSimilarLatency) {
+  // Query slowdown between adjacent intensities is within scheduling noise at
+  // this scale; the robust claims are (a) ingest throughput scales with the
+  // stream count and (b) query latency stays in a narrow band around light.
+  const auto light = RunMixedWorkload(kModel, 4, 20.0, 1200, 1);
+  const auto heavy = RunMixedWorkload(kModel, 4, 20.0, 1200, 4);
+  EXPECT_NEAR(heavy.query_seconds, light.query_seconds, light.query_seconds * 0.15);
+  EXPECT_GT(heavy.ingest_rate_vps, light.ingest_rate_vps * 2.0);
+}
+
+TEST(MixedWorkloadTest, Deterministic) {
+  const auto a = RunMixedWorkload(kModel, 2, 10.0, 500, 2);
+  const auto b = RunMixedWorkload(kModel, 2, 10.0, 500, 2);
+  EXPECT_DOUBLE_EQ(a.query_seconds, b.query_seconds);
+}
+
+}  // namespace
+}  // namespace vdb::simq

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file test_util.hpp
+/// Shared fixtures: random vector stores with planted clusters, exact-search
+/// ground truth, and temp-directory management for storage tests.
+
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/distance.hpp"
+#include "dist/topk.hpp"
+#include "index/index.hpp"
+#include "storage/payload_store.hpp"
+
+namespace vdb::testing {
+
+/// Fills `store` with `count` random vectors (ids 0..count-1). Returns the raw
+/// vectors (pre-normalization) for query synthesis.
+inline std::vector<Vector> FillRandomStore(VectorStore& store, std::size_t count,
+                                           std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<Vector> raw;
+  raw.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Vector v(store.Dim());
+    for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+    auto added = store.Add(static_cast<PointId>(i), v);
+    if (!added.ok()) std::abort();
+    raw.push_back(std::move(v));
+  }
+  return raw;
+}
+
+/// Mean recall@k of `index` against exact search over `num_queries` random
+/// queries drawn near stored points (realistic ANN workload).
+inline double MeanRecall(const VectorIndex& index, const VectorStore& store,
+                         const std::vector<Vector>& raw, std::size_t num_queries,
+                         std::size_t k, const SearchParams& params_in,
+                         std::uint64_t seed = 7) {
+  Rng rng(seed);
+  SearchParams params = params_in;
+  params.k = k;
+  double total = 0.0;
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    Vector query = raw[rng.NextU64(raw.size())];
+    for (auto& x : query) x += static_cast<Scalar>(rng.NextGaussian() * 0.05);
+    const auto expected = ExactSearch(store, query, k);
+    auto got = index.Search(query, params);
+    if (!got.ok()) std::abort();
+    total += RecallAtK(*got, expected, k);
+  }
+  return total / static_cast<double>(num_queries);
+}
+
+/// Unique temp directory, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    static std::atomic<int> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("vdb_test_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter.fetch_add(1)));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::filesystem::path& Path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace vdb::testing

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/corpus.hpp"
+#include "workload/embeddings.hpp"
+#include "workload/queries.hpp"
+#include "workload/zipf.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(CorpusTest, DeterministicAndOrderIndependent) {
+  CorpusParams params;
+  params.num_documents = 1000;
+  SyntheticCorpus corpus(params);
+  const Document forward = corpus.Get(500);
+  // Access a different index first; Get must still be pure.
+  (void)corpus.Get(999);
+  const Document again = corpus.Get(500);
+  EXPECT_EQ(forward.char_count, again.char_count);
+  EXPECT_EQ(forward.topic, again.topic);
+  EXPECT_EQ(forward.year, again.year);
+}
+
+TEST(CorpusTest, DifferentSeedsProduceDifferentDocs) {
+  CorpusParams a;
+  a.seed = 1;
+  CorpusParams b;
+  b.seed = 2;
+  int same = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    same += SyntheticCorpus(a).Get(i).char_count ==
+                    SyntheticCorpus(b).Get(i).char_count
+                ? 1
+                : 0;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(CorpusTest, LengthDistributionMatchesPes2oCalibration) {
+  // Median ~ exp(9.83) ~ 18.6k chars so ~8 average papers fit 150k (paper 3.1).
+  CorpusParams params;
+  params.num_documents = 20000;
+  SyntheticCorpus corpus(params);
+  std::vector<std::uint32_t> lengths;
+  for (std::uint64_t i = 0; i < corpus.Size(); ++i) {
+    lengths.push_back(corpus.Get(i).char_count);
+  }
+  std::nth_element(lengths.begin(), lengths.begin() + 10000, lengths.end());
+  const double median = lengths[10000];
+  EXPECT_NEAR(median, std::exp(9.83), std::exp(9.83) * 0.06);
+}
+
+TEST(CorpusTest, LengthsBoundedBelowAndAbove) {
+  CorpusParams params;
+  params.num_documents = 5000;
+  params.max_chars = 100000;
+  SyntheticCorpus corpus(params);
+  for (std::uint64_t i = 0; i < corpus.Size(); ++i) {
+    const Document doc = corpus.Get(i);
+    EXPECT_GE(doc.char_count, 200u);
+    EXPECT_LE(doc.char_count, 100000u);
+  }
+}
+
+TEST(CorpusTest, TopicsCoverConfiguredRange) {
+  CorpusParams params;
+  params.num_documents = 5000;
+  params.num_topics = 16;
+  SyntheticCorpus corpus(params);
+  std::vector<int> histogram(16, 0);
+  for (std::uint64_t i = 0; i < corpus.Size(); ++i) {
+    const Document doc = corpus.Get(i);
+    ASSERT_LT(doc.topic, 16u);
+    ++histogram[doc.topic];
+  }
+  for (const int count : histogram) EXPECT_GT(count, 0);
+}
+
+TEST(CorpusTest, RangeAndTotalsConsistent) {
+  CorpusParams params;
+  params.num_documents = 100;
+  SyntheticCorpus corpus(params);
+  const auto docs = corpus.GetRange(10, 20);
+  ASSERT_EQ(docs.size(), 10u);
+  std::uint64_t manual = 0;
+  for (const auto& doc : docs) manual += doc.char_count;
+  EXPECT_EQ(manual, corpus.TotalChars(10, 20));
+  // Range past the end truncates.
+  EXPECT_EQ(corpus.GetRange(95, 200).size(), 5u);
+}
+
+TEST(EmbeddingTest, UnitNormAndDeterministic) {
+  EmbeddingParams params;
+  params.dim = 64;
+  EmbeddingGenerator embedder(params);
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 10;
+  SyntheticCorpus corpus(corpus_params);
+  const Document doc = corpus.Get(3);
+  const Vector a = embedder.EmbeddingOf(doc);
+  const Vector b = embedder.EmbeddingOf(doc);
+  EXPECT_EQ(a, b);
+  float norm_sq = 0;
+  for (const float x : a) norm_sq += x * x;
+  EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-5);
+}
+
+TEST(EmbeddingTest, SameTopicCloserThanDifferentTopic) {
+  // The planted-cluster property every recall experiment relies on.
+  EmbeddingParams params;
+  params.dim = 64;
+  params.num_topics = 8;
+  EmbeddingGenerator embedder(params);
+
+  Document a1{1, 1000, 3, 2000};
+  Document a2{2, 1000, 3, 2000};
+  Document b{3, 1000, 5, 2000};
+  const Vector va1 = embedder.EmbeddingOf(a1);
+  const Vector va2 = embedder.EmbeddingOf(a2);
+  const Vector vb = embedder.EmbeddingOf(b);
+
+  auto dot = [](const Vector& x, const Vector& y) {
+    float sum = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+    return sum;
+  };
+  EXPECT_GT(dot(va1, va2), dot(va1, vb));
+}
+
+TEST(EmbeddingTest, QueryNearItsTopicCentroid) {
+  EmbeddingParams params;
+  params.dim = 64;
+  params.num_topics = 8;
+  EmbeddingGenerator embedder(params);
+  const Vector centroid = embedder.CentroidOf(4);
+  const Vector query = embedder.QueryFor(4, 77);
+  float dot = 0;
+  for (std::size_t i = 0; i < query.size(); ++i) dot += query[i] * centroid[i];
+  EXPECT_GT(dot, 0.8f);
+}
+
+TEST(EmbeddingTest, MakePointsCarriesPayload) {
+  EmbeddingParams params;
+  params.dim = 16;
+  EmbeddingGenerator embedder(params);
+  CorpusParams corpus_params;
+  corpus_params.num_documents = 20;
+  SyntheticCorpus corpus(corpus_params);
+  const auto points = embedder.MakePoints(corpus, 5, 15);
+  ASSERT_EQ(points.size(), 10u);
+  EXPECT_EQ(points[0].id, 5u);
+  EXPECT_EQ(points[0].vector.size(), 16u);
+  EXPECT_EQ(points[0].payload.count("topic"), 1u);
+  EXPECT_EQ(points[0].payload.count("title"), 1u);
+
+  const auto bare = embedder.MakePoints(corpus, 0, 5, /*with_payload=*/false);
+  EXPECT_TRUE(bare[0].payload.empty());
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfSampler sampler(10, 0.0);
+  for (std::size_t rank = 0; rank < 10; ++rank) {
+    EXPECT_NEAR(sampler.ProbabilityOf(rank), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowRanks) {
+  ZipfSampler sampler(100, 1.0);
+  EXPECT_GT(sampler.ProbabilityOf(0), sampler.ProbabilityOf(1));
+  EXPECT_GT(sampler.ProbabilityOf(1), sampler.ProbabilityOf(50));
+  // Probabilities sum to ~1.
+  double total = 0;
+  for (std::size_t rank = 0; rank < 100; ++rank) total += sampler.ProbabilityOf(rank);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchProbabilities) {
+  ZipfSampler sampler(20, 0.9);
+  Rng rng(3);
+  std::vector<int> histogram(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++histogram[sampler.Sample(rng)];
+  EXPECT_NEAR(static_cast<double>(histogram[0]) / n, sampler.ProbabilityOf(0), 0.01);
+  EXPECT_NEAR(static_cast<double>(histogram[10]) / n, sampler.ProbabilityOf(10), 0.01);
+}
+
+TEST(QueryWorkloadTest, PaperCardinalityDefault) {
+  QueryWorkloadParams params;
+  EXPECT_EQ(params.num_terms, 22723u);
+}
+
+TEST(QueryWorkloadTest, TermsAreDeterministicAndNamed) {
+  EmbeddingParams embed_params;
+  embed_params.dim = 32;
+  EmbeddingGenerator embedder(embed_params);
+  QueryWorkloadParams params;
+  params.num_terms = 100;
+  BvBrcTermGenerator generator(params, embedder);
+  const QueryTerm term = generator.TermAt(42);
+  EXPECT_EQ(term.term_id, 42u);
+  EXPECT_EQ(term.term, "genome-term-00042");
+  EXPECT_EQ(generator.TermAt(42).topic, term.topic);
+}
+
+TEST(QueryWorkloadTest, TopicHistogramIsSkewed) {
+  EmbeddingParams embed_params;
+  embed_params.dim = 32;
+  embed_params.num_topics = 64;
+  EmbeddingGenerator embedder(embed_params);
+  QueryWorkloadParams params;
+  params.num_terms = 5000;
+  params.topic_skew = 1.0;
+  BvBrcTermGenerator generator(params, embedder);
+  const auto histogram = generator.TopicHistogram();
+  std::uint64_t total = 0;
+  std::uint64_t max_count = 0;
+  for (const auto count : histogram) {
+    total += count;
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_EQ(total, 5000u);
+  // Zipf: the hottest topic gets far more than uniform share.
+  EXPECT_GT(max_count, 3 * total / 64);
+}
+
+TEST(QueryWorkloadTest, MakeQueriesShapes) {
+  EmbeddingParams embed_params;
+  embed_params.dim = 32;
+  EmbeddingGenerator embedder(embed_params);
+  QueryWorkloadParams params;
+  params.num_terms = 50;
+  BvBrcTermGenerator generator(params, embedder);
+  EXPECT_EQ(generator.MakeQueries().size(), 50u);
+  EXPECT_EQ(generator.MakeQueries(10).size(), 10u);
+  EXPECT_EQ(generator.MakeQueries(10)[0].size(), 32u);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_client_model.dir/ablation_client_model.cpp.o"
+  "CMakeFiles/ablation_client_model.dir/ablation_client_model.cpp.o.d"
+  "ablation_client_model"
+  "ablation_client_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_client_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_build.dir/ablation_gpu_build.cpp.o"
+  "CMakeFiles/ablation_gpu_build.dir/ablation_gpu_build.cpp.o.d"
+  "ablation_gpu_build"
+  "ablation_gpu_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_index_types.dir/ablation_index_types.cpp.o"
+  "CMakeFiles/ablation_index_types.dir/ablation_index_types.cpp.o.d"
+  "ablation_index_types"
+  "ablation_index_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_workers_per_node.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_insert_tuning.dir/fig2_insert_tuning.cpp.o"
+  "CMakeFiles/fig2_insert_tuning.dir/fig2_insert_tuning.cpp.o.d"
+  "fig2_insert_tuning"
+  "fig2_insert_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_insert_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_index_build.dir/fig3_index_build.cpp.o"
+  "CMakeFiles/fig3_index_build.dir/fig3_index_build.cpp.o.d"
+  "fig3_index_build"
+  "fig3_index_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_index_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_query_tuning.dir/fig4_query_tuning.cpp.o"
+  "CMakeFiles/fig4_query_tuning.dir/fig4_query_tuning.cpp.o.d"
+  "fig4_query_tuning"
+  "fig4_query_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_query_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_embedding.dir/table2_embedding.cpp.o"
+  "CMakeFiles/table2_embedding.dir/table2_embedding.cpp.o.d"
+  "table2_embedding"
+  "table2_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

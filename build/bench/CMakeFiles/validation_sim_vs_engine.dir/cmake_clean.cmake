@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_sim_vs_engine.dir/validation_sim_vs_engine.cpp.o"
+  "CMakeFiles/validation_sim_vs_engine.dir/validation_sim_vs_engine.cpp.o.d"
+  "validation_sim_vs_engine"
+  "validation_sim_vs_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_sim_vs_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_chunking.dir/whatif_chunking.cpp.o"
+  "CMakeFiles/whatif_chunking.dir/whatif_chunking.cpp.o.d"
+  "whatif_chunking"
+  "whatif_chunking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_continual_ingest.dir/whatif_continual_ingest.cpp.o"
+  "CMakeFiles/whatif_continual_ingest.dir/whatif_continual_ingest.cpp.o.d"
+  "whatif_continual_ingest"
+  "whatif_continual_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_continual_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

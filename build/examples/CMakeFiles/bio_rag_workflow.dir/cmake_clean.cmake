@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_rag_workflow.dir/bio_rag_workflow.cpp.o"
+  "CMakeFiles/bio_rag_workflow.dir/bio_rag_workflow.cpp.o.d"
+  "bio_rag_workflow"
+  "bio_rag_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_rag_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bio_rag_workflow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polaris_whatif.dir/polaris_whatif.cpp.o"
+  "CMakeFiles/polaris_whatif.dir/polaris_whatif.cpp.o.d"
+  "polaris_whatif"
+  "polaris_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polaris_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/batcher.cpp" "src/CMakeFiles/vdb_client.dir/client/batcher.cpp.o" "gcc" "src/CMakeFiles/vdb_client.dir/client/batcher.cpp.o.d"
+  "/root/repo/src/client/client.cpp" "src/CMakeFiles/vdb_client.dir/client/client.cpp.o" "gcc" "src/CMakeFiles/vdb_client.dir/client/client.cpp.o.d"
+  "/root/repo/src/client/event_loop_client.cpp" "src/CMakeFiles/vdb_client.dir/client/event_loop_client.cpp.o" "gcc" "src/CMakeFiles/vdb_client.dir/client/event_loop_client.cpp.o.d"
+  "/root/repo/src/client/multiproc_client.cpp" "src/CMakeFiles/vdb_client.dir/client/multiproc_client.cpp.o" "gcc" "src/CMakeFiles/vdb_client.dir/client/multiproc_client.cpp.o.d"
+  "/root/repo/src/client/tuner.cpp" "src/CMakeFiles/vdb_client.dir/client/tuner.cpp.o" "gcc" "src/CMakeFiles/vdb_client.dir/client/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_collection.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_client.dir/client/batcher.cpp.o"
+  "CMakeFiles/vdb_client.dir/client/batcher.cpp.o.d"
+  "CMakeFiles/vdb_client.dir/client/client.cpp.o"
+  "CMakeFiles/vdb_client.dir/client/client.cpp.o.d"
+  "CMakeFiles/vdb_client.dir/client/event_loop_client.cpp.o"
+  "CMakeFiles/vdb_client.dir/client/event_loop_client.cpp.o.d"
+  "CMakeFiles/vdb_client.dir/client/multiproc_client.cpp.o"
+  "CMakeFiles/vdb_client.dir/client/multiproc_client.cpp.o.d"
+  "CMakeFiles/vdb_client.dir/client/tuner.cpp.o"
+  "CMakeFiles/vdb_client.dir/client/tuner.cpp.o.d"
+  "libvdb_client.a"
+  "libvdb_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/vdb_cluster.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/vdb_cluster.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "src/CMakeFiles/vdb_cluster.dir/cluster/placement.cpp.o" "gcc" "src/CMakeFiles/vdb_cluster.dir/cluster/placement.cpp.o.d"
+  "/root/repo/src/cluster/replication.cpp" "src/CMakeFiles/vdb_cluster.dir/cluster/replication.cpp.o" "gcc" "src/CMakeFiles/vdb_cluster.dir/cluster/replication.cpp.o.d"
+  "/root/repo/src/cluster/router.cpp" "src/CMakeFiles/vdb_cluster.dir/cluster/router.cpp.o" "gcc" "src/CMakeFiles/vdb_cluster.dir/cluster/router.cpp.o.d"
+  "/root/repo/src/cluster/worker.cpp" "src/CMakeFiles/vdb_cluster.dir/cluster/worker.cpp.o" "gcc" "src/CMakeFiles/vdb_cluster.dir/cluster/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_collection.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

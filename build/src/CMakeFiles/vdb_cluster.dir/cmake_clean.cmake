@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_cluster.dir/cluster/cluster.cpp.o"
+  "CMakeFiles/vdb_cluster.dir/cluster/cluster.cpp.o.d"
+  "CMakeFiles/vdb_cluster.dir/cluster/placement.cpp.o"
+  "CMakeFiles/vdb_cluster.dir/cluster/placement.cpp.o.d"
+  "CMakeFiles/vdb_cluster.dir/cluster/replication.cpp.o"
+  "CMakeFiles/vdb_cluster.dir/cluster/replication.cpp.o.d"
+  "CMakeFiles/vdb_cluster.dir/cluster/router.cpp.o"
+  "CMakeFiles/vdb_cluster.dir/cluster/router.cpp.o.d"
+  "CMakeFiles/vdb_cluster.dir/cluster/worker.cpp.o"
+  "CMakeFiles/vdb_cluster.dir/cluster/worker.cpp.o.d"
+  "libvdb_cluster.a"
+  "libvdb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

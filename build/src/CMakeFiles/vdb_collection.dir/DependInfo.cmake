@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collection/collection.cpp" "src/CMakeFiles/vdb_collection.dir/collection/collection.cpp.o" "gcc" "src/CMakeFiles/vdb_collection.dir/collection/collection.cpp.o.d"
+  "/root/repo/src/collection/optimizer.cpp" "src/CMakeFiles/vdb_collection.dir/collection/optimizer.cpp.o" "gcc" "src/CMakeFiles/vdb_collection.dir/collection/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

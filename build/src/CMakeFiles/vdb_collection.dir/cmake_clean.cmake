@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_collection.dir/collection/collection.cpp.o"
+  "CMakeFiles/vdb_collection.dir/collection/collection.cpp.o.d"
+  "CMakeFiles/vdb_collection.dir/collection/optimizer.cpp.o"
+  "CMakeFiles/vdb_collection.dir/collection/optimizer.cpp.o.d"
+  "libvdb_collection.a"
+  "libvdb_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

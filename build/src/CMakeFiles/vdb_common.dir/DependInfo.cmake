@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/vdb_common.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/vdb_common.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/vdb_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/vdb_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/CMakeFiles/vdb_common.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/status.cpp.o.d"
+  "/root/repo/src/common/stopwatch.cpp" "src/CMakeFiles/vdb_common.dir/common/stopwatch.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/stopwatch.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/vdb_common.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/common/config.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/common/logging.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/common/rng.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/common/status.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/status.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/stopwatch.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/thread_pool.cpp.o.d"
+  "libvdb_common.a"
+  "libvdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

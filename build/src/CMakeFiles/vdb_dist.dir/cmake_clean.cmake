@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_dist.dir/dist/distance.cpp.o"
+  "CMakeFiles/vdb_dist.dir/dist/distance.cpp.o.d"
+  "CMakeFiles/vdb_dist.dir/dist/topk.cpp.o"
+  "CMakeFiles/vdb_dist.dir/dist/topk.cpp.o.d"
+  "libvdb_dist.a"
+  "libvdb_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/batching.cpp" "src/CMakeFiles/vdb_embed.dir/embed/batching.cpp.o" "gcc" "src/CMakeFiles/vdb_embed.dir/embed/batching.cpp.o.d"
+  "/root/repo/src/embed/gpu_model.cpp" "src/CMakeFiles/vdb_embed.dir/embed/gpu_model.cpp.o" "gcc" "src/CMakeFiles/vdb_embed.dir/embed/gpu_model.cpp.o.d"
+  "/root/repo/src/embed/orchestrator.cpp" "src/CMakeFiles/vdb_embed.dir/embed/orchestrator.cpp.o" "gcc" "src/CMakeFiles/vdb_embed.dir/embed/orchestrator.cpp.o.d"
+  "/root/repo/src/embed/pipeline.cpp" "src/CMakeFiles/vdb_embed.dir/embed/pipeline.cpp.o" "gcc" "src/CMakeFiles/vdb_embed.dir/embed/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_embed.dir/embed/batching.cpp.o"
+  "CMakeFiles/vdb_embed.dir/embed/batching.cpp.o.d"
+  "CMakeFiles/vdb_embed.dir/embed/gpu_model.cpp.o"
+  "CMakeFiles/vdb_embed.dir/embed/gpu_model.cpp.o.d"
+  "CMakeFiles/vdb_embed.dir/embed/orchestrator.cpp.o"
+  "CMakeFiles/vdb_embed.dir/embed/orchestrator.cpp.o.d"
+  "CMakeFiles/vdb_embed.dir/embed/pipeline.cpp.o"
+  "CMakeFiles/vdb_embed.dir/embed/pipeline.cpp.o.d"
+  "libvdb_embed.a"
+  "libvdb_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

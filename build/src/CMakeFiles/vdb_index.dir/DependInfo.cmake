@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/factory.cpp" "src/CMakeFiles/vdb_index.dir/index/factory.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/factory.cpp.o.d"
+  "/root/repo/src/index/flat_index.cpp" "src/CMakeFiles/vdb_index.dir/index/flat_index.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/flat_index.cpp.o.d"
+  "/root/repo/src/index/hnsw_index.cpp" "src/CMakeFiles/vdb_index.dir/index/hnsw_index.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/hnsw_index.cpp.o.d"
+  "/root/repo/src/index/hnsw_io.cpp" "src/CMakeFiles/vdb_index.dir/index/hnsw_io.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/hnsw_io.cpp.o.d"
+  "/root/repo/src/index/index.cpp" "src/CMakeFiles/vdb_index.dir/index/index.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/index.cpp.o.d"
+  "/root/repo/src/index/ivf_pq_index.cpp" "src/CMakeFiles/vdb_index.dir/index/ivf_pq_index.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/ivf_pq_index.cpp.o.d"
+  "/root/repo/src/index/kd_tree_index.cpp" "src/CMakeFiles/vdb_index.dir/index/kd_tree_index.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/kd_tree_index.cpp.o.d"
+  "/root/repo/src/index/kmeans.cpp" "src/CMakeFiles/vdb_index.dir/index/kmeans.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/kmeans.cpp.o.d"
+  "/root/repo/src/index/sq_index.cpp" "src/CMakeFiles/vdb_index.dir/index/sq_index.cpp.o" "gcc" "src/CMakeFiles/vdb_index.dir/index/sq_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

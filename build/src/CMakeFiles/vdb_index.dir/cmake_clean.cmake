@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_index.dir/index/factory.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/factory.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/flat_index.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/flat_index.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/hnsw_index.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/hnsw_index.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/hnsw_io.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/hnsw_io.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/index.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/index.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/ivf_pq_index.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/ivf_pq_index.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/kd_tree_index.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/kd_tree_index.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/kmeans.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/kmeans.cpp.o.d"
+  "CMakeFiles/vdb_index.dir/index/sq_index.cpp.o"
+  "CMakeFiles/vdb_index.dir/index/sq_index.cpp.o.d"
+  "libvdb_index.a"
+  "libvdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

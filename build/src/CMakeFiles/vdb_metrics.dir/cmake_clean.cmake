@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_metrics.dir/metrics/compare.cpp.o"
+  "CMakeFiles/vdb_metrics.dir/metrics/compare.cpp.o.d"
+  "CMakeFiles/vdb_metrics.dir/metrics/histogram.cpp.o"
+  "CMakeFiles/vdb_metrics.dir/metrics/histogram.cpp.o.d"
+  "CMakeFiles/vdb_metrics.dir/metrics/stats.cpp.o"
+  "CMakeFiles/vdb_metrics.dir/metrics/stats.cpp.o.d"
+  "CMakeFiles/vdb_metrics.dir/metrics/table.cpp.o"
+  "CMakeFiles/vdb_metrics.dir/metrics/table.cpp.o.d"
+  "libvdb_metrics.a"
+  "libvdb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_rpc.dir/rpc/codec.cpp.o"
+  "CMakeFiles/vdb_rpc.dir/rpc/codec.cpp.o.d"
+  "CMakeFiles/vdb_rpc.dir/rpc/transport.cpp.o"
+  "CMakeFiles/vdb_rpc.dir/rpc/transport.cpp.o.d"
+  "libvdb_rpc.a"
+  "libvdb_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cpp" "src/CMakeFiles/vdb_sim.dir/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/vdb_sim.dir/sim/cpu.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/vdb_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/vdb_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/vdb_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/vdb_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/CMakeFiles/vdb_sim.dir/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/vdb_sim.dir/sim/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_sim.dir/sim/cpu.cpp.o"
+  "CMakeFiles/vdb_sim.dir/sim/cpu.cpp.o.d"
+  "CMakeFiles/vdb_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/vdb_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/vdb_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/vdb_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/vdb_sim.dir/sim/simulation.cpp.o"
+  "CMakeFiles/vdb_sim.dir/sim/simulation.cpp.o.d"
+  "libvdb_sim.a"
+  "libvdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

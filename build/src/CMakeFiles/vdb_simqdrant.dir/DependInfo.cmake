@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simqdrant/cost_model.cpp" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/cost_model.cpp.o" "gcc" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/cost_model.cpp.o.d"
+  "/root/repo/src/simqdrant/experiments.cpp" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/experiments.cpp.o" "gcc" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/experiments.cpp.o.d"
+  "/root/repo/src/simqdrant/sim_client.cpp" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_client.cpp.o" "gcc" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_client.cpp.o.d"
+  "/root/repo/src/simqdrant/sim_cluster.cpp" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_cluster.cpp.o" "gcc" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_cluster.cpp.o.d"
+  "/root/repo/src/simqdrant/sim_worker.cpp" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_worker.cpp.o" "gcc" "src/CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

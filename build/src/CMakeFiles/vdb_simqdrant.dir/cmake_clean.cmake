@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/cost_model.cpp.o"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/cost_model.cpp.o.d"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/experiments.cpp.o"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/experiments.cpp.o.d"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_client.cpp.o"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_client.cpp.o.d"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_cluster.cpp.o"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_cluster.cpp.o.d"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_worker.cpp.o"
+  "CMakeFiles/vdb_simqdrant.dir/simqdrant/sim_worker.cpp.o.d"
+  "libvdb_simqdrant.a"
+  "libvdb_simqdrant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_simqdrant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

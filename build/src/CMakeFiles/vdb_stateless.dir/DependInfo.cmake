@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stateless/object_store.cpp" "src/CMakeFiles/vdb_stateless.dir/stateless/object_store.cpp.o" "gcc" "src/CMakeFiles/vdb_stateless.dir/stateless/object_store.cpp.o.d"
+  "/root/repo/src/stateless/shard_cache.cpp" "src/CMakeFiles/vdb_stateless.dir/stateless/shard_cache.cpp.o" "gcc" "src/CMakeFiles/vdb_stateless.dir/stateless/shard_cache.cpp.o.d"
+  "/root/repo/src/stateless/shard_io.cpp" "src/CMakeFiles/vdb_stateless.dir/stateless/shard_io.cpp.o" "gcc" "src/CMakeFiles/vdb_stateless.dir/stateless/shard_io.cpp.o.d"
+  "/root/repo/src/stateless/stateless_cluster.cpp" "src/CMakeFiles/vdb_stateless.dir/stateless/stateless_cluster.cpp.o" "gcc" "src/CMakeFiles/vdb_stateless.dir/stateless/stateless_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_collection.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

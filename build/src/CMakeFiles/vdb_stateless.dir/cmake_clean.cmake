@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_stateless.dir/stateless/object_store.cpp.o"
+  "CMakeFiles/vdb_stateless.dir/stateless/object_store.cpp.o.d"
+  "CMakeFiles/vdb_stateless.dir/stateless/shard_cache.cpp.o"
+  "CMakeFiles/vdb_stateless.dir/stateless/shard_cache.cpp.o.d"
+  "CMakeFiles/vdb_stateless.dir/stateless/shard_io.cpp.o"
+  "CMakeFiles/vdb_stateless.dir/stateless/shard_io.cpp.o.d"
+  "CMakeFiles/vdb_stateless.dir/stateless/stateless_cluster.cpp.o"
+  "CMakeFiles/vdb_stateless.dir/stateless/stateless_cluster.cpp.o.d"
+  "libvdb_stateless.a"
+  "libvdb_stateless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_stateless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/crc32.cpp" "src/CMakeFiles/vdb_storage.dir/storage/crc32.cpp.o" "gcc" "src/CMakeFiles/vdb_storage.dir/storage/crc32.cpp.o.d"
+  "/root/repo/src/storage/payload_store.cpp" "src/CMakeFiles/vdb_storage.dir/storage/payload_store.cpp.o" "gcc" "src/CMakeFiles/vdb_storage.dir/storage/payload_store.cpp.o.d"
+  "/root/repo/src/storage/segment.cpp" "src/CMakeFiles/vdb_storage.dir/storage/segment.cpp.o" "gcc" "src/CMakeFiles/vdb_storage.dir/storage/segment.cpp.o.d"
+  "/root/repo/src/storage/snapshot.cpp" "src/CMakeFiles/vdb_storage.dir/storage/snapshot.cpp.o" "gcc" "src/CMakeFiles/vdb_storage.dir/storage/snapshot.cpp.o.d"
+  "/root/repo/src/storage/wal.cpp" "src/CMakeFiles/vdb_storage.dir/storage/wal.cpp.o" "gcc" "src/CMakeFiles/vdb_storage.dir/storage/wal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_storage.dir/storage/crc32.cpp.o"
+  "CMakeFiles/vdb_storage.dir/storage/crc32.cpp.o.d"
+  "CMakeFiles/vdb_storage.dir/storage/payload_store.cpp.o"
+  "CMakeFiles/vdb_storage.dir/storage/payload_store.cpp.o.d"
+  "CMakeFiles/vdb_storage.dir/storage/segment.cpp.o"
+  "CMakeFiles/vdb_storage.dir/storage/segment.cpp.o.d"
+  "CMakeFiles/vdb_storage.dir/storage/snapshot.cpp.o"
+  "CMakeFiles/vdb_storage.dir/storage/snapshot.cpp.o.d"
+  "CMakeFiles/vdb_storage.dir/storage/wal.cpp.o"
+  "CMakeFiles/vdb_storage.dir/storage/wal.cpp.o.d"
+  "libvdb_storage.a"
+  "libvdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

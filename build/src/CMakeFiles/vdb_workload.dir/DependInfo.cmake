@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus.cpp" "src/CMakeFiles/vdb_workload.dir/workload/corpus.cpp.o" "gcc" "src/CMakeFiles/vdb_workload.dir/workload/corpus.cpp.o.d"
+  "/root/repo/src/workload/embeddings.cpp" "src/CMakeFiles/vdb_workload.dir/workload/embeddings.cpp.o" "gcc" "src/CMakeFiles/vdb_workload.dir/workload/embeddings.cpp.o.d"
+  "/root/repo/src/workload/queries.cpp" "src/CMakeFiles/vdb_workload.dir/workload/queries.cpp.o" "gcc" "src/CMakeFiles/vdb_workload.dir/workload/queries.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/vdb_workload.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/vdb_workload.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdb_workload.dir/workload/corpus.cpp.o"
+  "CMakeFiles/vdb_workload.dir/workload/corpus.cpp.o.d"
+  "CMakeFiles/vdb_workload.dir/workload/embeddings.cpp.o"
+  "CMakeFiles/vdb_workload.dir/workload/embeddings.cpp.o.d"
+  "CMakeFiles/vdb_workload.dir/workload/queries.cpp.o"
+  "CMakeFiles/vdb_workload.dir/workload/queries.cpp.o.d"
+  "CMakeFiles/vdb_workload.dir/workload/zipf.cpp.o"
+  "CMakeFiles/vdb_workload.dir/workload/zipf.cpp.o.d"
+  "libvdb_workload.a"
+  "libvdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_batch_search_test.dir/cluster_batch_search_test.cpp.o"
+  "CMakeFiles/cluster_batch_search_test.dir/cluster_batch_search_test.cpp.o.d"
+  "cluster_batch_search_test"
+  "cluster_batch_search_test.pdb"
+  "cluster_batch_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_batch_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

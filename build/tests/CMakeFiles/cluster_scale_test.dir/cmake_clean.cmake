@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_scale_test.dir/cluster_scale_test.cpp.o"
+  "CMakeFiles/cluster_scale_test.dir/cluster_scale_test.cpp.o.d"
+  "cluster_scale_test"
+  "cluster_scale_test.pdb"
+  "cluster_scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_flat_test.dir/index_flat_test.cpp.o"
+  "CMakeFiles/index_flat_test.dir/index_flat_test.cpp.o.d"
+  "index_flat_test"
+  "index_flat_test.pdb"
+  "index_flat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_flat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_ivfpq_test.dir/index_ivfpq_test.cpp.o"
+  "CMakeFiles/index_ivfpq_test.dir/index_ivfpq_test.cpp.o.d"
+  "index_ivfpq_test"
+  "index_ivfpq_test.pdb"
+  "index_ivfpq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_ivfpq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

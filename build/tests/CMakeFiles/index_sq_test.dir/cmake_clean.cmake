@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_sq_test.dir/index_sq_test.cpp.o"
+  "CMakeFiles/index_sq_test.dir/index_sq_test.cpp.o.d"
+  "index_sq_test"
+  "index_sq_test.pdb"
+  "index_sq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_sq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

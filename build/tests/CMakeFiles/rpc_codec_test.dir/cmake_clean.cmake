@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_codec_test.dir/rpc_codec_test.cpp.o"
+  "CMakeFiles/rpc_codec_test.dir/rpc_codec_test.cpp.o.d"
+  "rpc_codec_test"
+  "rpc_codec_test.pdb"
+  "rpc_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simqdrant_test.dir/simqdrant_test.cpp.o"
+  "CMakeFiles/simqdrant_test.dir/simqdrant_test.cpp.o.d"
+  "simqdrant_test"
+  "simqdrant_test.pdb"
+  "simqdrant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simqdrant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

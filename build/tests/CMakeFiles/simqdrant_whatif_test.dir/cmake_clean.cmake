@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simqdrant_whatif_test.dir/simqdrant_whatif_test.cpp.o"
+  "CMakeFiles/simqdrant_whatif_test.dir/simqdrant_whatif_test.cpp.o.d"
+  "simqdrant_whatif_test"
+  "simqdrant_whatif_test.pdb"
+  "simqdrant_whatif_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simqdrant_whatif_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stateless_test.dir/stateless_test.cpp.o"
+  "CMakeFiles/stateless_test.dir/stateless_test.cpp.o.d"
+  "stateless_test"
+  "stateless_test.pdb"
+  "stateless_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stateless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

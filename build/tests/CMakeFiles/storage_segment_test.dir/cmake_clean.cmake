@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_segment_test.dir/storage_segment_test.cpp.o"
+  "CMakeFiles/storage_segment_test.dir/storage_segment_test.cpp.o.d"
+  "storage_segment_test"
+  "storage_segment_test.pdb"
+  "storage_segment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_wal_test.dir/storage_wal_test.cpp.o"
+  "CMakeFiles/storage_wal_test.dir/storage_wal_test.cpp.o.d"
+  "storage_wal_test"
+  "storage_wal_test.pdb"
+  "storage_wal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_wal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -212,8 +212,17 @@ bench/CMakeFiles/ablation_client_model.dir/ablation_client_model.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/bits/atomic_futex.h \
  /usr/include/c++/12/bits/std_function.h /root/repo/src/client/client.hpp \
- /root/repo/src/cluster/router.hpp /usr/include/c++/12/memory \
+ /root/repo/src/cluster/router.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
@@ -224,12 +233,9 @@ bench/CMakeFiles/ablation_client_model.dir/ablation_client_model.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/cluster/placement.hpp /root/repo/src/common/types.hpp \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/cluster/worker.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/cluster/worker.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/collection/collection.hpp /usr/include/c++/12/filesystem \
  /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/locale \
@@ -246,22 +252,16 @@ bench/CMakeFiles/ablation_client_model.dir/ablation_client_model.cpp.o: \
  /root/repo/src/dist/topk.hpp /root/repo/src/index/ivf_pq_index.hpp \
  /root/repo/src/index/kmeans.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/index/kd_tree_index.hpp /root/repo/src/index/sq_index.hpp \
- /root/repo/src/storage/payload_store.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/payload_store.hpp /usr/include/c++/12/variant \
  /root/repo/src/storage/segment.hpp /root/repo/src/storage/snapshot.hpp \
  /root/repo/src/storage/wal.hpp /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/rpc/transport.hpp /root/repo/src/common/mpmc_queue.hpp \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/rpc/transport.hpp \
+ /root/repo/src/common/faults.hpp /root/repo/src/common/mpmc_queue.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/rpc/codec.hpp \
+ /root/repo/src/common/stopwatch.hpp /usr/include/c++/12/chrono \
  /root/repo/src/metrics/stats.hpp \
  /root/repo/src/client/multiproc_client.hpp \
  /root/repo/src/cluster/cluster.hpp \

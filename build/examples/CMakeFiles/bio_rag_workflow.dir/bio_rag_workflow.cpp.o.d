@@ -266,8 +266,8 @@ examples/CMakeFiles/bio_rag_workflow.dir/bio_rag_workflow.cpp.o: \
  /root/repo/src/collection/optimizer.hpp \
  /root/repo/src/cluster/cluster.hpp /root/repo/src/cluster/router.hpp \
  /root/repo/src/cluster/placement.hpp /root/repo/src/cluster/worker.hpp \
- /root/repo/src/rpc/transport.hpp /root/repo/src/rpc/codec.hpp \
- /root/repo/src/cluster/replication.hpp \
+ /root/repo/src/rpc/transport.hpp /root/repo/src/common/faults.hpp \
+ /root/repo/src/rpc/codec.hpp /root/repo/src/cluster/replication.hpp \
  /root/repo/src/stateless/object_store.hpp \
  /root/repo/src/stateless/shard_cache.hpp /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \

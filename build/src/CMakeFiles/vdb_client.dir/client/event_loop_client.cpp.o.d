@@ -203,8 +203,18 @@ src/CMakeFiles/vdb_client.dir/client/event_loop_client.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/client/client.hpp \
- /root/repo/src/cluster/router.hpp /usr/include/c++/12/memory \
+ /root/repo/src/cluster/router.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/backward/auto_ptr.h \
@@ -215,17 +225,12 @@ src/CMakeFiles/vdb_client.dir/client/event_loop_client.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/cluster/placement.hpp /root/repo/src/common/status.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/common/types.hpp /usr/include/c++/12/cstddef \
- /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/optional /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/types.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/cluster/worker.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/collection/collection.hpp /usr/include/c++/12/filesystem \
  /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/locale \
@@ -244,24 +249,17 @@ src/CMakeFiles/vdb_client.dir/client/event_loop_client.cpp.o: \
  /root/repo/src/dist/topk.hpp /root/repo/src/index/ivf_pq_index.hpp \
  /root/repo/src/index/kmeans.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/index/kd_tree_index.hpp /root/repo/src/index/sq_index.hpp \
- /root/repo/src/storage/payload_store.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/payload_store.hpp /usr/include/c++/12/variant \
  /root/repo/src/storage/segment.hpp /root/repo/src/storage/snapshot.hpp \
  /root/repo/src/storage/wal.hpp /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/rpc/transport.hpp /root/repo/src/common/mpmc_queue.hpp \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/rpc/transport.hpp \
+ /root/repo/src/common/faults.hpp /root/repo/src/common/mpmc_queue.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/rpc/codec.hpp \
+ /root/repo/src/common/stopwatch.hpp /usr/include/c++/12/chrono \
  /root/repo/src/metrics/stats.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/stopwatch.hpp /usr/include/c++/12/chrono
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/vdb_common.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/bytes.cpp.o.d"
   "/root/repo/src/common/config.cpp" "src/CMakeFiles/vdb_common.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/faults.cpp" "src/CMakeFiles/vdb_common.dir/common/faults.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/faults.cpp.o.d"
   "/root/repo/src/common/logging.cpp" "src/CMakeFiles/vdb_common.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/logging.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/CMakeFiles/vdb_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/rng.cpp.o.d"
   "/root/repo/src/common/status.cpp" "src/CMakeFiles/vdb_common.dir/common/status.cpp.o" "gcc" "src/CMakeFiles/vdb_common.dir/common/status.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/vdb_common.dir/common/bytes.cpp.o.d"
   "CMakeFiles/vdb_common.dir/common/config.cpp.o"
   "CMakeFiles/vdb_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/vdb_common.dir/common/faults.cpp.o"
+  "CMakeFiles/vdb_common.dir/common/faults.cpp.o.d"
   "CMakeFiles/vdb_common.dir/common/logging.cpp.o"
   "CMakeFiles/vdb_common.dir/common/logging.cpp.o.d"
   "CMakeFiles/vdb_common.dir/common/rng.cpp.o"

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/chaos_test.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/chaos_test.dir/chaos_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vdb_stateless.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_collection.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_simqdrant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

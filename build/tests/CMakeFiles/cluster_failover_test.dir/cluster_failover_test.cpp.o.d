@@ -294,16 +294,16 @@ tests/CMakeFiles/cluster_failover_test.dir/cluster_failover_test.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/cluster/cluster.hpp /root/repo/src/cluster/router.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/cluster/placement.hpp /root/repo/src/common/status.hpp \
  /root/repo/src/common/types.hpp /usr/include/c++/12/span \
  /root/repo/src/cluster/worker.hpp /usr/include/c++/12/shared_mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/collection/collection.hpp /usr/include/c++/12/filesystem \
  /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
  /usr/include/c++/12/bits/fs_ops.h /root/repo/src/index/factory.hpp \
- /root/repo/src/index/hnsw_index.hpp /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/index/index.hpp \
+ /root/repo/src/index/hnsw_index.hpp /root/repo/src/index/index.hpp \
  /root/repo/src/dist/distance.hpp /root/repo/src/dist/topk.hpp \
  /root/repo/src/index/ivf_pq_index.hpp /root/repo/src/index/kmeans.hpp \
  /root/repo/src/common/rng.hpp /root/repo/src/index/kd_tree_index.hpp \
@@ -321,10 +321,11 @@ tests/CMakeFiles/cluster_failover_test.dir/cluster_failover_test.cpp.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/faults.hpp \
  /root/repo/src/common/mpmc_queue.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/rpc/codec.hpp /root/repo/tests/test_util.hpp \
+ /root/repo/src/rpc/codec.hpp /root/repo/src/common/stopwatch.hpp \
+ /usr/include/c++/12/chrono /root/repo/tests/test_util.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

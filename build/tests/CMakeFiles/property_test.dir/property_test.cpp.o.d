@@ -299,22 +299,42 @@ tests/CMakeFiles/property_test.dir/property_test.cpp.o: \
  /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/tests/chaos_harness.hpp \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/cluster/cluster.hpp /root/repo/src/cluster/router.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/cluster/placement.hpp /root/repo/src/common/status.hpp \
  /root/repo/src/common/types.hpp /usr/include/c++/12/span \
- /root/repo/src/common/rng.hpp /root/repo/src/dist/topk.hpp \
- /root/repo/src/rpc/codec.hpp /root/repo/src/index/index.hpp \
- /root/repo/src/dist/distance.hpp \
- /root/repo/src/storage/payload_store.hpp /root/repo/src/sim/cpu.hpp \
+ /root/repo/src/cluster/worker.hpp /usr/include/c++/12/shared_mutex \
+ /root/repo/src/collection/collection.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /root/repo/src/index/factory.hpp \
+ /root/repo/src/index/hnsw_index.hpp /root/repo/src/index/index.hpp \
+ /root/repo/src/dist/distance.hpp /root/repo/src/dist/topk.hpp \
+ /root/repo/src/index/ivf_pq_index.hpp /root/repo/src/index/kmeans.hpp \
+ /root/repo/src/common/rng.hpp /root/repo/src/index/kd_tree_index.hpp \
+ /root/repo/src/index/sq_index.hpp \
+ /root/repo/src/storage/payload_store.hpp \
+ /root/repo/src/storage/segment.hpp /root/repo/src/storage/snapshot.hpp \
+ /root/repo/src/storage/wal.hpp /root/repo/src/rpc/transport.hpp \
+ /usr/include/c++/12/future /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/src/common/faults.hpp \
+ /root/repo/src/common/mpmc_queue.hpp /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/rpc/codec.hpp /root/repo/src/common/stopwatch.hpp \
+ /usr/include/c++/12/chrono /root/repo/src/sim/cpu.hpp \
  /root/repo/src/sim/simulation.hpp /root/repo/src/sim/clock.hpp \
  /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/storage/wal.hpp /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
- /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
- /usr/include/c++/12/bits/fs_ops.h /root/repo/tests/test_util.hpp \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/tests/test_util.hpp \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_resilience_test.dir/router_resilience_test.cpp.o"
+  "CMakeFiles/router_resilience_test.dir/router_resilience_test.cpp.o.d"
+  "router_resilience_test"
+  "router_resilience_test.pdb"
+  "router_resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -221,6 +221,9 @@ tests/CMakeFiles/rpc_transport_test.dir/rpc_transport_test.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/common/faults.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/rng.hpp \
  /root/repo/src/common/mpmc_queue.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
@@ -230,9 +233,7 @@ tests/CMakeFiles/rpc_transport_test.dir/rpc_transport_test.cpp.o: \
  /usr/include/c++/12/cstddef /usr/include/c++/12/span \
  /root/repo/src/dist/topk.hpp /root/repo/src/index/index.hpp \
  /root/repo/src/dist/distance.hpp \
- /root/repo/src/storage/payload_store.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/payload_store.hpp /usr/include/c++/12/variant \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

@@ -21,17 +21,29 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(ClusterConfig config) 
                                  config.replication));
   cluster->placement_ = std::make_shared<const ShardPlacement>(std::move(placement));
 
+  if (config.fault_plan != nullptr) {
+    cluster->transport_->SetFaultPlan(config.fault_plan);
+  }
   for (WorkerId id = 0; id < config.num_workers; ++id) {
     WorkerConfig worker_config;
     worker_config.id = id;
     worker_config.collection_template = config.collection_template;
     worker_config.service_threads = config.service_threads_per_worker;
+    worker_config.fault_plan = config.fault_plan;
     VDB_ASSIGN_OR_RETURN(auto worker, Worker::Start(*cluster->transport_,
                                                     cluster->placement_, worker_config));
     cluster->workers_.push_back(std::move(worker));
   }
   cluster->router_ = std::make_unique<Router>(*cluster->transport_, cluster->placement_);
   return cluster;
+}
+
+void LocalCluster::InstallFaultPlan(std::shared_ptr<faults::FaultPlan> plan) {
+  config_.fault_plan = plan;
+  transport_->SetFaultPlan(plan);
+  for (auto& worker : workers_) {
+    if (worker != nullptr) worker->SetFaultPlan(plan);
+  }
 }
 
 Status LocalCluster::StopWorker(WorkerId id) {
@@ -49,6 +61,7 @@ Status LocalCluster::RestartWorker(WorkerId id) {
   worker_config.id = id;
   worker_config.collection_template = config_.collection_template;
   worker_config.service_threads = config_.service_threads_per_worker;
+  worker_config.fault_plan = config_.fault_plan;
   VDB_ASSIGN_OR_RETURN(auto worker, Worker::Start(*transport_, placement_, worker_config));
   workers_[id] = std::move(worker);
   return Status::Ok();
@@ -67,6 +80,7 @@ Result<std::uint64_t> LocalCluster::ScaleTo(std::uint32_t new_num_workers) {
     worker_config.id = id;
     worker_config.collection_template = config_.collection_template;
     worker_config.service_threads = config_.service_threads_per_worker;
+    worker_config.fault_plan = config_.fault_plan;
     VDB_ASSIGN_OR_RETURN(auto worker, Worker::Start(*transport_, placement_, worker_config));
     workers_.push_back(std::move(worker));
   }

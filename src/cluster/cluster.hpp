@@ -22,6 +22,9 @@ struct ClusterConfig {
   std::uint32_t replication = 1;
   CollectionConfig collection_template;
   std::size_t service_threads_per_worker = 2;
+  /// Optional chaos: installed on the transport and every worker (including
+  /// workers created later by RestartWorker/ScaleTo).
+  std::shared_ptr<faults::FaultPlan> fault_plan;
 };
 
 class LocalCluster {
@@ -49,6 +52,11 @@ class LocalCluster {
 
   /// Restarts a previously stopped worker with empty shards.
   Status RestartWorker(WorkerId id);
+
+  /// Installs (or clears) a fault plan on the transport and all running
+  /// workers; future restarts inherit it. Install before traffic for
+  /// reproducible event logs.
+  void InstallFaultPlan(std::shared_ptr<faults::FaultPlan> plan);
 
   /// Elastic scale-out/in: starts (or stops) workers, computes the rebalance
   /// plan, moves shard data to new owners, and updates routing. Returns the

@@ -1,9 +1,80 @@
 #include "cluster/router.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <map>
+#include <thread>
 
 namespace vdb {
+
+namespace {
+
+/// Transient failures are worth retrying: the replica may come back, another
+/// entry worker may answer. Everything else (corruption, bad request) is
+/// surfaced immediately.
+bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Remaining call budget in seconds; +inf when the policy sets no deadline.
+double RemainingBudget(const ResiliencePolicy& policy, const Stopwatch& watch) {
+  if (policy.call_deadline_seconds <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return policy.call_deadline_seconds - watch.ElapsedSeconds();
+}
+
+/// Waits for `future` within `remaining` seconds. True when a reply is ready.
+bool WaitBudget(std::future<Message>& future, double remaining) {
+  if (std::isinf(remaining)) {
+    future.wait();
+    return true;
+  }
+  if (remaining <= 0.0) return false;
+  return future.wait_for(std::chrono::duration<double>(remaining)) ==
+         std::future_status::ready;
+}
+
+void SleepSeconds(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+/// Per-call jitter stream: the same (policy.seed, call_index) pair always
+/// yields the same backoff sequence, which is what BackoffSchedule() computes
+/// as the tests' reference.
+Rng CallRng(const ResiliencePolicy& policy, std::uint64_t call_index) {
+  return Rng(policy.seed ^ (0x9E3779B97F4A7C15ULL * (call_index + 1)));
+}
+
+}  // namespace
+
+double BackoffDelay(const ResiliencePolicy& policy, std::uint32_t attempt, Rng& rng) {
+  double delay = policy.initial_backoff_seconds;
+  for (std::uint32_t i = 1; i < attempt && delay < policy.max_backoff_seconds; ++i) {
+    delay *= policy.backoff_multiplier;
+  }
+  delay = std::min(delay, policy.max_backoff_seconds);
+  if (policy.jitter_fraction > 0.0) {
+    delay *= 1.0 + rng.NextDouble(-policy.jitter_fraction, policy.jitter_fraction);
+  }
+  return std::max(delay, 0.0);
+}
+
+std::vector<double> BackoffSchedule(const ResiliencePolicy& policy,
+                                    std::uint32_t attempts, std::uint64_t call_index) {
+  Rng rng = CallRng(policy, call_index);
+  std::vector<double> schedule;
+  schedule.reserve(attempts);
+  for (std::uint32_t attempt = 1; attempt <= attempts; ++attempt) {
+    schedule.push_back(BackoffDelay(policy, attempt, rng));
+  }
+  return schedule;
+}
 
 Router::Router(InprocTransport& transport,
                std::shared_ptr<const ShardPlacement> placement)
@@ -11,6 +82,163 @@ Router::Router(InprocTransport& transport,
 
 void Router::SetPlacement(std::shared_ptr<const ShardPlacement> placement) {
   placement_ = std::move(placement);
+}
+
+void Router::SetResiliencePolicy(const ResiliencePolicy& policy) {
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  policy_ = policy;
+}
+
+ResiliencePolicy Router::GetResiliencePolicy() const {
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  return policy_;
+}
+
+WorkerId Router::NextEntry() {
+  return next_entry_.fetch_add(1, std::memory_order_relaxed) %
+         placement_->NumWorkers();
+}
+
+Message Router::RetryReplicaCall(const std::string& endpoint, const Message& request,
+                                 const ResiliencePolicy& policy, Rng& rng,
+                                 std::future<Message> first_attempt,
+                                 const Stopwatch& watch) {
+  std::future<Message> future = std::move(first_attempt);
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(policy.max_attempts, 1);
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    if (!WaitBudget(future, RemainingBudget(policy, watch))) {
+      return EncodeErrorResponse(Status::DeadlineExceeded(
+          "call to " + endpoint + " exceeded the " +
+          std::to_string(policy.call_deadline_seconds) + "s budget (attempt " +
+          std::to_string(attempt) + ")"));
+    }
+    Message reply = future.get();
+    const Status status = MessageToStatus(reply);
+    if (status.ok() || !IsTransient(status) || attempt >= max_attempts) {
+      return reply;
+    }
+    const double backoff = BackoffDelay(policy, attempt, rng);
+    if (RemainingBudget(policy, watch) <= backoff) {
+      return EncodeErrorResponse(Status::DeadlineExceeded(
+          "retry budget for " + endpoint + " exhausted after " +
+          std::to_string(attempt) + " attempt(s); last error: " + status.ToString()));
+    }
+    SleepSeconds(backoff);
+    future = transport_.CallAsync(endpoint, request);
+  }
+}
+
+Result<Message> Router::ResilientEntryCall(
+    const std::function<Message(WorkerId entry, double remaining_seconds)>& make_request,
+    const ResiliencePolicy& policy, CallMeta& meta) {
+  Stopwatch watch;
+  Rng rng = CallRng(policy, call_seq_.fetch_add(1, std::memory_order_relaxed));
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(policy.max_attempts, 1);
+  const bool can_hedge =
+      policy.hedge_delay_seconds > 0.0 && placement_->NumWorkers() > 1;
+  Status last_error = Status::Unavailable("no attempt made");
+
+  for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const double backoff = BackoffDelay(policy, attempt - 1, rng);
+      if (RemainingBudget(policy, watch) <= backoff) break;
+      SleepSeconds(backoff);
+    }
+    double remaining = RemainingBudget(policy, watch);
+    if (remaining <= 0.0) break;
+
+    const WorkerId entry = NextEntry();
+    meta.entry = entry;
+    ++meta.attempts;
+    std::future<Message> future = transport_.CallAsync(
+        WorkerEndpoint(entry),
+        make_request(entry, std::isinf(remaining) ? 0.0 : remaining));
+
+    Message reply;
+    bool have_reply = false;
+    if (can_hedge) {
+      // Give the primary entry `hedge_delay_seconds`; if it has not answered,
+      // fire the same request at a different entry worker and take whichever
+      // replies first (tail-latency insurance, not error handling).
+      const double hedge_wait =
+          std::min(policy.hedge_delay_seconds, RemainingBudget(policy, watch));
+      if (hedge_wait > 0.0 &&
+          future.wait_for(std::chrono::duration<double>(hedge_wait)) ==
+              std::future_status::ready) {
+        reply = future.get();
+        have_reply = true;
+      } else {
+        WorkerId hedge_entry = NextEntry();
+        while (hedge_entry == entry) hedge_entry = NextEntry();
+        meta.hedged = true;
+        ++meta.attempts;
+        remaining = RemainingBudget(policy, watch);
+        std::future<Message> hedge_future = transport_.CallAsync(
+            WorkerEndpoint(hedge_entry),
+            make_request(hedge_entry, std::isinf(remaining) ? 0.0 : remaining));
+
+        // Poll both in short slices; the first ready reply wins. An error
+        // winner falls back to the straggler if it still has budget.
+        constexpr auto kSlice = std::chrono::microseconds(200);
+        std::future<Message>* winner = nullptr;
+        std::future<Message>* loser = nullptr;
+        WorkerId winner_entry = entry;
+        while (winner == nullptr && RemainingBudget(policy, watch) > 0.0) {
+          if (future.wait_for(kSlice) == std::future_status::ready) {
+            winner = &future;
+            loser = &hedge_future;
+            winner_entry = entry;
+            break;
+          }
+          if (hedge_future.wait_for(kSlice) == std::future_status::ready) {
+            winner = &hedge_future;
+            loser = &future;
+            winner_entry = hedge_entry;
+            break;
+          }
+        }
+        if (winner != nullptr) {
+          reply = winner->get();
+          have_reply = true;
+          meta.entry = winner_entry;
+          if (!MessageToStatus(reply).ok() &&
+              WaitBudget(*loser, RemainingBudget(policy, watch))) {
+            Message other = loser->get();
+            if (MessageToStatus(other).ok()) {
+              reply = std::move(other);
+              meta.entry = (loser == &future) ? entry : hedge_entry;
+            }
+          }
+        }
+      }
+    } else {
+      if (WaitBudget(future, RemainingBudget(policy, watch))) {
+        reply = future.get();
+        have_reply = true;
+      }
+    }
+
+    if (!have_reply) {
+      last_error = Status::DeadlineExceeded(
+          "entry call exceeded the " +
+          std::to_string(policy.call_deadline_seconds) + "s budget on attempt " +
+          std::to_string(attempt));
+      break;
+    }
+    const Status status = MessageToStatus(reply);
+    if (status.ok()) return reply;
+    last_error = status;
+    if (!IsTransient(status)) return status;
+  }
+
+  if (RemainingBudget(policy, watch) <= 0.0 &&
+      last_error.code() != StatusCode::kDeadlineExceeded) {
+    return Status::DeadlineExceeded("call budget of " +
+                                    std::to_string(policy.call_deadline_seconds) +
+                                    "s exhausted; last error: " +
+                                    last_error.ToString());
+  }
+  return last_error;
 }
 
 Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points) {
@@ -25,25 +253,41 @@ Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points
     request.points.push_back(point);
   }
 
-  // One request per (shard, replica); primaries and replicas get the same data.
-  std::vector<std::future<Message>> futures;
-  std::vector<std::size_t> primary_counts;
+  const ResiliencePolicy policy = GetResiliencePolicy();
+  Stopwatch watch;
+  Rng rng = CallRng(policy, call_seq_.fetch_add(1, std::memory_order_relaxed));
+
+  // One request per (shard, replica); primaries and replicas get the same
+  // data. First attempts go out in parallel; retries are driven as replies
+  // are collected.
+  struct ReplicaCall {
+    std::string endpoint;
+    Message request;
+    std::size_t primary_count = 0;
+  };
+  std::vector<ReplicaCall> calls;
   for (auto& [shard, request] : by_shard) {
     const Message encoded = EncodeUpsertBatchRequest(request);
     const auto& replicas = placement_->ReplicasOf(shard);
     for (std::size_t r = 0; r < replicas.size(); ++r) {
-      futures.push_back(transport_.CallAsync(WorkerEndpoint(replicas[r]), encoded));
-      primary_counts.push_back(r == 0 ? request.points.size() : 0);
+      calls.push_back({WorkerEndpoint(replicas[r]), encoded,
+                       r == 0 ? request.points.size() : 0});
     }
+  }
+  std::vector<std::future<Message>> futures;
+  futures.reserve(calls.size());
+  for (const auto& call : calls) {
+    futures.push_back(transport_.CallAsync(call.endpoint, call.request));
   }
 
   std::uint64_t acknowledged = 0;
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const Message reply = futures[i].get();
+    const Message reply = RetryReplicaCall(calls[i].endpoint, calls[i].request,
+                                           policy, rng, std::move(futures[i]), watch);
     VDB_RETURN_IF_ERROR(MessageToStatus(reply));
     VDB_ASSIGN_OR_RETURN(const UpsertBatchResponse response,
                          DecodeUpsertBatchResponse(reply));
-    if (primary_counts[i] > 0) acknowledged += response.upserted;
+    if (calls[i].primary_count > 0) acknowledged += response.upserted;
   }
   return acknowledged;
 }
@@ -51,21 +295,53 @@ Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points
 Status Router::Delete(PointId id) {
   const ShardId shard = placement_->ShardFor(id);
   const Message request = EncodeDeleteRequest(DeleteRequest{shard, id});
+  const std::vector<WorkerId> replicas = placement_->ReplicasOf(shard);
+
+  const ResiliencePolicy policy = GetResiliencePolicy();
+  Stopwatch watch;
+  Rng rng = CallRng(policy, call_seq_.fetch_add(1, std::memory_order_relaxed));
+
+  // Contact every replica in parallel and collect *all* statuses — a
+  // fail-fast return here would hide replicas that silently kept the point,
+  // leaving the replica set divergent without the caller knowing.
+  std::vector<std::future<Message>> futures;
+  futures.reserve(replicas.size());
+  for (const WorkerId worker : replicas) {
+    futures.push_back(transport_.CallAsync(WorkerEndpoint(worker), request));
+  }
+
   bool any_deleted = false;
-  for (const WorkerId worker : placement_->ReplicasOf(shard)) {
-    const Message reply = transport_.Call(WorkerEndpoint(worker), request);
-    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
-    VDB_ASSIGN_OR_RETURN(const DeleteResponse response, DecodeDeleteResponse(reply));
-    any_deleted |= response.deleted;
+  std::size_t failed = 0;
+  std::string failures;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const std::string endpoint = WorkerEndpoint(replicas[i]);
+    const Message reply = RetryReplicaCall(endpoint, request, policy, rng,
+                                           std::move(futures[i]), watch);
+    Status status = MessageToStatus(reply);
+    if (status.ok()) {
+      const auto response = DecodeDeleteResponse(reply);
+      if (response.ok()) {
+        any_deleted |= response->deleted;
+        continue;
+      }
+      status = response.status();
+    }
+    ++failed;
+    if (!failures.empty()) failures += "; ";
+    failures += "worker " + std::to_string(replicas[i]) + ": " + status.ToString();
+  }
+  if (failed > 0) {
+    return Status::Unavailable(
+        "delete of point " + std::to_string(id) + " failed on " +
+        std::to_string(failed) + "/" + std::to_string(replicas.size()) +
+        " replica(s) — replica set may have diverged (" + failures + ")");
   }
   return any_deleted ? Status::Ok() : Status::NotFound("point not found in cluster");
 }
 
 Result<std::vector<ScoredPoint>> Router::Search(VectorView query,
                                                 const SearchParams& params) {
-  const WorkerId entry =
-      next_entry_.fetch_add(1, std::memory_order_relaxed) % placement_->NumWorkers();
-  return SearchVia(entry, query, params);
+  return SearchVia(NextEntry(), query, params);
 }
 
 Result<std::vector<ScoredPoint>> Router::SearchVia(WorkerId entry, VectorView query,
@@ -83,15 +359,13 @@ Result<std::vector<ScoredPoint>> Router::SearchVia(WorkerId entry, VectorView qu
 Result<std::vector<ScoredPoint>> Router::SearchFiltered(VectorView query,
                                                         const SearchParams& params,
                                                         const Filter& filter) {
-  const WorkerId entry =
-      next_entry_.fetch_add(1, std::memory_order_relaxed) % placement_->NumWorkers();
   SearchRequest request;
   request.query.assign(query.begin(), query.end());
   request.params = params;
   request.fan_out = true;
   request.filter = filter;
   const Message reply =
-      transport_.Call(WorkerEndpoint(entry), EncodeSearchRequest(request));
+      transport_.Call(WorkerEndpoint(NextEntry()), EncodeSearchRequest(request));
   VDB_RETURN_IF_ERROR(MessageToStatus(reply));
   VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
   return std::move(response.hits);
@@ -99,14 +373,12 @@ Result<std::vector<ScoredPoint>> Router::SearchFiltered(VectorView query,
 
 Result<std::vector<std::vector<ScoredPoint>>> Router::SearchBatch(
     const std::vector<Vector>& queries, const SearchParams& params) {
-  const WorkerId entry =
-      next_entry_.fetch_add(1, std::memory_order_relaxed) % placement_->NumWorkers();
   SearchBatchRequest request;
   request.queries = queries;
   request.params = params;
   request.fan_out = true;
-  const Message reply =
-      transport_.Call(WorkerEndpoint(entry), EncodeSearchBatchRequest(request));
+  const Message reply = transport_.Call(WorkerEndpoint(NextEntry()),
+                                        EncodeSearchBatchRequest(request));
   VDB_RETURN_IF_ERROR(MessageToStatus(reply));
   VDB_ASSIGN_OR_RETURN(SearchBatchResponse response, DecodeSearchBatchResponse(reply));
   return std::move(response.results);
@@ -128,6 +400,65 @@ Result<Router::DegradedResult> Router::SearchDegraded(WorkerId entry, VectorView
   result.peers_failed = response.peers_failed;
   result.shards_searched = response.shards_searched;
   return result;
+}
+
+Result<Router::SearchOutcome> Router::SearchResilient(VectorView query,
+                                                      const SearchParams& params) {
+  const ResiliencePolicy policy = GetResiliencePolicy();
+  SearchRequest base;
+  base.query.assign(query.begin(), query.end());
+  base.params = params;
+  base.fan_out = true;
+  base.allow_partial = policy.allow_degraded;
+  const auto make_request = [&base](WorkerId /*entry*/, double remaining_seconds) {
+    SearchRequest request = base;
+    // Leave the entry worker a sliver of the budget for the local search and
+    // the top-k reduce after fan-out returns.
+    request.deadline_seconds = remaining_seconds > 0.0 ? remaining_seconds * 0.9 : 0.0;
+    return EncodeSearchRequest(request);
+  };
+
+  CallMeta meta;
+  VDB_ASSIGN_OR_RETURN(const Message reply,
+                       ResilientEntryCall(make_request, policy, meta));
+  VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
+  SearchOutcome outcome;
+  outcome.hits = std::move(response.hits);
+  outcome.peers_failed = response.peers_failed;
+  outcome.shards_searched = response.shards_searched;
+  outcome.degraded = response.peers_failed > 0;
+  outcome.attempts = std::max<std::uint32_t>(meta.attempts, 1);
+  outcome.hedged = meta.hedged;
+  outcome.entry = meta.entry;
+  return outcome;
+}
+
+Result<Router::SearchBatchOutcome> Router::SearchBatchResilient(
+    const std::vector<Vector>& queries, const SearchParams& params) {
+  const ResiliencePolicy policy = GetResiliencePolicy();
+  SearchBatchRequest base;
+  base.queries = queries;
+  base.params = params;
+  base.fan_out = true;
+  base.allow_partial = policy.allow_degraded;
+  const auto make_request = [&base](WorkerId /*entry*/, double remaining_seconds) {
+    SearchBatchRequest request = base;
+    request.deadline_seconds = remaining_seconds > 0.0 ? remaining_seconds * 0.9 : 0.0;
+    return EncodeSearchBatchRequest(request);
+  };
+
+  CallMeta meta;
+  VDB_ASSIGN_OR_RETURN(const Message reply,
+                       ResilientEntryCall(make_request, policy, meta));
+  VDB_ASSIGN_OR_RETURN(SearchBatchResponse response, DecodeSearchBatchResponse(reply));
+  SearchBatchOutcome outcome;
+  outcome.results = std::move(response.results);
+  outcome.peers_failed = response.peers_failed;
+  outcome.degraded = response.peers_failed > 0;
+  outcome.attempts = std::max<std::uint32_t>(meta.attempts, 1);
+  outcome.hedged = meta.hedged;
+  outcome.entry = meta.entry;
+  return outcome;
 }
 
 Result<double> Router::BuildAllIndexes() {

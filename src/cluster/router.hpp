@@ -7,14 +7,60 @@
 /// the Qdrant client the paper drives from Python.
 
 #include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "cluster/placement.hpp"
 #include "cluster/worker.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
 #include "rpc/transport.hpp"
 
 namespace vdb {
+
+/// Client-side resilience knobs. Defaults are a no-op (single attempt, no
+/// deadline, no hedging) so existing callers see unchanged behaviour; chaos
+/// tests and production configs opt in.
+struct ResiliencePolicy {
+  /// Total tries per logical call (1 = no retry). Only transient failures
+  /// (Unavailable, DeadlineExceeded) are retried; upserts/deletes are
+  /// idempotent so redelivery is safe.
+  std::uint32_t max_attempts = 1;
+  /// Bounded exponential backoff between attempts:
+  /// delay(i) = min(initial * multiplier^(i-1), max) * (1 ± jitter_fraction).
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.050;
+  double jitter_fraction = 0.0;
+  /// Total wall-clock budget per logical call, spanning every retry and
+  /// hedge; 0 = unbounded. The remaining budget propagates to the entry
+  /// worker as SearchRequest::deadline_seconds so slow fan-out peers are
+  /// abandoned instead of awaited.
+  double call_deadline_seconds = 0.0;
+  /// Hedged reads (Search/SearchBatch only): when the entry worker has not
+  /// answered within this delay, the same request is fired at a second entry
+  /// worker (a replica of the routing tier — any worker can be entry) and
+  /// the first successful reply wins. 0 = off.
+  double hedge_delay_seconds = 0.0;
+  /// Search/SearchBatch tolerate unreachable or timed-out fan-out peers and
+  /// return best-effort results flagged `degraded`.
+  bool allow_degraded = false;
+  /// Seed of the jitter stream; per-call streams are forked deterministically
+  /// from (seed, call sequence number).
+  std::uint64_t seed = 0xFA17;
+};
+
+/// Backoff before retry attempt `attempt` (1 = delay before the 2nd try),
+/// consuming one jitter draw from `rng`.
+double BackoffDelay(const ResiliencePolicy& policy, std::uint32_t attempt, Rng& rng);
+
+/// The deterministic backoff sequence a fresh call with `policy` would use
+/// for `attempts` retries — the unit tests' reference schedule.
+std::vector<double> BackoffSchedule(const ResiliencePolicy& policy,
+                                    std::uint32_t attempts, std::uint64_t call_index = 0);
 
 class Router {
  public:
@@ -25,7 +71,11 @@ class Router {
   /// each shard. Returns total points acknowledged by primaries.
   Result<std::uint64_t> UpsertBatch(const std::vector<PointRecord>& points);
 
-  /// Deletes a point on every replica of its shard.
+  /// Deletes a point on every replica of its shard. All replicas are
+  /// contacted (in parallel, with policy retries); if any replica fails the
+  /// returned status names every failed replica so callers know the replica
+  /// set may have diverged — a delete is only successful when *all* replicas
+  /// acknowledged it.
   Status Delete(PointId id);
 
   /// Sends the query to an entry worker (round-robin), which fans out — the
@@ -58,6 +108,47 @@ class Router {
   Result<DegradedResult> SearchDegraded(WorkerId entry, VectorView query,
                                         const SearchParams& params);
 
+  /// Installs the resilience policy applied by the *Resilient calls and by
+  /// UpsertBatch/Delete retries. Thread-safe; install before traffic for
+  /// reproducible backoff streams.
+  void SetResiliencePolicy(const ResiliencePolicy& policy);
+  ResiliencePolicy GetResiliencePolicy() const;
+
+  /// Search result annotated with how it was obtained under faults.
+  struct SearchOutcome {
+    std::vector<ScoredPoint> hits;
+    /// True when one or more fan-out peers were skipped (unreachable or past
+    /// deadline): hits are best-effort top-k over the reachable shards.
+    bool degraded = false;
+    std::uint32_t peers_failed = 0;
+    std::uint32_t shards_searched = 0;
+    /// RPC attempts consumed (retries + the hedge, when fired).
+    std::uint32_t attempts = 1;
+    bool hedged = false;
+    /// Entry worker whose reply was used.
+    WorkerId entry = 0;
+  };
+
+  /// Search under the installed ResiliencePolicy: rotates the entry worker
+  /// across attempts, applies deadline/backoff/hedging, and (with
+  /// allow_degraded) returns partial results instead of failing when peers
+  /// are down. Deterministic backoff given the policy seed.
+  Result<SearchOutcome> SearchResilient(VectorView query, const SearchParams& params);
+
+  struct SearchBatchOutcome {
+    std::vector<std::vector<ScoredPoint>> results;
+    bool degraded = false;
+    std::uint32_t peers_failed = 0;
+    std::uint32_t attempts = 1;
+    bool hedged = false;
+    WorkerId entry = 0;
+  };
+
+  /// Batched variant of SearchResilient (one RPC, whole batch hedged/retried
+  /// as a unit).
+  Result<SearchBatchOutcome> SearchBatchResilient(const std::vector<Vector>& queries,
+                                                  const SearchParams& params);
+
   /// Triggers a full index build on every worker; returns max build seconds.
   Result<double> BuildAllIndexes();
 
@@ -70,9 +161,37 @@ class Router {
   const ShardPlacement& Placement() const { return *placement_; }
 
  private:
+  /// Per-logical-call bookkeeping for the resilient paths.
+  struct CallMeta {
+    std::uint32_t attempts = 0;
+    bool hedged = false;
+    WorkerId entry = 0;
+  };
+
+  WorkerId NextEntry();
+
+  /// Retry/deadline/hedge loop shared by the resilient search paths.
+  /// `make_request(entry, remaining_deadline_seconds)` builds the message for
+  /// one attempt (re-encoded so the propagated budget shrinks as time burns).
+  Result<Message> ResilientEntryCall(
+      const std::function<Message(WorkerId entry, double remaining_seconds)>& make_request,
+      const ResiliencePolicy& policy, CallMeta& meta);
+
+  /// Drives one replica call to completion under the policy: waits on the
+  /// already-launched first attempt, then retries transient failures with
+  /// backoff until success, a permanent error, attempts exhaust, or the
+  /// call deadline (tracked by `watch`) expires. No hedging — writes target
+  /// a fixed replica. Returns the final reply (possibly an ErrorResponse).
+  Message RetryReplicaCall(const std::string& endpoint, const Message& request,
+                           const ResiliencePolicy& policy, Rng& rng,
+                           std::future<Message> first_attempt, const Stopwatch& watch);
+
   InprocTransport& transport_;
   std::shared_ptr<const ShardPlacement> placement_;
   std::atomic<std::uint32_t> next_entry_{0};
+  mutable std::mutex policy_mutex_;
+  ResiliencePolicy policy_;
+  std::atomic<std::uint64_t> call_seq_{0};
 };
 
 }  // namespace vdb

@@ -1,8 +1,11 @@
 #include "cluster/worker.hpp"
 
+#include <chrono>
 #include <future>
+#include <thread>
 
 #include "common/logging.hpp"
+#include "common/stopwatch.hpp"
 
 namespace vdb {
 
@@ -14,7 +17,15 @@ std::string WorkerLocalEndpoint(WorkerId id) {
 
 Worker::Worker(InprocTransport& transport,
                std::shared_ptr<const ShardPlacement> placement, WorkerConfig config)
-    : transport_(transport), placement_(std::move(placement)), config_(std::move(config)) {}
+    : transport_(transport), placement_(std::move(placement)), config_(std::move(config)) {
+  fault_plan_ = config_.fault_plan;
+  fault_site_ = "worker/" + std::to_string(config_.id) + "/handle";
+}
+
+void Worker::SetFaultPlan(std::shared_ptr<faults::FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(fault_mutex_);
+  fault_plan_ = std::move(plan);
+}
 
 Worker::~Worker() {
   // Endpoints may already be gone during teardown; ignore NotFound.
@@ -115,6 +126,31 @@ WorkerCounters Worker::Counters() const {
 }
 
 Message Worker::Handle(const Message& request) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return EncodeErrorResponse(Status::Unavailable(
+        "worker " + std::to_string(config_.id) + " crashed (injected)"));
+  }
+  std::shared_ptr<faults::FaultPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(fault_mutex_);
+    plan = fault_plan_;
+  }
+  if (plan != nullptr) {
+    const faults::FaultDecision decision = plan->Evaluate(fault_site_);
+    if (decision.crash) {
+      crashed_.store(true, std::memory_order_release);
+      return EncodeErrorResponse(Status::Unavailable(
+          "worker " + std::to_string(config_.id) + " crashed (injected)"));
+    }
+    if (decision.fail || decision.drop) {
+      return EncodeErrorResponse(Status::Unavailable(
+          "injected fault at " + fault_site_));
+    }
+    if (decision.delay_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(decision.delay_seconds));
+    }
+  }
   switch (request.type) {
     case MessageType::kUpsertBatchRequest: return HandleUpsert(request);
     case MessageType::kDeleteRequest: return HandleDelete(request);
@@ -183,10 +219,31 @@ Result<SearchResponse> Worker::SearchLocal(const SearchRequest& request) const {
   return response;
 }
 
+namespace {
+
+/// Waits for a peer's reply within the fan-out budget (`deadline_seconds`
+/// counted by `watch` since fan-out started; 0 = unbounded). Returns false
+/// when the budget expired before the reply arrived.
+bool AwaitPeer(std::future<Message>& future, double deadline_seconds,
+               const Stopwatch& watch) {
+  if (deadline_seconds <= 0.0) {
+    future.wait();
+    return true;
+  }
+  const double remaining = deadline_seconds - watch.ElapsedSeconds();
+  if (remaining <= 0.0) return false;
+  return future.wait_for(std::chrono::duration<double>(remaining)) ==
+         std::future_status::ready;
+}
+
+}  // namespace
+
 Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
   // Broadcast to every peer worker; each runs a local (non-fan-out) search.
+  Stopwatch watch;
   SearchRequest peer_request = request;
   peer_request.fan_out = false;
+  peer_request.deadline_seconds = 0.0;  // the entry worker owns the budget
   const Message peer_message = EncodeSearchRequest(peer_request);
 
   std::vector<std::future<Message>> futures;
@@ -204,6 +261,17 @@ Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
   std::uint32_t peers_failed = 0;
 
   for (auto& future : futures) {
+    // A peer that misses the fan-out budget counts as failed: the response
+    // (if it ever lands) is abandoned rather than awaited.
+    if (!AwaitPeer(future, request.deadline_seconds, watch)) {
+      if (request.allow_partial) {
+        ++peers_failed;
+        continue;
+      }
+      return Status::DeadlineExceeded("peer fan-out exceeded " +
+                                      std::to_string(request.deadline_seconds) +
+                                      "s budget");
+    }
     const Message reply = future.get();
     const Status status = MessageToStatus(reply);
     if (!status.ok()) {
@@ -263,8 +331,10 @@ Result<SearchBatchResponse> Worker::SearchBatchLocal(
 Result<SearchBatchResponse> Worker::SearchBatchFanOut(const SearchBatchRequest& request) {
   // One broadcast per batch (not per query): the batching amortization the
   // paper measures in fig. 4.
+  Stopwatch watch;
   SearchBatchRequest peer_request = request;
   peer_request.fan_out = false;
+  peer_request.deadline_seconds = 0.0;  // the entry worker owns the budget
   const Message peer_message = EncodeSearchBatchRequest(peer_request);
 
   std::vector<std::future<Message>> futures;
@@ -284,6 +354,15 @@ Result<SearchBatchResponse> Worker::SearchBatchFanOut(const SearchBatchRequest& 
   }
   std::uint32_t peers_failed = 0;
   for (auto& future : futures) {
+    if (!AwaitPeer(future, request.deadline_seconds, watch)) {
+      if (request.allow_partial) {
+        ++peers_failed;
+        continue;
+      }
+      return Status::DeadlineExceeded("peer fan-out exceeded " +
+                                      std::to_string(request.deadline_seconds) +
+                                      "s budget");
+    }
     const Message reply = future.get();
     const Status status = MessageToStatus(reply);
     if (!status.ok()) {

@@ -8,6 +8,7 @@
 /// the others. Each worker then searches its local shards and returns partial
 /// results to the worker first contacted by the client."
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -35,6 +36,10 @@ struct WorkerConfig {
   CollectionConfig collection_template;
   /// RPC service threads for this worker.
   std::size_t service_threads = 2;
+  /// Optional fault plan consulted at site "worker/<id>/handle" on every RPC
+  /// (kCrash latches the worker dead until restarted; kFail/kDrop reject the
+  /// call; kDelay stalls the handler — a contention-induced straggler).
+  std::shared_ptr<faults::FaultPlan> fault_plan;
 };
 
 struct WorkerCounters {
@@ -85,6 +90,13 @@ class Worker {
   /// Direct access for tests (nullptr when not owned).
   Collection* ShardForTest(ShardId shard);
 
+  /// Installs/clears the fault plan (also settable via WorkerConfig).
+  void SetFaultPlan(std::shared_ptr<faults::FaultPlan> plan);
+
+  /// True once an injected kCrash latched this worker dead. A crashed worker
+  /// answers every RPC with Unavailable until restarted (fresh Worker).
+  bool Crashed() const { return crashed_.load(std::memory_order_acquire); }
+
  private:
   Worker(InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement,
          WorkerConfig config);
@@ -121,6 +133,11 @@ class Worker {
 
   mutable std::mutex counters_mutex_;
   WorkerCounters counters_;
+
+  mutable std::mutex fault_mutex_;
+  std::shared_ptr<faults::FaultPlan> fault_plan_;
+  std::string fault_site_;
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace vdb

@@ -1,0 +1,178 @@
+#include "common/faults.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+namespace vdb::faults {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kFail: return "fail";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// FNV-1a — stable across runs/platforms (std::hash is not guaranteed to be).
+std::uint64_t HashSite(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t SiteStreamSeed(std::uint64_t plan_seed, std::string_view site) {
+  std::uint64_t state = plan_seed ^ HashSite(site);
+  return SplitMix64(state);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+void FaultPlan::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(std::move(rule));
+  for (auto& [site, state] : sites_) state.rule_triggers.resize(rules_.size(), 0);
+}
+
+FaultPlan::SiteState& FaultPlan::GetSiteLocked(std::string_view site) {
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState(SiteStreamSeed(seed_, site))).first;
+    it->second.rule_triggers.resize(rules_.size(), 0);
+  }
+  return it->second;
+}
+
+FaultDecision FaultPlan::Evaluate(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SiteState& state = GetSiteLocked(site);
+  const std::uint64_t op = state.next_op++;
+
+  FaultDecision decision;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.match_exact ? site != rule.site_prefix
+                         : site.substr(0, rule.site_prefix.size()) != rule.site_prefix) {
+      continue;
+    }
+    if (op < rule.from_op) continue;
+    if (rule.until_op != 0 && op >= rule.until_op) continue;
+    if (rule.max_triggers_per_site != 0 &&
+        state.rule_triggers[i] >= rule.max_triggers_per_site) {
+      continue;
+    }
+    if (rule.probability < 1.0 && !state.rng.NextBernoulli(rule.probability)) continue;
+
+    ++state.rule_triggers[i];
+    FaultEvent event{std::string(site), op, rule.kind, 0.0};
+    switch (rule.kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kDelay: {
+        double delay = rule.delay_mean_seconds;
+        if (rule.delay_jitter_seconds > 0.0) {
+          delay += state.rng.NextDouble(-rule.delay_jitter_seconds,
+                                        rule.delay_jitter_seconds);
+        }
+        delay = std::max(0.0, delay);
+        event.delay_seconds = delay;
+        if (rule.kind == FaultKind::kDrop) {
+          decision.drop = true;
+          decision.delay_seconds = std::max(decision.delay_seconds, delay);
+        } else {
+          decision.delay_seconds += delay;
+        }
+        break;
+      }
+      case FaultKind::kFail:
+        decision.fail = true;
+        break;
+      case FaultKind::kCorrupt:
+        decision.corrupt = true;
+        decision.corrupt_salt = state.rng.NextU64();
+        break;
+      case FaultKind::kCrash:
+        decision.crash = true;
+        break;
+    }
+    state.events.push_back(std::move(event));
+  }
+  return decision;
+}
+
+std::vector<FaultEvent> FaultPlan::EventLog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FaultEvent> all;
+  for (const auto& [site, state] : sites_) {
+    all.insert(all.end(), state.events.begin(), state.events.end());
+  }
+  // sites_ is an ordered map and per-site events are recorded in op order, so
+  // `all` is already sorted by (site, op index).
+  return all;
+}
+
+std::string FaultPlan::EventLogString() const {
+  std::ostringstream out;
+  for (const FaultEvent& event : EventLog()) {
+    out << event.site << '#' << event.op_index << ' ' << FaultKindName(event.kind);
+    if (event.kind == FaultKind::kDelay || event.kind == FaultKind::kDrop) {
+      out << ' ' << static_cast<std::uint64_t>(event.delay_seconds * 1e9) << "ns";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::size_t FaultPlan::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [site, state] : sites_) count += state.events.size();
+  return count;
+}
+
+void FaultPlan::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+}
+
+// ---- Storage-plane hook -----------------------------------------------------
+
+namespace {
+
+std::mutex g_storage_plan_mutex;
+std::shared_ptr<FaultPlan> g_storage_plan;                 // guarded by mutex
+std::atomic<bool> g_storage_plan_installed{false};         // fast-path gate
+
+}  // namespace
+
+void InstallStorageFaultPlan(std::shared_ptr<FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(g_storage_plan_mutex);
+  g_storage_plan = std::move(plan);
+  g_storage_plan_installed.store(g_storage_plan != nullptr, std::memory_order_release);
+}
+
+std::shared_ptr<FaultPlan> StorageFaultPlan() {
+  if (!g_storage_plan_installed.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> lock(g_storage_plan_mutex);
+  return g_storage_plan;
+}
+
+ScopedStorageFaultPlan::ScopedStorageFaultPlan(std::shared_ptr<FaultPlan> plan)
+    : previous_(StorageFaultPlan()) {
+  InstallStorageFaultPlan(std::move(plan));
+}
+
+ScopedStorageFaultPlan::~ScopedStorageFaultPlan() {
+  InstallStorageFaultPlan(std::move(previous_));
+}
+
+}  // namespace vdb::faults

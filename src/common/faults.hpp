@@ -1,0 +1,162 @@
+#pragma once
+
+/// \file faults.hpp
+/// Deterministic fault injection. A FaultPlan is a seeded set of rules bound
+/// to named *sites* — points in the RPC, worker, and storage planes that ask
+/// "does a fault fire here, for this operation?". Determinism contract: every
+/// site owns an independent RNG stream derived from (plan seed, site name),
+/// and decisions depend only on the site's operation index, so the event log
+/// (site, op#, action) is bit-identical across runs with the same seed and the
+/// same per-site operation sequences — regardless of thread interleaving
+/// *between* sites. This gives chaos tests a reproducible failure vocabulary:
+/// a failing CI seed replays locally with the identical fault schedule.
+///
+/// Site naming convention (prefix-matched by rules):
+///   rpc/<endpoint>        transport send path, e.g. "rpc/worker/3"
+///   worker/<id>/handle    worker RPC dispatch
+///   wal/replay            one op per WAL record read
+///   segment/read          one op per segment file read
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace vdb::faults {
+
+enum class FaultKind : std::uint8_t {
+  kDrop = 1,     ///< request vanishes; caller sees silence until its deadline
+  kDelay = 2,    ///< operation delayed by a sampled duration
+  kFail = 3,     ///< operation rejected with Unavailable (connection refused)
+  kCorrupt = 4,  ///< storage read buffer gets a deterministic bit flip
+  kCrash = 5,    ///< worker latches into a dead state until restarted
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+/// One injection rule. Matches every site whose name starts with
+/// `site_prefix`; within a matching site it fires for operations whose
+/// per-site index lies in [from_op, until_op) (until_op == 0 means unbounded),
+/// with probability `probability` drawn from the site's seeded stream.
+struct FaultRule {
+  std::string site_prefix;
+  FaultKind kind = FaultKind::kFail;
+  double probability = 1.0;
+  std::uint64_t from_op = 0;
+  std::uint64_t until_op = 0;
+  /// kDelay / kDrop: sampled delay = uniform[mean - jitter, mean + jitter),
+  /// clamped at 0. For kDrop this is the time until the caller-visible
+  /// timeout surfaces (a lost packet is only observed as elapsed silence).
+  double delay_mean_seconds = 0.0;
+  double delay_jitter_seconds = 0.0;
+  /// Cap on how many times this rule fires *per site* (keeps decisions
+  /// independent of cross-site interleaving). 0 means unlimited.
+  std::uint32_t max_triggers_per_site = 0;
+  /// Require the whole site name to equal `site_prefix` — needed when one
+  /// site name prefixes another (e.g. "rpc/worker/0" vs "rpc/worker/0/local").
+  bool match_exact = false;
+};
+
+/// Everything a site needs to apply after consulting the plan. Multiple rules
+/// can fire on one operation (e.g. delay + fail).
+struct FaultDecision {
+  bool drop = false;
+  bool fail = false;
+  bool corrupt = false;
+  bool crash = false;
+  double delay_seconds = 0.0;
+  /// Deterministic salt for choosing which byte to corrupt.
+  std::uint64_t corrupt_salt = 0;
+
+  bool Any() const { return drop || fail || corrupt || crash || delay_seconds > 0.0; }
+};
+
+/// One fired fault, recorded for reproducibility assertions.
+struct FaultEvent {
+  std::string site;
+  std::uint64_t op_index = 0;
+  FaultKind kind = FaultKind::kFail;
+  double delay_seconds = 0.0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed);
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  std::uint64_t Seed() const { return seed_; }
+
+  /// Rules must be installed before traffic; adding rules mid-run would shift
+  /// the per-site RNG consumption and break reproducibility.
+  void AddRule(FaultRule rule);
+
+  /// Consulted by an injection site for its next operation. Thread-safe;
+  /// deterministic per (site, op index).
+  FaultDecision Evaluate(std::string_view site);
+
+  /// Fired events sorted by (site, op index) — a canonical order independent
+  /// of thread interleaving across sites.
+  std::vector<FaultEvent> EventLog() const;
+
+  /// One line per event: "site#op kind delay" — the string chaos tests
+  /// compare bit-for-bit across same-seed runs.
+  std::string EventLogString() const;
+
+  /// Total events fired so far.
+  std::size_t EventCount() const;
+
+  /// Clears per-site counters, RNG streams, and the event log so the same
+  /// plan object replays identically (used to prove determinism).
+  void Reset();
+
+ private:
+  struct SiteState {
+    std::uint64_t next_op = 0;
+    Rng rng;
+    std::vector<std::uint32_t> rule_triggers;  // parallel to rules_
+    std::vector<FaultEvent> events;
+
+    explicit SiteState(std::uint64_t stream_seed) : rng(stream_seed) {}
+  };
+
+  SiteState& GetSiteLocked(std::string_view site);
+
+  const std::uint64_t seed_;
+  mutable std::mutex mutex_;
+  std::vector<FaultRule> rules_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+// ---- Storage-plane hook -----------------------------------------------------
+//
+// The WAL and segment readers sit several layers below anything that holds a
+// FaultPlan, so the storage plane consults a process-wide slot instead of
+// threading a pointer through Collection. Tests install a plan for a scope;
+// production code never sets it and pays one relaxed atomic load.
+
+/// Installs (or clears, with nullptr) the storage fault plan.
+void InstallStorageFaultPlan(std::shared_ptr<FaultPlan> plan);
+
+/// Currently installed storage plan, or nullptr.
+std::shared_ptr<FaultPlan> StorageFaultPlan();
+
+/// RAII install/restore for tests.
+class ScopedStorageFaultPlan {
+ public:
+  explicit ScopedStorageFaultPlan(std::shared_ptr<FaultPlan> plan);
+  ~ScopedStorageFaultPlan();
+  ScopedStorageFaultPlan(const ScopedStorageFaultPlan&) = delete;
+  ScopedStorageFaultPlan& operator=(const ScopedStorageFaultPlan&) = delete;
+
+ private:
+  std::shared_ptr<FaultPlan> previous_;
+};
+
+}  // namespace vdb::faults

@@ -15,6 +15,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

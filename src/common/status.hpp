@@ -26,6 +26,7 @@ enum class StatusCode : int {
   kUnavailable,
   kResourceExhausted,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a status code ("Ok", "NotFound", ...).
@@ -50,6 +51,7 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
   static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
   static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

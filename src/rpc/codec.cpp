@@ -198,6 +198,7 @@ Message EncodeSearchRequest(const SearchRequest& req) {
   Payload filter_payload;
   if (req.filter.Active()) filter_payload[req.filter.field] = req.filter.value;
   w.Blob(EncodePayload(filter_payload));
+  w.F64(req.deadline_seconds);
   return msg;
 }
 
@@ -223,6 +224,7 @@ Result<SearchRequest> DecodeSearchRequest(const Message& msg) {
     req.filter.field = filter_payload.begin()->first;
     req.filter.value = filter_payload.begin()->second;
   }
+  VDB_ASSIGN_OR_RETURN(req.deadline_seconds, r.F64());
   return req;
 }
 
@@ -266,6 +268,7 @@ Message EncodeSearchBatchRequest(const SearchBatchRequest& req) {
   w.U32(static_cast<std::uint32_t>(req.params.n_probes));
   w.U8(req.fan_out ? 1 : 0);
   w.U8(req.allow_partial ? 1 : 0);
+  w.F64(req.deadline_seconds);
   return msg;
 }
 
@@ -289,6 +292,7 @@ Result<SearchBatchRequest> DecodeSearchBatchRequest(const Message& msg) {
   req.params.n_probes = probes;
   req.fan_out = fan_out != 0;
   req.allow_partial = allow_partial != 0;
+  VDB_ASSIGN_OR_RETURN(req.deadline_seconds, r.F64());
   return req;
 }
 

@@ -73,12 +73,18 @@ struct SearchRequest {
   /// its shards by payload equality before scoring. Inactive when
   /// filter.field is empty.
   Filter filter;
+  /// Remaining time budget the entry worker may spend on peer fan-out, in
+  /// seconds; 0 = unbounded. A peer that misses the budget counts as failed
+  /// (degrading the result when allow_partial) instead of stalling the query.
+  double deadline_seconds = 0.0;
 };
 
 struct SearchResponse {
   std::vector<ScoredPoint> hits;
   std::uint32_t shards_searched = 0;
-  /// Peers that failed to answer (only non-zero with allow_partial).
+  /// Peers that failed to answer or missed the fan-out deadline (only
+  /// non-zero with allow_partial). peers_failed > 0 means the result is
+  /// degraded: best-effort top-k over the reachable shards.
   std::uint32_t peers_failed = 0;
 };
 
@@ -89,6 +95,8 @@ struct SearchBatchRequest {
   SearchParams params;
   bool fan_out = true;
   bool allow_partial = false;
+  /// Fan-out time budget (see SearchRequest::deadline_seconds).
+  double deadline_seconds = 0.0;
 };
 
 struct SearchBatchResponse {

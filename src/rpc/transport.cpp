@@ -139,9 +139,40 @@ std::future<Message> InprocTransport::CallAsync(const std::string& endpoint_name
   }
 
   LatencyModel latency;
+  std::shared_ptr<faults::FaultPlan> fault_plan;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     latency = latency_;
+    fault_plan = fault_plan_;
+  }
+
+  double injected_delay = 0.0;
+  if (fault_plan != nullptr) {
+    const faults::FaultDecision decision =
+        fault_plan->Evaluate("rpc/" + endpoint_name);
+    if (decision.fail || decision.crash) {
+      promise.set_value(EncodeErrorResponse(
+          Status::Unavailable("injected fault at rpc/" + endpoint_name)));
+      return future;
+    }
+    if (decision.drop) {
+      // The request vanishes before the handler: the caller observes only
+      // silence, resolved as Unavailable once the sampled detection delay
+      // elapses (so deadline-based callers time out first when configured).
+      Message dropped = EncodeErrorResponse(
+          Status::Unavailable("injected drop at rpc/" + endpoint_name));
+      if (decision.delay_seconds > 0.0) {
+        std::thread([delay = decision.delay_seconds, promise = std::move(promise),
+                     value = std::move(dropped)]() mutable {
+          SleepSeconds(delay);
+          promise.set_value(std::move(value));
+        }).detach();
+      } else {
+        promise.set_value(std::move(dropped));
+      }
+      return future;
+    }
+    injected_delay = decision.delay_seconds;
   }
 
   PendingCall call;
@@ -151,7 +182,7 @@ std::future<Message> InprocTransport::CallAsync(const std::string& endpoint_name
   // (responses are small: top-k ids). Applied asynchronously after the
   // handler so concurrent in-flight calls overlap their latency, as on a
   // real network.
-  call.rtt_delay = latency(wire_bytes) + latency(256);
+  call.rtt_delay = latency(wire_bytes) + latency(256) + injected_delay;
 
   if (!endpoint->queue.Push(std::move(call))) {
     std::promise<Message> closed;
@@ -173,6 +204,11 @@ Message InprocTransport::Call(const std::string& endpoint, Message request) {
 void InprocTransport::SetLatencyModel(LatencyModel model) {
   std::lock_guard<std::mutex> lock(mutex_);
   latency_ = std::move(model);
+}
+
+void InprocTransport::SetFaultPlan(std::shared_ptr<faults::FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_plan_ = std::move(plan);
 }
 
 TransportStats InprocTransport::Stats() const {

@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/faults.hpp"
 #include "common/mpmc_queue.hpp"
 #include "common/status.hpp"
 #include "rpc/codec.hpp"
@@ -68,6 +69,14 @@ class InprocTransport {
   /// Installs a latency model applied to every call (both directions).
   void SetLatencyModel(LatencyModel model);
 
+  /// Installs a fault plan consulted on every send at site "rpc/<endpoint>".
+  /// Faults applied here: kFail/kCrash reject the call with Unavailable
+  /// (connection refused), kDrop swallows the request — the handler never
+  /// runs — and surfaces Unavailable only after the rule's sampled delay
+  /// (silence, as a real lost packet), kDelay stretches the round trip.
+  /// nullptr clears. Install before traffic for reproducible runs.
+  void SetFaultPlan(std::shared_ptr<faults::FaultPlan> plan);
+
   TransportStats Stats() const;
 
  private:
@@ -78,6 +87,7 @@ class InprocTransport {
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<Endpoint>> endpoints_;
   LatencyModel latency_;
+  std::shared_ptr<faults::FaultPlan> fault_plan_;
   mutable std::mutex stats_mutex_;
   TransportStats stats_;
 };

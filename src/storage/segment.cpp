@@ -3,6 +3,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/faults.hpp"
 #include "storage/crc32.hpp"
 
 namespace vdb {
@@ -60,6 +61,15 @@ Result<SegmentData> ReadSegmentImpl(const std::filesystem::path& path,
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("no segment at " + path.string());
 
+  // One consultation per segment read (site "segment/read"): kCorrupt flips a
+  // deterministic payload byte so the trailing CRC rejects the file — corrupt
+  // vectors must never reach a caller; kFail models an unreadable device.
+  faults::FaultDecision fault;
+  if (const auto plan = faults::StorageFaultPlan(); plan != nullptr) {
+    fault = plan->Evaluate("segment/read");
+    if (fault.fail) return Status::IoError("injected segment read failure");
+  }
+
   Header header;
   in.read(reinterpret_cast<char*>(&header), sizeof(header));
   if (in.gcount() != sizeof(header)) return Status::Corruption("segment truncated header");
@@ -89,6 +99,10 @@ Result<SegmentData> ReadSegmentImpl(const std::filesystem::path& path,
             static_cast<std::streamsize>(vec_bytes));
     if (in.gcount() != static_cast<std::streamsize>(vec_bytes)) {
       return Status::Corruption("segment truncated vectors");
+    }
+    if (fault.corrupt) {
+      reinterpret_cast<std::uint8_t*>(data.vectors.data())[fault.corrupt_salt %
+                                                           vec_bytes] ^= 0xFF;
     }
     crc = Crc32c(data.vectors.data(), vec_bytes, crc);
   }

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/faults.hpp"
 #include "storage/crc32.hpp"
 
 namespace vdb {
@@ -126,6 +127,11 @@ Result<std::size_t> WalReader::Replay(
   }
   std::size_t count = 0;
   bool saw_torn = false;
+  // One fault-plan consultation per record read (site "wal/replay"):
+  // kCorrupt flips a deterministic byte before the CRC check — the record is
+  // then indistinguishable from a torn tail, exercising the truncate-at-last-
+  // valid-record contract; kFail models an unreadable device.
+  const auto fault_plan = faults::StorageFaultPlan();
   while (true) {
     std::uint8_t header[8];
     in.read(reinterpret_cast<char*>(header), sizeof(header));
@@ -145,6 +151,13 @@ Result<std::size_t> WalReader::Replay(
     if (in.gcount() < static_cast<std::streamsize>(length)) {
       saw_torn = true;
       break;
+    }
+    if (fault_plan != nullptr) {
+      const faults::FaultDecision decision = fault_plan->Evaluate("wal/replay");
+      if (decision.fail) return Status::IoError("injected WAL read failure");
+      if (decision.corrupt) {
+        body[decision.corrupt_salt % body.size()] ^= 0xFF;
+      }
     }
     if (Crc32c(body.data(), body.size()) != crc) {
       saw_torn = true;

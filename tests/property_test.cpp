@@ -9,7 +9,9 @@
 #include <fstream>
 #include <set>
 
+#include "chaos_harness.hpp"
 #include "cluster/placement.hpp"
+#include "common/faults.hpp"
 #include "common/rng.hpp"
 #include "dist/topk.hpp"
 #include "rpc/codec.hpp"
@@ -314,6 +316,78 @@ TEST_P(CpuProperty, WorkConservingWhenSaturated) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CpuProperty, ::testing::Values(3, 6, 9, 12, 15));
+
+// ---- Chaos schedules: cluster invariants hold under ANY seeded fault mix -----
+//
+// Each seed generates a fault plan (flaky RPCs, one-shot worker crashes, slow
+// handlers) plus a mixed upsert/search/kill/restart schedule, then checks the
+// two invariants the fault model promises:
+//  - linearizable acknowledgement: a search never returns an id that was not
+//    upserted, and an acked point whose replica holders all stayed healthy is
+//    still the exact top-1 for its own vector (no acknowledged-then-lost);
+//  - recall floor: that same top-1 self-query check IS a recall floor of 1.0
+//    over the surviving data — degradation may drop dead workers' shards but
+//    never reachable points.
+
+std::shared_ptr<faults::FaultPlan> RandomFaultPlan(std::uint64_t seed,
+                                                   std::uint32_t workers) {
+  Rng rng(seed * 7919 + 1);
+  auto plan = std::make_shared<faults::FaultPlan>(seed);
+  const std::size_t num_rules = 1 + rng.NextU64(3);
+  for (std::size_t i = 0; i < num_rules; ++i) {
+    const auto target = std::to_string(rng.NextU64(workers));
+    faults::FaultRule rule;
+    switch (rng.NextU64(3)) {
+      case 0:  // flaky client-facing RPC
+        rule.site_prefix = "rpc/worker/" + target;
+        rule.match_exact = true;
+        rule.kind = faults::FaultKind::kFail;
+        rule.probability = 0.1 + rng.NextDouble() * 0.2;
+        break;
+      case 1:  // one-shot crash partway through the schedule
+        rule.site_prefix = "worker/" + target + "/handle";
+        rule.kind = faults::FaultKind::kCrash;
+        rule.from_op = 4 + rng.NextU64(20);
+        rule.max_triggers_per_site = 1;
+        break;
+      default:  // slow handler (sub-millisecond; decisions stay time-free)
+        rule.site_prefix = "worker/" + target + "/handle";
+        rule.kind = faults::FaultKind::kDelay;
+        rule.probability = 0.3;
+        rule.delay_mean_seconds = 0.0005 + rng.NextDouble() * 0.0015;
+        break;
+    }
+    plan->AddRule(rule);
+  }
+  return plan;
+}
+
+class FaultScheduleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultScheduleProperty, AckedPointsSurviveAndHitsAreReal) {
+  const std::uint64_t seed = GetParam();
+  vdb::testing::ChaosOptions options;
+  options.seed = seed;
+  options.num_workers = 3 + static_cast<std::uint32_t>(seed % 3);
+  options.num_ops = 40;
+  options.points_per_upsert = 6;
+  options.kill_weight = 0.08;
+  options.restart_weight = 0.07;
+  options.fault_plan = RandomFaultPlan(seed, options.num_workers);
+  options.policy.max_attempts = 2;
+  options.policy.initial_backoff_seconds = 0.0005;
+  options.policy.max_backoff_seconds = 0.002;
+  options.policy.allow_degraded = true;
+
+  vdb::testing::ChaosHarness harness(options);
+  ASSERT_TRUE(harness.Run().ok());
+  const auto& report = harness.Report();
+  EXPECT_TRUE(report.Ok()) << "seed=" << seed << "\n" << report.violations;
+  EXPECT_GT(report.points_attempted, 0u) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultScheduleProperty,
+                         ::testing::Range<std::uint64_t>(0, 100));
 
 }  // namespace
 }  // namespace vdb

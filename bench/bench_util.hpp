@@ -10,6 +10,7 @@
 #include "common/logging.hpp"
 #include "metrics/compare.hpp"
 #include "metrics/table.hpp"
+#include "obs/obs.hpp"
 
 namespace vdb::bench {
 
@@ -27,6 +28,10 @@ inline int FinishWithReport(const vdb::ComparisonReport& report) {
     std::printf("NOTE: some rows fall outside tolerance; see EXPERIMENTS.md for\n"
                 "the discussion of where the model diverges from the testbed.\n");
   }
+  // Per-stage decomposition (client / router / worker / index / storage) from
+  // the observability registry. Simulator-driven binaries record *virtual*
+  // seconds; engine-driven ones record wall time.
+  std::printf("%s\n", vdb::obs::StageBreakdown().c_str());
   return 0;  // benches report, they do not gate; tests gate.
 }
 

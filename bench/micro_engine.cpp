@@ -5,9 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <filesystem>
 
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "dist/distance.hpp"
 #include "dist/topk.hpp"
 #include "index/hnsw_index.hpp"
@@ -233,4 +235,13 @@ BENCHMARK(BM_PayloadEncode);
 }  // namespace
 }  // namespace vdb
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the per-stage observability
+// breakdown from the exercised engine paths prints after the benchmark table.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  std::printf("%s\n", vdb::obs::StageBreakdown().c_str());
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Configure-time negative check (see the top-level CMakeLists.txt): this file
+// is compiled with -DVDB_OBS_DISABLED and MUST FAIL to compile. With the
+// observability layer compiled out, src/obs/obs.hpp may expose only inert
+// stubs — if the registry type is still visible, instrumented hot paths would
+// silently keep their overhead in "disabled" builds, so configuration aborts.
+#include "obs/obs.hpp"
+
+vdb::obs::MetricsRegistry* leaked_registry = nullptr;

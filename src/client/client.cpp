@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/stopwatch.hpp"
+#include "common/trace.hpp"
+#include "obs/obs.hpp"
 
 namespace vdb {
 
@@ -15,11 +17,22 @@ Result<UploadReport> VdbClient::Upload(const std::vector<PointRecord>& points,
   Stopwatch total;
   for (std::size_t begin = 0; begin < points.size(); begin += batch_size) {
     const std::size_t end = std::min(points.size(), begin + batch_size);
+    // Fresh trace per batch: spans recorded downstream (router, and workers
+    // reached through the transport) are attributable to this client call.
+    obs::TraceScope trace(obs::NewTraceId());
     Stopwatch batch_watch;
-    std::vector<PointRecord> batch(points.begin() + static_cast<std::ptrdiff_t>(begin),
-                                   points.begin() + static_cast<std::ptrdiff_t>(end));
+    std::vector<PointRecord> batch;
+    {
+      VDB_SPAN("client.convert");
+      batch.assign(points.begin() + static_cast<std::ptrdiff_t>(begin),
+                   points.begin() + static_cast<std::ptrdiff_t>(end));
+    }
     report.convert_seconds += batch_watch.LapSeconds();
-    VDB_ASSIGN_OR_RETURN(const std::uint64_t acknowledged, router_.UpsertBatch(batch));
+    std::uint64_t acknowledged = 0;
+    {
+      VDB_SPAN("client.await");
+      VDB_ASSIGN_OR_RETURN(acknowledged, router_.UpsertBatch(batch));
+    }
     report.await_seconds += batch_watch.LapSeconds();
     report.points_uploaded += acknowledged;
     ++report.batches;
@@ -37,11 +50,20 @@ Result<QueryReport> VdbClient::Query(const std::vector<Vector>& queries,
   Stopwatch total;
   for (std::size_t begin = 0; begin < queries.size(); begin += batch_size) {
     const std::size_t end = std::min(queries.size(), begin + batch_size);
+    obs::TraceScope trace(obs::NewTraceId());
     Stopwatch batch_watch;
     // One batched RPC per chunk — the paper's "query batch size" unit.
-    const std::vector<Vector> chunk(queries.begin() + static_cast<std::ptrdiff_t>(begin),
-                                    queries.begin() + static_cast<std::ptrdiff_t>(end));
-    VDB_ASSIGN_OR_RETURN(auto results, router_.SearchBatch(chunk, params));
+    std::vector<Vector> chunk;
+    {
+      VDB_SPAN("client.convert");
+      chunk.assign(queries.begin() + static_cast<std::ptrdiff_t>(begin),
+                   queries.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    std::vector<std::vector<ScoredPoint>> results;
+    {
+      VDB_SPAN("client.await");
+      VDB_ASSIGN_OR_RETURN(results, router_.SearchBatch(chunk, params));
+    }
     report.queries += results.size();
     ++report.batches;
     report.per_batch_seconds.Add(batch_watch.ElapsedSeconds());

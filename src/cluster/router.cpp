@@ -7,6 +7,8 @@
 #include <map>
 #include <thread>
 
+#include "obs/obs.hpp"
+
 namespace vdb {
 
 namespace {
@@ -131,6 +133,7 @@ Message Router::RetryReplicaCall(const std::string& endpoint, const Message& req
 Result<Message> Router::ResilientEntryCall(
     const std::function<Message(WorkerId entry, double remaining_seconds)>& make_request,
     const ResiliencePolicy& policy, CallMeta& meta) {
+  VDB_SPAN("router.entry_call");
   Stopwatch watch;
   Rng rng = CallRng(policy, call_seq_.fetch_add(1, std::memory_order_relaxed));
   const std::uint32_t max_attempts = std::max<std::uint32_t>(policy.max_attempts, 1);
@@ -242,15 +245,19 @@ Result<Message> Router::ResilientEntryCall(
 }
 
 Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points) {
+  VDB_SPAN("router.upsert");
   // Group points by shard (the CPU-side "batch conversion" work the paper
   // profiles at 45.64 ms per 32-vector batch — here it is grouping + binary
   // encoding).
   std::map<ShardId, UpsertBatchRequest> by_shard;
-  for (const auto& point : points) {
-    const ShardId shard = placement_->ShardFor(point.id);
-    auto& request = by_shard[shard];
-    request.shard = shard;
-    request.points.push_back(point);
+  {
+    VDB_SPAN("router.upsert.convert");
+    for (const auto& point : points) {
+      const ShardId shard = placement_->ShardFor(point.id);
+      auto& request = by_shard[shard];
+      request.shard = shard;
+      request.points.push_back(point);
+    }
   }
 
   const ResiliencePolicy policy = GetResiliencePolicy();
@@ -281,6 +288,7 @@ Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points
   }
 
   std::uint64_t acknowledged = 0;
+  VDB_SPAN("router.upsert.await");
   for (std::size_t i = 0; i < futures.size(); ++i) {
     const Message reply = RetryReplicaCall(calls[i].endpoint, calls[i].request,
                                            policy, rng, std::move(futures[i]), watch);
@@ -293,6 +301,7 @@ Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points
 }
 
 Status Router::Delete(PointId id) {
+  VDB_SPAN("router.delete");
   const ShardId shard = placement_->ShardFor(id);
   const Message request = EncodeDeleteRequest(DeleteRequest{shard, id});
   const std::vector<WorkerId> replicas = placement_->ReplicasOf(shard);
@@ -346,6 +355,7 @@ Result<std::vector<ScoredPoint>> Router::Search(VectorView query,
 
 Result<std::vector<ScoredPoint>> Router::SearchVia(WorkerId entry, VectorView query,
                                                    const SearchParams& params) {
+  VDB_SPAN("router.search");
   SearchRequest request;
   request.query.assign(query.begin(), query.end());
   request.params = params;
@@ -373,6 +383,7 @@ Result<std::vector<ScoredPoint>> Router::SearchFiltered(VectorView query,
 
 Result<std::vector<std::vector<ScoredPoint>>> Router::SearchBatch(
     const std::vector<Vector>& queries, const SearchParams& params) {
+  VDB_SPAN("router.search_batch");
   SearchBatchRequest request;
   request.queries = queries;
   request.params = params;

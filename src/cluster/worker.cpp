@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/obs.hpp"
 
 namespace vdb {
 
@@ -168,6 +169,7 @@ Message Worker::Handle(const Message& request) {
 }
 
 Message Worker::HandleUpsert(const Message& request) {
+  VDB_SPAN("worker.upsert");
   auto decoded = DecodeUpsertBatchRequest(request);
   if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
   auto shard = GetShard(decoded->shard);
@@ -196,6 +198,7 @@ Message Worker::HandleDelete(const Message& request) {
 }
 
 Result<SearchResponse> Worker::SearchLocal(const SearchRequest& request) const {
+  VDB_SPAN("worker.search_local");
   std::vector<std::vector<ScoredPoint>> partials;
   std::uint32_t searched = 0;
   {
@@ -239,6 +242,7 @@ bool AwaitPeer(std::future<Message>& future, double deadline_seconds,
 }  // namespace
 
 Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
+  VDB_SPAN("worker.fanout");
   // Broadcast to every peer worker; each runs a local (non-fan-out) search.
   Stopwatch watch;
   SearchRequest peer_request = request;
@@ -290,7 +294,10 @@ Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
   }
 
   SearchResponse response;
-  response.hits = MergeTopK(partials, request.params.k);
+  {
+    VDB_SPAN("worker.fanout.merge");
+    response.hits = MergeTopK(partials, request.params.k);
+  }
   response.shards_searched = searched;
   response.peers_failed = peers_failed;
   return response;
@@ -329,6 +336,7 @@ Result<SearchBatchResponse> Worker::SearchBatchLocal(
 }
 
 Result<SearchBatchResponse> Worker::SearchBatchFanOut(const SearchBatchRequest& request) {
+  VDB_SPAN("worker.fanout_batch");
   // One broadcast per batch (not per query): the batching amortization the
   // paper measures in fig. 4.
   Stopwatch watch;
@@ -384,8 +392,11 @@ Result<SearchBatchResponse> Worker::SearchBatchFanOut(const SearchBatchRequest& 
   SearchBatchResponse response;
   response.peers_failed = peers_failed;
   response.results.reserve(request.queries.size());
-  for (auto& per_query : partials) {
-    response.results.push_back(MergeTopK(per_query, request.params.k));
+  {
+    VDB_SPAN("worker.fanout.merge");
+    for (auto& per_query : partials) {
+      response.results.push_back(MergeTopK(per_query, request.params.k));
+    }
   }
   return response;
 }
@@ -408,6 +419,7 @@ Message Worker::HandleSearchBatch(const Message& request) {
 }
 
 Message Worker::HandleBuildIndex(const Message& request) {
+  VDB_SPAN("worker.build_index");
   auto decoded = DecodeBuildIndexRequest(request);
   if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
   BuildIndexResponse response;

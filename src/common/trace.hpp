@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file trace.hpp
+/// Trace-context propagation primitives for the observability layer
+/// (src/obs). A trace id tags every span recorded on the current thread; the
+/// in-process transport copies the caller's id into the service thread that
+/// runs the handler, so worker-side time is attributable to the originating
+/// client call (the paper's routing vs. per-worker-search decomposition).
+///
+/// This header is dependency-free and always compiled in — a thread-local
+/// read/write is negligible even on hot paths. The expensive parts of
+/// observability (histograms, the per-trace sample table) live in obs/ and
+/// compile out under VDB_OBS_DISABLED.
+
+#include <atomic>
+#include <cstdint>
+
+namespace vdb::obs {
+
+namespace internal {
+inline thread_local std::uint64_t g_current_trace_id = 0;
+inline std::atomic<std::uint64_t> g_next_trace_id{1};
+}  // namespace internal
+
+/// Trace id active on this thread; 0 = untraced (spans still aggregate into
+/// the global registry, they just skip the per-trace sample table).
+inline std::uint64_t CurrentTraceId() { return internal::g_current_trace_id; }
+
+/// Allocates a fresh process-unique trace id (never 0).
+inline std::uint64_t NewTraceId() {
+  return internal::g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// RAII: installs `id` as the thread's trace id, restoring the previous one on
+/// scope exit. Open one at the root of a logical call (client/bench/test) and
+/// the transport carries it into every handler the call reaches.
+class TraceScope {
+ public:
+  explicit TraceScope(std::uint64_t id) : prev_(internal::g_current_trace_id) {
+    internal::g_current_trace_id = id;
+  }
+  ~TraceScope() { internal::g_current_trace_id = prev_; }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+}  // namespace vdb::obs

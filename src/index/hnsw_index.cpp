@@ -9,11 +9,61 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace vdb {
 
+namespace {
+/// Default NodeTable capacity when HnswParams::max_nodes is 0 (~4M nodes,
+/// comfortably above the paper's largest per-shard collection).
+constexpr std::size_t kDefaultMaxNodes = std::size_t{1} << 22;
+}  // namespace
+
+struct HnswIndex::NodeTable::Chunk {
+  std::atomic<Node*> slots[kChunkSize] = {};
+};
+
+HnswIndex::NodeTable::NodeTable(std::size_t capacity)
+    : capacity_(capacity),
+      chunk_count_((capacity + kChunkSize - 1) / kChunkSize),
+      chunks_(new std::atomic<Chunk*>[chunk_count_ == 0 ? 1 : chunk_count_]) {
+  for (std::size_t i = 0; i < chunk_count_; ++i) chunks_[i].store(nullptr);
+}
+
+HnswIndex::NodeTable::~NodeTable() { Clear(); }
+
+HnswIndex::Node* HnswIndex::NodeTable::At(std::uint32_t offset) const {
+  if (offset >= capacity_) return nullptr;
+  const Chunk* chunk = chunks_[offset / kChunkSize].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  return chunk->slots[offset % kChunkSize].load(std::memory_order_acquire);
+}
+
+void HnswIndex::NodeTable::Put(std::uint32_t offset, std::unique_ptr<Node> node) {
+  auto& chunk_slot = chunks_[offset / kChunkSize];
+  Chunk* chunk = chunk_slot.load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunk_slot.store(chunk, std::memory_order_release);
+  }
+  chunk->slots[offset % kChunkSize].store(node.release(), std::memory_order_release);
+}
+
+void HnswIndex::NodeTable::Clear() {
+  for (std::size_t i = 0; i < chunk_count_; ++i) {
+    Chunk* chunk = chunks_[i].load(std::memory_order_acquire);
+    if (chunk == nullptr) continue;
+    for (auto& slot : chunk->slots) delete slot.load(std::memory_order_acquire);
+    delete chunk;
+    chunks_[i].store(nullptr, std::memory_order_release);
+  }
+}
+
 HnswIndex::HnswIndex(const VectorStore& store, HnswParams params)
-    : store_(store), params_(params), level_rng_state_(params.seed) {
+    : store_(store),
+      params_(params),
+      nodes_(params.max_nodes != 0 ? params.max_nodes : kDefaultMaxNodes),
+      level_rng_state_(params.seed) {
   if (params_.m < 2) params_.m = 2;
   if (params_.m0 < params_.m) params_.m0 = 2 * params_.m;
   level_mult_ = 1.0 / std::log(static_cast<double>(params_.m));
@@ -45,17 +95,13 @@ int HnswIndex::MaxLevel() const {
 
 std::size_t HnswIndex::NodeCount() const {
   std::lock_guard<std::mutex> lock(graph_mutex_);
-  std::size_t count = 0;
-  for (const auto& node : nodes_) count += node != nullptr;
-  return count;
+  return node_count_;
 }
 
 std::vector<std::uint32_t> HnswIndex::NeighborsForTest(std::uint32_t offset,
                                                        int layer) const {
-  std::unique_lock<std::mutex> lock(graph_mutex_);
-  if (offset >= nodes_.size() || nodes_[offset] == nullptr) return {};
-  const Node* node = nodes_[offset].get();
-  lock.unlock();
+  const Node* node = nodes_.At(offset);
+  if (node == nullptr) return {};
   return node->CopyLinks(layer);
 }
 
@@ -67,7 +113,7 @@ std::uint32_t HnswIndex::GreedyStep(VectorView query, std::uint32_t entry, int l
   bool improved = true;
   while (improved) {
     improved = false;
-    const Node* node = nodes_[current].get();
+    const Node* node = nodes_.At(current);
     for (const std::uint32_t neighbor : node->CopyLinks(layer)) {
       const Scalar score = ScoreOf(query, neighbor);
       ++distance_ops;
@@ -112,7 +158,7 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer(
     frontier.pop();
     if (results.size() >= ef && candidate.score < results.top().score) break;
 
-    const Node* node = nodes_[candidate.offset].get();
+    const Node* node = nodes_.At(candidate.offset);
     for (const std::uint32_t neighbor : node->CopyLinks(layer)) {
       if (!visited.insert(neighbor).second) continue;
       const Scalar score = ScoreOf(query, neighbor);
@@ -194,11 +240,14 @@ Status HnswIndex::InsertNode(std::uint32_t offset) {
   int top_level;
   {
     std::lock_guard<std::mutex> lock(graph_mutex_);
-    if (offset >= nodes_.size()) nodes_.resize(store_.Size());
-    if (nodes_[offset] != nullptr) {
+    if (offset >= nodes_.Capacity()) {
+      return Status::OutOfRange("node table capacity exceeded (HnswParams::max_nodes)");
+    }
+    if (nodes_.At(offset) != nullptr) {
       return Status::AlreadyExists("offset already indexed");
     }
-    nodes_[offset] = std::move(node);
+    nodes_.Put(offset, std::move(node));
+    ++node_count_;
     if (!has_entry_) {
       entry_point_ = offset;
       max_level_ = level;
@@ -238,7 +287,8 @@ Status HnswIndex::InsertNode(std::uint32_t offset) {
 
     // Back-links with degree-bound enforcement.
     for (const std::uint32_t neighbor : neighbors) {
-      Node* other = nodes_[neighbor].get();
+      Node* other = nodes_.At(neighbor);
+      if (other == nullptr) continue;  // raced with a not-yet-published insert
       std::vector<std::uint32_t> shrunk;
       bool needs_shrink = false;
       {
@@ -287,19 +337,20 @@ Status HnswIndex::InsertNode(std::uint32_t offset) {
 Status HnswIndex::Add(std::uint32_t offset) {
   if (offset >= store_.Size()) return Status::OutOfRange("offset beyond store");
   VDB_RETURN_IF_ERROR(InsertNode(offset));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.indexed_count;
   stats_.distance_computations = distance_ops_.load(std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status HnswIndex::Build() {
+  VDB_SPAN("index.hnsw.build");
   Stopwatch watch;
   std::vector<std::uint32_t> pending;
   {
     std::lock_guard<std::mutex> lock(graph_mutex_);
-    nodes_.resize(store_.Size());
     for (std::uint32_t offset = 0; offset < store_.Size(); ++offset) {
-      if (nodes_[offset] == nullptr && !store_.IsDeleted(offset)) {
+      if (nodes_.At(offset) == nullptr && !store_.IsDeleted(offset)) {
         pending.push_back(offset);
       }
     }
@@ -307,34 +358,65 @@ Status HnswIndex::Build() {
   const std::size_t threads = params_.build_threads != 0
                                   ? params_.build_threads
                                   : std::max(1u, std::thread::hardware_concurrency());
+  // indexed_count counts *successful* inserts only: AlreadyExists (an offset
+  // added concurrently via Add() after the pending scan) is tolerated without
+  // counting, and the first hard error aborts the build and is returned.
+  Status first_error = Status::Ok();
+  std::size_t succeeded = 0;
+  std::size_t threads_used = 1;
+  const auto absorb = [&](const Status& status) {
+    // Returns true to keep going.
+    if (status.ok()) {
+      ++succeeded;
+      return true;
+    }
+    if (status.code() == StatusCode::kAlreadyExists) return true;
+    first_error = status;
+    return false;
+  };
   if (threads <= 1 || pending.size() < 64) {
     for (const std::uint32_t offset : pending) {
-      VDB_RETURN_IF_ERROR(InsertNode(offset));
+      if (!absorb(InsertNode(offset))) break;
     }
-    stats_.threads_used = 1;
   } else {
     // Seed the graph serially so parallel inserts always have an entry point.
-    std::size_t serial = std::min<std::size_t>(pending.size(), 16);
-    for (std::size_t i = 0; i < serial; ++i) {
-      VDB_RETURN_IF_ERROR(InsertNode(pending[i]));
+    const std::size_t serial = std::min<std::size_t>(pending.size(), 16);
+    std::size_t i = 0;
+    while (i < serial && absorb(InsertNode(pending[i]))) ++i;
+    if (first_error.ok()) {
+      std::mutex error_mutex;
+      std::atomic<bool> failed{false};
+      std::atomic<std::size_t> ok_count{0};
+      ThreadPool pool(threads);
+      pool.ParallelFor(serial, pending.size(), [&](std::size_t idx) {
+        if (failed.load(std::memory_order_relaxed)) return;  // early stop
+        const Status status = InsertNode(pending[idx]);
+        if (status.ok()) {
+          ok_count.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (status.code() == StatusCode::kAlreadyExists) return;
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = status;
+        failed.store(true, std::memory_order_relaxed);
+      });
+      succeeded += ok_count.load(std::memory_order_relaxed);
+      threads_used = threads;
     }
-    ThreadPool pool(threads);
-    pool.ParallelFor(serial, pending.size(), [&](std::size_t i) {
-      // Per-item failures are programming errors here; surface via assert-like
-      // logging rather than aborting the whole build.
-      const Status status = InsertNode(pending[i]);
-      (void)status;
-    });
-    stats_.threads_used = threads;
   }
-  stats_.indexed_count += pending.size();
-  stats_.build_seconds += watch.ElapsedSeconds();
-  stats_.distance_computations = distance_ops_.load(std::memory_order_relaxed);
-  return Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.threads_used = threads_used;
+    stats_.indexed_count += succeeded;
+    stats_.build_seconds += watch.ElapsedSeconds();
+    stats_.distance_computations = distance_ops_.load(std::memory_order_relaxed);
+  }
+  return first_error;
 }
 
 Result<std::vector<ScoredPoint>> HnswIndex::Search(VectorView query,
                                                    const SearchParams& params) const {
+  VDB_SPAN("index.hnsw.search");
   if (query.size() != store_.Dim()) {
     return Status::InvalidArgument("query dim mismatch");
   }
@@ -374,10 +456,11 @@ Result<std::vector<ScoredPoint>> HnswIndex::Search(VectorView query,
 
 std::uint64_t HnswIndex::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(graph_mutex_);
-  std::uint64_t bytes = nodes_.capacity() * sizeof(void*);
-  for (const auto& node : nodes_) {
+  std::uint64_t bytes = (nodes_.Capacity() / NodeTable::kChunkSize + 1) * sizeof(void*);
+  for (std::uint32_t offset = 0; offset < store_.Size(); ++offset) {
+    const Node* node = nodes_.At(offset);
     if (node == nullptr) continue;
-    bytes += sizeof(Node);
+    bytes += sizeof(Node) + sizeof(Node*);  // node + its chunk slot
     for (const auto& links : node->links) {
       bytes += links.capacity() * sizeof(std::uint32_t);
     }

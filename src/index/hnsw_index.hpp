@@ -43,6 +43,11 @@ struct HnswParams {
   /// Use the heuristic neighbour-selection (alg. 4) instead of simple
   /// closest-first truncation (alg. 3). Exposed for the ablation bench.
   bool select_heuristic = true;
+  /// Capacity ceiling of the node table (0 = default, 1<<22 ≈ 4M nodes).
+  /// Fixed at construction: the table's chunk directory is sized once and
+  /// never reallocates, which is what lets searches read the graph without
+  /// taking graph_mutex_. Inserting beyond it returns OutOfRange.
+  std::size_t max_nodes = 0;
 };
 
 class HnswIndex final : public VectorIndex {
@@ -109,6 +114,46 @@ class HnswIndex final : public VectorIndex {
     }
   };
 
+  /// Chunked node storage with lock-free readers.
+  ///
+  /// Concurrency invariant: the chunk directory is sized once at construction
+  /// and NEVER reallocates; chunks are allocated on demand by writers (who
+  /// hold graph_mutex_) and published with release stores, and node pointers
+  /// are likewise published with release stores. Readers (GreedyStep /
+  /// SearchLayer / the back-link loop) therefore dereference `At(offset)`
+  /// without any lock — the bug this replaces was a `nodes_.resize()` under
+  /// graph_mutex_ that could reallocate the vector out from under them.
+  /// A published Node* is immutable apart from `links`, which carries its own
+  /// per-node mutex.
+  class NodeTable {
+   public:
+    static constexpr std::size_t kChunkSize = 1024;
+
+    explicit NodeTable(std::size_t capacity);
+    ~NodeTable();
+    NodeTable(const NodeTable&) = delete;
+    NodeTable& operator=(const NodeTable&) = delete;
+
+    /// Lock-free lookup; nullptr when the slot is empty or out of range.
+    Node* At(std::uint32_t offset) const;
+
+    /// Publishes `node` at `offset`. Caller must hold graph_mutex_ and have
+    /// checked `offset < Capacity()` and `At(offset) == nullptr`.
+    void Put(std::uint32_t offset, std::unique_ptr<Node> node);
+
+    /// Destroys every node and chunk. Caller must hold graph_mutex_ and
+    /// guarantee no concurrent readers (used only by graph load).
+    void Clear();
+
+    std::size_t Capacity() const { return capacity_; }
+
+   private:
+    struct Chunk;
+    std::size_t capacity_;
+    std::size_t chunk_count_;
+    std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  };
+
   struct SearchCandidate {
     Scalar score;
     std::uint32_t offset;
@@ -141,8 +186,9 @@ class HnswIndex final : public VectorIndex {
   HnswParams params_;
   double level_mult_;
 
-  mutable std::mutex graph_mutex_;  // protects nodes_ vector growth + entry point
-  std::vector<std::unique_ptr<Node>> nodes_;  // indexed by store offset
+  mutable std::mutex graph_mutex_;  // serializes node insertion + entry point
+  NodeTable nodes_;                 // indexed by store offset; lock-free reads
+  std::size_t node_count_ = 0;      // occupied slots; guarded by graph_mutex_
   std::uint32_t entry_point_ = 0;
   int max_level_ = -1;
   bool has_entry_ = false;
@@ -150,6 +196,7 @@ class HnswIndex final : public VectorIndex {
   std::mutex level_rng_mutex_;
   std::uint64_t level_rng_state_;
 
+  mutable std::mutex stats_mutex_;  // guards stats_ writes (concurrent Add())
   BuildStats stats_;
   mutable std::atomic<std::uint64_t> distance_ops_{0};
 };

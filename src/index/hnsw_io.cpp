@@ -64,14 +64,12 @@ Status HnswIndex::SaveToStream(std::ostream& out) const {
   PutU32(body, static_cast<std::uint32_t>(params_.m));
   PutU32(body, static_cast<std::uint32_t>(params_.m0));
 
-  std::uint64_t node_count = 0;
-  for (const auto& node : nodes_) node_count += node != nullptr;
-  PutU64(body, node_count);
+  PutU64(body, node_count_);
   PutU32(body, has_entry_ ? entry_point_ : 0xFFFFFFFFu);
   PutU32(body, static_cast<std::uint32_t>(max_level_));
 
-  for (std::uint32_t offset = 0; offset < nodes_.size(); ++offset) {
-    const auto& node = nodes_[offset];
+  for (std::uint32_t offset = 0; offset < store_.Size(); ++offset) {
+    const Node* node = nodes_.At(offset);
     if (node == nullptr) continue;
     PutU32(body, offset);
     PutU32(body, static_cast<std::uint32_t>(node->level));
@@ -117,7 +115,13 @@ Status HnswIndex::LoadFromStream(std::istream& in) {
   VDB_ASSIGN_OR_RETURN(const std::uint32_t entry, cursor.U32());
   VDB_ASSIGN_OR_RETURN(const std::uint32_t max_level_raw, cursor.U32());
 
+  // Stage into a plain vector first so a corrupt stream never leaves the
+  // index half-replaced; the table swap below happens only after full decode.
   std::vector<std::unique_ptr<Node>> nodes(store_.Size());
+  if (nodes.size() > nodes_.Capacity()) {
+    return Status::FailedPrecondition(
+        "store larger than the node table (HnswParams::max_nodes)");
+  }
   std::size_t loaded = 0;
   for (std::uint64_t i = 0; i < node_count; ++i) {
     VDB_ASSIGN_OR_RETURN(const std::uint32_t offset, cursor.U32());
@@ -147,12 +151,23 @@ Status HnswIndex::LoadFromStream(std::istream& in) {
     return Status::Corruption("entry point missing from graph");
   }
 
+  // Precondition for Clear(): the caller must not run searches concurrently
+  // with a load — replacing the graph invalidates lock-free readers.
   std::lock_guard<std::mutex> lock(graph_mutex_);
-  nodes_ = std::move(nodes);
+  nodes_.Clear();
+  node_count_ = 0;
+  for (std::uint32_t offset = 0; offset < nodes.size(); ++offset) {
+    if (nodes[offset] == nullptr) continue;
+    nodes_.Put(offset, std::move(nodes[offset]));
+    ++node_count_;
+  }
   has_entry_ = entry != 0xFFFFFFFFu;
   entry_point_ = has_entry_ ? entry : 0;
   max_level_ = has_entry_ ? static_cast<int>(max_level_raw) : -1;
-  stats_.indexed_count = loaded;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    stats_.indexed_count = loaded;
+  }
   return Status::Ok();
 }
 

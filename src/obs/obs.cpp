@@ -1,0 +1,205 @@
+#include "obs/obs.hpp"
+
+#ifndef VDB_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+
+#include "metrics/table.hpp"
+
+namespace vdb::obs {
+
+namespace {
+
+/// Stage grouping for the paper-style breakdown. Span names are
+/// `<stage>.<operation>`; anything outside the five request-path stages
+/// (e.g. rpc.*) lands in "other".
+constexpr const char* kStages[] = {"client", "router", "worker", "index",
+                                   "storage"};
+
+std::string StageOf(const std::string& span) {
+  for (const char* stage : kStages) {
+    const std::string prefix = std::string(stage) + ".";
+    if (span.rfind(prefix, 0) == 0) return stage;
+  }
+  return "other";
+}
+
+std::string FmtMs(double microseconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", microseconds / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+void SpanSite::Record(double seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hist_.Record(seconds * 1e6);
+  }
+  const std::uint64_t trace = CurrentTraceId();
+  if (trace != 0) {
+    MetricsRegistry::Instance().RecordTraceSample(trace, name_, seconds);
+  }
+}
+
+std::uint64_t SpanSite::Count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hist_.Count();
+}
+
+double SpanSite::TotalSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hist_.Sum() / 1e6;
+}
+
+LatencyHistogram SpanSite::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hist_;
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+SpanSite& MetricsRegistry::SpanSiteFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = spans_[name];
+  if (slot == nullptr) slot = std::make_unique<SpanSite>(name);
+  return *slot;
+}
+
+Counter& MetricsRegistry::CounterFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+void MetricsRegistry::RecordTraceSample(std::uint64_t trace_id,
+                                        const std::string& span, double seconds) {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  auto it = traces_.find(trace_id);
+  if (it == traces_.end()) {
+    if (traces_.size() >= kMaxTraces) return;  // bounded: drop, never grow
+    it = traces_.emplace(trace_id, std::vector<StageSample>{}).first;
+  }
+  if (it->second.size() >= kMaxSamplesPerTrace) return;
+  it->second.push_back({span, seconds});
+}
+
+std::vector<StageSample> MetricsRegistry::TakeTrace(std::uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  const auto it = traces_.find(trace_id);
+  if (it == traces_.end()) return {};
+  std::vector<StageSample> samples = std::move(it->second);
+  traces_.erase(it);
+  return samples;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "== vdb::obs registry ==\n";
+  out += "counters:\n";
+  if (counters_.empty()) out += "  (none)\n";
+  for (const auto& [name, counter] : counters_) {
+    out += "  " + name + " = " + std::to_string(counter->Value()) + "\n";
+  }
+  out += "spans (us):\n";
+  if (spans_.empty()) out += "  (none)\n";
+  for (const auto& [name, site] : spans_) {
+    out += "  " + name + ": " + site->Snapshot().Summary() + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(counter->Value());
+  }
+  out += "},\"spans\":{";
+  first = true;
+  for (const auto& [name, site] : spans_) {
+    const LatencyHistogram hist = site->Snapshot();
+    if (!first) out += ",";
+    first = false;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"count\":%llu,\"total_seconds\":%.6f,"
+                  "\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                  name.c_str(), static_cast<unsigned long long>(hist.Count()),
+                  hist.Sum() / 1e6, hist.Quantile(0.5), hist.Quantile(0.99));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::RenderStageBreakdown() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TextTable table("per-stage breakdown (vdb::obs registry)");
+  table.SetHeader({"stage", "span", "calls", "total s", "mean ms", "p99 ms"});
+  const char* all_stages[] = {"client", "router", "worker", "index", "storage",
+                              "other"};
+  for (const char* stage : all_stages) {
+    bool any = false;
+    for (const auto& [name, site] : spans_) {
+      if (StageOf(name) != stage) continue;
+      const LatencyHistogram hist = site->Snapshot();
+      if (hist.Count() == 0) continue;
+      const double mean_us = hist.Sum() / static_cast<double>(hist.Count());
+      table.AddRow({stage, name, TextTable::Int(static_cast<std::int64_t>(hist.Count())),
+                    TextTable::Num(hist.Sum() / 1e6, 3), FmtMs(mean_us),
+                    FmtMs(hist.Quantile(0.99))});
+      any = true;
+    }
+    if (!any && std::string(stage) != "other") {
+      table.AddRow({stage, "-", "0", "0.000", "-", "-"});
+    }
+  }
+  return table.Render();
+}
+
+void MetricsRegistry::Reset() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, counter] : counters_) {
+      counter->value_.store(0, std::memory_order_relaxed);
+    }
+    for (auto& [name, site] : spans_) {
+      std::lock_guard<std::mutex> site_lock(site->mutex_);
+      site->hist_ = LatencyHistogram();
+    }
+  }
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  traces_.clear();
+}
+
+void RecordStageSeconds(const std::string& span, double seconds) {
+  MetricsRegistry::Instance().SpanSiteFor(span).Record(seconds);
+}
+
+void AddCounter(const std::string& name, std::uint64_t n) {
+  MetricsRegistry::Instance().CounterFor(name).Add(n);
+}
+
+std::string StageBreakdown() {
+  return MetricsRegistry::Instance().RenderStageBreakdown();
+}
+
+}  // namespace vdb::obs
+
+#else  // VDB_OBS_DISABLED
+
+// The whole translation unit compiles out with the layer; keep the namespace
+// so the library archive is still well-formed.
+namespace vdb::obs {}
+
+#endif  // VDB_OBS_DISABLED

@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file obs.hpp
+/// Process-wide observability: a registry of named counters and latency
+/// histograms plus lightweight trace spans (`VDB_SPAN("router.fanout")`) that
+/// record per-stage timings through the full request path — client batch
+/// conversion → router fan-out/merge → worker dispatch → index search/insert →
+/// WAL append/segment flush. The paper's tables decompose end-to-end numbers
+/// into exactly these stages (sections 3.2–3.4); `StageBreakdown()` renders
+/// that decomposition for every bench binary.
+///
+/// Naming convention: spans are `<stage>.<operation>` where stage is one of
+/// `client`, `router`, `worker`, `index`, `storage` (plus `rpc` for transport
+/// internals); histograms record microseconds. Counters use the same
+/// dot-separated scheme (`rpc.handled`).
+///
+/// Compile-out: building with -DVDB_OBS_DISABLED removes the registry and
+/// every span macro body — only inline no-op stubs remain, so instrumented
+/// hot paths cost nothing. The top-level CMakeLists has a configure-time
+/// guard (cmake/obs_disabled_registry_check.cpp) that fails if registry
+/// symbols ever leak into disabled builds.
+
+#include <cstdint>
+#include <string>
+
+#ifndef VDB_OBS_DISABLED
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+#include "common/trace.hpp"
+#include "metrics/histogram.hpp"
+
+namespace vdb::obs {
+
+inline constexpr bool kEnabled = true;
+
+/// One span sample attributed to a trace (see MetricsRegistry::TakeTrace).
+struct StageSample {
+  std::string span;
+  double seconds = 0.0;
+};
+
+/// Monotonic named counter. References returned by the registry stay valid
+/// for the process lifetime (Reset() zeroes values, it never erases entries).
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A named span call-site: latency histogram (microseconds) + derived stats.
+/// Thread-safe; one mutex per site keeps unrelated spans uncontended.
+class SpanSite {
+ public:
+  explicit SpanSite(std::string name) : name_(std::move(name)) {}
+
+  /// Records one sample and, when the calling thread carries a non-zero trace
+  /// id, attributes it to that trace in the registry's per-trace table.
+  void Record(double seconds);
+
+  const std::string& Name() const { return name_; }
+  std::uint64_t Count() const;
+  double TotalSeconds() const;
+  LatencyHistogram Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::string name_;
+  mutable std::mutex mutex_;
+  LatencyHistogram hist_;  // microseconds
+};
+
+/// Process-wide singleton holding every counter and span site. Entries are
+/// never erased, so returned references are stable and call-sites may cache
+/// them in function-local statics (VDB_SPAN does).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  SpanSite& SpanSiteFor(const std::string& name);
+  Counter& CounterFor(const std::string& name);
+
+  /// Removes and returns every span sample attributed to `trace_id` (samples
+  /// recorded while that id was the thread's CurrentTraceId()). The table is
+  /// bounded: beyond kMaxTraces live traces, new samples are dropped.
+  std::vector<StageSample> TakeTrace(std::uint64_t trace_id);
+
+  /// Human-readable dump of every counter and span summary.
+  std::string Render() const;
+  /// Same data as JSON ({"counters": {...}, "spans": {...}}).
+  std::string RenderJson() const;
+  /// The paper's per-stage decomposition: spans grouped into the
+  /// client / router / worker / index / storage stages.
+  std::string RenderStageBreakdown() const;
+
+  /// Zeroes every counter/histogram and drops pending traces. References
+  /// handed out earlier remain valid. Benches/tests call this between phases.
+  void Reset();
+
+ private:
+  friend class SpanSite;
+  static constexpr std::size_t kMaxTraces = 256;
+  static constexpr std::size_t kMaxSamplesPerTrace = 4096;
+
+  void RecordTraceSample(std::uint64_t trace_id, const std::string& span,
+                         double seconds);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<SpanSite>> spans_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+
+  std::mutex trace_mutex_;
+  std::unordered_map<std::uint64_t, std::vector<StageSample>> traces_;
+};
+
+/// RAII span timer; prefer the VDB_SPAN macro, which caches the site lookup.
+class SpanTimer {
+ public:
+  explicit SpanTimer(SpanSite& site) : site_(site) {}
+  ~SpanTimer() { site_.Record(watch_.ElapsedSeconds()); }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  SpanSite& site_;
+  Stopwatch watch_;
+};
+
+/// Records a span sample without a timer — used by the simulator, whose
+/// stage durations are virtual seconds computed from the cost model.
+void RecordStageSeconds(const std::string& span, double seconds);
+
+/// Convenience counter bump (uncached lookup; hot paths use VDB_COUNTER_ADD).
+void AddCounter(const std::string& name, std::uint64_t n = 1);
+
+/// Instance().RenderStageBreakdown(), callable identically in disabled builds.
+std::string StageBreakdown();
+
+}  // namespace vdb::obs
+
+#define VDB_OBS_CONCAT_INNER(a, b) a##b
+#define VDB_OBS_CONCAT(a, b) VDB_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into span `name`. The registry lookup happens
+/// once per call-site (function-local static); per call the cost is two
+/// steady_clock reads plus one mutex-guarded histogram insert.
+#define VDB_SPAN(name)                                                         \
+  static ::vdb::obs::SpanSite& VDB_OBS_CONCAT(vdb_obs_site_, __LINE__) =       \
+      ::vdb::obs::MetricsRegistry::Instance().SpanSiteFor(name);               \
+  ::vdb::obs::SpanTimer VDB_OBS_CONCAT(vdb_obs_timer_, __LINE__)(              \
+      VDB_OBS_CONCAT(vdb_obs_site_, __LINE__))
+
+/// Bumps counter `name` by `n` with a cached site lookup.
+#define VDB_COUNTER_ADD(name, n)                                               \
+  do {                                                                         \
+    static ::vdb::obs::Counter& vdb_obs_counter =                              \
+        ::vdb::obs::MetricsRegistry::Instance().CounterFor(name);              \
+    vdb_obs_counter.Add(n);                                                    \
+  } while (0)
+
+#else  // VDB_OBS_DISABLED
+
+namespace vdb::obs {
+
+inline constexpr bool kEnabled = false;
+
+// Only the surface engine/bench code touches survives; the registry, span
+// sites, and per-trace table are compiled out entirely (enforced by the
+// configure-time guard in CMakeLists.txt).
+inline void RecordStageSeconds(const std::string&, double) {}
+inline void AddCounter(const std::string&, std::uint64_t = 1) {}
+inline std::string StageBreakdown() {
+  return "observability compiled out (VDB_OBS_DISABLED)\n";
+}
+
+}  // namespace vdb::obs
+
+#define VDB_SPAN(name) static_cast<void>(0)
+#define VDB_COUNTER_ADD(name, n) static_cast<void>(0)
+
+#endif  // VDB_OBS_DISABLED

@@ -4,6 +4,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/trace.hpp"
+#include "obs/obs.hpp"
+
 namespace vdb {
 
 LatencyModel NoLatency() {
@@ -30,6 +33,10 @@ struct PendingCall {
   /// caller or a service thread — a real NIC doesn't hold a CPU while a
   /// message is in flight).
   double rtt_delay = 0.0;
+  /// Caller's trace id, re-installed on the service thread that runs the
+  /// handler — the in-process analogue of a trace header on the wire. Makes
+  /// worker-side spans attributable to the originating client call.
+  std::uint64_t trace_id = 0;
 };
 
 }  // namespace
@@ -44,7 +51,12 @@ struct InprocTransport::Endpoint {
 
   void Serve() {
     while (auto call = queue.Pop()) {
-      Message response = handler(call->request);
+      obs::TraceScope trace(call->trace_id);
+      Message response;
+      {
+        VDB_SPAN("rpc.handle");
+        response = handler(call->request);
+      }
       if (call->rtt_delay > 0.0) {
         // Deliver after the simulated round trip without occupying a service
         // thread: overlapping in-flight RPCs must not serialize on latency.
@@ -178,6 +190,7 @@ std::future<Message> InprocTransport::CallAsync(const std::string& endpoint_name
   PendingCall call;
   call.request = std::move(request);
   call.response = std::move(promise);
+  call.trace_id = obs::CurrentTraceId();
   // Round trip: request transit (size-dependent) + response transit
   // (responses are small: top-k ids). Applied asynchronously after the
   // handler so concurrent in-flight calls overlap their latency, as on a

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "simqdrant/sim_client.hpp"
 #include "simqdrant/sim_cluster.hpp"
@@ -112,6 +113,7 @@ double SimulateIndexBuild(const PolarisCostModel& model, std::uint32_t workers,
     const double n = static_cast<double>(per_worker);
     const double core_seconds =
         n * model.k_build * std::log(std::max(2.0, n)) * membw / efficiency;
+    obs::RecordStageSeconds("index.build", core_seconds);  // virtual seconds
     cluster.NodeCpu(node).Submit(core_seconds, share, [] {});
   }
   return sim.Run();

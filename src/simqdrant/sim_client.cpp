@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "simqdrant/sim_cluster.hpp"
 
 namespace vdb::simq {
@@ -35,6 +36,7 @@ void SimInsertClient::LoopStep() {
       model.ClientSerialPerBatch(batch) +
       model.asyncio_task_overhead * static_cast<double>(config_.max_in_flight - 1);
   report_.serial_cpu_seconds += serial;
+  obs::RecordStageSeconds("client.convert", serial);  // virtual seconds
   converting_ = true;
   cluster_.NodeCpu(cluster_.ClientNode()).Submit(serial, 1.0, [this, batch] {
     converting_ = false;
@@ -100,6 +102,7 @@ void SimQueryClient::LoopStep() {
       model.query_client_per_query * static_cast<double>(batch) +
       model.asyncio_task_overhead * 0.1 *
           static_cast<double>(config_.max_in_flight - 1);
+  obs::RecordStageSeconds("client.convert", serial);  // virtual seconds
   converting_ = true;
   cluster_.NodeCpu(cluster_.ClientNode()).Submit(serial, 1.0, [this, batch] {
     converting_ = false;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "simqdrant/sim_cluster.hpp"
 
 namespace vdb::simq {
@@ -20,6 +21,7 @@ void SimWorker::HandleInsertBatch(std::uint64_t batch_size,
                                   std::function<void()> respond) {
   const PolarisCostModel& model = cluster_.Model();
   const double service = cluster_.Jitter(model.ServerInsertPerBatch(batch_size));
+  obs::RecordStageSeconds("worker.upsert", service);  // virtual seconds
   auto& node_cpu = cluster_.NodeCpu(cluster_.NodeOfWorker(id_));
 
   // Awaitable service: storing vectors + WAL + request handling.
@@ -44,6 +46,7 @@ void SimWorker::HandleLocalQuery(std::uint64_t batch_size,
   const double utilization = std::min(
       1.0, cluster_.NodeCpu(cluster_.NodeOfWorker(id_)).Utilization());
   service *= 1.0 + cluster_.Model().query_ingest_interference * utilization;
+  obs::RecordStageSeconds("worker.search_local", service);  // virtual seconds
   query_cpu_->Submit(service, 1.0, std::move(respond));
 }
 
@@ -63,6 +66,7 @@ void SimWorker::HandleFanOutQuery(std::uint64_t batch_size,
       static_cast<double>(batch_size) *
       (model.broadcast_entry_overhead +
        model.broadcast_per_peer * static_cast<double>(workers - 1));
+  obs::RecordStageSeconds("router.fanout", overhead);  // virtual seconds
 
   // Shared completion state: local search + (workers-1) peer partials + the
   // entry overhead job must all finish before the response leaves.

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/faults.hpp"
+#include "obs/obs.hpp"
 #include "storage/crc32.hpp"
 
 namespace vdb {
@@ -21,6 +22,7 @@ static_assert(sizeof(Header) == 24);
 }  // namespace
 
 Status WriteSegment(const std::filesystem::path& path, const SegmentData& data) {
+  VDB_SPAN("storage.segment_write");
   if (data.vectors.size() != data.ids.size() * data.dim) {
     return Status::InvalidArgument("segment vectors/ids size mismatch");
   }
@@ -58,6 +60,7 @@ namespace {
 
 Result<SegmentData> ReadSegmentImpl(const std::filesystem::path& path,
                                     bool materialize) {
+  VDB_SPAN("storage.segment_read");
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::NotFound("no segment at " + path.string());
 

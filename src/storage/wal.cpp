@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/faults.hpp"
+#include "obs/obs.hpp"
 #include "storage/crc32.hpp"
 
 namespace vdb {
@@ -78,6 +79,7 @@ Result<WalWriter> WalWriter::Open(const std::filesystem::path& path) {
 }
 
 Status WalWriter::Append(WalRecordType type, const std::vector<std::uint8_t>& payload) {
+  VDB_SPAN("storage.wal_append");
   // crc covers [type | payload].
   std::vector<std::uint8_t> body;
   body.reserve(1 + payload.size());
@@ -113,6 +115,7 @@ Status WalWriter::AppendCheckpoint(std::uint64_t segment_seq) {
 }
 
 Status WalWriter::Sync() {
+  VDB_SPAN("storage.wal_sync");
   out_.flush();
   return out_.good() ? Status::Ok() : Status::IoError("WAL sync failed");
 }

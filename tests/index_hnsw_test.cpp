@@ -266,5 +266,60 @@ INSTANTIATE_TEST_SUITE_P(Metrics, HnswMetricSweep,
                          ::testing::Values(Metric::kL2, Metric::kInnerProduct,
                                            Metric::kCosine));
 
+// ---- IndexStats::indexed_count semantics ----------------------------------
+// indexed_count counts each successfully inserted point exactly once: Add()
+// then Build() must not double-count, duplicates must not count, and a failed
+// Build() counts only the inserts that actually landed.
+
+TEST(HnswStatsTest, AddThenBuildCountsEachPointOnce) {
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 300);
+  HnswIndex index(store, SmallParams());
+  for (std::uint32_t offset = 0; offset < 50; ++offset) {
+    ASSERT_TRUE(index.Add(offset).ok());
+  }
+  EXPECT_EQ(index.Stats().indexed_count, 50u);
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(index.Stats().indexed_count, 300u);
+  EXPECT_EQ(index.NodeCount(), 300u);
+}
+
+TEST(HnswStatsTest, AddDuplicateDoesNotDoubleCount) {
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 10);
+  HnswIndex index(store, SmallParams());
+  ASSERT_TRUE(index.Add(0).ok());
+  const Status dup = index.Add(0);
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(index.Stats().indexed_count, 1u);
+}
+
+TEST(HnswStatsTest, SerialBuildFailureReturnsErrorAndCountsOnlySuccesses) {
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 100);
+  HnswParams params = SmallParams();
+  params.max_nodes = 64;  // capacity-exceeded is the injected failure mode
+  HnswIndex index(store, params);
+  const Status status = index.Build();
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(index.NodeCount(), 64u);
+  EXPECT_EQ(index.Stats().indexed_count, 64u);
+}
+
+TEST(HnswStatsTest, ParallelBuildFailureReturnsErrorAndCountsOnlySuccesses) {
+  VectorStore store(8, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 300);
+  HnswParams params = SmallParams();
+  params.max_nodes = 128;
+  params.build_threads = 4;
+  HnswIndex index(store, params);
+  const Status status = index.Build();
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  // Parallel workers may early-stop before trying every offset, but whatever
+  // landed in the graph is exactly what the stats claim.
+  EXPECT_LE(index.NodeCount(), 128u);
+  EXPECT_EQ(index.Stats().indexed_count, index.NodeCount());
+}
+
 }  // namespace
 }  // namespace vdb

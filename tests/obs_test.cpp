@@ -1,0 +1,137 @@
+/// Tests for the vdb::obs observability layer: registry, span timers, the
+/// per-stage breakdown, and trace-context propagation across the in-process
+/// transport. This binary is only built when the layer is compiled in (the
+/// tests/CMakeLists.txt entry is gated on NOT VDB_OBS_DISABLED).
+
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/trace.hpp"
+#include "rpc/codec.hpp"
+#include "rpc/transport.hpp"
+
+namespace vdb {
+namespace {
+
+TEST(ObsTest, LayerIsEnabledInThisBuild) { EXPECT_TRUE(obs::kEnabled); }
+
+TEST(ObsTest, CountersAccumulateAndRender) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::AddCounter("test.counter", 2);
+  obs::AddCounter("test.counter", 3);
+  EXPECT_EQ(obs::MetricsRegistry::Instance().CounterFor("test.counter").Value(), 5u);
+  const std::string rendered = obs::MetricsRegistry::Instance().Render();
+  EXPECT_NE(rendered.find("test.counter = 5"), std::string::npos);
+}
+
+TEST(ObsTest, SpanTimerRecordsElapsedTime) {
+  obs::MetricsRegistry::Instance().Reset();
+  {
+    VDB_SPAN("test.timed_scope");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto& site = obs::MetricsRegistry::Instance().SpanSiteFor("test.timed_scope");
+  EXPECT_EQ(site.Count(), 1u);
+  EXPECT_GT(site.TotalSeconds(), 0.001);
+  EXPECT_LT(site.TotalSeconds(), 5.0);
+}
+
+TEST(ObsTest, StageBreakdownGroupsByNamePrefix) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::RecordStageSeconds("client.convert", 0.5);
+  obs::RecordStageSeconds("storage.wal_append", 0.25);
+  obs::RecordStageSeconds("unprefixed_span", 0.1);
+  const std::string table = obs::StageBreakdown();
+  EXPECT_NE(table.find("client.convert"), std::string::npos);
+  EXPECT_NE(table.find("storage.wal_append"), std::string::npos);
+  EXPECT_NE(table.find("unprefixed_span"), std::string::npos);  // "other" row
+  // Stages with no samples still get a placeholder row, so every bench's
+  // breakdown lists all five paper stages.
+  EXPECT_NE(table.find("router"), std::string::npos);
+  EXPECT_NE(table.find("worker"), std::string::npos);
+  EXPECT_NE(table.find("index"), std::string::npos);
+}
+
+TEST(ObsTest, RenderJsonContainsSpanStats) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::RecordStageSeconds("index.probe", 0.002);
+  const std::string json = obs::MetricsRegistry::Instance().RenderJson();
+  EXPECT_NE(json.find("\"index.probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ObsTest, ResetKeepsHandedOutReferencesValid) {
+  auto& counter = obs::MetricsRegistry::Instance().CounterFor("test.reset_counter");
+  counter.Add(7);
+  obs::MetricsRegistry::Instance().Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add(2);
+  EXPECT_EQ(counter.Value(), 2u);
+}
+
+TEST(ObsTest, TraceScopeInstallsAndRestores) {
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  const std::uint64_t id = obs::NewTraceId();
+  {
+    obs::TraceScope scope(id);
+    EXPECT_EQ(obs::CurrentTraceId(), id);
+    {
+      obs::TraceScope nested(id + 1000);
+      EXPECT_EQ(obs::CurrentTraceId(), id + 1000);
+    }
+    EXPECT_EQ(obs::CurrentTraceId(), id);
+  }
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+}
+
+TEST(ObsTest, TracePropagatesAcrossInprocTransport) {
+  obs::MetricsRegistry::Instance().Reset();
+  InprocTransport transport;
+  // The handler runs on a transport service thread; the span it records must
+  // land in the *caller's* trace via the propagated id.
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint("worker-0",
+                                    [](const Message& request) {
+                                      obs::RecordStageSeconds(
+                                          "worker.handler_work", 0.001);
+                                      return request;
+                                    },
+                                    /*service_threads=*/1)
+                  .ok());
+
+  const std::uint64_t trace_id = obs::NewTraceId();
+  {
+    obs::TraceScope scope(trace_id);
+    (void)transport.Call("worker-0", Message{});
+  }
+
+  const auto samples = obs::MetricsRegistry::Instance().TakeTrace(trace_id);
+  bool saw_handler_span = false;
+  bool saw_rpc_span = false;
+  for (const auto& sample : samples) {
+    saw_handler_span |= sample.span == "worker.handler_work";
+    saw_rpc_span |= sample.span == "rpc.handle";
+  }
+  EXPECT_TRUE(saw_handler_span);
+  EXPECT_TRUE(saw_rpc_span);
+  // Taking a trace drains it.
+  EXPECT_TRUE(obs::MetricsRegistry::Instance().TakeTrace(trace_id).empty());
+}
+
+TEST(ObsTest, UntracedSpansSkipTheTraceTable) {
+  obs::MetricsRegistry::Instance().Reset();
+  ASSERT_EQ(obs::CurrentTraceId(), 0u);
+  obs::RecordStageSeconds("worker.untraced", 0.001);
+  // Aggregates still land in the registry...
+  EXPECT_EQ(
+      obs::MetricsRegistry::Instance().SpanSiteFor("worker.untraced").Count(), 1u);
+  // ...but no trace accumulated them (id 0 is the untraced sentinel).
+  EXPECT_TRUE(obs::MetricsRegistry::Instance().TakeTrace(0).empty());
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,44 @@
+#include "common/cpuid.hpp"
+
+#include <cstdlib>
+
+namespace vdb {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures features;
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  features.avx2 = __builtin_cpu_supports("avx2");
+  features.fma = __builtin_cpu_supports("fma");
+  features.avx512f = __builtin_cpu_supports("avx512f");
+#endif
+  return features;
+}
+
+}  // namespace
+
+const CpuFeatures& HostCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+std::string CpuFeatureString() {
+  const CpuFeatures& f = HostCpuFeatures();
+  std::string out;
+  if (f.avx2) out += "avx2 ";
+  if (f.fma) out += "fma ";
+  if (f.avx512f) out += "avx512f ";
+  if (out.empty()) return "baseline";
+  out.pop_back();
+  return out;
+}
+
+std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+}  // namespace vdb

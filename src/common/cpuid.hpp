@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file cpuid.hpp
+/// Runtime CPU feature detection for the dist kernel dispatcher. Detection
+/// runs once (first call) and is immutable afterwards, so the dispatch table
+/// selected at startup can be cached for the process lifetime. On non-x86
+/// targets every feature reports false and the scalar kernels are used.
+
+#include <string>
+
+namespace vdb {
+
+/// x86 SIMD features relevant to the distance kernels. `avx2`/`fma` gate the
+/// 8-wide FMA kernels, `avx512f` the 16-wide ones. Detection goes through the
+/// compiler builtin (`__builtin_cpu_supports`), which also checks OS XSAVE
+/// support so AVX state is actually context-switched.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// Features of the host CPU; detected on first call, stable afterwards.
+const CpuFeatures& HostCpuFeatures();
+
+/// "avx2 fma avx512f" / "baseline" — for logs and bench metadata.
+std::string CpuFeatureString();
+
+/// Reads an environment variable; returns `fallback` when unset or empty.
+/// Lives here (next to the CPUID helpers) because the only engine-level env
+/// knobs are dispatch overrides like VDB_KERNEL read once at startup.
+std::string GetEnvOr(const char* name, const std::string& fallback);
+
+}  // namespace vdb

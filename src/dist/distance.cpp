@@ -1,9 +1,31 @@
 #include "dist/distance.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "dist/kernels.hpp"
+
 namespace vdb {
+
+namespace {
+
+/// Rows per pointer-block in the contiguous-batch wrappers. Large enough to
+/// amortize pointer setup, small enough to stay in L1 (64 pointers + 64
+/// scores = 768 bytes).
+constexpr std::size_t kRowBlock = 64;
+
+/// Builds the row-pointer block for `count` (<= kRowBlock) contiguous rows
+/// and prefetches the first cache line of each upcoming row.
+inline void FillRowBlock(const Scalar* base, std::size_t dim, std::size_t count,
+                         const Scalar** rows) {
+  for (std::size_t r = 0; r < count; ++r) {
+    rows[r] = base + r * dim;
+    __builtin_prefetch(rows[r]);
+  }
+}
+
+}  // namespace
 
 std::string_view MetricName(Metric metric) {
   switch (metric) {
@@ -23,46 +45,43 @@ Result<Metric> ParseMetric(const std::string& name) {
 
 Scalar DotProduct(VectorView a, VectorView b) {
   assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  const Scalar* pa = a.data();
-  const Scalar* pb = b.data();
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += pa[i] * pb[i];
-    acc1 += pa[i + 1] * pb[i + 1];
-    acc2 += pa[i + 2] * pb[i + 2];
-    acc3 += pa[i + 3] * pb[i + 3];
-  }
-  for (; i < n; ++i) acc0 += pa[i] * pb[i];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return dist::ActiveKernels().dot(a.data(), b.data(), a.size());
 }
 
 Scalar L2SquaredDistance(VectorView a, VectorView b) {
   assert(a.size() == b.size());
-  const std::size_t n = a.size();
-  const Scalar* pa = a.data();
-  const Scalar* pb = b.data();
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const float d0 = pa[i] - pb[i];
-    const float d1 = pa[i + 1] - pb[i + 1];
-    const float d2 = pa[i + 2] - pb[i + 2];
-    const float d3 = pa[i + 3] - pb[i + 3];
-    acc0 += d0 * d0;
-    acc1 += d1 * d1;
-    acc2 += d2 * d2;
-    acc3 += d3 * d3;
-  }
-  for (; i < n; ++i) {
-    const float d = pa[i] - pb[i];
-    acc0 += d * d;
-  }
-  return (acc0 + acc1) + (acc2 + acc3);
+  return dist::ActiveKernels().l2sq(a.data(), b.data(), a.size());
 }
 
 Scalar Norm(VectorView a) { return std::sqrt(DotProduct(a, a)); }
+
+void DotProductBatch(VectorView query, const Scalar* base, std::size_t count,
+                     Scalar* out) {
+  const dist::KernelTable& k = dist::ActiveKernels();
+  const std::size_t dim = query.size();
+  const Scalar* rows[kRowBlock];
+  for (std::size_t begin = 0; begin < count; begin += kRowBlock) {
+    const std::size_t n = std::min(kRowBlock, count - begin);
+    FillRowBlock(base + begin * dim, dim, n, rows);
+    k.dot_rows(query.data(), rows, n, dim, out + begin);
+  }
+}
+
+void L2SquaredDistanceBatch(VectorView query, const Scalar* base,
+                            std::size_t count, Scalar* out) {
+  const dist::KernelTable& k = dist::ActiveKernels();
+  const std::size_t dim = query.size();
+  const Scalar* rows[kRowBlock];
+  for (std::size_t begin = 0; begin < count; begin += kRowBlock) {
+    const std::size_t n = std::min(kRowBlock, count - begin);
+    FillRowBlock(base + begin * dim, dim, n, rows);
+    k.l2_rows(query.data(), rows, n, dim, out + begin);
+  }
+}
+
+float DotProductU8(const float* query, const std::uint8_t* codes, std::size_t n) {
+  return dist::ActiveKernels().dot_u8(query, codes, n);
+}
 
 Scalar Score(Metric metric, VectorView a, VectorView b) {
   switch (metric) {
@@ -73,44 +92,59 @@ Scalar Score(Metric metric, VectorView a, VectorView b) {
     case Metric::kCosine: {
       const Scalar na = Norm(a);
       const Scalar nb = Norm(b);
-      if (na <= 0.f || nb <= 0.f) return 0.f;
+      if (IsZeroNorm(na) || IsZeroNorm(nb)) return 0.f;
       return DotProduct(a, b) / (na * nb);
     }
   }
   return 0.f;
 }
 
+void ScoreRows(Metric metric, VectorView query, const Scalar* const* rows,
+               std::size_t count, Scalar* out) {
+  const dist::KernelTable& k = dist::ActiveKernels();
+  const std::size_t dim = query.size();
+  switch (metric) {
+    case Metric::kL2:
+      k.l2_rows(query.data(), rows, count, dim, out);
+      for (std::size_t r = 0; r < count; ++r) out[r] = -out[r];
+      break;
+    case Metric::kInnerProduct:
+      k.dot_rows(query.data(), rows, count, dim, out);
+      break;
+    case Metric::kCosine: {
+      const Scalar query_norm = Norm(query);
+      k.dot_rows(query.data(), rows, count, dim, out);
+      for (std::size_t r = 0; r < count; ++r) {
+        const Scalar nv = std::sqrt(k.dot(rows[r], rows[r], dim));
+        out[r] = (IsZeroNorm(query_norm) || IsZeroNorm(nv))
+                     ? 0.f
+                     : out[r] / (query_norm * nv);
+      }
+      break;
+    }
+  }
+}
+
 void ScoreBatch(Metric metric, VectorView query, const Scalar* base,
                 std::size_t dim, std::size_t count, Scalar* out) {
   assert(query.size() == dim);
-  const Scalar query_norm = metric == Metric::kCosine ? Norm(query) : 1.f;
-  for (std::size_t row = 0; row < count; ++row) {
-    const VectorView v(base + row * dim, dim);
-    switch (metric) {
-      case Metric::kL2:
-        out[row] = -L2SquaredDistance(query, v);
-        break;
-      case Metric::kInnerProduct:
-        out[row] = DotProduct(query, v);
-        break;
-      case Metric::kCosine: {
-        const Scalar nv = Norm(v);
-        out[row] = (query_norm <= 0.f || nv <= 0.f)
-                       ? 0.f
-                       : DotProduct(query, v) / (query_norm * nv);
-        break;
-      }
-    }
+  const Scalar* rows[kRowBlock];
+  for (std::size_t begin = 0; begin < count; begin += kRowBlock) {
+    const std::size_t n = std::min(kRowBlock, count - begin);
+    FillRowBlock(base + begin * dim, dim, n, rows);
+    ScoreRows(metric, query, rows, n, out + begin);
   }
 }
 
 void NormalizeInPlace(Vector& v) {
   const Scalar n = Norm(v);
-  if (n <= 1e-30f) return;
+  if (IsZeroNorm(n)) return;
   const Scalar inv = 1.0f / n;
   for (auto& x : v) x *= inv;
 }
 
 bool PrefersNormalized(Metric metric) { return metric == Metric::kCosine; }
+
+std::string_view ActiveKernelName() { return dist::ActiveKernels().name; }
 
 }  // namespace vdb

@@ -1,9 +1,11 @@
 #pragma once
 
 /// \file distance.hpp
-/// Distance/similarity kernels for high-dimensional float vectors. These are
-/// the innermost loops of every index; they are written as 4-way unrolled
-/// scalar code that GCC auto-vectorizes well at -O2 for 2560-d vectors.
+/// Distance/similarity kernels for high-dimensional float vectors — the
+/// innermost loops of every index. Calls route through a per-ISA kernel table
+/// (scalar / AVX2+FMA / AVX-512) selected once at startup via CPUID and
+/// overridable with VDB_KERNEL=scalar|avx2|avx512|auto; see dist/kernels.hpp
+/// for the dispatch machinery and DESIGN.md "Kernel dispatch".
 ///
 /// Score convention: **higher score = better match** for every metric.
 ///   - kInnerProduct: score = <a, b>
@@ -13,6 +15,7 @@
 /// mirroring how Qdrant normalizes all metrics into a similarity ordering.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/status.hpp"
@@ -26,25 +29,57 @@ enum class Metric : int { kL2 = 0, kInnerProduct = 1, kCosine = 2 };
 std::string_view MetricName(Metric metric);
 Result<Metric> ParseMetric(const std::string& name);
 
+/// Norms at or below this threshold are treated as zero everywhere norms are
+/// consulted: cosine scoring returns 0 and NormalizeInPlace leaves the vector
+/// unchanged. One shared epsilon keeps the normalized-ingest path and the
+/// raw-scoring path agreeing on denormal-norm vectors.
+inline constexpr Scalar kNormEpsilon = 1e-30f;
+inline bool IsZeroNorm(Scalar norm) { return !(norm > kNormEpsilon); }
+
 /// Raw kernels. Preconditions: a.size() == b.size().
 Scalar DotProduct(VectorView a, VectorView b);
 Scalar L2SquaredDistance(VectorView a, VectorView b);
 Scalar Norm(VectorView a);
 
+/// Batch kernels over `count` contiguous row-major vectors of query.size()
+/// starting at `base`; out must hold `count` scalars. These feed the hot
+/// scans (flat, SQ rerank, ADC tables, k-means assignment) with the
+/// multi-row SIMD kernels.
+void DotProductBatch(VectorView query, const Scalar* base, std::size_t count,
+                     Scalar* out);
+void L2SquaredDistanceBatch(VectorView query, const Scalar* base,
+                            std::size_t count, Scalar* out);
+
+/// Dot of a float query against u8 codes widened to float — the SQ8 scan
+/// kernel: sum_i query[i] * codes[i].
+float DotProductU8(const float* query, const std::uint8_t* codes, std::size_t n);
+
 /// Unified scoring entry point (higher is better; see convention above).
 Scalar Score(Metric metric, VectorView a, VectorView b);
 
+/// Scores `query` against `count` rows addressed by pointer (gathered
+/// scoring — HNSW neighbour expansion). Rows must each hold query.size()
+/// scalars; out must hold `count`.
+void ScoreRows(Metric metric, VectorView query, const Scalar* const* rows,
+               std::size_t count, Scalar* out);
+
 /// Scores `query` against `count` contiguous row-major vectors starting at
-/// `base` and writes into `out` (size >= count). Batched form amortizes the
-/// query's norm computation for cosine.
+/// `base` and writes into `out` (size >= count). Row-blocked over the
+/// multi-row kernels with next-block prefetch; amortizes the query's norm
+/// computation for cosine.
 void ScoreBatch(Metric metric, VectorView query, const Scalar* base,
                 std::size_t dim, std::size_t count, Scalar* out);
 
-/// In-place L2 normalization; vectors with ~zero norm are left unchanged.
+/// In-place L2 normalization; vectors with ~zero norm (kNormEpsilon) are
+/// left unchanged.
 void NormalizeInPlace(Vector& v);
 
 /// True when the metric benefits from pre-normalized storage (cosine reduces
 /// to dot product on unit vectors — Qdrant does exactly this at upload time).
 bool PrefersNormalized(Metric metric);
+
+/// Name of the kernel table scoring currently routes through ("scalar",
+/// "avx2", "avx512") — for logs and bench metadata.
+std::string_view ActiveKernelName();
 
 }  // namespace vdb

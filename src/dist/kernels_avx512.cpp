@@ -1,0 +1,158 @@
+#include "dist/kernels.hpp"
+
+// AVX-512F kernels: 16-wide FMA, 8 rows per multi-row pass, masked tails (no
+// scalar remainder loop in the row kernels). Only this TU is compiled with
+// -mavx512f; the dispatcher enters it only when CPUID reports avx512f.
+
+#if defined(VDB_DIST_BUILD_AVX512)
+
+#include <immintrin.h>
+
+namespace vdb::dist {
+namespace {
+
+inline __mmask16 TailMask(std::size_t remaining) {
+  return static_cast<__mmask16>((1u << remaining) - 1u);
+}
+
+float DotAvx512(const Scalar* a, const Scalar* b, std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i + 16), _mm512_loadu_ps(b + i + 16), acc1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i), acc0);
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask(n - i);
+    const __m512 av = _mm512_maskz_loadu_ps(mask, a + i);
+    const __m512 bv = _mm512_maskz_loadu_ps(mask, b + i);
+    acc0 = _mm512_fmadd_ps(av, bv, acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+float L2Avx512(const Scalar* a, const Scalar* b, std::size_t n) {
+  __m512 acc0 = _mm512_setzero_ps();
+  __m512 acc1 = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512 d0 = _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    const __m512 d1 = _mm512_sub_ps(_mm512_loadu_ps(a + i + 16), _mm512_loadu_ps(b + i + 16));
+    acc0 = _mm512_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm512_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 16 <= n; i += 16) {
+    const __m512 d = _mm512_sub_ps(_mm512_loadu_ps(a + i), _mm512_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  if (i < n) {
+    const __mmask16 mask = TailMask(n - i);
+    // Masked-off lanes are zero in both loads, so their difference is zero
+    // and contributes nothing to the accumulator.
+    const __m512 d = _mm512_sub_ps(_mm512_maskz_loadu_ps(mask, a + i),
+                                   _mm512_maskz_loadu_ps(mask, b + i));
+    acc0 = _mm512_fmadd_ps(d, d, acc0);
+  }
+  return _mm512_reduce_add_ps(_mm512_add_ps(acc0, acc1));
+}
+
+// Eight rows per pass: one query load feeds eight FMAs (zmm pressure: 8
+// accumulators + 1 query + 1 row temp, well under 32 registers).
+void DotRowsAvx512(const Scalar* q, const Scalar* const* rows,
+                   std::size_t count, std::size_t n, Scalar* out) {
+  std::size_t r = 0;
+  for (; r + 8 <= count; r += 8) {
+    if (r + 16 <= count) {
+      for (std::size_t p = 0; p < 8; ++p) {
+        _mm_prefetch(reinterpret_cast<const char*>(rows[r + 8 + p]), _MM_HINT_T0);
+      }
+    }
+    __m512 acc[8];
+    for (auto& a : acc) a = _mm512_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + i);
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] = _mm512_fmadd_ps(qv, _mm512_loadu_ps(rows[r + j] + i), acc[j]);
+      }
+    }
+    if (i < n) {
+      const __mmask16 mask = TailMask(n - i);
+      const __m512 qv = _mm512_maskz_loadu_ps(mask, q + i);
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] = _mm512_fmadd_ps(qv, _mm512_maskz_loadu_ps(mask, rows[r + j] + i), acc[j]);
+      }
+    }
+    for (std::size_t j = 0; j < 8; ++j) out[r + j] = _mm512_reduce_add_ps(acc[j]);
+  }
+  for (; r < count; ++r) out[r] = DotAvx512(q, rows[r], n);
+}
+
+void L2RowsAvx512(const Scalar* q, const Scalar* const* rows,
+                  std::size_t count, std::size_t n, Scalar* out) {
+  std::size_t r = 0;
+  for (; r + 8 <= count; r += 8) {
+    if (r + 16 <= count) {
+      for (std::size_t p = 0; p < 8; ++p) {
+        _mm_prefetch(reinterpret_cast<const char*>(rows[r + 8 + p]), _MM_HINT_T0);
+      }
+    }
+    __m512 acc[8];
+    for (auto& a : acc) a = _mm512_setzero_ps();
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m512 qv = _mm512_loadu_ps(q + i);
+      for (std::size_t j = 0; j < 8; ++j) {
+        const __m512 d = _mm512_sub_ps(qv, _mm512_loadu_ps(rows[r + j] + i));
+        acc[j] = _mm512_fmadd_ps(d, d, acc[j]);
+      }
+    }
+    if (i < n) {
+      const __mmask16 mask = TailMask(n - i);
+      const __m512 qv = _mm512_maskz_loadu_ps(mask, q + i);
+      for (std::size_t j = 0; j < 8; ++j) {
+        const __m512 d = _mm512_sub_ps(qv, _mm512_maskz_loadu_ps(mask, rows[r + j] + i));
+        acc[j] = _mm512_fmadd_ps(d, d, acc[j]);
+      }
+    }
+    for (std::size_t j = 0; j < 8; ++j) out[r + j] = _mm512_reduce_add_ps(acc[j]);
+  }
+  for (; r < count; ++r) out[r] = L2Avx512(q, rows[r], n);
+}
+
+float DotU8Avx512(const float* q, const std::uint8_t* codes, std::size_t n) {
+  __m512 acc = _mm512_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(codes + i));
+    const __m512 vals = _mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes));
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(q + i), vals, acc);
+  }
+  float sum = _mm512_reduce_add_ps(acc);
+  for (; i < n; ++i) sum += q[i] * static_cast<float>(codes[i]);
+  return sum;
+}
+
+constexpr KernelTable kAvx512Table = {
+    KernelIsa::kAvx512, "avx512", 8,
+    DotAvx512, L2Avx512, DotRowsAvx512, L2RowsAvx512, DotU8Avx512,
+};
+
+}  // namespace
+
+const KernelTable* Avx512Kernels() { return &kAvx512Table; }
+
+}  // namespace vdb::dist
+
+#else  // !VDB_DIST_BUILD_AVX512
+
+namespace vdb::dist {
+const KernelTable* Avx512Kernels() { return nullptr; }
+}  // namespace vdb::dist
+
+#endif

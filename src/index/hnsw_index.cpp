@@ -83,6 +83,25 @@ Scalar HnswIndex::ScoreOf(VectorView query, std::uint32_t offset) const {
   return Score(store_.SearchMetric(), query, store_.At(offset));
 }
 
+void HnswIndex::ScoreOffsets(VectorView query, const std::uint32_t* offsets,
+                             std::size_t count, Scalar* out,
+                             std::uint64_t& distance_ops) const {
+  // Gather row pointers a block at a time and hand them to the multi-row
+  // kernel; prefetch hides the random-access latency of graph neighbours.
+  constexpr std::size_t kGatherBlock = 64;
+  const Scalar* rows[kGatherBlock];
+  const Metric metric = store_.SearchMetric();
+  for (std::size_t begin = 0; begin < count; begin += kGatherBlock) {
+    const std::size_t n = std::min(kGatherBlock, count - begin);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i] = store_.At(offsets[begin + i]).data();
+      __builtin_prefetch(rows[i]);
+    }
+    ScoreRows(metric, query, rows, n, out + begin);
+  }
+  distance_ops += count;
+}
+
 bool HnswIndex::Ready() const {
   std::lock_guard<std::mutex> lock(graph_mutex_);
   return has_entry_;
@@ -111,15 +130,18 @@ std::uint32_t HnswIndex::GreedyStep(VectorView query, std::uint32_t entry, int l
   Scalar current_score = ScoreOf(query, current);
   ++distance_ops;
   bool improved = true;
+  std::vector<Scalar> scores;
   while (improved) {
     improved = false;
     const Node* node = nodes_.At(current);
-    for (const std::uint32_t neighbor : node->CopyLinks(layer)) {
-      const Scalar score = ScoreOf(query, neighbor);
-      ++distance_ops;
-      if (score > current_score) {
-        current_score = score;
-        current = neighbor;
+    const auto links = node->CopyLinks(layer);
+    if (links.empty()) break;
+    scores.resize(links.size());
+    ScoreOffsets(query, links.data(), links.size(), scores.data(), distance_ops);
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (scores[i] > current_score) {
+        current_score = scores[i];
+        current = links[i];
         improved = true;
       }
     }
@@ -153,19 +175,29 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer(
   frontier.push({entry_score, entry});
   results.push({entry_score, entry});
 
+  // Unvisited neighbours of each expanded node are gathered and scored with
+  // one multi-row kernel call instead of one Score() per edge.
+  std::vector<std::uint32_t> fresh;
+  std::vector<Scalar> fresh_scores;
   while (!frontier.empty()) {
     const SearchCandidate candidate = frontier.top();
     frontier.pop();
     if (results.size() >= ef && candidate.score < results.top().score) break;
 
     const Node* node = nodes_.At(candidate.offset);
-    for (const std::uint32_t neighbor : node->CopyLinks(layer)) {
-      if (!visited.insert(neighbor).second) continue;
-      const Scalar score = ScoreOf(query, neighbor);
-      ++distance_ops;
+    const auto links = node->CopyLinks(layer);
+    fresh.clear();
+    for (const std::uint32_t neighbor : links) {
+      if (visited.insert(neighbor).second) fresh.push_back(neighbor);
+    }
+    if (fresh.empty()) continue;
+    fresh_scores.resize(fresh.size());
+    ScoreOffsets(query, fresh.data(), fresh.size(), fresh_scores.data(), distance_ops);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      const Scalar score = fresh_scores[i];
       if (results.size() < ef || score > results.top().score) {
-        frontier.push({score, neighbor});
-        results.push({score, neighbor});
+        frontier.push({score, fresh[i]});
+        results.push({score, fresh[i]});
         if (results.size() > ef) results.pop();
       }
     }

@@ -182,6 +182,12 @@ class HnswIndex final : public VectorIndex {
 
   Scalar ScoreOf(VectorView query, std::uint32_t offset) const;
 
+  /// Batch-scores `query` against the vectors at `offsets` (gather + multi-row
+  /// SIMD kernel). out must hold `count`; counts into `distance_ops`.
+  void ScoreOffsets(VectorView query, const std::uint32_t* offsets,
+                    std::size_t count, Scalar* out,
+                    std::uint64_t& distance_ops) const;
+
   const VectorStore& store_;
   HnswParams params_;
   double level_mult_;

@@ -1,5 +1,6 @@
 #include "index/index.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 
@@ -64,10 +65,21 @@ std::vector<ScoredPoint> ExactSearch(const VectorStore& store, VectorView query,
     NormalizeInPlace(normalized);
     effective_query = normalized;
   }
+  // Row-blocked batched scan: score a block of contiguous rows per kernel
+  // call (deleted rows are scored too — cheaper than fragmenting the batch —
+  // and filtered at push time).
+  constexpr std::size_t kScanBlock = 256;
+  Scalar scores[kScanBlock];
   const std::size_t n = store.Size();
-  for (std::uint32_t offset = 0; offset < n; ++offset) {
-    if (store.IsDeleted(offset)) continue;
-    collector.Push(store.IdAt(offset), Score(metric, effective_query, store.At(offset)));
+  const std::size_t dim = store.Dim();
+  for (std::size_t begin = 0; begin < n; begin += kScanBlock) {
+    const std::size_t count = std::min(kScanBlock, n - begin);
+    ScoreBatch(metric, effective_query, store.Data() + begin * dim, dim, count, scores);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto offset = static_cast<std::uint32_t>(begin + i);
+      if (store.IsDeleted(offset)) continue;
+      collector.Push(store.IdAt(offset), scores[i]);
+    }
   }
   return collector.Take();
 }

@@ -113,14 +113,13 @@ Status IvfPqIndex::Add(std::uint32_t offset) {
 }
 
 std::vector<float> IvfPqIndex::BuildAdcTable(VectorView query) const {
+  // Each codebook is a contiguous row-major block of centroids, so one
+  // batched kernel call fills a whole subspace's table row.
   std::vector<float> table(params_.n_subspaces * params_.codebook_size);
   for (std::size_t s = 0; s < params_.n_subspaces; ++s) {
-    const Scalar* q_sub = query.data() + s * sub_dim_;
-    const auto& codebook = codebooks_[s];
-    for (std::size_t c = 0; c < params_.codebook_size; ++c) {
-      table[s * params_.codebook_size + c] = L2SquaredDistance(
-          VectorView(q_sub, sub_dim_), VectorView(codebook.data() + c * sub_dim_, sub_dim_));
-    }
+    const VectorView q_sub(query.data() + s * sub_dim_, sub_dim_);
+    L2SquaredDistanceBatch(q_sub, codebooks_[s].data(), params_.codebook_size,
+                           table.data() + s * params_.codebook_size);
   }
   return table;
 }
@@ -138,14 +137,15 @@ Result<std::vector<ScoredPoint>> IvfPqIndex::Search(VectorView query,
     effective = normalized;
   }
 
-  // Rank inverted lists by centroid distance; probe the closest n_probes.
-  const std::size_t dim = store_.Dim();
+  // Rank inverted lists by centroid distance (one batched kernel sweep over
+  // the contiguous centroid block); probe the closest n_probes.
+  std::vector<float> centroid_dists(params_.n_lists);
+  L2SquaredDistanceBatch(effective, coarse_centroids_.data(), params_.n_lists,
+                         centroid_dists.data());
   std::vector<std::pair<float, std::uint32_t>> list_order;
   list_order.reserve(params_.n_lists);
   for (std::size_t l = 0; l < params_.n_lists; ++l) {
-    list_order.emplace_back(
-        L2SquaredDistance(effective, VectorView(coarse_centroids_.data() + l * dim, dim)),
-        static_cast<std::uint32_t>(l));
+    list_order.emplace_back(centroid_dists[l], static_cast<std::uint32_t>(l));
   }
   const std::size_t probes = std::min(params.n_probes, params_.n_lists);
   std::partial_sort(list_order.begin(), list_order.begin() + static_cast<std::ptrdiff_t>(probes),

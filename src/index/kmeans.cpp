@@ -19,14 +19,22 @@ double SquaredDistance(const Scalar* a, const Scalar* b, std::size_t dim) {
 
 std::uint32_t NearestCentroid(VectorView v, const std::vector<Scalar>& centroids,
                               std::size_t dim) {
+  // Batched argmin over the contiguous centroid block, a chunk at a time
+  // (256 floats = 1KB of stack). This is the inner loop of both k-means
+  // assignment and IVF-PQ encoding.
+  constexpr std::size_t kChunk = 256;
+  float dists[kChunk];
   const std::size_t k = centroids.size() / dim;
   std::uint32_t best = 0;
-  double best_dist = std::numeric_limits<double>::infinity();
-  for (std::size_t c = 0; c < k; ++c) {
-    const double d = SquaredDistance(v.data(), centroids.data() + c * dim, dim);
-    if (d < best_dist) {
-      best_dist = d;
-      best = static_cast<std::uint32_t>(c);
+  float best_dist = std::numeric_limits<float>::infinity();
+  for (std::size_t begin = 0; begin < k; begin += kChunk) {
+    const std::size_t count = std::min(kChunk, k - begin);
+    L2SquaredDistanceBatch(v, centroids.data() + begin * dim, count, dists);
+    for (std::size_t c = 0; c < count; ++c) {
+      if (dists[c] < best_dist) {
+        best_dist = dists[c];
+        best = static_cast<std::uint32_t>(begin + c);
+      }
     }
   }
   return best;

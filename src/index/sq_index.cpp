@@ -79,17 +79,7 @@ float SqIndex::ScoreCodes(const float* query_adj, const std::uint8_t* codes) con
   // query_adj[d] = q[d]*scale[d] and folds the constant part separately —
   // here we only need the code-dependent sum (ranking is shift-invariant
   // per query... the shift is constant across candidates, so it cancels).
-  const std::size_t dim = store_.Dim();
-  float acc0 = 0.f, acc1 = 0.f, acc2 = 0.f, acc3 = 0.f;
-  std::size_t d = 0;
-  for (; d + 4 <= dim; d += 4) {
-    acc0 += query_adj[d] * codes[d];
-    acc1 += query_adj[d + 1] * codes[d + 1];
-    acc2 += query_adj[d + 2] * codes[d + 2];
-    acc3 += query_adj[d + 3] * codes[d + 3];
-  }
-  for (; d < dim; ++d) acc0 += query_adj[d] * codes[d];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return DotProductU8(query_adj, codes, store_.Dim());
 }
 
 Result<std::vector<ScoredPoint>> SqIndex::Search(VectorView query,

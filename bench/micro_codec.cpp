@@ -1,0 +1,383 @@
+/// \file micro_codec.cpp
+/// Data-plane codec microbenchmark: the pre-change eager codec (field-by-field
+/// appends into a growable byte vector on encode; Vector/Payload
+/// materialization per point on decode) re-implemented here as the baseline,
+/// against the pooled zero-copy view codec (single presized slab, bulk vector
+/// appends, decode hands out spans into the message body). Sweeps
+/// dim x batch-size cells at the paper's embedding dimension (2560) plus a
+/// smaller dim, reporting GB/s of wire traffic and Mpoints/s per
+/// (codec, op, dim, batch) cell. Writes machine-readable results to
+/// BENCH_codec.json (see bench/baselines/ for the recorded baseline).
+///
+/// Flags: --out=PATH (default BENCH_codec.json), --min-ms=N per-cell
+/// measurement floor, --check=1 exits nonzero unless the view codec reaches
+/// >= 2x the eager round-trip (encode+decode) throughput at 2560-d / 1000-pt
+/// batches (the CI gate).
+
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "rpc/codec.hpp"
+#include "storage/payload_store.hpp"
+
+namespace {
+
+using vdb::Message;
+using vdb::MessageType;
+using vdb::PointRecord;
+using vdb::Scalar;
+using vdb::Vector;
+
+// Sink defeating dead-code elimination of the measured paths.
+volatile double g_sink = 0.0;
+
+// ---------------------------------------------------------------------------
+// Legacy eager codec, reproduced verbatim from the pre-zero-copy data plane:
+// append-only writer growing a std::vector<uint8_t>, reader materializing a
+// Vector and a Payload per point. This is the baseline the view codec is
+// gated against.
+// ---------------------------------------------------------------------------
+
+class LegacyWriter {
+ public:
+  explicit LegacyWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void FloatArray(vdb::VectorView v) {
+    U32(static_cast<std::uint32_t>(v.size()));
+    const std::size_t base = out_.size();
+    out_.resize(base + v.size() * sizeof(Scalar));
+    std::memcpy(out_.data() + base, v.data(), v.size() * sizeof(Scalar));
+  }
+  void Blob(const std::vector<std::uint8_t>& bytes) {
+    U32(static_cast<std::uint32_t>(bytes.size()));
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class LegacyReader {
+ public:
+  LegacyReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint32_t U32() {
+    assert(pos_ + 4 <= size_);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t U64() {
+    const std::uint32_t lo = U32();
+    const std::uint32_t hi = U32();
+    return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+  }
+  Vector FloatArray() {
+    const std::uint32_t n = U32();
+    assert(pos_ + n * sizeof(Scalar) <= size_);
+    Vector v(n);
+    std::memcpy(v.data(), data_ + pos_, n * sizeof(Scalar));
+    pos_ += n * sizeof(Scalar);
+    return v;
+  }
+  std::vector<std::uint8_t> Blob() {
+    const std::uint32_t n = U32();
+    assert(pos_ + n <= size_);
+    std::vector<std::uint8_t> bytes(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return bytes;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> LegacyEncode(std::uint32_t shard,
+                                       const std::vector<PointRecord>& points) {
+  std::vector<std::uint8_t> body;
+  LegacyWriter w(body);
+  w.U32(shard);
+  w.U32(static_cast<std::uint32_t>(points.size()));
+  for (const auto& point : points) {
+    w.U64(point.id);
+    w.FloatArray(point.vector);
+    w.Blob(vdb::EncodePayload(point.payload));
+  }
+  return body;
+}
+
+std::vector<PointRecord> LegacyDecode(const std::vector<std::uint8_t>& body) {
+  LegacyReader r(body.data(), body.size());
+  (void)r.U32();  // shard
+  const std::uint32_t count = r.U32();
+  std::vector<PointRecord> points;
+  points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PointRecord point;
+    point.id = r.U64();
+    point.vector = r.FloatArray();
+    const auto payload_bytes = r.Blob();
+    auto payload = vdb::DecodePayload(payload_bytes.data(), payload_bytes.size());
+    assert(payload.ok());
+    point.payload = std::move(*payload);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+
+struct Cell {
+  std::string codec;  // "eager" | "view"
+  std::string op;     // "encode" | "decode" | "roundtrip"
+  std::size_t dim = 0;
+  std::size_t batch = 0;
+  std::size_t sweeps = 0;
+  double gbps = 0.0;  // wire bytes through the codec per second
+  double mpps = 0.0;  // million points per second
+};
+
+/// Runs `sweep` until `min_seconds` accumulates, after one untimed warmup
+/// pass (pages in the batch, primes the buffer pool's free lists).
+template <typename Sweep>
+Cell Measure(const std::string& codec, const std::string& op, std::size_t dim,
+             std::size_t batch, std::size_t wire_bytes, double min_seconds,
+             Sweep&& sweep) {
+  sweep();
+  vdb::Stopwatch watch;
+  std::size_t sweeps = 0;
+  double elapsed = 0.0;
+  do {
+    sweep();
+    ++sweeps;
+    elapsed = watch.ElapsedSeconds();
+  } while (elapsed < min_seconds);
+  Cell cell;
+  cell.codec = codec;
+  cell.op = op;
+  cell.dim = dim;
+  cell.batch = batch;
+  cell.sweeps = sweeps;
+  cell.gbps = static_cast<double>(sweeps) * static_cast<double>(wire_bytes) / elapsed / 1e9;
+  cell.mpps = static_cast<double>(sweeps) * static_cast<double>(batch) / elapsed / 1e6;
+  return cell;
+}
+
+double CellRate(const std::vector<Cell>& cells, const std::string& codec,
+                const std::string& op, std::size_t dim, std::size_t batch) {
+  for (const auto& c : cells) {
+    if (c.codec == codec && c.op == op && c.dim == dim && c.batch == batch) {
+      return c.mpps;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<PointRecord> MakeBatch(std::size_t count, std::size_t dim) {
+  vdb::Rng rng(0x51ab5eedu ^ (dim * 8191 + count));
+  std::vector<PointRecord> points(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points[i].id = static_cast<vdb::PointId>(i + 1);
+    points[i].vector.resize(dim);
+    for (auto& v : points[i].vector) {
+      v = static_cast<Scalar>(rng.NextDouble() * 2.0 - 1.0);
+    }
+    // Modest payload, as the upload workloads carry (doc id + a couple of
+    // filterable fields).
+    points[i].payload["doc"] = std::string("openalex-") + std::to_string(i);
+    points[i].payload["year"] = static_cast<std::int64_t>(1990 + i % 35);
+  }
+  return points;
+}
+
+void WriteJson(const std::string& path, const std::vector<Cell>& cells,
+               double encode_speedup, double decode_speedup,
+               double roundtrip_speedup) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_codec\",\n");
+  std::fprintf(f, "  \"gate\": {\"dim\": 2560, \"batch\": 1000, "
+               "\"encode_speedup\": %.2f, \"decode_speedup\": %.2f, "
+               "\"roundtrip_speedup\": %.2f, \"required\": 2.0},\n",
+               encode_speedup, decode_speedup, roundtrip_speedup);
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(f,
+                 "    {\"codec\": \"%s\", \"op\": \"%s\", \"dim\": %zu, "
+                 "\"batch\": %zu, \"sweeps\": %zu, \"gbps\": %.3f, "
+                 "\"mpps\": %.3f}%s\n",
+                 c.codec.c_str(), c.op.c_str(), c.dim, c.batch, c.sweeps,
+                 c.gbps, c.mpps, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu cells)\n\n", path.c_str(), cells.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vdb;
+  bench::PrintHeader("micro_codec — eager vs zero-copy view codec",
+                     "data-plane microbench (DESIGN.md 'Data plane'); paper "
+                     "dim 2560 from Ockerman et al., SC'25 workshops, sec. 2");
+
+  auto config = Config::FromArgs(argc - 1, argv + 1);
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  const std::string out_path = config->GetString("out", "BENCH_codec.json");
+  const double min_seconds =
+      static_cast<double>(config->GetInt("min-ms", 60)) / 1000.0;
+  const bool check = config->GetBool("check", false);
+
+  const std::vector<std::size_t> dims = {256, 2560};
+  const std::vector<std::size_t> batches = {32, 256, 1000};
+  std::vector<Cell> cells;
+
+  for (const std::size_t dim : dims) {
+    for (const std::size_t batch : batches) {
+      const auto points = MakeBatch(batch, dim);
+      const std::span<const PointRecord> span(points);
+
+      // Wire sizes differ slightly (the view layout pads the vector region to
+      // the alignment unit), so each codec's GB/s uses its own message size;
+      // the gate compares points/s, which is codec-independent.
+      const std::vector<std::uint8_t> legacy_body = LegacyEncode(0, points);
+      const Message view_msg = EncodeUpsertBatch(0, span);
+      const std::size_t legacy_bytes = legacy_body.size();
+      const std::size_t view_bytes = view_msg.body.size();
+
+      cells.push_back(Measure("eager", "encode", dim, batch, legacy_bytes,
+                              min_seconds, [&] {
+        const auto body = LegacyEncode(0, points);
+        g_sink = static_cast<double>(body.back());
+      }));
+      cells.push_back(Measure("view", "encode", dim, batch, view_bytes,
+                              min_seconds, [&] {
+        const Message msg = EncodeUpsertBatch(0, span);
+        g_sink = static_cast<double>(msg.body.data()[msg.body.size() - 1]);
+      }));
+
+      cells.push_back(Measure("eager", "decode", dim, batch, legacy_bytes,
+                              min_seconds, [&] {
+        const auto decoded = LegacyDecode(legacy_body);
+        double acc = 0.0;
+        for (const auto& p : decoded) acc += p.vector[0];
+        g_sink = acc;
+      }));
+      cells.push_back(Measure("view", "decode", dim, batch, view_bytes,
+                              min_seconds, [&] {
+        auto view = DecodeUpsertBatchView(view_msg);
+        assert(view.ok());
+        double acc = 0.0;
+        for (std::size_t i = 0; i < view->size(); ++i) acc += view->vector(i)[0];
+        g_sink = acc;
+      }));
+
+      // Round trip: what one hop of the data plane costs end to end. This is
+      // the CI gate's cell at dim=2560 / batch=1000.
+      cells.push_back(Measure("eager", "roundtrip", dim, batch, legacy_bytes,
+                              min_seconds, [&] {
+        const auto body = LegacyEncode(0, points);
+        const auto decoded = LegacyDecode(body);
+        g_sink = decoded.back().vector[0];
+      }));
+      cells.push_back(Measure("view", "roundtrip", dim, batch, view_bytes,
+                              min_seconds, [&] {
+        const Message msg = EncodeUpsertBatch(0, span);
+        auto view = DecodeUpsertBatchView(msg);
+        assert(view.ok());
+        g_sink = view->vector(view->size() - 1)[0];
+      }));
+    }
+  }
+
+  // --- Render one table per dim (rows: op x batch, columns: both codecs).
+  for (const std::size_t dim : dims) {
+    TextTable table("dim=" + std::to_string(dim) +
+                    " — GB/s | Mpts/s per codec");
+    table.SetHeader({"op", "batch", "eager", "view", "speedup"});
+    for (const std::string op : {"encode", "decode", "roundtrip"}) {
+      for (const std::size_t batch : batches) {
+        std::vector<std::string> row = {op, std::to_string(batch)};
+        double rates[2] = {0.0, 0.0};
+        int slot = 0;
+        for (const std::string codec : {"eager", "view"}) {
+          for (const auto& c : cells) {
+            if (c.codec == codec && c.op == op && c.dim == dim && c.batch == batch) {
+              char buf[64];
+              std::snprintf(buf, sizeof(buf), "%6.2f | %7.2f", c.gbps, c.mpps);
+              row.push_back(buf);
+              rates[slot] = c.mpps;
+            }
+          }
+          ++slot;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2fx",
+                      rates[0] > 0 ? rates[1] / rates[0] : 0.0);
+        row.push_back(buf);
+        table.AddRow(row);
+      }
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // --- Acceptance gate: view codec vs eager at the paper's dim, 1k batches.
+  auto speedup = [&](const std::string& op) {
+    const double eager = CellRate(cells, "eager", op, 2560, 1000);
+    return eager > 0 ? CellRate(cells, "view", op, 2560, 1000) / eager : 0.0;
+  };
+  const double encode_speedup = speedup("encode");
+  const double decode_speedup = speedup("decode");
+  const double roundtrip_speedup = speedup("roundtrip");
+  std::printf("2560-d / 1000-pt speedup vs eager: encode %.2fx, decode %.2fx, "
+              "round trip %.2fx\n\n",
+              encode_speedup, decode_speedup, roundtrip_speedup);
+
+  WriteJson(out_path, cells, encode_speedup, decode_speedup, roundtrip_speedup);
+
+  const rpc::BufferPool::Stats pool = rpc::BufferPool::Global().GetStats();
+  std::printf("buffer pool: %llu allocations, %llu hits, %llu misses, "
+              "%llu retained bytes\n\n",
+              static_cast<unsigned long long>(pool.allocations),
+              static_cast<unsigned long long>(pool.hits),
+              static_cast<unsigned long long>(pool.misses),
+              static_cast<unsigned long long>(pool.retained_bytes));
+
+  ComparisonReport report("micro_codec");
+  const bool gate_ok = roundtrip_speedup >= 2.0;
+  report.AddClaim("view codec >= 2x eager encode+decode at 2560-d/1000-pt",
+                  gate_ok);
+  report.AddClaim("pooled encode reuses slabs (pool hits > 0)", pool.hits > 0);
+
+  const int rc = bench::FinishWithReport(report);
+  if (check && !gate_ok) {
+    std::fprintf(stderr, "--check=1: codec speedup gate FAILED\n");
+    return 1;
+  }
+  return rc;
+}

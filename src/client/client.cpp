@@ -1,6 +1,7 @@
 #include "client/client.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/stopwatch.hpp"
 #include "common/trace.hpp"
@@ -21,11 +22,13 @@ Result<UploadReport> VdbClient::Upload(const std::vector<PointRecord>& points,
     // reached through the transport) are attributable to this client call.
     obs::TraceScope trace(obs::NewTraceId());
     Stopwatch batch_watch;
-    std::vector<PointRecord> batch;
+    std::span<const PointRecord> batch;
     {
       VDB_SPAN("client.convert");
-      batch.assign(points.begin() + static_cast<std::ptrdiff_t>(begin),
-                   points.begin() + static_cast<std::ptrdiff_t>(end));
+      // Zero-copy: the batch is a view over the caller's points; grouping and
+      // encoding happen downstream against this span, so "convert" is now
+      // just the router's per-shard encode (attributed there).
+      batch = std::span<const PointRecord>(points).subspan(begin, end - begin);
     }
     report.convert_seconds += batch_watch.LapSeconds();
     std::uint64_t acknowledged = 0;

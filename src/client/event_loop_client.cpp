@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <deque>
-#include <map>
+#include <span>
 
 #include "common/stopwatch.hpp"
 
@@ -16,18 +16,16 @@ std::vector<std::pair<std::string, Message>> EventLoopUploader::ConvertBatch(
     const std::vector<PointRecord>& points, std::size_t begin, std::size_t end) const {
   // Group by shard and serialize — the Python client's "convert the batch into
   // a Qdrant batch object" step. This is deliberately done on the loop thread.
-  std::map<ShardId, UpsertBatchRequest> by_shard;
-  for (std::size_t i = begin; i < end; ++i) {
-    const ShardId shard = placement_.ShardFor(points[i].id);
-    auto& request = by_shard[shard];
-    request.shard = shard;
-    request.points.push_back(points[i]);
-  }
+  // Grouping produces index lists over the caller's points and each shard's
+  // subset is encoded straight from them — no PointRecord copies.
+  const std::span<const PointRecord> batch =
+      std::span<const PointRecord>(points).subspan(begin, end - begin);
+  const std::vector<ShardGroup> groups = GroupByShard(batch, placement_);
   std::vector<std::pair<std::string, Message>> messages;
-  messages.reserve(by_shard.size());
-  for (auto& [shard, request] : by_shard) {
-    messages.emplace_back(WorkerEndpoint(placement_.PrimaryOf(shard)),
-                          EncodeUpsertBatchRequest(request));
+  messages.reserve(groups.size());
+  for (const ShardGroup& group : groups) {
+    messages.emplace_back(WorkerEndpoint(placement_.PrimaryOf(group.shard)),
+                          EncodeUpsertBatch(group.shard, batch, group.indices));
   }
   return messages;
 }

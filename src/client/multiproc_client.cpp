@@ -1,8 +1,8 @@
 #include "client/multiproc_client.hpp"
 
 #include <algorithm>
-#include <map>
 #include <mutex>
+#include <span>
 #include <thread>
 
 #include "common/stopwatch.hpp"
@@ -48,19 +48,17 @@ Result<UploadReport> MultiProcUploader::Upload(const std::vector<PointRecord>& p
       const std::size_t end = std::min(mine.size(), begin + config.batch_size);
 
       Stopwatch batch_watch;
-      // Convert: group this client's chunk by shard and serialize.
-      std::map<ShardId, UpsertBatchRequest> by_shard;
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto& point = points[mine[i]];
-        const ShardId shard = placement_.ShardFor(point.id);
-        auto& request = by_shard[shard];
-        request.shard = shard;
-        request.points.push_back(point);
-      }
+      // Convert: group this client's chunk by shard (index lists into the
+      // shared points span) and encode each shard's subset straight from the
+      // caller's memory — no PointRecord copies.
+      const std::span<const std::size_t> chunk(mine.data() + begin, end - begin);
+      const std::vector<ShardGroup> groups =
+          GroupByShard(points, chunk, placement_);
       std::vector<std::pair<std::string, Message>> messages;
-      for (auto& [shard, request] : by_shard) {
-        messages.emplace_back(WorkerEndpoint(placement_.PrimaryOf(shard)),
-                              EncodeUpsertBatchRequest(request));
+      messages.reserve(groups.size());
+      for (const ShardGroup& group : groups) {
+        messages.emplace_back(WorkerEndpoint(placement_.PrimaryOf(group.shard)),
+                              EncodeUpsertBatch(group.shard, points, group.indices));
       }
       local.convert_seconds += batch_watch.LapSeconds();
 

@@ -12,6 +12,40 @@ ShardId ShardForPoint(PointId id, std::uint32_t num_shards) {
   return static_cast<ShardId>((hashed >> 32) % num_shards);
 }
 
+std::vector<ShardGroup> GroupByShard(std::span<const PointRecord> points,
+                                     const ShardPlacement& placement) {
+  // Shard count is small and known, so bucket directly instead of hashing.
+  std::vector<std::vector<std::uint32_t>> buckets(placement.NumShards());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    buckets[placement.ShardFor(points[i].id)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  std::vector<ShardGroup> groups;
+  for (std::size_t shard = 0; shard < buckets.size(); ++shard) {
+    if (buckets[shard].empty()) continue;
+    groups.push_back(
+        ShardGroup{static_cast<ShardId>(shard), std::move(buckets[shard])});
+  }
+  return groups;
+}
+
+std::vector<ShardGroup> GroupByShard(std::span<const PointRecord> points,
+                                     std::span<const std::size_t> subset,
+                                     const ShardPlacement& placement) {
+  std::vector<std::vector<std::uint32_t>> buckets(placement.NumShards());
+  for (const std::size_t i : subset) {
+    buckets[placement.ShardFor(points[i].id)].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  std::vector<ShardGroup> groups;
+  for (std::size_t shard = 0; shard < buckets.size(); ++shard) {
+    if (buckets[shard].empty()) continue;
+    groups.push_back(
+        ShardGroup{static_cast<ShardId>(shard), std::move(buckets[shard])});
+  }
+  return groups;
+}
+
 Result<ShardPlacement> ShardPlacement::RoundRobin(std::uint32_t num_shards,
                                                   std::uint32_t num_workers,
                                                   std::uint32_t replication) {

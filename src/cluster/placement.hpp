@@ -8,15 +8,40 @@
 /// highlights as the price of stateful designs.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "storage/payload_store.hpp"
 
 namespace vdb {
 
 /// Stable point->shard hash (Fibonacci multiplicative hashing).
 ShardId ShardForPoint(PointId id, std::uint32_t num_shards);
+
+/// One shard's slice of a caller-owned point batch, as indices into the
+/// original span. Grouping by shard used to copy every PointRecord into
+/// per-shard request maps; index lists keep the points where they are and the
+/// codec encodes each shard's subset straight from the caller's memory.
+struct ShardGroup {
+  ShardId shard = 0;
+  std::vector<std::uint32_t> indices;
+};
+
+class ShardPlacement;
+
+/// Groups `points` by owning shard as index lists, ordered by shard id.
+/// No PointRecord is copied.
+std::vector<ShardGroup> GroupByShard(std::span<const PointRecord> points,
+                                     const ShardPlacement& placement);
+
+/// Same, restricted to `subset` (positions into `points`) — the multi-process
+/// client partitions points across clients this way. Returned indices are
+/// positions into `points`, not into `subset`.
+std::vector<ShardGroup> GroupByShard(std::span<const PointRecord> points,
+                                     std::span<const std::size_t> subset,
+                                     const ShardPlacement& placement);
 
 /// One shard relocation.
 struct ShardMove {

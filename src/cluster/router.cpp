@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
-#include <map>
 #include <thread>
 
 #include "obs/obs.hpp"
@@ -244,41 +243,37 @@ Result<Message> Router::ResilientEntryCall(
   return last_error;
 }
 
-Result<std::uint64_t> Router::UpsertBatch(const std::vector<PointRecord>& points) {
+Result<std::uint64_t> Router::UpsertBatch(std::span<const PointRecord> points) {
   VDB_SPAN("router.upsert");
   // Group points by shard (the CPU-side "batch conversion" work the paper
-  // profiles at 45.64 ms per 32-vector batch — here it is grouping + binary
-  // encoding).
-  std::map<ShardId, UpsertBatchRequest> by_shard;
+  // profiles at 45.64 ms per 32-vector batch — here it is index-list grouping
+  // + one encode pass per shard straight from the caller's memory; no
+  // PointRecord is copied on the way to the wire).
+  std::vector<ShardGroup> groups;
   {
     VDB_SPAN("router.upsert.convert");
-    for (const auto& point : points) {
-      const ShardId shard = placement_->ShardFor(point.id);
-      auto& request = by_shard[shard];
-      request.shard = shard;
-      request.points.push_back(point);
-    }
+    groups = GroupByShard(points, *placement_);
   }
 
   const ResiliencePolicy policy = GetResiliencePolicy();
   Stopwatch watch;
   Rng rng = CallRng(policy, call_seq_.fetch_add(1, std::memory_order_relaxed));
 
-  // One request per (shard, replica); primaries and replicas get the same
-  // data. First attempts go out in parallel; retries are driven as replies
-  // are collected.
+  // One request per (shard, replica); primaries and replicas share the same
+  // encoded message (a buffer refcount bump, not a byte copy). First attempts
+  // go out in parallel; retries are driven as replies are collected.
   struct ReplicaCall {
     std::string endpoint;
     Message request;
     std::size_t primary_count = 0;
   };
   std::vector<ReplicaCall> calls;
-  for (auto& [shard, request] : by_shard) {
-    const Message encoded = EncodeUpsertBatchRequest(request);
-    const auto& replicas = placement_->ReplicasOf(shard);
+  for (const ShardGroup& group : groups) {
+    const Message encoded = EncodeUpsertBatch(group.shard, points, group.indices);
+    const auto& replicas = placement_->ReplicasOf(group.shard);
     for (std::size_t r = 0; r < replicas.size(); ++r) {
       calls.push_back({WorkerEndpoint(replicas[r]), encoded,
-                       r == 0 ? request.points.size() : 0});
+                       r == 0 ? group.indices.size() : 0});
     }
   }
   std::vector<std::future<Message>> futures;
@@ -356,11 +351,12 @@ Result<std::vector<ScoredPoint>> Router::Search(VectorView query,
 Result<std::vector<ScoredPoint>> Router::SearchVia(WorkerId entry, VectorView query,
                                                    const SearchParams& params) {
   VDB_SPAN("router.search");
-  SearchRequest request;
-  request.query.assign(query.begin(), query.end());
-  request.params = params;
-  request.fan_out = true;
-  const Message reply = transport_.Call(WorkerEndpoint(entry), EncodeSearchRequest(request));
+  // The query is encoded straight from the caller's view — no intermediate
+  // SearchRequest copy.
+  const Message reply = transport_.Call(
+      WorkerEndpoint(entry),
+      EncodeSearch(query, params, /*fan_out=*/true, /*allow_partial=*/false,
+                   Filter{}, /*deadline_seconds=*/0.0));
   VDB_RETURN_IF_ERROR(MessageToStatus(reply));
   VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
   return std::move(response.hits);
@@ -369,13 +365,10 @@ Result<std::vector<ScoredPoint>> Router::SearchVia(WorkerId entry, VectorView qu
 Result<std::vector<ScoredPoint>> Router::SearchFiltered(VectorView query,
                                                         const SearchParams& params,
                                                         const Filter& filter) {
-  SearchRequest request;
-  request.query.assign(query.begin(), query.end());
-  request.params = params;
-  request.fan_out = true;
-  request.filter = filter;
-  const Message reply =
-      transport_.Call(WorkerEndpoint(NextEntry()), EncodeSearchRequest(request));
+  const Message reply = transport_.Call(
+      WorkerEndpoint(NextEntry()),
+      EncodeSearch(query, params, /*fan_out=*/true, /*allow_partial=*/false,
+                   filter, /*deadline_seconds=*/0.0));
   VDB_RETURN_IF_ERROR(MessageToStatus(reply));
   VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
   return std::move(response.hits);
@@ -384,12 +377,10 @@ Result<std::vector<ScoredPoint>> Router::SearchFiltered(VectorView query,
 Result<std::vector<std::vector<ScoredPoint>>> Router::SearchBatch(
     const std::vector<Vector>& queries, const SearchParams& params) {
   VDB_SPAN("router.search_batch");
-  SearchBatchRequest request;
-  request.queries = queries;
-  request.params = params;
-  request.fan_out = true;
-  const Message reply = transport_.Call(WorkerEndpoint(NextEntry()),
-                                        EncodeSearchBatchRequest(request));
+  const Message reply = transport_.Call(
+      WorkerEndpoint(NextEntry()),
+      EncodeSearchBatch(queries, params, /*fan_out=*/true,
+                        /*allow_partial=*/false, /*deadline_seconds=*/0.0));
   VDB_RETURN_IF_ERROR(MessageToStatus(reply));
   VDB_ASSIGN_OR_RETURN(SearchBatchResponse response, DecodeSearchBatchResponse(reply));
   return std::move(response.results);
@@ -397,13 +388,10 @@ Result<std::vector<std::vector<ScoredPoint>>> Router::SearchBatch(
 
 Result<Router::DegradedResult> Router::SearchDegraded(WorkerId entry, VectorView query,
                                                       const SearchParams& params) {
-  SearchRequest request;
-  request.query.assign(query.begin(), query.end());
-  request.params = params;
-  request.fan_out = true;
-  request.allow_partial = true;
-  const Message reply =
-      transport_.Call(WorkerEndpoint(entry), EncodeSearchRequest(request));
+  const Message reply = transport_.Call(
+      WorkerEndpoint(entry),
+      EncodeSearch(query, params, /*fan_out=*/true, /*allow_partial=*/true,
+                   Filter{}, /*deadline_seconds=*/0.0));
   VDB_RETURN_IF_ERROR(MessageToStatus(reply));
   VDB_ASSIGN_OR_RETURN(SearchResponse response, DecodeSearchResponse(reply));
   DegradedResult result;
@@ -416,17 +404,14 @@ Result<Router::DegradedResult> Router::SearchDegraded(WorkerId entry, VectorView
 Result<Router::SearchOutcome> Router::SearchResilient(VectorView query,
                                                       const SearchParams& params) {
   const ResiliencePolicy policy = GetResiliencePolicy();
-  SearchRequest base;
-  base.query.assign(query.begin(), query.end());
-  base.params = params;
-  base.fan_out = true;
-  base.allow_partial = policy.allow_degraded;
-  const auto make_request = [&base](WorkerId /*entry*/, double remaining_seconds) {
-    SearchRequest request = base;
+  const Filter no_filter;
+  const auto make_request = [&](WorkerId /*entry*/, double remaining_seconds) {
     // Leave the entry worker a sliver of the budget for the local search and
-    // the top-k reduce after fan-out returns.
-    request.deadline_seconds = remaining_seconds > 0.0 ? remaining_seconds * 0.9 : 0.0;
-    return EncodeSearchRequest(request);
+    // the top-k reduce after fan-out returns. Each attempt re-encodes from
+    // the caller's query view — no base-request copy.
+    return EncodeSearch(query, params, /*fan_out=*/true, policy.allow_degraded,
+                        no_filter,
+                        remaining_seconds > 0.0 ? remaining_seconds * 0.9 : 0.0);
   };
 
   CallMeta meta;
@@ -447,15 +432,10 @@ Result<Router::SearchOutcome> Router::SearchResilient(VectorView query,
 Result<Router::SearchBatchOutcome> Router::SearchBatchResilient(
     const std::vector<Vector>& queries, const SearchParams& params) {
   const ResiliencePolicy policy = GetResiliencePolicy();
-  SearchBatchRequest base;
-  base.queries = queries;
-  base.params = params;
-  base.fan_out = true;
-  base.allow_partial = policy.allow_degraded;
-  const auto make_request = [&base](WorkerId /*entry*/, double remaining_seconds) {
-    SearchBatchRequest request = base;
-    request.deadline_seconds = remaining_seconds > 0.0 ? remaining_seconds * 0.9 : 0.0;
-    return EncodeSearchBatchRequest(request);
+  const auto make_request = [&](WorkerId /*entry*/, double remaining_seconds) {
+    return EncodeSearchBatch(
+        queries, params, /*fan_out=*/true, policy.allow_degraded,
+        remaining_seconds > 0.0 ? remaining_seconds * 0.9 : 0.0);
   };
 
   CallMeta meta;

@@ -10,6 +10,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -67,9 +68,11 @@ class Router {
   /// Transport and placement must outlive the router.
   Router(InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement);
 
-  /// Groups `points` by owning shard and sends one UpsertBatch per replica of
-  /// each shard. Returns total points acknowledged by primaries.
-  Result<std::uint64_t> UpsertBatch(const std::vector<PointRecord>& points);
+  /// Groups `points` by owning shard (index lists — no PointRecord copies)
+  /// and sends one UpsertBatch per replica of each shard, encoding each
+  /// shard's subset straight from the caller's memory. Returns total points
+  /// acknowledged by primaries.
+  Result<std::uint64_t> UpsertBatch(std::span<const PointRecord> points);
 
   /// Deletes a point on every replica of its shard. All replicas are
   /// contacted (in parallel, with policy retries); if any replica fails the

@@ -6,6 +6,7 @@
 
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
+#include "common/trace.hpp"
 #include "obs/obs.hpp"
 
 namespace vdb {
@@ -44,10 +45,12 @@ Result<std::unique_ptr<Worker>> Worker::Start(
   VDB_RETURN_IF_ERROR(transport.RegisterEndpoint(
       worker->Endpoint(), [raw](const Message& request) { return raw->Handle(request); },
       config.service_threads));
-  // Peer-local searches get their own service threads (see WorkerLocalEndpoint).
+  // Peer-local searches get their own service threads (see WorkerLocalEndpoint)
+  // and force non-fan-out handling, so entry workers can forward their
+  // original search message to peers unmodified (refcount bump, no re-encode).
   VDB_RETURN_IF_ERROR(transport.RegisterEndpoint(
       WorkerLocalEndpoint(config.id),
-      [raw](const Message& request) { return raw->Handle(request); },
+      [raw](const Message& request) { return raw->Handle(request, /*force_local=*/true); },
       config.service_threads));
   return worker;
 }
@@ -126,7 +129,7 @@ WorkerCounters Worker::Counters() const {
   return counters_;
 }
 
-Message Worker::Handle(const Message& request) {
+Message Worker::Handle(const Message& request, bool force_local) {
   if (crashed_.load(std::memory_order_acquire)) {
     return EncodeErrorResponse(Status::Unavailable(
         "worker " + std::to_string(config_.id) + " crashed (injected)"));
@@ -155,8 +158,8 @@ Message Worker::Handle(const Message& request) {
   switch (request.type) {
     case MessageType::kUpsertBatchRequest: return HandleUpsert(request);
     case MessageType::kDeleteRequest: return HandleDelete(request);
-    case MessageType::kSearchRequest: return HandleSearch(request);
-    case MessageType::kSearchBatchRequest: return HandleSearchBatch(request);
+    case MessageType::kSearchRequest: return HandleSearch(request, force_local);
+    case MessageType::kSearchBatchRequest: return HandleSearchBatch(request, force_local);
     case MessageType::kBuildIndexRequest: return HandleBuildIndex(request);
     case MessageType::kInfoRequest: return HandleInfo(request);
     case MessageType::kCreateShardRequest: return HandleCreateShard(request);
@@ -168,21 +171,40 @@ Message Worker::Handle(const Message& request) {
   }
 }
 
+namespace {
+
+/// Adapts a decoded wire view to Collection's zero-copy upsert interface:
+/// vectors go straight from the message buffer into the store, payloads
+/// decode lazily per point.
+class ViewBatchSource final : public PointBatchSource {
+ public:
+  explicit ViewBatchSource(const PointBatchView& view) : view_(view) {}
+  std::size_t size() const override { return view_.size(); }
+  PointId id(std::size_t i) const override { return view_.id(i); }
+  VectorView vector(std::size_t i) const override { return view_.vector(i); }
+  Result<Payload> payload(std::size_t i) const override { return view_.payload(i); }
+
+ private:
+  const PointBatchView& view_;
+};
+
+}  // namespace
+
 Message Worker::HandleUpsert(const Message& request) {
   VDB_SPAN("worker.upsert");
-  auto decoded = DecodeUpsertBatchRequest(request);
-  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
-  auto shard = GetShard(decoded->shard);
+  auto view = DecodeUpsertBatchView(request);
+  if (!view.ok()) return EncodeErrorResponse(view.status());
+  auto shard = GetShard(view->shard());
   if (!shard.ok()) return EncodeErrorResponse(shard.status());
-  const Status status = (*shard)->UpsertBatch(decoded->points);
+  const Status status = (*shard)->UpsertBatch(ViewBatchSource(*view));
   if (!status.ok()) return EncodeErrorResponse(status);
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.upsert_batches;
-    counters_.points_upserted += decoded->points.size();
+    counters_.points_upserted += view->size();
   }
   return EncodeUpsertBatchResponse(
-      UpsertBatchResponse{static_cast<std::uint32_t>(decoded->points.size())});
+      UpsertBatchResponse{static_cast<std::uint32_t>(view->size())});
 }
 
 Message Worker::HandleDelete(const Message& request) {
@@ -197,7 +219,9 @@ Message Worker::HandleDelete(const Message& request) {
   return EncodeDeleteResponse(DeleteResponse{status.ok()});
 }
 
-Result<SearchResponse> Worker::SearchLocal(const SearchRequest& request) const {
+Result<SearchResponse> Worker::SearchLocal(VectorView query,
+                                           const SearchParams& params,
+                                           const Filter& filter) const {
   VDB_SPAN("worker.search_local");
   std::vector<std::vector<ScoredPoint>> partials;
   std::uint32_t searched = 0;
@@ -207,17 +231,16 @@ Result<SearchResponse> Worker::SearchLocal(const SearchRequest& request) const {
     for (const auto& [shard, collection] : shards_) {
       // Predicated queries prefilter by payload equality per shard (the
       // prefiltering strategy of the paper's footnote 4).
-      auto hits = request.filter.Active()
-                      ? collection->SearchFiltered(request.query, request.params,
-                                                   request.filter)
-                      : collection->Search(request.query, request.params);
+      auto hits = filter.Active()
+                      ? collection->SearchFiltered(query, params, filter)
+                      : collection->Search(query, params);
       VDB_RETURN_IF_ERROR(hits.status());
       partials.push_back(std::move(*hits));
       ++searched;
     }
   }
   SearchResponse response;
-  response.hits = MergeTopK(partials, request.params.k);
+  response.hits = MergeTopK(partials, params.k);
   response.shards_searched = searched;
   return response;
 }
@@ -241,24 +264,26 @@ bool AwaitPeer(std::future<Message>& future, double deadline_seconds,
 
 }  // namespace
 
-Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
+Result<SearchResponse> Worker::SearchFanOut(const Message& request,
+                                            const SearchRequestView& view) {
   VDB_SPAN("worker.fanout");
-  // Broadcast to every peer worker; each runs a local (non-fan-out) search.
+  // Broadcast to every peer worker. The *original* message is forwarded
+  // unmodified — a buffer refcount bump per peer, no re-encode. Each peer
+  // receives it on its local endpoint, which forces non-fan-out handling
+  // (and local searches ignore the deadline field; the entry worker owns
+  // the budget).
   Stopwatch watch;
-  SearchRequest peer_request = request;
-  peer_request.fan_out = false;
-  peer_request.deadline_seconds = 0.0;  // the entry worker owns the budget
-  const Message peer_message = EncodeSearchRequest(peer_request);
 
   std::vector<std::future<Message>> futures;
   for (WorkerId peer = 0; peer < placement_->NumWorkers(); ++peer) {
     if (peer == config_.id) continue;
-    futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), peer_message));
+    futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), request));
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.peer_calls;
   }
 
-  VDB_ASSIGN_OR_RETURN(SearchResponse local, SearchLocal(request));
+  VDB_ASSIGN_OR_RETURN(SearchResponse local,
+                       SearchLocal(view.query(), view.params(), view.filter()));
   std::vector<std::vector<ScoredPoint>> partials;
   partials.push_back(std::move(local.hits));
   std::uint32_t searched = local.shards_searched;
@@ -267,13 +292,13 @@ Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
   for (auto& future : futures) {
     // A peer that misses the fan-out budget counts as failed: the response
     // (if it ever lands) is abandoned rather than awaited.
-    if (!AwaitPeer(future, request.deadline_seconds, watch)) {
-      if (request.allow_partial) {
+    if (!AwaitPeer(future, view.deadline_seconds(), watch)) {
+      if (view.allow_partial()) {
         ++peers_failed;
         continue;
       }
       return Status::DeadlineExceeded("peer fan-out exceeded " +
-                                      std::to_string(request.deadline_seconds) +
+                                      std::to_string(view.deadline_seconds()) +
                                       "s budget");
     }
     const Message reply = future.get();
@@ -282,7 +307,7 @@ Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
       // Availability-over-completeness: with allow_partial the entry worker
       // degrades gracefully when a peer is unreachable instead of failing
       // the whole query.
-      if (request.allow_partial) {
+      if (view.allow_partial()) {
         ++peers_failed;
         continue;
       }
@@ -296,22 +321,24 @@ Result<SearchResponse> Worker::SearchFanOut(const SearchRequest& request) {
   SearchResponse response;
   {
     VDB_SPAN("worker.fanout.merge");
-    response.hits = MergeTopK(partials, request.params.k);
+    response.hits = MergeTopK(partials, view.params().k);
   }
   response.shards_searched = searched;
   response.peers_failed = peers_failed;
   return response;
 }
 
-Message Worker::HandleSearch(const Message& request) {
-  auto decoded = DecodeSearchRequest(request);
-  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
-  Result<SearchResponse> response = decoded->fan_out ? SearchFanOut(*decoded)
-                                                     : SearchLocal(*decoded);
+Message Worker::HandleSearch(const Message& request, bool force_local) {
+  auto view = DecodeSearchRequestView(request);
+  if (!view.ok()) return EncodeErrorResponse(view.status());
+  const bool fan_out = view->fan_out() && !force_local;
+  Result<SearchResponse> response =
+      fan_out ? SearchFanOut(request, *view)
+              : SearchLocal(view->query(), view->params(), view->filter());
   if (!response.ok()) return EncodeErrorResponse(response.status());
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
-    if (decoded->fan_out) {
+    if (fan_out) {
       ++counters_.searches_fanned_out;
     } else {
       ++counters_.searches_local;
@@ -320,68 +347,100 @@ Message Worker::HandleSearch(const Message& request) {
   return EncodeSearchResponse(*response);
 }
 
+ThreadPool& Worker::SearchPool() const {
+  std::call_once(search_pool_once_, [this] {
+    std::size_t threads = config_.search_threads;
+    if (threads == 0) {
+      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    }
+    search_pool_ = std::make_unique<ThreadPool>(threads);
+  });
+  return *search_pool_;
+}
+
 Result<SearchBatchResponse> Worker::SearchBatchLocal(
-    const SearchBatchRequest& request) const {
+    const SearchBatchRequestView& view) const {
+  const std::size_t count = view.size();
   SearchBatchResponse response;
-  response.results.reserve(request.queries.size());
-  SearchRequest single;
-  single.params = request.params;
-  single.fan_out = false;
-  for (const auto& query : request.queries) {
-    single.query = query;
-    VDB_ASSIGN_OR_RETURN(SearchResponse partial, SearchLocal(single));
-    response.results.push_back(std::move(partial.hits));
+  response.results.resize(count);
+  const Filter no_filter;
+
+  if (count < 2) {
+    for (std::size_t q = 0; q < count; ++q) {
+      VDB_SPAN("worker.search_batch");
+      VDB_ASSIGN_OR_RETURN(SearchResponse partial,
+                           SearchLocal(view.query(q), view.params(), no_filter));
+      response.results[q] = std::move(partial.hits);
+    }
+    return response;
+  }
+
+  // Intra-batch parallelism: queries are independent shared-lock readers, so
+  // they fan across the pool. The caller's trace id is re-installed on each
+  // pool thread so per-query spans stay attributable to the originating call.
+  std::vector<Status> statuses(count, Status::Ok());
+  const std::uint64_t trace_id = obs::CurrentTraceId();
+  SearchPool().ParallelFor(0, count, [&](std::size_t q) {
+    obs::TraceScope trace(trace_id);
+    VDB_SPAN("worker.search_batch");
+    auto partial = SearchLocal(view.query(q), view.params(), no_filter);
+    if (partial.ok()) {
+      response.results[q] = std::move(partial->hits);
+    } else {
+      statuses[q] = partial.status();
+    }
+  });
+  for (const Status& status : statuses) {
+    VDB_RETURN_IF_ERROR(status);
   }
   return response;
 }
 
-Result<SearchBatchResponse> Worker::SearchBatchFanOut(const SearchBatchRequest& request) {
+Result<SearchBatchResponse> Worker::SearchBatchFanOut(
+    const Message& request, const SearchBatchRequestView& view) {
   VDB_SPAN("worker.fanout_batch");
   // One broadcast per batch (not per query): the batching amortization the
-  // paper measures in fig. 4.
+  // paper measures in fig. 4. As in SearchFanOut, peers get the original
+  // message on their local endpoint — no re-encode.
   Stopwatch watch;
-  SearchBatchRequest peer_request = request;
-  peer_request.fan_out = false;
-  peer_request.deadline_seconds = 0.0;  // the entry worker owns the budget
-  const Message peer_message = EncodeSearchBatchRequest(peer_request);
 
   std::vector<std::future<Message>> futures;
   for (WorkerId peer = 0; peer < placement_->NumWorkers(); ++peer) {
     if (peer == config_.id) continue;
-    futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), peer_message));
+    futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), request));
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.peer_calls;
   }
 
-  VDB_ASSIGN_OR_RETURN(SearchBatchResponse local, SearchBatchLocal(request));
+  VDB_ASSIGN_OR_RETURN(SearchBatchResponse local, SearchBatchLocal(view));
 
   // partials[q] collects per-worker hit lists for query q.
-  std::vector<std::vector<std::vector<ScoredPoint>>> partials(request.queries.size());
+  std::vector<std::vector<std::vector<ScoredPoint>>> partials(view.size());
   for (std::size_t q = 0; q < local.results.size(); ++q) {
     partials[q].push_back(std::move(local.results[q]));
   }
   std::uint32_t peers_failed = 0;
   for (auto& future : futures) {
-    if (!AwaitPeer(future, request.deadline_seconds, watch)) {
-      if (request.allow_partial) {
+    if (!AwaitPeer(future, view.deadline_seconds(), watch)) {
+      if (view.allow_partial()) {
         ++peers_failed;
         continue;
       }
       return Status::DeadlineExceeded("peer fan-out exceeded " +
-                                      std::to_string(request.deadline_seconds) +
+                                      std::to_string(view.deadline_seconds()) +
                                       "s budget");
     }
     const Message reply = future.get();
     const Status status = MessageToStatus(reply);
     if (!status.ok()) {
-      if (request.allow_partial) {
+      if (view.allow_partial()) {
         ++peers_failed;
         continue;
       }
       return status;
     }
     VDB_ASSIGN_OR_RETURN(SearchBatchResponse partial, DecodeSearchBatchResponse(reply));
-    if (partial.results.size() != request.queries.size()) {
+    if (partial.results.size() != view.size()) {
       return Status::Internal("peer returned mismatched batch size");
     }
     for (std::size_t q = 0; q < partial.results.size(); ++q) {
@@ -391,25 +450,26 @@ Result<SearchBatchResponse> Worker::SearchBatchFanOut(const SearchBatchRequest& 
 
   SearchBatchResponse response;
   response.peers_failed = peers_failed;
-  response.results.reserve(request.queries.size());
+  response.results.reserve(view.size());
   {
     VDB_SPAN("worker.fanout.merge");
     for (auto& per_query : partials) {
-      response.results.push_back(MergeTopK(per_query, request.params.k));
+      response.results.push_back(MergeTopK(per_query, view.params().k));
     }
   }
   return response;
 }
 
-Message Worker::HandleSearchBatch(const Message& request) {
-  auto decoded = DecodeSearchBatchRequest(request);
-  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+Message Worker::HandleSearchBatch(const Message& request, bool force_local) {
+  auto view = DecodeSearchBatchRequestView(request);
+  if (!view.ok()) return EncodeErrorResponse(view.status());
+  const bool fan_out = view->fan_out() && !force_local;
   Result<SearchBatchResponse> response =
-      decoded->fan_out ? SearchBatchFanOut(*decoded) : SearchBatchLocal(*decoded);
+      fan_out ? SearchBatchFanOut(request, *view) : SearchBatchLocal(*view);
   if (!response.ok()) return EncodeErrorResponse(response.status());
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
-    if (decoded->fan_out) {
+    if (fan_out) {
       ++counters_.searches_fanned_out;
     } else {
       ++counters_.searches_local;
@@ -457,16 +517,15 @@ Message Worker::HandleCreateShard(const Message& request) {
 }
 
 Message Worker::HandleTransferShard(const Message& request) {
-  auto decoded = DecodeTransferShardRequest(request);
-  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
-  const Status ensure = EnsureShard(decoded->shard);
+  auto view = DecodeTransferShardView(request);
+  if (!view.ok()) return EncodeErrorResponse(view.status());
+  const Status ensure = EnsureShard(view->shard());
   if (!ensure.ok()) return EncodeErrorResponse(ensure);
-  auto shard = GetShard(decoded->shard);
+  auto shard = GetShard(view->shard());
   if (!shard.ok()) return EncodeErrorResponse(shard.status());
-  const Status status = (*shard)->UpsertBatch(decoded->points);
+  const Status status = (*shard)->UpsertBatch(ViewBatchSource(*view));
   if (!status.ok()) return EncodeErrorResponse(status);
-  return EncodeTransferShardResponse(
-      TransferShardResponse{decoded->points.size()});
+  return EncodeTransferShardResponse(TransferShardResponse{view->size()});
 }
 
 }  // namespace vdb

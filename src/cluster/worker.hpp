@@ -11,12 +11,14 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/placement.hpp"
 #include "collection/collection.hpp"
+#include "common/thread_pool.hpp"
 #include "rpc/transport.hpp"
 
 namespace vdb {
@@ -36,6 +38,10 @@ struct WorkerConfig {
   CollectionConfig collection_template;
   /// RPC service threads for this worker.
   std::size_t service_threads = 2;
+  /// Threads for intra-batch query parallelism in SearchBatchLocal
+  /// (0 = hardware concurrency). The pool is created lazily on the first
+  /// multi-query batch.
+  std::size_t search_threads = 0;
   /// Optional fault plan consulted at site "worker/<id>/handle" on every RPC
   /// (kCrash latches the worker dead until restarted; kFail/kDrop reject the
   /// call; kDelay stalls the handler — a contention-induced straggler).
@@ -69,8 +75,13 @@ class Worker {
   /// Creates local collections for every shard this worker owns.
   Status ProvisionOwnedShards();
 
-  /// RPC dispatch (also callable directly in tests).
-  Message Handle(const Message& request);
+  /// RPC dispatch (also callable directly in tests). `force_local` is set by
+  /// the peer-local endpoint: the entry worker forwards its *original* search
+  /// message to peers unmodified (a buffer refcount bump instead of a
+  /// re-encode), and the receiving endpoint — not a message field — decides
+  /// that the search must not fan out again.
+  Message Handle(const Message& request) { return Handle(request, false); }
+  Message Handle(const Message& request, bool force_local);
 
   /// Updates the placement (rebalance). Existing shard collections are kept;
   /// newly owned shards are provisioned empty, awaiting transfer.
@@ -103,23 +114,33 @@ class Worker {
 
   Message HandleUpsert(const Message& request);
   Message HandleDelete(const Message& request);
-  Message HandleSearch(const Message& request);
-  Message HandleSearchBatch(const Message& request);
+  Message HandleSearch(const Message& request, bool force_local);
+  Message HandleSearchBatch(const Message& request, bool force_local);
   Message HandleBuildIndex(const Message& request);
   Message HandleInfo(const Message& request);
   Message HandleCreateShard(const Message& request);
   Message HandleTransferShard(const Message& request);
 
-  /// Searches all local shards, merging per-shard top-k.
-  Result<SearchResponse> SearchLocal(const SearchRequest& request) const;
+  /// Searches all local shards, merging per-shard top-k. `query` may point
+  /// into a decoded message body (zero-copy).
+  Result<SearchResponse> SearchLocal(VectorView query, const SearchParams& params,
+                                     const Filter& filter) const;
 
-  /// Entry-worker path: fan out to peers, search locally, reduce.
-  Result<SearchResponse> SearchFanOut(const SearchRequest& request);
+  /// Entry-worker path: fan out to peers (forwarding `request` unmodified —
+  /// peers receive it on their local endpoint, which forces non-fan-out
+  /// handling), search locally, reduce.
+  Result<SearchResponse> SearchFanOut(const Message& request,
+                                      const SearchRequestView& view);
 
   /// Batched variants: one RPC carries many queries (the paper's query
-  /// batch); the whole batch is broadcast to each peer once.
-  Result<SearchBatchResponse> SearchBatchLocal(const SearchBatchRequest& request) const;
-  Result<SearchBatchResponse> SearchBatchFanOut(const SearchBatchRequest& request);
+  /// batch); the whole batch is broadcast to each peer once. Local execution
+  /// parallelizes across queries on the search pool.
+  Result<SearchBatchResponse> SearchBatchLocal(const SearchBatchRequestView& view) const;
+  Result<SearchBatchResponse> SearchBatchFanOut(const Message& request,
+                                                const SearchBatchRequestView& view);
+
+  /// Lazily-created pool shared by every batched search on this worker.
+  ThreadPool& SearchPool() const;
 
   Result<Collection*> GetShard(ShardId shard);
   Status EnsureShard(ShardId shard);
@@ -133,6 +154,9 @@ class Worker {
 
   mutable std::mutex counters_mutex_;
   WorkerCounters counters_;
+
+  mutable std::once_flag search_pool_once_;
+  mutable std::unique_ptr<ThreadPool> search_pool_;
 
   mutable std::mutex fault_mutex_;
   std::shared_ptr<faults::FaultPlan> fault_plan_;

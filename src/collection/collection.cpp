@@ -167,6 +167,20 @@ Status Collection::UpsertBatch(const std::vector<PointRecord>& points) {
   return Status::Ok();
 }
 
+Status Collection::UpsertBatch(const PointBatchSource& points) {
+  const std::size_t count = points.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (points.vector(i).size() != config_.dim) {
+      return Status::InvalidArgument("batch contains wrong-dim vector");
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    VDB_ASSIGN_OR_RETURN(Payload payload, points.payload(i));
+    VDB_RETURN_IF_ERROR(Upsert(points.id(i), points.vector(i), std::move(payload)));
+  }
+  return Status::Ok();
+}
+
 Status Collection::Delete(PointId id) {
   std::unique_lock lock(mutex_);
   return DeleteLocked(id, /*log_wal=*/true);

@@ -56,6 +56,20 @@ struct CollectionInfo {
   bool index_ready = false;
 };
 
+/// Abstract point source for zero-copy batch upserts. The RPC layer feeds
+/// decoded wire views through this interface, so each vector travels straight
+/// from the message buffer into the store (a single memcpy) without ever
+/// materializing a PointRecord. Accessors may be called more than once per
+/// index and must stay valid for the duration of the UpsertBatch call.
+class PointBatchSource {
+ public:
+  virtual ~PointBatchSource() = default;
+  virtual std::size_t size() const = 0;
+  virtual PointId id(std::size_t i) const = 0;
+  virtual VectorView vector(std::size_t i) const = 0;
+  virtual Result<Payload> payload(std::size_t i) const = 0;
+};
+
 /// Thread-safe (readers-writer) collection.
 class Collection {
  public:
@@ -76,6 +90,11 @@ class Collection {
   /// size sweep, fig. 2). All-or-nothing on argument validation, point-wise
   /// afterwards.
   Status UpsertBatch(const std::vector<PointRecord>& points);
+
+  /// Zero-copy variant: upserts every point supplied by `points` with the
+  /// same all-or-nothing dim validation, reading vectors directly from the
+  /// source's buffers (the worker's decoded-view upsert path).
+  Status UpsertBatch(const PointBatchSource& points);
 
   /// Tombstones a point.
   Status Delete(PointId id);

@@ -1,0 +1,198 @@
+#include "rpc/buffer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+#include "obs/obs.hpp"
+
+namespace vdb::rpc {
+namespace {
+
+// Smallest pooled class: one 4 KiB page. Requests above the largest class
+// (64 MiB) are served heap-direct and never retained.
+constexpr std::size_t kMinClassBytes = std::size_t{4} << 10;
+constexpr std::size_t kMaxClassBytes = std::size_t{64} << 20;
+constexpr std::size_t kNumClasses = 15;  // 4 KiB << 14 == 64 MiB
+
+std::size_t ClassIndex(std::size_t size) {
+  std::size_t cls = 0;
+  std::size_t cap = kMinClassBytes;
+  while (cap < size) {
+    cap <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+std::size_t ClassBytes(std::size_t cls) { return kMinClassBytes << cls; }
+
+}  // namespace
+
+namespace detail {
+
+Slab::Slab(std::size_t cap) : capacity(cap) {
+  data = static_cast<std::uint8_t*>(
+      ::operator new(cap, std::align_val_t{kBufferAlignment}));
+}
+
+Slab::~Slab() {
+  ::operator delete(data, std::align_val_t{kBufferAlignment});
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+struct BufferPool::State {
+  mutable std::mutex mutex;
+  std::vector<std::vector<std::unique_ptr<detail::Slab>>> free_lists{kNumClasses};
+  std::size_t max_retained_bytes = 0;
+  std::size_t retained_bytes = 0;
+  Stats stats;
+};
+
+BufferPool::BufferPool(std::size_t max_retained_bytes)
+    : state_(std::make_shared<State>()) {
+  state_->max_retained_bytes = max_retained_bytes;
+}
+
+BufferPool::~BufferPool() = default;
+
+BufferPool& BufferPool::Global() {
+  // Leaked intentionally: codec encodes may race process teardown, and an
+  // outstanding Buffer's deleter only holds the State via weak_ptr anyway.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+Buffer BufferPool::Allocate(std::size_t size) {
+  if (size == 0) return Buffer{};
+
+  std::unique_ptr<detail::Slab> slab;
+  const bool pooled = size <= kMaxClassBytes;
+  if (pooled) {
+    const std::size_t cls = ClassIndex(size);
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      ++state_->stats.allocations;
+      auto& list = state_->free_lists[cls];
+      if (!list.empty()) {
+        slab = std::move(list.back());
+        list.pop_back();
+        state_->retained_bytes -= slab->capacity;
+        ++state_->stats.hits;
+      } else {
+        ++state_->stats.misses;
+      }
+    }
+    if (slab) {
+      VDB_COUNTER_ADD("rpc.pool.hit", 1);
+    } else {
+      VDB_COUNTER_ADD("rpc.pool.miss", 1);
+      slab = std::make_unique<detail::Slab>(ClassBytes(cls));
+    }
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      ++state_->stats.allocations;
+      ++state_->stats.misses;
+    }
+    VDB_COUNTER_ADD("rpc.pool.miss", 1);
+    slab = std::make_unique<detail::Slab>(size);
+  }
+
+  // The deleter routes the slab back through the pool if (a) the slab is a
+  // pooled size class and (b) the pool state is still alive. A weak_ptr
+  // keeps buffers that outlive the pool safe: they just free to the heap.
+  std::weak_ptr<State> weak_state =
+      pooled ? std::weak_ptr<State>(state_) : std::weak_ptr<State>{};
+  auto shared = std::shared_ptr<detail::Slab>(
+      slab.release(), [weak_state](detail::Slab* s) {
+        std::unique_ptr<detail::Slab> owned(s);
+        if (auto state = weak_state.lock()) {
+          std::lock_guard<std::mutex> lock(state->mutex);
+          if (state->retained_bytes + owned->capacity <=
+              state->max_retained_bytes) {
+            state->retained_bytes += owned->capacity;
+            ++state->stats.recycled;
+            state->free_lists[ClassIndex(owned->capacity)].push_back(
+                std::move(owned));
+            return;
+          }
+          ++state->stats.dropped;
+        }
+        // falls through: unique_ptr frees the slab
+      });
+  return Buffer(std::move(shared), size);
+}
+
+BufferPool::Stats BufferPool::GetStats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  Stats out = state_->stats;
+  out.retained_bytes = state_->retained_bytes;
+  std::uint64_t slabs = 0;
+  for (const auto& list : state_->free_lists) slabs += list.size();
+  out.retained_slabs = slabs;
+  return out;
+}
+
+void BufferPool::Trim() {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  for (auto& list : state_->free_lists) list.clear();
+  state_->retained_bytes = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Buffer
+
+Buffer::Buffer(std::initializer_list<std::uint8_t> bytes) {
+  *this = Allocate(bytes.size());
+  if (bytes.size() > 0) {
+    std::copy(bytes.begin(), bytes.end(), MutableData());
+  }
+}
+
+Buffer Buffer::Allocate(std::size_t size) {
+  Buffer b = BufferPool::Global().Allocate(size);
+  if (b.slab_ != nullptr && b.size_ > 0) {
+    VDB_COUNTER_ADD("rpc.pool.lease_bytes", static_cast<std::int64_t>(b.size_));
+  }
+  return b;
+}
+
+Buffer Buffer::CopyOf(const void* data, std::size_t size) {
+  Buffer b = Allocate(size);
+  if (size > 0 && b.MutableData() != nullptr) {
+    std::memcpy(b.MutableData(), data, size);
+  }
+  return b;
+}
+
+void Buffer::resize(std::size_t n) {
+  if (n <= size_) {  // shrink: view-only, shared slab bytes untouched
+    size_ = n;
+    return;
+  }
+  if (n <= capacity() && slab_.use_count() == 1) {
+    // grow in place on a uniquely-owned slab; expose zeroed bytes, not stale
+    // recycled content
+    std::memset(slab_->data + size_, 0, n - size_);
+    size_ = n;
+    return;
+  }
+  Buffer grown = Allocate(n);
+  if (size_ > 0) std::memcpy(grown.MutableData(), data(), size_);
+  std::memset(grown.MutableData() + size_, 0, n - size_);
+  *this = std::move(grown);
+}
+
+bool operator==(const Buffer& a, const Buffer& b) {
+  if (a.size_ != b.size_) return false;
+  if (a.size_ == 0) return true;
+  if (a.slab_ == b.slab_) return true;
+  return std::memcmp(a.data(), b.data(), a.size_) == 0;
+}
+
+}  // namespace vdb::rpc

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file buffer.hpp
+/// Pooled, refcounted message buffers — the allocation substrate of the
+/// zero-copy data plane. A `Buffer` is a view (pointer + size) over a
+/// refcounted 64-byte-aligned slab leased from a `BufferPool`; copying a
+/// Buffer bumps a refcount instead of cloning bytes, and the slab returns to
+/// the pool's size-class free list when the last reference drops. This is
+/// what makes `Message` copies (replica fan-out, retries, hedges, peer
+/// broadcasts) O(1) and keeps allocator traffic off the batch-conversion hot
+/// path the paper profiles (section 3.2: client-side serialization dominates
+/// insert latency).
+///
+/// Lifetime contract: the bytes of a Buffer are written once, while the
+/// buffer is uniquely owned (via MutableData(), during encode), and are
+/// immutable afterwards. Decoded views (`VectorView`s into a message body)
+/// are valid exactly as long as some Buffer referencing the slab is alive —
+/// a view must not outlive the Message it was decoded from.
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace vdb::rpc {
+
+/// Slab alignment: one cache line, so vector regions laid out at aligned
+/// offsets decode to 64-byte-aligned VectorViews (friendly to the AVX
+/// kernels that may score straight out of a message body).
+inline constexpr std::size_t kBufferAlignment = 64;
+
+class BufferPool;
+
+namespace detail {
+
+/// One aligned allocation, recycled through the owning pool's free lists.
+struct Slab {
+  explicit Slab(std::size_t cap);
+  ~Slab();
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  std::uint8_t* data = nullptr;
+  std::size_t capacity = 0;
+};
+
+}  // namespace detail
+
+/// Refcounted view over a pooled slab. Cheap to copy/move; thread-safe in
+/// the shared_ptr sense (distinct Buffers referencing one slab may be used
+/// from different threads; the bytes themselves are immutable after encode).
+class Buffer {
+ public:
+  Buffer() = default;
+  /// Convenience for tests/literals: an owned copy of `bytes`.
+  Buffer(std::initializer_list<std::uint8_t> bytes);
+
+  /// Leases a buffer of `size` bytes from the process-wide pool. Contents
+  /// are uninitialized (encoders overwrite every byte; pads are zeroed
+  /// explicitly).
+  static Buffer Allocate(std::size_t size);
+
+  /// An owned copy of `[data, data + size)`.
+  static Buffer CopyOf(const void* data, std::size_t size);
+
+  const std::uint8_t* data() const { return slab_ ? slab_->data : nullptr; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slab_ ? slab_->capacity : 0; }
+
+  /// Write access for the encode phase. Call only while this Buffer is the
+  /// sole reference to its slab — writing through a shared slab would be
+  /// visible to every other Message referencing it.
+  std::uint8_t* MutableData() { return slab_ ? slab_->data : nullptr; }
+
+  /// Shrinking adjusts the view (shared bytes untouched, so truncating a
+  /// copy never corrupts the original — chaos tests rely on this). Growing
+  /// detaches into a fresh slab, preserving contents and zero-filling the
+  /// tail.
+  void resize(std::size_t n);
+
+  /// True when both buffers reference the same slab (tests for the
+  /// refcount-instead-of-copy property).
+  bool SharesSlabWith(const Buffer& other) const {
+    return slab_ != nullptr && slab_ == other.slab_;
+  }
+
+  /// Content equality.
+  friend bool operator==(const Buffer& a, const Buffer& b);
+  friend bool operator!=(const Buffer& a, const Buffer& b) { return !(a == b); }
+
+ private:
+  friend class BufferPool;
+  Buffer(std::shared_ptr<detail::Slab> slab, std::size_t size)
+      : slab_(std::move(slab)), size_(size) {}
+
+  std::shared_ptr<detail::Slab> slab_;
+  std::size_t size_ = 0;
+};
+
+/// Size-class slab pool. Allocations round up to the next power-of-two class
+/// (min 4 KiB); released slabs are retained (up to `max_retained_bytes`) and
+/// handed back on the next allocation of the same class. Oversized requests
+/// (> 64 MiB) bypass the pool entirely.
+class BufferPool {
+ public:
+  /// Process-wide pool used by Buffer::Allocate (and thus every codec
+  /// encode). Never destroyed before outstanding buffers: slabs hold the
+  /// pool state via shared_ptr and free themselves if the pool is gone.
+  static BufferPool& Global();
+
+  explicit BufferPool(std::size_t max_retained_bytes = std::size_t{64} << 20);
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  Buffer Allocate(std::size_t size);
+
+  struct Stats {
+    std::uint64_t allocations = 0;  ///< total Allocate() calls
+    std::uint64_t hits = 0;         ///< served from a free list
+    std::uint64_t misses = 0;       ///< required a fresh slab
+    std::uint64_t recycled = 0;     ///< slabs returned to a free list
+    std::uint64_t dropped = 0;      ///< slabs freed (retention bound hit)
+    std::uint64_t retained_bytes = 0;
+    std::uint64_t retained_slabs = 0;
+  };
+  Stats GetStats() const;
+
+  /// Frees every retained slab (outstanding buffers are unaffected).
+  void Trim();
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace vdb::rpc

@@ -1,53 +1,113 @@
 #include "rpc/codec.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "obs/obs.hpp"
 
 namespace vdb {
 namespace {
 
-/// Append-only little-endian writer.
-class Writer {
- public:
-  explicit Writer(std::vector<std::uint8_t>& out) : out_(out) {}
+// All multi-byte fields are little-endian (we target LE hosts; floats were
+// always memcpy'd raw, so the format was never BE-portable).
 
-  void U8(std::uint8_t v) { out_.push_back(v); }
+constexpr std::size_t kVecAlignScalars =
+    rpc::kBufferAlignment / sizeof(Scalar);  // 16 scalars == 64 bytes
+
+std::size_t AlignUp(std::size_t n, std::size_t align) {
+  return (n + align - 1) / align * align;
+}
+
+// ---- Raw little-endian primitives over a presized buffer ------------------
+
+void StoreU32(std::uint8_t* p, std::uint32_t v) { std::memcpy(p, &v, 4); }
+void StoreU64(std::uint8_t* p, std::uint64_t v) { std::memcpy(p, &v, 8); }
+void StoreF64(std::uint8_t* p, double v) { std::memcpy(p, &v, 8); }
+
+std::uint32_t LoadU32(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+std::uint64_t LoadU64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+double LoadF64(const std::uint8_t* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Sequential writer over an exact-size pooled buffer. Encoders compute the
+/// body size up front, so there is no growth path; PadTo zero-fills
+/// alignment gaps (pooled slabs are recycled and carry stale bytes).
+class BodyWriter {
+ public:
+  explicit BodyWriter(Message& msg) : data_(msg.body.MutableData()) {}
+
+  void U8(std::uint8_t v) { data_[pos_++] = v; }
   void U32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    StoreU32(data_ + pos_, v);
+    pos_ += 4;
   }
   void U64(std::uint64_t v) {
-    U32(static_cast<std::uint32_t>(v));
-    U32(static_cast<std::uint32_t>(v >> 32));
+    StoreU64(data_ + pos_, v);
+    pos_ += 8;
   }
   void F32(float v) {
-    std::uint32_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U32(bits);
+    std::memcpy(data_ + pos_, &v, 4);
+    pos_ += 4;
   }
   void F64(double v) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    U64(bits);
+    StoreF64(data_ + pos_, v);
+    pos_ += 8;
   }
   void Str(const std::string& s) {
     U32(static_cast<std::uint32_t>(s.size()));
-    out_.insert(out_.end(), s.begin(), s.end());
+    Bytes(s.data(), s.size());
   }
-  void FloatArray(VectorView v) {
-    U32(static_cast<std::uint32_t>(v.size()));
-    const std::size_t base = out_.size();
-    out_.resize(base + v.size() * sizeof(Scalar));
-    std::memcpy(out_.data() + base, v.data(), v.size() * sizeof(Scalar));
+  void Bytes(const void* src, std::size_t n) {
+    if (n > 0) std::memcpy(data_ + pos_, src, n);
+    pos_ += n;
   }
-  void Blob(const std::vector<std::uint8_t>& bytes) {
-    U32(static_cast<std::uint32_t>(bytes.size()));
-    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  void Scalars(const Scalar* src, std::size_t n) {
+    Bytes(src, n * sizeof(Scalar));
   }
+  /// Zero-fills up to byte offset `off` (must be >= current position).
+  void PadTo(std::size_t off) {
+    if (off > pos_) std::memset(data_ + pos_, 0, off - pos_);
+    pos_ = off;
+  }
+  /// Skips over `n` bytes written out-of-band at the current position.
+  void Advance(std::size_t n) { pos_ += n; }
+  std::size_t pos() const { return pos_; }
 
  private:
-  std::vector<std::uint8_t>& out_;
+  std::uint8_t* data_;
+  std::size_t pos_ = 0;
 };
 
-/// Bounds-checked little-endian reader.
+Message NewMessage(MessageType type, std::size_t body_size) {
+  Message msg;
+  msg.type = type;
+  msg.body = rpc::Buffer::Allocate(body_size);
+  return msg;
+}
+
+void NoteEncoded(const Message& msg) {
+  VDB_COUNTER_ADD("rpc.bytes_encoded", msg.body.size());
+  (void)msg;
+}
+
+void NoteDecoded(const Message& msg) {
+  VDB_COUNTER_ADD("rpc.bytes_decoded", msg.body.size());
+  (void)msg;
+}
+
+// ---- Bounds-checked little-endian reader (eager decode paths) -------------
+
 class Reader {
  public:
   Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
@@ -58,25 +118,27 @@ class Reader {
   }
   Result<std::uint32_t> U32() {
     if (pos_ + 4 > size_) return Truncated();
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    const std::uint32_t v = LoadU32(data_ + pos_);
+    pos_ += 4;
     return v;
   }
   Result<std::uint64_t> U64() {
-    VDB_ASSIGN_OR_RETURN(const std::uint32_t lo, U32());
-    VDB_ASSIGN_OR_RETURN(const std::uint32_t hi, U32());
-    return static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+    if (pos_ + 8 > size_) return Truncated();
+    const std::uint64_t v = LoadU64(data_ + pos_);
+    pos_ += 8;
+    return v;
   }
   Result<float> F32() {
-    VDB_ASSIGN_OR_RETURN(const std::uint32_t bits, U32());
+    if (pos_ + 4 > size_) return Truncated();
     float v;
-    std::memcpy(&v, &bits, sizeof(v));
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
     return v;
   }
   Result<double> F64() {
-    VDB_ASSIGN_OR_RETURN(const std::uint64_t bits, U64());
-    double v;
-    std::memcpy(&v, &bits, sizeof(v));
+    if (pos_ + 8 > size_) return Truncated();
+    const double v = LoadF64(data_ + pos_);
+    pos_ += 8;
     return v;
   }
   Result<std::string> Str() {
@@ -86,22 +148,6 @@ class Reader {
     pos_ += n;
     return s;
   }
-  Result<Vector> FloatArray() {
-    VDB_ASSIGN_OR_RETURN(const std::uint32_t n, U32());
-    if (pos_ + static_cast<std::size_t>(n) * sizeof(Scalar) > size_) return Truncated();
-    Vector v(n);
-    std::memcpy(v.data(), data_ + pos_, static_cast<std::size_t>(n) * sizeof(Scalar));
-    pos_ += static_cast<std::size_t>(n) * sizeof(Scalar);
-    return v;
-  }
-  Result<std::vector<std::uint8_t>> Blob() {
-    VDB_ASSIGN_OR_RETURN(const std::uint32_t n, U32());
-    if (pos_ + n > size_) return Truncated();
-    std::vector<std::uint8_t> bytes(data_ + pos_, data_ + pos_ + n);
-    pos_ += n;
-    return bytes;
-  }
-  bool Done() const { return pos_ == size_; }
 
  private:
   static Status Truncated() { return Status::Corruption("message truncated"); }
@@ -119,60 +165,430 @@ Status ExpectType(const Message& msg, MessageType type) {
   return Status::Ok();
 }
 
-void WritePoint(Writer& w, const PointRecord& point) {
-  w.U64(point.id);
-  w.FloatArray(point.vector);
-  w.Blob(EncodePayload(point.payload));
-}
+Status Truncated() { return Status::Corruption("message truncated"); }
 
-Result<PointRecord> ReadPoint(Reader& r) {
-  PointRecord point;
-  VDB_ASSIGN_OR_RETURN(point.id, r.U64());
-  VDB_ASSIGN_OR_RETURN(point.vector, r.FloatArray());
-  VDB_ASSIGN_OR_RETURN(const auto payload_bytes, r.Blob());
-  VDB_ASSIGN_OR_RETURN(point.payload,
-                       DecodePayload(payload_bytes.data(), payload_bytes.size()));
-  return point;
-}
+// ---- Point batch (upsert / transfer) wire layout --------------------------
+//
+//   [0]  u32 shard
+//   [4]  u32 count
+//   [8]  u32 pay_region_off   == kPointHeaderBytes + count * kPointEntryBytes
+//   [12] u32 vec_region_off   (64-byte aligned)
+//   [16] table: count × { u64 id, u32 vec_off(scalars), u32 vec_len(scalars),
+//                         u32 pay_off(bytes), u32 pay_len(bytes) }
+//        payload region (concatenated EncodePayload blobs)
+//        zero pad to vec_region_off
+//        vector region: scalars, each vector's start 64-byte aligned
+//
+// Body size == vec_region_off + total_vec_scalars * sizeof(Scalar); decode
+// rejects any size mismatch, so every truncation cut fails loudly.
 
-void WritePoints(Writer& w, const std::vector<PointRecord>& points) {
-  w.U32(static_cast<std::uint32_t>(points.size()));
-  for (const auto& point : points) WritePoint(w, point);
-}
+constexpr std::size_t kPointHeaderBytes = 16;
+constexpr std::size_t kPointEntryBytes = 24;
 
-Result<std::vector<PointRecord>> ReadPoints(Reader& r) {
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
-  std::vector<PointRecord> points;
-  points.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    VDB_ASSIGN_OR_RETURN(PointRecord point, ReadPoint(r));
-    points.push_back(std::move(point));
+template <typename GetPoint>
+Message EncodePointBatch(MessageType type, ShardId shard, std::size_t count,
+                         GetPoint&& point_at) {
+  // Pass 1: exact layout.
+  std::vector<std::uint32_t> pay_sizes(count);
+  std::size_t pay_total = 0;
+  std::size_t vec_scalars = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const PointRecord& p = point_at(i);
+    pay_sizes[i] = static_cast<std::uint32_t>(PayloadWireSize(p.payload));
+    pay_total += pay_sizes[i];
+    vec_scalars = AlignUp(vec_scalars, kVecAlignScalars) + p.vector.size();
   }
-  return points;
+  const std::size_t table_off = kPointHeaderBytes;
+  const std::size_t pay_region_off = table_off + count * kPointEntryBytes;
+  const std::size_t vec_region_off =
+      AlignUp(pay_region_off + pay_total, rpc::kBufferAlignment);
+  const std::size_t total = vec_region_off + vec_scalars * sizeof(Scalar);
+
+  Message msg = NewMessage(type, total);
+  BodyWriter w(msg);
+  w.U32(shard);
+  w.U32(static_cast<std::uint32_t>(count));
+  w.U32(static_cast<std::uint32_t>(pay_region_off));
+  w.U32(static_cast<std::uint32_t>(vec_region_off));
+
+  // Pass 2: table, then the two regions.
+  std::size_t pay_cursor = 0;   // bytes into the payload region
+  std::size_t vec_cursor = 0;   // scalars into the vector region
+  for (std::size_t i = 0; i < count; ++i) {
+    const PointRecord& p = point_at(i);
+    vec_cursor = AlignUp(vec_cursor, kVecAlignScalars);
+    w.U64(p.id);
+    w.U32(static_cast<std::uint32_t>(vec_cursor));
+    w.U32(static_cast<std::uint32_t>(p.vector.size()));
+    w.U32(static_cast<std::uint32_t>(pay_cursor));
+    w.U32(pay_sizes[i]);
+    pay_cursor += pay_sizes[i];
+    vec_cursor += p.vector.size();
+  }
+  std::uint8_t* body = msg.body.MutableData();
+  std::size_t pay_pos = pay_region_off;
+  for (std::size_t i = 0; i < count; ++i) {
+    pay_pos += EncodePayloadTo(point_at(i).payload, body + pay_pos);
+  }
+  std::memset(body + pay_pos, 0, vec_region_off - pay_pos);  // pad to region
+  std::size_t vec_pos = 0;  // scalars
+  auto* vec_base = reinterpret_cast<Scalar*>(body + vec_region_off);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t aligned = AlignUp(vec_pos, kVecAlignScalars);
+    if (aligned > vec_pos) {
+      std::memset(vec_base + vec_pos, 0, (aligned - vec_pos) * sizeof(Scalar));
+    }
+    const PointRecord& p = point_at(i);
+    std::memcpy(vec_base + aligned, p.vector.data(),
+                p.vector.size() * sizeof(Scalar));
+    vec_pos = aligned + p.vector.size();
+  }
+  NoteEncoded(msg);
+  return msg;
 }
 
 }  // namespace
 
-Message EncodeUpsertBatchRequest(const UpsertBatchRequest& req) {
-  Message msg{MessageType::kUpsertBatchRequest, {}};
-  Writer w(msg.body);
-  w.U32(req.shard);
-  WritePoints(w, req.points);
+// Friend of PointBatchView (declared in codec.hpp); validates every
+// offset/length once so the view accessors are bounds-free.
+Result<PointBatchView> DecodePointBatch(const Message& msg, MessageType expect) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, expect));
+  const std::uint8_t* body = msg.body.data();
+  const std::size_t size = msg.body.size();
+  if (size < kPointHeaderBytes) return Truncated();
+
+  PointBatchView view;
+  view.msg_ = msg;
+  view.shard_ = LoadU32(body);
+  view.count_ = LoadU32(body + 4);
+  view.table_off_ = kPointHeaderBytes;
+  view.pay_region_off_ = LoadU32(body + 8);
+  view.vec_region_off_ = LoadU32(body + 12);
+
+  const std::size_t table_end =
+      view.table_off_ + view.count_ * kPointEntryBytes;
+  if (view.pay_region_off_ < table_end ||
+      view.vec_region_off_ < view.pay_region_off_ ||
+      view.vec_region_off_ > size ||
+      view.vec_region_off_ % alignof(Scalar) != 0) {
+    return Truncated();
+  }
+  const std::size_t pay_region_bytes =
+      view.vec_region_off_ - view.pay_region_off_;
+  const std::size_t vec_region_scalars =
+      (size - view.vec_region_off_) / sizeof(Scalar);
+  std::size_t max_vec_end = 0;  // scalars
+  for (std::size_t i = 0; i < view.count_; ++i) {
+    const std::uint8_t* e = body + view.table_off_ + i * kPointEntryBytes;
+    const std::uint64_t vec_off = LoadU32(e + 8);
+    const std::uint64_t vec_len = LoadU32(e + 12);
+    const std::uint64_t pay_off = LoadU32(e + 16);
+    const std::uint64_t pay_len = LoadU32(e + 20);
+    if (vec_off + vec_len > vec_region_scalars) return Truncated();
+    if (pay_off + pay_len > pay_region_bytes) return Truncated();
+    max_vec_end = std::max<std::size_t>(max_vec_end, vec_off + vec_len);
+  }
+  // Exact-size check: any truncated (or padded) body is rejected, matching
+  // the pre-view codec's "decode consumes the whole body" behavior.
+  if (size != view.vec_region_off_ + max_vec_end * sizeof(Scalar)) {
+    return Truncated();
+  }
+  NoteDecoded(msg);
+  return view;
+}
+
+// ---- PointBatchView accessors ---------------------------------------------
+
+PointId PointBatchView::id(std::size_t i) const {
+  return LoadU64(msg_.body.data() + table_off_ + i * kPointEntryBytes);
+}
+
+VectorView PointBatchView::vector(std::size_t i) const {
+  const std::uint8_t* e = msg_.body.data() + table_off_ + i * kPointEntryBytes;
+  const std::uint32_t off = LoadU32(e + 8);
+  const std::uint32_t len = LoadU32(e + 12);
+  const auto* base =
+      reinterpret_cast<const Scalar*>(msg_.body.data() + vec_region_off_);
+  return VectorView(base + off, len);
+}
+
+std::span<const std::uint8_t> PointBatchView::payload_bytes(std::size_t i) const {
+  const std::uint8_t* e = msg_.body.data() + table_off_ + i * kPointEntryBytes;
+  const std::uint32_t off = LoadU32(e + 16);
+  const std::uint32_t len = LoadU32(e + 20);
+  return {msg_.body.data() + pay_region_off_ + off, len};
+}
+
+Result<Payload> PointBatchView::payload(std::size_t i) const {
+  const auto bytes = payload_bytes(i);
+  return DecodePayload(bytes.data(), bytes.size());
+}
+
+Result<std::vector<PointRecord>> PointBatchView::Materialize() const {
+  std::vector<PointRecord> points;
+  points.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    PointRecord record;
+    record.id = id(i);
+    const VectorView v = vector(i);
+    record.vector.assign(v.begin(), v.end());
+    VDB_ASSIGN_OR_RETURN(record.payload, payload(i));
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+Message EncodeUpsertBatch(ShardId shard, std::span<const PointRecord> points) {
+  return EncodePointBatch(MessageType::kUpsertBatchRequest, shard,
+                          points.size(),
+                          [&](std::size_t i) -> const PointRecord& {
+                            return points[i];
+                          });
+}
+
+Message EncodeUpsertBatch(ShardId shard, std::span<const PointRecord> points,
+                          std::span<const std::uint32_t> indices) {
+  return EncodePointBatch(MessageType::kUpsertBatchRequest, shard,
+                          indices.size(),
+                          [&](std::size_t i) -> const PointRecord& {
+                            return points[indices[i]];
+                          });
+}
+
+Message EncodeTransferShard(ShardId shard, std::span<const PointRecord> points) {
+  return EncodePointBatch(MessageType::kTransferShardRequest, shard,
+                          points.size(),
+                          [&](std::size_t i) -> const PointRecord& {
+                            return points[i];
+                          });
+}
+
+Result<UpsertBatchView> DecodeUpsertBatchView(const Message& msg) {
+  return DecodePointBatch(msg, MessageType::kUpsertBatchRequest);
+}
+
+Result<TransferShardView> DecodeTransferShardView(const Message& msg) {
+  return DecodePointBatch(msg, MessageType::kTransferShardRequest);
+}
+
+// ---- Search request wire layout -------------------------------------------
+//
+//   [0]  u32 query_len (scalars)
+//   [4]  u32 k   [8] u32 ef_search   [12] u32 n_probes
+//   [16] u8 fan_out   [17] u8 allow_partial   [18] u16 pad
+//   [20] u32 filter_len (bytes)
+//   [24] u32 vec_region_off (64-byte aligned)
+//   [28] f64 deadline_seconds
+//   [36] filter blob (EncodePayload of a 0/1-field payload)
+//        zero pad to vec_region_off, then query scalars.
+
+namespace {
+constexpr std::size_t kSearchHeaderBytes = 36;
+}  // namespace
+
+Message EncodeSearch(VectorView query, const SearchParams& params, bool fan_out,
+                     bool allow_partial, const Filter& filter,
+                     double deadline_seconds) {
+  Payload filter_payload;
+  if (filter.Active()) filter_payload[filter.field] = filter.value;
+  const std::size_t filter_len = PayloadWireSize(filter_payload);
+  const std::size_t vec_region_off =
+      AlignUp(kSearchHeaderBytes + filter_len, rpc::kBufferAlignment);
+  const std::size_t total = vec_region_off + query.size() * sizeof(Scalar);
+
+  Message msg = NewMessage(MessageType::kSearchRequest, total);
+  BodyWriter w(msg);
+  w.U32(static_cast<std::uint32_t>(query.size()));
+  w.U32(static_cast<std::uint32_t>(params.k));
+  w.U32(static_cast<std::uint32_t>(params.ef_search));
+  w.U32(static_cast<std::uint32_t>(params.n_probes));
+  w.U8(fan_out ? 1 : 0);
+  w.U8(allow_partial ? 1 : 0);
+  w.U8(0);
+  w.U8(0);
+  w.U32(static_cast<std::uint32_t>(filter_len));
+  w.U32(static_cast<std::uint32_t>(vec_region_off));
+  w.F64(deadline_seconds);
+  EncodePayloadTo(filter_payload, msg.body.MutableData() + w.pos());
+  w.Advance(filter_len);
+  w.PadTo(vec_region_off);
+  w.Scalars(query.data(), query.size());
+  NoteEncoded(msg);
   return msg;
 }
 
+Result<SearchRequestView> DecodeSearchRequestView(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchRequest));
+  const std::uint8_t* body = msg.body.data();
+  const std::size_t size = msg.body.size();
+  if (size < kSearchHeaderBytes) return Truncated();
+
+  SearchRequestView view;
+  view.msg_ = msg;
+  view.query_len_ = LoadU32(body);
+  view.params_.k = LoadU32(body + 4);
+  view.params_.ef_search = LoadU32(body + 8);
+  view.params_.n_probes = LoadU32(body + 12);
+  view.fan_out_ = body[16] != 0;
+  view.allow_partial_ = body[17] != 0;
+  const std::size_t filter_len = LoadU32(body + 20);
+  view.vec_region_off_ = LoadU32(body + 24);
+  view.deadline_seconds_ = LoadF64(body + 28);
+
+  if (kSearchHeaderBytes + filter_len > view.vec_region_off_ ||
+      view.vec_region_off_ > size ||
+      view.vec_region_off_ % alignof(Scalar) != 0 ||
+      size != view.vec_region_off_ + view.query_len_ * sizeof(Scalar)) {
+    return Truncated();
+  }
+  VDB_ASSIGN_OR_RETURN(const Payload filter_payload,
+                       DecodePayload(body + kSearchHeaderBytes, filter_len));
+  if (!filter_payload.empty()) {
+    view.filter_.field = filter_payload.begin()->first;
+    view.filter_.value = filter_payload.begin()->second;
+  }
+  NoteDecoded(msg);
+  return view;
+}
+
+VectorView SearchRequestView::query() const {
+  const auto* base =
+      reinterpret_cast<const Scalar*>(msg_.body.data() + vec_region_off_);
+  return VectorView(base, query_len_);
+}
+
+// ---- Search batch wire layout ---------------------------------------------
+//
+//   [0]  u32 count
+//   [4]  u32 k   [8] u32 ef_search   [12] u32 n_probes
+//   [16] u8 fan_out   [17] u8 allow_partial   [18] u16 pad
+//   [20] u32 vec_region_off (64-byte aligned)
+//   [24] f64 deadline_seconds
+//   [32] table: count × { u32 off(scalars), u32 len(scalars) }
+//        zero pad to vec_region_off, then the query region (each query's
+//        start 64-byte aligned).
+
+namespace {
+constexpr std::size_t kSearchBatchHeaderBytes = 32;
+constexpr std::size_t kSearchBatchEntryBytes = 8;
+}  // namespace
+
+Message EncodeSearchBatch(std::span<const Vector> queries,
+                          const SearchParams& params, bool fan_out,
+                          bool allow_partial, double deadline_seconds) {
+  const std::size_t count = queries.size();
+  std::size_t vec_scalars = 0;
+  for (const auto& q : queries) {
+    vec_scalars = AlignUp(vec_scalars, kVecAlignScalars) + q.size();
+  }
+  const std::size_t table_off = kSearchBatchHeaderBytes;
+  const std::size_t vec_region_off = AlignUp(
+      table_off + count * kSearchBatchEntryBytes, rpc::kBufferAlignment);
+  const std::size_t total = vec_region_off + vec_scalars * sizeof(Scalar);
+
+  Message msg = NewMessage(MessageType::kSearchBatchRequest, total);
+  BodyWriter w(msg);
+  w.U32(static_cast<std::uint32_t>(count));
+  w.U32(static_cast<std::uint32_t>(params.k));
+  w.U32(static_cast<std::uint32_t>(params.ef_search));
+  w.U32(static_cast<std::uint32_t>(params.n_probes));
+  w.U8(fan_out ? 1 : 0);
+  w.U8(allow_partial ? 1 : 0);
+  w.U8(0);
+  w.U8(0);
+  w.U32(static_cast<std::uint32_t>(vec_region_off));
+  w.F64(deadline_seconds);
+  std::size_t vec_cursor = 0;
+  for (const auto& q : queries) {
+    vec_cursor = AlignUp(vec_cursor, kVecAlignScalars);
+    w.U32(static_cast<std::uint32_t>(vec_cursor));
+    w.U32(static_cast<std::uint32_t>(q.size()));
+    vec_cursor += q.size();
+  }
+  w.PadTo(vec_region_off);
+  std::size_t vec_pos = 0;
+  auto* vec_base =
+      reinterpret_cast<Scalar*>(msg.body.MutableData() + vec_region_off);
+  for (const auto& q : queries) {
+    const std::size_t aligned = AlignUp(vec_pos, kVecAlignScalars);
+    if (aligned > vec_pos) {
+      std::memset(vec_base + vec_pos, 0, (aligned - vec_pos) * sizeof(Scalar));
+    }
+    std::memcpy(vec_base + aligned, q.data(), q.size() * sizeof(Scalar));
+    vec_pos = aligned + q.size();
+  }
+  NoteEncoded(msg);
+  return msg;
+}
+
+Result<SearchBatchRequestView> DecodeSearchBatchRequestView(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchBatchRequest));
+  const std::uint8_t* body = msg.body.data();
+  const std::size_t size = msg.body.size();
+  if (size < kSearchBatchHeaderBytes) return Truncated();
+
+  SearchBatchRequestView view;
+  view.msg_ = msg;
+  view.count_ = LoadU32(body);
+  view.params_.k = LoadU32(body + 4);
+  view.params_.ef_search = LoadU32(body + 8);
+  view.params_.n_probes = LoadU32(body + 12);
+  view.fan_out_ = body[16] != 0;
+  view.allow_partial_ = body[17] != 0;
+  view.vec_region_off_ = LoadU32(body + 20);
+  view.deadline_seconds_ = LoadF64(body + 24);
+  view.table_off_ = kSearchBatchHeaderBytes;
+
+  const std::size_t table_end =
+      view.table_off_ + view.count_ * kSearchBatchEntryBytes;
+  if (table_end > view.vec_region_off_ || view.vec_region_off_ > size ||
+      view.vec_region_off_ % alignof(Scalar) != 0) {
+    return Truncated();
+  }
+  const std::size_t vec_region_scalars =
+      (size - view.vec_region_off_) / sizeof(Scalar);
+  std::size_t max_vec_end = 0;
+  for (std::size_t i = 0; i < view.count_; ++i) {
+    const std::uint8_t* e = body + view.table_off_ + i * kSearchBatchEntryBytes;
+    const std::uint64_t off = LoadU32(e);
+    const std::uint64_t len = LoadU32(e + 4);
+    if (off + len > vec_region_scalars) return Truncated();
+    max_vec_end = std::max<std::size_t>(max_vec_end, off + len);
+  }
+  if (size != view.vec_region_off_ + max_vec_end * sizeof(Scalar)) {
+    return Truncated();
+  }
+  NoteDecoded(msg);
+  return view;
+}
+
+VectorView SearchBatchRequestView::query(std::size_t i) const {
+  const std::uint8_t* e =
+      msg_.body.data() + table_off_ + i * kSearchBatchEntryBytes;
+  const std::uint32_t off = LoadU32(e);
+  const std::uint32_t len = LoadU32(e + 4);
+  const auto* base =
+      reinterpret_cast<const Scalar*>(msg_.body.data() + vec_region_off_);
+  return VectorView(base + off, len);
+}
+
+// ---- Eager adapters (legacy API) ------------------------------------------
+
+Message EncodeUpsertBatchRequest(const UpsertBatchRequest& req) {
+  return EncodeUpsertBatch(req.shard, req.points);
+}
+
 Result<UpsertBatchRequest> DecodeUpsertBatchRequest(const Message& msg) {
-  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kUpsertBatchRequest));
-  Reader r(msg.body.data(), msg.body.size());
+  VDB_ASSIGN_OR_RETURN(const UpsertBatchView view, DecodeUpsertBatchView(msg));
   UpsertBatchRequest req;
-  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
-  VDB_ASSIGN_OR_RETURN(req.points, ReadPoints(r));
+  req.shard = view.shard();
+  VDB_ASSIGN_OR_RETURN(req.points, view.Materialize());
   return req;
 }
 
 Message EncodeUpsertBatchResponse(const UpsertBatchResponse& resp) {
-  Message msg{MessageType::kUpsertBatchResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kUpsertBatchResponse, 4);
+  BodyWriter w(msg);
   w.U32(resp.upserted);
   return msg;
 }
@@ -186,51 +602,28 @@ Result<UpsertBatchResponse> DecodeUpsertBatchResponse(const Message& msg) {
 }
 
 Message EncodeSearchRequest(const SearchRequest& req) {
-  Message msg{MessageType::kSearchRequest, {}};
-  Writer w(msg.body);
-  w.FloatArray(req.query);
-  w.U32(static_cast<std::uint32_t>(req.params.k));
-  w.U32(static_cast<std::uint32_t>(req.params.ef_search));
-  w.U32(static_cast<std::uint32_t>(req.params.n_probes));
-  w.U8(req.fan_out ? 1 : 0);
-  w.U8(req.allow_partial ? 1 : 0);
-  // Filter rides as a 0- or 1-field payload blob.
-  Payload filter_payload;
-  if (req.filter.Active()) filter_payload[req.filter.field] = req.filter.value;
-  w.Blob(EncodePayload(filter_payload));
-  w.F64(req.deadline_seconds);
-  return msg;
+  return EncodeSearch(req.query, req.params, req.fan_out, req.allow_partial,
+                      req.filter, req.deadline_seconds);
 }
 
 Result<SearchRequest> DecodeSearchRequest(const Message& msg) {
-  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchRequest));
-  Reader r(msg.body.data(), msg.body.size());
+  VDB_ASSIGN_OR_RETURN(const SearchRequestView view,
+                       DecodeSearchRequestView(msg));
   SearchRequest req;
-  VDB_ASSIGN_OR_RETURN(req.query, r.FloatArray());
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t k, r.U32());
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t ef, r.U32());
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t probes, r.U32());
-  VDB_ASSIGN_OR_RETURN(const std::uint8_t fan_out, r.U8());
-  VDB_ASSIGN_OR_RETURN(const std::uint8_t allow_partial, r.U8());
-  req.params.k = k;
-  req.params.ef_search = ef;
-  req.params.n_probes = probes;
-  req.fan_out = fan_out != 0;
-  req.allow_partial = allow_partial != 0;
-  VDB_ASSIGN_OR_RETURN(const auto filter_bytes, r.Blob());
-  VDB_ASSIGN_OR_RETURN(const Payload filter_payload,
-                       DecodePayload(filter_bytes.data(), filter_bytes.size()));
-  if (!filter_payload.empty()) {
-    req.filter.field = filter_payload.begin()->first;
-    req.filter.value = filter_payload.begin()->second;
-  }
-  VDB_ASSIGN_OR_RETURN(req.deadline_seconds, r.F64());
+  const VectorView q = view.query();
+  req.query.assign(q.begin(), q.end());
+  req.params = view.params();
+  req.fan_out = view.fan_out();
+  req.allow_partial = view.allow_partial();
+  req.filter = view.filter();
+  req.deadline_seconds = view.deadline_seconds();
   return req;
 }
 
 Message EncodeSearchResponse(const SearchResponse& resp) {
-  Message msg{MessageType::kSearchResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kSearchResponse,
+                           4 + resp.hits.size() * 12 + 8);
+  BodyWriter w(msg);
   w.U32(static_cast<std::uint32_t>(resp.hits.size()));
   for (const auto& hit : resp.hits) {
     w.U64(hit.id);
@@ -238,6 +631,7 @@ Message EncodeSearchResponse(const SearchResponse& resp) {
   }
   w.U32(resp.shards_searched);
   w.U32(resp.peers_failed);
+  NoteEncoded(msg);
   return msg;
 }
 
@@ -255,50 +649,36 @@ Result<SearchResponse> DecodeSearchResponse(const Message& msg) {
   }
   VDB_ASSIGN_OR_RETURN(resp.shards_searched, r.U32());
   VDB_ASSIGN_OR_RETURN(resp.peers_failed, r.U32());
+  NoteDecoded(msg);
   return resp;
 }
 
 Message EncodeSearchBatchRequest(const SearchBatchRequest& req) {
-  Message msg{MessageType::kSearchBatchRequest, {}};
-  Writer w(msg.body);
-  w.U32(static_cast<std::uint32_t>(req.queries.size()));
-  for (const auto& query : req.queries) w.FloatArray(query);
-  w.U32(static_cast<std::uint32_t>(req.params.k));
-  w.U32(static_cast<std::uint32_t>(req.params.ef_search));
-  w.U32(static_cast<std::uint32_t>(req.params.n_probes));
-  w.U8(req.fan_out ? 1 : 0);
-  w.U8(req.allow_partial ? 1 : 0);
-  w.F64(req.deadline_seconds);
-  return msg;
+  return EncodeSearchBatch(req.queries, req.params, req.fan_out,
+                           req.allow_partial, req.deadline_seconds);
 }
 
 Result<SearchBatchRequest> DecodeSearchBatchRequest(const Message& msg) {
-  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSearchBatchRequest));
-  Reader r(msg.body.data(), msg.body.size());
+  VDB_ASSIGN_OR_RETURN(const SearchBatchRequestView view,
+                       DecodeSearchBatchRequestView(msg));
   SearchBatchRequest req;
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
-  req.queries.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    VDB_ASSIGN_OR_RETURN(Vector query, r.FloatArray());
-    req.queries.push_back(std::move(query));
+  req.queries.reserve(view.size());
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    const VectorView q = view.query(i);
+    req.queries.emplace_back(q.begin(), q.end());
   }
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t k, r.U32());
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t ef, r.U32());
-  VDB_ASSIGN_OR_RETURN(const std::uint32_t probes, r.U32());
-  VDB_ASSIGN_OR_RETURN(const std::uint8_t fan_out, r.U8());
-  VDB_ASSIGN_OR_RETURN(const std::uint8_t allow_partial, r.U8());
-  req.params.k = k;
-  req.params.ef_search = ef;
-  req.params.n_probes = probes;
-  req.fan_out = fan_out != 0;
-  req.allow_partial = allow_partial != 0;
-  VDB_ASSIGN_OR_RETURN(req.deadline_seconds, r.F64());
+  req.params = view.params();
+  req.fan_out = view.fan_out();
+  req.allow_partial = view.allow_partial();
+  req.deadline_seconds = view.deadline_seconds();
   return req;
 }
 
 Message EncodeSearchBatchResponse(const SearchBatchResponse& resp) {
-  Message msg{MessageType::kSearchBatchResponse, {}};
-  Writer w(msg.body);
+  std::size_t total = 4 + 4;
+  for (const auto& hits : resp.results) total += 4 + hits.size() * 12;
+  Message msg = NewMessage(MessageType::kSearchBatchResponse, total);
+  BodyWriter w(msg);
   w.U32(static_cast<std::uint32_t>(resp.results.size()));
   for (const auto& hits : resp.results) {
     w.U32(static_cast<std::uint32_t>(hits.size()));
@@ -308,6 +688,7 @@ Message EncodeSearchBatchResponse(const SearchBatchResponse& resp) {
     }
   }
   w.U32(resp.peers_failed);
+  NoteEncoded(msg);
   return msg;
 }
 
@@ -330,12 +711,13 @@ Result<SearchBatchResponse> DecodeSearchBatchResponse(const Message& msg) {
     resp.results.push_back(std::move(hits));
   }
   VDB_ASSIGN_OR_RETURN(resp.peers_failed, r.U32());
+  NoteDecoded(msg);
   return resp;
 }
 
 Message EncodeDeleteRequest(const DeleteRequest& req) {
-  Message msg{MessageType::kDeleteRequest, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kDeleteRequest, 12);
+  BodyWriter w(msg);
   w.U32(req.shard);
   w.U64(req.id);
   return msg;
@@ -351,8 +733,8 @@ Result<DeleteRequest> DecodeDeleteRequest(const Message& msg) {
 }
 
 Message EncodeDeleteResponse(const DeleteResponse& resp) {
-  Message msg{MessageType::kDeleteResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kDeleteResponse, 1);
+  BodyWriter w(msg);
   w.U8(resp.deleted ? 1 : 0);
   return msg;
 }
@@ -367,8 +749,8 @@ Result<DeleteResponse> DecodeDeleteResponse(const Message& msg) {
 }
 
 Message EncodeBuildIndexRequest(const BuildIndexRequest& req) {
-  Message msg{MessageType::kBuildIndexRequest, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kBuildIndexRequest, 1);
+  BodyWriter w(msg);
   w.U8(req.wait ? 1 : 0);
   return msg;
 }
@@ -383,8 +765,8 @@ Result<BuildIndexRequest> DecodeBuildIndexRequest(const Message& msg) {
 }
 
 Message EncodeBuildIndexResponse(const BuildIndexResponse& resp) {
-  Message msg{MessageType::kBuildIndexResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kBuildIndexResponse, 16);
+  BodyWriter w(msg);
   w.F64(resp.build_seconds);
   w.U64(resp.indexed_points);
   return msg;
@@ -409,8 +791,8 @@ Result<InfoRequest> DecodeInfoRequest(const Message& msg) {
 }
 
 Message EncodeInfoResponse(const InfoResponse& resp) {
-  Message msg{MessageType::kInfoResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kInfoResponse, 21);
+  BodyWriter w(msg);
   w.U64(resp.live_points);
   w.U64(resp.indexed_points);
   w.U32(resp.shard_count);
@@ -431,8 +813,8 @@ Result<InfoResponse> DecodeInfoResponse(const Message& msg) {
 }
 
 Message EncodeCreateShardRequest(const CreateShardRequest& req) {
-  Message msg{MessageType::kCreateShardRequest, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kCreateShardRequest, 4);
+  BodyWriter w(msg);
   w.U32(req.shard);
   return msg;
 }
@@ -446,8 +828,8 @@ Result<CreateShardRequest> DecodeCreateShardRequest(const Message& msg) {
 }
 
 Message EncodeCreateShardResponse(const CreateShardResponse& resp) {
-  Message msg{MessageType::kCreateShardResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kCreateShardResponse, 1);
+  BodyWriter w(msg);
   w.U8(resp.created ? 1 : 0);
   return msg;
 }
@@ -462,25 +844,21 @@ Result<CreateShardResponse> DecodeCreateShardResponse(const Message& msg) {
 }
 
 Message EncodeTransferShardRequest(const TransferShardRequest& req) {
-  Message msg{MessageType::kTransferShardRequest, {}};
-  Writer w(msg.body);
-  w.U32(req.shard);
-  WritePoints(w, req.points);
-  return msg;
+  return EncodeTransferShard(req.shard, req.points);
 }
 
 Result<TransferShardRequest> DecodeTransferShardRequest(const Message& msg) {
-  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kTransferShardRequest));
-  Reader r(msg.body.data(), msg.body.size());
+  VDB_ASSIGN_OR_RETURN(const TransferShardView view,
+                       DecodeTransferShardView(msg));
   TransferShardRequest req;
-  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
-  VDB_ASSIGN_OR_RETURN(req.points, ReadPoints(r));
+  req.shard = view.shard();
+  VDB_ASSIGN_OR_RETURN(req.points, view.Materialize());
   return req;
 }
 
 Message EncodeTransferShardResponse(const TransferShardResponse& resp) {
-  Message msg{MessageType::kTransferShardResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kTransferShardResponse, 8);
+  BodyWriter w(msg);
   w.U64(resp.received);
   return msg;
 }
@@ -494,8 +872,9 @@ Result<TransferShardResponse> DecodeTransferShardResponse(const Message& msg) {
 }
 
 Message EncodeErrorResponse(const Status& status) {
-  Message msg{MessageType::kErrorResponse, {}};
-  Writer w(msg.body);
+  Message msg = NewMessage(MessageType::kErrorResponse,
+                           8 + status.message().size());
+  BodyWriter w(msg);
   w.U32(static_cast<std::uint32_t>(status.code()));
   w.Str(status.message());
   return msg;

@@ -7,8 +7,21 @@
 /// pointers through the in-process transport) preserves the real cost
 /// structure the paper measures: batch *conversion* is CPU work distinct from
 /// the RPC await (section 3.2).
+///
+/// The data plane is zero-copy (DESIGN.md "Data plane"):
+///  - Message bodies are pooled `rpc::Buffer` slabs; copying a Message bumps
+///    a refcount instead of cloning bytes.
+///  - Bulk payloads (upsert/transfer point batches, search query batches) use
+///    a region layout: a fixed header + offset table up front, then a
+///    contiguous 64-byte-aligned vector region written with one bulk memcpy
+///    per vector. Decoding returns *views* (`VectorView` spans into the
+///    message body) — valid only while the view object (which holds a buffer
+///    reference) is alive.
+///  - The original eager Encode*/Decode* API survives as thin adapters over
+///    the view codec so call sites can migrate incrementally.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -16,6 +29,7 @@
 #include "common/types.hpp"
 #include "dist/topk.hpp"
 #include "index/index.hpp"
+#include "rpc/buffer.hpp"
 #include "storage/payload_store.hpp"
 
 namespace vdb {
@@ -40,10 +54,11 @@ enum class MessageType : std::uint8_t {
   kSearchBatchResponse = 17,
 };
 
-/// Opaque framed message.
+/// Opaque framed message. Copying shares the pooled body slab (refcount
+/// bump); the body bytes are immutable once encoded.
 struct Message {
   MessageType type = MessageType::kErrorResponse;
-  std::vector<std::uint8_t> body;
+  rpc::Buffer body;
 
   std::size_t WireBytes() const { return body.size() + 5; }
 };
@@ -156,7 +171,126 @@ struct ErrorResponse {
   std::string message;
 };
 
-// ---- Encode / decode ------------------------------------------------------
+// ---- Zero-copy views ------------------------------------------------------
+//
+// A view object holds a refcount on the message body, so the spans it hands
+// out stay valid exactly as long as the view (or any other reference to the
+// same Message) is alive. Views never outlive the data; data never outlives
+// the last view. Decoding a view validates every offset/length against the
+// body bounds once, up front — the accessors are then bounds-free reads.
+
+/// Decoded view of an upsert/transfer point batch. Vectors are spans into
+/// the message body (64-byte-aligned by the encoder); payloads decode lazily
+/// per point.
+class PointBatchView {
+ public:
+  PointBatchView() = default;
+
+  ShardId shard() const { return shard_; }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  PointId id(std::size_t i) const;
+  VectorView vector(std::size_t i) const;
+  /// Raw encoded payload bytes (EncodePayload format) for point i.
+  std::span<const std::uint8_t> payload_bytes(std::size_t i) const;
+  /// Materializes point i's payload.
+  Result<Payload> payload(std::size_t i) const;
+
+  /// Materializes the whole batch (the eager-API adapter path).
+  Result<std::vector<PointRecord>> Materialize() const;
+
+ private:
+  friend Result<PointBatchView> DecodePointBatch(const Message& msg,
+                                                 MessageType expect);
+  Message msg_;  // keeps the body slab alive for the spans below
+  ShardId shard_ = 0;
+  std::size_t count_ = 0;
+  std::size_t table_off_ = 0;       // byte offset of the entry table
+  std::size_t pay_region_off_ = 0;  // byte offset of the payload region
+  std::size_t vec_region_off_ = 0;  // byte offset of the vector region
+};
+
+using UpsertBatchView = PointBatchView;
+using TransferShardView = PointBatchView;
+
+/// Decoded view of a single search request; `query()` points into the body.
+class SearchRequestView {
+ public:
+  SearchRequestView() = default;
+
+  VectorView query() const;
+  const SearchParams& params() const { return params_; }
+  bool fan_out() const { return fan_out_; }
+  bool allow_partial() const { return allow_partial_; }
+  const Filter& filter() const { return filter_; }
+  double deadline_seconds() const { return deadline_seconds_; }
+
+ private:
+  friend Result<SearchRequestView> DecodeSearchRequestView(const Message& msg);
+  Message msg_;
+  SearchParams params_;
+  bool fan_out_ = true;
+  bool allow_partial_ = false;
+  Filter filter_;  // small; decoded eagerly
+  double deadline_seconds_ = 0.0;
+  std::size_t vec_region_off_ = 0;
+  std::size_t query_len_ = 0;  // scalars
+};
+
+/// Decoded view of a search batch; `query(i)` points into the body.
+class SearchBatchRequestView {
+ public:
+  SearchBatchRequestView() = default;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  VectorView query(std::size_t i) const;
+  const SearchParams& params() const { return params_; }
+  bool fan_out() const { return fan_out_; }
+  bool allow_partial() const { return allow_partial_; }
+  double deadline_seconds() const { return deadline_seconds_; }
+
+ private:
+  friend Result<SearchBatchRequestView> DecodeSearchBatchRequestView(
+      const Message& msg);
+  Message msg_;
+  std::size_t count_ = 0;
+  SearchParams params_;
+  bool fan_out_ = true;
+  bool allow_partial_ = false;
+  double deadline_seconds_ = 0.0;
+  std::size_t table_off_ = 0;
+  std::size_t vec_region_off_ = 0;
+};
+
+// ---- Zero-copy encode -----------------------------------------------------
+//
+// Encoders compute the exact body size, lease one pooled buffer, and write
+// vectors with a single bulk memcpy each into the aligned region. The
+// `indices` overloads encode a shard's subset of a caller-owned batch without
+// materializing per-shard PointRecord copies (the router/client grouping
+// path).
+
+Message EncodeUpsertBatch(ShardId shard, std::span<const PointRecord> points);
+Message EncodeUpsertBatch(ShardId shard, std::span<const PointRecord> points,
+                          std::span<const std::uint32_t> indices);
+Message EncodeTransferShard(ShardId shard, std::span<const PointRecord> points);
+
+Result<UpsertBatchView> DecodeUpsertBatchView(const Message& msg);
+Result<TransferShardView> DecodeTransferShardView(const Message& msg);
+
+Message EncodeSearch(VectorView query, const SearchParams& params, bool fan_out,
+                     bool allow_partial, const Filter& filter,
+                     double deadline_seconds);
+Result<SearchRequestView> DecodeSearchRequestView(const Message& msg);
+
+Message EncodeSearchBatch(std::span<const Vector> queries,
+                          const SearchParams& params, bool fan_out,
+                          bool allow_partial, double deadline_seconds);
+Result<SearchBatchRequestView> DecodeSearchBatchRequestView(const Message& msg);
+
+// ---- Encode / decode (eager adapters over the view codec) -----------------
 
 Message EncodeUpsertBatchRequest(const UpsertBatchRequest& req);
 Result<UpsertBatchRequest> DecodeUpsertBatchRequest(const Message& msg);

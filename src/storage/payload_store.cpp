@@ -7,20 +7,6 @@ namespace {
 
 enum class Tag : std::uint8_t { kString = 0, kInt = 1, kDouble = 2, kBool = 3 };
 
-void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void PutBytes(std::vector<std::uint8_t>& out, const void* data, std::size_t size) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  out.insert(out.end(), p, p + size);
-}
-
-void PutString(std::vector<std::uint8_t>& out, const std::string& s) {
-  PutU32(out, static_cast<std::uint32_t>(s.size()));
-  PutBytes(out, s.data(), s.size());
-}
-
 struct Reader {
   const std::uint8_t* data;
   std::size_t size;
@@ -46,31 +32,69 @@ struct Reader {
 
 }  // namespace
 
-std::vector<std::uint8_t> EncodePayload(const Payload& payload) {
-  std::vector<std::uint8_t> out;
-  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+std::size_t PayloadWireSize(const Payload& payload) {
+  std::size_t bytes = 4;  // field count
   for (const auto& [key, value] : payload) {
-    PutString(out, key);
-    out.push_back(static_cast<std::uint8_t>(value.index()));
+    bytes += 4 + key.size() + 1;  // key + tag
     switch (static_cast<Tag>(value.index())) {
       case Tag::kString:
-        PutString(out, std::get<std::string>(value));
+        bytes += 4 + std::get<std::string>(value).size();
         break;
+      case Tag::kInt:
+      case Tag::kDouble:
+        bytes += 8;
+        break;
+      case Tag::kBool:
+        bytes += 1;
+        break;
+    }
+  }
+  return bytes;
+}
+
+std::size_t EncodePayloadTo(const Payload& payload, std::uint8_t* out) {
+  std::uint8_t* p = out;
+  const auto put_u32 = [&p](std::uint32_t v) {
+    std::memcpy(p, &v, 4);
+    p += 4;
+  };
+  const auto put_bytes = [&p](const void* data, std::size_t n) {
+    std::memcpy(p, data, n);
+    p += n;
+  };
+  put_u32(static_cast<std::uint32_t>(payload.size()));
+  for (const auto& [key, value] : payload) {
+    put_u32(static_cast<std::uint32_t>(key.size()));
+    put_bytes(key.data(), key.size());
+    *p++ = static_cast<std::uint8_t>(value.index());
+    switch (static_cast<Tag>(value.index())) {
+      case Tag::kString: {
+        const auto& s = std::get<std::string>(value);
+        put_u32(static_cast<std::uint32_t>(s.size()));
+        put_bytes(s.data(), s.size());
+        break;
+      }
       case Tag::kInt: {
         const auto v = std::get<std::int64_t>(value);
-        PutBytes(out, &v, sizeof(v));
+        put_bytes(&v, sizeof(v));
         break;
       }
       case Tag::kDouble: {
         const auto v = std::get<double>(value);
-        PutBytes(out, &v, sizeof(v));
+        put_bytes(&v, sizeof(v));
         break;
       }
       case Tag::kBool:
-        out.push_back(std::get<bool>(value) ? 1 : 0);
+        *p++ = std::get<bool>(value) ? 1 : 0;
         break;
     }
   }
+  return static_cast<std::size_t>(p - out);
+}
+
+std::vector<std::uint8_t> EncodePayload(const Payload& payload) {
+  std::vector<std::uint8_t> out(PayloadWireSize(payload));
+  EncodePayloadTo(payload, out.data());
   return out;
 }
 

@@ -44,6 +44,13 @@ struct Filter {
 std::vector<std::uint8_t> EncodePayload(const Payload& payload);
 Result<Payload> DecodePayload(const std::uint8_t* data, std::size_t size);
 
+/// Exact size of EncodePayload(payload) without allocating — the codec
+/// presizes message bodies from this.
+std::size_t PayloadWireSize(const Payload& payload);
+/// Encodes straight into `out` (caller guarantees PayloadWireSize bytes).
+/// Returns the number of bytes written.
+std::size_t EncodePayloadTo(const Payload& payload, std::uint8_t* out);
+
 /// In-memory payload store keyed by PointId, with equality-filter scans.
 class PayloadStore {
  public:

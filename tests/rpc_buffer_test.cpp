@@ -1,0 +1,190 @@
+#include "rpc/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace vdb::rpc {
+namespace {
+
+TEST(BufferTest, DefaultIsEmpty) {
+  Buffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.data(), nullptr);
+}
+
+TEST(BufferTest, InitializerListOwnsBytes) {
+  Buffer buffer{1, 2, 3};
+  ASSERT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.data()[0], 1);
+  EXPECT_EQ(buffer.data()[2], 3);
+}
+
+TEST(BufferTest, AllocateIsCacheLineAligned) {
+  for (const std::size_t size : {1u, 63u, 64u, 100u, 4096u, 70000u}) {
+    Buffer buffer = Buffer::Allocate(size);
+    EXPECT_EQ(buffer.size(), size);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % kBufferAlignment, 0u)
+        << "size " << size;
+  }
+}
+
+TEST(BufferTest, CopyOfClonesContents) {
+  std::vector<std::uint8_t> bytes(100);
+  std::iota(bytes.begin(), bytes.end(), 0);
+  Buffer buffer = Buffer::CopyOf(bytes.data(), bytes.size());
+  ASSERT_EQ(buffer.size(), bytes.size());
+  EXPECT_EQ(std::memcmp(buffer.data(), bytes.data(), bytes.size()), 0);
+}
+
+TEST(BufferTest, CopySharesSlab) {
+  Buffer a = Buffer::Allocate(128);
+  std::memset(a.MutableData(), 7, a.size());
+  Buffer b = a;
+  EXPECT_TRUE(a.SharesSlabWith(b));
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BufferTest, ShrinkIsViewOnlyAndKeepsSharedSlabIntact) {
+  Buffer original = Buffer::Allocate(64);
+  for (std::size_t i = 0; i < 64; ++i) original.MutableData()[i] = static_cast<std::uint8_t>(i);
+  Buffer truncated = original;
+  truncated.resize(10);
+  // Shrinking a copy must not disturb the shared bytes (the chaos tests'
+  // truncation sweeps copy a message and resize the copy).
+  EXPECT_TRUE(truncated.SharesSlabWith(original));
+  EXPECT_EQ(truncated.size(), 10u);
+  EXPECT_EQ(original.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(original.data()[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(BufferTest, GrowDetachesPreservesAndZeroFills) {
+  Buffer a = Buffer::Allocate(16);
+  std::memset(a.MutableData(), 0xAB, a.size());
+  Buffer b = a;
+  b.resize(b.capacity() + 1);  // must exceed capacity to force a new slab
+  EXPECT_FALSE(b.SharesSlabWith(a));
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(b.data()[i], 0xAB);
+  for (std::size_t i = 16; i < b.size(); ++i) EXPECT_EQ(b.data()[i], 0) << i;
+  // The original is untouched.
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a.data()[0], 0xAB);
+}
+
+TEST(BufferTest, GrowWithinCapacityInPlaceWhenUnique) {
+  Buffer a = Buffer::Allocate(16);
+  std::memset(a.MutableData(), 0xCD, a.size());
+  const std::uint8_t* before = a.data();
+  ASSERT_GT(a.capacity(), 16u);  // 4 KiB minimum size class
+  a.resize(32);
+  EXPECT_EQ(a.data(), before);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(a.data()[i], 0xCD);
+  for (std::size_t i = 16; i < 32; ++i) EXPECT_EQ(a.data()[i], 0);
+}
+
+TEST(BufferTest, EqualityIsContentBased) {
+  Buffer a = Buffer::CopyOf("hello", 5);
+  Buffer b = Buffer::CopyOf("hello", 5);
+  Buffer c = Buffer::CopyOf("hellp", 5);
+  EXPECT_FALSE(a.SharesSlabWith(b));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, Buffer{});
+  EXPECT_EQ(Buffer{}, Buffer{});
+}
+
+TEST(BufferPoolTest, ReusesSlabOfSameClass) {
+  BufferPool pool(/*max_retained_bytes=*/1 << 20);
+  const std::uint8_t* first_data = nullptr;
+  {
+    Buffer a = pool.Allocate(1000);
+    first_data = a.data();
+  }  // slab returns to the free list
+  Buffer b = pool.Allocate(900);  // same 4 KiB class
+  EXPECT_EQ(b.data(), first_data);
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.allocations, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.recycled, 1u);
+}
+
+TEST(BufferPoolTest, RetentionBoundDropsExcessSlabs) {
+  // Bound of one 4 KiB slab: releasing two slabs of that class must drop one.
+  BufferPool pool(/*max_retained_bytes=*/4096);
+  {
+    Buffer a = pool.Allocate(100);
+    Buffer b = pool.Allocate(100);
+  }
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.recycled, 1u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_LE(stats.retained_bytes, 4096u);
+}
+
+TEST(BufferPoolTest, TrimFreesRetainedSlabs) {
+  BufferPool pool;
+  { Buffer a = pool.Allocate(100); }
+  EXPECT_GT(pool.GetStats().retained_slabs, 0u);
+  pool.Trim();
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.retained_slabs, 0u);
+  EXPECT_EQ(stats.retained_bytes, 0u);
+}
+
+TEST(BufferPoolTest, BufferMayOutlivePool) {
+  Buffer survivor;
+  {
+    BufferPool pool;
+    survivor = pool.Allocate(256);
+    std::memset(survivor.MutableData(), 0x5A, survivor.size());
+  }  // pool destroyed first; the slab frees itself on release
+  EXPECT_EQ(survivor.size(), 256u);
+  EXPECT_EQ(survivor.data()[255], 0x5A);
+}
+
+TEST(BufferPoolTest, OversizedRequestsBypassThePool) {
+  BufferPool pool;
+  {
+    Buffer huge = pool.Allocate((std::size_t{64} << 20) + 1);
+    EXPECT_EQ(huge.size(), (std::size_t{64} << 20) + 1);
+  }
+  // Nothing retained: the slab was never pool-managed.
+  EXPECT_EQ(pool.GetStats().retained_slabs, 0u);
+}
+
+TEST(BufferPoolTest, ConcurrentAllocateReleaseIsRaceFree) {
+  // TSan leg: many threads lease, copy, shrink, and release buffers of mixed
+  // size classes against one pool.
+  BufferPool pool(/*max_retained_bytes=*/1 << 20);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t size = 64 + static_cast<std::size_t>((t * kIters + i) % 5000);
+        Buffer buffer = pool.Allocate(size);
+        std::memset(buffer.MutableData(), t, size);
+        Buffer copy = buffer;      // refcount traffic
+        copy.resize(size / 2);     // view-only shrink on a shared slab
+        ASSERT_EQ(buffer.data()[size - 1], static_cast<std::uint8_t>(t));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const BufferPool::Stats stats = pool.GetStats();
+  EXPECT_EQ(stats.allocations, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(stats.hits + stats.misses, stats.allocations);
+}
+
+}  // namespace
+}  // namespace vdb::rpc

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rpc/codec.hpp"
+
+namespace vdb {
+namespace {
+
+PointRecord MakePoint(PointId id, std::size_t dim, Rng& rng, bool with_payload) {
+  PointRecord point;
+  point.id = id;
+  point.vector.resize(dim);
+  for (auto& v : point.vector) v = static_cast<Scalar>(rng.NextDouble(-1.0, 1.0));
+  if (with_payload) {
+    point.payload["source"] = std::string("paper-") + std::to_string(id);
+    point.payload["year"] = static_cast<std::int64_t>(2000 + id % 25);
+    point.payload["score"] = 0.5 * static_cast<double>(id);
+    point.payload["oa"] = (id % 2) == 0;
+  }
+  return point;
+}
+
+std::vector<PointRecord> MakeBatch(std::size_t count, std::size_t dim,
+                                   std::uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<PointRecord> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(MakePoint(static_cast<PointId>(i + 1), dim, rng, i % 3 != 2));
+  }
+  return points;
+}
+
+void ExpectPointsEqual(const std::vector<PointRecord>& a,
+                       const std::vector<PointRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << i;
+    EXPECT_EQ(a[i].vector, b[i].vector) << i;
+    EXPECT_EQ(a[i].payload, b[i].payload) << i;
+  }
+}
+
+// ---- Point batch views ----------------------------------------------------
+
+TEST(PointBatchViewTest, RoundTripAcrossAwkwardDims) {
+  // Dims straddling the 16-scalar alignment unit: 1 scalar, just under/over
+  // one unit, a prime, and a multi-unit width.
+  for (const std::size_t dim : {1u, 3u, 15u, 16u, 17u, 31u, 97u, 160u}) {
+    const auto points = MakeBatch(13, dim, /*seed=*/dim);
+    const Message msg = EncodeUpsertBatch(7, points);
+    auto view = DecodeUpsertBatchView(msg);
+    ASSERT_TRUE(view.ok()) << "dim " << dim << ": " << view.status().ToString();
+    EXPECT_EQ(view->shard(), 7u);
+    ASSERT_EQ(view->size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      EXPECT_EQ(view->id(i), points[i].id);
+      const VectorView vec = view->vector(i);
+      ASSERT_EQ(vec.size(), dim);
+      EXPECT_EQ(std::memcmp(vec.data(), points[i].vector.data(),
+                            dim * sizeof(Scalar)),
+                0);
+    }
+    auto materialized = view->Materialize();
+    ASSERT_TRUE(materialized.ok());
+    ExpectPointsEqual(*materialized, points);
+  }
+}
+
+TEST(PointBatchViewTest, VectorsAreCacheLineAligned) {
+  const auto points = MakeBatch(9, 17);
+  const Message msg = EncodeUpsertBatch(0, points);
+  auto view = DecodeUpsertBatchView(msg);
+  ASSERT_TRUE(view.ok());
+  for (std::size_t i = 0; i < view->size(); ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(view->vector(i).data()) %
+                  rpc::kBufferAlignment,
+              0u)
+        << "vector " << i;
+  }
+}
+
+TEST(PointBatchViewTest, EmptyBatchRoundTrips) {
+  const Message msg = EncodeUpsertBatch(3, std::vector<PointRecord>{});
+  auto view = DecodeUpsertBatchView(msg);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->shard(), 3u);
+  EXPECT_TRUE(view->empty());
+  auto materialized = view->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_TRUE(materialized->empty());
+}
+
+TEST(PointBatchViewTest, ViewOutlivesTheDecodedMessage) {
+  const auto points = MakeBatch(5, 33);
+  UpsertBatchView view;
+  {
+    Message msg = EncodeUpsertBatch(1, points);
+    auto decoded = DecodeUpsertBatchView(msg);
+    ASSERT_TRUE(decoded.ok());
+    view = *decoded;
+    msg.body = rpc::Buffer();  // drop the caller's reference
+  }
+  // The view holds its own reference to the body slab, so its spans are
+  // still valid.
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view.id(i), points[i].id);
+    EXPECT_EQ(std::memcmp(view.vector(i).data(), points[i].vector.data(),
+                          points[i].vector.size() * sizeof(Scalar)),
+              0);
+  }
+}
+
+TEST(PointBatchViewTest, IndexSubsetEncodingMatchesMaterializedSubset) {
+  const auto points = MakeBatch(20, 31);
+  const std::vector<std::uint32_t> indices = {1, 4, 5, 11, 19};
+  const Message subset_msg = EncodeUpsertBatch(2, points, indices);
+
+  std::vector<PointRecord> subset;
+  for (const std::uint32_t i : indices) subset.push_back(points[i]);
+  const Message eager_msg = EncodeUpsertBatch(2, subset);
+
+  // Same wire bytes: an index-list encode is indistinguishable on the wire
+  // from encoding a materialized copy of the subset.
+  EXPECT_EQ(subset_msg.body, eager_msg.body);
+
+  auto view = DecodeUpsertBatchView(subset_msg);
+  ASSERT_TRUE(view.ok());
+  auto materialized = view->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  ExpectPointsEqual(*materialized, subset);
+}
+
+TEST(PointBatchViewTest, EveryTruncationIsRejected) {
+  const auto points = MakeBatch(4, 17);
+  const Message msg = EncodeUpsertBatch(0, points);
+  for (std::size_t cut = 0; cut < msg.body.size(); ++cut) {
+    Message truncated = msg;
+    truncated.body.resize(cut);
+    EXPECT_FALSE(DecodeUpsertBatchView(truncated).ok()) << "cut " << cut;
+  }
+}
+
+TEST(PointBatchViewTest, UnalignedVectorRegionOffsetIsRejected) {
+  const auto points = MakeBatch(2, 16);
+  const Message msg = EncodeUpsertBatch(0, points);
+  // Corrupt the header's vec_region_off (bytes 12..15) to a non-scalar-aligned
+  // value; decode must reject rather than hand out misaligned views.
+  Message tampered;
+  tampered.type = msg.type;
+  tampered.body = rpc::Buffer::CopyOf(msg.body.data(), msg.body.size());
+  std::uint32_t vec_region_off = 0;
+  std::memcpy(&vec_region_off, tampered.body.data() + 12, 4);
+  const std::uint32_t unaligned = vec_region_off + 1;
+  std::memcpy(tampered.body.MutableData() + 12, &unaligned, 4);
+  EXPECT_FALSE(DecodeUpsertBatchView(tampered).ok());
+}
+
+TEST(PointBatchViewTest, TransferShardUsesTheSameLayout) {
+  const auto points = MakeBatch(6, 15);
+  const Message msg = EncodeTransferShard(9, points);
+  EXPECT_EQ(msg.type, MessageType::kTransferShardRequest);
+  auto view = DecodeTransferShardView(msg);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->shard(), 9u);
+  auto materialized = view->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  ExpectPointsEqual(*materialized, points);
+}
+
+// ---- Search request views -------------------------------------------------
+
+TEST(SearchRequestViewTest, RoundTripWithFilterAndDeadline) {
+  Rng rng(7);
+  Vector query(97);
+  for (auto& v : query) v = static_cast<Scalar>(rng.NextDouble(-1.0, 1.0));
+  SearchParams params;
+  params.k = 25;
+  params.ef_search = 111;
+  params.n_probes = 5;
+  Filter filter;
+  filter.field = "source";
+  filter.value = std::string("paper-3");
+
+  const Message msg = EncodeSearch(query, params, /*fan_out=*/false,
+                                   /*allow_partial=*/true, filter, 1.25);
+  auto view = DecodeSearchRequestView(msg);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view->fan_out());
+  EXPECT_TRUE(view->allow_partial());
+  EXPECT_EQ(view->params().k, params.k);
+  EXPECT_EQ(view->params().ef_search, params.ef_search);
+  EXPECT_EQ(view->params().n_probes, params.n_probes);
+  EXPECT_EQ(view->filter().field, "source");
+  EXPECT_EQ(view->filter().value, PayloadValue(std::string("paper-3")));
+  EXPECT_DOUBLE_EQ(view->deadline_seconds(), 1.25);
+  const VectorView decoded_query = view->query();
+  ASSERT_EQ(decoded_query.size(), query.size());
+  EXPECT_EQ(std::memcmp(decoded_query.data(), query.data(),
+                        query.size() * sizeof(Scalar)),
+            0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(decoded_query.data()) %
+                rpc::kBufferAlignment,
+            0u);
+}
+
+TEST(SearchRequestViewTest, EveryTruncationIsRejected) {
+  Vector query(19, 0.5F);
+  const Message msg =
+      EncodeSearch(query, SearchParams{}, true, false, Filter{}, 0.0);
+  for (std::size_t cut = 0; cut < msg.body.size(); ++cut) {
+    Message truncated = msg;
+    truncated.body.resize(cut);
+    EXPECT_FALSE(DecodeSearchRequestView(truncated).ok()) << "cut " << cut;
+  }
+}
+
+TEST(SearchBatchRequestViewTest, RoundTripManyQueries) {
+  Rng rng(11);
+  std::vector<Vector> queries;
+  for (std::size_t q = 0; q < 17; ++q) {
+    Vector query(33);
+    for (auto& v : query) v = static_cast<Scalar>(rng.NextDouble(-1.0, 1.0));
+    queries.push_back(std::move(query));
+  }
+  SearchParams params;
+  params.k = 4;
+  const Message msg = EncodeSearchBatch(queries, params, /*fan_out=*/true,
+                                        /*allow_partial=*/false, 0.75);
+  auto view = DecodeSearchBatchRequestView(msg);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->size(), queries.size());
+  EXPECT_TRUE(view->fan_out());
+  EXPECT_FALSE(view->allow_partial());
+  EXPECT_DOUBLE_EQ(view->deadline_seconds(), 0.75);
+  EXPECT_EQ(view->params().k, 4u);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const VectorView decoded = view->query(q);
+    ASSERT_EQ(decoded.size(), queries[q].size());
+    EXPECT_EQ(std::memcmp(decoded.data(), queries[q].data(),
+                          queries[q].size() * sizeof(Scalar)),
+              0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(decoded.data()) %
+                  alignof(Scalar),
+              0u);
+  }
+}
+
+TEST(SearchBatchRequestViewTest, EmptyBatchRoundTrips) {
+  const Message msg = EncodeSearchBatch(std::vector<Vector>{}, SearchParams{},
+                                        false, false, 0.0);
+  auto view = DecodeSearchBatchRequestView(msg);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->empty());
+}
+
+TEST(SearchBatchRequestViewTest, EveryTruncationIsRejected) {
+  std::vector<Vector> queries(3, Vector(9, 1.0F));
+  const Message msg =
+      EncodeSearchBatch(queries, SearchParams{}, true, false, 0.0);
+  for (std::size_t cut = 0; cut < msg.body.size(); ++cut) {
+    Message truncated = msg;
+    truncated.body.resize(cut);
+    EXPECT_FALSE(DecodeSearchBatchRequestView(truncated).ok()) << "cut " << cut;
+  }
+}
+
+// ---- Adapter consistency --------------------------------------------------
+
+TEST(EagerAdapterTest, ViewAndEagerDecodersAgree) {
+  const auto points = MakeBatch(8, 31);
+  UpsertBatchRequest request;
+  request.shard = 5;
+  request.points = points;
+  const Message msg = EncodeUpsertBatchRequest(request);
+
+  auto eager = DecodeUpsertBatchRequest(msg);
+  ASSERT_TRUE(eager.ok());
+  auto view = DecodeUpsertBatchView(msg);
+  ASSERT_TRUE(view.ok());
+  auto materialized = view->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(eager->shard, view->shard());
+  ExpectPointsEqual(eager->points, *materialized);
+}
+
+}  // namespace
+}  // namespace vdb

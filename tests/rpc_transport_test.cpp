@@ -119,7 +119,8 @@ TEST(TransportTest, LinearLatencyScalesWithBytes) {
 TEST(TransportTest, StatsCountCallsAndBytes) {
   InprocTransport transport;
   ASSERT_TRUE(transport.RegisterEndpoint("echo", EchoHandler).ok());
-  Message request{MessageType::kInfoRequest, std::vector<std::uint8_t>(100, 7)};
+  const std::vector<std::uint8_t> blob(100, 7);
+  Message request{MessageType::kInfoRequest, rpc::Buffer::CopyOf(blob.data(), blob.size())};
   (void)transport.Call("echo", request);
   (void)transport.Call("echo", request);
   const TransportStats stats = transport.Stats();

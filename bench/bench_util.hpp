@@ -3,6 +3,7 @@
 /// \file bench_util.hpp
 /// Shared helpers for the paper-reproduction bench binaries.
 
+#include <cctype>
 #include <cstdio>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "metrics/compare.hpp"
 #include "metrics/table.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace_collector.hpp"
 
 namespace vdb::bench {
 
@@ -32,6 +34,17 @@ inline int FinishWithReport(const vdb::ComparisonReport& report) {
   // the observability registry. Simulator-driven binaries record *virtual*
   // seconds; engine-driven ones record wall time.
   std::printf("%s\n", vdb::obs::StageBreakdown().c_str());
+  // Trace timelines: per-worker straggler table across captured fan-out
+  // traces, ASCII gantt of the slowest one, and its Chrome trace-event JSON
+  // dumped next to the binary (load in chrome://tracing / Perfetto). Benches
+  // that captured no traces print a one-line note instead.
+  std::string slug;
+  for (const char c : report.Name()) {
+    slug.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  std::printf("%s\n",
+              vdb::obs::RenderPhaseTimelines(
+                  report.Name(), "TRACE_" + slug + "_slowest.json").c_str());
   return 0;  // benches report, they do not gate; tests gate.
 }
 

@@ -1,0 +1,10 @@
+// Configure-time negative check (see the top-level CMakeLists.txt): this file
+// is compiled with -DVDB_OBS_DISABLED and MUST FAIL to compile. With the
+// observability layer compiled out, obs/trace_collector.hpp may expose only
+// the inert TraceRoot/RenderPhaseTimelines stubs — if the collector or the
+// slow-query log are still visible, timeline assembly would silently survive
+// in "disabled" builds, so configuration aborts.
+#include "obs/trace_collector.hpp"
+
+vdb::obs::TraceCollector* leaked_collector = nullptr;
+vdb::obs::SlowQueryLog* leaked_slow_query_log = nullptr;

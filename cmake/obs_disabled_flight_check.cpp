@@ -1,0 +1,9 @@
+// Configure-time negative check (see the top-level CMakeLists.txt): this file
+// is compiled with -DVDB_OBS_DISABLED and MUST FAIL to compile. With the
+// observability layer compiled out, obs/flight_recorder.hpp may expose only
+// the no-op VDB_FLIGHT macro and the stub dump helpers — if the ring type is
+// still visible, event recording would silently survive in "disabled"
+// builds, so configuration aborts.
+#include "obs/flight_recorder.hpp"
+
+vdb::obs::FlightRecorder* leaked_flight_recorder = nullptr;

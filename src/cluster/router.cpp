@@ -6,6 +6,7 @@
 #include <limits>
 #include <thread>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace vdb {
@@ -124,6 +125,8 @@ Message Router::RetryReplicaCall(const std::string& endpoint, const Message& req
           "retry budget for " + endpoint + " exhausted after " +
           std::to_string(attempt) + " attempt(s); last error: " + status.ToString()));
     }
+    VDB_FLIGHT(kRetry, endpoint, status.ToString(),
+               static_cast<std::int64_t>(attempt + 1));
     SleepSeconds(backoff);
     future = transport_.CallAsync(endpoint, request);
   }
@@ -133,6 +136,7 @@ Result<Message> Router::ResilientEntryCall(
     const std::function<Message(WorkerId entry, double remaining_seconds)>& make_request,
     const ResiliencePolicy& policy, CallMeta& meta) {
   VDB_SPAN("router.entry_call");
+  VDB_GAUGE_SCOPE_INC("router.inflight");
   Stopwatch watch;
   Rng rng = CallRng(policy, call_seq_.fetch_add(1, std::memory_order_relaxed));
   const std::uint32_t max_attempts = std::max<std::uint32_t>(policy.max_attempts, 1);
@@ -144,6 +148,8 @@ Result<Message> Router::ResilientEntryCall(
     if (attempt > 1) {
       const double backoff = BackoffDelay(policy, attempt - 1, rng);
       if (RemainingBudget(policy, watch) <= backoff) break;
+      VDB_FLIGHT(kRetry, "router.entry_call", last_error.ToString(),
+                 static_cast<std::int64_t>(attempt));
       SleepSeconds(backoff);
     }
     double remaining = RemainingBudget(policy, watch);
@@ -174,6 +180,8 @@ Result<Message> Router::ResilientEntryCall(
         while (hedge_entry == entry) hedge_entry = NextEntry();
         meta.hedged = true;
         ++meta.attempts;
+        VDB_FLIGHT(kRetry, WorkerEndpoint(hedge_entry), "hedge fired",
+                   static_cast<std::int64_t>(entry));
         remaining = RemainingBudget(policy, watch);
         std::future<Message> hedge_future = transport_.CallAsync(
             WorkerEndpoint(hedge_entry),

@@ -7,6 +7,7 @@
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
 #include "common/trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace vdb {
@@ -130,6 +131,9 @@ WorkerCounters Worker::Counters() const {
 }
 
 Message Worker::Handle(const Message& request, bool force_local) {
+  // Every span recorded under this dispatch — including index/storage spans
+  // deep in the collection — attributes to this worker in trace timelines.
+  obs::ScopedWorkerAttribution attribution(config_.id);
   if (crashed_.load(std::memory_order_acquire)) {
     return EncodeErrorResponse(Status::Unavailable(
         "worker " + std::to_string(config_.id) + " crashed (injected)"));
@@ -142,15 +146,20 @@ Message Worker::Handle(const Message& request, bool force_local) {
   if (plan != nullptr) {
     const faults::FaultDecision decision = plan->Evaluate(fault_site_);
     if (decision.crash) {
+      VDB_FLIGHT(kFault, fault_site_, "injected crash (worker down)", 0);
       crashed_.store(true, std::memory_order_release);
       return EncodeErrorResponse(Status::Unavailable(
           "worker " + std::to_string(config_.id) + " crashed (injected)"));
     }
     if (decision.fail || decision.drop) {
+      VDB_FLIGHT(kFault, fault_site_,
+                 decision.fail ? "injected fail" : "injected drop", 0);
       return EncodeErrorResponse(Status::Unavailable(
           "injected fault at " + fault_site_));
     }
     if (decision.delay_seconds > 0.0) {
+      VDB_FLIGHT(kFault, fault_site_, "injected delay",
+                 static_cast<std::int64_t>(decision.delay_seconds * 1e6));
       std::this_thread::sleep_for(
           std::chrono::duration<double>(decision.delay_seconds));
     }
@@ -191,9 +200,9 @@ class ViewBatchSource final : public PointBatchSource {
 }  // namespace
 
 Message Worker::HandleUpsert(const Message& request) {
-  VDB_SPAN("worker.upsert");
   auto view = DecodeUpsertBatchView(request);
   if (!view.ok()) return EncodeErrorResponse(view.status());
+  VDB_SPAN("worker.upsert", (::vdb::obs::SpanAttrs{.shard = view->shard()}));
   auto shard = GetShard(view->shard());
   if (!shard.ok()) return EncodeErrorResponse(shard.status());
   const Status status = (*shard)->UpsertBatch(ViewBatchSource(*view));
@@ -376,19 +385,26 @@ Result<SearchBatchResponse> Worker::SearchBatchLocal(
   }
 
   // Intra-batch parallelism: queries are independent shared-lock readers, so
-  // they fan across the pool. The caller's trace id is re-installed on each
-  // pool thread so per-query spans stay attributable to the originating call.
+  // they fan across the pool. The caller's full trace context (trace id,
+  // parent span, worker attribution) is re-installed on each pool thread so
+  // per-query spans stay attributable to the originating call and parented
+  // under the dispatching span. The backlog gauge tracks queries handed to
+  // the pool but not yet finished.
   std::vector<Status> statuses(count, Status::Ok());
-  const std::uint64_t trace_id = obs::CurrentTraceId();
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
+  VDB_GAUGE_ADD("worker.search_backlog", static_cast<std::int64_t>(count));
   SearchPool().ParallelFor(0, count, [&](std::size_t q) {
-    obs::TraceScope trace(trace_id);
-    VDB_SPAN("worker.search_batch");
-    auto partial = SearchLocal(view.query(q), view.params(), no_filter);
-    if (partial.ok()) {
-      response.results[q] = std::move(partial->hits);
-    } else {
-      statuses[q] = partial.status();
+    obs::TraceContextScope trace(trace_ctx);
+    {
+      VDB_SPAN("worker.search_batch");
+      auto partial = SearchLocal(view.query(q), view.params(), no_filter);
+      if (partial.ok()) {
+        response.results[q] = std::move(partial->hits);
+      } else {
+        statuses[q] = partial.status();
+      }
     }
+    VDB_GAUGE_ADD("worker.search_backlog", -1);
   });
   for (const Status& status : statuses) {
     VDB_RETURN_IF_ERROR(status);

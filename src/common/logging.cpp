@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "common/trace.hpp"
+
 namespace vdb {
 namespace {
 
@@ -53,6 +55,15 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
     if (*p == '/') base = p + 1;
   }
   stream_ << base << ":" << line << " ";
+  // When the thread is serving a traced request, stamp the line with the
+  // trace id (and innermost span) so chaos-suite logs correlate with
+  // flight-recorder dumps and slow-query timelines.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.trace_id != 0) {
+    stream_ << "[trace=" << ctx.trace_id;
+    if (ctx.span_name != nullptr) stream_ << " span=" << ctx.span_name;
+    stream_ << "] ";
+  }
 }
 
 LogMessage::~LogMessage() { LogLine(level_, stream_.str()); }

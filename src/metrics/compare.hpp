@@ -44,6 +44,8 @@ class ComparisonReport {
 
   std::string Render() const;
 
+  const std::string& Name() const { return name_; }
+
   const std::vector<Comparison>& comparisons() const { return comparisons_; }
 
  private:

@@ -74,6 +74,10 @@ double LatencyHistogram::Max() const { return count_ == 0 ? 0.0 : max_; }
 double LatencyHistogram::Quantile(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; returning bucket midpoints for p0/p100
+  // would make summary min/max a bucket-resolution artifact.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   const auto target = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {

@@ -27,7 +27,8 @@ class LatencyHistogram {
   double Mean() const;
   double Min() const;
   double Max() const;
-  /// Quantile from bucket midpoints, q in [0,1].
+  /// Quantile from bucket midpoints, q in [0,1]. The endpoints are exact:
+  /// Quantile(0.0) == Min() and Quantile(1.0) == Max(), not bucket artifacts.
   double Quantile(double q) const;
 
   /// "p50=.. p90=.. p99=.. max=.. n=.."

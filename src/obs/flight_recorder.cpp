@@ -1,0 +1,120 @@
+#include "obs/flight_recorder.hpp"
+
+#ifndef VDB_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/obs.hpp"
+
+namespace vdb::obs {
+
+namespace {
+
+void CopyTruncated(char* dst, std::size_t cap, std::string_view src) {
+  const std::size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+const char* KindName(FlightRecorder::EventKind kind) {
+  switch (kind) {
+    case FlightRecorder::EventKind::kSpan:
+      return "span ";
+    case FlightRecorder::EventKind::kError:
+      return "error";
+    case FlightRecorder::EventKind::kFault:
+      return "fault";
+    case FlightRecorder::EventKind::kRetry:
+      return "retry";
+    case FlightRecorder::EventKind::kNote:
+      return "note ";
+  }
+  return "?    ";
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+void FlightRecorder::Record(EventKind kind, std::string_view name,
+                            std::string_view detail, std::int64_t value) {
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % kCapacity];
+  // try_lock: if a snapshotter (or a writer that lapped the ring) holds the
+  // slot, drop the event rather than stall the instrumented path.
+  std::unique_lock<std::mutex> lock(slot.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  const TraceContext ctx = CurrentTraceContext();
+  slot.event.seq = seq;
+  slot.event.time_seconds = NowSeconds();
+  slot.event.kind = kind;
+  slot.event.trace_id = ctx.trace_id;
+  slot.event.worker = ctx.worker;
+  slot.event.value = value;
+  CopyTruncated(slot.event.name, sizeof(slot.event.name), name);
+  CopyTruncated(slot.event.detail, sizeof(slot.event.detail), detail);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::Snapshot() const {
+  std::vector<Event> events;
+  events.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    if (slot.event.seq != 0) events.push_back(slot.event);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return events;
+}
+
+std::string FlightRecorder::Dump(std::size_t max_events) const {
+  std::vector<Event> events = Snapshot();
+  if (events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(max_events));
+  }
+  std::string out = "== flight recorder (" + std::to_string(events.size()) +
+                    " most recent events) ==\n";
+  if (events.empty()) out += "  (empty)\n";
+  for (const Event& event : events) {
+    char buf[224];
+    std::snprintf(buf, sizeof(buf), "  [%12.6fs] %s %s", event.time_seconds,
+                  KindName(event.kind), event.name);
+    out += buf;
+    if (event.detail[0] != '\0') {
+      out += " ";
+      out += event.detail;
+    }
+    if (event.trace_id != 0) {
+      out += " trace=" + std::to_string(event.trace_id);
+    }
+    if (event.worker != kNoWorker) {
+      out += " worker=" + std::to_string(event.worker);
+    }
+    if (event.value != 0) {
+      out += " value=" + std::to_string(event.value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  for (Slot& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot.mutex);
+    slot.event = Event{};
+  }
+}
+
+}  // namespace vdb::obs
+
+#else  // VDB_OBS_DISABLED
+
+namespace vdb::obs {}
+
+#endif  // VDB_OBS_DISABLED

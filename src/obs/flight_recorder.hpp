@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file flight_recorder.hpp
+/// A fixed-size in-memory ring of recent structured events — traced span
+/// completions, status errors leaving the codec, injected faults, router
+/// retries/hedges — that turns a chaos-suite failure from "seed 47 failed"
+/// into a readable last-N-events timeline. Writers claim a slot with one
+/// atomic fetch_add and fill it under a per-slot mutex taken with try_lock,
+/// so a writer never blocks on another writer (a contended slot is simply
+/// dropped: the recorder is lossy by design, never a bottleneck). Readers
+/// (Snapshot/Dump — test/crash-site time) take the slot locks outright.
+///
+/// Sizing: kCapacity = 256 slots × ~200 bytes ≈ 50 KiB, fixed at startup.
+/// Dump() renders the most recent 200 by default — enough to see the fault
+/// injections, retries, and span completions leading up to a violation.
+///
+/// Compile-out: under VDB_OBS_DISABLED the class does not exist (enforced by
+/// cmake/obs_disabled_flight_check.cpp); only the VDB_FLIGHT no-op macro and
+/// stub dump helpers remain.
+
+#include <cstdint>
+#include <string>
+
+#include "common/trace.hpp"
+
+#ifndef VDB_OBS_DISABLED
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace vdb::obs {
+
+class FlightRecorder {
+ public:
+  enum class EventKind : std::uint8_t { kSpan, kError, kFault, kRetry, kNote };
+
+  /// One recorded event. `seq` is the global claim order (0 = slot never
+  /// written); trace id and worker attribution are captured from the writing
+  /// thread's TraceContext. `value` is kind-specific: span duration in µs,
+  /// injected delay in µs, retry attempt number, free-form otherwise.
+  struct Event {
+    std::uint64_t seq = 0;
+    double time_seconds = 0.0;  // obs::NowSeconds() axis
+    EventKind kind = EventKind::kNote;
+    std::uint64_t trace_id = 0;
+    std::uint32_t worker = kNoWorker;
+    std::int64_t value = 0;
+    char name[48] = {};    // site / fault site / endpoint (truncated)
+    char detail[64] = {};  // status message, fault kind, ... (truncated)
+  };
+
+  static constexpr std::size_t kCapacity = 256;
+
+  static FlightRecorder& Instance();
+
+  /// Records one event; wait-free for the writer (slot contention drops the
+  /// event instead of blocking).
+  void Record(EventKind kind, std::string_view name, std::string_view detail,
+              std::int64_t value = 0);
+
+  /// Copies every live slot, ordered oldest → newest by seq.
+  std::vector<Event> Snapshot() const;
+
+  /// Human-readable timeline of the most recent `max_events` events.
+  std::string Dump(std::size_t max_events = 200) const;
+
+  /// Empties every slot (seq numbering keeps advancing). Tests call this to
+  /// isolate scenarios.
+  void Clear();
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    mutable std::mutex mutex;
+    Event event;
+  };
+
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::array<Slot, kCapacity> slots_;
+};
+
+/// Instance().Dump(...), callable identically in disabled builds.
+inline std::string FlightRecorderDump(std::size_t max_events = 200) {
+  return FlightRecorder::Instance().Dump(max_events);
+}
+
+inline void FlightRecorderClear() { FlightRecorder::Instance().Clear(); }
+
+}  // namespace vdb::obs
+
+/// Records a flight-recorder event with kind `kind` (kSpan/kError/kFault/
+/// kRetry/kNote, without the EventKind:: prefix):
+///   VDB_FLIGHT(kFault, site, "fail", 0);
+#define VDB_FLIGHT(kind, name, detail, value)                                  \
+  ::vdb::obs::FlightRecorder::Instance().Record(                               \
+      ::vdb::obs::FlightRecorder::EventKind::kind, name, detail, value)
+
+#else  // VDB_OBS_DISABLED
+
+namespace vdb::obs {
+
+inline std::string FlightRecorderDump(std::size_t = 200) {
+  return "flight recorder compiled out (VDB_OBS_DISABLED)\n";
+}
+
+inline void FlightRecorderClear() {}
+
+}  // namespace vdb::obs
+
+#define VDB_FLIGHT(kind, name, detail, value) static_cast<void>(0)
+
+#endif  // VDB_OBS_DISABLED

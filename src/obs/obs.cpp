@@ -3,9 +3,13 @@
 #ifndef VDB_OBS_DISABLED
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <functional>
+#include <thread>
 
 #include "metrics/table.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace vdb::obs {
 
@@ -31,17 +35,48 @@ std::string FmtMs(double microseconds) {
   return buf;
 }
 
+std::uint64_t ThreadIdHash() {
+  return static_cast<std::uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
 }  // namespace
 
+double NowSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void SpanSite::RecordDuration(double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hist_.Record(seconds * 1e6);
+}
+
 void SpanSite::Record(double seconds) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    hist_.Record(seconds * 1e6);
-  }
-  const std::uint64_t trace = CurrentTraceId();
-  if (trace != 0) {
-    MetricsRegistry::Instance().RecordTraceSample(trace, name_, seconds);
-  }
+  RecordDuration(seconds);
+  const TraceContext ctx = CurrentTraceContext();
+  if (ctx.trace_id == 0) return;
+  SpanEvent event;
+  event.name = name_;
+  event.trace_id = ctx.trace_id;
+  event.span_id = NewSpanId();
+  event.parent_id = ctx.span_id;
+  event.worker = ctx.worker;
+  event.node = ctx.node;
+  event.thread_id = ThreadIdHash();
+  event.start_seconds = NowSeconds() - seconds;
+  event.duration_seconds = seconds;
+  MetricsRegistry::Instance().RecordTraceEvent(std::move(event));
+}
+
+void SpanSite::RecordEvent(SpanEvent&& event) {
+  RecordDuration(event.duration_seconds);
+  if (event.trace_id == 0) return;
+  FlightRecorder::Instance().Record(
+      FlightRecorder::EventKind::kSpan, name_, "",
+      static_cast<std::int64_t>(event.duration_seconds * 1e6));
+  MetricsRegistry::Instance().RecordTraceEvent(std::move(event));
 }
 
 std::uint64_t SpanSite::Count() const {
@@ -78,24 +113,59 @@ Counter& MetricsRegistry::CounterFor(const std::string& name) {
   return *slot;
 }
 
-void MetricsRegistry::RecordTraceSample(std::uint64_t trace_id,
-                                        const std::string& span, double seconds) {
-  std::lock_guard<std::mutex> lock(trace_mutex_);
-  auto it = traces_.find(trace_id);
-  if (it == traces_.end()) {
-    if (traces_.size() >= kMaxTraces) return;  // bounded: drop, never grow
-    it = traces_.emplace(trace_id, std::vector<StageSample>{}).first;
-  }
-  if (it->second.size() >= kMaxSamplesPerTrace) return;
-  it->second.push_back({span, seconds});
+Gauge& MetricsRegistry::GaugeFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
 }
 
-std::vector<StageSample> MetricsRegistry::TakeTrace(std::uint64_t trace_id) {
+void MetricsRegistry::RecordTraceEvent(SpanEvent&& event) {
+  if (event.trace_id == 0) return;
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(trace_mutex_);
+    auto it = traces_.find(event.trace_id);
+    if (it == traces_.end()) {
+      if (traces_.size() >= kMaxTraces) {
+        // LRU eviction: abandoned traces (never taken) age out instead of
+        // pinning the table and silently starving every later trace.
+        auto victim = traces_.begin();
+        for (auto jt = traces_.begin(); jt != traces_.end(); ++jt) {
+          if (jt->second.touch < victim->second.touch) victim = jt;
+        }
+        traces_.erase(victim);
+        evicted = true;
+      }
+      it = traces_.emplace(event.trace_id, TraceEntry{}).first;
+    }
+    TraceEntry& entry = it->second;
+    entry.touch = ++trace_tick_;
+    if (entry.events.size() < kMaxSamplesPerTrace) {
+      entry.events.push_back(std::move(event));
+    }
+  }
+  // Counter bump outside trace_mutex_: CounterFor takes the registry mutex
+  // and we keep the two locks un-nested.
+  if (evicted) VDB_COUNTER_ADD("obs.trace.dropped", 1);
+}
+
+std::vector<SpanEvent> MetricsRegistry::TakeTraceEvents(std::uint64_t trace_id) {
   std::lock_guard<std::mutex> lock(trace_mutex_);
   const auto it = traces_.find(trace_id);
   if (it == traces_.end()) return {};
-  std::vector<StageSample> samples = std::move(it->second);
+  std::vector<SpanEvent> events = std::move(it->second.events);
   traces_.erase(it);
+  return events;
+}
+
+std::vector<StageSample> MetricsRegistry::TakeTrace(std::uint64_t trace_id) {
+  const std::vector<SpanEvent> events = TakeTraceEvents(trace_id);
+  std::vector<StageSample> samples;
+  samples.reserve(events.size());
+  for (const SpanEvent& event : events) {
+    samples.push_back({event.name, event.duration_seconds});
+  }
   return samples;
 }
 
@@ -106,6 +176,12 @@ std::string MetricsRegistry::Render() const {
   if (counters_.empty()) out += "  (none)\n";
   for (const auto& [name, counter] : counters_) {
     out += "  " + name + " = " + std::to_string(counter->Value()) + "\n";
+  }
+  out += "gauges (current/max):\n";
+  if (gauges_.empty()) out += "  (none)\n";
+  for (const auto& [name, gauge] : gauges_) {
+    out += "  " + name + " = " + std::to_string(gauge->Value()) + " / " +
+           std::to_string(gauge->Max()) + "\n";
   }
   out += "spans (us):\n";
   if (spans_.empty()) out += "  (none)\n";
@@ -123,6 +199,14 @@ std::string MetricsRegistry::RenderJson() const {
     if (!first) out += ",";
     first = false;
     out += "\"" + name + "\":" + std::to_string(counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"value\":" + std::to_string(gauge->Value()) +
+           ",\"max\":" + std::to_string(gauge->Max()) + "}";
   }
   out += "},\"spans\":{";
   first = true;
@@ -173,6 +257,10 @@ void MetricsRegistry::Reset() {
     for (auto& [name, counter] : counters_) {
       counter->value_.store(0, std::memory_order_relaxed);
     }
+    for (auto& [name, gauge] : gauges_) {
+      gauge->value_.store(0, std::memory_order_relaxed);
+      gauge->max_.store(0, std::memory_order_relaxed);
+    }
     for (auto& [name, site] : spans_) {
       std::lock_guard<std::mutex> site_lock(site->mutex_);
       site->hist_ = LatencyHistogram();
@@ -182,8 +270,67 @@ void MetricsRegistry::Reset() {
   traces_.clear();
 }
 
+SpanTimer::SpanTimer(SpanSite& site, SpanAttrs attrs)
+    : site_(site), attrs_(attrs) {
+  TraceContext& ctx = MutableTraceContext();
+  traced_ = ctx.trace_id != 0;
+  if (!traced_) return;  // untraced: histogram-only, skip span bookkeeping
+  parent_id_ = ctx.span_id;
+  span_id_ = NewSpanId();
+  prev_span_name_ = ctx.span_name;
+  ctx.span_id = span_id_;
+  ctx.span_name = site_.Name().c_str();
+  start_seconds_ = NowSeconds();
+}
+
+SpanTimer::~SpanTimer() {
+  const double seconds = watch_.ElapsedSeconds();
+  if (!traced_) {
+    site_.RecordDuration(seconds);
+    return;
+  }
+  TraceContext& ctx = MutableTraceContext();
+  SpanEvent event;
+  event.name = site_.Name();
+  event.trace_id = ctx.trace_id;
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.worker = attrs_.worker != kNoWorker ? attrs_.worker : ctx.worker;
+  event.node = attrs_.node != kNoNode ? attrs_.node : ctx.node;
+  event.shard = attrs_.shard;
+  event.thread_id = ThreadIdHash();
+  event.start_seconds = start_seconds_;
+  event.duration_seconds = seconds;
+  ctx.span_id = parent_id_;
+  ctx.span_name = prev_span_name_;
+  site_.RecordEvent(std::move(event));
+}
+
 void RecordStageSeconds(const std::string& span, double seconds) {
   MetricsRegistry::Instance().SpanSiteFor(span).Record(seconds);
+}
+
+std::uint64_t RecordSpanEventAt(const std::string& span,
+                                const TraceToken& parent, double start_seconds,
+                                double duration_seconds, std::uint32_t worker,
+                                std::uint32_t node, std::uint64_t shard,
+                                std::uint64_t span_id) {
+  SpanSite& site = MetricsRegistry::Instance().SpanSiteFor(span);
+  site.RecordDuration(duration_seconds);
+  if (parent.trace_id == 0) return 0;
+  SpanEvent event;
+  event.name = span;
+  event.trace_id = parent.trace_id;
+  event.span_id = span_id != 0 ? span_id : NewSpanId();
+  event.parent_id = parent.parent_span;
+  event.worker = worker;
+  event.node = node;
+  event.shard = shard;
+  event.start_seconds = start_seconds;
+  event.duration_seconds = duration_seconds;
+  const std::uint64_t recorded_id = event.span_id;
+  MetricsRegistry::Instance().RecordTraceEvent(std::move(event));
+  return recorded_id;
 }
 
 void AddCounter(const std::string& name, std::uint64_t n) {

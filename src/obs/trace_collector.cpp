@@ -1,0 +1,384 @@
+#include "obs/trace_collector.hpp"
+
+#ifndef VDB_OBS_DISABLED
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "metrics/table.hpp"
+
+namespace vdb::obs {
+
+namespace {
+
+/// Lane ordering key: attributed workers first (by node, then worker id),
+/// unattributed spans last.
+std::pair<std::uint64_t, std::uint64_t> LaneKey(const SpanEvent& event) {
+  const std::uint64_t node =
+      event.node == kNoNode ? ~0ull : static_cast<std::uint64_t>(event.node);
+  const std::uint64_t worker = event.worker == kNoWorker
+                                   ? ~0ull
+                                   : static_cast<std::uint64_t>(event.worker);
+  return {node, worker};
+}
+
+std::string LaneLabel(const SpanEvent& event) {
+  if (event.worker != kNoWorker) return "worker " + std::to_string(event.worker);
+  if (event.node != kNoNode) return "node " + std::to_string(event.node);
+  return "-";
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+/// Total covered seconds of a set of [start, end) intervals (union, so
+/// nested/overlapping spans are not double-counted).
+double IntervalUnionSeconds(std::vector<std::pair<double, double>> intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0;
+  double lo = intervals.front().first;
+  double hi = intervals.front().second;
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first > hi) {
+      total += hi - lo;
+      lo = intervals[i].first;
+      hi = intervals[i].second;
+    } else {
+      hi = std::max(hi, intervals[i].second);
+    }
+  }
+  total += hi - lo;
+  return total;
+}
+
+std::string FmtMs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return buf;
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(std::vector<SpanEvent> events)
+    : events_(std::move(events)) {
+  std::sort(events_.begin(), events_.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              const auto ka = LaneKey(a);
+              const auto kb = LaneKey(b);
+              if (ka != kb) return ka < kb;
+              if (a.start_seconds != b.start_seconds) {
+                return a.start_seconds < b.start_seconds;
+              }
+              return a.span_id < b.span_id;
+            });
+  if (!events_.empty()) {
+    start_ = events_.front().start_seconds;
+    end_ = events_.front().start_seconds + events_.front().duration_seconds;
+    for (const SpanEvent& event : events_) {
+      start_ = std::min(start_, event.start_seconds);
+      end_ = std::max(end_, event.start_seconds + event.duration_seconds);
+    }
+  }
+}
+
+std::string TraceCollector::ChromeTraceJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // Metadata: name the pid/tid lanes after nodes/workers so Perfetto shows
+  // "worker 3" instead of a bare thread number.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> named_threads;
+  std::set<std::uint64_t> named_processes;
+  for (const SpanEvent& event : events_) {
+    const std::uint64_t pid = event.node == kNoNode ? 0 : event.node;
+    const std::uint64_t tid = event.worker != kNoWorker
+                                  ? event.worker
+                                  : event.thread_id % 1000000;
+    if (event.node != kNoNode && named_processes.insert(pid).second) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+             std::to_string(pid) + ",\"args\":{\"name\":\"node " +
+             std::to_string(event.node) + "\"}}";
+    }
+    if (event.worker != kNoWorker &&
+        named_threads.insert({pid, tid}).second) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+             ",\"args\":{\"name\":\"worker " + std::to_string(event.worker) +
+             "\"}}";
+    }
+  }
+  for (const SpanEvent& event : events_) {
+    const std::uint64_t pid = event.node == kNoNode ? 0 : event.node;
+    const std::uint64_t tid = event.worker != kNoWorker
+                                  ? event.worker
+                                  : event.thread_id % 1000000;
+    if (!first) out += ",";
+    first = false;
+    char buf[96];
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, event.name);
+    out += "\",\"cat\":\"vdb\",\"ph\":\"X\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"dur\":%.3f",
+                  (event.start_seconds - start_) * 1e6,
+                  event.duration_seconds * 1e6);
+    out += buf;
+    out += ",\"pid\":" + std::to_string(pid) + ",\"tid\":" +
+           std::to_string(tid);
+    out += ",\"args\":{\"trace\":\"" + std::to_string(event.trace_id) +
+           "\",\"span\":\"" + std::to_string(event.span_id) +
+           "\",\"parent\":\"" + std::to_string(event.parent_id) + "\"";
+    if (event.shard != kNoShard) {
+      out += ",\"shard\":\"" + std::to_string(event.shard) + "\"";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceCollector::AsciiGantt(std::size_t width) const {
+  if (events_.empty()) return "  (empty trace)\n";
+  if (width < 8) width = 8;
+  const double total = std::max(end_ - start_, 1e-12);
+  std::string out;
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "  trace %llu: %zu spans over %.3f ms\n",
+                static_cast<unsigned long long>(events_.front().trace_id),
+                events_.size(), total * 1e3);
+  out += head;
+  for (const SpanEvent& event : events_) {
+    std::string lane = LaneLabel(event);
+    lane.resize(10, ' ');
+    std::string name = event.name;
+    if (name.size() > 26) name.resize(26);
+    name.resize(26, ' ');
+    std::string bar(width, ' ');
+    const auto col = [&](double t) {
+      double frac = (t - start_) / total;
+      frac = std::min(std::max(frac, 0.0), 1.0);
+      return static_cast<std::size_t>(frac * static_cast<double>(width - 1));
+    };
+    const std::size_t lo = col(event.start_seconds);
+    std::size_t hi = col(event.start_seconds + event.duration_seconds);
+    if (hi < lo) hi = lo;
+    for (std::size_t i = lo; i <= hi && i < width; ++i) bar[i] = '#';
+    out += "  " + lane + " " + name + " [" + bar + "] " +
+           FmtMs(event.duration_seconds) + " ms\n";
+  }
+  return out;
+}
+
+SlowQueryLog& SlowQueryLog::Instance() {
+  static SlowQueryLog* log = new SlowQueryLog();  // never destroyed
+  return *log;
+}
+
+void SlowQueryLog::Configure(double threshold_seconds, std::size_t keep) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  threshold_seconds_ = threshold_seconds;
+  keep_ = std::max<std::size_t>(keep, 1);
+  std::erase_if(entries_, [&](const TraceRecord& record) {
+    return record.duration_seconds < threshold_seconds_;
+  });
+  if (entries_.size() > keep_) entries_.resize(keep_);
+}
+
+void SlowQueryLog::Offer(std::uint64_t trace_id, std::string root_name,
+                         double duration_seconds) {
+  // Always drain the trace's events out of the registry table — completed
+  // traces must not linger there competing with live ones for kMaxTraces.
+  std::vector<SpanEvent> events =
+      MetricsRegistry::Instance().TakeTraceEvents(trace_id);
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (duration_seconds < threshold_seconds_) return;
+  if (entries_.size() >= keep_ &&
+      duration_seconds <= entries_.back().duration_seconds) {
+    return;
+  }
+  TraceRecord record{trace_id, std::move(root_name), duration_seconds,
+                     std::move(events)};
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), record,
+      [](const TraceRecord& a, const TraceRecord& b) {
+        return a.duration_seconds > b.duration_seconds;
+      });
+  entries_.insert(pos, std::move(record));
+  if (entries_.size() > keep_) entries_.resize(keep_);
+}
+
+std::vector<TraceRecord> SlowQueryLog::Entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+std::size_t SlowQueryLog::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+std::string RenderStragglerTable(const std::vector<TraceRecord>& traces) {
+  struct WorkerStats {
+    std::vector<double> busy_seconds;  // one entry per fan-out trace
+    std::vector<double> busy_share;
+  };
+  std::map<std::uint32_t, WorkerStats> workers;
+  std::vector<double> spreads;  // per-trace slowest/fastest worker ratio
+  for (const TraceRecord& trace : traces) {
+    std::map<std::uint32_t, std::vector<std::pair<double, double>>> intervals;
+    for (const SpanEvent& event : trace.events) {
+      if (event.worker == kNoWorker) continue;
+      intervals[event.worker].push_back(
+          {event.start_seconds,
+           event.start_seconds + event.duration_seconds});
+    }
+    double busy_min = 0.0;
+    double busy_max = 0.0;
+    bool any = false;
+    for (auto& [worker, spans] : intervals) {
+      const double busy = IntervalUnionSeconds(std::move(spans));
+      WorkerStats& stats = workers[worker];
+      stats.busy_seconds.push_back(busy);
+      stats.busy_share.push_back(
+          trace.duration_seconds > 0.0
+              ? std::min(busy / trace.duration_seconds, 1.0)
+              : 0.0);
+      busy_min = any ? std::min(busy_min, busy) : busy;
+      busy_max = any ? std::max(busy_max, busy) : busy;
+      any = true;
+    }
+    if (intervals.size() >= 2 && busy_min > 0.0) {
+      spreads.push_back(busy_max / busy_min);
+    }
+  }
+  if (workers.empty()) {
+    return "  (no worker-attributed spans in captured traces)\n";
+  }
+  TextTable table("per-worker straggler breakdown (" +
+                  std::to_string(traces.size()) + " fan-out traces)");
+  table.SetHeader(
+      {"worker", "fanouts", "min ms", "median ms", "max ms", "busy share"});
+  for (auto& [worker, stats] : workers) {
+    const auto [min_it, max_it] = std::minmax_element(
+        stats.busy_seconds.begin(), stats.busy_seconds.end());
+    double share = 0.0;
+    for (const double s : stats.busy_share) share += s;
+    share /= static_cast<double>(stats.busy_share.size());
+    table.AddRow({std::to_string(worker),
+                  TextTable::Int(static_cast<std::int64_t>(
+                      stats.busy_seconds.size())),
+                  FmtMs(*min_it), FmtMs(Median(stats.busy_seconds)),
+                  FmtMs(*max_it), TextTable::Num(share, 3)});
+  }
+  std::string out = table.Render();
+  if (!spreads.empty()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "  median fan-out spread (slowest/fastest worker): %.2fx\n",
+                  Median(spreads));
+    out += buf;
+  }
+  return out;
+}
+
+TraceRoot::~TraceRoot() {
+  SlowQueryLog::Instance().Offer(id_, std::move(name_),
+                                 watch_.ElapsedSeconds());
+}
+
+void ConfigureSlowQueryLog(double threshold_seconds, std::size_t keep) {
+  SlowQueryLog::Instance().Configure(threshold_seconds, keep);
+}
+
+void OfferSlowTrace(std::uint64_t trace_id, std::string root_name,
+                    double duration_seconds) {
+  SlowQueryLog::Instance().Offer(trace_id, std::move(root_name),
+                                 duration_seconds);
+}
+
+void ClearSlowQueryLog() { SlowQueryLog::Instance().Clear(); }
+
+std::string RenderPhaseTimelines(const std::string& phase,
+                                 const std::string& json_out_path) {
+  const std::vector<TraceRecord> entries = SlowQueryLog::Instance().Entries();
+  if (entries.empty()) {
+    return "(no traces captured for phase " + phase + ")\n";
+  }
+  std::string out = RenderStragglerTable(entries);
+  const TraceRecord& slowest = entries.front();
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "slowest trace of phase %s: %s (trace=%llu, %.3f ms)\n",
+                phase.c_str(), slowest.root_name.c_str(),
+                static_cast<unsigned long long>(slowest.trace_id),
+                slowest.duration_seconds * 1e3);
+  out += head;
+  TraceCollector collector(slowest.events);
+  out += collector.AsciiGantt();
+  if (!json_out_path.empty()) {
+    std::ofstream file(json_out_path, std::ios::trunc);
+    if (file) {
+      file << collector.ChromeTraceJson();
+      out += "chrome trace JSON (load in chrome://tracing or "
+             "https://ui.perfetto.dev): " +
+             json_out_path + "\n";
+    } else {
+      out += "(could not write chrome trace JSON to " + json_out_path + ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vdb::obs
+
+#else  // VDB_OBS_DISABLED
+
+namespace vdb::obs {}
+
+#endif  // VDB_OBS_DISABLED

@@ -1,0 +1,174 @@
+#pragma once
+
+/// \file trace_collector.hpp
+/// Timeline assembly on top of the registry's per-trace SpanEvent table:
+///
+///  - TraceCollector turns one trace's events into renderable timelines —
+///    Chrome trace-event JSON (load in chrome://tracing or
+///    https://ui.perfetto.dev) and an ASCII per-worker gantt for terminals.
+///  - SlowQueryLog keeps the top-N completed traces by duration above a
+///    configurable threshold, each with its full span tree, queryable from
+///    tests and benches.
+///  - RenderStragglerTable aggregates per-worker busy time across fan-out
+///    traces (min/median/max worker time, busy-vs-idle share) — the paper's
+///    "query latency = slowest of N workers" story (fig. 5) as first-class
+///    output.
+///  - TraceRoot is the bench/test-facing RAII: opens a TraceScope with a
+///    fresh id and offers the completed trace to the SlowQueryLog on exit.
+///
+/// Compile-out: under VDB_OBS_DISABLED the collector and log do not exist
+/// (enforced by cmake/obs_disabled_collector_check.cpp); only no-op stubs of
+/// the free functions and TraceRoot remain.
+
+#include <cstdint>
+#include <string>
+
+#include "common/trace.hpp"
+#include "obs/obs.hpp"
+
+#ifndef VDB_OBS_DISABLED
+
+#include <mutex>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace vdb::obs {
+
+/// A completed trace: its root name, end-to-end duration, and full span tree.
+struct TraceRecord {
+  std::uint64_t trace_id = 0;
+  std::string root_name;
+  double duration_seconds = 0.0;
+  std::vector<SpanEvent> events;
+};
+
+/// Assembles one trace's span events (any order) into timelines. Events may
+/// be on the engine clock (obs::NowSeconds) or virtual sim seconds — the
+/// collector only uses differences from the trace's earliest start.
+class TraceCollector {
+ public:
+  explicit TraceCollector(std::vector<SpanEvent> events);
+
+  const std::vector<SpanEvent>& Events() const { return events_; }
+  bool Empty() const { return events_.empty(); }
+  double StartSeconds() const { return start_; }
+  double EndSeconds() const { return end_; }
+
+  /// Chrome trace-event JSON (object format, "X" complete events, ts/dur in
+  /// microseconds relative to the trace start; pid = node, tid = worker).
+  /// Loadable in chrome://tracing and Perfetto.
+  std::string ChromeTraceJson() const;
+
+  /// Terminal gantt: one row per span, grouped into per-worker lanes, bar
+  /// position/length proportional to start/duration within the trace.
+  std::string AsciiGantt(std::size_t width = 60) const;
+
+ private:
+  std::vector<SpanEvent> events_;  // sorted by (lane, start)
+  double start_ = 0.0;
+  double end_ = 0.0;
+};
+
+/// Bounded keep-top-N-by-duration log of completed traces. Offer() drains
+/// the trace's events out of the MetricsRegistry table (so completed traces
+/// never linger there) and keeps the record only if it clears the threshold
+/// and the current top-N. Thread-safe.
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Instance();
+
+  /// `threshold_seconds`: minimum duration to consider (0 = keep any);
+  /// `keep`: how many slowest traces to retain.
+  void Configure(double threshold_seconds, std::size_t keep);
+
+  /// Reports a completed trace. Always removes the trace's events from the
+  /// registry; records with no events (unknown/evicted trace) are ignored.
+  void Offer(std::uint64_t trace_id, std::string root_name,
+             double duration_seconds);
+
+  /// Retained traces, slowest first.
+  std::vector<TraceRecord> Entries() const;
+
+  std::size_t Size() const;
+  void Clear();
+
+ private:
+  SlowQueryLog() = default;
+
+  mutable std::mutex mutex_;
+  double threshold_seconds_ = 0.0;
+  std::size_t keep_ = 8;
+  std::vector<TraceRecord> entries_;  // sorted by duration, descending
+};
+
+/// Per-worker straggler aggregation across fan-out traces: for every worker,
+/// min/median/max busy seconds per fan-out (interval-union of its spans, so
+/// nested spans don't double-count) and mean busy share of the trace
+/// duration. Ends with the median slowest/fastest-worker spread.
+std::string RenderStragglerTable(const std::vector<TraceRecord>& traces);
+
+/// RAII trace root for benches/tests: opens a TraceScope under a fresh trace
+/// id; on destruction offers the completed trace (wall-clock duration) to
+/// the SlowQueryLog.
+class TraceRoot {
+ public:
+  explicit TraceRoot(std::string name)
+      : name_(std::move(name)), id_(NewTraceId()), scope_(id_) {}
+  ~TraceRoot();
+  TraceRoot(const TraceRoot&) = delete;
+  TraceRoot& operator=(const TraceRoot&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::string name_;
+  std::uint64_t id_;
+  TraceScope scope_;
+  Stopwatch watch_;
+};
+
+/// SlowQueryLog::Instance().Configure(...), callable in disabled builds.
+void ConfigureSlowQueryLog(double threshold_seconds, std::size_t keep);
+
+/// SlowQueryLog::Instance().Offer(...), callable in disabled builds. The
+/// simulator uses this with virtual durations.
+void OfferSlowTrace(std::uint64_t trace_id, std::string root_name,
+                    double duration_seconds);
+
+/// SlowQueryLog::Instance().Clear(), callable in disabled builds. Benches
+/// use this to scope the timeline report to one phase of a multi-phase run.
+void ClearSlowQueryLog();
+
+/// Bench-phase report: straggler table over every slow-log entry, ASCII
+/// gantt of the slowest trace, and (when `json_out_path` is non-empty) its
+/// Chrome trace-event JSON written to that path. Returns the rendered text;
+/// callable in disabled builds (returns a compiled-out note).
+std::string RenderPhaseTimelines(const std::string& phase,
+                                 const std::string& json_out_path);
+
+}  // namespace vdb::obs
+
+#else  // VDB_OBS_DISABLED
+
+namespace vdb::obs {
+
+class TraceRoot {
+ public:
+  explicit TraceRoot(const std::string&) {}
+  TraceRoot(const TraceRoot&) = delete;
+  TraceRoot& operator=(const TraceRoot&) = delete;
+  std::uint64_t id() const { return 0; }
+};
+
+inline void ConfigureSlowQueryLog(double, std::size_t) {}
+inline void OfferSlowTrace(std::uint64_t, std::string, double) {}
+inline void ClearSlowQueryLog() {}
+inline std::string RenderPhaseTimelines(const std::string&,
+                                        const std::string&) {
+  return "trace timelines compiled out (VDB_OBS_DISABLED)\n";
+}
+
+}  // namespace vdb::obs
+
+#endif  // VDB_OBS_DISABLED

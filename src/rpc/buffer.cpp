@@ -103,6 +103,12 @@ Buffer BufferPool::Allocate(std::size_t size) {
     slab = std::make_unique<detail::Slab>(size);
   }
 
+  // Leased bytes: slab capacity is out with a Buffer from here until the
+  // deleter runs. The gauge's max is the data plane's peak working set.
+  // (The registry is leaked, so the deleter may run during teardown safely.)
+  VDB_GAUGE_ADD("rpc.pool.leased_bytes",
+                static_cast<std::int64_t>(slab->capacity));
+
   // The deleter routes the slab back through the pool if (a) the slab is a
   // pooled size class and (b) the pool state is still alive. A weak_ptr
   // keeps buffers that outlive the pool safe: they just free to the heap.
@@ -111,6 +117,8 @@ Buffer BufferPool::Allocate(std::size_t size) {
   auto shared = std::shared_ptr<detail::Slab>(
       slab.release(), [weak_state](detail::Slab* s) {
         std::unique_ptr<detail::Slab> owned(s);
+        VDB_GAUGE_ADD("rpc.pool.leased_bytes",
+                      -static_cast<std::int64_t>(owned->capacity));
         if (auto state = weak_state.lock()) {
           std::lock_guard<std::mutex> lock(state->mutex);
           if (state->retained_bytes + owned->capacity <=

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace vdb {
@@ -872,6 +873,10 @@ Result<TransferShardResponse> DecodeTransferShardResponse(const Message& msg) {
 }
 
 Message EncodeErrorResponse(const Status& status) {
+  // Every status that crosses the wire as an error passes through here, so
+  // this is the one choke point where the flight recorder sees all of them.
+  VDB_FLIGHT(kError, "rpc.error", status.ToString(),
+             static_cast<std::int64_t>(status.code()));
   Message msg = NewMessage(MessageType::kErrorResponse,
                            8 + status.message().size());
   BodyWriter w(msg);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
 namespace vdb {
@@ -33,10 +34,12 @@ struct PendingCall {
   /// caller or a service thread — a real NIC doesn't hold a CPU while a
   /// message is in flight).
   double rtt_delay = 0.0;
-  /// Caller's trace id, re-installed on the service thread that runs the
-  /// handler — the in-process analogue of a trace header on the wire. Makes
-  /// worker-side spans attributable to the originating client call.
-  std::uint64_t trace_id = 0;
+  /// Caller's full trace context (trace id + innermost span + attribution),
+  /// re-installed on the service thread that runs the handler — the
+  /// in-process analogue of a trace header on the wire. Carrying the span id
+  /// (not just the trace id) keeps handler-side spans parented under the
+  /// caller's span, so span trees stay connected across hops.
+  obs::TraceContext trace_ctx;
 };
 
 }  // namespace
@@ -51,7 +54,7 @@ struct InprocTransport::Endpoint {
 
   void Serve() {
     while (auto call = queue.Pop()) {
-      obs::TraceScope trace(call->trace_id);
+      obs::TraceContextScope trace(call->trace_ctx);
       Message response;
       {
         VDB_SPAN("rpc.handle");
@@ -163,11 +166,15 @@ std::future<Message> InprocTransport::CallAsync(const std::string& endpoint_name
     const faults::FaultDecision decision =
         fault_plan->Evaluate("rpc/" + endpoint_name);
     if (decision.fail || decision.crash) {
+      VDB_FLIGHT(kFault, "rpc/" + endpoint_name,
+                 decision.crash ? "injected crash" : "injected fail", 0);
       promise.set_value(EncodeErrorResponse(
           Status::Unavailable("injected fault at rpc/" + endpoint_name)));
       return future;
     }
     if (decision.drop) {
+      VDB_FLIGHT(kFault, "rpc/" + endpoint_name, "injected drop",
+                 static_cast<std::int64_t>(decision.delay_seconds * 1e6));
       // The request vanishes before the handler: the caller observes only
       // silence, resolved as Unavailable once the sampled detection delay
       // elapses (so deadline-based callers time out first when configured).
@@ -184,13 +191,17 @@ std::future<Message> InprocTransport::CallAsync(const std::string& endpoint_name
       }
       return future;
     }
+    if (decision.delay_seconds > 0.0) {
+      VDB_FLIGHT(kFault, "rpc/" + endpoint_name, "injected delay",
+                 static_cast<std::int64_t>(decision.delay_seconds * 1e6));
+    }
     injected_delay = decision.delay_seconds;
   }
 
   PendingCall call;
   call.request = std::move(request);
   call.response = std::move(promise);
-  call.trace_id = obs::CurrentTraceId();
+  call.trace_ctx = obs::CurrentTraceContext();
   // Round trip: request transit (size-dependent) + response transit
   // (responses are small: top-k ids). Applied asynchronously after the
   // handler so concurrent in-flight calls overlap their latency, as on a

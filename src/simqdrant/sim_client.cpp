@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "obs/trace_collector.hpp"
 #include "simqdrant/sim_cluster.hpp"
 
 namespace vdb::simq {
@@ -117,23 +118,47 @@ void SimQueryClient::Dispatch(std::uint64_t batch) {
   ++report_.batches;
   const double issued_at = cluster_.Sim().Now();
 
+  // One trace per query batch. The root span id is pre-allocated so every
+  // downstream span (fan-out, per-worker search) can parent under it before
+  // the root's duration is known; OnResponse back-fills the root event and
+  // offers the completed trace to the slow-query log (virtual duration).
+  const std::uint64_t trace_id = obs::kEnabled ? obs::NewTraceId() : 0;
+  const std::uint64_t root_span = trace_id != 0 ? obs::NewSpanId() : 0;
+  const obs::TraceToken token{trace_id, root_span};
+
   const std::uint64_t bytes =
       batch * static_cast<std::uint64_t>(cluster_.Model().BytesPerVector());
   const NodeId client_node = cluster_.ClientNode();
   const NodeId entry_node = cluster_.NodeOfWorker(config_.entry_worker);
   cluster_.Network().Send(client_node, entry_node, bytes,
-                          [this, batch, client_node, entry_node, issued_at] {
+                          [this, batch, client_node, entry_node, issued_at,
+                           token] {
     cluster_.GetWorker(config_.entry_worker)
-        .HandleFanOutQuery(batch, [this, client_node, entry_node, issued_at] {
-          cluster_.Network().Send(entry_node, client_node, /*top-k ids*/ 4096,
-                                  [this, issued_at] { OnResponse(issued_at); });
-        });
+        .HandleFanOutQuery(
+            batch,
+            [this, client_node, entry_node, issued_at, token] {
+              cluster_.Network().Send(
+                  entry_node, client_node, /*top-k ids*/ 4096,
+                  [this, issued_at, token] {
+                    OnResponse(issued_at, token.trace_id, token.parent_span);
+                  });
+            },
+            token);
   });
 }
 
-void SimQueryClient::OnResponse(double issued_at) {
+void SimQueryClient::OnResponse(double issued_at, std::uint64_t trace_id,
+                                std::uint64_t root_span) {
   --in_flight_;
-  report_.call_seconds.Add(cluster_.Sim().Now() - issued_at);
+  const double elapsed = cluster_.Sim().Now() - issued_at;
+  report_.call_seconds.Add(elapsed);
+  if (trace_id != 0) {
+    obs::RecordSpanEventAt("client.query_batch",
+                           obs::TraceToken{trace_id, 0}, issued_at, elapsed,
+                           obs::kNoWorker, obs::kNoNode, obs::kNoShard,
+                           root_span);
+    obs::OfferSlowTrace(trace_id, "client.query_batch", elapsed);
+  }
   if (queries_sent_ >= config_.total_queries && in_flight_ == 0) {
     report_.finish_time = cluster_.Sim().Now();
     if (on_done_) on_done_();

@@ -82,7 +82,8 @@ class SimQueryClient {
  private:
   void LoopStep();
   void Dispatch(std::uint64_t batch);
-  void OnResponse(double issued_at);
+  void OnResponse(double issued_at, std::uint64_t trace_id,
+                  std::uint64_t root_span);
 
   SimQdrantCluster& cluster_;
   QueryClientConfig config_;

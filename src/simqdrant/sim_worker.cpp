@@ -18,14 +18,17 @@ SimWorker::SimWorker(SimQdrantCluster& cluster, WorkerId id, double local_gb)
 }
 
 void SimWorker::HandleInsertBatch(std::uint64_t batch_size,
-                                  std::function<void()> respond) {
+                                  std::function<void()> respond,
+                                  obs::TraceToken trace) {
   const PolarisCostModel& model = cluster_.Model();
   const double service = cluster_.Jitter(model.ServerInsertPerBatch(batch_size));
   obs::RecordStageSeconds("worker.upsert", service);  // virtual seconds
   auto& node_cpu = cluster_.NodeCpu(cluster_.NodeOfWorker(id_));
+  const double start = cluster_.Sim().Now();
 
   // Awaitable service: storing vectors + WAL + request handling.
-  node_cpu.Submit(service, 1.0, [this, batch_size, respond = std::move(respond)] {
+  node_cpu.Submit(service, 1.0,
+                  [this, batch_size, trace, start, respond = std::move(respond)] {
     // Background optimizer (data layout + index bookkeeping) continues after
     // the acknowledgement — fire-and-forget CPU load that contends with
     // everything else on the node (paper section 3.2).
@@ -33,12 +36,18 @@ void SimWorker::HandleInsertBatch(std::uint64_t batch_size,
                               static_cast<double>(batch_size);
     cluster_.NodeCpu(cluster_.NodeOfWorker(id_)).Submit(background, 1.0, [] {});
     AddLocalGB(cluster_.Model().GBForVectors(batch_size));
+    if (trace.trace_id != 0) {
+      obs::RecordSpanEventAt("worker.upsert_elapsed", trace, start,
+                             cluster_.Sim().Now() - start, id_,
+                             cluster_.NodeOfWorker(id_));
+    }
     respond();
   });
 }
 
 void SimWorker::HandleLocalQuery(std::uint64_t batch_size,
-                                 std::function<void()> respond) {
+                                 std::function<void()> respond,
+                                 obs::TraceToken trace) {
   double service =
       cluster_.Jitter(cluster_.Model().QueryServicePerBatch(batch_size, local_gb_));
   // Concurrent ingest (insert handling + background optimization) contends
@@ -47,16 +56,28 @@ void SimWorker::HandleLocalQuery(std::uint64_t batch_size,
       1.0, cluster_.NodeCpu(cluster_.NodeOfWorker(id_)).Utilization());
   service *= 1.0 + cluster_.Model().query_ingest_interference * utilization;
   obs::RecordStageSeconds("worker.search_local", service);  // virtual seconds
-  query_cpu_->Submit(service, 1.0, std::move(respond));
+  const double start = cluster_.Sim().Now();
+  query_cpu_->Submit(service, 1.0,
+                     [this, trace, start, respond = std::move(respond)] {
+    // The span covers queueing (pipeline contention) + service on the
+    // virtual clock — the per-worker busy window straggler attribution sums.
+    if (trace.trace_id != 0) {
+      obs::RecordSpanEventAt("worker.search_local_elapsed", trace, start,
+                             cluster_.Sim().Now() - start, id_,
+                             cluster_.NodeOfWorker(id_));
+    }
+    respond();
+  });
 }
 
 void SimWorker::HandleFanOutQuery(std::uint64_t batch_size,
-                                  std::function<void()> respond) {
+                                  std::function<void()> respond,
+                                  obs::TraceToken trace) {
   const PolarisCostModel& model = cluster_.Model();
   const std::uint32_t workers = cluster_.NumWorkers();
 
   if (workers <= 1) {
-    HandleLocalQuery(batch_size, std::move(respond));
+    HandleLocalQuery(batch_size, std::move(respond), trace);
     return;
   }
 
@@ -68,6 +89,14 @@ void SimWorker::HandleFanOutQuery(std::uint64_t batch_size,
        model.broadcast_per_peer * static_cast<double>(workers - 1));
   obs::RecordStageSeconds("router.fanout", overhead);  // virtual seconds
 
+  // Children finish before the fan-out span's duration is known, so the
+  // fan-out span id is pre-allocated and the completing `arrive` back-fills
+  // the span event once the last partial lands.
+  const double fanout_start = cluster_.Sim().Now();
+  const std::uint64_t fanout_span =
+      trace.trace_id != 0 ? obs::NewSpanId() : 0;
+  const obs::TraceToken child{trace.trace_id, fanout_span};
+
   // Shared completion state: local search + (workers-1) peer partials + the
   // entry overhead job must all finish before the response leaves.
   struct FanOutState {
@@ -77,12 +106,20 @@ void SimWorker::HandleFanOutQuery(std::uint64_t batch_size,
   auto state = std::make_shared<FanOutState>();
   state->remaining = workers + 1;  // peers + local + overhead job
   state->respond = std::move(respond);
-  auto arrive = [state] {
-    if (--state->remaining == 0) state->respond();
+  auto arrive = [this, state, trace, fanout_span, fanout_start] {
+    if (--state->remaining == 0) {
+      if (trace.trace_id != 0) {
+        obs::RecordSpanEventAt("worker.fanout", trace, fanout_start,
+                               cluster_.Sim().Now() - fanout_start, id_,
+                               cluster_.NodeOfWorker(id_), obs::kNoShard,
+                               fanout_span);
+      }
+      state->respond();
+    }
   };
 
   query_cpu_->Submit(overhead, 1.0, arrive);
-  HandleLocalQuery(batch_size, arrive);
+  HandleLocalQuery(batch_size, arrive, child);
 
   const std::uint64_t query_bytes =
       batch_size * static_cast<std::uint64_t>(model.BytesPerVector());
@@ -92,14 +129,17 @@ void SimWorker::HandleFanOutQuery(std::uint64_t batch_size,
     const NodeId peer_node = cluster_.NodeOfWorker(peer);
     // Broadcast leg: query travels to the peer, the peer searches its shards,
     // the partial result (top-k ids, small) travels back.
-    cluster_.Network().Send(my_node, peer_node, query_bytes,
-                            [this, peer, peer_node, my_node, batch_size, arrive] {
-                              cluster_.GetWorker(peer).HandleLocalQuery(
-                                  batch_size, [this, peer_node, my_node, arrive] {
-                                    cluster_.Network().Send(peer_node, my_node,
-                                                            /*bytes=*/1024, arrive);
-                                  });
-                            });
+    cluster_.Network().Send(
+        my_node, peer_node, query_bytes,
+        [this, peer, peer_node, my_node, batch_size, child, arrive] {
+          cluster_.GetWorker(peer).HandleLocalQuery(
+              batch_size,
+              [this, peer_node, my_node, arrive] {
+                cluster_.Network().Send(peer_node, my_node,
+                                        /*bytes=*/1024, arrive);
+              },
+              child);
+        });
   }
 }
 

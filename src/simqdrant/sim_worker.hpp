@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/trace.hpp"
 #include "sim/cpu.hpp"
 #include "simqdrant/cost_model.hpp"
 
@@ -27,14 +28,23 @@ class SimWorker {
   /// Server-side handling of one insert batch: awaitable service consumed on
   /// the worker node's CPU, plus fire-and-forget background optimizer work.
   /// `respond` fires when the acknowledgement should travel back.
-  void HandleInsertBatch(std::uint64_t batch_size, std::function<void()> respond);
+  ///
+  /// All handlers take an optional TraceToken: the simulator is one OS
+  /// thread interleaving every virtual actor, so trace context travels
+  /// explicitly with the request instead of thread-locally. Span events are
+  /// recorded on the virtual clock (queueing + service, not just cost-model
+  /// service time) with this worker/node as attribution.
+  void HandleInsertBatch(std::uint64_t batch_size, std::function<void()> respond,
+                         obs::TraceToken trace = {});
 
   /// Local (non-fanned) search of one query batch on this worker's shards.
-  void HandleLocalQuery(std::uint64_t batch_size, std::function<void()> respond);
+  void HandleLocalQuery(std::uint64_t batch_size, std::function<void()> respond,
+                        obs::TraceToken trace = {});
 
   /// Entry-worker path: broadcast the batch to every peer, search locally,
   /// aggregate partials, respond (paper section 3.4).
-  void HandleFanOutQuery(std::uint64_t batch_size, std::function<void()> respond);
+  void HandleFanOutQuery(std::uint64_t batch_size, std::function<void()> respond,
+                         obs::TraceToken trace = {});
 
  private:
   SimQdrantCluster& cluster_;

@@ -1,6 +1,7 @@
 #include "storage/wal.hpp"
 
 #include <cstring>
+#include <utility>
 
 #include "common/faults.hpp"
 #include "obs/obs.hpp"
@@ -69,6 +70,31 @@ Result<PointId> DecodeDeletePayload(const std::vector<std::uint8_t>& payload) {
   return GetU64(payload.data());
 }
 
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : out_(std::move(other.out_)),
+      bytes_written_(std::exchange(other.bytes_written_, 0)),
+      pending_bytes_(std::exchange(other.pending_bytes_, 0)) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    ReleasePending();
+    out_ = std::move(other.out_);
+    bytes_written_ = std::exchange(other.bytes_written_, 0);
+    pending_bytes_ = std::exchange(other.pending_bytes_, 0);
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { ReleasePending(); }
+
+void WalWriter::ReleasePending() {
+  if (pending_bytes_ != 0) {
+    VDB_GAUGE_ADD("storage.wal_pending_bytes",
+                  -static_cast<std::int64_t>(pending_bytes_));
+    pending_bytes_ = 0;
+  }
+}
+
 Result<WalWriter> WalWriter::Open(const std::filesystem::path& path) {
   WalWriter writer;
   writer.out_.open(path, std::ios::binary | std::ios::app);
@@ -97,6 +123,11 @@ Status WalWriter::Append(WalRecordType type, const std::vector<std::uint8_t>& pa
              static_cast<std::streamsize>(frame.size()));
   if (!out_.good()) return Status::IoError("WAL append failed");
   bytes_written_ += frame.size();
+  // Durability exposure: bytes the caller considers logged but the OS may
+  // not hold yet. The gauge's max is the widest unsynced window observed.
+  pending_bytes_ += frame.size();
+  VDB_GAUGE_ADD("storage.wal_pending_bytes",
+                static_cast<std::int64_t>(frame.size()));
   return Status::Ok();
 }
 
@@ -117,6 +148,7 @@ Status WalWriter::AppendCheckpoint(std::uint64_t segment_seq) {
 Status WalWriter::Sync() {
   VDB_SPAN("storage.wal_sync");
   out_.flush();
+  ReleasePending();
   return out_.good() ? Status::Ok() : Status::IoError("WAL sync failed");
 }
 

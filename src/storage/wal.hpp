@@ -45,8 +45,12 @@ class WalWriter {
   /// Opens (creating or appending) the log at `path`.
   static Result<WalWriter> Open(const std::filesystem::path& path);
 
-  WalWriter(WalWriter&&) = default;
-  WalWriter& operator=(WalWriter&&) = default;
+  // Custom moves/destructor: pending (appended-but-unsynced) bytes feed the
+  // `storage.wal_pending_bytes` gauge, and ownership of that contribution
+  // must travel with the object — a moved-from writer holds zero pending.
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  ~WalWriter();
 
   Status Append(WalRecordType type, const std::vector<std::uint8_t>& payload);
   Status AppendUpsert(PointId id, VectorView vector);
@@ -58,10 +62,16 @@ class WalWriter {
 
   std::uint64_t BytesWritten() const { return bytes_written_; }
 
+  /// Bytes appended since the last Sync() (durability exposure window).
+  std::uint64_t PendingBytes() const { return pending_bytes_; }
+
  private:
   WalWriter() = default;
+  void ReleasePending();
+
   std::ofstream out_;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t pending_bytes_ = 0;
 };
 
 /// Replay half.

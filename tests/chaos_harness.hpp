@@ -29,6 +29,7 @@
 #include "common/faults.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace vdb::testing {
 
@@ -72,6 +73,10 @@ struct ChaosReport {
   std::string schedule_log;
   /// Invariant violations, one line each. Empty = all invariants held.
   std::string violations;
+  /// Flight-recorder dump captured when a violation was detected: the most
+  /// recent faults/retries/errors leading up to the failure. Empty on clean
+  /// runs (and in VDB_OBS_DISABLED builds).
+  std::string flight_dump;
 
   bool Ok() const { return violations.empty(); }
   double MaxSearchLatencySeconds() const {
@@ -107,6 +112,12 @@ class ChaosHarness {
       }
     }
     VerifyAckedFindable();
+    if (!report_.violations.empty()) {
+      // A violated invariant is exactly the crash-site moment the flight
+      // recorder exists for: snapshot the recent fault/retry/error timeline
+      // before any later test activity overwrites the ring.
+      report_.flight_dump = obs::FlightRecorderDump();
+    }
     return Status::Ok();
   }
 

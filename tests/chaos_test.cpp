@@ -9,6 +9,8 @@
 #include "cluster/cluster.hpp"
 #include "common/faults.hpp"
 #include "common/stopwatch.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
 
 namespace vdb {
 namespace {
@@ -251,6 +253,77 @@ TEST(ChaosTest, HedgingBoundsTailLatency) {
 // The harness's end-of-run audit must catch real data loss: ack a batch, kill
 // a holder, and the "acked ⇒ findable" invariant stays silent (holders gone)
 // while a surviving holder keeps its points findable.
+// Fault-triggered flight recorder: injected faults, the retries they force,
+// and the error responses they produce must all be visible in the ring dump
+// after a faulty run — the post-mortem timeline the recorder exists for.
+TEST(ChaosTest, FlightRecorderCapturesInjectedFaultTimeline) {
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "flight recorder compiled out (VDB_OBS_DISABLED)";
+  }
+  obs::FlightRecorderClear();
+
+  ClusterConfig config;
+  config.num_workers = 4;
+  config.collection_template.dim = 8;
+  config.collection_template.index.type = "flat";
+  auto cluster = LocalCluster::Start(config);
+  ASSERT_TRUE(cluster.ok());
+
+  Rng rng(11);
+  std::vector<PointRecord> points;
+  for (PointId id = 0; id < 64; ++id) {
+    PointRecord record;
+    record.id = id;
+    record.vector.resize(8);
+    for (auto& x : record.vector) x = static_cast<Scalar>(rng.NextGaussian());
+    points.push_back(std::move(record));
+  }
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+
+  // Every RPC to worker 2 fails a bounded number of times: each injected
+  // fault forces a router retry and an encoded error response.
+  auto plan = std::make_shared<faults::FaultPlan>(13);
+  faults::FaultRule flaky;
+  flaky.site_prefix = "rpc/worker/2";
+  flaky.kind = faults::FaultKind::kFail;
+  flaky.probability = 1.0;
+  flaky.max_triggers_per_site = 2;
+  plan->AddRule(flaky);
+  (*cluster)->InstallFaultPlan(plan);
+
+  ResiliencePolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 0.0005;
+  policy.allow_degraded = true;
+  (*cluster)->GetRouter().SetResiliencePolicy(policy);
+
+  Vector query(8, 0.5f);
+  SearchParams params;
+  params.k = 5;
+  for (int i = 0; i < 4; ++i) {
+    const auto outcome = (*cluster)->GetRouter().SearchResilient(query, params);
+    EXPECT_TRUE(outcome.ok());
+  }
+
+  const std::string dump = obs::FlightRecorderDump();
+  EXPECT_NE(dump.find("fault"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("rpc/worker/2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("injected fail"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("retry"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("error"), std::string::npos) << dump;
+
+  // The harness surfaces the same dump when an invariant trips; a clean run
+  // attaches nothing.
+  ChaosOptions options;
+  options.seed = 5;
+  options.num_workers = 3;
+  options.num_ops = 20;
+  ChaosHarness harness(options);
+  ASSERT_TRUE(harness.Run().ok());
+  EXPECT_TRUE(harness.Report().Ok());
+  EXPECT_TRUE(harness.Report().flight_dump.empty());
+}
+
 TEST(ChaosTest, HarnessTracksAckedPointsAcrossKills) {
   ChaosOptions options;
   options.seed = 77;

@@ -99,6 +99,25 @@ TEST(LatencyHistogramTest, QuantileWithinRelativeError) {
   EXPECT_NEAR(histogram.Quantile(0.9), 9010.0, 9010.0 * 0.05);
 }
 
+TEST(LatencyHistogramTest, QuantileEndpointsAreExactMinMax) {
+  LatencyHistogram histogram;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    histogram.Record(rng.NextDouble(1.0, 100000.0));
+  }
+  histogram.Record(0.173);       // exact minimum, off any bucket boundary
+  histogram.Record(987654.321);  // exact maximum, likewise
+  // The endpoints must be the recorded extremes, not bucket-midpoint
+  // artifacts: p100 is "the slowest call we saw", not "its bucket".
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), histogram.Min());
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), histogram.Max());
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.0), 0.173);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 987654.321);
+  // Out-of-range arguments clamp to the exact endpoints too.
+  EXPECT_DOUBLE_EQ(histogram.Quantile(-0.5), 0.173);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.5), 987654.321);
+}
+
 TEST(LatencyHistogramTest, MergeEqualsCombinedRecording) {
   LatencyHistogram a;
   LatencyHistogram b;

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <string>
 #include <thread>
+#include <vector>
 
+#include "common/logging.hpp"
 #include "common/trace.hpp"
 #include "rpc/codec.hpp"
 #include "rpc/transport.hpp"
@@ -120,6 +123,100 @@ TEST(ObsTest, TracePropagatesAcrossInprocTransport) {
   EXPECT_TRUE(saw_rpc_span);
   // Taking a trace drains it.
   EXPECT_TRUE(obs::MetricsRegistry::Instance().TakeTrace(trace_id).empty());
+}
+
+TEST(ObsTest, TraceTableEvictsLeastRecentlyTouchedAndCountsDrops) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.Reset();
+  const std::size_t capacity = obs::MetricsRegistry::kMaxTraces;
+
+  // Fill the table, then push 10 more traces: each insert past capacity
+  // evicts the least-recently-touched trace and bumps the dropped counter.
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < capacity + 10; ++i) {
+    const std::uint64_t trace_id = obs::NewTraceId();
+    ids.push_back(trace_id);
+    obs::RecordSpanEventAt("evict.op", obs::TraceToken{trace_id, 0}, 0.0,
+                           0.001);
+  }
+  EXPECT_EQ(registry.CounterFor("obs.trace.dropped").Value(), 10u);
+  // The ten oldest traces were evicted; the newest ones survive.
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_TRUE(registry.TakeTraceEvents(ids[i]).empty()) << "id index " << i;
+  }
+  for (std::size_t i = capacity; i < capacity + 10; ++i) {
+    EXPECT_EQ(registry.TakeTraceEvents(ids[i]).size(), 1u) << "id index " << i;
+  }
+}
+
+TEST(ObsTest, TraceTableTouchOnAppendProtectsActiveTraces) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.Reset();
+  const std::size_t capacity = obs::MetricsRegistry::kMaxTraces;
+
+  const std::uint64_t hot = obs::NewTraceId();
+  obs::RecordSpanEventAt("hot.first", obs::TraceToken{hot, 0}, 0.0, 0.001);
+  // Fill the rest of the table, re-touching the hot trace along the way so
+  // it is never the LRU victim despite being the oldest insert.
+  for (std::size_t i = 1; i < capacity + 5; ++i) {
+    const std::uint64_t trace_id = obs::NewTraceId();
+    obs::RecordSpanEventAt("evict.op", obs::TraceToken{trace_id, 0}, 0.0,
+                           0.001);
+    obs::RecordSpanEventAt("hot.again", obs::TraceToken{hot, 0}, 0.0, 0.001);
+  }
+  const auto hot_events = registry.TakeTraceEvents(hot);
+  EXPECT_GE(hot_events.size(), capacity + 5);
+}
+
+TEST(ObsTest, GaugesAppearInRenderAndJson) {
+  auto& registry = obs::MetricsRegistry::Instance();
+  registry.Reset();
+  auto& gauge = registry.GaugeFor("test.render_gauge");
+  gauge.Add(7);
+  gauge.Add(-2);
+  const std::string rendered = registry.Render();
+  EXPECT_NE(rendered.find("test.render_gauge"), std::string::npos);
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"test.render_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":7"), std::string::npos);
+  registry.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(gauge.Max(), 0);
+}
+
+std::vector<std::string>& CapturedLogLines() {
+  static std::vector<std::string> lines;
+  return lines;
+}
+
+void CaptureLogSink(LogLevel, const std::string& message) {
+  CapturedLogLines().push_back(message);
+}
+
+TEST(ObsTest, LogLinesCarryTraceAndSpanPrefix) {
+  CapturedLogLines().clear();
+  SetLogLevel(LogLevel::kWarn);
+  SetLogSink(&CaptureLogSink);
+  const std::uint64_t trace_id = obs::NewTraceId();
+  {
+    obs::TraceScope scope(trace_id);
+    VDB_SPAN("log.attributed");
+    VDB_WARN << "inside traced span";
+  }
+  VDB_WARN << "outside any trace";
+  SetLogSink(nullptr);
+
+  ASSERT_EQ(CapturedLogLines().size(), 2u);
+  EXPECT_NE(CapturedLogLines()[0].find("[trace=" + std::to_string(trace_id) +
+                                       " span=log.attributed]"),
+            std::string::npos)
+      << CapturedLogLines()[0];
+  // Untraced lines carry no trace prefix.
+  EXPECT_EQ(CapturedLogLines()[1].find("[trace="), std::string::npos)
+      << CapturedLogLines()[1];
+  // Drain the span's trace entry so later tests see a clean table.
+  (void)obs::MetricsRegistry::Instance().TakeTraceEvents(trace_id);
 }
 
 TEST(ObsTest, UntracedSpansSkipTheTraceTable) {

@@ -8,7 +8,7 @@
 
 namespace vdb {
 
-EventLoopUploader::EventLoopUploader(InprocTransport& transport,
+EventLoopUploader::EventLoopUploader(Transport& transport,
                                      const ShardPlacement& placement)
     : transport_(transport), placement_(placement) {}
 

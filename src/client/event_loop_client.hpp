@@ -26,7 +26,7 @@ struct EventLoopConfig {
 /// Single-threaded cooperative uploader.
 class EventLoopUploader {
  public:
-  EventLoopUploader(InprocTransport& transport, const ShardPlacement& placement);
+  EventLoopUploader(Transport& transport, const ShardPlacement& placement);
 
   /// Uploads all points; returns timing decomposed into convert vs await.
   Result<UploadReport> Upload(const std::vector<PointRecord>& points,
@@ -37,7 +37,7 @@ class EventLoopUploader {
   std::vector<std::pair<std::string, Message>> ConvertBatch(
       const std::vector<PointRecord>& points, std::size_t begin, std::size_t end) const;
 
-  InprocTransport& transport_;
+  Transport& transport_;
   const ShardPlacement& placement_;
 };
 

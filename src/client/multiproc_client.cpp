@@ -9,7 +9,7 @@
 
 namespace vdb {
 
-MultiProcUploader::MultiProcUploader(InprocTransport& transport,
+MultiProcUploader::MultiProcUploader(Transport& transport,
                                      const ShardPlacement& placement)
     : transport_(transport), placement_(placement) {}
 

@@ -27,7 +27,7 @@ struct MultiProcConfig {
 
 class MultiProcUploader {
  public:
-  MultiProcUploader(InprocTransport& transport, const ShardPlacement& placement);
+  MultiProcUploader(Transport& transport, const ShardPlacement& placement);
 
   /// Uploads all points across `config.clients` concurrent client threads.
   /// The returned report aggregates all clients; convert/await seconds are
@@ -36,7 +36,7 @@ class MultiProcUploader {
                               const MultiProcConfig& config);
 
  private:
-  InprocTransport& transport_;
+  Transport& transport_;
   const ShardPlacement& placement_;
 };
 

@@ -1,5 +1,7 @@
 #include "cluster/cluster.hpp"
 
+#include "rpc/tcp_transport.hpp"
+
 namespace vdb {
 
 LocalCluster::~LocalCluster() {
@@ -13,7 +15,15 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(ClusterConfig config) 
 
   std::unique_ptr<LocalCluster> cluster(new LocalCluster());
   cluster->config_ = config;
-  cluster->transport_ = std::make_unique<InprocTransport>();
+  if (config.transport == ClusterTransport::kTcp) {
+    // Real sockets on loopback. Endpoints registered on this transport are
+    // reachable without explicit routes (self-loopback fallback), so the
+    // in-process topology maps 1:1 onto the wire.
+    VDB_ASSIGN_OR_RETURN(auto tcp, TcpTransport::Start(TcpTransportOptions{}));
+    cluster->transport_ = std::move(tcp);
+  } else {
+    cluster->transport_ = std::make_unique<InprocTransport>();
+  }
 
   VDB_ASSIGN_OR_RETURN(
       ShardPlacement placement,

@@ -15,6 +15,13 @@
 
 namespace vdb {
 
+/// Which message plane the cluster runs on. kInproc is the default
+/// (thread-per-endpoint queues); kTcp runs every hop — router→worker and
+/// worker→worker fan-out — through real loopback sockets via `TcpTransport`,
+/// so the wire stack (framing, CRCs, epoll, reconnect) is exercised by the
+/// same tests and chaos schedules that drive the in-process plane.
+enum class ClusterTransport { kInproc, kTcp };
+
 struct ClusterConfig {
   std::uint32_t num_workers = 4;
   /// Total shards. 0 = one shard per worker (the paper's deployment shape).
@@ -22,6 +29,7 @@ struct ClusterConfig {
   std::uint32_t replication = 1;
   CollectionConfig collection_template;
   std::size_t service_threads_per_worker = 2;
+  ClusterTransport transport = ClusterTransport::kInproc;
   /// Optional chaos: installed on the transport and every worker (including
   /// workers created later by RestartWorker/ScaleTo).
   std::shared_ptr<faults::FaultPlan> fault_plan;
@@ -36,7 +44,7 @@ class LocalCluster {
   LocalCluster& operator=(const LocalCluster&) = delete;
 
   Router& GetRouter() { return *router_; }
-  InprocTransport& Transport() { return *transport_; }
+  vdb::Transport& Transport() { return *transport_; }
   const ShardPlacement& Placement() const { return *placement_; }
 
   std::size_t NumWorkers() const { return workers_.size(); }
@@ -68,7 +76,7 @@ class LocalCluster {
   LocalCluster() = default;
 
   ClusterConfig config_;
-  std::unique_ptr<InprocTransport> transport_;
+  std::unique_ptr<vdb::Transport> transport_;
   std::shared_ptr<const ShardPlacement> placement_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Router> router_;

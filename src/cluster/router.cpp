@@ -78,7 +78,7 @@ std::vector<double> BackoffSchedule(const ResiliencePolicy& policy,
   return schedule;
 }
 
-Router::Router(InprocTransport& transport,
+Router::Router(Transport& transport,
                std::shared_ptr<const ShardPlacement> placement)
     : transport_(transport), placement_(std::move(placement)) {}
 

@@ -66,7 +66,7 @@ std::vector<double> BackoffSchedule(const ResiliencePolicy& policy,
 class Router {
  public:
   /// Transport and placement must outlive the router.
-  Router(InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement);
+  Router(Transport& transport, std::shared_ptr<const ShardPlacement> placement);
 
   /// Groups `points` by owning shard (index lists — no PointRecord copies)
   /// and sends one UpsertBatch per replica of each shard, encoding each
@@ -189,7 +189,7 @@ class Router {
                            const ResiliencePolicy& policy, Rng& rng,
                            std::future<Message> first_attempt, const Stopwatch& watch);
 
-  InprocTransport& transport_;
+  Transport& transport_;
   std::shared_ptr<const ShardPlacement> placement_;
   std::atomic<std::uint32_t> next_entry_{0};
   mutable std::mutex policy_mutex_;

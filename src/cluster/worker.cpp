@@ -18,7 +18,7 @@ std::string WorkerLocalEndpoint(WorkerId id) {
   return WorkerEndpoint(id) + "/local";
 }
 
-Worker::Worker(InprocTransport& transport,
+Worker::Worker(Transport& transport,
                std::shared_ptr<const ShardPlacement> placement, WorkerConfig config)
     : transport_(transport), placement_(std::move(placement)), config_(std::move(config)) {
   fault_plan_ = config_.fault_plan;
@@ -37,7 +37,7 @@ Worker::~Worker() {
 }
 
 Result<std::unique_ptr<Worker>> Worker::Start(
-    InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement,
+    Transport& transport, std::shared_ptr<const ShardPlacement> placement,
     WorkerConfig config) {
   if (placement == nullptr) return Status::InvalidArgument("null placement");
   std::unique_ptr<Worker> worker(new Worker(transport, std::move(placement), config));

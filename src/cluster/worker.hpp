@@ -61,7 +61,7 @@ class Worker {
   /// Registers the worker's endpoint on `transport`. `placement` is shared
   /// cluster metadata (consistent across workers, as with Qdrant's Raft-backed
   /// consensus state). The transport and placement must outlive the worker.
-  static Result<std::unique_ptr<Worker>> Start(InprocTransport& transport,
+  static Result<std::unique_ptr<Worker>> Start(Transport& transport,
                                                std::shared_ptr<const ShardPlacement> placement,
                                                WorkerConfig config);
 
@@ -109,7 +109,7 @@ class Worker {
   bool Crashed() const { return crashed_.load(std::memory_order_acquire); }
 
  private:
-  Worker(InprocTransport& transport, std::shared_ptr<const ShardPlacement> placement,
+  Worker(Transport& transport, std::shared_ptr<const ShardPlacement> placement,
          WorkerConfig config);
 
   Message HandleUpsert(const Message& request);
@@ -145,7 +145,7 @@ class Worker {
   Result<Collection*> GetShard(ShardId shard);
   Status EnsureShard(ShardId shard);
 
-  InprocTransport& transport_;
+  Transport& transport_;
   std::shared_ptr<const ShardPlacement> placement_;
   WorkerConfig config_;
 

@@ -57,6 +57,34 @@ class MpmcQueue {
     return item;
   }
 
+  /// Blocks while empty, but returns nullopt as soon as the queue is closed —
+  /// WITHOUT draining queued items. Consumers that must not run work after
+  /// shutdown (e.g. RPC service threads whose queued calls are failed back to
+  /// callers) use this instead of Pop; pair it with DrainNow on the closer's
+  /// side so queued items are disposed of exactly once.
+  std::optional<T> PopUnlessClosed() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (closed_ || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Removes and returns everything currently queued (typically after Close,
+  /// so the closer can complete abandoned work items with an error).
+  std::deque<T> DrainNow() {
+    std::deque<T> drained;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      drained.swap(items_);
+    }
+    not_full_.notify_all();
+    return drained;
+  }
+
   /// Non-blocking pop.
   std::optional<T> TryPop() {
     std::unique_lock<std::mutex> lock(mutex_);

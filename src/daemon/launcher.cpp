@@ -1,0 +1,215 @@
+#include "daemon/launcher.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/stopwatch.hpp"
+
+namespace vdb::daemon {
+
+namespace {
+
+/// Binds an inheritable (no CLOEXEC) listening socket on 127.0.0.1 with an
+/// ephemeral port. Returns {fd, port}.
+Result<std::pair<int, std::uint16_t>> BindLoopbackSocket() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind/listen: " + error);
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname: " + error);
+  }
+  return std::make_pair(fd, ntohs(addr.sin_port));
+}
+
+/// Reaps `pid`, escalating SIGTERM -> SIGKILL after `grace_seconds`.
+void ReapWithGrace(pid_t pid, double grace_seconds) {
+  Stopwatch watch;
+  while (true) {
+    int status = 0;
+    const pid_t reaped = waitpid(pid, &status, WNOHANG);
+    if (reaped == pid || (reaped < 0 && errno == ECHILD)) return;
+    if (watch.ElapsedSeconds() > grace_seconds) {
+      kill(pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Launch(
+    ProcessClusterOptions options) {
+  if (options.vdbd_path.empty()) {
+    return Status::InvalidArgument("vdbd_path is required");
+  }
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument("need >= 1 worker");
+  }
+  std::unique_ptr<ProcessCluster> cluster(new ProcessCluster());
+  cluster->options_ = options;
+
+  // 1. Bind every worker's port up front: the complete topology is known
+  //    before any process starts.
+  std::vector<int> listen_fds;
+  for (std::uint32_t i = 0; i < options.num_workers; ++i) {
+    auto bound = BindLoopbackSocket();
+    if (!bound.ok()) {
+      for (const int fd : listen_fds) ::close(fd);
+      return bound.status();
+    }
+    listen_fds.push_back(bound->first);
+    cluster->ports_.push_back(bound->second);
+  }
+
+  // 2. Fork/exec the daemons. Each child adopts its own listen fd and closes
+  //    its siblings' (a killed worker's port must refuse, not linger).
+  for (std::uint32_t i = 0; i < options.num_workers; ++i) {
+    std::vector<std::string> args;
+    args.push_back(options.vdbd_path);
+    args.push_back("--id=" + std::to_string(i));
+    args.push_back("--workers=" + std::to_string(options.num_workers));
+    if (options.num_shards != 0) {
+      args.push_back("--shards=" + std::to_string(options.num_shards));
+    }
+    args.push_back("--replication=" + std::to_string(options.replication));
+    args.push_back("--dim=" + std::to_string(options.dim));
+    args.push_back("--metric=" + options.metric);
+    args.push_back("--index=" + options.index_type);
+    args.push_back("--service-threads=" + std::to_string(options.service_threads));
+    args.push_back("--listen-fd=" + std::to_string(listen_fds[i]));
+    for (std::uint32_t j = 0; j < options.num_workers; ++j) {
+      if (j == i) continue;  // own endpoints resolve via self-loopback
+      args.push_back("--peer=" + std::to_string(j) + "=127.0.0.1:" +
+                     std::to_string(cluster->ports_[j]));
+    }
+
+    const pid_t pid = fork();
+    if (pid < 0) {
+      for (const int fd : listen_fds) ::close(fd);
+      return Status::IoError("fork(): " + std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child: drop sibling listen sockets, then exec immediately.
+      for (std::uint32_t j = 0; j < options.num_workers; ++j) {
+        if (j != i) ::close(listen_fds[j]);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (auto& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      execv(options.vdbd_path.c_str(), argv.data());
+      _exit(127);
+    }
+    cluster->pids_.push_back(pid);
+  }
+  for (const int fd : listen_fds) ::close(fd);
+
+  // 3. Client plane: one TcpTransport with routes to every worker.
+  {
+    auto client = TcpTransport::Start(TcpTransportOptions{});
+    if (!client.ok()) return client.status();
+    cluster->client_ = std::move(*client);
+  }
+  for (std::uint32_t i = 0; i < options.num_workers; ++i) {
+    const std::string addr = "127.0.0.1:" + std::to_string(cluster->ports_[i]);
+    cluster->client_->AddRoute(WorkerEndpoint(i), addr);
+    cluster->client_->AddRoute(WorkerLocalEndpoint(i), addr);
+  }
+
+  const std::uint32_t shards =
+      options.num_shards == 0 ? options.num_workers : options.num_shards;
+  auto placement =
+      ShardPlacement::RoundRobin(shards, options.num_workers, options.replication);
+  if (!placement.ok()) return placement.status();
+  cluster->placement_ = std::make_shared<const ShardPlacement>(std::move(*placement));
+  cluster->router_ = std::make_unique<Router>(*cluster->client_, cluster->placement_);
+
+  // 4. Readiness: every worker must answer an Info RPC. Early connect
+  //    attempts fail fast (refused) and simply retry.
+  Stopwatch watch;
+  for (std::uint32_t i = 0; i < options.num_workers; ++i) {
+    while (true) {
+      const Message reply = cluster->client_->Call(
+          WorkerEndpoint(i), EncodeInfoRequest(InfoRequest{}));
+      if (MessageToStatus(reply).ok()) break;
+      if (watch.ElapsedSeconds() > options.ready_timeout_seconds) {
+        return Status::Unavailable("worker " + std::to_string(i) +
+                                   " not ready after " +
+                                   std::to_string(options.ready_timeout_seconds) +
+                                   "s: " + MessageToStatus(reply).message());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+  }
+  return cluster;
+}
+
+ProcessCluster::~ProcessCluster() {
+  // Drop the client first so no RPCs are in flight while workers exit.
+  router_.reset();
+  client_.reset();
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    kill(pid, SIGTERM);
+  }
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    ReapWithGrace(pid, /*grace_seconds=*/5.0);
+    pid = -1;
+  }
+}
+
+bool ProcessCluster::IsWorkerUp(WorkerId id) const {
+  return id < pids_.size() && pids_[id] > 0;
+}
+
+pid_t ProcessCluster::WorkerPid(WorkerId id) const {
+  return id < pids_.size() ? pids_[id] : -1;
+}
+
+std::string ProcessCluster::WorkerAddress(WorkerId id) const {
+  if (id >= ports_.size()) return {};
+  return "127.0.0.1:" + std::to_string(ports_[id]);
+}
+
+Status ProcessCluster::KillWorker(WorkerId id, int sig) {
+  if (id >= pids_.size() || pids_[id] <= 0) {
+    return Status::NotFound("no running worker " + std::to_string(id));
+  }
+  if (kill(pids_[id], sig) != 0) {
+    return Status::IoError("kill: " + std::string(std::strerror(errno)));
+  }
+  int status = 0;
+  waitpid(pids_[id], &status, 0);
+  pids_[id] = -1;
+  return Status::Ok();
+}
+
+}  // namespace vdb::daemon

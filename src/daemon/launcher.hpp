@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file launcher.hpp
+/// ProcessCluster: forks and execs N `vdbd` worker daemons on loopback and
+/// wires a client-side `TcpTransport` + `Router` to them — the multi-process
+/// analogue of `LocalCluster`. Used by the multi-process smoke test and the
+/// README quickstart.
+///
+/// Port handoff is race-free: the launcher binds every worker's listen
+/// socket itself (ephemeral ports), passes each fd to its child via
+/// `--listen-fd`, and only then builds the peer tables — no child ever races
+/// another for a port, and the full topology is known before the first
+/// process starts. Children close the listen fds of their siblings before
+/// exec, so a SIGKILLed worker's port refuses connections immediately
+/// instead of lingering half-alive in a sibling's fd table.
+
+#include <sys/types.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/router.hpp"
+#include "rpc/tcp_transport.hpp"
+
+namespace vdb::daemon {
+
+struct ProcessClusterOptions {
+  /// Path to the vdbd binary (tests get it injected via VDB_VDBD_PATH).
+  std::string vdbd_path;
+  std::uint32_t num_workers = 4;
+  std::uint32_t num_shards = 0;  ///< 0 = one per worker
+  std::uint32_t replication = 1;
+  std::size_t dim = 8;
+  std::string metric = "cosine";
+  std::string index_type = "flat";
+  std::size_t service_threads = 2;
+  /// How long Launch waits for every worker to answer an Info RPC.
+  double ready_timeout_seconds = 60.0;
+};
+
+class ProcessCluster {
+ public:
+  /// Binds ports, forks/execs the daemons, waits until every worker answers
+  /// an Info RPC (or the ready timeout kills everything and fails).
+  static Result<std::unique_ptr<ProcessCluster>> Launch(ProcessClusterOptions options);
+
+  /// SIGTERMs remaining workers and reaps them (SIGKILL after a grace period).
+  ~ProcessCluster();
+
+  ProcessCluster(const ProcessCluster&) = delete;
+  ProcessCluster& operator=(const ProcessCluster&) = delete;
+
+  Router& GetRouter() { return *router_; }
+  Transport& ClientTransport() { return *client_; }
+  const ShardPlacement& Placement() const { return *placement_; }
+
+  std::uint32_t NumWorkers() const { return static_cast<std::uint32_t>(pids_.size()); }
+  bool IsWorkerUp(WorkerId id) const;
+  pid_t WorkerPid(WorkerId id) const;
+  std::string WorkerAddress(WorkerId id) const;
+
+  /// Sends `sig` (default SIGKILL — a real crash) to a worker process and
+  /// reaps it. The port starts refusing connections once the process dies.
+  Status KillWorker(WorkerId id, int sig);
+
+ private:
+  ProcessCluster() = default;
+
+  ProcessClusterOptions options_;
+  std::vector<pid_t> pids_;             ///< -1 once killed/reaped
+  std::vector<std::uint16_t> ports_;
+  std::unique_ptr<TcpTransport> client_;
+  std::shared_ptr<const ShardPlacement> placement_;
+  std::unique_ptr<Router> router_;
+};
+
+}  // namespace vdb::daemon

@@ -1,0 +1,143 @@
+#include "daemon/vdbd.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "dist/distance.hpp"
+#include "rpc/tcp_transport.hpp"
+
+namespace vdb::daemon {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
+
+Result<std::uint64_t> ParseUint(const std::string& flag, const std::string& value) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("bad value for " + flag + ": '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+Result<VdbdOptions> ParseVdbdArgs(int argc, const char* const* argv) {
+  VdbdOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Status::InvalidArgument("expected --flag=value, got '" + arg + "'");
+    }
+    const std::string flag = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (flag == "--id") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.id = static_cast<WorkerId>(v);
+    } else if (flag == "--workers") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.num_workers = static_cast<std::uint32_t>(v);
+    } else if (flag == "--shards") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.num_shards = static_cast<std::uint32_t>(v);
+    } else if (flag == "--replication") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.replication = static_cast<std::uint32_t>(v);
+    } else if (flag == "--dim") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.dim = static_cast<std::size_t>(v);
+    } else if (flag == "--metric") {
+      options.metric = value;
+    } else if (flag == "--index") {
+      options.index_type = value;
+    } else if (flag == "--service-threads") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.service_threads = static_cast<std::size_t>(v);
+    } else if (flag == "--listen") {
+      options.listen = value;
+    } else if (flag == "--listen-fd") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.listen_fd = static_cast<int>(v);
+    } else if (flag == "--peer") {
+      options.peers.push_back(value);
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'");
+    }
+  }
+  if (options.id >= options.num_workers) {
+    return Status::InvalidArgument("--id must be < --workers");
+  }
+  return options;
+}
+
+Status RunVdbd(const VdbdOptions& options) {
+  TcpTransportOptions transport_options;
+  if (options.listen_fd >= 0) {
+    transport_options.adopt_listen_fd = options.listen_fd;
+  } else {
+    const auto colon = options.listen.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("--listen must be host:port");
+    }
+    transport_options.listen_host = options.listen.substr(0, colon);
+    transport_options.listen_port =
+        static_cast<std::uint16_t>(std::atoi(options.listen.c_str() + colon + 1));
+  }
+  VDB_ASSIGN_OR_RETURN(auto transport, TcpTransport::Start(transport_options));
+
+  for (const std::string& peer : options.peers) {
+    const auto eq = peer.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("--peer must be <id>=<host:port>, got '" +
+                                     peer + "'");
+    }
+    const auto id = static_cast<WorkerId>(std::atoi(peer.substr(0, eq).c_str()));
+    const std::string addr = peer.substr(eq + 1);
+    transport->AddRoute(WorkerEndpoint(id), addr);
+    transport->AddRoute(WorkerLocalEndpoint(id), addr);
+  }
+
+  const std::uint32_t shards =
+      options.num_shards == 0 ? options.num_workers : options.num_shards;
+  VDB_ASSIGN_OR_RETURN(
+      ShardPlacement placement,
+      ShardPlacement::RoundRobin(shards, options.num_workers, options.replication));
+
+  WorkerConfig worker_config;
+  worker_config.id = options.id;
+  worker_config.service_threads = options.service_threads;
+  worker_config.collection_template.dim = options.dim;
+  worker_config.collection_template.index.type = options.index_type;
+  VDB_ASSIGN_OR_RETURN(worker_config.collection_template.metric,
+                       ParseMetric(options.metric));
+
+  VDB_ASSIGN_OR_RETURN(
+      auto worker,
+      Worker::Start(*transport, std::make_shared<const ShardPlacement>(std::move(placement)),
+                    worker_config));
+
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+
+  // The launcher greps this line for the bound address when it did not
+  // pre-bind the port itself.
+  std::printf("vdbd worker %u listening on %s\n", options.id,
+              transport->Address().c_str());
+  std::fflush(stdout);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Orderly teardown: the Worker unregisters its endpoints (queued calls are
+  // answered Unavailable over their connections) before the transport dies.
+  worker.reset();
+  return Status::Ok();
+}
+
+}  // namespace vdb::daemon

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file vdbd.hpp
+/// The vdbd worker daemon: one OS process hosting one cluster worker behind
+/// a `TcpTransport`. N of these on one box (plus a router-side client) is
+/// the paper's deployment for real — 4 workers per node as separate
+/// processes, every hop over a socket — instead of the thread-level
+/// approximation `LocalCluster` provides.
+///
+/// The daemon is deliberately thin: parse flags, start the transport (either
+/// binding `--listen` or adopting a pre-bound `--listen-fd` from the
+/// launcher, which makes port handoff race-free), route peer worker ids to
+/// their addresses, start the Worker, then wait for SIGTERM/SIGINT.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/worker.hpp"
+#include "common/status.hpp"
+
+namespace vdb::daemon {
+
+struct VdbdOptions {
+  WorkerId id = 0;
+  std::uint32_t num_workers = 1;
+  std::uint32_t num_shards = 0;  ///< 0 = one per worker
+  std::uint32_t replication = 1;
+  std::size_t dim = 8;
+  std::string metric = "cosine";
+  std::string index_type = "flat";
+  std::size_t service_threads = 2;
+  /// host:port to bind (port 0 = ephemeral; the bound address is printed on
+  /// stdout as "vdbd worker <id> listening on <host:port>").
+  std::string listen = "127.0.0.1:0";
+  /// Pre-bound, already-listening fd to adopt instead of binding (-1 = off).
+  int listen_fd = -1;
+  /// Peer routes, one per entry: "<worker-id>=<host:port>". Entries for our
+  /// own id are allowed (self traffic then also crosses the socket).
+  std::vector<std::string> peers;
+};
+
+/// Parses vdbd command-line flags (--id=3 --listen-fd=7 --peer=0=...).
+Result<VdbdOptions> ParseVdbdArgs(int argc, const char* const* argv);
+
+/// Runs the daemon until SIGTERM/SIGINT. Returns non-Ok on startup failure.
+Status RunVdbd(const VdbdOptions& options);
+
+}  // namespace vdb::daemon

@@ -1,0 +1,26 @@
+/// \file vdbd_main.cpp
+/// Entry point for the vdbd worker daemon. See vdbd.hpp for the flag set;
+/// the launcher (daemon/launcher.hpp) builds these command lines.
+
+#include <cstdio>
+
+#include "daemon/vdbd.hpp"
+
+int main(int argc, char** argv) {
+  auto options = vdb::daemon::ParseVdbdArgs(argc, argv);
+  if (!options.ok()) {
+    std::fprintf(stderr, "vdbd: %s\n", options.status().message().c_str());
+    std::fprintf(stderr,
+                 "usage: vdbd --id=N --workers=N [--shards=N] [--replication=N]\n"
+                 "            [--dim=D] [--metric=cosine|l2|ip] [--index=flat|hnsw]\n"
+                 "            [--service-threads=N] [--listen=host:port | --listen-fd=FD]\n"
+                 "            [--peer=ID=host:port ...]\n");
+    return 2;
+  }
+  const vdb::Status status = vdb::daemon::RunVdbd(*options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "vdbd: %s\n", status.message().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,217 @@
+#include "rpc/frame.hpp"
+
+#include <cstring>
+
+#include "storage/crc32.hpp"
+
+namespace vdb::rpc {
+
+namespace {
+
+void PutU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void PutU32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void PutU64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+WireFrame EncodeFrame(const FrameHeader& header, std::string_view endpoint,
+                      const Message& message) {
+  WireFrame frame;
+  frame.head = Buffer::Allocate(kFrameHeaderBytes + endpoint.size());
+  frame.body = message.body;  // refcount bump — the payload is never copied
+
+  std::uint8_t* p = frame.head.MutableData();
+  std::memcpy(p, kFrameMagic, 4);
+  p[4] = kFrameVersion;
+  p[5] = static_cast<std::uint8_t>(message.type);
+  p[6] = static_cast<std::uint8_t>(header.kind);
+  p[7] = 0;
+  PutU64(p + 8, header.request_id);
+  PutU64(p + 16, header.trace_id);
+  PutU64(p + 24, header.span_id);
+  PutU16(p + 32, static_cast<std::uint16_t>(endpoint.size()));
+  PutU16(p + 34, 0);
+  PutU32(p + 36, static_cast<std::uint32_t>(message.body.size()));
+
+  std::uint32_t payload_crc = Crc32c(endpoint.data(), endpoint.size());
+  payload_crc = Crc32c(message.body.data(), message.body.size(), payload_crc);
+  PutU32(p + 40, payload_crc);
+  PutU32(p + 44, Crc32c(p, 44));
+
+  if (!endpoint.empty()) {
+    std::memcpy(p + kFrameHeaderBytes, endpoint.data(), endpoint.size());
+  }
+  return frame;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_body_bytes)
+    : max_body_bytes_(max_body_bytes) {}
+
+std::span<std::uint8_t> FrameDecoder::WritableSpan() {
+  switch (state_) {
+    case State::kHeader:
+      return {header_scratch_ + have_, kFrameHeaderBytes - have_};
+    case State::kName:
+      return {reinterpret_cast<std::uint8_t*>(name_scratch_) + have_,
+              name_len_ - have_};
+    case State::kBody:
+      return {body_.MutableData() + have_, body_len_ - have_};
+    case State::kError:
+      return {};
+  }
+  return {};
+}
+
+void FrameDecoder::Commit(std::size_t n) {
+  if (state_ == State::kError || n == 0) return;
+  have_ += n;
+  switch (state_) {
+    case State::kHeader:
+      if (have_ == kFrameHeaderBytes) FinishHeader();
+      break;
+    case State::kName:
+      if (have_ == name_len_) {
+        have_ = 0;
+        if (body_len_ > 0) {
+          state_ = State::kBody;
+        } else {
+          FinishPayload();
+        }
+      }
+      break;
+    case State::kBody:
+      if (have_ == body_len_) FinishPayload();
+      break;
+    case State::kError:
+      break;
+  }
+}
+
+void FrameDecoder::FinishHeader() {
+  const std::uint8_t* p = header_scratch_;
+  // The header CRC is verified FIRST: nothing else in the header (magic
+  // included) is trusted until the 44 covered bytes prove intact, so a
+  // corrupted body_len can never drive an allocation.
+  const std::uint32_t want_crc = GetU32(p + 44);
+  if (Crc32c(p, 44) != want_crc) {
+    LatchError(Status::Corruption("frame header CRC mismatch"));
+    return;
+  }
+  if (std::memcmp(p, kFrameMagic, 4) != 0) {
+    LatchError(Status::Corruption("bad frame magic"));
+    return;
+  }
+  if (p[4] != kFrameVersion) {
+    LatchError(Status::InvalidArgument("unsupported frame version " +
+                                       std::to_string(p[4])));
+    return;
+  }
+  if (p[6] > 1) {
+    LatchError(Status::Corruption("bad frame kind"));
+    return;
+  }
+  header_.kind = static_cast<FrameKind>(p[6]);
+  header_.type = static_cast<MessageType>(p[5]);
+  header_.request_id = GetU64(p + 8);
+  header_.trace_id = GetU64(p + 16);
+  header_.span_id = GetU64(p + 24);
+  name_len_ = GetU16(p + 32);
+  body_len_ = GetU32(p + 36);
+  payload_crc_ = GetU32(p + 40);
+  if (name_len_ > kMaxEndpointNameBytes) {
+    LatchError(Status::Corruption("endpoint name length " +
+                                std::to_string(name_len_) + " exceeds limit"));
+    return;
+  }
+  if (body_len_ > max_body_bytes_) {
+    LatchError(Status::ResourceExhausted(
+        "frame body length " + std::to_string(body_len_) +
+        " exceeds transport limit " + std::to_string(max_body_bytes_)));
+    return;
+  }
+
+  have_ = 0;
+  body_ = body_len_ > 0 ? Buffer::Allocate(body_len_) : Buffer();
+  if (name_len_ > 0) {
+    state_ = State::kName;
+  } else if (body_len_ > 0) {
+    state_ = State::kBody;
+  } else {
+    FinishPayload();
+  }
+}
+
+void FrameDecoder::FinishPayload() {
+  std::uint32_t crc = Crc32c(name_scratch_, name_len_);
+  crc = Crc32c(body_.data(), body_.size(), crc);
+  if (crc != payload_crc_) {
+    LatchError(Status::Corruption("frame payload CRC mismatch"));
+    return;
+  }
+  DecodedFrame frame;
+  frame.header = header_;
+  frame.endpoint.assign(name_scratch_, name_len_);
+  frame.message.type = header_.type;
+  frame.message.body = std::move(body_);
+  ready_.push_back(std::move(frame));
+
+  body_ = Buffer();
+  state_ = State::kHeader;
+  have_ = 0;
+  name_len_ = 0;
+  body_len_ = 0;
+}
+
+Result<bool> FrameDecoder::Poll(DecodedFrame* out) {
+  if (!ready_.empty()) {
+    *out = std::move(ready_.front());
+    ready_.pop_front();
+    return true;
+  }
+  if (state_ == State::kError) return status_;
+  return false;
+}
+
+void FrameDecoder::Feed(std::span<const std::uint8_t> bytes) {
+  while (!bytes.empty() && state_ != State::kError) {
+    auto span = WritableSpan();
+    const std::size_t n = std::min(span.size(), bytes.size());
+    if (n == 0) break;
+    std::memcpy(span.data(), bytes.data(), n);
+    Commit(n);
+    bytes = bytes.subspan(n);
+  }
+}
+
+void FrameDecoder::LatchError(Status status) {
+  state_ = State::kError;
+  status_ = std::move(status);
+  body_ = Buffer();
+}
+
+}  // namespace vdb::rpc

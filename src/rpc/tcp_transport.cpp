@@ -1,0 +1,999 @@
+#include "rpc/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+#include "rpc/frame.hpp"
+
+namespace vdb {
+
+namespace {
+
+constexpr int kMaxEpollEvents = 64;
+constexpr int kMaxSendIov = 64;
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Completes a promise, after `delay` seconds when nonzero — off-thread, so
+/// simulated latency overlaps across in-flight calls exactly as on the
+/// in-process plane.
+void CompletePromise(std::promise<Message> promise, Message value, double delay) {
+  if (delay > 0.0) {
+    std::thread([delay, promise = std::move(promise),
+                 value = std::move(value)]() mutable {
+      SleepSeconds(delay);
+      promise.set_value(std::move(value));
+    }).detach();
+  } else {
+    promise.set_value(std::move(value));
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError("fcntl(O_NONBLOCK): " + std::string(std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+/// "127.0.0.1:4801" -> sockaddr_in.
+Status ParseAddress(const std::string& host_port, sockaddr_in* out) {
+  const auto colon = host_port.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("address '" + host_port + "' is not host:port");
+  }
+  const std::string host = host_port.substr(0, colon);
+  const int port = std::atoi(host_port.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in '" + host_port + "'");
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) {
+    return Status::InvalidArgument("bad IPv4 host in '" + host_port + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+struct TcpTransport::Impl {
+  // ------------------------------------------------------------------ types
+
+  /// A call awaiting its response frame.
+  struct PendingEntry {
+    std::promise<Message> promise;
+    /// Simulated latency + injected fault delay, applied on completion.
+    double delay = 0.0;
+  };
+
+  /// Client-side state for one remote address. `pending`/`queued_bytes` are
+  /// guarded by `peers_mutex`; connection state lives in the loop thread.
+  struct Peer {
+    std::string addr;
+    std::uint64_t next_request_id = 1;
+    std::unordered_map<std::uint64_t, PendingEntry> pending;
+    std::size_t queued_bytes = 0;
+  };
+
+  /// One live socket. Owned exclusively by the event-loop thread.
+  struct Conn {
+    int fd = -1;
+    std::uint64_t id = 0;
+    bool connecting = false;
+    bool want_write = false;
+    std::shared_ptr<Peer> peer;  ///< null for accepted (server-side) conns
+    rpc::FrameDecoder decoder;
+    std::deque<rpc::WireFrame> sendq;
+    std::size_t send_off = 0;  ///< bytes of sendq.front() already on the wire
+
+    explicit Conn(std::size_t max_body) : decoder(max_body) {}
+  };
+
+  /// A request picked up by an endpoint service thread.
+  struct ServerCall {
+    Message request;
+    rpc::FrameHeader header;
+    std::uint64_t conn_id = 0;
+  };
+
+  struct Endpoint {
+    std::string name;
+    RpcHandler handler;
+    MpmcQueue<ServerCall> queue;
+    std::vector<std::thread> threads;
+
+    Endpoint(std::string n, RpcHandler h)
+        : name(std::move(n)), handler(std::move(h)) {}
+  };
+
+  struct Command {
+    enum class Kind { kSendRequest, kSendResponse, kStop };
+    Kind kind = Kind::kStop;
+    std::shared_ptr<Peer> peer;   // kSendRequest
+    std::uint64_t conn_id = 0;    // kSendResponse
+    rpc::WireFrame frame;
+  };
+
+  // ----------------------------------------------------------------- fields
+
+  TcpTransportOptions options;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::uint16_t port = 0;
+  std::string self_address;
+  std::thread loop_thread;
+
+  mutable std::mutex endpoints_mutex;
+  std::unordered_map<std::string, std::shared_ptr<Endpoint>> endpoints;
+
+  std::mutex peers_mutex;
+  std::unordered_map<std::string, std::shared_ptr<Peer>> peers;
+
+  mutable std::mutex routes_mutex;
+  std::unordered_map<std::string, std::string> routes;
+
+  std::mutex config_mutex;
+  LatencyModel latency = NoLatency();
+  std::shared_ptr<faults::FaultPlan> fault_plan;
+
+  mutable std::mutex stats_mutex;
+  TransportStats stats;
+  TcpWireStats wire_stats;
+
+  std::mutex cmd_mutex;
+  std::deque<Command> cmds;
+  bool stop_requested = false;  // loop-owned once observed
+
+  // Loop-owned connection registry (no locking: loop thread only).
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;           // by fd
+  std::unordered_map<std::uint64_t, int> conn_fd_by_id;
+  std::unordered_map<std::string, int> peer_conn_fd;              // addr -> fd
+  std::unordered_map<std::string, bool> peer_was_connected;       // addr -> had a live conn before
+  std::uint64_t next_conn_id = 1;
+
+  ~Impl() {
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (epoll_fd >= 0) ::close(epoll_fd);
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  // --------------------------------------------------------------- plumbing
+
+  void PushCommand(Command cmd) {
+    {
+      std::lock_guard<std::mutex> lock(cmd_mutex);
+      cmds.push_back(std::move(cmd));
+    }
+    const std::uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd, &one, sizeof(one));
+    (void)ignored;
+  }
+
+  void BumpWire(std::uint64_t TcpWireStats::* field, std::uint64_t n = 1) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    wire_stats.*field += n;
+  }
+
+  void UpdateSendqGauges(const std::string& addr, std::int64_t total_for_peer) {
+#ifndef VDB_OBS_DISABLED
+    obs::MetricsRegistry::Instance()
+        .GaugeFor("rpc.tcp.sendq." + addr)
+        .Set(total_for_peer);
+    std::int64_t global = 0;
+    {
+      std::lock_guard<std::mutex> lock(peers_mutex);
+      for (const auto& [name, peer] : peers) {
+        global += static_cast<std::int64_t>(peer->queued_bytes);
+      }
+    }
+    obs::MetricsRegistry::Instance().GaugeFor("rpc.tcp.sendq.bytes").Set(global);
+#else
+    (void)addr;
+    (void)total_for_peer;
+#endif
+  }
+
+  std::shared_ptr<Peer> GetOrCreatePeer(const std::string& addr) {
+    std::lock_guard<std::mutex> lock(peers_mutex);
+    auto& slot = peers[addr];
+    if (slot == nullptr) {
+      slot = std::make_shared<Peer>();
+      slot->addr = addr;
+    }
+    return slot;
+  }
+
+  std::shared_ptr<Endpoint> FindEndpoint(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(endpoints_mutex);
+    const auto it = endpoints.find(name);
+    return it == endpoints.end() ? nullptr : it->second;
+  }
+
+  /// Fails every pending call toward `peer` (dropped connection, shutdown).
+  void FailPeerPending(Peer& peer, const Status& status) {
+    std::unordered_map<std::uint64_t, PendingEntry> doomed;
+    {
+      std::lock_guard<std::mutex> lock(peers_mutex);
+      doomed.swap(peer.pending);
+      peer.queued_bytes = 0;
+    }
+    UpdateSendqGauges(peer.addr, 0);
+    for (auto& [id, entry] : doomed) {
+      CompletePromise(std::move(entry.promise), EncodeErrorResponse(status),
+                      entry.delay);
+    }
+  }
+
+  void FailAllPeers(const Status& status) {
+    std::vector<std::shared_ptr<Peer>> all;
+    {
+      std::lock_guard<std::mutex> lock(peers_mutex);
+      for (auto& [addr, peer] : peers) all.push_back(peer);
+    }
+    for (auto& peer : all) FailPeerPending(*peer, status);
+  }
+
+  /// Encodes and queues a response toward the connection the request came in
+  /// on (dropped silently if that connection died meanwhile — the caller
+  /// already got Unavailable from the drop).
+  void SendResponse(std::uint64_t conn_id, const rpc::FrameHeader& request_header,
+                    Message response) {
+    if (response.body.size() > options.max_body_bytes) {
+      response = EncodeErrorResponse(Status::ResourceExhausted(
+          "response body exceeds transport limit"));
+    }
+    rpc::FrameHeader header;
+    header.kind = rpc::FrameKind::kResponse;
+    header.request_id = request_header.request_id;
+    header.trace_id = request_header.trace_id;
+    header.span_id = request_header.span_id;
+    Command cmd;
+    cmd.kind = Command::Kind::kSendResponse;
+    cmd.conn_id = conn_id;
+    cmd.frame = rpc::EncodeFrame(header, "", response);
+    PushCommand(std::move(cmd));
+  }
+
+  void ServeEndpoint(Endpoint* endpoint) {
+    while (auto call = endpoint->queue.PopUnlessClosed()) {
+      // Re-install the caller's trace identity from the frame header: the
+      // cross-process analogue of the in-proc transport copying the caller's
+      // TraceContext onto the service thread.
+      obs::TraceContext ctx;
+      ctx.trace_id = call->header.trace_id;
+      ctx.span_id = call->header.span_id;
+      obs::TraceContextScope trace(ctx);
+      Message response;
+      {
+        VDB_SPAN("rpc.handle");
+        response = endpoint->handler(call->request);
+      }
+      SendResponse(call->conn_id, call->header, std::move(response));
+    }
+  }
+
+  // ------------------------------------------------------------- event loop
+
+  void UpdateInterest(Conn* conn) {
+    const bool want_write = conn->connecting || !conn->sendq.empty();
+    if (want_write == conn->want_write) return;
+    conn->want_write = want_write;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = conn->fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  Conn* RegisterConn(int fd, std::shared_ptr<Peer> peer, bool connecting) {
+    auto conn = std::make_unique<Conn>(options.max_body_bytes);
+    conn->fd = fd;
+    conn->id = next_conn_id++;
+    conn->peer = std::move(peer);
+    conn->connecting = connecting;
+    conn->want_write = connecting;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (connecting ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    Conn* raw = conn.get();
+    conn_fd_by_id[raw->id] = fd;
+    conns[fd] = std::move(conn);
+    return raw;
+  }
+
+  void DropConn(int fd, const Status& status) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    std::unique_ptr<Conn> conn = std::move(it->second);
+    conns.erase(it);
+    conn_fd_by_id.erase(conn->id);
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    BumpWire(&TcpWireStats::conn_drops);
+    if (conn->peer != nullptr) {
+      const auto peer_it = peer_conn_fd.find(conn->peer->addr);
+      if (peer_it != peer_conn_fd.end() && peer_it->second == fd) {
+        peer_conn_fd.erase(peer_it);
+      }
+      VDB_FLIGHT(kFault, "rpc/tcp/" + conn->peer->addr,
+                 "connection dropped: " + status.message(),
+                 static_cast<std::int64_t>(conn->sendq.size()));
+      FailPeerPending(*conn->peer, status);
+    }
+  }
+
+  /// Starts a nonblocking connect toward `peer`. Returns the conn, or null
+  /// (pending calls already failed).
+  Conn* StartConnect(const std::shared_ptr<Peer>& peer) {
+    sockaddr_in addr{};
+    const Status parsed = ParseAddress(peer->addr, &addr);
+    if (!parsed.ok()) {
+      FailPeerPending(*peer, Status::Unavailable("bad peer address " + peer->addr +
+                                                 ": " + parsed.message()));
+      return nullptr;
+    }
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      FailPeerPending(*peer, Status::Unavailable("socket(): " +
+                                                 std::string(std::strerror(errno))));
+      return nullptr;
+    }
+    const int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const bool reconnect = peer_was_connected[peer->addr];
+    BumpWire(&TcpWireStats::connects);
+    if (reconnect) {
+      BumpWire(&TcpWireStats::reconnects);
+      obs::AddCounter("rpc.tcp.reconnects");
+      VDB_FLIGHT(kFault, "rpc/tcp/" + peer->addr, "reconnect", 0);
+    } else {
+      obs::AddCounter("rpc.tcp.connects");
+    }
+    const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    const bool in_progress = rc == 0 || errno == EINPROGRESS;
+    if (rc != 0 && !in_progress) {
+      ::close(fd);
+      FailPeerPending(*peer, Status::Unavailable("connect to " + peer->addr + ": " +
+                                                 std::string(std::strerror(errno))));
+      return nullptr;
+    }
+    Conn* conn = RegisterConn(fd, peer, /*connecting=*/rc != 0);
+    if (conn == nullptr) {
+      FailPeerPending(*peer, Status::Unavailable("epoll registration failed"));
+      return nullptr;
+    }
+    peer_conn_fd[peer->addr] = fd;
+    return conn;
+  }
+
+  void HandleConnectResult(Conn* conn) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(conn->fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      err = errno;
+    }
+    if (err != 0) {
+      DropConn(conn->fd, Status::Unavailable("connect to " + conn->peer->addr +
+                                             ": " + std::string(std::strerror(err))));
+      return;
+    }
+    conn->connecting = false;
+    peer_was_connected[conn->peer->addr] = true;
+    FlushSend(conn);
+  }
+
+  void AcceptAll() {
+    while (true) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        return;  // transient accept failure; stay alive
+      }
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      BumpWire(&TcpWireStats::accepts);
+      RegisterConn(fd, nullptr, /*connecting=*/false);
+    }
+  }
+
+  void FlushSend(Conn* conn) {
+    if (conn->connecting) return;
+    while (!conn->sendq.empty()) {
+      iovec iov[kMaxSendIov];
+      int iovcnt = 0;
+      std::size_t skip = conn->send_off;
+      for (const auto& frame : conn->sendq) {
+        const rpc::Buffer* parts[2] = {&frame.head, &frame.body};
+        for (const rpc::Buffer* part : parts) {
+          if (part->empty()) continue;
+          if (skip >= part->size()) {
+            skip -= part->size();
+            continue;
+          }
+          iov[iovcnt].iov_base =
+              const_cast<std::uint8_t*>(part->data()) + skip;
+          iov[iovcnt].iov_len = part->size() - skip;
+          skip = 0;
+          if (++iovcnt == kMaxSendIov) break;
+        }
+        if (iovcnt == kMaxSendIov) break;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+      const ssize_t n = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        DropConn(conn->fd, Status::Unavailable("send: " +
+                                               std::string(std::strerror(errno))));
+        return;
+      }
+      AdvanceSendq(conn, static_cast<std::size_t>(n));
+    }
+    UpdateInterest(conn);
+  }
+
+  void AdvanceSendq(Conn* conn, std::size_t sent) {
+    while (sent > 0 && !conn->sendq.empty()) {
+      const std::size_t total = conn->sendq.front().TotalBytes();
+      const std::size_t remaining = total - conn->send_off;
+      if (sent < remaining) {
+        conn->send_off += sent;
+        return;
+      }
+      sent -= remaining;
+      conn->send_off = 0;
+      conn->sendq.pop_front();
+      BumpWire(&TcpWireStats::frames_sent);
+      if (conn->peer != nullptr) {
+        std::int64_t now = 0;
+        {
+          std::lock_guard<std::mutex> lock(peers_mutex);
+          auto& queued = conn->peer->queued_bytes;
+          queued -= std::min(queued, total);
+          now = static_cast<std::int64_t>(queued);
+        }
+        UpdateSendqGauges(conn->peer->addr, now);
+      }
+    }
+  }
+
+  void DispatchFrame(Conn* conn, rpc::DecodedFrame frame) {
+    BumpWire(&TcpWireStats::frames_received);
+    if (frame.header.kind == rpc::FrameKind::kRequest) {
+      auto endpoint = FindEndpoint(frame.endpoint);
+      if (endpoint == nullptr) {
+        Message error = EncodeErrorResponse(
+            Status::Unavailable("no endpoint '" + frame.endpoint + "'"));
+        rpc::FrameHeader header;
+        header.kind = rpc::FrameKind::kResponse;
+        header.request_id = frame.header.request_id;
+        header.trace_id = frame.header.trace_id;
+        header.span_id = frame.header.span_id;
+        conn->sendq.push_back(rpc::EncodeFrame(header, "", error));
+        FlushSend(conn);
+        return;
+      }
+      ServerCall call;
+      call.request = std::move(frame.message);
+      call.header = frame.header;
+      call.conn_id = conn->id;
+      if (!endpoint->queue.Push(std::move(call))) {
+        Message error = EncodeErrorResponse(
+            Status::Unavailable("endpoint '" + frame.endpoint + "' closed"));
+        rpc::FrameHeader header;
+        header.kind = rpc::FrameKind::kResponse;
+        header.request_id = frame.header.request_id;
+        header.trace_id = frame.header.trace_id;
+        header.span_id = frame.header.span_id;
+        conn->sendq.push_back(rpc::EncodeFrame(header, "", error));
+        FlushSend(conn);
+      }
+      return;
+    }
+    // Response: match to the pending call on this conn's peer.
+    if (conn->peer == nullptr) return;  // response on a server conn: ignore
+    PendingEntry entry;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(peers_mutex);
+      auto& pending = conn->peer->pending;
+      const auto it = pending.find(frame.header.request_id);
+      if (it != pending.end()) {
+        entry = std::move(it->second);
+        pending.erase(it);
+        found = true;
+      }
+    }
+    if (found) {
+      CompletePromise(std::move(entry.promise), std::move(frame.message),
+                      entry.delay);
+    }
+  }
+
+  void HandleRead(Conn* conn) {
+    const int fd = conn->fd;
+    while (true) {
+      auto span = conn->decoder.WritableSpan();
+      if (span.empty()) {
+        DropConn(fd, conn->decoder.StreamStatus());
+        return;
+      }
+      const ssize_t n = ::recv(fd, span.data(), span.size(), 0);
+      if (n == 0) {
+        DropConn(fd, Status::Unavailable("peer closed connection"));
+        return;
+      }
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        DropConn(fd, Status::Unavailable("recv: " +
+                                         std::string(std::strerror(errno))));
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex);
+        stats.bytes_received += static_cast<std::uint64_t>(n);
+      }
+      conn->decoder.Commit(static_cast<std::size_t>(n));
+      while (true) {
+        rpc::DecodedFrame frame;
+        auto polled = conn->decoder.Poll(&frame);
+        if (!polled.ok()) {
+          BumpWire(&TcpWireStats::decode_errors);
+          obs::AddCounter("rpc.tcp.decode_errors");
+          VDB_FLIGHT(kFault, "rpc/tcp/decode", polled.status().message(), 0);
+          DropConn(fd, polled.status());
+          return;
+        }
+        if (!*polled) break;
+        DispatchFrame(conn, std::move(frame));
+        // DispatchFrame may have dropped the conn (send failure); stop if so.
+        if (conns.find(fd) == conns.end()) return;
+      }
+      if (static_cast<std::size_t>(n) < span.size()) return;  // drained
+    }
+  }
+
+  void ProcessCommands() {
+    std::deque<Command> batch;
+    {
+      std::lock_guard<std::mutex> lock(cmd_mutex);
+      batch.swap(cmds);
+    }
+    for (auto& cmd : batch) {
+      switch (cmd.kind) {
+        case Command::Kind::kStop:
+          stop_requested = true;
+          break;
+        case Command::Kind::kSendRequest: {
+          Conn* conn = nullptr;
+          const auto it = peer_conn_fd.find(cmd.peer->addr);
+          if (it != peer_conn_fd.end()) {
+            const auto conn_it = conns.find(it->second);
+            if (conn_it != conns.end()) conn = conn_it->second.get();
+          }
+          if (conn == nullptr) conn = StartConnect(cmd.peer);
+          if (conn == nullptr) break;  // pendings already failed
+          conn->sendq.push_back(std::move(cmd.frame));
+          FlushSend(conn);
+          break;
+        }
+        case Command::Kind::kSendResponse: {
+          const auto id_it = conn_fd_by_id.find(cmd.conn_id);
+          if (id_it == conn_fd_by_id.end()) break;  // requester's conn died
+          const auto conn_it = conns.find(id_it->second);
+          if (conn_it == conns.end()) break;
+          conn_it->second->sendq.push_back(std::move(cmd.frame));
+          FlushSend(conn_it->second.get());
+          break;
+        }
+      }
+    }
+  }
+
+  void CloseAllConns(const Status& status) {
+    std::vector<int> fds;
+    fds.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) fds.push_back(fd);
+    for (const int fd : fds) DropConn(fd, status);
+  }
+
+  void LoopMain() {
+    epoll_event events[kMaxEpollEvents];
+    while (true) {
+      const int n = epoll_wait(epoll_fd, events, kMaxEpollEvents, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_fd) {
+          std::uint64_t drained = 0;
+          ssize_t ignored = ::read(wake_fd, &drained, sizeof(drained));
+          (void)ignored;
+          ProcessCommands();
+          continue;
+        }
+        if (fd == listen_fd) {
+          AcceptAll();
+          continue;
+        }
+        const auto it = conns.find(fd);
+        if (it == conns.end()) continue;  // dropped earlier in this batch
+        Conn* conn = it->second.get();
+        if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+          // Read what remains first: the peer may have sent a response and
+          // closed; EPOLLIN data is still readable alongside EPOLLHUP.
+          if (events[i].events & EPOLLIN) {
+            HandleRead(conn);
+            if (conns.find(fd) == conns.end()) continue;
+          }
+          DropConn(fd, Status::Unavailable("connection error/hangup"));
+          continue;
+        }
+        if (events[i].events & EPOLLOUT) {
+          if (conn->connecting) {
+            HandleConnectResult(conn);
+            if (conns.find(fd) == conns.end()) continue;
+            conn = conns[fd].get();
+          } else {
+            FlushSend(conn);
+            if (conns.find(fd) == conns.end()) continue;
+          }
+        }
+        if (events[i].events & EPOLLIN) {
+          HandleRead(conn);
+        }
+      }
+      if (stop_requested) {
+        CloseAllConns(Status::Unavailable("transport shutting down"));
+        return;
+      }
+    }
+  }
+};
+
+TcpTransport::TcpTransport() : impl_(std::make_unique<Impl>()) {}
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Start(TcpTransportOptions options) {
+  std::unique_ptr<TcpTransport> transport(new TcpTransport());
+  Impl& impl = *transport->impl_;
+  impl.options = options;
+
+  if (options.adopt_listen_fd >= 0) {
+    impl.listen_fd = options.adopt_listen_fd;
+    VDB_RETURN_IF_ERROR(SetNonBlocking(impl.listen_fd));
+  } else {
+    impl.listen_fd =
+        ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (impl.listen_fd < 0) {
+      return Status::IoError("socket(): " + std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    setsockopt(impl.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.listen_port);
+    if (inet_pton(AF_INET, options.listen_host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad listen host '" + options.listen_host + "'");
+    }
+    if (::bind(impl.listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return Status::IoError("bind " + options.listen_host + ":" +
+                             std::to_string(options.listen_port) + ": " +
+                             std::string(std::strerror(errno)));
+    }
+    if (::listen(impl.listen_fd, SOMAXCONN) != 0) {
+      return Status::IoError("listen: " + std::string(std::strerror(errno)));
+    }
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(impl.listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return Status::IoError("getsockname: " + std::string(std::strerror(errno)));
+  }
+  impl.port = ntohs(bound.sin_port);
+  char host[INET_ADDRSTRLEN] = "127.0.0.1";
+  inet_ntop(AF_INET, &bound.sin_addr, host, sizeof(host));
+  // An adopted fd may be bound to 0.0.0.0; loop back over localhost then.
+  impl.self_address = (std::string(host) == "0.0.0.0" ? "127.0.0.1" : host);
+  impl.self_address += ":" + std::to_string(impl.port);
+
+  impl.epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+  if (impl.epoll_fd < 0) {
+    return Status::IoError("epoll_create1: " + std::string(std::strerror(errno)));
+  }
+  impl.wake_fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (impl.wake_fd < 0) {
+    return Status::IoError("eventfd: " + std::string(std::strerror(errno)));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = impl.listen_fd;
+  if (epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, impl.listen_fd, &ev) != 0) {
+    return Status::IoError("epoll_ctl(listen): " + std::string(std::strerror(errno)));
+  }
+  ev.data.fd = impl.wake_fd;
+  if (epoll_ctl(impl.epoll_fd, EPOLL_CTL_ADD, impl.wake_fd, &ev) != 0) {
+    return Status::IoError("epoll_ctl(wake): " + std::string(std::strerror(errno)));
+  }
+
+  impl.loop_thread = std::thread([impl_ptr = &impl] { impl_ptr->LoopMain(); });
+  return transport;
+}
+
+TcpTransport::~TcpTransport() {
+  if (impl_ == nullptr) return;
+  // Endpoints first: service threads stop, their queued calls are answered
+  // Unavailable while the loop is still alive to carry the responses.
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(impl_->endpoints_mutex);
+    names.reserve(impl_->endpoints.size());
+    for (const auto& [name, endpoint] : impl_->endpoints) names.push_back(name);
+  }
+  for (const auto& name : names) (void)UnregisterEndpoint(name);
+
+  Impl::Command stop;
+  stop.kind = Impl::Command::Kind::kStop;
+  impl_->PushCommand(std::move(stop));
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  // Calls that raced shutdown and never reached the loop.
+  impl_->FailAllPeers(Status::Unavailable("transport destroyed"));
+}
+
+std::uint16_t TcpTransport::Port() const { return impl_->port; }
+
+std::string TcpTransport::Address() const { return impl_->self_address; }
+
+void TcpTransport::AddRoute(const std::string& endpoint, const std::string& host_port) {
+  std::lock_guard<std::mutex> lock(impl_->routes_mutex);
+  impl_->routes[endpoint] = host_port;
+}
+
+TcpWireStats TcpTransport::WireStats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->wire_stats;
+}
+
+Status TcpTransport::RegisterEndpoint(const std::string& name, RpcHandler handler,
+                                      std::size_t service_threads) {
+  if (name.size() > rpc::kMaxEndpointNameBytes) {
+    return Status::InvalidArgument("endpoint name too long");
+  }
+  auto endpoint = std::make_shared<Impl::Endpoint>(name, std::move(handler));
+  const std::size_t threads = std::max<std::size_t>(1, service_threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    endpoint->threads.emplace_back(
+        [impl = impl_.get(), ep = endpoint.get()] { impl->ServeEndpoint(ep); });
+  }
+  std::lock_guard<std::mutex> lock(impl_->endpoints_mutex);
+  if (impl_->endpoints.count(name) != 0) {
+    endpoint->queue.Close();
+    for (auto& thread : endpoint->threads) {
+      if (thread.joinable()) thread.join();
+    }
+    return Status::AlreadyExists("endpoint '" + name + "' already registered");
+  }
+  impl_->endpoints[name] = std::move(endpoint);
+  return Status::Ok();
+}
+
+Status TcpTransport::UnregisterEndpoint(const std::string& name) {
+  std::shared_ptr<Impl::Endpoint> endpoint;
+  {
+    std::lock_guard<std::mutex> lock(impl_->endpoints_mutex);
+    const auto it = impl_->endpoints.find(name);
+    if (it == impl_->endpoints.end()) {
+      return Status::NotFound("endpoint '" + name + "'");
+    }
+    endpoint = it->second;
+    impl_->endpoints.erase(it);
+  }
+  endpoint->queue.Close();
+  // Same contract as the in-process plane: queued-but-unstarted calls fail
+  // with Unavailable (delivered as responses over their connections); a
+  // handler already running finishes and its response still goes out.
+  for (auto& call : endpoint->queue.DrainNow()) {
+    impl_->SendResponse(call.conn_id, call.header,
+                        EncodeErrorResponse(Status::Unavailable(
+                            "endpoint '" + name + "' closed")));
+  }
+  for (auto& thread : endpoint->threads) {
+    if (thread.joinable()) thread.join();
+  }
+  return Status::Ok();
+}
+
+bool TcpTransport::HasEndpoint(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->endpoints_mutex);
+  return impl_->endpoints.count(name) != 0;
+}
+
+std::future<Message> TcpTransport::CallAsync(const std::string& endpoint,
+                                             Message request) {
+  Impl& impl = *impl_;
+  std::promise<Message> promise;
+  std::future<Message> future = promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(impl.stats_mutex);
+    ++impl.stats.calls;
+    impl.stats.bytes_sent += request.WireBytes();
+  }
+
+  if (request.body.size() > impl.options.max_body_bytes) {
+    promise.set_value(EncodeErrorResponse(Status::ResourceExhausted(
+        "message body exceeds transport limit (" +
+        std::to_string(request.body.size()) + " > " +
+        std::to_string(impl.options.max_body_bytes) + " bytes)")));
+    return future;
+  }
+  if (endpoint.size() > rpc::kMaxEndpointNameBytes) {
+    promise.set_value(EncodeErrorResponse(
+        Status::InvalidArgument("endpoint name too long")));
+    return future;
+  }
+
+  // Route: explicit > self-loopback for locally registered names > none.
+  std::string addr;
+  {
+    std::lock_guard<std::mutex> lock(impl.routes_mutex);
+    const auto it = impl.routes.find(endpoint);
+    if (it != impl.routes.end()) addr = it->second;
+  }
+  if (addr.empty() && HasEndpoint(endpoint)) addr = impl.self_address;
+  if (addr.empty()) {
+    promise.set_value(EncodeErrorResponse(
+        Status::Unavailable("no endpoint '" + endpoint + "'")));
+    return future;
+  }
+
+  LatencyModel latency;
+  std::shared_ptr<faults::FaultPlan> fault_plan;
+  {
+    std::lock_guard<std::mutex> lock(impl.config_mutex);
+    latency = impl.latency;
+    fault_plan = impl.fault_plan;
+  }
+
+  double injected_delay = 0.0;
+  bool corrupt = false;
+  std::uint64_t corrupt_salt = 0;
+  if (fault_plan != nullptr) {
+    const faults::FaultDecision decision = fault_plan->Evaluate("rpc/" + endpoint);
+    if (decision.fail || decision.crash) {
+      VDB_FLIGHT(kFault, "rpc/" + endpoint,
+                 decision.crash ? "injected crash" : "injected fail", 0);
+      promise.set_value(EncodeErrorResponse(
+          Status::Unavailable("injected fault at rpc/" + endpoint)));
+      return future;
+    }
+    if (decision.drop) {
+      VDB_FLIGHT(kFault, "rpc/" + endpoint, "injected drop",
+                 static_cast<std::int64_t>(decision.delay_seconds * 1e6));
+      // The frame never reaches the socket: silence, then Unavailable after
+      // the sampled detection delay — identical to the in-process plane.
+      CompletePromise(std::move(promise),
+                      EncodeErrorResponse(Status::Unavailable(
+                          "injected drop at rpc/" + endpoint)),
+                      decision.delay_seconds);
+      return future;
+    }
+    if (decision.delay_seconds > 0.0) {
+      VDB_FLIGHT(kFault, "rpc/" + endpoint, "injected delay",
+                 static_cast<std::int64_t>(decision.delay_seconds * 1e6));
+    }
+    injected_delay = decision.delay_seconds;
+    corrupt = decision.corrupt;
+    corrupt_salt = decision.corrupt_salt;
+  }
+
+  auto peer = impl.GetOrCreatePeer(addr);
+
+  rpc::FrameHeader header;
+  header.kind = rpc::FrameKind::kRequest;
+  const obs::TraceContext trace = obs::CurrentTraceContext();
+  header.trace_id = trace.trace_id;
+  header.span_id = trace.span_id;
+
+  const double rtt_delay =
+      latency(request.WireBytes()) + latency(256) + injected_delay;
+
+  // Reserve the id and the queue budget atomically with pending insertion.
+  std::int64_t queued_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(impl.peers_mutex);
+    const std::size_t frame_bytes =
+        rpc::kFrameHeaderBytes + endpoint.size() + request.body.size();
+    if (peer->queued_bytes + frame_bytes > impl.options.send_queue_limit_bytes) {
+      promise.set_value(EncodeErrorResponse(Status::ResourceExhausted(
+          "send queue to " + addr + " full (" +
+          std::to_string(peer->queued_bytes) + " bytes queued)")));
+      return future;
+    }
+    header.request_id = peer->next_request_id++;
+    peer->queued_bytes += frame_bytes;
+    queued_now = static_cast<std::int64_t>(peer->queued_bytes);
+    Impl::PendingEntry entry;
+    entry.promise = std::move(promise);
+    entry.delay = rtt_delay;
+    peer->pending.emplace(header.request_id, std::move(entry));
+  }
+  impl.UpdateSendqGauges(addr, queued_now);
+
+  Impl::Command cmd;
+  cmd.kind = Impl::Command::Kind::kSendRequest;
+  cmd.peer = peer;
+  cmd.frame = rpc::EncodeFrame(header, endpoint, request);
+  if (corrupt) {
+    // Flip one wire byte, chosen by the rule's deterministic salt. Only the
+    // header+name buffer is touched (it is uniquely owned by this frame);
+    // the body slab is shared with the caller and must stay pristine so a
+    // retry resends clean bytes. Either CRC catches the flip on the far
+    // side; the connection is then dropped and this call fails Unavailable.
+    const std::size_t pos = corrupt_salt % cmd.frame.head.size();
+    cmd.frame.head.MutableData()[pos] ^= 0x01;
+    VDB_FLIGHT(kFault, "rpc/" + endpoint, "injected wire corrupt",
+               static_cast<std::int64_t>(pos));
+  }
+  impl.PushCommand(std::move(cmd));
+  return future;
+}
+
+void TcpTransport::SetLatencyModel(LatencyModel model) {
+  std::lock_guard<std::mutex> lock(impl_->config_mutex);
+  impl_->latency = std::move(model);
+}
+
+void TcpTransport::SetFaultPlan(std::shared_ptr<faults::FaultPlan> plan) {
+  std::lock_guard<std::mutex> lock(impl_->config_mutex);
+  impl_->fault_plan = std::move(plan);
+}
+
+TransportStats TcpTransport::Stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+std::size_t TcpTransport::MaxBodyBytes() const {
+  return impl_->options.max_body_bytes;
+}
+
+}  // namespace vdb

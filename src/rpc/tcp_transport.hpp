@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file tcp_transport.hpp
+/// Real wire for the cluster: a length-prefixed, nonblocking TCP transport
+/// behind the `Transport` interface — the plane the paper's 4-workers-per-node
+/// layout actually runs on when the cluster is N processes instead of N
+/// thread groups.
+///
+/// Shape:
+///  * One epoll readiness loop per transport instance. The loop owns every
+///    socket; other threads talk to it through a command queue + eventfd.
+///  * Nonblocking accept/connect. Connections to a peer are (re)established
+///    lazily on the next call after a drop; calls pending on a dropped
+///    connection fail with Unavailable immediately (the router's retry
+///    policy, not the transport, decides whether to try again).
+///  * Per-peer bounded send queues: bytes queued toward one peer are capped
+///    (`send_queue_limit_bytes`); overflow fails the call with
+///    ResourceExhausted instead of buffering without bound — backpressure
+///    surfaces at the caller, as under gRPC flow control.
+///  * Scatter-gather sends (`sendmsg` with one iovec entry for the frame
+///    header and one for the pooled body slab): the PR 4 zero-copy plane
+///    crosses the wire without a payload copy. Receives land directly in a
+///    pooled `rpc::Buffer` via the incremental frame decoder.
+///  * Frames carry trace id + span id (handler-side spans stay parented
+///    under the caller's span across processes) and two CRC32Cs; corruption
+///    anywhere is detected and drops the connection.
+///  * `vdb::faults` sites wrap the socket layer at "rpc/<endpoint>" with the
+///    same semantics as the in-process plane, plus kCorrupt which flips a
+///    real wire byte (caught by the receiver's CRC) — so the chaos suite
+///    runs unchanged over TCP.
+///
+/// Observability: gauges `rpc.tcp.sendq.bytes` (global) and
+/// `rpc.tcp.sendq.<peer>` (per peer, high-water tracked), counters
+/// `rpc.tcp.connects`, `rpc.tcp.reconnects`, `rpc.tcp.decode_errors`,
+/// `rpc.tcp.conn_drops`.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rpc/transport.hpp"
+
+namespace vdb {
+
+struct TcpTransportOptions {
+  /// Listen address. Port 0 picks an ephemeral port (see Port()).
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  /// An already-bound, already-listening socket to adopt instead of binding
+  /// (-1 = bind our own). Used by the process launcher to hand a pre-bound
+  /// port to a vdbd child race-free.
+  int adopt_listen_fd = -1;
+  /// Largest accepted message body (also enforced by the frame decoder on
+  /// the receive side, before any allocation).
+  std::size_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// Cap on bytes queued toward one peer; calls beyond it fail with
+  /// ResourceExhausted (backpressure instead of unbounded buffering).
+  std::size_t send_queue_limit_bytes = std::size_t{64} << 20;
+};
+
+/// Wire-level counters (process-local, in addition to TransportStats).
+struct TcpWireStats {
+  std::uint64_t connects = 0;        ///< outbound connects initiated
+  std::uint64_t reconnects = 0;      ///< connects after a previous drop
+  std::uint64_t accepts = 0;         ///< inbound connections accepted
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t decode_errors = 0;   ///< CRC/framing failures (conn dropped)
+  std::uint64_t conn_drops = 0;      ///< connections torn down (any reason)
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Binds (or adopts) the listen socket and starts the event loop.
+  static Result<std::unique_ptr<TcpTransport>> Start(TcpTransportOptions options = {});
+
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  /// The bound port (resolved when listen_port was 0).
+  std::uint16_t Port() const;
+  /// "host:port" other transports can AddRoute to.
+  std::string Address() const;
+
+  /// Routes calls for `endpoint` to the transport listening at
+  /// `host_port` ("127.0.0.1:4801"). Without a route, an endpoint that is
+  /// registered locally is reached via our own listen socket (loopback
+  /// through the full wire stack), and anything else fails Unavailable.
+  void AddRoute(const std::string& endpoint, const std::string& host_port);
+
+  TcpWireStats WireStats() const;
+
+  // Transport interface.
+  Status RegisterEndpoint(const std::string& name, RpcHandler handler,
+                          std::size_t service_threads = 1) override;
+  Status UnregisterEndpoint(const std::string& name) override;
+  bool HasEndpoint(const std::string& name) const override;
+  std::future<Message> CallAsync(const std::string& endpoint, Message request) override;
+  void SetLatencyModel(LatencyModel model) override;
+  void SetFaultPlan(std::shared_ptr<faults::FaultPlan> plan) override;
+  TransportStats Stats() const override;
+  std::size_t MaxBodyBytes() const override;
+
+ private:
+  struct Impl;
+
+  TcpTransport();
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vdb

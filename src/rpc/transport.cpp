@@ -44,6 +44,10 @@ struct PendingCall {
 
 }  // namespace
 
+Message Transport::Call(const std::string& endpoint, Message request) {
+  return CallAsync(endpoint, std::move(request)).get();
+}
+
 struct InprocTransport::Endpoint {
   std::string name;
   RpcHandler handler;
@@ -53,7 +57,11 @@ struct InprocTransport::Endpoint {
   Endpoint(std::string n, RpcHandler h) : name(std::move(n)), handler(std::move(h)) {}
 
   void Serve() {
-    while (auto call = queue.Pop()) {
+    // PopUnlessClosed (not Pop): once Shutdown closes the queue, service
+    // threads must stop immediately instead of draining — queued calls are
+    // failed back to their callers by Shutdown, never handed to a handler
+    // that may be mid-teardown.
+    while (auto call = queue.PopUnlessClosed()) {
       obs::TraceContextScope trace(call->trace_ctx);
       Message response;
       {
@@ -77,13 +85,22 @@ struct InprocTransport::Endpoint {
 
   void Shutdown() {
     queue.Close();
+    // Calls queued behind a busy handler at close time fail with Unavailable
+    // — the conformance contract for endpoint shutdown mid-call. Draining
+    // here (not in Serve) guarantees the handler is never invoked after the
+    // endpoint is deregistered, and that every accepted promise resolves.
+    for (auto& call : queue.DrainNow()) {
+      call.response.set_value(EncodeErrorResponse(
+          Status::Unavailable("endpoint '" + name + "' closed")));
+    }
     for (auto& thread : threads) {
       if (thread.joinable()) thread.join();
     }
   }
 };
 
-InprocTransport::InprocTransport() : latency_(NoLatency()) {}
+InprocTransport::InprocTransport(std::size_t max_body_bytes)
+    : max_body_bytes_(max_body_bytes), latency_(NoLatency()) {}
 
 InprocTransport::~InprocTransport() {
   std::unordered_map<std::string, std::shared_ptr<Endpoint>> endpoints;
@@ -147,6 +164,13 @@ std::future<Message> InprocTransport::CallAsync(const std::string& endpoint_name
   auto endpoint = Find(endpoint_name);
   std::promise<Message> promise;
   std::future<Message> future = promise.get_future();
+  if (request.body.size() > max_body_bytes_) {
+    promise.set_value(EncodeErrorResponse(Status::ResourceExhausted(
+        "message body exceeds transport limit (" +
+        std::to_string(request.body.size()) + " > " +
+        std::to_string(max_body_bytes_) + " bytes)")));
+    return future;
+  }
   if (endpoint == nullptr) {
     promise.set_value(
         EncodeErrorResponse(Status::Unavailable("no endpoint '" + endpoint_name + "'")));

@@ -53,6 +53,12 @@ struct ChaosOptions {
   /// restarted workers). The harness never resets it; pass a fresh plan per
   /// run when comparing event logs.
   std::shared_ptr<faults::FaultPlan> fault_plan;
+  /// Message plane for the cluster. kTcp runs the identical schedule over
+  /// real loopback sockets (TcpTransport: framing, CRCs, epoll, reconnect),
+  /// with injected drop/delay/corrupt faults acting at the socket layer.
+  /// Socket timing makes retry interleavings nondeterministic, so compare
+  /// invariants — not schedule logs — across TCP runs of one seed.
+  ClusterTransport transport = ClusterTransport::kInproc;
 };
 
 struct ChaosReport {
@@ -136,6 +142,7 @@ class ChaosHarness {
     config.collection_template.metric = Metric::kCosine;
     config.collection_template.index.type = "flat";
     config.fault_plan = options_.fault_plan;
+    config.transport = options_.transport;
     VDB_ASSIGN_OR_RETURN(cluster_, LocalCluster::Start(config));
     cluster_->GetRouter().SetResiliencePolicy(options_.policy);
     worker_up_.assign(options_.num_workers, true);

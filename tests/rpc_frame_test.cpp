@@ -1,0 +1,273 @@
+// Frame codec property/fuzz suite: round-trips over awkward sizes and
+// chunkings, then byte-truncation and single-byte-corruption sweeps. The
+// decoder must reject corrupt streams with a clean Status — never crash,
+// over-read, or emit a frame built from corrupt bytes (ASan/UBSan legs run
+// this under `ctest -L transport`).
+
+#include "rpc/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "storage/crc32.hpp"
+
+namespace vdb::rpc {
+namespace {
+
+constexpr std::size_t kTestMaxBody = std::size_t{1} << 20;
+
+Message MakeMessage(std::size_t body_bytes, std::uint64_t seed) {
+  Message message;
+  message.type = MessageType::kSearchRequest;
+  message.body = Buffer::Allocate(body_bytes);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < body_bytes; ++i) {
+    message.body.MutableData()[i] = static_cast<std::uint8_t>(rng.NextU64(256));
+  }
+  return message;
+}
+
+std::vector<std::uint8_t> Flatten(const WireFrame& frame) {
+  std::vector<std::uint8_t> bytes;
+  bytes.insert(bytes.end(), frame.head.data(), frame.head.data() + frame.head.size());
+  bytes.insert(bytes.end(), frame.body.data(), frame.body.data() + frame.body.size());
+  return bytes;
+}
+
+WireFrame EncodeTestFrame(std::size_t body_bytes, const std::string& endpoint,
+                          std::uint64_t seed = 7) {
+  FrameHeader header;
+  header.kind = endpoint.empty() ? FrameKind::kResponse : FrameKind::kRequest;
+  header.request_id = 0x1122334455667788ULL ^ seed;
+  header.trace_id = 0xABCDEF01ULL + seed;
+  header.span_id = 0x9876ULL + seed;
+  return EncodeFrame(header, endpoint, MakeMessage(body_bytes, seed));
+}
+
+TEST(FrameTest, RoundTripAwkwardSizes) {
+  // 0 and 1 byte bodies, the header boundary, slab-size boundaries (the
+  // buffer pool's size classes), and a multi-slab-sized body.
+  const std::size_t sizes[] = {0, 1, 47, 48, 49, 255, 4095, 4096, 4097, 100000};
+  const std::string endpoints[] = {"", "w", "worker/3/local",
+                                   std::string(kMaxEndpointNameBytes, 'e')};
+  for (const std::size_t body_bytes : sizes) {
+    for (const auto& endpoint : endpoints) {
+      const WireFrame wire = EncodeTestFrame(body_bytes, endpoint, body_bytes + 1);
+      const auto bytes = Flatten(wire);
+      ASSERT_EQ(bytes.size(), kFrameHeaderBytes + endpoint.size() + body_bytes);
+
+      FrameDecoder decoder(kTestMaxBody);
+      decoder.Feed(bytes);
+      DecodedFrame frame;
+      auto polled = decoder.Poll(&frame);
+      ASSERT_TRUE(polled.ok()) << polled.status().message();
+      ASSERT_TRUE(*polled) << "body=" << body_bytes << " ep=" << endpoint.size();
+      EXPECT_EQ(frame.endpoint, endpoint);
+      EXPECT_EQ(frame.message.type, MessageType::kSearchRequest);
+      ASSERT_EQ(frame.message.body.size(), body_bytes);
+      EXPECT_EQ(std::memcmp(frame.message.body.data(), wire.body.data(), body_bytes), 0);
+      EXPECT_EQ(frame.header.request_id, 0x1122334455667788ULL ^ (body_bytes + 1));
+      // Nothing further buffered.
+      polled = decoder.Poll(&frame);
+      ASSERT_TRUE(polled.ok());
+      EXPECT_FALSE(*polled);
+      EXPECT_TRUE(decoder.StreamStatus().ok());
+    }
+  }
+}
+
+TEST(FrameTest, BodyBufferSharesSlabWithMessage) {
+  // The encoder's zero-copy contract: WireFrame.body is a refcount bump of
+  // the message's slab, not a copy.
+  const Message message = MakeMessage(4096, 3);
+  FrameHeader header;
+  header.kind = FrameKind::kRequest;
+  const WireFrame wire = EncodeFrame(header, "w", message);
+  EXPECT_EQ(wire.body.data(), message.body.data());
+}
+
+TEST(FrameTest, ChunkedFeedEquivalence) {
+  // Byte-at-a-time and random chunkings must decode identically to one shot.
+  const WireFrame wire = EncodeTestFrame(1000, "worker/1", 11);
+  const auto bytes = Flatten(wire);
+
+  for (const std::uint64_t chunk_seed : {1u, 2u, 3u}) {
+    FrameDecoder decoder(kTestMaxBody);
+    Rng rng(chunk_seed);
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.NextU64(97), bytes.size() - offset);
+      decoder.Feed({bytes.data() + offset, n});
+      offset += n;
+    }
+    DecodedFrame frame;
+    auto polled = decoder.Poll(&frame);
+    ASSERT_TRUE(polled.ok());
+    ASSERT_TRUE(*polled);
+    EXPECT_EQ(frame.endpoint, "worker/1");
+    EXPECT_EQ(frame.message.body.size(), 1000u);
+  }
+
+  // Byte-at-a-time.
+  FrameDecoder decoder(kTestMaxBody);
+  for (const std::uint8_t byte : bytes) decoder.Feed({&byte, 1});
+  DecodedFrame frame;
+  auto polled = decoder.Poll(&frame);
+  ASSERT_TRUE(polled.ok());
+  ASSERT_TRUE(*polled);
+  EXPECT_EQ(frame.message.body.size(), 1000u);
+}
+
+TEST(FrameTest, BackToBackFramesDecodeInOrder) {
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto bytes = Flatten(EncodeTestFrame(i * 37, "ep" + std::to_string(i), i));
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  FrameDecoder decoder(kTestMaxBody);
+  decoder.Feed(stream);
+  for (std::size_t i = 0; i < 5; ++i) {
+    DecodedFrame frame;
+    auto polled = decoder.Poll(&frame);
+    ASSERT_TRUE(polled.ok());
+    ASSERT_TRUE(*polled) << i;
+    EXPECT_EQ(frame.endpoint, "ep" + std::to_string(i));
+    EXPECT_EQ(frame.message.body.size(), i * 37);
+  }
+}
+
+TEST(FrameTest, TruncationNeverYieldsAFrame) {
+  // Every proper prefix must decode to "need more" — never a frame, never a
+  // crash or over-read (ASan would flag it).
+  const WireFrame wire = EncodeTestFrame(300, "worker/2", 5);
+  const auto bytes = Flatten(wire);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameDecoder decoder(kTestMaxBody);
+    decoder.Feed({bytes.data(), cut});
+    DecodedFrame frame;
+    auto polled = decoder.Poll(&frame);
+    ASSERT_TRUE(polled.ok()) << "cut=" << cut << ": " << polled.status().message();
+    EXPECT_FALSE(*polled) << "frame produced from a " << cut << "-byte prefix";
+  }
+}
+
+TEST(FrameTest, SingleByteCorruptionAlwaysDetected) {
+  // Flip each byte of a small frame (and a random sample of a larger one):
+  // the decoder must reject with a clean error — CRC, magic, version, length
+  // or kind — and never emit a frame whose payload differs from the
+  // original. A flip may legitimately still decode if it lands in a spot
+  // where header+payload CRCs both still match — impossible for single-byte
+  // flips with CRC32C — so any emitted frame here is a bug.
+  const WireFrame wire = EncodeTestFrame(64, "worker/0", 21);
+  const auto clean = Flatten(wire);
+  for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+    for (const std::uint8_t flip : {0x01, 0x80}) {
+      auto bytes = clean;
+      bytes[pos] ^= flip;
+      FrameDecoder decoder(kTestMaxBody);
+      decoder.Feed(bytes);
+      DecodedFrame frame;
+      const auto polled = decoder.Poll(&frame);
+      if (polled.ok()) {
+        EXPECT_FALSE(*polled)
+            << "corrupt frame accepted (pos=" << pos << " flip=" << int(flip) << ")";
+        // Incomplete is acceptable only if the flip raised a declared length;
+        // but lengths are CRC-covered, so incomplete-without-error means the
+        // decoder is still waiting on bytes it will reject later. Feed one
+        // more byte to prove it does not crash.
+        decoder.Feed({clean.data(), 1});
+      } else {
+        EXPECT_FALSE(decoder.StreamStatus().ok());
+        // Latched: subsequent feeds are inert and Poll keeps erroring.
+        decoder.Feed(clean);
+        const auto again = decoder.Poll(&frame);
+        EXPECT_FALSE(again.ok());
+      }
+    }
+  }
+}
+
+TEST(FrameTest, RandomCorruptionSweepOnLargeFrame) {
+  const WireFrame wire = EncodeTestFrame(16384, "worker/9", 13);
+  const auto clean = Flatten(wire);
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = clean;
+    const std::size_t pos = rng.NextU64(bytes.size());
+    const auto flip = static_cast<std::uint8_t>(1 + rng.NextU64(255));
+    bytes[pos] ^= flip;
+    FrameDecoder decoder(kTestMaxBody);
+    decoder.Feed(bytes);
+    DecodedFrame frame;
+    const auto polled = decoder.Poll(&frame);
+    if (polled.ok()) {
+      EXPECT_FALSE(*polled) << "pos=" << pos << " flip=" << int(flip);
+    }
+  }
+}
+
+TEST(FrameTest, OversizedDeclaredBodyRejectedBeforeAllocation) {
+  // A frame declaring a body beyond the decoder's limit must be rejected at
+  // header time (the declared length is CRC-valid, so this exercises the
+  // limit check, not corruption detection).
+  Message message;
+  message.type = MessageType::kInfoRequest;
+  message.body = Buffer::Allocate(128);
+  std::memset(message.body.MutableData(), 0, 128);
+  FrameHeader header;
+  header.kind = FrameKind::kRequest;
+  const WireFrame wire = EncodeFrame(header, "w", message);
+  const auto bytes = Flatten(wire);
+
+  FrameDecoder decoder(/*max_body_bytes=*/64);
+  decoder.Feed(bytes);
+  DecodedFrame frame;
+  const auto polled = decoder.Poll(&frame);
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(polled.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FrameTest, BadVersionRejected) {
+  auto bytes = Flatten(EncodeTestFrame(16, "w", 1));
+  bytes[4] = kFrameVersion + 1;
+  // Re-seal the header CRC so the version check (not the CRC) fires.
+  const std::uint32_t crc = Crc32c(bytes.data(), 44);
+  for (int i = 0; i < 4; ++i) {
+    bytes[44 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  FrameDecoder decoder(kTestMaxBody);
+  decoder.Feed(bytes);
+  DecodedFrame frame;
+  const auto polled = decoder.Poll(&frame);
+  ASSERT_FALSE(polled.ok());
+  EXPECT_EQ(polled.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, TraceIdsSurviveTheWire) {
+  FrameHeader header;
+  header.kind = FrameKind::kRequest;
+  header.request_id = 42;
+  header.trace_id = 0xDEADBEEFCAFEF00DULL;
+  header.span_id = 0x1234567890ABCDEFULL;
+  Message message;
+  message.type = MessageType::kSearchRequest;
+  const WireFrame wire = EncodeFrame(header, "worker/1", message);
+
+  FrameDecoder decoder(kTestMaxBody);
+  decoder.Feed(Flatten(wire));
+  DecodedFrame frame;
+  auto polled = decoder.Poll(&frame);
+  ASSERT_TRUE(polled.ok());
+  ASSERT_TRUE(*polled);
+  EXPECT_EQ(frame.header.request_id, 42u);
+  EXPECT_EQ(frame.header.trace_id, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(frame.header.span_id, 0x1234567890ABCDEFULL);
+  EXPECT_EQ(frame.header.kind, FrameKind::kRequest);
+}
+
+}  // namespace
+}  // namespace vdb::rpc

@@ -129,6 +129,51 @@ TEST(TransportTest, StatsCountCallsAndBytes) {
   EXPECT_GT(stats.bytes_received, 0u);
 }
 
+TEST(TransportTest, UnregisterFailsQueuedCallsWithUnavailable) {
+  // Regression: UnregisterEndpoint used to drain the queue by letting the
+  // service threads exit on Close(), abandoning still-queued calls — their
+  // futures never resolved and callers hung. Queued-but-unstarted calls must
+  // fail with Unavailable while the running handler completes normally.
+  InprocTransport transport;
+  std::promise<void> entered;
+  std::promise<void> release;
+  auto released = release.get_future().share();
+  ASSERT_TRUE(transport
+                  .RegisterEndpoint(
+                      "busy",
+                      [&, first = true](const Message& request) mutable {
+                        if (first) {
+                          first = false;
+                          entered.set_value();
+                          released.wait();
+                        }
+                        return EchoHandler(request);
+                      },
+                      /*service_threads=*/1)
+                  .ok());
+  auto running = transport.CallAsync("busy", Message{MessageType::kInfoRequest, {}});
+  entered.get_future().wait();
+  std::vector<std::future<Message>> queued;
+  for (int i = 0; i < 4; ++i) {
+    queued.push_back(transport.CallAsync("busy", Message{MessageType::kInfoRequest, {}}));
+  }
+  std::thread unregister_thread(
+      [&] { EXPECT_TRUE(transport.UnregisterEndpoint("busy").ok()); });
+  // The queued calls must fail while the handler is still blocked — shutdown
+  // drains the queue before joining service threads, so releasing the handler
+  // first would let it race the drain and legitimately serve some of them.
+  for (auto& future : queued) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)), std::future_status::ready)
+        << "queued call hung across UnregisterEndpoint";
+    EXPECT_EQ(MessageToStatus(future.get()).code(), StatusCode::kUnavailable);
+  }
+  release.set_value();
+  unregister_thread.join();
+
+  ASSERT_EQ(running.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+  EXPECT_TRUE(MessageToStatus(running.get()).ok());
+}
+
 TEST(TransportTest, DestructionDrainsInFlightWork) {
   std::atomic<int> handled{0};
   {

@@ -44,6 +44,25 @@ Result<std::unique_ptr<Collection>> Collection::Open(CollectionConfig config) {
     }
   }
 
+  // Likewise for a persisted SQ8 code segment: attach the mmap'd codes so
+  // the compressed scan serves reads without re-training/re-encoding. The
+  // segment maps code row i to store offset i, valid for the same
+  // zero-tombstone reason as the graph.
+  if (!collection->pending_codes_file_.empty() &&
+      collection->index_->Type() == "sq8") {
+    auto* sq = static_cast<SqIndex*>(collection->index_.get());
+    auto mapped =
+        MappedCodeSegment::Open(cfg.data_dir / collection->pending_codes_file_);
+    Status attached = mapped.ok() ? sq->AttachCodeSegment(*mapped) : mapped.status();
+    if (attached.ok()) {
+      collection->next_unindexed_offset_ = std::min(
+          static_cast<std::uint32_t>(collection->store_->Size()),
+          static_cast<std::uint32_t>((*mapped)->Count()));
+    } else {
+      VDB_WARN << "ignoring persisted sq8 codes: " << attached.ToString();
+    }
+  }
+
   // Re-index recovered points (the WAL tail, or everything when no usable
   // graph was persisted) unless indexing is deferred.
   if (!cfg.defer_indexing && collection->store_->Size() > 0) {
@@ -72,6 +91,7 @@ Status Collection::Recover() {
     flushed_point_count_ = store_->Size();
     first_unflushed_offset_ = static_cast<std::uint32_t>(store_->Size());
     pending_graph_file_ = manifest.hnsw_graph_file;
+    pending_codes_file_ = manifest.sq8_codes_file;
   }
 
   // Replay WAL records beyond the manifest's checkpoint.
@@ -333,6 +353,21 @@ Status Collection::Flush() {
   } else {
     std::error_code ec;
     std::filesystem::remove(config_.data_dir / graph_file, ec);
+  }
+
+  // Same offset-stability rule for the SQ8 code segment: rows map to store
+  // offsets identically, so it is only persisted from a fully indexed,
+  // tombstone-free store.
+  const std::string codes_file = "codes.sq8";
+  if (index_ != nullptr && index_->Type() == "sq8" && index_->Ready() &&
+      store_->DeletedCount() == 0 && next_unindexed_offset_ >= store_->Size() &&
+      store_->Size() > 0) {
+    auto* sq = static_cast<SqIndex*>(index_.get());
+    VDB_RETURN_IF_ERROR(sq->SaveCodeSegment(config_.data_dir / codes_file));
+    manifest.sq8_codes_file = codes_file;
+  } else {
+    std::error_code ec;
+    std::filesystem::remove(config_.data_dir / codes_file, ec);
   }
   VDB_RETURN_IF_ERROR(WriteManifest(config_.data_dir / "MANIFEST", manifest));
 

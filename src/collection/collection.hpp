@@ -172,6 +172,7 @@ class Collection {
   std::uint32_t first_unflushed_offset_ = 0;
   std::size_t deleted_at_last_flush_ = 0;  ///< tombstones covered by segments
   std::string pending_graph_file_;  ///< graph named by the recovered manifest
+  std::string pending_codes_file_;  ///< SQ8 code segment named by the manifest
 
   std::uint32_t next_unindexed_offset_ = 0;
 };

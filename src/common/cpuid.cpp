@@ -13,6 +13,8 @@ CpuFeatures Detect() {
   features.avx2 = __builtin_cpu_supports("avx2");
   features.fma = __builtin_cpu_supports("fma");
   features.avx512f = __builtin_cpu_supports("avx512f");
+  features.avx512bw = __builtin_cpu_supports("avx512bw");
+  features.avx512vnni = __builtin_cpu_supports("avx512vnni");
 #endif
   return features;
 }
@@ -30,6 +32,8 @@ std::string CpuFeatureString() {
   if (f.avx2) out += "avx2 ";
   if (f.fma) out += "fma ";
   if (f.avx512f) out += "avx512f ";
+  if (f.avx512bw) out += "avx512bw ";
+  if (f.avx512vnni) out += "avx512vnni ";
   if (out.empty()) return "baseline";
   out.pop_back();
   return out;

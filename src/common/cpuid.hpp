@@ -18,6 +18,12 @@ struct CpuFeatures {
   bool avx2 = false;
   bool fma = false;
   bool avx512f = false;
+  /// Byte/word 512-bit ops — required alongside vnni for the integer SQ8
+  /// coarse-scan kernel (byte unpacks feeding vpdpbusd).
+  bool avx512bw = false;
+  /// AVX512-VNNI (`vpdpbusd`): fused u8 x i8 -> i32 multiply-accumulate, the
+  /// fast path for quantized-query code scans.
+  bool avx512vnni = false;
 };
 
 /// Features of the host CPU; detected on first call, stable afterwards.

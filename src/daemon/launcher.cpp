@@ -102,6 +102,8 @@ Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Launch(
     args.push_back("--dim=" + std::to_string(options.dim));
     args.push_back("--metric=" + options.metric);
     args.push_back("--index=" + options.index_type);
+    args.push_back("--quantization=" + options.quantization);
+    args.push_back("--rerank=" + std::to_string(options.rerank));
     args.push_back("--service-threads=" + std::to_string(options.service_threads));
     args.push_back("--listen-fd=" + std::to_string(listen_fds[i]));
     for (std::uint32_t j = 0; j < options.num_workers; ++j) {

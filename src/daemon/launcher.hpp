@@ -34,6 +34,10 @@ struct ProcessClusterOptions {
   std::size_t dim = 8;
   std::string metric = "cosine";
   std::string index_type = "flat";
+  /// Compressed read path forwarded to every worker: "none" | "sq8".
+  std::string quantization = "none";
+  /// Rerank depth forwarded with it (0 = per-index default).
+  std::size_t rerank = 0;
   std::size_t service_threads = 2;
   /// How long Launch waits for every worker to answer an Info RPC.
   double ready_timeout_seconds = 60.0;

@@ -56,6 +56,11 @@ Result<VdbdOptions> ParseVdbdArgs(int argc, const char* const* argv) {
       options.metric = value;
     } else if (flag == "--index") {
       options.index_type = value;
+    } else if (flag == "--quantization") {
+      options.quantization = value;
+    } else if (flag == "--rerank") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.rerank = static_cast<std::size_t>(v);
     } else if (flag == "--service-threads") {
       VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
       options.service_threads = static_cast<std::size_t>(v);
@@ -114,6 +119,8 @@ Status RunVdbd(const VdbdOptions& options) {
   worker_config.service_threads = options.service_threads;
   worker_config.collection_template.dim = options.dim;
   worker_config.collection_template.index.type = options.index_type;
+  worker_config.collection_template.index.quantization = options.quantization;
+  worker_config.collection_template.index.rerank = options.rerank;
   VDB_ASSIGN_OR_RETURN(worker_config.collection_template.metric,
                        ParseMetric(options.metric));
 

@@ -29,6 +29,11 @@ struct VdbdOptions {
   std::size_t dim = 8;
   std::string metric = "cosine";
   std::string index_type = "flat";
+  /// Compressed read path for the hosted collections: "none" | "sq8".
+  std::string quantization = "none";
+  /// Full-precision rerank depth for quantized searches (0 = per-index
+  /// default; see IndexSpec::rerank).
+  std::size_t rerank = 0;
   std::size_t service_threads = 2;
   /// host:port to bind (port 0 = ephemeral; the bound address is printed on
   /// stdout as "vdbd worker <id> listening on <host:port>").

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/cpuid.hpp"
 #include "dist/kernels.hpp"
 
 namespace vdb {
@@ -81,6 +82,22 @@ void L2SquaredDistanceBatch(VectorView query, const Scalar* base,
 
 float DotProductU8(const float* query, const std::uint8_t* codes, std::size_t n) {
   return dist::ActiveKernels().dot_u8(query, codes, n);
+}
+
+void DotProductU8Blocked(const float* query, const std::uint8_t* block,
+                         std::size_t n, float* out) {
+  static_assert(kSq8BlockRows == dist::kSqBlockRows);
+  dist::ActiveKernels().dot_u8_blocked(query, block, n, out);
+}
+
+void DotProductU8QBlocked(const std::int8_t* query, const std::uint8_t* block,
+                          std::size_t n, std::int32_t* out) {
+  dist::ActiveKernels().dot_u8q_blocked(query, block, n, out);
+}
+
+bool FastU8QBlockedActive() {
+  return dist::ActiveKernels().isa == dist::KernelIsa::kAvx512 &&
+         HostCpuFeatures().avx512bw && HostCpuFeatures().avx512vnni;
 }
 
 Scalar Score(Metric metric, VectorView a, VectorView b) {

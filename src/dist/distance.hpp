@@ -54,6 +54,32 @@ void L2SquaredDistanceBatch(VectorView query, const Scalar* base,
 /// kernel: sum_i query[i] * codes[i].
 float DotProductU8(const float* query, const std::uint8_t* codes, std::size_t n);
 
+/// Rows per transposed SQ8 code block (see dist::kSqBlockRows).
+inline constexpr std::size_t kSq8BlockRows = 64;
+
+/// Blocked/transposed (PDX-style) SQ8 scan kernel. `block` holds
+/// kSq8BlockRows rows of `n` codes in dimension-major order
+/// (`block[i * kSq8BlockRows + r]`); writes all kSq8BlockRows partial dots
+/// out[r] = sum_i query[i] * block[i * kSq8BlockRows + r]. Padding rows
+/// (zero codes) score query-independently to 0 and are masked by the caller.
+void DotProductU8Blocked(const float* query, const std::uint8_t* block,
+                         std::size_t n, float* out);
+
+/// Integer coarse variant of DotProductU8Blocked: the query is pre-quantized
+/// to i8 and the block is scored with exact integer MACs, writing raw sums
+/// out[r] = sum_i query[i] * block[i * kSq8BlockRows + r]. Callers scale the
+/// i32 sums back to float partial dots (see Sq8Ranges::QuantizeAdjusted) and
+/// should only prefer this over the float kernel when
+/// FastU8QBlockedActive() — the exact rerank pass absorbs the query
+/// quantization error.
+void DotProductU8QBlocked(const std::int8_t* query, const std::uint8_t* block,
+                          std::size_t n, std::int32_t* out);
+
+/// True when the active dispatch table's integer blocked kernel is the
+/// vpdpbusd fast path (AVX512BW+VNNI host running the avx512 table) — i.e.
+/// when DotProductU8QBlocked actually beats the float blocked kernel.
+bool FastU8QBlockedActive();
+
 /// Unified scoring entry point (higher is better; see convention above).
 Scalar Score(Metric metric, VectorView a, VectorView b);
 

@@ -30,6 +30,13 @@ namespace vdb::dist {
 
 enum class KernelIsa : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
 
+/// Rows per transposed SQ8 code block (the PDX-style layout): a block stores
+/// kSqBlockRows rows dimension-major (`block[d * kSqBlockRows + r]`), so the
+/// scan loop streams one 64-byte cache line of codes per dimension instead of
+/// strided row-major reads. 64 rows x 4-byte accumulators also fills exactly
+/// eight ymm (or four zmm) registers.
+inline constexpr std::size_t kSqBlockRows = 64;
+
 std::string_view KernelIsaName(KernelIsa isa);
 
 /// Parses "scalar" / "avx2" / "avx512". ("auto" is resolved by
@@ -56,6 +63,23 @@ struct KernelTable {
                   std::size_t count, std::size_t n, Scalar* out);
   /// sum_i q[i]*codes[i] with u8 codes widened to float (SQ8 scans).
   float (*dot_u8)(const float* q, const std::uint8_t* codes, std::size_t n);
+  /// Transposed-block variant: `block` holds kSqBlockRows rows of n codes in
+  /// dimension-major order (`block[i * kSqBlockRows + r]`); writes
+  /// out[r] = sum_i q[i] * block[i * kSqBlockRows + r] for every row of the
+  /// block. Flat/IVF compressed scans stream whole blocks through this.
+  void (*dot_u8_blocked)(const float* q, const std::uint8_t* block,
+                         std::size_t n, float* out);
+  /// Integer coarse variant of dot_u8_blocked for rerank-backed scans: the
+  /// query arrives pre-quantized to i8 (see Sq8Ranges::QuantizeAdjusted) and
+  /// the block is scored with pure integer MACs, writing raw sums
+  /// out[r] = sum_i q[i] * block[i * kSqBlockRows + r]. Exact integer
+  /// arithmetic — every ISA's result is bit-equal, so parity tests compare
+  /// with ==. On AVX512BW+VNNI hosts this is the vpdpbusd fast path (4x less
+  /// memory traffic than the float scan with no widen-to-float port
+  /// pressure); elsewhere it is a correct reference loop that callers should
+  /// not prefer over the float kernel (see dist::FastU8QBlockedActive).
+  void (*dot_u8q_blocked)(const std::int8_t* q, const std::uint8_t* block,
+                          std::size_t n, std::int32_t* out);
 };
 
 /// Always available; bit-identical to the pre-dispatch scalar kernels.

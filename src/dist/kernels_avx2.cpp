@@ -172,9 +172,48 @@ float DotU8Avx2(const float* q, const std::uint8_t* codes, std::size_t n) {
   return sum;
 }
 
+// One transposed code block = 64 rows. Eight ymm accumulators hold all 64
+// partial sums; per dimension the kernel broadcasts q[i] once, streams one
+// 64-byte code line, and issues eight widen+FMA pairs — no horizontal
+// reduction until the block is done, and the q broadcast is amortized over
+// 64 rows instead of re-loading q per row.
+void DotU8BlockedAvx2(const float* q, const std::uint8_t* block,
+                      std::size_t n, float* out) {
+  __m256 acc[8];
+  for (auto& a : acc) a = _mm256_setzero_ps();
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m256 qv = _mm256_set1_ps(q[i]);
+    const std::uint8_t* col = block + i * kSqBlockRows;
+    _mm_prefetch(reinterpret_cast<const char*>(col + kSqBlockRows), _MM_HINT_T0);
+    for (std::size_t j = 0; j < 8; ++j) {
+      const __m128i bytes =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(col + j * 8));
+      const __m256 vals = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+      acc[j] = _mm256_fmadd_ps(qv, vals, acc[j]);
+    }
+  }
+  for (std::size_t j = 0; j < 8; ++j) _mm256_storeu_ps(out + j * 8, acc[j]);
+}
+
+// Plain integer loop — GCC auto-vectorizes it with the AVX2 integer ops this
+// TU is built with. Exact integer math, so it stays bit-equal to scalar; the
+// genuinely fast integer path (vpdpbusd) lives in the avx512 table.
+void DotU8QBlockedAvx2(const std::int8_t* q, const std::uint8_t* block,
+                       std::size_t n, std::int32_t* out) {
+  for (std::size_t r = 0; r < kSqBlockRows; ++r) out[r] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t qi = q[i];
+    const std::uint8_t* col = block + i * kSqBlockRows;
+    for (std::size_t r = 0; r < kSqBlockRows; ++r) {
+      out[r] += qi * static_cast<std::int32_t>(col[r]);
+    }
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
     KernelIsa::kAvx2, "avx2", 4,
     DotAvx2, L2Avx2, DotRowsAvx2, L2RowsAvx2, DotU8Avx2,
+    DotU8BlockedAvx2, DotU8QBlockedAvx2,
 };
 
 }  // namespace

@@ -63,9 +63,34 @@ float DotU8Scalar(const float* q, const std::uint8_t* codes, std::size_t n) {
   return (acc0 + acc1) + (acc2 + acc3);
 }
 
+void DotU8BlockedScalar(const float* q, const std::uint8_t* block,
+                        std::size_t n, float* out) {
+  for (std::size_t r = 0; r < kSqBlockRows; ++r) out[r] = 0.f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float qi = q[i];
+    const std::uint8_t* col = block + i * kSqBlockRows;
+    for (std::size_t r = 0; r < kSqBlockRows; ++r) {
+      out[r] += qi * static_cast<float>(col[r]);
+    }
+  }
+}
+
+void DotU8QBlockedScalar(const std::int8_t* q, const std::uint8_t* block,
+                         std::size_t n, std::int32_t* out) {
+  for (std::size_t r = 0; r < kSqBlockRows; ++r) out[r] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t qi = q[i];
+    const std::uint8_t* col = block + i * kSqBlockRows;
+    for (std::size_t r = 0; r < kSqBlockRows; ++r) {
+      out[r] += qi * static_cast<std::int32_t>(col[r]);
+    }
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     KernelIsa::kScalar, "scalar", 1,
     DotScalar, L2Scalar, DotRowsScalar, L2RowsScalar, DotU8Scalar,
+    DotU8BlockedScalar, DotU8QBlockedScalar,
 };
 
 }  // namespace

@@ -6,20 +6,43 @@ namespace vdb {
 
 Result<std::unique_ptr<VectorIndex>> CreateIndex(const VectorStore& store,
                                                  const IndexSpec& spec) {
+  const bool quantized = spec.quantization == "sq8";
+  if (!quantized && spec.quantization != "none") {
+    return Status::InvalidArgument("unknown quantization '" + spec.quantization +
+                                   "' (expected none|sq8)");
+  }
   if (spec.type == "flat") {
+    if (quantized) {
+      // Quantized flat is the blocked SQ8 scan — same exhaustive semantics,
+      // compressed codes. rerank = 0 is honoured (pure quantized scores stay
+      // merge-safe; see sq8_codes.hpp).
+      SqParams p = spec.sq8;
+      if (spec.rerank != 0) p.rerank = spec.rerank;
+      return std::unique_ptr<VectorIndex>(new SqIndex(store, p));
+    }
     return std::unique_ptr<VectorIndex>(new FlatIndex(store));
   }
   if (spec.type == "hnsw") {
-    return std::unique_ptr<VectorIndex>(new HnswIndex(store, spec.hnsw));
+    HnswParams p = spec.hnsw;
+    if (quantized) {
+      p.sq8 = true;
+      if (spec.rerank != 0) p.sq8_rerank = spec.rerank;
+    }
+    return std::unique_ptr<VectorIndex>(new HnswIndex(store, p));
   }
   if (spec.type == "ivf_pq") {
-    return std::unique_ptr<VectorIndex>(new IvfPqIndex(store, spec.ivf_pq));
+    IvfPqParams p = spec.ivf_pq;
+    if (quantized && spec.rerank != 0) p.rerank = spec.rerank;
+    if (quantized && p.rerank == 0) p.rerank = 32;  // refine is the point
+    return std::unique_ptr<VectorIndex>(new IvfPqIndex(store, p));
   }
   if (spec.type == "kd_tree") {
     return std::unique_ptr<VectorIndex>(new KdTreeIndex(store, spec.kd_tree));
   }
   if (spec.type == "sq8") {
-    return std::unique_ptr<VectorIndex>(new SqIndex(store, spec.sq8));
+    SqParams p = spec.sq8;
+    if (spec.rerank != 0) p.rerank = spec.rerank;
+    return std::unique_ptr<VectorIndex>(new SqIndex(store, p));
   }
   return Status::InvalidArgument("unknown index type '" + spec.type + "'");
 }

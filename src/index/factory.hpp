@@ -19,6 +19,15 @@ namespace vdb {
 struct IndexSpec {
   /// "flat" | "hnsw" | "ivf_pq" | "kd_tree" | "sq8".
   std::string type = "hnsw";
+  /// Compressed read path: "none" (default, full-precision) or "sq8".
+  /// `quantization = sq8` routes each index family through its compressed
+  /// variant — flat becomes the blocked SQ8 scan (SqIndex), hnsw traverses
+  /// over u8 codes and reranks exactly, ivf_pq enables the exact refine step.
+  std::string quantization = "none";
+  /// Full-precision rerank depth for quantized paths (0 = each family's
+  /// default). For flat/sq8: SqParams::rerank; hnsw: HnswParams::sq8_rerank;
+  /// ivf_pq: IvfPqParams::rerank.
+  std::size_t rerank = 0;
   HnswParams hnsw;
   IvfPqParams ivf_pq;
   KdTreeParams kd_tree;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <queue>
 #include <thread>
 #include <unordered_set>
@@ -22,6 +23,78 @@ constexpr std::size_t kDefaultMaxNodes = std::size_t{1} << 22;
 struct HnswIndex::NodeTable::Chunk {
   std::atomic<Node*> slots[kChunkSize] = {};
 };
+
+struct HnswIndex::CodeTable::Chunk {
+  explicit Chunk(std::size_t dim)
+      : codes(new std::uint8_t[NodeTable::kChunkSize * dim]),
+        norms(new float[NodeTable::kChunkSize]) {
+    for (auto& s : state) s.store(0, std::memory_order_relaxed);
+  }
+  std::unique_ptr<std::uint8_t[]> codes;  // kChunkSize rows of dim bytes
+  std::unique_ptr<float[]> norms;         // dequantized |x|^2 per row
+  // 0 = empty, 1 = claimed (being written), 2 = published.
+  std::atomic<std::uint8_t> state[NodeTable::kChunkSize];
+};
+
+HnswIndex::CodeTable::CodeTable(std::size_t capacity, std::size_t dim)
+    : capacity_(capacity),
+      chunk_count_((capacity + NodeTable::kChunkSize - 1) / NodeTable::kChunkSize),
+      dim_(dim),
+      chunks_(new std::atomic<Chunk*>[chunk_count_ == 0 ? 1 : chunk_count_]) {
+  for (std::size_t i = 0; i < chunk_count_; ++i) chunks_[i].store(nullptr);
+}
+
+HnswIndex::CodeTable::~CodeTable() {
+  for (std::size_t i = 0; i < chunk_count_; ++i) {
+    delete chunks_[i].load(std::memory_order_acquire);
+  }
+}
+
+const std::uint8_t* HnswIndex::CodeTable::At(std::uint32_t offset,
+                                             float* norm_sq) const {
+  if (offset >= capacity_) return nullptr;
+  const Chunk* chunk = chunks_[offset / NodeTable::kChunkSize].load(std::memory_order_acquire);
+  if (chunk == nullptr) return nullptr;
+  const std::size_t r = offset % NodeTable::kChunkSize;
+  if (chunk->state[r].load(std::memory_order_acquire) != 2) return nullptr;
+  *norm_sq = chunk->norms[r];
+  return chunk->codes.get() + r * dim_;
+}
+
+void HnswIndex::CodeTable::Put(std::uint32_t offset, const std::uint8_t* codes,
+                               float norm_sq) {
+  if (offset >= capacity_) return;
+  auto& chunk_slot = chunks_[offset / NodeTable::kChunkSize];
+  Chunk* chunk = chunk_slot.load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    auto* fresh = new Chunk(dim_);
+    if (chunk_slot.compare_exchange_strong(chunk, fresh, std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      chunk = fresh;
+    } else {
+      delete fresh;  // lost the allocation race; `chunk` holds the winner
+    }
+  }
+  const std::size_t r = offset % NodeTable::kChunkSize;
+  std::uint8_t expected = 0;
+  if (!chunk->state[r].compare_exchange_strong(expected, 1, std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+    return;  // another thread is encoding (or has encoded) this row
+  }
+  std::memcpy(chunk->codes.get() + r * dim_, codes, dim_);
+  chunk->norms[r] = norm_sq;
+  chunk->state[r].store(2, std::memory_order_release);
+}
+
+std::uint64_t HnswIndex::CodeTable::MemoryBytes() const {
+  std::uint64_t bytes = chunk_count_ * sizeof(void*);
+  for (std::size_t i = 0; i < chunk_count_; ++i) {
+    if (chunks_[i].load(std::memory_order_acquire) != nullptr) {
+      bytes += NodeTable::kChunkSize * (dim_ + sizeof(float) + 1) + sizeof(Chunk);
+    }
+  }
+  return bytes;
+}
 
 HnswIndex::NodeTable::NodeTable(std::size_t capacity)
     : capacity_(capacity),
@@ -67,6 +140,9 @@ HnswIndex::HnswIndex(const VectorStore& store, HnswParams params)
   if (params_.m < 2) params_.m = 2;
   if (params_.m0 < params_.m) params_.m0 = 2 * params_.m;
   level_mult_ = 1.0 / std::log(static_cast<double>(params_.m));
+  if (params_.sq8) {
+    sq_codes_ = std::make_unique<CodeTable>(nodes_.Capacity(), store_.Dim());
+  }
 }
 
 HnswIndex::~HnswIndex() = default;
@@ -79,18 +155,57 @@ int HnswIndex::SampleLevel() {
   return static_cast<int>(-std::log(u) * level_mult_);
 }
 
-Scalar HnswIndex::ScoreOf(VectorView query, std::uint32_t offset) const {
+Scalar HnswIndex::ScoreOf(VectorView query, std::uint32_t offset,
+                          const SqQuery* sq) const {
+  if (sq != nullptr) {
+    float norm_sq;
+    const std::uint8_t* codes = sq_codes_->At(offset, &norm_sq);
+    if (codes != nullptr) {
+      return FinishSq8Score(
+          sq->metric, sq->prep,
+          DotProductU8(sq->prep.adj.data(), codes, store_.Dim()), norm_sq);
+    }
+    // Row not encoded yet (inserted concurrently with the bulk encode) —
+    // exact float fallback is numerically compatible because the bias is
+    // folded into every quantized score.
+  }
   return Score(store_.SearchMetric(), query, store_.At(offset));
 }
 
 void HnswIndex::ScoreOffsets(VectorView query, const std::uint32_t* offsets,
                              std::size_t count, Scalar* out,
-                             std::uint64_t& distance_ops) const {
+                             std::uint64_t& distance_ops,
+                             const SqQuery* sq) const {
+  constexpr std::size_t kGatherBlock = 64;
+  const Metric metric = store_.SearchMetric();
+  if (sq != nullptr) {
+    // Gathered u8 scoring: prefetch a block of code rows, then run the dot_u8
+    // kernel per row; rows without published codes fall back to exact floats.
+    const std::uint8_t* code_rows[kGatherBlock];
+    float norms[kGatherBlock];
+    const std::size_t dim = store_.Dim();
+    for (std::size_t begin = 0; begin < count; begin += kGatherBlock) {
+      const std::size_t n = std::min(kGatherBlock, count - begin);
+      for (std::size_t i = 0; i < n; ++i) {
+        code_rows[i] = sq_codes_->At(offsets[begin + i], &norms[i]);
+        if (code_rows[i] != nullptr) __builtin_prefetch(code_rows[i]);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (code_rows[i] != nullptr) {
+          out[begin + i] = FinishSq8Score(
+              sq->metric, sq->prep,
+              DotProductU8(sq->prep.adj.data(), code_rows[i], dim), norms[i]);
+        } else {
+          out[begin + i] = Score(metric, query, store_.At(offsets[begin + i]));
+        }
+      }
+    }
+    distance_ops += count;
+    return;
+  }
   // Gather row pointers a block at a time and hand them to the multi-row
   // kernel; prefetch hides the random-access latency of graph neighbours.
-  constexpr std::size_t kGatherBlock = 64;
   const Scalar* rows[kGatherBlock];
-  const Metric metric = store_.SearchMetric();
   for (std::size_t begin = 0; begin < count; begin += kGatherBlock) {
     const std::size_t n = std::min(kGatherBlock, count - begin);
     for (std::size_t i = 0; i < n; ++i) {
@@ -125,9 +240,10 @@ std::vector<std::uint32_t> HnswIndex::NeighborsForTest(std::uint32_t offset,
 }
 
 std::uint32_t HnswIndex::GreedyStep(VectorView query, std::uint32_t entry, int layer,
-                                    std::uint64_t& distance_ops) const {
+                                    std::uint64_t& distance_ops,
+                                    const SqQuery* sq) const {
   std::uint32_t current = entry;
-  Scalar current_score = ScoreOf(query, current);
+  Scalar current_score = ScoreOf(query, current, sq);
   ++distance_ops;
   bool improved = true;
   std::vector<Scalar> scores;
@@ -137,7 +253,7 @@ std::uint32_t HnswIndex::GreedyStep(VectorView query, std::uint32_t entry, int l
     const auto links = node->CopyLinks(layer);
     if (links.empty()) break;
     scores.resize(links.size());
-    ScoreOffsets(query, links.data(), links.size(), scores.data(), distance_ops);
+    ScoreOffsets(query, links.data(), links.size(), scores.data(), distance_ops, sq);
     for (std::size_t i = 0; i < links.size(); ++i) {
       if (scores[i] > current_score) {
         current_score = scores[i];
@@ -151,7 +267,7 @@ std::uint32_t HnswIndex::GreedyStep(VectorView query, std::uint32_t entry, int l
 
 std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer(
     VectorView query, std::uint32_t entry, std::size_t ef, int layer,
-    std::uint64_t& distance_ops) const {
+    std::uint64_t& distance_ops, const SqQuery* sq) const {
   // Best-first beam search. `frontier` pops best-scoring candidates;
   // `results` is a min-heap retaining the ef best seen so far.
   struct BetterFirst {
@@ -169,7 +285,7 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer(
   std::priority_queue<SearchCandidate, std::vector<SearchCandidate>, BetterFirst> frontier;
   std::priority_queue<SearchCandidate, std::vector<SearchCandidate>, WorseFirst> results;
 
-  const Scalar entry_score = ScoreOf(query, entry);
+  const Scalar entry_score = ScoreOf(query, entry, sq);
   ++distance_ops;
   visited.insert(entry);
   frontier.push({entry_score, entry});
@@ -192,7 +308,8 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer(
     }
     if (fresh.empty()) continue;
     fresh_scores.resize(fresh.size());
-    ScoreOffsets(query, fresh.data(), fresh.size(), fresh_scores.data(), distance_ops);
+    ScoreOffsets(query, fresh.data(), fresh.size(), fresh_scores.data(), distance_ops,
+                 sq);
     for (std::size_t i = 0; i < fresh.size(); ++i) {
       const Scalar score = fresh_scores[i];
       if (results.size() < ef || score > results.top().score) {
@@ -369,10 +486,32 @@ Status HnswIndex::InsertNode(std::uint32_t offset) {
 Status HnswIndex::Add(std::uint32_t offset) {
   if (offset >= store_.Size()) return Status::OutOfRange("offset beyond store");
   VDB_RETURN_IF_ERROR(InsertNode(offset));
+  if (params_.sq8 && sq_ready_.load(std::memory_order_acquire)) {
+    // Incremental encode with the already-trained ranges; CodeTable::Put is
+    // race-safe so a concurrent EncodeAllSq8 sweep cannot double-write.
+    std::vector<std::uint8_t> row(store_.Dim());
+    sq_ranges_.Encode(store_.At(offset).data(), row.data());
+    sq_codes_->Put(offset, row.data(), sq_ranges_.DecodedNormSq(row.data()));
+  }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++stats_.indexed_count;
   stats_.distance_computations = distance_ops_.load(std::memory_order_relaxed);
   return Status::Ok();
+}
+
+void HnswIndex::EncodeAllSq8() {
+  if (!params_.sq8) return;
+  std::lock_guard<std::mutex> lock(sq_mutex_);
+  if (!sq_ranges_.Trained()) sq_ranges_.Train(store_, params_.sq8_quantile);
+  std::vector<std::uint8_t> row(store_.Dim());
+  for (std::uint32_t offset = 0; offset < store_.Size(); ++offset) {
+    if (nodes_.At(offset) == nullptr) continue;
+    float norm_sq;
+    if (sq_codes_->At(offset, &norm_sq) != nullptr) continue;
+    sq_ranges_.Encode(store_.At(offset).data(), row.data());
+    sq_codes_->Put(offset, row.data(), sq_ranges_.DecodedNormSq(row.data()));
+  }
+  sq_ready_.store(true, std::memory_order_release);
 }
 
 Status HnswIndex::Build() {
@@ -436,6 +575,7 @@ Status HnswIndex::Build() {
       threads_used = threads;
     }
   }
+  if (params_.sq8 && first_error.ok()) EncodeAllSq8();
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.threads_used = threads_used;
@@ -469,13 +609,46 @@ Result<std::vector<ScoredPoint>> HnswIndex::Search(VectorView query,
     effective = normalized;
   }
 
+  // SQ8 traversal: once the codes are published, the whole descent + beam
+  // search scores through them; the layer-0 frontier is reranked exactly.
+  const bool use_sq = params_.sq8 && sq_ready_.load(std::memory_order_acquire);
+  SqQuery sq_query;
+  const SqQuery* sq = nullptr;
+  std::size_t rerank_n = params.k;
+  if (use_sq) {
+    sq_query.prep = sq_ranges_.Prepare(effective);
+    sq_query.metric = store_.SearchMetric();
+    sq = &sq_query;
+    rerank_n = std::max(params.k, params_.sq8_rerank);
+  }
+
   std::uint64_t ops = 0;
   std::uint32_t current = entry;
   for (int layer = top_level; layer > 0; --layer) {
-    current = GreedyStep(effective, current, layer, ops);
+    current = GreedyStep(effective, current, layer, ops, sq);
   }
-  const std::size_t ef = std::max(params.ef_search, params.k);
-  auto candidates = SearchLayer(effective, current, ef, 0, ops);
+  const std::size_t ef = std::max(std::max(params.ef_search, params.k), rerank_n);
+  auto candidates = SearchLayer(effective, current, ef, 0, ops, sq);
+
+  if (sq != nullptr) {
+    // Rerank the best rerank_n frontier candidates with exact float scores —
+    // the quantized ordering picked them, full precision ranks them.
+    std::vector<std::uint32_t> top;
+    top.reserve(rerank_n);
+    for (const auto& candidate : candidates) {
+      if (store_.IsDeleted(candidate.offset)) continue;
+      top.push_back(candidate.offset);
+      if (top.size() >= rerank_n) break;
+    }
+    std::vector<Scalar> exact(top.size());
+    ScoreOffsets(effective, top.data(), top.size(), exact.data(), ops);
+    TopK reranked(params.k);
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      reranked.Push(store_.IdAt(top[i]), exact[i]);
+    }
+    distance_ops_.fetch_add(ops, std::memory_order_relaxed);
+    return reranked.Take();
+  }
 
   TopK collector(params.k);
   for (const auto& candidate : candidates) {
@@ -489,6 +662,7 @@ Result<std::vector<ScoredPoint>> HnswIndex::Search(VectorView query,
 std::uint64_t HnswIndex::MemoryBytes() const {
   std::lock_guard<std::mutex> lock(graph_mutex_);
   std::uint64_t bytes = (nodes_.Capacity() / NodeTable::kChunkSize + 1) * sizeof(void*);
+  if (sq_codes_ != nullptr) bytes += sq_codes_->MemoryBytes();
   for (std::uint32_t offset = 0; offset < store_.Size(); ++offset) {
     const Node* node = nodes_.At(offset);
     if (node == nullptr) continue;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "index/index.hpp"
+#include "index/sq8_codes.hpp"
 
 namespace vdb {
 
@@ -48,6 +49,18 @@ struct HnswParams {
   /// never reallocates, which is what lets searches read the graph without
   /// taking graph_mutex_. Inserting beyond it returns OutOfRange.
   std::size_t max_nodes = 0;
+  /// SQ8 traversal mode: score graph candidates with u8 codes (the gathered
+  /// dot_u8 path) and rerank the final layer-0 frontier with full-precision
+  /// vectors. The graph itself is still built with float scores; codes are
+  /// trained and encoded at the end of Build(). Search falls back to float
+  /// scoring per node until the codes are ready, and per row for nodes
+  /// inserted concurrently with encoding.
+  bool sq8 = false;
+  /// Full-precision rerank depth of the layer-0 frontier when sq8 is on
+  /// (candidates reranked = max(k, sq8_rerank)).
+  std::size_t sq8_rerank = 32;
+  /// Quantile for SQ8 range training (see SqParams::quantile).
+  double sq8_quantile = 0.99;
 };
 
 class HnswIndex final : public VectorIndex {
@@ -73,6 +86,10 @@ class HnswIndex final : public VectorIndex {
   std::uint64_t MemoryBytes() const override;
 
   const HnswParams& Params() const { return params_; }
+
+  /// True once the SQ8 codes are trained and published (sq8 mode only) —
+  /// searches before this fall back to float scoring per node.
+  bool Sq8Ready() const { return sq_ready_.load(std::memory_order_acquire); }
 
   /// Highest layer currently in the graph (-1 when empty).
   int MaxLevel() const;
@@ -154,20 +171,59 @@ class HnswIndex final : public VectorIndex {
     std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
   };
 
+  /// Chunked per-node SQ8 code storage mirroring NodeTable's lock-free reader
+  /// contract. Rows are published through a 3-state flag (0 empty → 1 claimed
+  /// via CAS → 2 published with a release store), so concurrent Add() threads
+  /// never double-encode a row and readers either see a fully written row or
+  /// fall back to float scoring.
+  class CodeTable {
+   public:
+    CodeTable(std::size_t capacity, std::size_t dim);
+    ~CodeTable();
+    CodeTable(const CodeTable&) = delete;
+    CodeTable& operator=(const CodeTable&) = delete;
+
+    /// Lock-free lookup: the row's codes (and its dequantized |x|^2 via
+    /// `norm_sq`) iff published, else nullptr.
+    const std::uint8_t* At(std::uint32_t offset, float* norm_sq) const;
+
+    /// Claims and publishes one row; a lost claim race is a no-op (the winner
+    /// writes identical codes — both encode the same store row).
+    void Put(std::uint32_t offset, const std::uint8_t* codes, float norm_sq);
+
+    std::uint64_t MemoryBytes() const;
+
+   private:
+    struct Chunk;
+    std::size_t capacity_;
+    std::size_t chunk_count_;
+    std::size_t dim_;
+    std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  };
+
   struct SearchCandidate {
     Scalar score;
     std::uint32_t offset;
   };
 
+  /// Prepared SQ8 query state threaded through the traversal helpers; when
+  /// non-null, candidate scoring goes through the u8 codes.
+  struct SqQuery {
+    Sq8Ranges::PreparedQuery prep;
+    Metric metric = Metric::kInnerProduct;
+  };
+
   /// Greedy descent on one layer from `entry` towards `query`; returns the
   /// local best. Used on layers above the target insertion/search layer.
   std::uint32_t GreedyStep(VectorView query, std::uint32_t entry, int layer,
-                           std::uint64_t& distance_ops) const;
+                           std::uint64_t& distance_ops,
+                           const SqQuery* sq = nullptr) const;
 
   /// Beam search on one layer; returns up to `ef` best candidates, best-first.
   std::vector<SearchCandidate> SearchLayer(VectorView query, std::uint32_t entry,
                                            std::size_t ef, int layer,
-                                           std::uint64_t& distance_ops) const;
+                                           std::uint64_t& distance_ops,
+                                           const SqQuery* sq = nullptr) const;
 
   /// Selects <= max_degree neighbours from best-first candidates.
   std::vector<std::uint32_t> SelectNeighbors(VectorView target,
@@ -180,13 +236,22 @@ class HnswIndex final : public VectorIndex {
 
   int SampleLevel();
 
-  Scalar ScoreOf(VectorView query, std::uint32_t offset) const;
+  Scalar ScoreOf(VectorView query, std::uint32_t offset,
+                 const SqQuery* sq = nullptr) const;
 
   /// Batch-scores `query` against the vectors at `offsets` (gather + multi-row
-  /// SIMD kernel). out must hold `count`; counts into `distance_ops`.
+  /// SIMD kernel; with `sq`, the u8 codes + dot_u8 with per-row float fallback
+  /// for not-yet-encoded rows). out must hold `count`; counts into
+  /// `distance_ops`.
   void ScoreOffsets(VectorView query, const std::uint32_t* offsets,
                     std::size_t count, Scalar* out,
-                    std::uint64_t& distance_ops) const;
+                    std::uint64_t& distance_ops,
+                    const SqQuery* sq = nullptr) const;
+
+  /// Trains the SQ8 ranges (once) and encodes every present node that has no
+  /// published codes yet, then flips sq_ready_. Called at the end of Build()
+  /// and after a graph load.
+  void EncodeAllSq8();
 
   const VectorStore& store_;
   HnswParams params_;
@@ -205,6 +270,14 @@ class HnswIndex final : public VectorIndex {
   mutable std::mutex stats_mutex_;  // guards stats_ writes (concurrent Add())
   BuildStats stats_;
   mutable std::atomic<std::uint64_t> distance_ops_{0};
+
+  // SQ8 traversal state (only populated when params_.sq8). sq_ready_ is the
+  // publication point: ranges + the bulk encode happen-before searches that
+  // observe it true (release/acquire).
+  std::mutex sq_mutex_;  // serializes EncodeAllSq8 (train + bulk encode)
+  Sq8Ranges sq_ranges_;
+  std::unique_ptr<CodeTable> sq_codes_;
+  std::atomic<bool> sq_ready_{false};
 };
 
 }  // namespace vdb

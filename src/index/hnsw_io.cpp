@@ -168,6 +168,9 @@ Status HnswIndex::LoadFromStream(std::istream& in) {
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     stats_.indexed_count = loaded;
   }
+  // The graph file carries no codes; re-derive them from the store so a
+  // recovered sq8 index searches compressed immediately.
+  if (params_.sq8 && has_entry_) EncodeAllSq8();
   return Status::Ok();
 }
 

@@ -79,12 +79,12 @@ Status IvfPqIndex::Build() {
 
   // --- Encode every live vector into its inverted list.
   lists_.assign(params_.n_lists, {});
+  stats_.indexed_count = 0;  // Add() counts each encoded entry
   for (std::uint32_t offset = 0; offset < n; ++offset) {
     if (store_.IsDeleted(offset)) continue;
     VDB_RETURN_IF_ERROR(Add(offset));
   }
 
-  stats_.indexed_count = n;
   stats_.build_seconds += watch.ElapsedSeconds();
   return Status::Ok();
 }
@@ -105,10 +105,23 @@ Status IvfPqIndex::Add(std::uint32_t offset) {
   const VectorView v = store_.At(offset);
   const std::uint32_t list = NearestCentroid(v, coarse_centroids_, store_.Dim());
   auto& inverted = lists_[list];
+  const std::size_t entry = inverted.offsets.size();
   inverted.offsets.push_back(offset);
-  const std::size_t code_base = inverted.codes.size();
-  inverted.codes.resize(code_base + params_.n_subspaces);
-  Encode(v, inverted.codes.data() + code_base);
+  // Scatter the row-major codes into the transposed block (padding entries
+  // of a fresh block stay zero — they are masked by entry index at scan).
+  const std::size_t block = entry / kAdcBlock;
+  const std::size_t r = entry % kAdcBlock;
+  const std::size_t block_bytes = params_.n_subspaces * kAdcBlock;
+  if (inverted.codes.size() < (block + 1) * block_bytes) {
+    inverted.codes.resize((block + 1) * block_bytes, 0);
+  }
+  std::vector<std::uint8_t> row(params_.n_subspaces);
+  Encode(v, row.data());
+  std::uint8_t* base = inverted.codes.data() + block * block_bytes;
+  for (std::size_t s = 0; s < params_.n_subspaces; ++s) {
+    base[s * kAdcBlock + r] = row[s];
+  }
+  ++stats_.indexed_count;
   return Status::Ok();
 }
 
@@ -116,10 +129,16 @@ std::vector<float> IvfPqIndex::BuildAdcTable(VectorView query) const {
   // Each codebook is a contiguous row-major block of centroids, so one
   // batched kernel call fills a whole subspace's table row.
   std::vector<float> table(params_.n_subspaces * params_.codebook_size);
+  const bool ip_convention = store_.SearchMetric() == Metric::kInnerProduct;
   for (std::size_t s = 0; s < params_.n_subspaces; ++s) {
     const VectorView q_sub(query.data() + s * sub_dim_, sub_dim_);
-    L2SquaredDistanceBatch(q_sub, codebooks_[s].data(), params_.codebook_size,
-                           table.data() + s * params_.codebook_size);
+    if (ip_convention) {
+      DotProductBatch(q_sub, codebooks_[s].data(), params_.codebook_size,
+                      table.data() + s * params_.codebook_size);
+    } else {
+      L2SquaredDistanceBatch(q_sub, codebooks_[s].data(), params_.codebook_size,
+                             table.data() + s * params_.codebook_size);
+    }
   }
   return table;
 }
@@ -152,23 +171,34 @@ Result<std::vector<ScoredPoint>> IvfPqIndex::Search(VectorView query,
                     list_order.end());
 
   const auto adc = BuildAdcTable(effective);
-  // ADC yields approximate squared L2; convert to the repo-wide "higher is
-  // better" convention by negating. For IP/cosine stores vectors are
-  // normalized, so L2 ordering matches similarity ordering.
+  // IP-convention stores sum dot-product tables (approximate <q, decode(x)>,
+  // already higher-is-better); L2 stores sum squared distances and negate.
+  const float sign = store_.SearchMetric() == Metric::kInnerProduct ? 1.f : -1.f;
   const std::size_t fetch = params_.rerank > 0 ? std::max(params.k, params_.rerank) : params.k;
   TopK collector(fetch);
+  float acc[kAdcBlock];
+  const std::size_t block_bytes = params_.n_subspaces * kAdcBlock;
   for (std::size_t p = 0; p < probes; ++p) {
     const auto& inverted = lists_[list_order[p].second];
     const std::size_t entries = inverted.offsets.size();
-    for (std::size_t e = 0; e < entries; ++e) {
-      const std::uint32_t offset = inverted.offsets[e];
-      if (store_.IsDeleted(offset)) continue;
-      const std::uint8_t* codes = inverted.codes.data() + e * params_.n_subspaces;
-      float dist = 0.f;
+    // Transposed ADC: accumulate one contiguous 64-entry code line per
+    // subspace so table gathers stream instead of striding across rows.
+    for (std::size_t block = 0; block * kAdcBlock < entries; ++block) {
+      std::fill(acc, acc + kAdcBlock, 0.f);
+      const std::uint8_t* base = inverted.codes.data() + block * block_bytes;
       for (std::size_t s = 0; s < params_.n_subspaces; ++s) {
-        dist += adc[s * params_.codebook_size + codes[s]];
+        const float* table_row = adc.data() + s * params_.codebook_size;
+        const std::uint8_t* code_row = base + s * kAdcBlock;
+        for (std::size_t r = 0; r < kAdcBlock; ++r) {
+          acc[r] += table_row[code_row[r]];
+        }
       }
-      collector.Push(ScoredPoint{offset, -dist});  // temporarily keyed by offset
+      const std::size_t limit = std::min(kAdcBlock, entries - block * kAdcBlock);
+      for (std::size_t r = 0; r < limit; ++r) {
+        const std::uint32_t offset = inverted.offsets[block * kAdcBlock + r];
+        if (store_.IsDeleted(offset)) continue;
+        collector.Push(ScoredPoint{offset, sign * acc[r]});  // keyed by offset
+      }
     }
   }
 

@@ -59,15 +59,26 @@ class IvfPqIndex final : public VectorIndex {
   Vector DecodeForTest(const std::vector<std::uint8_t>& codes) const;
 
  private:
+  /// Entries per transposed code block in an inverted list (PDX-style): codes
+  /// are stored `codes[block * n_subspaces * kAdcBlock + s * kAdcBlock + r]`
+  /// so the ADC scan streams one contiguous 64-byte code line per subspace
+  /// instead of strided row-major reads.
+  static constexpr std::size_t kAdcBlock = 64;
+
   struct InvertedList {
     std::vector<std::uint32_t> offsets;       // store offsets
-    std::vector<std::uint8_t> codes;          // n_subspaces bytes per entry
+    std::vector<std::uint8_t> codes;          // blocked/transposed, see kAdcBlock
   };
 
   void Encode(VectorView v, std::uint8_t* codes_out) const;
 
-  /// Builds the ADC table: for each subspace s and code c, the partial squared
-  /// L2 distance between the query's subvector and codebook entry (s, c).
+  /// Builds the ADC table for each subspace s and code c. For IP-convention
+  /// stores (IP, and cosine via normalized ingest) the entries are subspace
+  /// dot products so the summed score is the approximate inner product —
+  /// already in the repo-wide similarity convention. For L2 stores they are
+  /// squared subspace distances, negated at push time. Either way the emitted
+  /// scores are metric-space comparable across shards (the old
+  /// always-negated-L2 output was not an IP approximation at all).
   std::vector<float> BuildAdcTable(VectorView query) const;
 
   const VectorStore& store_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/stopwatch.hpp"
 
@@ -10,86 +11,62 @@ namespace vdb {
 SqIndex::SqIndex(const VectorStore& store, SqParams params)
     : store_(store), params_(params) {
   params_.quantile = std::clamp(params_.quantile, 0.5, 1.0);
+  codes_.Reset(store_.Dim());
 }
 
 Status SqIndex::Build() {
   Stopwatch watch;
   const std::size_t n = store_.Size();
-  const std::size_t dim = store_.Dim();
   if (n == 0) return Status::FailedPrecondition("empty store");
 
-  // Per-dimension clipped ranges. Collect a column sample per dimension; for
-  // bounded memory, sample at most 4096 rows (deterministic stride).
-  const std::size_t sample = std::min<std::size_t>(n, 4096);
-  const std::size_t stride = std::max<std::size_t>(1, n / sample);
-  dim_min_.assign(dim, 0.f);
-  dim_scale_.assign(dim, 1.f);
-  std::vector<float> column;
-  column.reserve(sample);
-  for (std::size_t d = 0; d < dim; ++d) {
-    column.clear();
-    for (std::size_t row = 0; row < n; row += stride) {
-      column.push_back(store_.At(static_cast<std::uint32_t>(row))[d]);
-    }
-    std::sort(column.begin(), column.end());
-    const double q = params_.quantile;
-    const auto lo_index = static_cast<std::size_t>((1.0 - q) * (column.size() - 1));
-    const auto hi_index = static_cast<std::size_t>(q * (column.size() - 1));
-    float lo = column[lo_index];
-    float hi = column[hi_index];
-    if (hi - lo < 1e-12f) hi = lo + 1e-6f;  // constant dimension
-    dim_min_[d] = lo;
-    dim_scale_[d] = (hi - lo) / 255.0f;
+  if (segment_ == nullptr) {
+    // Fresh build: (re)train the ranges on the current store and re-encode
+    // everything. With a mapped segment attached the ranges are fixed —
+    // retraining would silently invalidate every mapped code — so only the
+    // uncovered tail is encoded below.
+    ranges_.Train(store_, params_.quantile);
+    codes_.Reset(store_.Dim());
+    offsets_.clear();
+    tail_norms_.clear();
+    encode_watermark_ = 0;
   }
-  trained_ = true;
 
-  codes_.clear();
-  offsets_.clear();
-  codes_.reserve(n * dim);
-  for (std::uint32_t offset = 0; offset < n; ++offset) {
+  for (std::uint32_t offset = encode_watermark_;
+       offset < static_cast<std::uint32_t>(n); ++offset) {
     if (store_.IsDeleted(offset)) continue;
     VDB_RETURN_IF_ERROR(Add(offset));
   }
+  encode_watermark_ = static_cast<std::uint32_t>(n);
   stats_.indexed_count = offsets_.size();
   stats_.build_seconds += watch.ElapsedSeconds();
   return Status::Ok();
 }
 
-void SqIndex::Encode(VectorView v, std::uint8_t* out) const {
-  const std::size_t dim = store_.Dim();
-  for (std::size_t d = 0; d < dim; ++d) {
-    const float normalized = (v[d] - dim_min_[d]) / dim_scale_[d];
-    out[d] = static_cast<std::uint8_t>(std::clamp(normalized, 0.f, 255.f));
-  }
-}
-
 Status SqIndex::Add(std::uint32_t offset) {
-  if (!trained_) return Status::FailedPrecondition("SQ8 requires Build() before Add()");
+  if (!ranges_.Trained()) {
+    return Status::FailedPrecondition("SQ8 requires Build() before Add()");
+  }
   if (offset >= store_.Size()) return Status::OutOfRange("offset beyond store");
-  const std::size_t base = codes_.size();
-  codes_.resize(base + store_.Dim());
-  Encode(store_.At(offset), codes_.data() + base);
+  std::vector<std::uint8_t> row(store_.Dim());
+  ranges_.Encode(store_.At(offset).data(), row.data());
+  codes_.Append(row.data());
+  tail_norms_.push_back(ranges_.DecodedNormSq(row.data()));
   offsets_.push_back(offset);
+  encode_watermark_ = std::max(encode_watermark_, offset + 1);
+  stats_.indexed_count = offsets_.size();
   return Status::Ok();
 }
 
-float SqIndex::ScoreCodes(const float* query_adj, const std::uint8_t* codes) const {
-  // Approximate inner product: sum_d q[d] * dequant(code[d]) decomposes into
-  // sum_d q[d]*min[d] + sum_d (q[d]*scale[d]) * code[d]; the caller passes
-  // query_adj[d] = q[d]*scale[d] and folds the constant part separately —
-  // here we only need the code-dependent sum (ranking is shift-invariant
-  // per query... the shift is constant across candidates, so it cancels).
-  return DotProductU8(query_adj, codes, store_.Dim());
+float SqIndex::NormSqAt(std::size_t row) const {
+  if (row < mapped_norm_rows_) return mapped_norms_[row];
+  return tail_norms_[row - mapped_norm_rows_];
 }
 
 Result<std::vector<ScoredPoint>> SqIndex::Search(VectorView query,
                                                  const SearchParams& params) const {
-  if (!trained_) return Status::FailedPrecondition("index not built");
+  if (!ranges_.Trained()) return Status::FailedPrecondition("index not built");
   if (query.size() != store_.Dim()) return Status::InvalidArgument("query dim mismatch");
 
-  // SQ8 scans rank by approximate inner product. For L2 stores this is not
-  // order-equivalent in general, but the repo's cosine/IP stores hold
-  // normalized vectors where IP ordering is the similarity ordering.
   Vector normalized;
   VectorView effective = query;
   if (PrefersNormalized(store_.GetMetric())) {
@@ -98,17 +75,49 @@ Result<std::vector<ScoredPoint>> SqIndex::Search(VectorView query,
     effective = normalized;
   }
 
-  const std::size_t dim = store_.Dim();
-  std::vector<float> query_adj(dim);
-  for (std::size_t d = 0; d < dim; ++d) query_adj[d] = effective[d] * dim_scale_[d];
+  const Sq8Ranges::PreparedQuery prep = ranges_.Prepare(effective);
+  const Metric metric = store_.SearchMetric();
 
   const std::size_t fetch =
       params_.rerank > 0 ? std::max(params.k, params_.rerank) : params.k;
   TopK coarse(fetch);
-  for (std::size_t i = 0; i < offsets_.size(); ++i) {
-    const std::uint32_t offset = offsets_[i];
-    if (store_.IsDeleted(offset)) continue;
-    coarse.Push(ScoredPoint{offset, ScoreCodes(query_adj.data(), codes_.data() + i * dim)});
+  const std::size_t rows = codes_.Rows();
+  const bool no_deletes = store_.DeletedCount() == 0;
+
+  // Coarse scores only rank the rerank frontier, so with rerank on and a
+  // VNNI-capable host the scan takes the integer kernel: query quantized to
+  // i8 once, 4x less port pressure than widening codes to float, and the
+  // exact rerank below absorbs the extra quantization error. The no-rerank
+  // path keeps the float kernel — those scores leave the index and must obey
+  // the cross-shard merge tolerances.
+  const bool int_scan = params_.rerank > 0 && FastU8QBlockedActive();
+  Sq8Ranges::QuantizedQuery qq;
+  if (int_scan) qq = Sq8Ranges::QuantizeAdjusted(prep.adj);
+
+  float block_scores[Sq8BlockedCodes::kBlockRows];
+  std::int32_t block_sums[Sq8BlockedCodes::kBlockRows];
+  for (std::size_t b = 0; b < codes_.NumBlocks(); ++b) {
+    const std::size_t base = b * Sq8BlockedCodes::kBlockRows;
+    const std::size_t limit = std::min(Sq8BlockedCodes::kBlockRows, rows - base);
+    if (int_scan) {
+      codes_.ScoreBlockQ(b, qq.q.data(), block_sums);
+      for (std::size_t r = 0; r < limit; ++r) {
+        block_scores[r] = qq.factor * static_cast<float>(block_sums[r]);
+      }
+    } else {
+      codes_.ScoreBlock(b, prep.adj.data(), block_scores);
+    }
+    float threshold = coarse.Full() ? coarse.Threshold()
+                                    : -std::numeric_limits<float>::infinity();
+    for (std::size_t r = 0; r < limit; ++r) {
+      const float score =
+          FinishSq8Score(metric, prep, block_scores[r], NormSqAt(base + r));
+      if (score <= threshold && coarse.Full()) continue;
+      const std::uint32_t offset = offsets_[base + r];
+      if (!no_deletes && store_.IsDeleted(offset)) continue;
+      coarse.Push(ScoredPoint{offset, score});
+      if (coarse.Full()) threshold = coarse.Threshold();
+    }
   }
 
   auto candidates = coarse.Take();
@@ -117,7 +126,7 @@ Result<std::vector<ScoredPoint>> SqIndex::Search(VectorView query,
     for (const auto& candidate : candidates) {
       const auto offset = static_cast<std::uint32_t>(candidate.id);
       reranked.Push(store_.IdAt(offset),
-                    Score(store_.SearchMetric(), effective, store_.At(offset)));
+                    Score(metric, effective, store_.At(offset)));
     }
     return reranked.Take();
   }
@@ -130,23 +139,71 @@ Result<std::vector<ScoredPoint>> SqIndex::Search(VectorView query,
   return out;
 }
 
+Status SqIndex::SaveCodeSegment(const std::filesystem::path& path) const {
+  if (!ranges_.Trained()) return Status::FailedPrecondition("index not built");
+  // The segment format maps code row i to store offset i, so the encoded
+  // rows must be the identity prefix (guaranteed by the caller flushing with
+  // zero tombstones and a fully indexed store).
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    if (offsets_[i] != i) {
+      return Status::FailedPrecondition("code rows are not offset-identity");
+    }
+  }
+  CodeSegmentData data;
+  data.dim = static_cast<std::uint32_t>(store_.Dim());
+  data.block_rows = static_cast<std::uint32_t>(Sq8BlockedCodes::kBlockRows);
+  data.count = offsets_.size();
+  data.dim_min = ranges_.Min();
+  data.dim_scale = ranges_.Scale();
+  data.norms.resize(data.count);
+  for (std::size_t i = 0; i < data.count; ++i) data.norms[i] = NormSqAt(i);
+  data.blocks = codes_.ToBlockedImage();
+  return WriteCodeSegment(path, data);
+}
+
+Status SqIndex::AttachCodeSegment(std::shared_ptr<MappedCodeSegment> segment) {
+  if (segment == nullptr) return Status::InvalidArgument("null code segment");
+  if (segment->Dim() != store_.Dim()) {
+    return Status::FailedPrecondition("code segment dim mismatch");
+  }
+  if (segment->BlockRows() != Sq8BlockedCodes::kBlockRows) {
+    return Status::FailedPrecondition("code segment block_rows mismatch");
+  }
+  if (segment->Count() > store_.Size()) {
+    return Status::FailedPrecondition("code segment covers more rows than store");
+  }
+  segment_ = std::move(segment);
+  ranges_.Adopt(std::vector<float>(segment_->DimMin(), segment_->DimMin() + store_.Dim()),
+                std::vector<float>(segment_->DimScale(), segment_->DimScale() + store_.Dim()));
+  codes_.AttachMapped(segment_->Blocks(), segment_->Count(), store_.Dim());
+  // The partial trailing block was copied to the heap by AttachMapped, but
+  // its norms stay readable from the mapped array for the full count.
+  mapped_norms_ = segment_->Norms();
+  mapped_norm_rows_ = segment_->Count();
+  tail_norms_.clear();
+  offsets_.resize(segment_->Count());
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    offsets_[i] = static_cast<std::uint32_t>(i);
+  }
+  encode_watermark_ = static_cast<std::uint32_t>(segment_->Count());
+  stats_.indexed_count = offsets_.size();
+  return Status::Ok();
+}
+
 std::uint64_t SqIndex::MemoryBytes() const {
-  return codes_.size() + offsets_.size() * sizeof(std::uint32_t) +
-         (dim_min_.size() + dim_scale_.size()) * sizeof(float);
+  return codes_.HeapBytes() + offsets_.size() * sizeof(std::uint32_t) +
+         tail_norms_.size() * sizeof(float) +
+         (ranges_.Min().size() + ranges_.Scale().size()) * sizeof(float);
 }
 
 std::vector<std::uint8_t> SqIndex::EncodeForTest(VectorView v) const {
   std::vector<std::uint8_t> codes(store_.Dim());
-  Encode(v, codes.data());
+  ranges_.Encode(v.data(), codes.data());
   return codes;
 }
 
 Vector SqIndex::DecodeForTest(const std::vector<std::uint8_t>& codes) const {
-  Vector out(store_.Dim());
-  for (std::size_t d = 0; d < out.size() && d < codes.size(); ++d) {
-    out[d] = dim_min_[d] + dim_scale_[d] * static_cast<float>(codes[d]);
-  }
-  return out;
+  return ranges_.Decode(codes.data());
 }
 
 }  // namespace vdb

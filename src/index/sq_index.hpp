@@ -2,15 +2,25 @@
 
 /// \file sq_index.hpp
 /// Scalar-quantized (SQ8) flat index: stores each vector as one byte per
-/// dimension with per-dimension affine dequantization, then scans
-/// exhaustively with an optional float rerank of the top candidates. This is
+/// dimension with per-dimension affine dequantization, scans the codes in a
+/// blocked/transposed (PDX-style) layout with the blocked u8 kernel, and
+/// optionally reranks the top candidates with full-precision scores. This is
 /// Qdrant's "scalar quantization" storage option — 4x less memory and better
 /// cache behaviour than float32 at a small recall cost, directly relevant to
 /// the paper's memory-pressure observations during index builds (fig. 3).
+///
+/// Scores follow the repo-wide similarity convention even without rerank:
+/// the per-shard constant shift sum_d q[d]*min[d] is folded in and L2 stores
+/// get the negated-squared-distance conversion via stored per-row norms, so
+/// the router can merge no-rerank scores across shards whose quantization
+/// ranges differ (see sq8_codes.hpp).
 
+#include <memory>
 #include <vector>
 
 #include "index/index.hpp"
+#include "index/sq8_codes.hpp"
+#include "storage/segment.hpp"
 
 namespace vdb {
 
@@ -32,9 +42,12 @@ class SqIndex final : public VectorIndex {
   Status Add(std::uint32_t offset) override;
 
   /// Trains per-dimension ranges over the store, then encodes every vector.
+  /// With an attached code segment the ranges are kept and only the
+  /// uncovered tail is encoded (retraining would invalidate the mapped
+  /// codes).
   Status Build() override;
 
-  bool Ready() const override { return trained_; }
+  bool Ready() const override { return ranges_.Trained(); }
 
   Result<std::vector<ScoredPoint>> Search(VectorView query,
                                           const SearchParams& params) const override;
@@ -42,22 +55,39 @@ class SqIndex final : public VectorIndex {
   const BuildStats& Stats() const override { return stats_; }
   std::uint64_t MemoryBytes() const override;
 
+  /// Writes ranges + blocked codes + per-row norms as an immutable code
+  /// segment. Requires code row i == store offset i for every row (the
+  /// collection's zero-tombstone flush invariant).
+  Status SaveCodeSegment(const std::filesystem::path& path) const;
+
+  /// Attaches an mmap'd code segment covering store offsets
+  /// [0, segment->Count()); adopts its ranges and marks the index trained.
+  /// Build()/Add() then encode only offsets past the covered prefix. The
+  /// index shares ownership of the mapping.
+  Status AttachCodeSegment(std::shared_ptr<MappedCodeSegment> segment);
+
   /// Quantize/dequantize one vector — exposed for round-trip tests.
   std::vector<std::uint8_t> EncodeForTest(VectorView v) const;
   Vector DecodeForTest(const std::vector<std::uint8_t>& codes) const;
 
  private:
-  void Encode(VectorView v, std::uint8_t* out) const;
-  float ScoreCodes(const float* query_adj, const std::uint8_t* codes) const;
+  float NormSqAt(std::size_t row) const;
 
   const VectorStore& store_;
   SqParams params_;
-  bool trained_ = false;
 
-  std::vector<float> dim_min_;    ///< per-dimension lower bound
-  std::vector<float> dim_scale_;  ///< (hi - lo) / 255
-  std::vector<std::uint8_t> codes_;        ///< store.Size() x dim
-  std::vector<std::uint32_t> offsets_;     ///< encoded store offsets, in order
+  Sq8Ranges ranges_;
+  Sq8BlockedCodes codes_;
+  std::vector<std::uint32_t> offsets_;  ///< code row -> store offset
+  /// |dequant(row)|^2 per code row: the mapped prefix reads the segment's
+  /// norm array, appended rows go to the heap tail.
+  const float* mapped_norms_ = nullptr;
+  std::size_t mapped_norm_rows_ = 0;
+  std::vector<float> tail_norms_;
+  std::shared_ptr<MappedCodeSegment> segment_;  ///< keeps the mapping alive
+  /// Next store offset Build() considers (attach advances it past the
+  /// mapped prefix).
+  std::uint32_t encode_watermark_ = 0;
 
   BuildStats stats_;
 };

@@ -12,9 +12,20 @@
 ///   [ids: count * u64]
 ///   [vectors: count * dim * f32]
 ///   [crc of everything above: u32]
+///
+/// SQ8 code segments (VDBQ) share the lifecycle but hold the compressed read
+/// path's artifacts — quantization ranges, per-row dequantized norms, and the
+/// blocked/transposed code image — and are opened with mmap so quantized
+/// collections larger than RAM page codes in on demand:
+///   [magic u32][version u32][dim u32][block_rows u32][count u64]
+///   [dim_min: dim * f32][dim_scale: dim * f32]
+///   [norms: count * f32]
+///   [codes: ceil(count/block_rows) * block_rows * dim u8, blocked layout]
+///   [crc of everything above: u32]
 
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -48,5 +59,62 @@ Result<SegmentData> ReadSegment(const std::filesystem::path& path);
 
 /// Validates header+crc without materializing vectors (cheap integrity scan).
 Status VerifySegment(const std::filesystem::path& path);
+
+// ---------------------------------------------------------------------------
+// SQ8 code segments (the compressed read path's immutable artifact).
+
+inline constexpr std::uint32_t kCodeSegmentMagic = 0x56444251u;  // "VDBQ"
+inline constexpr std::uint32_t kCodeSegmentVersion = 1;
+
+/// In-memory image of a code segment for writing.
+struct CodeSegmentData {
+  std::uint32_t dim = 0;
+  std::uint32_t block_rows = 64;
+  std::size_t count = 0;               ///< live rows (blocks may pad past it)
+  std::vector<float> dim_min;          ///< dim entries
+  std::vector<float> dim_scale;        ///< dim entries
+  std::vector<float> norms;            ///< count entries, |dequant(row)|^2
+  std::vector<std::uint8_t> blocks;    ///< blocked codes, whole-block padded
+};
+
+/// Writes `data` atomically (tmp file + rename) to `path`.
+Status WriteCodeSegment(const std::filesystem::path& path,
+                        const CodeSegmentData& data);
+
+/// Read-only mmap view of a code segment. CRC-verified once at Open (which
+/// touches every page; later reads are backed by the page cache and can be
+/// evicted under memory pressure — the mmap-paging behaviour this exists
+/// for). The mapping lives as long as this object; indexes share ownership
+/// so a segment outlives the collection that attached it.
+class MappedCodeSegment {
+ public:
+  static Result<std::shared_ptr<MappedCodeSegment>> Open(
+      const std::filesystem::path& path);
+
+  ~MappedCodeSegment();
+  MappedCodeSegment(const MappedCodeSegment&) = delete;
+  MappedCodeSegment& operator=(const MappedCodeSegment&) = delete;
+
+  std::size_t Dim() const { return dim_; }
+  std::size_t BlockRows() const { return block_rows_; }
+  std::size_t Count() const { return count_; }
+  const float* DimMin() const { return dim_min_; }
+  const float* DimScale() const { return dim_scale_; }
+  const float* Norms() const { return norms_; }
+  const std::uint8_t* Blocks() const { return blocks_; }
+
+ private:
+  MappedCodeSegment() = default;
+
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t block_rows_ = 0;
+  std::size_t count_ = 0;
+  const float* dim_min_ = nullptr;
+  const float* dim_scale_ = nullptr;
+  const float* norms_ = nullptr;
+  const std::uint8_t* blocks_ = nullptr;
+};
 
 }  // namespace vdb

@@ -17,6 +17,9 @@ Status WriteManifest(const std::filesystem::path& path,
   if (!manifest.hnsw_graph_file.empty()) {
     body << "hnsw_graph=" << manifest.hnsw_graph_file << "\n";
   }
+  if (!manifest.sq8_codes_file.empty()) {
+    body << "sq8_codes=" << manifest.sq8_codes_file << "\n";
+  }
   for (const auto& file : manifest.segment_files) {
     body << "segment=" << file << "\n";
   }
@@ -66,6 +69,8 @@ Result<SnapshotManifest> ReadManifest(const std::filesystem::path& path) {
       manifest.wal_records_applied = std::stoull(value);
     } else if (key == "hnsw_graph") {
       manifest.hnsw_graph_file = value;
+    } else if (key == "sq8_codes") {
+      manifest.sq8_codes_file = value;
     } else if (key == "segment") {
       manifest.segment_files.push_back(value);
     } else {

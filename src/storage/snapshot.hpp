@@ -24,6 +24,10 @@ struct SnapshotManifest {
   /// written when the flush happened with zero tombstones, so recovered store
   /// offsets are guaranteed to match the graph's.
   std::string hnsw_graph_file;
+  /// SQ8 code segment covering the flushed points (empty = none). Same
+  /// zero-tombstone invariant as the graph: code row i maps to store offset i
+  /// only when recovery reproduces offsets unchanged.
+  std::string sq8_codes_file;
 };
 
 /// Writes the manifest atomically to `path`.

@@ -170,6 +170,51 @@ TEST_P(KernelParityTest, DotU8MatchesReference) {
   }
 }
 
+TEST_P(KernelParityTest, DotU8BlockedMatchesReference) {
+  Rng rng(46);
+  for (const std::size_t n : TestDims()) {
+    // One transposed block: n dims x kSqBlockRows rows, dimension-major.
+    std::vector<std::uint8_t> block(n * dist::kSqBlockRows);
+    for (auto& c : block) c = static_cast<std::uint8_t>(rng.NextU64(256));
+    UnalignedVec q(n, 1, rng);
+    float out[dist::kSqBlockRows];
+    table_->dot_u8_blocked(q.data, block.data(), n, out);
+    for (std::size_t r = 0; r < dist::kSqBlockRows; ++r) {
+      double ref = 0.0, l1 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double term = static_cast<double>(q.data[i]) *
+                            block[i * dist::kSqBlockRows + r];
+        ref += term;
+        l1 += std::fabs(term);
+      }
+      EXPECT_NEAR(out[r], ref, ToleranceFor(n, l1))
+          << table_->name << " row " << r << " dim=" << n;
+    }
+  }
+}
+
+TEST_P(KernelParityTest, DotU8QBlockedMatchesIntegerReferenceExactly) {
+  Rng rng(47);
+  for (const std::size_t n : TestDims()) {
+    std::vector<std::uint8_t> block(n * dist::kSqBlockRows);
+    for (auto& c : block) c = static_cast<std::uint8_t>(rng.NextU64(256));
+    std::vector<std::int8_t> q(n);
+    for (auto& v : q) v = static_cast<std::int8_t>(rng.NextU64(256));
+    std::int32_t out[dist::kSqBlockRows];
+    table_->dot_u8q_blocked(q.data(), block.data(), n, out);
+    for (std::size_t r = 0; r < dist::kSqBlockRows; ++r) {
+      std::int32_t ref = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        ref += static_cast<std::int32_t>(q[i]) *
+               static_cast<std::int32_t>(block[i * dist::kSqBlockRows + r]);
+      }
+      // Integer arithmetic is exact — every ISA (including the vpdpbusd
+      // path) must be bit-equal to the reference, not merely close.
+      EXPECT_EQ(out[r], ref) << table_->name << " row " << r << " dim=" << n;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     HostIsas, KernelParityTest, ::testing::ValuesIn(dist::SupportedIsas()),
     [](const ::testing::TestParamInfo<KernelIsa>& info) {

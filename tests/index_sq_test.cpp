@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "index/factory.hpp"
 #include "test_util.hpp"
 
@@ -44,6 +46,119 @@ TEST(SqIndexTest, EncodeDecodeBoundedError) {
     const float err = L2SquaredDistance(v, decoded);
     const float norm = DotProduct(v, v);
     EXPECT_LT(err, norm * 0.025f) << "offset " << offset;
+  }
+}
+
+TEST(SqIndexTest, EncodeRoundsToNearest) {
+  // Round-trip error must be at most scale/2 per in-range dimension; a
+  // truncating encoder is off by up to a full step and fails this bound.
+  VectorStore store(8, Metric::kL2);
+  Rng rng(11);
+  for (PointId i = 0; i < 400; ++i) {
+    Vector v(8);
+    for (auto& x : v) x = static_cast<Scalar>(rng.NextDouble(-2.0, 2.0));
+    ASSERT_TRUE(store.Add(i, v).ok());
+  }
+  SqParams params = DefaultParams();
+  params.quantile = 1.0;  // exact min/max: every stored value is in range
+  SqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  // Recover min/scale from the decoder: decoded = min + scale * code.
+  const Vector range_min = index.DecodeForTest(std::vector<std::uint8_t>(8, 0));
+  const Vector range_one = index.DecodeForTest(std::vector<std::uint8_t>(8, 1));
+  Vector scale(8);
+  for (std::size_t d = 0; d < 8; ++d) scale[d] = range_one[d] - range_min[d];
+
+  for (std::uint32_t offset = 0; offset < 400; ++offset) {
+    const VectorView v = store.At(offset);
+    const Vector decoded = index.DecodeForTest(index.EncodeForTest(v));
+    for (std::size_t d = 0; d < 8; ++d) {
+      EXPECT_LE(std::abs(decoded[d] - v[d]), scale[d] * 0.5f + 1e-5f)
+          << "offset " << offset << " dim " << d;
+    }
+  }
+}
+
+TEST(SqIndexTest, IndexedCountTracksBuildAndAdd) {
+  VectorStore store(16, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 120);
+  (void)store.MarkDeleted(3);
+  (void)store.MarkDeleted(77);
+  SqIndex index(store, DefaultParams());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(index.Stats().indexed_count, 118u);  // deleted rows not encoded
+
+  Rng rng(5);
+  Vector v(16);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+  auto offset = store.Add(999, v);
+  ASSERT_TRUE(offset.ok());
+  ASSERT_TRUE(index.Add(*offset).ok());
+  EXPECT_EQ(index.Stats().indexed_count, 119u);  // Add() must count too
+
+  ASSERT_TRUE(index.Build().ok());  // idempotent over the already-covered range
+  EXPECT_EQ(index.Stats().indexed_count, 119u);
+}
+
+TEST(SqIndexTest, NoRerankScoresMatchInnerProductConvention) {
+  // Values live far from zero so an unfolded bias (sum_d q[d]*min[d]) would
+  // shift every score by a large constant — the no-rerank output must still
+  // approximate the exact inner product itself.
+  VectorStore store(16, Metric::kInnerProduct);
+  Rng rng(21);
+  for (PointId i = 0; i < 300; ++i) {
+    Vector v(16);
+    for (auto& x : v) x = static_cast<Scalar>(rng.NextDouble(10.0, 11.0));
+    ASSERT_TRUE(store.Add(i, v).ok());
+  }
+  SqParams params = DefaultParams();
+  params.rerank = 0;
+  params.quantile = 1.0;
+  SqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  Vector query(16);
+  for (auto& x : query) x = static_cast<Scalar>(rng.NextDouble(-1.0, 1.0));
+  SearchParams search;
+  search.k = 10;
+  auto hits = index.Search(query, search);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 10u);
+  for (const auto& hit : *hits) {
+    const auto it = static_cast<std::uint32_t>(hit.id);  // ids == offsets here
+    const float exact = Score(Metric::kInnerProduct, query, store.At(it));
+    EXPECT_NEAR(hit.score, exact, 0.5f) << "id " << hit.id;
+  }
+}
+
+TEST(SqIndexTest, NoRerankScoresMatchL2Convention) {
+  VectorStore store(16, Metric::kL2);
+  Rng rng(22);
+  for (PointId i = 0; i < 300; ++i) {
+    Vector v(16);
+    for (auto& x : v) x = static_cast<Scalar>(rng.NextDouble(5.0, 7.0));
+    ASSERT_TRUE(store.Add(i, v).ok());
+  }
+  SqParams params = DefaultParams();
+  params.rerank = 0;
+  params.quantile = 1.0;
+  SqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  Vector query(16);
+  for (auto& x : query) x = static_cast<Scalar>(rng.NextDouble(5.0, 7.0));
+  SearchParams search;
+  search.k = 10;
+  auto hits = index.Search(query, search);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 10u);
+  for (const auto& hit : *hits) {
+    const auto it = static_cast<std::uint32_t>(hit.id);
+    const float exact = Score(Metric::kL2, query, store.At(it));  // -|q-x|^2
+    // Tolerance covers the quantization error of both <q,x> and |x|^2; a
+    // wrong-convention score would be off by hundreds here.
+    EXPECT_NEAR(hit.score, exact, 1.5f) << "id " << hit.id;
   }
 }
 

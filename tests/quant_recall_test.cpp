@@ -1,0 +1,394 @@
+// Compressed read path (SQ8) quality gates, run in the sanitizer CI legs
+// under `ctest -L quant`:
+//   - recall@k sweep for the SQ8-rerank flat and HNSW traversal paths
+//     against their full-precision counterparts,
+//   - the cross-shard merge regression: two shards trained on disjoint value
+//     ranges must produce router-merged no-rerank scores in metric space
+//     (the folded-bias contract of sq8_codes.hpp), on both the inproc and
+//     TCP planes,
+//   - IVF-PQ ADC convention checks (approximate IP for IP stores, negated
+//     squared distance for L2 stores),
+//   - collection round-trip of the mmap'd code segment, including corruption
+//     rejection and the tombstone invalidation rule.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "cluster/cluster.hpp"
+#include "cluster/placement.hpp"
+#include "collection/collection.hpp"
+#include "index/hnsw_index.hpp"
+#include "index/ivf_pq_index.hpp"
+#include "index/sq_index.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Recall sweeps
+// ---------------------------------------------------------------------------
+
+TEST(QuantRecallTest, FlatSq8RerankSweep) {
+  VectorStore store(48, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 2000, /*seed=*/91);
+  SearchParams search;
+
+  double previous = 0.0;
+  for (const std::size_t rerank : {std::size_t{0}, std::size_t{8}, std::size_t{32}}) {
+    SqParams params;
+    params.rerank = rerank;
+    SqIndex index(store, params);
+    ASSERT_TRUE(index.Build().ok());
+    const double recall =
+        vdb::testing::MeanRecall(index, store, raw, 25, 10, search, /*seed=*/13);
+    // Deeper rerank must not lose recall (small slack for query sampling).
+    EXPECT_GE(recall, previous - 0.02) << "rerank=" << rerank;
+    previous = recall;
+    if (rerank == 32) {
+      // The headline gate: exhaustive SQ8 scan + exact rerank of 32 loses at
+      // most 2 points of recall@10 vs the float scan (which is exact).
+      EXPECT_GE(recall, 0.98) << "rerank=" << rerank;
+    }
+  }
+}
+
+TEST(QuantRecallTest, HnswSq8WithinTwoPointsOfFloat) {
+  VectorStore store(48, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 2000, /*seed=*/92);
+
+  HnswParams float_params;
+  float_params.build_threads = 1;
+  HnswIndex float_index(store, float_params);
+  ASSERT_TRUE(float_index.Build().ok());
+
+  HnswParams sq_params = float_params;
+  sq_params.sq8 = true;
+  sq_params.sq8_rerank = 32;
+  HnswIndex sq_index(store, sq_params);
+  ASSERT_TRUE(sq_index.Build().ok());
+  ASSERT_TRUE(sq_index.Sq8Ready());
+
+  SearchParams search;
+  search.ef_search = 64;
+  const double float_recall =
+      vdb::testing::MeanRecall(float_index, store, raw, 25, 10, search, /*seed=*/14);
+  const double sq_recall =
+      vdb::testing::MeanRecall(sq_index, store, raw, 25, 10, search, /*seed=*/14);
+  EXPECT_GE(sq_recall, float_recall - 0.02)
+      << "float=" << float_recall << " sq8=" << sq_recall;
+}
+
+TEST(QuantRecallTest, HnswSq8L2MetricWithinTwoPointsOfFloat) {
+  VectorStore store(32, Metric::kL2);
+  const auto raw = vdb::testing::FillRandomStore(store, 1500, /*seed=*/93);
+
+  HnswParams float_params;
+  float_params.build_threads = 1;
+  HnswIndex float_index(store, float_params);
+  ASSERT_TRUE(float_index.Build().ok());
+
+  HnswParams sq_params = float_params;
+  sq_params.sq8 = true;
+  HnswIndex sq_index(store, sq_params);
+  ASSERT_TRUE(sq_index.Build().ok());
+
+  SearchParams search;
+  const double float_recall =
+      vdb::testing::MeanRecall(float_index, store, raw, 20, 10, search, /*seed=*/15);
+  const double sq_recall =
+      vdb::testing::MeanRecall(sq_index, store, raw, 20, 10, search, /*seed=*/15);
+  EXPECT_GE(sq_recall, float_recall - 0.02)
+      << "float=" << float_recall << " sq8=" << sq_recall;
+}
+
+TEST(QuantRecallTest, HnswSq8IncrementalAddsStaySearchable) {
+  VectorStore store(24, Metric::kCosine);
+  vdb::testing::FillRandomStore(store, 600, /*seed=*/94);
+  HnswParams params;
+  params.build_threads = 1;
+  params.sq8 = true;
+  HnswIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  // Rows added after the bulk encode take the Add()-path encode.
+  Rng rng(9);
+  Vector v(24);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+  auto offset = store.Add(12345, v);
+  ASSERT_TRUE(offset.ok());
+  ASSERT_TRUE(index.Add(*offset).ok());
+
+  SearchParams search;
+  search.k = 1;
+  auto hits = index.Search(v, search);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  EXPECT_EQ((*hits)[0].id, 12345u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard merge regression
+// ---------------------------------------------------------------------------
+
+// Two shards whose vectors live in disjoint value ranges train disjoint SQ8
+// ranges; with rerank disabled the router merges raw quantized scores, which
+// is only sound because every shard folds its own bias (sum_d q[d]*min[d])
+// into the scores it emits. A bias-dropping regression shifts one shard's
+// scores by a large constant and fails both assertions below.
+class QuantMergeTest : public ::testing::TestWithParam<ClusterTransport> {};
+
+TEST_P(QuantMergeTest, CrossRangeShardsMergeInMetricSpace) {
+  constexpr std::size_t kDim = 8;
+  constexpr std::uint32_t kShards = 2;
+  ClusterConfig config;
+  config.num_workers = 2;
+  config.num_shards = kShards;
+  config.transport = GetParam();
+  config.collection_template.dim = kDim;
+  config.collection_template.metric = Metric::kInnerProduct;
+  config.collection_template.index.type = "flat";
+  config.collection_template.index.quantization = "sq8";
+  config.collection_template.index.sq8.rerank = 0;  // expose raw merged scores
+  config.collection_template.index.sq8.quantile = 1.0;
+  auto cluster = LocalCluster::Start(config);
+  ASSERT_TRUE(cluster.ok());
+
+  // Shard 0 gets values in [0, 1], shard 1 in [10, 11] — a router-visible
+  // ordering is dominated by shard 1 for a positive query.
+  Rng rng(77);
+  std::vector<PointRecord> points;
+  VectorStore reference(kDim, Metric::kInnerProduct);
+  for (PointId id = 0; id < 240; ++id) {
+    const double lo = ShardForPoint(id, kShards) == 0 ? 0.0 : 10.0;
+    PointRecord record;
+    record.id = id;
+    record.vector.resize(kDim);
+    for (auto& x : record.vector) {
+      x = static_cast<Scalar>(rng.NextDouble(lo, lo + 1.0));
+    }
+    ASSERT_TRUE(reference.Add(id, record.vector).ok());
+    points.push_back(std::move(record));
+  }
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+  ASSERT_TRUE((*cluster)->GetRouter().BuildAllIndexes().ok());
+
+  Vector query(kDim);
+  for (auto& x : query) x = static_cast<Scalar>(rng.NextDouble(0.2, 1.0));
+  SearchParams params;
+  params.k = 10;
+  auto merged = (*cluster)->GetRouter().Search(query, params);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->size(), 10u);
+
+  const auto expected = ExactSearch(reference, query, params.k);
+  for (std::size_t i = 0; i < merged->size(); ++i) {
+    const auto& hit = (*merged)[i];
+    // Merged scores are metric-space: each approximates the true inner
+    // product of its own point (an unfolded bias would be off by ~40 here).
+    const float exact =
+        Score(Metric::kInnerProduct, query, reference.At(static_cast<std::uint32_t>(hit.id)));
+    EXPECT_NEAR(hit.score, exact, 0.25f) << "rank " << i << " id " << hit.id;
+    // Tie-tolerant ordered comparison against the single flat reference:
+    // each rank's exact score matches the reference's score at that rank to
+    // within the quantization tolerance (near-ties may swap, cross-range
+    // scrambling cannot).
+    EXPECT_NEAR(exact, expected[i].score, 0.5f) << "rank " << i;
+    EXPECT_EQ(ShardForPoint(hit.id, kShards), 1u) << "rank " << i;
+  }
+  for (std::size_t i = 1; i < merged->size(); ++i) {
+    EXPECT_GE((*merged)[i - 1].score, (*merged)[i].score) << "rank " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Planes, QuantMergeTest,
+                         ::testing::Values(ClusterTransport::kInproc,
+                                           ClusterTransport::kTcp),
+                         [](const ::testing::TestParamInfo<ClusterTransport>& info) {
+                           return info.param == ClusterTransport::kInproc ? "Inproc"
+                                                                          : "Tcp";
+                         });
+
+// ---------------------------------------------------------------------------
+// IVF-PQ ADC convention
+// ---------------------------------------------------------------------------
+
+TEST(QuantIvfPqTest, AdcScoresApproximateInnerProduct) {
+  VectorStore store(16, Metric::kInnerProduct);
+  Rng rng(31);
+  for (PointId i = 0; i < 400; ++i) {
+    Vector v(16);
+    for (auto& x : v) x = static_cast<Scalar>(rng.NextDouble(10.0, 11.0));
+    ASSERT_TRUE(store.Add(i, v).ok());
+  }
+  IvfPqParams params;
+  params.n_lists = 4;
+  params.n_subspaces = 4;
+  params.rerank = 0;  // raw ADC output
+  IvfPqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  Vector query(16);
+  for (auto& x : query) x = static_cast<Scalar>(rng.NextDouble(-1.0, 1.0));
+  SearchParams search;
+  search.k = 10;
+  search.n_probes = 4;
+  auto hits = index.Search(query, search);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 10u);
+  for (const auto& hit : *hits) {
+    const float exact =
+        Score(Metric::kInnerProduct, query, store.At(static_cast<std::uint32_t>(hit.id)));
+    // PQ is coarser than SQ8; the old always-negated-L2 output was not an
+    // inner product at all (wrong by ~2x the score magnitude and sign).
+    EXPECT_NEAR(hit.score, exact, std::abs(exact) * 0.25f + 2.0f) << "id " << hit.id;
+  }
+}
+
+TEST(QuantIvfPqTest, AdcScoresApproximateNegatedSquaredL2) {
+  VectorStore store(16, Metric::kL2);
+  Rng rng(32);
+  for (PointId i = 0; i < 400; ++i) {
+    Vector v(16);
+    for (auto& x : v) x = static_cast<Scalar>(rng.NextDouble(-2.0, 2.0));
+    ASSERT_TRUE(store.Add(i, v).ok());
+  }
+  IvfPqParams params;
+  params.n_lists = 4;
+  params.n_subspaces = 4;
+  params.rerank = 0;
+  IvfPqIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  Vector query(16);
+  for (auto& x : query) x = static_cast<Scalar>(rng.NextDouble(-2.0, 2.0));
+  SearchParams search;
+  search.k = 10;
+  search.n_probes = 4;
+  auto hits = index.Search(query, search);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 10u);
+  for (const auto& hit : *hits) {
+    const float exact =
+        Score(Metric::kL2, query, store.At(static_cast<std::uint32_t>(hit.id)));
+    EXPECT_LE(hit.score, 0.5f) << "id " << hit.id;  // convention: -|q-x|^2 <= 0
+    EXPECT_NEAR(hit.score, exact, std::abs(exact) * 0.5f + 2.0f) << "id " << hit.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Collection round-trip of the mmap'd code segment
+// ---------------------------------------------------------------------------
+
+CollectionConfig Sq8Collection(const std::filesystem::path& dir) {
+  CollectionConfig config;
+  config.dim = 12;
+  config.metric = Metric::kCosine;
+  config.index.type = "flat";
+  config.index.quantization = "sq8";
+  config.data_dir = dir;
+  return config;
+}
+
+std::vector<PointRecord> MakePoints(std::size_t count, std::size_t dim,
+                                    std::uint64_t seed = 55) {
+  Rng rng(seed);
+  std::vector<PointRecord> points;
+  for (PointId i = 0; i < count; ++i) {
+    PointRecord record;
+    record.id = i;
+    record.vector.resize(dim);
+    for (auto& x : record.vector) x = static_cast<Scalar>(rng.NextGaussian());
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+TEST(QuantSegmentTest, FlushedCodesAttachOnReopen) {
+  vdb::testing::TempDir dir("sq8codes");
+  const auto points = MakePoints(200, 12);
+  {
+    auto collection = Collection::Open(Sq8Collection(dir.Path()));
+    ASSERT_TRUE(collection.ok());
+    ASSERT_TRUE((*collection)->UpsertBatch(points).ok());
+    ASSERT_TRUE((*collection)->BuildIndex().ok());
+    ASSERT_TRUE((*collection)->Flush().ok());
+    ASSERT_TRUE(std::filesystem::exists(dir.Path() / "codes.sq8"));
+  }
+  {
+    // defer_indexing isolates the attach path: if the mmap attach failed the
+    // index would not be ready and indexed_points would be zero.
+    CollectionConfig config = Sq8Collection(dir.Path());
+    config.defer_indexing = true;
+    auto reopened = Collection::Open(config);
+    ASSERT_TRUE(reopened.ok());
+    const auto info = (*reopened)->Info();
+    EXPECT_TRUE(info.index_ready);
+    EXPECT_EQ(info.indexed_points, 200u);
+
+    SearchParams params;
+    params.k = 5;
+    auto hits = (*reopened)->Search(points[17].vector, params);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_FALSE(hits->empty());
+    EXPECT_EQ((*hits)[0].id, 17u);
+  }
+}
+
+TEST(QuantSegmentTest, CorruptedCodeSegmentIsRejectedAndRebuilt) {
+  vdb::testing::TempDir dir("sq8corrupt");
+  const auto points = MakePoints(150, 12);
+  {
+    auto collection = Collection::Open(Sq8Collection(dir.Path()));
+    ASSERT_TRUE(collection.ok());
+    ASSERT_TRUE((*collection)->UpsertBatch(points).ok());
+    ASSERT_TRUE((*collection)->BuildIndex().ok());
+    ASSERT_TRUE((*collection)->Flush().ok());
+  }
+  // Flip one code byte mid-file; the CRC check at Open must reject it.
+  {
+    std::fstream f(dir.Path() / "codes.sq8",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(200, std::ios::beg);
+    char byte = 0;
+    f.seekg(200, std::ios::beg);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(200, std::ios::beg);
+    f.write(&byte, 1);
+  }
+  {
+    auto reopened = Collection::Open(Sq8Collection(dir.Path()));
+    ASSERT_TRUE(reopened.ok());  // corrupt codes degrade to rebuild, not fail
+    SearchParams params;
+    params.k = 5;
+    auto hits = (*reopened)->Search(points[3].vector, params);
+    ASSERT_TRUE(hits.ok());
+    ASSERT_FALSE(hits->empty());
+    EXPECT_EQ((*hits)[0].id, 3u);
+  }
+}
+
+TEST(QuantSegmentTest, TombstonesInvalidatePersistedCodes) {
+  vdb::testing::TempDir dir("sq8tomb");
+  const auto points = MakePoints(120, 12);
+  auto collection = Collection::Open(Sq8Collection(dir.Path()));
+  ASSERT_TRUE(collection.ok());
+  ASSERT_TRUE((*collection)->UpsertBatch(points).ok());
+  ASSERT_TRUE((*collection)->BuildIndex().ok());
+  ASSERT_TRUE((*collection)->Flush().ok());
+  ASSERT_TRUE(std::filesystem::exists(dir.Path() / "codes.sq8"));
+
+  // A delete breaks the row == offset identity; the next flush must drop the
+  // code segment rather than let recovery attach stale rows.
+  ASSERT_TRUE((*collection)->Delete(60).ok());
+  ASSERT_TRUE((*collection)->Flush().ok());
+  EXPECT_FALSE(std::filesystem::exists(dir.Path() / "codes.sq8"));
+}
+
+}  // namespace
+}  // namespace vdb

@@ -45,7 +45,82 @@ Result<std::unique_ptr<LocalCluster>> LocalCluster::Start(ClusterConfig config) 
     cluster->workers_.push_back(std::move(worker));
   }
   cluster->router_ = std::make_unique<Router>(*cluster->transport_, cluster->placement_);
+  cluster->migration_table_ = std::make_shared<MigrationTable>();
+  cluster->router_->SetMigrationTable(cluster->migration_table_);
+  cluster->health_ = std::make_shared<ReplicaHealth>(config.num_workers);
   return cluster;
+}
+
+void LocalCluster::SetMigrationOptions(MigrationOptions options) {
+  migration_options_ = std::move(options);
+}
+
+MigrationOptions LocalCluster::WiredMigrationOptions() const {
+  MigrationOptions options = migration_options_;
+  Router* router = router_.get();
+  options.write_fence = [router] { router->WriteFence(); };
+  return options;
+}
+
+void LocalCluster::InstallPlacement(std::shared_ptr<const ShardPlacement> placement) {
+  for (auto& worker : workers_) {
+    if (worker != nullptr) worker->SetPlacement(placement);
+  }
+  router_->SetPlacement(placement);
+  placement_ = std::move(placement);
+}
+
+Result<WorkerId> LocalCluster::AddWorker() {
+  const WorkerId id = static_cast<WorkerId>(workers_.size());
+  WorkerConfig worker_config;
+  worker_config.id = id;
+  worker_config.collection_template = config_.collection_template;
+  worker_config.service_threads = config_.service_threads_per_worker;
+  worker_config.fault_plan = config_.fault_plan;
+  VDB_ASSIGN_OR_RETURN(auto worker,
+                       Worker::Start(*transport_, placement_, worker_config));
+  workers_.push_back(std::move(worker));
+  // The joiner is DOWN until a bootstrap/migration hands it caught-up state.
+  health_->EnsureWorkers(id + 1);
+  return id;
+}
+
+Result<std::uint64_t> LocalCluster::MigrateShard(ShardId shard, WorkerId from,
+                                                 WorkerId to) {
+  if (from >= workers_.size() || to >= workers_.size()) {
+    return Status::InvalidArgument("worker id beyond cluster");
+  }
+  ShardMigrator migrator(*transport_, migration_table_, WiredMigrationOptions());
+  return migrator.Move(shard, from, to, [this, shard, from, to]() -> Status {
+    VDB_ASSIGN_OR_RETURN(ShardPlacement next,
+                         placement_->WithReplicaReassigned(shard, from, to));
+    InstallPlacement(std::make_shared<const ShardPlacement>(std::move(next)));
+    return Status::Ok();
+  });
+}
+
+Result<BootstrapResult> LocalCluster::AddReplica(ShardId shard, WorkerId source,
+                                                 WorkerId dest) {
+  if (source >= workers_.size() || dest >= workers_.size()) {
+    return Status::InvalidArgument("worker id beyond cluster");
+  }
+  auto result = BootstrapReplica(
+      *transport_, shard, source, dest,
+      /*install_placement=*/[this, shard, dest]() -> Status {
+        VDB_ASSIGN_OR_RETURN(ShardPlacement next,
+                             placement_->WithReplicaAdded(shard, dest));
+        InstallPlacement(std::make_shared<const ShardPlacement>(std::move(next)));
+        return Status::Ok();
+      },
+      /*rollback_placement=*/[this, shard, dest]() -> Status {
+        VDB_ASSIGN_OR_RETURN(ShardPlacement next,
+                             placement_->WithReplicaRemoved(shard, dest));
+        InstallPlacement(std::make_shared<const ShardPlacement>(std::move(next)));
+        return Status::Ok();
+      },
+      WiredMigrationOptions());
+  if (result.ok()) health_->MarkUp(dest);
+  return result;
 }
 
 void LocalCluster::InstallFaultPlan(std::shared_ptr<faults::FaultPlan> plan) {
@@ -84,48 +159,37 @@ Result<std::uint64_t> LocalCluster::ScaleTo(std::uint32_t new_num_workers) {
     return Status::InvalidArgument("cannot shrink below replication factor");
   }
 
-  // Start any new workers against the *old* placement (they own nothing yet).
-  for (WorkerId id = static_cast<WorkerId>(workers_.size()); id < new_num_workers; ++id) {
-    WorkerConfig worker_config;
-    worker_config.id = id;
-    worker_config.collection_template = config_.collection_template;
-    worker_config.service_threads = config_.service_threads_per_worker;
-    worker_config.fault_plan = config_.fault_plan;
-    VDB_ASSIGN_OR_RETURN(auto worker, Worker::Start(*transport_, placement_, worker_config));
-    workers_.push_back(std::move(worker));
+  // Start any new workers against the *old* placement (they own nothing yet;
+  // AddWorker registers them DOWN until data lands).
+  const std::uint32_t old_num_workers = static_cast<std::uint32_t>(workers_.size());
+  while (workers_.size() < new_num_workers) {
+    VDB_RETURN_IF_ERROR(AddWorker().status());
   }
 
   auto [next_placement, moves] = placement_->RebalanceTo(new_num_workers);
-  auto next = std::make_shared<const ShardPlacement>(std::move(next_placement));
 
-  // Every running worker (and the router) adopts the new placement so newly
-  // owned shards get provisioned before data arrives.
-  for (auto& worker : workers_) {
-    if (worker != nullptr) worker->SetPlacement(next);
-  }
-  router_->SetPlacement(next);
-
-  // Move shard contents. Data is exported from the old primary and shipped
-  // over the transport so the transfer cost is observable, then dropped.
+  // Execute each relocated primary as a *live* migration: client upserts,
+  // deletes, and searches keep flowing; each move dual-applies writes during
+  // its copy window and ends with an atomic placement cutover.
   std::uint64_t transferred = 0;
   for (const ShardMove& move : moves) {
-    auto points = workers_.at(move.from)->ExportShard(move.shard);
-    TransferShardRequest request;
-    request.shard = move.shard;
-    request.points = std::move(points);
-    const Message reply =
-        transport_->Call(WorkerEndpoint(move.to), EncodeTransferShardRequest(request));
-    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
-    VDB_ASSIGN_OR_RETURN(const TransferShardResponse response,
-                         DecodeTransferShardResponse(reply));
-    transferred += response.received;
-    VDB_RETURN_IF_ERROR(workers_.at(move.from)->DropShard(move.shard));
+    VDB_ASSIGN_OR_RETURN(const std::uint64_t points,
+                         MigrateShard(move.shard, move.from, move.to));
+    transferred += points;
   }
+
+  // Install the canonical target placement: for replication == 1 this equals
+  // the state the per-move cutovers built; for replication > 1 it also
+  // rotates replica slots (provisioned empty, matching the previous
+  // wholesale-rebalance semantics).
+  InstallPlacement(std::make_shared<const ShardPlacement>(std::move(next_placement)));
 
   // Scale-in: stop surplus workers after their shards moved away.
   while (workers_.size() > new_num_workers) workers_.pop_back();
 
-  placement_ = next;
+  for (WorkerId id = old_num_workers; id < new_num_workers; ++id) {
+    health_->MarkUp(id);  // joined with live data: admit
+  }
   config_.num_workers = new_num_workers;
   return transferred;
 }

@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/migration.hpp"
+#include "cluster/replication.hpp"
 #include "cluster/router.hpp"
 #include "cluster/worker.hpp"
 
@@ -67,19 +69,53 @@ class LocalCluster {
   void InstallFaultPlan(std::shared_ptr<faults::FaultPlan> plan);
 
   /// Elastic scale-out/in: starts (or stops) workers, computes the rebalance
-  /// plan, moves shard data to new owners, and updates routing. Returns the
-  /// number of points transferred — the "expensive repartitioning" the paper
-  /// contrasts against compute/storage separation.
+  /// plan, and executes each move as a *live* migration (MigrateShard) while
+  /// client traffic keeps flowing. Returns the number of points transferred —
+  /// the "expensive repartitioning" the paper contrasts against
+  /// compute/storage separation, now paid without a stop-the-world pause.
   Result<std::uint64_t> ScaleTo(std::uint32_t new_num_workers);
+
+  /// Starts one additional worker under the *current* placement (it owns
+  /// nothing yet) and registers it in ReplicaHealth as DOWN. Returns its id.
+  /// Give it load with MigrateShard / AddReplica / ScaleTo.
+  Result<WorkerId> AddWorker();
+
+  /// Live shard handoff: moves `shard` from `from` to `to` under traffic —
+  /// dual-applied writes during the copy window, double-read until cutover,
+  /// atomic placement swap. Returns the destination's point count at commit.
+  Result<std::uint64_t> MigrateShard(ShardId shard, WorkerId from, WorkerId to);
+
+  /// Bootstraps `dest` as an additional replica of `shard`, streaming a
+  /// snapshot from `source` and replaying the WAL tail until caught up. The
+  /// joiner is admitted to ReplicaHealth only on success.
+  Result<BootstrapResult> AddReplica(ShardId shard, WorkerId source, WorkerId dest);
+
+  /// Per-move migration options (page size, retry budget, chunk hook) used by
+  /// MigrateShard/AddReplica/ScaleTo. The router write-fence is wired in
+  /// automatically.
+  void SetMigrationOptions(MigrationOptions options);
+
+  MigrationTable& Migrations() { return *migration_table_; }
+  ReplicaHealth& Health() { return *health_; }
 
  private:
   LocalCluster() = default;
+
+  /// Installs `placement` on the router and every running worker, then
+  /// records it as current.
+  void InstallPlacement(std::shared_ptr<const ShardPlacement> placement);
+
+  /// MigrationOptions with the router write-fence attached.
+  MigrationOptions WiredMigrationOptions() const;
 
   ClusterConfig config_;
   std::unique_ptr<vdb::Transport> transport_;
   std::shared_ptr<const ShardPlacement> placement_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Router> router_;
+  std::shared_ptr<MigrationTable> migration_table_;
+  std::shared_ptr<ReplicaHealth> health_;
+  MigrationOptions migration_options_;
 };
 
 }  // namespace vdb

@@ -69,6 +69,73 @@ Result<ShardPlacement> ShardPlacement::RoundRobin(std::uint32_t num_shards,
   return placement;
 }
 
+Result<ShardPlacement> ShardPlacement::FromTable(
+    std::uint32_t num_workers, std::uint32_t replication,
+    std::vector<std::vector<WorkerId>> replicas) {
+  if (replicas.empty()) return Status::InvalidArgument("empty replica table");
+  if (num_workers == 0) return Status::InvalidArgument("num_workers must be > 0");
+  if (replication == 0) return Status::InvalidArgument("replication must be > 0");
+  for (const auto& set : replicas) {
+    if (set.empty()) return Status::InvalidArgument("shard with no replicas");
+    for (const WorkerId worker : set) {
+      if (worker >= num_workers) {
+        return Status::InvalidArgument("replica worker out of range");
+      }
+    }
+  }
+  ShardPlacement placement;
+  placement.num_workers_ = num_workers;
+  placement.replication_ = replication;
+  placement.replicas_ = std::move(replicas);
+  return placement;
+}
+
+Result<ShardPlacement> ShardPlacement::WithReplicaReassigned(ShardId shard,
+                                                             WorkerId from,
+                                                             WorkerId to) const {
+  if (shard >= NumShards()) return Status::InvalidArgument("shard out of range");
+  ShardPlacement next = *this;
+  auto& replicas = next.replicas_[shard];
+  const auto it = std::find(replicas.begin(), replicas.end(), from);
+  if (it == replicas.end()) {
+    return Status::FailedPrecondition("worker holds no replica of shard");
+  }
+  if (std::find(replicas.begin(), replicas.end(), to) != replicas.end()) {
+    return Status::FailedPrecondition("destination already holds a replica");
+  }
+  *it = to;
+  next.num_workers_ = std::max(num_workers_, to + 1);
+  return next;
+}
+
+Result<ShardPlacement> ShardPlacement::WithReplicaAdded(ShardId shard,
+                                                        WorkerId worker) const {
+  if (shard >= NumShards()) return Status::InvalidArgument("shard out of range");
+  if (Owns(worker, shard)) {
+    return Status::FailedPrecondition("worker already holds a replica");
+  }
+  ShardPlacement next = *this;
+  next.replicas_[shard].push_back(worker);
+  next.num_workers_ = std::max(num_workers_, worker + 1);
+  return next;
+}
+
+Result<ShardPlacement> ShardPlacement::WithReplicaRemoved(ShardId shard,
+                                                          WorkerId worker) const {
+  if (shard >= NumShards()) return Status::InvalidArgument("shard out of range");
+  ShardPlacement next = *this;
+  auto& replicas = next.replicas_[shard];
+  const auto it = std::find(replicas.begin(), replicas.end(), worker);
+  if (it == replicas.end()) {
+    return Status::FailedPrecondition("worker holds no replica of shard");
+  }
+  if (replicas.size() == 1) {
+    return Status::FailedPrecondition("cannot remove the last replica");
+  }
+  replicas.erase(it);
+  return next;
+}
+
 const std::vector<WorkerId>& ShardPlacement::ReplicasOf(ShardId shard) const {
   return replicas_.at(shard);
 }

@@ -58,6 +58,13 @@ class ShardPlacement {
                                            std::uint32_t num_workers,
                                            std::uint32_t replication = 1);
 
+  /// Rebuilds a placement from an explicit replica table (the wire form a
+  /// cutover ships to live workers). Every replica set must be non-empty and
+  /// every worker id < num_workers.
+  static Result<ShardPlacement> FromTable(
+      std::uint32_t num_workers, std::uint32_t replication,
+      std::vector<std::vector<WorkerId>> replicas);
+
   std::uint32_t NumShards() const { return static_cast<std::uint32_t>(replicas_.size()); }
   std::uint32_t NumWorkers() const { return num_workers_; }
   std::uint32_t Replication() const { return replication_; }
@@ -82,6 +89,27 @@ class ShardPlacement {
   /// produce moves; replica churn follows the same mapping.
   std::pair<ShardPlacement, std::vector<ShardMove>> RebalanceTo(
       std::uint32_t new_num_workers) const;
+
+  /// The raw replica table (wire form for a placement update).
+  const std::vector<std::vector<WorkerId>>& ReplicaTable() const {
+    return replicas_;
+  }
+
+  /// Copy with the `from` replica slot of `shard` retargeted to `to` — one
+  /// live migration's cutover step. The worker count grows to cover `to` if
+  /// needed (a move onto a just-joined worker). Fails when `from` holds no
+  /// replica of `shard` or `to` already does.
+  Result<ShardPlacement> WithReplicaReassigned(ShardId shard, WorkerId from,
+                                               WorkerId to) const;
+
+  /// Copy with `worker` appended to `shard`'s replica set (replica bootstrap
+  /// admission). Fails when `worker` already holds a replica.
+  Result<ShardPlacement> WithReplicaAdded(ShardId shard, WorkerId worker) const;
+
+  /// Copy with `worker` removed from `shard`'s replica set (bootstrap
+  /// rollback). Fails when that would empty the set.
+  Result<ShardPlacement> WithReplicaRemoved(ShardId shard,
+                                            WorkerId worker) const;
 
  private:
   ShardPlacement() = default;

@@ -19,6 +19,16 @@ bool ReplicaHealth::IsUp(WorkerId worker) const {
   return worker < up_.size() && up_[worker];
 }
 
+void ReplicaHealth::EnsureWorkers(std::uint32_t num_workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (num_workers > up_.size()) up_.resize(num_workers, false);
+}
+
+std::uint32_t ReplicaHealth::NumWorkers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::uint32_t>(up_.size());
+}
+
 std::size_t ReplicaHealth::UpCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t count = 0;

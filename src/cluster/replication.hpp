@@ -26,6 +26,12 @@ class ReplicaHealth {
   bool IsUp(WorkerId worker) const;
   std::size_t UpCount() const;
 
+  /// Grows the registry to cover at least `num_workers` workers. New entries
+  /// start DOWN: a joining worker is admitted (MarkUp) only once its replica
+  /// bootstrap has caught up — never with partial state.
+  void EnsureWorkers(std::uint32_t num_workers);
+  std::uint32_t NumWorkers() const;
+
  private:
   mutable std::mutex mutex_;
   std::vector<bool> up_;

@@ -83,7 +83,27 @@ Router::Router(Transport& transport,
     : transport_(transport), placement_(std::move(placement)) {}
 
 void Router::SetPlacement(std::shared_ptr<const ShardPlacement> placement) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
   placement_ = std::move(placement);
+}
+
+std::shared_ptr<const ShardPlacement> Router::CurrentPlacement() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return placement_;
+}
+
+void Router::SetMigrationTable(std::shared_ptr<MigrationTable> table) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  migration_table_ = std::move(table);
+}
+
+std::shared_ptr<MigrationTable> Router::CurrentMigrationTable() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return migration_table_;
+}
+
+void Router::WriteFence() const {
+  std::unique_lock lock(write_gate_);  // drains shared holders, then releases
 }
 
 void Router::SetResiliencePolicy(const ResiliencePolicy& policy) {
@@ -98,7 +118,7 @@ ResiliencePolicy Router::GetResiliencePolicy() const {
 
 WorkerId Router::NextEntry() {
   return next_entry_.fetch_add(1, std::memory_order_relaxed) %
-         placement_->NumWorkers();
+         CurrentPlacement()->NumWorkers();
 }
 
 Message Router::RetryReplicaCall(const std::string& endpoint, const Message& request,
@@ -141,7 +161,7 @@ Result<Message> Router::ResilientEntryCall(
   Rng rng = CallRng(policy, call_seq_.fetch_add(1, std::memory_order_relaxed));
   const std::uint32_t max_attempts = std::max<std::uint32_t>(policy.max_attempts, 1);
   const bool can_hedge =
-      policy.hedge_delay_seconds > 0.0 && placement_->NumWorkers() > 1;
+      policy.hedge_delay_seconds > 0.0 && CurrentPlacement()->NumWorkers() > 1;
   Status last_error = Status::Unavailable("no attempt made");
 
   for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -253,6 +273,12 @@ Result<Message> Router::ResilientEntryCall(
 
 Result<std::uint64_t> Router::UpsertBatch(std::span<const PointRecord> points) {
   VDB_SPAN("router.upsert");
+  // Writers hold the gate shared for the whole call so a migration driver's
+  // WriteFence() can drain in-flight writes at dual-write transitions.
+  std::shared_lock write_gate(write_gate_);
+  const std::shared_ptr<const ShardPlacement> placement = CurrentPlacement();
+  const std::shared_ptr<MigrationTable> migrations = CurrentMigrationTable();
+
   // Group points by shard (the CPU-side "batch conversion" work the paper
   // profiles at 45.64 ms per 32-vector batch — here it is index-list grouping
   // + one encode pass per shard straight from the caller's memory; no
@@ -260,7 +286,7 @@ Result<std::uint64_t> Router::UpsertBatch(std::span<const PointRecord> points) {
   std::vector<ShardGroup> groups;
   {
     VDB_SPAN("router.upsert.convert");
-    groups = GroupByShard(points, *placement_);
+    groups = GroupByShard(points, *placement);
   }
 
   const ResiliencePolicy policy = GetResiliencePolicy();
@@ -269,19 +295,33 @@ Result<std::uint64_t> Router::UpsertBatch(std::span<const PointRecord> points) {
 
   // One request per (shard, replica); primaries and replicas share the same
   // encoded message (a buffer refcount bump, not a byte copy). First attempts
-  // go out in parallel; retries are driven as replies are collected.
+  // go out in parallel; retries are driven as replies are collected. Shards
+  // mid-handoff additionally dual-apply to the migration's source and
+  // destination, best-effort: those failures mark the migration dirty
+  // instead of failing the client call.
   struct ReplicaCall {
     std::string endpoint;
     Message request;
     std::size_t primary_count = 0;
+    ShardId shard = 0;
+    bool best_effort = false;
   };
   std::vector<ReplicaCall> calls;
   for (const ShardGroup& group : groups) {
     const Message encoded = EncodeUpsertBatch(group.shard, points, group.indices);
-    const auto& replicas = placement_->ReplicasOf(group.shard);
+    const auto& replicas = placement->ReplicasOf(group.shard);
     for (std::size_t r = 0; r < replicas.size(); ++r) {
       calls.push_back({WorkerEndpoint(replicas[r]), encoded,
-                       r == 0 ? group.indices.size() : 0});
+                       r == 0 ? group.indices.size() : 0, group.shard, false});
+    }
+    if (migrations != nullptr) {
+      if (const auto move = migrations->Lookup(group.shard)) {
+        for (const WorkerId extra : {move->from, move->to}) {
+          if (std::find(replicas.begin(), replicas.end(), extra) == replicas.end()) {
+            calls.push_back({WorkerEndpoint(extra), encoded, 0, group.shard, true});
+          }
+        }
+      }
     }
   }
   std::vector<std::future<Message>> futures;
@@ -295,6 +335,12 @@ Result<std::uint64_t> Router::UpsertBatch(std::span<const PointRecord> points) {
   for (std::size_t i = 0; i < futures.size(); ++i) {
     const Message reply = RetryReplicaCall(calls[i].endpoint, calls[i].request,
                                            policy, rng, std::move(futures[i]), watch);
+    if (calls[i].best_effort) {
+      if (!MessageToStatus(reply).ok() && migrations != nullptr) {
+        migrations->MarkDirty(calls[i].shard);
+      }
+      continue;
+    }
     VDB_RETURN_IF_ERROR(MessageToStatus(reply));
     VDB_ASSIGN_OR_RETURN(const UpsertBatchResponse response,
                          DecodeUpsertBatchResponse(reply));
@@ -305,9 +351,26 @@ Result<std::uint64_t> Router::UpsertBatch(std::span<const PointRecord> points) {
 
 Status Router::Delete(PointId id) {
   VDB_SPAN("router.delete");
-  const ShardId shard = placement_->ShardFor(id);
+  std::shared_lock write_gate(write_gate_);
+  const std::shared_ptr<const ShardPlacement> placement = CurrentPlacement();
+  const std::shared_ptr<MigrationTable> migrations = CurrentMigrationTable();
+  const ShardId shard = placement->ShardFor(id);
   const Message request = EncodeDeleteRequest(DeleteRequest{shard, id});
-  const std::vector<WorkerId> replicas = placement_->ReplicasOf(shard);
+  const std::vector<WorkerId> replicas = placement->ReplicasOf(shard);
+
+  // Dual-apply to a mid-handoff shard's source and destination, best-effort
+  // (failures mark the migration dirty, not the client call).
+  std::vector<WorkerId> targets = replicas;
+  std::size_t required = replicas.size();
+  if (migrations != nullptr) {
+    if (const auto move = migrations->Lookup(shard)) {
+      for (const WorkerId extra : {move->from, move->to}) {
+        if (std::find(targets.begin(), targets.end(), extra) == targets.end()) {
+          targets.push_back(extra);
+        }
+      }
+    }
+  }
 
   const ResiliencePolicy policy = GetResiliencePolicy();
   Stopwatch watch;
@@ -317,8 +380,8 @@ Status Router::Delete(PointId id) {
   // fail-fast return here would hide replicas that silently kept the point,
   // leaving the replica set divergent without the caller knowing.
   std::vector<std::future<Message>> futures;
-  futures.reserve(replicas.size());
-  for (const WorkerId worker : replicas) {
+  futures.reserve(targets.size());
+  for (const WorkerId worker : targets) {
     futures.push_back(transport_.CallAsync(WorkerEndpoint(worker), request));
   }
 
@@ -326,21 +389,25 @@ Status Router::Delete(PointId id) {
   std::size_t failed = 0;
   std::string failures;
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    const std::string endpoint = WorkerEndpoint(replicas[i]);
+    const std::string endpoint = WorkerEndpoint(targets[i]);
     const Message reply = RetryReplicaCall(endpoint, request, policy, rng,
                                            std::move(futures[i]), watch);
     Status status = MessageToStatus(reply);
     if (status.ok()) {
       const auto response = DecodeDeleteResponse(reply);
       if (response.ok()) {
-        any_deleted |= response->deleted;
+        if (i < required) any_deleted |= response->deleted;
         continue;
       }
       status = response.status();
     }
+    if (i >= required) {
+      if (migrations != nullptr) migrations->MarkDirty(shard);
+      continue;
+    }
     ++failed;
     if (!failures.empty()) failures += "; ";
-    failures += "worker " + std::to_string(replicas[i]) + ": " + status.ToString();
+    failures += "worker " + std::to_string(targets[i]) + ": " + status.ToString();
   }
   if (failed > 0) {
     return Status::Unavailable(
@@ -462,8 +529,9 @@ Result<Router::SearchBatchOutcome> Router::SearchBatchResilient(
 
 Result<double> Router::BuildAllIndexes() {
   const Message request = EncodeBuildIndexRequest(BuildIndexRequest{true});
+  const std::shared_ptr<const ShardPlacement> placement = CurrentPlacement();
   std::vector<std::future<Message>> futures;
-  for (WorkerId worker = 0; worker < placement_->NumWorkers(); ++worker) {
+  for (WorkerId worker = 0; worker < placement->NumWorkers(); ++worker) {
     futures.push_back(transport_.CallAsync(WorkerEndpoint(worker), request));
   }
   double max_seconds = 0.0;
@@ -479,8 +547,9 @@ Result<double> Router::BuildAllIndexes() {
 
 Result<std::uint64_t> Router::TotalPoints() {
   const Message request = EncodeInfoRequest(InfoRequest{});
+  const std::shared_ptr<const ShardPlacement> placement = CurrentPlacement();
   std::uint64_t total = 0;
-  for (WorkerId worker = 0; worker < placement_->NumWorkers(); ++worker) {
+  for (WorkerId worker = 0; worker < placement->NumWorkers(); ++worker) {
     const Message reply = transport_.Call(WorkerEndpoint(worker), request);
     VDB_RETURN_IF_ERROR(MessageToStatus(reply));
     VDB_ASSIGN_OR_RETURN(const InfoResponse response, DecodeInfoResponse(reply));

@@ -10,10 +10,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "cluster/migration.hpp"
 #include "cluster/placement.hpp"
 #include "cluster/worker.hpp"
 #include "common/rng.hpp"
@@ -158,10 +160,26 @@ class Router {
   /// Aggregated point count across workers.
   Result<std::uint64_t> TotalPoints();
 
-  /// Replaces the routing placement after a rebalance.
+  /// Replaces the routing placement after a rebalance/cutover. Safe to call
+  /// while other threads route traffic (they keep their snapshot).
   void SetPlacement(std::shared_ptr<const ShardPlacement> placement);
 
-  const ShardPlacement& Placement() const { return *placement_; }
+  /// Snapshot of the current routing placement.
+  std::shared_ptr<const ShardPlacement> Placement() const { return CurrentPlacement(); }
+
+  /// Attaches the live-migration table. While a shard is listed there,
+  /// UpsertBatch/Delete additionally apply each write to the migration's
+  /// source and destination workers, best-effort: an extra-target failure
+  /// marks the migration dirty (the driver aborts and retries the copy)
+  /// instead of failing the client call — the client contract stays
+  /// "acked by the placement replicas".
+  void SetMigrationTable(std::shared_ptr<MigrationTable> table);
+
+  /// Blocks until every UpsertBatch/Delete that started before this call has
+  /// returned. The migration driver fences after flipping dual-writes on so
+  /// writes that predate the dual-write window are fully applied before the
+  /// copy baseline is read.
+  void WriteFence() const;
 
  private:
   /// Per-logical-call bookkeeping for the resilient paths.
@@ -172,6 +190,9 @@ class Router {
   };
 
   WorkerId NextEntry();
+
+  std::shared_ptr<const ShardPlacement> CurrentPlacement() const;
+  std::shared_ptr<MigrationTable> CurrentMigrationTable() const;
 
   /// Retry/deadline/hedge loop shared by the resilient search paths.
   /// `make_request(entry, remaining_deadline_seconds)` builds the message for
@@ -190,7 +211,12 @@ class Router {
                            std::future<Message> first_attempt, const Stopwatch& watch);
 
   Transport& transport_;
+  mutable std::mutex state_mutex_;  // guards placement_ and migration_table_
   std::shared_ptr<const ShardPlacement> placement_;
+  std::shared_ptr<MigrationTable> migration_table_;
+  /// Writers hold this shared for the duration of a call; WriteFence takes it
+  /// exclusively to drain them.
+  mutable std::shared_mutex write_gate_;
   std::atomic<std::uint32_t> next_entry_{0};
   mutable std::mutex policy_mutex_;
   ResiliencePolicy policy_;

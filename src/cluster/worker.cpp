@@ -1,7 +1,9 @@
 #include "cluster/worker.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <future>
+#include <optional>
 #include <thread>
 
 #include "common/logging.hpp"
@@ -74,14 +76,22 @@ Status Worker::EnsureShard(ShardId shard) {
 }
 
 Status Worker::ProvisionOwnedShards() {
-  for (const ShardId shard : placement_->ShardsOwnedBy(config_.id)) {
+  for (const ShardId shard : CurrentPlacement()->ShardsOwnedBy(config_.id)) {
     VDB_RETURN_IF_ERROR(EnsureShard(shard));
   }
   return Status::Ok();
 }
 
+std::shared_ptr<const ShardPlacement> Worker::CurrentPlacement() const {
+  std::lock_guard<std::mutex> lock(placement_mutex_);
+  return placement_;
+}
+
 void Worker::SetPlacement(std::shared_ptr<const ShardPlacement> placement) {
-  placement_ = std::move(placement);
+  {
+    std::lock_guard<std::mutex> lock(placement_mutex_);
+    placement_ = std::move(placement);
+  }
   const Status status = ProvisionOwnedShards();
   if (!status.ok()) {
     VDB_WARN << "worker " << config_.id
@@ -113,15 +123,51 @@ Status Worker::DropShard(ShardId shard) {
   return Status::Ok();
 }
 
+Status Worker::DropShardStorage(ShardId shard) {
+  {
+    std::unique_lock lock(shards_mutex_);
+    shards_.erase(shard);  // closes the collection (and its WAL) first
+  }
+  if (!config_.collection_template.data_dir.empty()) {
+    const std::filesystem::path dir =
+        config_.collection_template.data_dir /
+        ("worker" + std::to_string(config_.id)) /
+        ("shard" + std::to_string(shard));
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    if (ec) {
+      return Status::IoError("failed to remove shard dir " + dir.string() +
+                             ": " + ec.message());
+    }
+  }
+  return Status::Ok();
+}
+
+bool Worker::IsMigratingIn(ShardId shard) const {
+  std::lock_guard<std::mutex> lock(migration_mutex_);
+  return migrating_in_.count(shard) != 0;
+}
+
+std::unordered_set<ShardId> Worker::HiddenShards() const {
+  std::lock_guard<std::mutex> lock(migration_mutex_);
+  std::unordered_set<ShardId> hidden;
+  for (const auto& [shard, touched] : migrating_in_) hidden.insert(shard);
+  return hidden;
+}
+
 Collection* Worker::ShardForTest(ShardId shard) {
   auto result = GetShard(shard);
   return result.ok() ? *result : nullptr;
 }
 
 std::uint64_t Worker::LivePoints() const {
+  const std::unordered_set<ShardId> hidden = HiddenShards();
   std::shared_lock lock(shards_mutex_);
   std::uint64_t total = 0;
-  for (const auto& [shard, collection] : shards_) total += collection->Count();
+  for (const auto& [shard, collection] : shards_) {
+    if (hidden.count(shard) != 0) continue;
+    total += collection->Count();
+  }
   return total;
 }
 
@@ -173,6 +219,14 @@ Message Worker::Handle(const Message& request, bool force_local) {
     case MessageType::kInfoRequest: return HandleInfo(request);
     case MessageType::kCreateShardRequest: return HandleCreateShard(request);
     case MessageType::kTransferShardRequest: return HandleTransferShard(request);
+    case MessageType::kSnapshotStreamRequest: return HandleSnapshotStream(request);
+    case MessageType::kMigrationBeginRequest: return HandleMigrationBegin(request);
+    case MessageType::kMigrationChunkRequest: return HandleMigrationChunk(request);
+    case MessageType::kMigrationCommitRequest: return HandleMigrationCommit(request);
+    case MessageType::kMigrationAbortRequest: return HandleMigrationAbort(request);
+    case MessageType::kDropShardRequest: return HandleDropShard(request);
+    case MessageType::kWalTailRequest: return HandleWalTail(request);
+    case MessageType::kUpdatePlacementRequest: return HandleUpdatePlacement(request);
     default:
       return EncodeErrorResponse(
           Status::InvalidArgument("worker cannot handle message type " +
@@ -205,7 +259,21 @@ Message Worker::HandleUpsert(const Message& request) {
   VDB_SPAN("worker.upsert", (::vdb::obs::SpanAttrs{.shard = view->shard()}));
   auto shard = GetShard(view->shard());
   if (!shard.ok()) return EncodeErrorResponse(shard.status());
-  const Status status = (*shard)->UpsertBatch(ViewBatchSource(*view));
+  Status status;
+  {
+    std::unique_lock<std::mutex> migration(migration_mutex_);
+    const auto it = migrating_in_.find(view->shard());
+    if (it != migrating_in_.end()) {
+      // Dual-applied client write during a copy window: mark the ids touched
+      // (so later copy chunks skip them) and apply under the migration lock,
+      // keeping mark+apply atomic against chunk application.
+      for (std::size_t i = 0; i < view->size(); ++i) it->second.insert(view->id(i));
+      status = (*shard)->UpsertBatch(ViewBatchSource(*view));
+    } else {
+      migration.unlock();
+      status = (*shard)->UpsertBatch(ViewBatchSource(*view));
+    }
+  }
   if (!status.ok()) return EncodeErrorResponse(status);
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
@@ -221,7 +289,20 @@ Message Worker::HandleDelete(const Message& request) {
   if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
   auto shard = GetShard(decoded->shard);
   if (!shard.ok()) return EncodeErrorResponse(shard.status());
-  const Status status = (*shard)->Delete(decoded->id);
+  Status status;
+  {
+    std::unique_lock<std::mutex> migration(migration_mutex_);
+    const auto it = migrating_in_.find(decoded->shard);
+    if (it != migrating_in_.end()) {
+      // A delete during the copy window also "touches" the id: a later copy
+      // chunk must not resurrect the deleted point from the source snapshot.
+      it->second.insert(decoded->id);
+      status = (*shard)->Delete(decoded->id);
+    } else {
+      migration.unlock();
+      status = (*shard)->Delete(decoded->id);
+    }
+  }
   if (!status.ok() && status.code() != StatusCode::kNotFound) {
     return EncodeErrorResponse(status);
   }
@@ -232,12 +313,17 @@ Result<SearchResponse> Worker::SearchLocal(VectorView query,
                                            const SearchParams& params,
                                            const Filter& filter) const {
   VDB_SPAN("worker.search_local");
+  // Shards mid-migration-in are invisible to reads until commit: the router
+  // double-reads source+destination during a handoff, and serving a partial
+  // copy here would shadow complete results from the source.
+  const std::unordered_set<ShardId> hidden = HiddenShards();
   std::vector<std::vector<ScoredPoint>> partials;
   std::uint32_t searched = 0;
   {
     std::shared_lock lock(shards_mutex_);
     partials.reserve(shards_.size());
     for (const auto& [shard, collection] : shards_) {
+      if (hidden.count(shard) != 0) continue;
       // Predicated queries prefilter by payload equality per shard (the
       // prefiltering strategy of the paper's footnote 4).
       auto hits = filter.Active()
@@ -283,8 +369,9 @@ Result<SearchResponse> Worker::SearchFanOut(const Message& request,
   // the budget).
   Stopwatch watch;
 
+  const std::shared_ptr<const ShardPlacement> placement = CurrentPlacement();
   std::vector<std::future<Message>> futures;
-  for (WorkerId peer = 0; peer < placement_->NumWorkers(); ++peer) {
+  for (WorkerId peer = 0; peer < placement->NumWorkers(); ++peer) {
     if (peer == config_.id) continue;
     futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), request));
     std::lock_guard<std::mutex> lock(counters_mutex_);
@@ -420,8 +507,9 @@ Result<SearchBatchResponse> Worker::SearchBatchFanOut(
   // message on their local endpoint — no re-encode.
   Stopwatch watch;
 
+  const std::shared_ptr<const ShardPlacement> placement = CurrentPlacement();
   std::vector<std::future<Message>> futures;
-  for (WorkerId peer = 0; peer < placement_->NumWorkers(); ++peer) {
+  for (WorkerId peer = 0; peer < placement->NumWorkers(); ++peer) {
     if (peer == config_.id) continue;
     futures.push_back(transport_.CallAsync(WorkerLocalEndpoint(peer), request));
     std::lock_guard<std::mutex> lock(counters_mutex_);
@@ -512,10 +600,13 @@ Message Worker::HandleInfo(const Message& request) {
   auto decoded = DecodeInfoRequest(request);
   if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
   InfoResponse response;
+  const std::unordered_set<ShardId> hidden = HiddenShards();
   std::shared_lock lock(shards_mutex_);
-  response.shard_count = static_cast<std::uint32_t>(shards_.size());
+  response.shard_count =
+      static_cast<std::uint32_t>(shards_.size() - std::min(shards_.size(), hidden.size()));
   response.index_ready = !shards_.empty();
   for (const auto& [shard, collection] : shards_) {
+    if (hidden.count(shard) != 0) continue;
     const CollectionInfo info = collection->Info();
     response.live_points += info.live_points;
     response.indexed_points += info.indexed_points;
@@ -542,6 +633,141 @@ Message Worker::HandleTransferShard(const Message& request) {
   const Status status = (*shard)->UpsertBatch(ViewBatchSource(*view));
   if (!status.ok()) return EncodeErrorResponse(status);
   return EncodeTransferShardResponse(TransferShardResponse{view->size()});
+}
+
+Message Worker::HandleSnapshotStream(const Message& request) {
+  auto decoded = DecodeSnapshotStreamRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  VDB_SPAN("worker.snapshot_stream", (::vdb::obs::SpanAttrs{.shard = decoded->shard}));
+  auto shard = GetShard(decoded->shard);
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  const std::optional<PointId> from =
+      decoded->has_from ? std::optional<PointId>(decoded->from) : std::nullopt;
+  const Collection::ScrollPage page = (*shard)->Scroll(from, decoded->limit);
+  // A page shorter than `limit` tells the consumer the stream is exhausted.
+  return EncodeSnapshotPage(decoded->shard, page.points);
+}
+
+Message Worker::HandleMigrationBegin(const Message& request) {
+  auto decoded = DecodeMigrationBeginRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  std::lock_guard<std::mutex> migration(migration_mutex_);
+  // Begin is a (re)start: a retried migration after an abort starts from a
+  // clean slate, so any partial copy from the previous attempt is dropped.
+  migrating_in_.erase(decoded->shard);
+  const auto placement = CurrentPlacement();
+  if (decoded->shard < placement->NumShards() &&
+      placement->Owns(config_.id, decoded->shard)) {
+    // This worker already serves the shard: re-seeding it from a source
+    // snapshot would clobber live data.
+    return EncodeErrorResponse(
+        Status::FailedPrecondition("worker " + std::to_string(config_.id) +
+                                   " already serves shard " +
+                                   std::to_string(decoded->shard)));
+  }
+  Status status = DropShardStorage(decoded->shard);
+  if (!status.ok()) return EncodeErrorResponse(status);
+  status = EnsureShard(decoded->shard);
+  if (!status.ok()) return EncodeErrorResponse(status);
+  migrating_in_.emplace(decoded->shard, std::unordered_set<PointId>{});
+  return EncodeMigrationBeginResponse(MigrationBeginResponse{true});
+}
+
+Message Worker::HandleMigrationChunk(const Message& request) {
+  auto view = DecodeMigrationChunkView(request);
+  if (!view.ok()) return EncodeErrorResponse(view.status());
+  VDB_SPAN("worker.migration_chunk", (::vdb::obs::SpanAttrs{.shard = view->shard()}));
+  std::lock_guard<std::mutex> migration(migration_mutex_);
+  const auto it = migrating_in_.find(view->shard());
+  if (it == migrating_in_.end()) {
+    return EncodeErrorResponse(Status::FailedPrecondition(
+        "shard " + std::to_string(view->shard()) + " is not migrating in"));
+  }
+  auto shard = GetShard(view->shard());
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  MigrationChunkResponse response;
+  for (std::size_t i = 0; i < view->size(); ++i) {
+    const PointId id = view->id(i);
+    if (it->second.count(id) != 0) {
+      // A client write dual-applied this id during the copy window; the
+      // source snapshot's version is stale.
+      ++response.skipped;
+      continue;
+    }
+    auto payload = view->payload(i);
+    if (!payload.ok()) return EncodeErrorResponse(payload.status());
+    const Status status = (*shard)->Upsert(id, view->vector(i), std::move(*payload));
+    if (!status.ok()) return EncodeErrorResponse(status);
+    ++response.applied;
+  }
+  return EncodeMigrationChunkResponse(response);
+}
+
+Message Worker::HandleMigrationCommit(const Message& request) {
+  auto decoded = DecodeMigrationCommitRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  std::lock_guard<std::mutex> migration(migration_mutex_);
+  const auto it = migrating_in_.find(decoded->shard);
+  if (it == migrating_in_.end()) {
+    return EncodeErrorResponse(Status::FailedPrecondition(
+        "shard " + std::to_string(decoded->shard) + " is not migrating in"));
+  }
+  migrating_in_.erase(it);
+  auto shard = GetShard(decoded->shard);
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  return EncodeMigrationCommitResponse(MigrationCommitResponse{(*shard)->Count()});
+}
+
+Message Worker::HandleMigrationAbort(const Message& request) {
+  auto decoded = DecodeMigrationAbortRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  std::lock_guard<std::mutex> migration(migration_mutex_);
+  const bool was_migrating = migrating_in_.erase(decoded->shard) != 0;
+  if (was_migrating) {
+    const Status status = DropShardStorage(decoded->shard);
+    if (!status.ok()) return EncodeErrorResponse(status);
+  }
+  // Idempotent: aborting a shard that was never migrating is a no-op success
+  // (the driver may abort blindly while cleaning up after a crash).
+  return EncodeMigrationAbortResponse(MigrationAbortResponse{true});
+}
+
+Message Worker::HandleDropShard(const Message& request) {
+  auto decoded = DecodeDropShardRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  std::lock_guard<std::mutex> migration(migration_mutex_);
+  migrating_in_.erase(decoded->shard);
+  const Status status = DropShardStorage(decoded->shard);
+  if (!status.ok()) return EncodeErrorResponse(status);
+  return EncodeDropShardResponse(DropShardResponse{true});
+}
+
+Message Worker::HandleWalTail(const Message& request) {
+  auto decoded = DecodeWalTailRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  auto shard = GetShard(decoded->shard);
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  auto tail = (*shard)->ReadWalTail(decoded->from_record, decoded->max_records);
+  if (!tail.ok()) return EncodeErrorResponse(tail.status());
+  WalTailResponse response;
+  response.total_records = tail->total_records;
+  response.next_record = tail->next_record;
+  response.records.reserve(tail->records.size());
+  for (WalRecord& record : tail->records) {
+    response.records.push_back(WalTailRecord{
+        static_cast<std::uint8_t>(record.type), std::move(record.payload)});
+  }
+  return EncodeWalTailResponse(response);
+}
+
+Message Worker::HandleUpdatePlacement(const Message& request) {
+  auto decoded = DecodePlacementUpdate(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  auto placement = ShardPlacement::FromTable(
+      decoded->num_workers, decoded->replication, std::move(decoded->replicas));
+  if (!placement.ok()) return EncodeErrorResponse(placement.status());
+  SetPlacement(std::make_shared<const ShardPlacement>(std::move(*placement)));
+  return EncodeUpdatePlacementResponse(UpdatePlacementResponse{true});
 }
 
 }  // namespace vdb

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/placement.hpp"
@@ -83,8 +84,9 @@ class Worker {
   Message Handle(const Message& request) { return Handle(request, false); }
   Message Handle(const Message& request, bool force_local);
 
-  /// Updates the placement (rebalance). Existing shard collections are kept;
-  /// newly owned shards are provisioned empty, awaiting transfer.
+  /// Updates the placement (rebalance/cutover). Existing shard collections
+  /// are kept; newly owned shards are provisioned empty, awaiting transfer.
+  /// Safe to call while handler threads serve traffic.
   void SetPlacement(std::shared_ptr<const ShardPlacement> placement);
 
   /// Points currently held across this worker's shards.
@@ -97,6 +99,15 @@ class Worker {
 
   /// Drops a local shard after its contents moved elsewhere.
   Status DropShard(ShardId shard);
+
+  /// Drops a shard AND deletes its on-disk directory (migration abort or
+  /// post-cutover source cleanup — a durable dir left behind would resurrect
+  /// stale data if the shard ever moved back here).
+  Status DropShardStorage(ShardId shard);
+
+  /// True while `shard` is being copied in by a migration/bootstrap (present
+  /// but hidden from searches and info until commit).
+  bool IsMigratingIn(ShardId shard) const;
 
   /// Direct access for tests (nullptr when not owned).
   Collection* ShardForTest(ShardId shard);
@@ -120,6 +131,17 @@ class Worker {
   Message HandleInfo(const Message& request);
   Message HandleCreateShard(const Message& request);
   Message HandleTransferShard(const Message& request);
+  // Elasticity plane (DESIGN.md "Elasticity"): snapshot paging on the source,
+  // the migration-in state machine on the destination, WAL tail serving for
+  // replica catch-up, and the live placement swap at cutover.
+  Message HandleSnapshotStream(const Message& request);
+  Message HandleMigrationBegin(const Message& request);
+  Message HandleMigrationChunk(const Message& request);
+  Message HandleMigrationCommit(const Message& request);
+  Message HandleMigrationAbort(const Message& request);
+  Message HandleDropShard(const Message& request);
+  Message HandleWalTail(const Message& request);
+  Message HandleUpdatePlacement(const Message& request);
 
   /// Searches all local shards, merging per-shard top-k. `query` may point
   /// into a decoded message body (zero-copy).
@@ -145,12 +167,30 @@ class Worker {
   Result<Collection*> GetShard(ShardId shard);
   Status EnsureShard(ShardId shard);
 
+  /// Placement snapshot for this request. placement_ is swapped live at
+  /// cutover (HandleUpdatePlacement) while fan-out threads read it, so every
+  /// read goes through this accessor instead of touching the field directly.
+  std::shared_ptr<const ShardPlacement> CurrentPlacement() const;
+
+  /// Shards currently migrating in (hidden from reads), as a snapshot.
+  std::unordered_set<ShardId> HiddenShards() const;
+
   Transport& transport_;
   std::shared_ptr<const ShardPlacement> placement_;
   WorkerConfig config_;
 
   mutable std::shared_mutex shards_mutex_;
   std::map<ShardId, std::unique_ptr<Collection>> shards_;
+
+  mutable std::mutex placement_mutex_;  // guards placement_
+
+  /// Migration-in state machine. `migration_mutex_` serializes chunk
+  /// application against live client writes to the same shard: a client write
+  /// marks its point id "touched" and a later copy chunk skips touched ids, so
+  /// a stale source snapshot can never overwrite a fresher dual-applied write.
+  /// Lock order: migration_mutex_ before shards_mutex_ (never the reverse).
+  mutable std::mutex migration_mutex_;
+  std::map<ShardId, std::unordered_set<PointId>> migrating_in_;
 
   mutable std::mutex counters_mutex_;
   WorkerCounters counters_;

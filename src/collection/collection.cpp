@@ -22,7 +22,8 @@ Result<std::unique_ptr<Collection>> Collection::Open(CollectionConfig config) {
     std::filesystem::create_directories(cfg.data_dir, ec);
     if (ec) return Status::IoError("cannot create data dir: " + ec.message());
     VDB_RETURN_IF_ERROR(collection->Recover());
-    VDB_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Open(cfg.data_dir / "wal.log"));
+    VDB_ASSIGN_OR_RETURN(WalWriter writer,
+                         WalWriter::Open(cfg.data_dir / collection->wal_file_));
     collection->wal_ = std::move(writer);
   }
 
@@ -92,13 +93,24 @@ Status Collection::Recover() {
     first_unflushed_offset_ = static_cast<std::uint32_t>(store_->Size());
     pending_graph_file_ = manifest.hnsw_graph_file;
     pending_codes_file_ = manifest.sq8_codes_file;
+    if (!manifest.wal_file.empty()) wal_file_ = manifest.wal_file;
+    wal_start_record_ = manifest.wal_start_record;
   }
 
-  // Replay WAL records beyond the manifest's checkpoint.
-  std::uint64_t skip = manifest.wal_records_applied;
+  // Replay WAL records beyond the manifest's cut. With a covered byte offset
+  // recorded we seek straight to the uncovered tail; legacy manifests
+  // (offset 0) fall back to counting off the covered records, which still
+  // reads — but does not re-apply — the prefix.
+  const std::uint64_t start_offset = manifest.wal_applied_offset;
+  const std::uint64_t skip =
+      start_offset != 0 ? 0
+      : (manifest.wal_records_applied > wal_start_record_
+             ? manifest.wal_records_applied - wal_start_record_
+             : 0);
   std::uint64_t seen = 0;
   auto replayed = WalReader::Replay(
-      config_.data_dir / "wal.log", [&](const WalRecord& record) -> Status {
+      config_.data_dir / wal_file_,
+      [&](const WalRecord& record) -> Status {
         ++seen;
         if (seen <= skip) return Status::Ok();
         switch (record.type) {
@@ -114,10 +126,28 @@ Status Collection::Recover() {
             return Status::Ok();
         }
         return Status::Corruption("unknown WAL record type");
-      });
+      },
+      start_offset);
   if (!replayed.ok()) return replayed.status();
   recovered_wal_records_ = seen;
-  wal_records_ = seen;
+  // Absolute record accounting: records before the cut were never visited
+  // (seek) or only counted (skip), but both paths agree on the total.
+  wal_records_ = start_offset != 0 ? manifest.wal_records_applied + seen
+                                   : wal_start_record_ + seen;
+
+  // A crash between opening a rotated log and persisting the manifest that
+  // names it leaves an orphan wal file (empty, or fully covered by the
+  // current segment set). Sweep them so the directory holds one live log.
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config_.data_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name == wal_file_) continue;
+    if (name.rfind("wal.", 0) == 0 && name.size() >= 7 &&
+        name.compare(name.size() - 4, 4, ".log") == 0) {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
   return Status::Ok();
 }
 
@@ -297,6 +327,10 @@ std::size_t Collection::PendingIndexCount() const {
 
 Status Collection::Flush() {
   std::unique_lock lock(mutex_);
+  return FlushLocked(nullptr);
+}
+
+Status Collection::FlushLocked(SnapshotManifest* written) {
   if (config_.data_dir.empty()) return Status::Ok();  // in-memory mode: no-op
 
   const auto size = static_cast<std::uint32_t>(store_->Size());
@@ -369,13 +403,49 @@ Status Collection::Flush() {
     std::error_code ec;
     std::filesystem::remove(config_.data_dir / codes_file, ec);
   }
+
+  // WAL cut: every record logged so far is covered by the segment files the
+  // manifest names. Rotation opens a FRESH file (never truncating one a
+  // durable manifest still points at) and the manifest rename is what commits
+  // the cut — a crash at any point leaves either the old manifest naming the
+  // intact old log, or the new manifest naming the new one. Old log files are
+  // deleted only after the rename; a crash before that just leaves covered
+  // orphans for the next Recover() to sweep.
+  bool rotated = false;
+  const std::string previous_wal = wal_file_;
+  if (wal_.has_value()) {
+    VDB_RETURN_IF_ERROR(wal_->Sync());
+    if (wal_->EndOffset() > 0 && wal_->EndOffset() >= config_.wal_truncate_bytes) {
+      // Named by the absolute record count, which strictly increases between
+      // rotations (an empty log is never rotated), so it cannot collide with
+      // the live file.
+      const std::string next_wal = "wal." + std::to_string(wal_records_) + ".log";
+      VDB_ASSIGN_OR_RETURN(
+          WalWriter fresh,
+          WalWriter::Open(config_.data_dir / next_wal, /*truncate=*/true));
+      wal_ = std::move(fresh);
+      wal_file_ = next_wal;
+      wal_start_record_ = wal_records_;
+      rotated = true;
+    }
+  }
+  manifest.wal_file = wal_file_;
+  manifest.wal_start_record = wal_start_record_;
+  manifest.wal_applied_offset = wal_.has_value() ? wal_->EndOffset() : 0;
+
   VDB_RETURN_IF_ERROR(WriteManifest(config_.data_dir / "MANIFEST", manifest));
+
+  if (rotated) {
+    std::error_code ec;
+    std::filesystem::remove(config_.data_dir / previous_wal, ec);
+  }
 
   if (wal_.has_value()) {
     VDB_RETURN_IF_ERROR(wal_->AppendCheckpoint(next_segment_seq_));
     ++wal_records_;
     VDB_RETURN_IF_ERROR(wal_->Sync());
   }
+  if (written != nullptr) *written = manifest;
   return Status::Ok();
 }
 
@@ -422,6 +492,115 @@ Collection::ScrollPage Collection::Scroll(std::optional<PointId> from,
   }
   if (it != id_to_offset_.end()) page.next_from = it->first;
   return page;
+}
+
+Status Collection::SnapshotTo(const std::filesystem::path& dir) {
+  std::unique_lock lock(mutex_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create snapshot dir: " + ec.message());
+
+  SnapshotManifest manifest;
+  if (config_.data_dir.empty()) {
+    // In-memory collection: materialize the live set as a single segment.
+    SegmentData segment;
+    segment.dim = static_cast<std::uint32_t>(config_.dim);
+    segment.metric = config_.metric;
+    for (const auto& [id, offset] : id_to_offset_) {
+      segment.ids.push_back(id);
+      const VectorView v = store_->At(offset);
+      segment.vectors.insert(segment.vectors.end(), v.begin(), v.end());
+    }
+    manifest.sequence = 1;
+    if (!segment.ids.empty()) {
+      const std::string file = "segment_0.vdb";
+      VDB_RETURN_IF_ERROR(WriteSegment(dir / file, segment));
+      manifest.segment_files.push_back(file);
+    }
+  } else {
+    // Durable collection: cut first (after FlushLocked the union of the
+    // segment set is exactly the live points), then copy the files the fresh
+    // manifest references.
+    SnapshotManifest cut;
+    VDB_RETURN_IF_ERROR(FlushLocked(&cut));
+    std::vector<std::string> files = cut.segment_files;
+    if (!cut.hnsw_graph_file.empty()) files.push_back(cut.hnsw_graph_file);
+    if (!cut.sq8_codes_file.empty()) files.push_back(cut.sq8_codes_file);
+    for (const auto& file : files) {
+      std::filesystem::copy_file(config_.data_dir / file, dir / file,
+                                 std::filesystem::copy_options::overwrite_existing,
+                                 ec);
+      if (ec) {
+        return Status::IoError("snapshot copy of " + file + " failed: " +
+                               ec.message());
+      }
+    }
+    manifest.sequence = cut.sequence;
+    manifest.segment_files = cut.segment_files;
+    manifest.hnsw_graph_file = cut.hnsw_graph_file;
+    manifest.sq8_codes_file = cut.sq8_codes_file;
+  }
+  // WAL fields stay zero: a restore replays nothing and starts a fresh log.
+  manifest.dim = static_cast<std::uint32_t>(config_.dim);
+  manifest.metric = std::string(MetricName(config_.metric));
+  return WriteManifest(dir / "MANIFEST", manifest);
+}
+
+Result<Collection::WalTail> Collection::ReadWalTail(std::uint64_t from_record,
+                                                    std::size_t max_records) {
+  std::unique_lock lock(mutex_);
+  if (!wal_.has_value()) {
+    return Status::FailedPrecondition("collection has no WAL (in-memory)");
+  }
+  if (from_record < wal_start_record_) {
+    return Status::FailedPrecondition(
+        "wal tail truncated: record " + std::to_string(from_record) +
+        " rotated away (log starts at " + std::to_string(wal_start_record_) +
+        ")");
+  }
+  WalTail tail;
+  tail.total_records = wal_records_;
+  tail.next_record = from_record;
+  if (max_records == 0 || from_record >= wal_records_) return tail;
+  VDB_RETURN_IF_ERROR(wal_->Sync());
+  const std::uint64_t skip = from_record - wal_start_record_;
+  std::uint64_t seen = 0;
+  auto replayed = WalReader::Replay(
+      config_.data_dir / wal_file_,
+      [&](const WalRecord& record) -> Status {
+        ++seen;
+        if (seen <= skip) return Status::Ok();
+        if (tail.records.size() < max_records) {
+          tail.records.push_back(record);
+        }
+        return Status::Ok();
+      });
+  if (!replayed.ok()) return replayed.status();
+  tail.next_record = from_record + tail.records.size();
+  return tail;
+}
+
+Status Collection::ApplyWalRecord(const WalRecord& record) {
+  switch (record.type) {
+    case WalRecordType::kUpsert: {
+      VDB_ASSIGN_OR_RETURN(auto decoded, DecodeUpsertPayload(record.payload));
+      return Upsert(decoded.first, decoded.second);
+    }
+    case WalRecordType::kDelete: {
+      VDB_ASSIGN_OR_RETURN(PointId id, DecodeDeletePayload(record.payload));
+      const Status status = Delete(id);
+      if (status.code() == StatusCode::kNotFound) return Status::Ok();
+      return status;
+    }
+    case WalRecordType::kCheckpoint:
+      return Status::Ok();
+  }
+  return Status::Corruption("unknown WAL record type");
+}
+
+std::uint64_t Collection::WalRecordCount() const {
+  std::shared_lock lock(mutex_);
+  return wal_records_;
 }
 
 std::vector<PointRecord> Collection::ExportPoints() const {

@@ -44,6 +44,13 @@ struct CollectionConfig {
 
   /// Points per flushed segment file.
   std::size_t flush_threshold = 8192;
+
+  /// WAL truncation policy: once a flush covers at least this many logged
+  /// bytes, the log is rotated to a fresh file and the covered prefix
+  /// physically deleted. 0 = rotate on every flush (the default keeps restart
+  /// cost proportional to the unflushed tail). A large value keeps appending
+  /// to one file; the manifest then records the covered byte offset instead.
+  std::uint64_t wal_truncate_bytes = 0;
 };
 
 struct CollectionInfo {
@@ -124,8 +131,43 @@ class Collection {
   /// Number of points not yet visible to the index.
   std::size_t PendingIndexCount() const;
 
-  /// Flushes buffered points to an immutable segment + WAL checkpoint.
+  /// Flushes buffered points to an immutable segment + WAL checkpoint, then
+  /// cuts the WAL (rotation or covered-offset, per `wal_truncate_bytes`).
   Status Flush();
+
+  /// Writes a restorable snapshot of the current state into `dir`: a flush
+  /// (durable collections) or a materialized segment (in-memory ones), every
+  /// segment/graph/codes file it references, and a manifest whose WAL fields
+  /// are zero — `Collection::Open` on `dir` reproduces exactly the live
+  /// points at the time of the call, replaying nothing. The cut is consistent
+  /// (taken under the write lock).
+  Status SnapshotTo(const std::filesystem::path& dir);
+
+  /// A page of raw WAL records for replica catch-up, addressed by absolute
+  /// record index. `next_record` is the cursor for the following call;
+  /// `total_records` is this collection's record count at read time — the
+  /// reader has caught up when `next_record == total_records` and no newer
+  /// writes are possible.
+  struct WalTail {
+    std::vector<WalRecord> records;
+    std::uint64_t next_record = 0;
+    std::uint64_t total_records = 0;
+  };
+
+  /// Reads up to `max_records` records starting at absolute index
+  /// `from_record` (`max_records == 0` returns only the cursor/total).
+  /// FailedPrecondition when the collection has no WAL, or when `from_record`
+  /// was rotated away by a flush — the caller must restart from a snapshot.
+  Result<WalTail> ReadWalTail(std::uint64_t from_record, std::size_t max_records);
+
+  /// Applies one record obtained from another replica's ReadWalTail as a
+  /// normal logged write. Deleting an id this replica never saw is not an
+  /// error (the tail may straddle the snapshot it catches up from).
+  Status ApplyWalRecord(const WalRecord& record);
+
+  /// Absolute count of records logged to this collection's WAL (0 when
+  /// in-memory).
+  std::uint64_t WalRecordCount() const;
 
   std::size_t Count() const;
   CollectionInfo Info() const;
@@ -152,6 +194,10 @@ class Collection {
   Status Recover();
   Status UpsertLocked(PointId id, VectorView vector, Payload payload, bool log_wal);
   Status DeleteLocked(PointId id, bool log_wal);
+  /// Flush body; requires the write lock. Fills `written` (when non-null)
+  /// with the manifest it persisted so SnapshotTo can copy exactly the files
+  /// the cut references.
+  Status FlushLocked(SnapshotManifest* written);
 
   CollectionConfig config_;
   mutable std::shared_mutex mutex_;
@@ -163,7 +209,9 @@ class Collection {
   std::map<PointId, std::uint32_t> id_to_offset_;
 
   std::optional<WalWriter> wal_;
-  std::uint64_t wal_records_ = 0;
+  std::string wal_file_ = "wal.log";        ///< active log, relative to data_dir
+  std::uint64_t wal_start_record_ = 0;      ///< absolute index of its first record
+  std::uint64_t wal_records_ = 0;           ///< absolute count ever logged
   std::uint64_t recovered_wal_records_ = 0;
 
   std::uint64_t next_segment_seq_ = 0;

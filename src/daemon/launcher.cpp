@@ -90,48 +90,28 @@ Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Launch(
 
   // 2. Fork/exec the daemons. Each child adopts its own listen fd and closes
   //    its siblings' (a killed worker's port must refuse, not linger).
-  for (std::uint32_t i = 0; i < options.num_workers; ++i) {
-    std::vector<std::string> args;
-    args.push_back(options.vdbd_path);
-    args.push_back("--id=" + std::to_string(i));
-    args.push_back("--workers=" + std::to_string(options.num_workers));
-    if (options.num_shards != 0) {
-      args.push_back("--shards=" + std::to_string(options.num_shards));
-    }
-    args.push_back("--replication=" + std::to_string(options.replication));
-    args.push_back("--dim=" + std::to_string(options.dim));
-    args.push_back("--metric=" + options.metric);
-    args.push_back("--index=" + options.index_type);
-    args.push_back("--quantization=" + options.quantization);
-    args.push_back("--rerank=" + std::to_string(options.rerank));
-    args.push_back("--service-threads=" + std::to_string(options.service_threads));
-    args.push_back("--listen-fd=" + std::to_string(listen_fds[i]));
-    for (std::uint32_t j = 0; j < options.num_workers; ++j) {
-      if (j == i) continue;  // own endpoints resolve via self-loopback
-      args.push_back("--peer=" + std::to_string(j) + "=127.0.0.1:" +
-                     std::to_string(cluster->ports_[j]));
-    }
-
-    const pid_t pid = fork();
-    if (pid < 0) {
-      for (const int fd : listen_fds) ::close(fd);
-      return Status::IoError("fork(): " + std::string(std::strerror(errno)));
-    }
-    if (pid == 0) {
-      // Child: drop sibling listen sockets, then exec immediately.
-      for (std::uint32_t j = 0; j < options.num_workers; ++j) {
-        if (j != i) ::close(listen_fds[j]);
+  //    Deferred workers (i >= initial) are not forked: the parent keeps their
+  //    bound fds so the ports stay reserved — and, because the launcher holds
+  //    a *listening* socket, early peer connects wait instead of failing —
+  //    until StartWorker() hands each fd to its late-exec'd child.
+  const std::uint32_t initial =
+      options.initial_workers == 0
+          ? options.num_workers
+          : std::min(options.initial_workers, options.num_workers);
+  cluster->options_.initial_workers = initial;  // normalized for BuildWorkerArgs
+  cluster->pids_.assign(options.num_workers, -1);
+  cluster->pending_fds_ = listen_fds;
+  for (std::uint32_t i = 0; i < initial; ++i) {
+    const Status forked = cluster->ForkWorker(i, listen_fds);
+    if (!forked.ok()) {
+      for (const int fd : cluster->pending_fds_) {
+        if (fd >= 0) ::close(fd);
       }
-      std::vector<char*> argv;
-      argv.reserve(args.size() + 1);
-      for (auto& arg : args) argv.push_back(arg.data());
-      argv.push_back(nullptr);
-      execv(options.vdbd_path.c_str(), argv.data());
-      _exit(127);
+      return forked;
     }
-    cluster->pids_.push_back(pid);
+    ::close(listen_fds[i]);
+    cluster->pending_fds_[i] = -1;
   }
-  for (const int fd : listen_fds) ::close(fd);
 
   // 3. Client plane: one TcpTransport with routes to every worker.
   {
@@ -145,38 +125,111 @@ Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Launch(
     cluster->client_->AddRoute(WorkerLocalEndpoint(i), addr);
   }
 
+  // The frozen placement covers only the *initially started* workers: a
+  // deferred joiner owns nothing and receives no fan-out until a placement
+  // update (the migration cutover) includes it.
   const std::uint32_t shards =
-      options.num_shards == 0 ? options.num_workers : options.num_shards;
+      options.num_shards == 0 ? initial : options.num_shards;
   auto placement =
-      ShardPlacement::RoundRobin(shards, options.num_workers, options.replication);
+      ShardPlacement::RoundRobin(shards, initial, options.replication);
   if (!placement.ok()) return placement.status();
   cluster->placement_ = std::make_shared<const ShardPlacement>(std::move(*placement));
   cluster->router_ = std::make_unique<Router>(*cluster->client_, cluster->placement_);
 
-  // 4. Readiness: every worker must answer an Info RPC. Early connect
-  //    attempts fail fast (refused) and simply retry.
-  Stopwatch watch;
-  for (std::uint32_t i = 0; i < options.num_workers; ++i) {
-    while (true) {
-      const Message reply = cluster->client_->Call(
-          WorkerEndpoint(i), EncodeInfoRequest(InfoRequest{}));
-      if (MessageToStatus(reply).ok()) break;
-      if (watch.ElapsedSeconds() > options.ready_timeout_seconds) {
-        return Status::Unavailable("worker " + std::to_string(i) +
-                                   " not ready after " +
-                                   std::to_string(options.ready_timeout_seconds) +
-                                   "s: " + MessageToStatus(reply).message());
-      }
-      std::this_thread::sleep_for(std::chrono::milliseconds(25));
-    }
+  // 4. Readiness: every started worker must answer an Info RPC.
+  for (std::uint32_t i = 0; i < initial; ++i) {
+    const Status ready =
+        cluster->AwaitWorkerReady(i, options.ready_timeout_seconds);
+    if (!ready.ok()) return ready;
   }
   return cluster;
+}
+
+std::vector<std::string> ProcessCluster::BuildWorkerArgs(WorkerId id,
+                                                         int listen_fd) const {
+  std::vector<std::string> args;
+  args.push_back(options_.vdbd_path);
+  args.push_back("--id=" + std::to_string(id));
+  args.push_back("--workers=" + std::to_string(options_.initial_workers));
+  if (options_.num_shards != 0) {
+    args.push_back("--shards=" + std::to_string(options_.num_shards));
+  }
+  args.push_back("--replication=" + std::to_string(options_.replication));
+  args.push_back("--dim=" + std::to_string(options_.dim));
+  args.push_back("--metric=" + options_.metric);
+  args.push_back("--index=" + options_.index_type);
+  args.push_back("--quantization=" + options_.quantization);
+  args.push_back("--rerank=" + std::to_string(options_.rerank));
+  args.push_back("--service-threads=" + std::to_string(options_.service_threads));
+  args.push_back("--listen-fd=" + std::to_string(listen_fd));
+  for (std::uint32_t j = 0; j < options_.num_workers; ++j) {
+    if (j == id) continue;  // own endpoints resolve via self-loopback
+    args.push_back("--peer=" + std::to_string(j) + "=127.0.0.1:" +
+                   std::to_string(ports_[j]));
+  }
+  return args;
+}
+
+Status ProcessCluster::ForkWorker(WorkerId id, const std::vector<int>& listen_fds) {
+  std::vector<std::string> args = BuildWorkerArgs(id, listen_fds[id]);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    return Status::IoError("fork(): " + std::string(std::strerror(errno)));
+  }
+  if (pid == 0) {
+    // Child: drop every other live listen socket, then exec immediately.
+    for (std::size_t j = 0; j < listen_fds.size(); ++j) {
+      if (j != id && listen_fds[j] >= 0) ::close(listen_fds[j]);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    execv(options_.vdbd_path.c_str(), argv.data());
+    _exit(127);
+  }
+  pids_[id] = pid;
+  return Status::Ok();
+}
+
+Status ProcessCluster::AwaitWorkerReady(WorkerId id, double timeout_seconds) {
+  Stopwatch watch;
+  while (true) {
+    const Message reply =
+        client_->Call(WorkerEndpoint(id), EncodeInfoRequest(InfoRequest{}));
+    if (MessageToStatus(reply).ok()) return Status::Ok();
+    if (watch.ElapsedSeconds() > timeout_seconds) {
+      return Status::Unavailable("worker " + std::to_string(id) +
+                                 " not ready after " +
+                                 std::to_string(timeout_seconds) + "s: " +
+                                 MessageToStatus(reply).message());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+}
+
+Status ProcessCluster::StartWorker(WorkerId id) {
+  if (id >= pids_.size()) return Status::OutOfRange("worker id beyond cluster");
+  if (pids_[id] > 0) return Status::AlreadyExists("worker already running");
+  if (id >= pending_fds_.size() || pending_fds_[id] < 0) {
+    return Status::FailedPrecondition(
+        "worker " + std::to_string(id) +
+        " has no pre-bound listen socket (already started once?)");
+  }
+  VDB_RETURN_IF_ERROR(ForkWorker(id, pending_fds_));
+  ::close(pending_fds_[id]);
+  pending_fds_[id] = -1;
+  return AwaitWorkerReady(id, options_.ready_timeout_seconds);
 }
 
 ProcessCluster::~ProcessCluster() {
   // Drop the client first so no RPCs are in flight while workers exit.
   router_.reset();
   client_.reset();
+  for (int& fd : pending_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
   for (pid_t& pid : pids_) {
     if (pid <= 0) continue;
     kill(pid, SIGTERM);

@@ -41,6 +41,13 @@ struct ProcessClusterOptions {
   std::size_t service_threads = 2;
   /// How long Launch waits for every worker to answer an Info RPC.
   double ready_timeout_seconds = 60.0;
+  /// Workers forked at Launch (0 = all). The rest are *deferred* joiners:
+  /// their ports are bound and advertised to every peer up front (the
+  /// pre-bound-fd handoff makes a route to a not-yet-started worker valid —
+  /// TCP connects just wait), and StartWorker() execs them later. This is the
+  /// process-level worker-join primitive the elasticity tests grow a cluster
+  /// with.
+  std::uint32_t initial_workers = 0;
 };
 
 class ProcessCluster {
@@ -68,12 +75,29 @@ class ProcessCluster {
   /// reaps it. The port starts refusing connections once the process dies.
   Status KillWorker(WorkerId id, int sig);
 
+  /// Forks/execs a deferred worker (see ProcessClusterOptions::initial_workers)
+  /// on its pre-bound port and waits until it answers an Info RPC. The joiner
+  /// starts with the *launch-time* placement, under which it owns nothing; a
+  /// later UpdatePlacement RPC (the migration cutover) gives it shards.
+  Status StartWorker(WorkerId id);
+
  private:
   ProcessCluster() = default;
 
+  /// argv for worker `id` (shared by Launch and StartWorker).
+  std::vector<std::string> BuildWorkerArgs(WorkerId id, int listen_fd) const;
+
+  /// Forks/execs worker `id` on `listen_fds` (closing every *other* live fd
+  /// in the child). Records the pid.
+  Status ForkWorker(WorkerId id, const std::vector<int>& listen_fds);
+
+  /// Polls worker `id` with Info RPCs until ready or `timeout_seconds`.
+  Status AwaitWorkerReady(WorkerId id, double timeout_seconds);
+
   ProcessClusterOptions options_;
-  std::vector<pid_t> pids_;             ///< -1 once killed/reaped
+  std::vector<pid_t> pids_;             ///< -1 once killed/reaped or not yet started
   std::vector<std::uint16_t> ports_;
+  std::vector<int> pending_fds_;        ///< deferred workers' listen fds (-1 = consumed)
   std::unique_ptr<TcpTransport> client_;
   std::shared_ptr<const ShardPlacement> placement_;
   std::unique_ptr<Router> router_;

@@ -75,9 +75,9 @@ Result<VdbdOptions> ParseVdbdArgs(int argc, const char* const* argv) {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
   }
-  if (options.id >= options.num_workers) {
-    return Status::InvalidArgument("--id must be < --workers");
-  }
+  // id >= workers is legal: a late-joining worker starts under a placement
+  // that does not include it (it owns nothing) and receives shards via a
+  // later UpdatePlacement RPC.
   return options;
 }
 

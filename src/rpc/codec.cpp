@@ -364,12 +364,36 @@ Message EncodeTransferShard(ShardId shard, std::span<const PointRecord> points) 
                           });
 }
 
+Message EncodeSnapshotPage(ShardId shard, std::span<const PointRecord> points) {
+  return EncodePointBatch(MessageType::kSnapshotStreamResponse, shard,
+                          points.size(),
+                          [&](std::size_t i) -> const PointRecord& {
+                            return points[i];
+                          });
+}
+
+Message EncodeMigrationChunk(ShardId shard, std::span<const PointRecord> points) {
+  return EncodePointBatch(MessageType::kMigrationChunkRequest, shard,
+                          points.size(),
+                          [&](std::size_t i) -> const PointRecord& {
+                            return points[i];
+                          });
+}
+
 Result<UpsertBatchView> DecodeUpsertBatchView(const Message& msg) {
   return DecodePointBatch(msg, MessageType::kUpsertBatchRequest);
 }
 
 Result<TransferShardView> DecodeTransferShardView(const Message& msg) {
   return DecodePointBatch(msg, MessageType::kTransferShardRequest);
+}
+
+Result<SnapshotPageView> DecodeSnapshotPageView(const Message& msg) {
+  return DecodePointBatch(msg, MessageType::kSnapshotStreamResponse);
+}
+
+Result<MigrationChunkView> DecodeMigrationChunkView(const Message& msg) {
+  return DecodePointBatch(msg, MessageType::kMigrationChunkRequest);
 }
 
 // ---- Search request wire layout -------------------------------------------
@@ -869,6 +893,283 @@ Result<TransferShardResponse> DecodeTransferShardResponse(const Message& msg) {
   Reader r(msg.body.data(), msg.body.size());
   TransferShardResponse resp;
   VDB_ASSIGN_OR_RETURN(resp.received, r.U64());
+  return resp;
+}
+
+// ---- Elasticity plane (eager control messages) ----------------------------
+
+Message EncodeSnapshotStreamRequest(const SnapshotStreamRequest& req) {
+  Message msg = NewMessage(MessageType::kSnapshotStreamRequest, 17);
+  BodyWriter w(msg);
+  w.U32(req.shard);
+  w.U8(req.has_from ? 1 : 0);
+  w.U64(req.from);
+  w.U32(req.limit);
+  return msg;
+}
+
+Result<SnapshotStreamRequest> DecodeSnapshotStreamRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kSnapshotStreamRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  SnapshotStreamRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t has_from, r.U8());
+  req.has_from = has_from != 0;
+  VDB_ASSIGN_OR_RETURN(req.from, r.U64());
+  VDB_ASSIGN_OR_RETURN(req.limit, r.U32());
+  return req;
+}
+
+Message EncodeMigrationBeginRequest(const MigrationBeginRequest& req) {
+  Message msg = NewMessage(MessageType::kMigrationBeginRequest, 4);
+  BodyWriter w(msg);
+  w.U32(req.shard);
+  return msg;
+}
+
+Result<MigrationBeginRequest> DecodeMigrationBeginRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationBeginRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationBeginRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  return req;
+}
+
+Message EncodeMigrationBeginResponse(const MigrationBeginResponse& resp) {
+  Message msg = NewMessage(MessageType::kMigrationBeginResponse, 1);
+  BodyWriter w(msg);
+  w.U8(resp.started ? 1 : 0);
+  return msg;
+}
+
+Result<MigrationBeginResponse> DecodeMigrationBeginResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationBeginResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationBeginResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t started, r.U8());
+  resp.started = started != 0;
+  return resp;
+}
+
+Message EncodeMigrationChunkResponse(const MigrationChunkResponse& resp) {
+  Message msg = NewMessage(MessageType::kMigrationChunkResponse, 8);
+  BodyWriter w(msg);
+  w.U32(resp.applied);
+  w.U32(resp.skipped);
+  return msg;
+}
+
+Result<MigrationChunkResponse> DecodeMigrationChunkResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationChunkResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationChunkResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.applied, r.U32());
+  VDB_ASSIGN_OR_RETURN(resp.skipped, r.U32());
+  return resp;
+}
+
+Message EncodeMigrationCommitRequest(const MigrationCommitRequest& req) {
+  Message msg = NewMessage(MessageType::kMigrationCommitRequest, 4);
+  BodyWriter w(msg);
+  w.U32(req.shard);
+  return msg;
+}
+
+Result<MigrationCommitRequest> DecodeMigrationCommitRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationCommitRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationCommitRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  return req;
+}
+
+Message EncodeMigrationCommitResponse(const MigrationCommitResponse& resp) {
+  Message msg = NewMessage(MessageType::kMigrationCommitResponse, 8);
+  BodyWriter w(msg);
+  w.U64(resp.points);
+  return msg;
+}
+
+Result<MigrationCommitResponse> DecodeMigrationCommitResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationCommitResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationCommitResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.points, r.U64());
+  return resp;
+}
+
+Message EncodeMigrationAbortRequest(const MigrationAbortRequest& req) {
+  Message msg = NewMessage(MessageType::kMigrationAbortRequest, 4);
+  BodyWriter w(msg);
+  w.U32(req.shard);
+  return msg;
+}
+
+Result<MigrationAbortRequest> DecodeMigrationAbortRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationAbortRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationAbortRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  return req;
+}
+
+Message EncodeMigrationAbortResponse(const MigrationAbortResponse& resp) {
+  Message msg = NewMessage(MessageType::kMigrationAbortResponse, 1);
+  BodyWriter w(msg);
+  w.U8(resp.aborted ? 1 : 0);
+  return msg;
+}
+
+Result<MigrationAbortResponse> DecodeMigrationAbortResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationAbortResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationAbortResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t aborted, r.U8());
+  resp.aborted = aborted != 0;
+  return resp;
+}
+
+Message EncodeDropShardRequest(const DropShardRequest& req) {
+  Message msg = NewMessage(MessageType::kDropShardRequest, 4);
+  BodyWriter w(msg);
+  w.U32(req.shard);
+  return msg;
+}
+
+Result<DropShardRequest> DecodeDropShardRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kDropShardRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  DropShardRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  return req;
+}
+
+Message EncodeDropShardResponse(const DropShardResponse& resp) {
+  Message msg = NewMessage(MessageType::kDropShardResponse, 1);
+  BodyWriter w(msg);
+  w.U8(resp.dropped ? 1 : 0);
+  return msg;
+}
+
+Result<DropShardResponse> DecodeDropShardResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kDropShardResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  DropShardResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t dropped, r.U8());
+  resp.dropped = dropped != 0;
+  return resp;
+}
+
+Message EncodeWalTailRequest(const WalTailRequest& req) {
+  Message msg = NewMessage(MessageType::kWalTailRequest, 16);
+  BodyWriter w(msg);
+  w.U32(req.shard);
+  w.U64(req.from_record);
+  w.U32(req.max_records);
+  return msg;
+}
+
+Result<WalTailRequest> DecodeWalTailRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kWalTailRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  WalTailRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  VDB_ASSIGN_OR_RETURN(req.from_record, r.U64());
+  VDB_ASSIGN_OR_RETURN(req.max_records, r.U32());
+  return req;
+}
+
+Message EncodeWalTailResponse(const WalTailResponse& resp) {
+  std::size_t total = 8 + 8 + 4;
+  for (const auto& record : resp.records) {
+    total += 1 + 4 + record.payload.size();
+  }
+  Message msg = NewMessage(MessageType::kWalTailResponse, total);
+  BodyWriter w(msg);
+  w.U64(resp.total_records);
+  w.U64(resp.next_record);
+  w.U32(static_cast<std::uint32_t>(resp.records.size()));
+  for (const auto& record : resp.records) {
+    w.U8(record.type);
+    w.U32(static_cast<std::uint32_t>(record.payload.size()));
+    w.Bytes(record.payload.data(), record.payload.size());
+  }
+  NoteEncoded(msg);
+  return msg;
+}
+
+Result<WalTailResponse> DecodeWalTailResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kWalTailResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  WalTailResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.total_records, r.U64());
+  VDB_ASSIGN_OR_RETURN(resp.next_record, r.U64());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+  resp.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WalTailRecord record;
+    VDB_ASSIGN_OR_RETURN(record.type, r.U8());
+    VDB_ASSIGN_OR_RETURN(const std::string bytes, r.Str());
+    record.payload.assign(bytes.begin(), bytes.end());
+    resp.records.push_back(std::move(record));
+  }
+  NoteDecoded(msg);
+  return resp;
+}
+
+Message EncodePlacementUpdate(const PlacementUpdate& update) {
+  std::size_t total = 4 + 4 + 4;
+  for (const auto& replicas : update.replicas) {
+    total += 4 + replicas.size() * 4;
+  }
+  Message msg = NewMessage(MessageType::kUpdatePlacementRequest, total);
+  BodyWriter w(msg);
+  w.U32(update.num_workers);
+  w.U32(update.replication);
+  w.U32(static_cast<std::uint32_t>(update.replicas.size()));
+  for (const auto& replicas : update.replicas) {
+    w.U32(static_cast<std::uint32_t>(replicas.size()));
+    for (const WorkerId worker : replicas) w.U32(worker);
+  }
+  NoteEncoded(msg);
+  return msg;
+}
+
+Result<PlacementUpdate> DecodePlacementUpdate(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kUpdatePlacementRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  PlacementUpdate update;
+  VDB_ASSIGN_OR_RETURN(update.num_workers, r.U32());
+  VDB_ASSIGN_OR_RETURN(update.replication, r.U32());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t shards, r.U32());
+  update.replicas.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+    std::vector<WorkerId> replicas;
+    replicas.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      VDB_ASSIGN_OR_RETURN(const WorkerId worker, r.U32());
+      replicas.push_back(worker);
+    }
+    update.replicas.push_back(std::move(replicas));
+  }
+  NoteDecoded(msg);
+  return update;
+}
+
+Message EncodeUpdatePlacementResponse(const UpdatePlacementResponse& resp) {
+  Message msg = NewMessage(MessageType::kUpdatePlacementResponse, 1);
+  BodyWriter w(msg);
+  w.U8(resp.updated ? 1 : 0);
+  return msg;
+}
+
+Result<UpdatePlacementResponse> DecodeUpdatePlacementResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kUpdatePlacementResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  UpdatePlacementResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t updated, r.U8());
+  resp.updated = updated != 0;
   return resp;
 }
 

@@ -52,6 +52,23 @@ enum class MessageType : std::uint8_t {
   kTransferShardResponse = 15,
   kSearchBatchRequest = 16,
   kSearchBatchResponse = 17,
+  // Elasticity plane (snapshot streaming, live migration, replica catch-up).
+  kSnapshotStreamRequest = 18,
+  kSnapshotStreamResponse = 19,
+  kMigrationBeginRequest = 20,
+  kMigrationBeginResponse = 21,
+  kMigrationChunkRequest = 22,
+  kMigrationChunkResponse = 23,
+  kMigrationCommitRequest = 24,
+  kMigrationCommitResponse = 25,
+  kMigrationAbortRequest = 26,
+  kMigrationAbortResponse = 27,
+  kDropShardRequest = 28,
+  kDropShardResponse = 29,
+  kWalTailRequest = 30,
+  kWalTailResponse = 31,
+  kUpdatePlacementRequest = 32,
+  kUpdatePlacementResponse = 33,
 };
 
 /// Opaque framed message. Copying shares the pooled body slab (refcount
@@ -171,6 +188,92 @@ struct ErrorResponse {
   std::string message;
 };
 
+// ---- Elasticity plane -----------------------------------------------------
+//
+// Snapshot streaming pages a shard's live points in ascending id order (the
+// collection Scroll API on the wire); the migration messages drive the live
+// shard handoff state machine (DESIGN.md "Elasticity"); the WAL tail carries
+// raw log records for replica catch-up; the placement update installs a new
+// shard table on a running worker (the cutover step).
+
+struct SnapshotStreamRequest {
+  ShardId shard = 0;
+  /// Resume cursor: ids >= from (when has_from) — pass the previous page's
+  /// last id + 1. A page shorter than `limit` means the stream is exhausted.
+  bool has_from = false;
+  PointId from = 0;
+  std::uint32_t limit = 256;
+};
+// The response body is a point batch (kSnapshotStreamResponse); decode with
+// DecodeSnapshotPageView below.
+
+struct MigrationBeginRequest {
+  ShardId shard = 0;
+};
+
+struct MigrationBeginResponse {
+  bool started = false;
+};
+
+// kMigrationChunkRequest carries a point batch; the destination skips ids it
+// already saw via a client write during the copy window (dual-apply rule).
+struct MigrationChunkResponse {
+  std::uint32_t applied = 0;
+  std::uint32_t skipped = 0;
+};
+
+struct MigrationCommitRequest {
+  ShardId shard = 0;
+};
+
+struct MigrationCommitResponse {
+  std::uint64_t points = 0;  ///< destination's live count at commit
+};
+
+struct MigrationAbortRequest {
+  ShardId shard = 0;
+};
+
+struct MigrationAbortResponse {
+  bool aborted = false;
+};
+
+struct DropShardRequest {
+  ShardId shard = 0;
+};
+
+struct DropShardResponse {
+  bool dropped = false;
+};
+
+struct WalTailRequest {
+  ShardId shard = 0;
+  std::uint64_t from_record = 0;  ///< absolute record index cursor
+  std::uint32_t max_records = 0;  ///< 0 = cursor/total only
+};
+
+struct WalTailRecord {
+  std::uint8_t type = 0;  ///< WalRecordType on the storage side
+  std::vector<std::uint8_t> payload;
+};
+
+struct WalTailResponse {
+  std::uint64_t total_records = 0;  ///< source's record count at read time
+  std::uint64_t next_record = 0;    ///< cursor for the next request
+  std::vector<WalTailRecord> records;
+};
+
+/// Full replica table for a placement swap on a live worker (cutover).
+struct PlacementUpdate {
+  std::uint32_t num_workers = 0;
+  std::uint32_t replication = 1;
+  std::vector<std::vector<WorkerId>> replicas;  ///< replicas[shard]
+};
+
+struct UpdatePlacementResponse {
+  bool updated = false;
+};
+
 // ---- Zero-copy views ------------------------------------------------------
 //
 // A view object holds a refcount on the message body, so the spans it hands
@@ -213,6 +316,8 @@ class PointBatchView {
 
 using UpsertBatchView = PointBatchView;
 using TransferShardView = PointBatchView;
+using SnapshotPageView = PointBatchView;
+using MigrationChunkView = PointBatchView;
 
 /// Decoded view of a single search request; `query()` points into the body.
 class SearchRequestView {
@@ -276,9 +381,13 @@ Message EncodeUpsertBatch(ShardId shard, std::span<const PointRecord> points);
 Message EncodeUpsertBatch(ShardId shard, std::span<const PointRecord> points,
                           std::span<const std::uint32_t> indices);
 Message EncodeTransferShard(ShardId shard, std::span<const PointRecord> points);
+Message EncodeSnapshotPage(ShardId shard, std::span<const PointRecord> points);
+Message EncodeMigrationChunk(ShardId shard, std::span<const PointRecord> points);
 
 Result<UpsertBatchView> DecodeUpsertBatchView(const Message& msg);
 Result<TransferShardView> DecodeTransferShardView(const Message& msg);
+Result<SnapshotPageView> DecodeSnapshotPageView(const Message& msg);
+Result<MigrationChunkView> DecodeMigrationChunkView(const Message& msg);
 
 Message EncodeSearch(VectorView query, const SearchParams& params, bool fan_out,
                      bool allow_partial, const Filter& filter,
@@ -339,6 +448,48 @@ Result<TransferShardRequest> DecodeTransferShardRequest(const Message& msg);
 
 Message EncodeTransferShardResponse(const TransferShardResponse& resp);
 Result<TransferShardResponse> DecodeTransferShardResponse(const Message& msg);
+
+Message EncodeSnapshotStreamRequest(const SnapshotStreamRequest& req);
+Result<SnapshotStreamRequest> DecodeSnapshotStreamRequest(const Message& msg);
+
+Message EncodeMigrationBeginRequest(const MigrationBeginRequest& req);
+Result<MigrationBeginRequest> DecodeMigrationBeginRequest(const Message& msg);
+
+Message EncodeMigrationBeginResponse(const MigrationBeginResponse& resp);
+Result<MigrationBeginResponse> DecodeMigrationBeginResponse(const Message& msg);
+
+Message EncodeMigrationChunkResponse(const MigrationChunkResponse& resp);
+Result<MigrationChunkResponse> DecodeMigrationChunkResponse(const Message& msg);
+
+Message EncodeMigrationCommitRequest(const MigrationCommitRequest& req);
+Result<MigrationCommitRequest> DecodeMigrationCommitRequest(const Message& msg);
+
+Message EncodeMigrationCommitResponse(const MigrationCommitResponse& resp);
+Result<MigrationCommitResponse> DecodeMigrationCommitResponse(const Message& msg);
+
+Message EncodeMigrationAbortRequest(const MigrationAbortRequest& req);
+Result<MigrationAbortRequest> DecodeMigrationAbortRequest(const Message& msg);
+
+Message EncodeMigrationAbortResponse(const MigrationAbortResponse& resp);
+Result<MigrationAbortResponse> DecodeMigrationAbortResponse(const Message& msg);
+
+Message EncodeDropShardRequest(const DropShardRequest& req);
+Result<DropShardRequest> DecodeDropShardRequest(const Message& msg);
+
+Message EncodeDropShardResponse(const DropShardResponse& resp);
+Result<DropShardResponse> DecodeDropShardResponse(const Message& msg);
+
+Message EncodeWalTailRequest(const WalTailRequest& req);
+Result<WalTailRequest> DecodeWalTailRequest(const Message& msg);
+
+Message EncodeWalTailResponse(const WalTailResponse& resp);
+Result<WalTailResponse> DecodeWalTailResponse(const Message& msg);
+
+Message EncodePlacementUpdate(const PlacementUpdate& update);
+Result<PlacementUpdate> DecodePlacementUpdate(const Message& msg);
+
+Message EncodeUpdatePlacementResponse(const UpdatePlacementResponse& resp);
+Result<UpdatePlacementResponse> DecodeUpdatePlacementResponse(const Message& msg);
 
 Message EncodeErrorResponse(const Status& status);
 Result<ErrorResponse> DecodeErrorResponse(const Message& msg);

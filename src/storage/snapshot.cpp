@@ -14,6 +14,15 @@ Status WriteManifest(const std::filesystem::path& path,
   body << "dim=" << manifest.dim << "\n";
   body << "metric=" << manifest.metric << "\n";
   body << "wal_records_applied=" << manifest.wal_records_applied << "\n";
+  if (!manifest.wal_file.empty()) {
+    body << "wal_file=" << manifest.wal_file << "\n";
+  }
+  if (manifest.wal_start_record != 0) {
+    body << "wal_start_record=" << manifest.wal_start_record << "\n";
+  }
+  if (manifest.wal_applied_offset != 0) {
+    body << "wal_applied_offset=" << manifest.wal_applied_offset << "\n";
+  }
   if (!manifest.hnsw_graph_file.empty()) {
     body << "hnsw_graph=" << manifest.hnsw_graph_file << "\n";
   }
@@ -67,6 +76,12 @@ Result<SnapshotManifest> ReadManifest(const std::filesystem::path& path) {
       manifest.metric = value;
     } else if (key == "wal_records_applied") {
       manifest.wal_records_applied = std::stoull(value);
+    } else if (key == "wal_file") {
+      manifest.wal_file = value;
+    } else if (key == "wal_start_record") {
+      manifest.wal_start_record = std::stoull(value);
+    } else if (key == "wal_applied_offset") {
+      manifest.wal_applied_offset = std::stoull(value);
     } else if (key == "hnsw_graph") {
       manifest.hnsw_graph_file = value;
     } else if (key == "sq8_codes") {

@@ -19,7 +19,19 @@ struct SnapshotManifest {
   std::uint32_t dim = 0;
   std::string metric = "cosine";
   std::vector<std::string> segment_files;  ///< relative to the manifest directory
-  std::uint64_t wal_records_applied = 0;   ///< replay may skip this many records
+  std::uint64_t wal_records_applied = 0;   ///< absolute count covered by segments
+  /// Active WAL file at snapshot time (relative to the manifest directory).
+  /// Empty means the legacy default "wal.log". Flushes that truncate the log
+  /// rotate to a fresh file and name it here; older wal files are then dead.
+  std::string wal_file;
+  /// Absolute index of the first record stored in `wal_file`. Records
+  /// [0, wal_start_record) lived in rotated-away predecessors and are fully
+  /// covered by the segment files above.
+  std::uint64_t wal_start_record = 0;
+  /// Byte offset into `wal_file` of the first record NOT covered by the
+  /// segment files. Recovery seeks here and applies everything after —
+  /// restart cost is proportional to the uncovered tail, not total writes.
+  std::uint64_t wal_applied_offset = 0;
   /// Serialized HNSW graph covering the flushed points (empty = none). Only
   /// written when the flush happened with zero tombstones, so recovered store
   /// offsets are guaranteed to match the graph's.

@@ -72,6 +72,7 @@ Result<PointId> DecodeDeletePayload(const std::vector<std::uint8_t>& payload) {
 
 WalWriter::WalWriter(WalWriter&& other) noexcept
     : out_(std::move(other.out_)),
+      start_offset_(std::exchange(other.start_offset_, 0)),
       bytes_written_(std::exchange(other.bytes_written_, 0)),
       pending_bytes_(std::exchange(other.pending_bytes_, 0)) {}
 
@@ -79,6 +80,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
   if (this != &other) {
     ReleasePending();
     out_ = std::move(other.out_);
+    start_offset_ = std::exchange(other.start_offset_, 0);
     bytes_written_ = std::exchange(other.bytes_written_, 0);
     pending_bytes_ = std::exchange(other.pending_bytes_, 0);
   }
@@ -95,9 +97,15 @@ void WalWriter::ReleasePending() {
   }
 }
 
-Result<WalWriter> WalWriter::Open(const std::filesystem::path& path) {
+Result<WalWriter> WalWriter::Open(const std::filesystem::path& path, bool truncate) {
   WalWriter writer;
-  writer.out_.open(path, std::ios::binary | std::ios::app);
+  if (!truncate) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    writer.start_offset_ = ec ? 0 : size;
+  }
+  writer.out_.open(path, std::ios::binary |
+                             (truncate ? std::ios::trunc : std::ios::app));
   if (!writer.out_.is_open()) {
     return Status::IoError("cannot open WAL at " + path.string());
   }
@@ -154,11 +162,17 @@ Status WalWriter::Sync() {
 
 Result<std::size_t> WalReader::Replay(
     const std::filesystem::path& path,
-    const std::function<Status(const WalRecord&)>& visit) {
+    const std::function<Status(const WalRecord&)>& visit,
+    std::uint64_t start_offset) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     // A missing WAL is an empty WAL (fresh worker).
     return static_cast<std::size_t>(0);
+  }
+  if (start_offset != 0) {
+    in.seekg(static_cast<std::streamoff>(start_offset));
+    // An offset at/past EOF means the covered prefix is the whole file.
+    if (!in.good()) return static_cast<std::size_t>(0);
   }
   std::size_t count = 0;
   bool saw_torn = false;

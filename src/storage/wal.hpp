@@ -42,8 +42,11 @@ Result<PointId> DecodeDeletePayload(const std::vector<std::uint8_t>& payload);
 /// writer under their write lock).
 class WalWriter {
  public:
-  /// Opens (creating or appending) the log at `path`.
-  static Result<WalWriter> Open(const std::filesystem::path& path);
+  /// Opens (creating or appending) the log at `path`. With `truncate` the
+  /// file starts empty — used when a flush rotates to a fresh log after the
+  /// covered prefix has been sealed into segments.
+  static Result<WalWriter> Open(const std::filesystem::path& path,
+                                bool truncate = false);
 
   // Custom moves/destructor: pending (appended-but-unsynced) bytes feed the
   // `storage.wal_pending_bytes` gauge, and ownership of that contribution
@@ -62,6 +65,11 @@ class WalWriter {
 
   std::uint64_t BytesWritten() const { return bytes_written_; }
 
+  /// Byte offset one past the last appended record: pre-existing file size at
+  /// open plus everything appended since. This is the value a manifest's
+  /// `wal_applied_offset` records when a flush covers every logged record.
+  std::uint64_t EndOffset() const { return start_offset_ + bytes_written_; }
+
   /// Bytes appended since the last Sync() (durability exposure window).
   std::uint64_t PendingBytes() const { return pending_bytes_; }
 
@@ -70,6 +78,7 @@ class WalWriter {
   void ReleasePending();
 
   std::ofstream out_;
+  std::uint64_t start_offset_ = 0;  ///< file size at open (append mode)
   std::uint64_t bytes_written_ = 0;
   std::uint64_t pending_bytes_ = 0;
 };
@@ -80,9 +89,13 @@ class WalReader {
   /// Reads every intact record, invoking `visit` in order. Returns the count
   /// of records visited. A torn/corrupt tail terminates replay silently; a
   /// corrupt record *followed by* valid data is reported as kCorruption.
+  /// `start_offset` seeks past a prefix already covered by flushed segments
+  /// (it must land on a record boundary — a manifest's `wal_applied_offset`);
+  /// an offset at or past EOF replays nothing.
   static Result<std::size_t> Replay(
       const std::filesystem::path& path,
-      const std::function<Status(const WalRecord&)>& visit);
+      const std::function<Status(const WalRecord&)>& visit,
+      std::uint64_t start_offset = 0);
 };
 
 }  // namespace vdb

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "cluster/cluster.hpp"
 #include "test_util.hpp"
 
@@ -139,6 +142,98 @@ TEST(FailoverTest, DurableWorkerRecoversDataAfterRestart) {
   auto total = (*cluster)->GetRouter().TotalPoints();
   ASSERT_TRUE(total.ok());
   EXPECT_EQ(*total, 80u);
+}
+
+// Seeded faulted-bootstrap sweep: while a new replica bootstraps, the
+// transport path to the snapshot source drops, refuses, or delays calls
+// (deterministic per seed). The invariant under every schedule: AddReplica
+// either completes the full snapshot + WAL-tail catch-up, or the joiner is
+// rejected — placement rolled back, ReplicaHealth still DOWN — and is never
+// admitted holding partial state. Afterwards (faults cleared) the cluster
+// serves every acked point either way.
+TEST(FailoverTest, SeededFaultedBootstrapNeverAdmitsPartialReplica) {
+  std::size_t admitted = 0;
+  std::size_t rejected = 0;
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    vdb::testing::TempDir dir("faulted_bootstrap_" + std::to_string(seed));
+    ClusterConfig config = SmallCluster(2);
+    config.num_shards = 2;
+    config.collection_template.index.type = "flat";
+    config.collection_template.data_dir = dir.Path();  // bootstrap needs a WAL
+    auto cluster = LocalCluster::Start(config);
+    ASSERT_TRUE(cluster.ok());
+    const auto points = RandomPoints(120, /*seed=*/400 + seed);
+    ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+
+    const ShardId shard = 0;
+    const WorkerId source = (*cluster)->Placement().PrimaryOf(shard);
+    const std::uint64_t shard_points =
+        (*cluster)->GetWorker(source).ShardForTest(shard)->Info().live_points;
+    auto joiner = (*cluster)->AddWorker();
+    ASSERT_TRUE(joiner.ok());
+    const WorkerId dest = *joiner;
+    EXPECT_FALSE((*cluster)->Health().IsUp(dest));
+
+    // Fault the snapshot-stream path (every RPC to the source): the kind
+    // rotates with the seed so drops, refusals, and delays all get coverage.
+    auto plan = std::make_shared<faults::FaultPlan>(seed);
+    faults::FaultRule rule;
+    rule.site_prefix = "rpc/worker/" + std::to_string(source);
+    rule.match_exact = true;
+    rule.kind = seed % 3 == 0   ? faults::FaultKind::kDrop
+                : seed % 3 == 1 ? faults::FaultKind::kFail
+                                : faults::FaultKind::kDelay;
+    rule.probability = 0.35;
+    rule.delay_mean_seconds = 0.01;  // drop: time-to-timeout; delay: stall
+    rule.max_triggers_per_site = 4;
+    plan->AddRule(rule);
+    (*cluster)->InstallFaultPlan(plan);
+
+    MigrationOptions options;
+    options.page_points = 8;  // many pages → many chances to hit a fault
+    (*cluster)->SetMigrationOptions(options);
+    auto result = (*cluster)->AddReplica(shard, source, dest);
+
+    (*cluster)->InstallFaultPlan(nullptr);
+    const auto& replicas = (*cluster)->Placement().ReplicasOf(shard);
+    const bool in_placement =
+        std::find(replicas.begin(), replicas.end(), dest) != replicas.end();
+    if (result.ok()) {
+      ++admitted;
+      EXPECT_TRUE((*cluster)->Health().IsUp(dest));
+      EXPECT_TRUE(in_placement);
+      // A caught-up replica is a full copy of the source shard.
+      const auto* source_shard = (*cluster)->GetWorker(source).ShardForTest(shard);
+      const auto* dest_shard = (*cluster)->GetWorker(dest).ShardForTest(shard);
+      ASSERT_NE(source_shard, nullptr);
+      ASSERT_NE(dest_shard, nullptr);
+      EXPECT_EQ(dest_shard->Info().live_points, source_shard->Info().live_points);
+    } else {
+      ++rejected;
+      // Never admitted with partial state: health DOWN, placement rolled back.
+      EXPECT_FALSE((*cluster)->Health().IsUp(dest));
+      EXPECT_FALSE(in_placement);
+      EXPECT_FALSE((*cluster)->GetWorker(dest).IsMigratingIn(shard));
+    }
+
+    // Either outcome, the cluster still answers exactly (faults cleared).
+    // TotalPoints sums held copies, so an admitted replica adds the shard's
+    // points once more; search stays deduplicated either way.
+    auto total = (*cluster)->GetRouter().TotalPoints();
+    ASSERT_TRUE(total.ok()) << total.status().message();
+    EXPECT_EQ(*total, result.ok() ? 120u + shard_points : 120u);
+    SearchParams params;
+    params.k = 1;
+    for (std::size_t i = 0; i < 120; i += 30) {
+      auto hits = (*cluster)->GetRouter().Search(points[i].vector, params);
+      ASSERT_TRUE(hits.ok()) << hits.status().message();
+      EXPECT_EQ((*hits)[0].id, points[i].id);
+    }
+  }
+  // The sweep must exercise both outcomes, or the fault pressure is mistuned.
+  EXPECT_GT(admitted, 0u);
+  EXPECT_GT(rejected, 0u);
 }
 
 }  // namespace

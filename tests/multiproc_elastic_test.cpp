@@ -1,0 +1,167 @@
+// Multi-process elasticity smoke: a cluster of real vdbd processes grows by
+// one worker (pre-bound-fd deferred join), then a live shard migration runs
+// entirely over the client's TcpTransport — MigrationBegin/Chunk/Commit on
+// the wire, cutover as an UpdatePlacement broadcast. A second test SIGKILLs
+// the joiner mid-copy and proves the source stays authoritative with every
+// acked point intact.
+//
+// The vdbd binary path is injected at compile time (VDB_VDBD_PATH).
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/migration.hpp"
+#include "common/rng.hpp"
+#include "daemon/launcher.hpp"
+#include "rpc/codec.hpp"
+
+namespace vdb {
+namespace {
+
+using daemon::ProcessCluster;
+using daemon::ProcessClusterOptions;
+
+constexpr std::size_t kDim = 8;
+
+std::vector<PointRecord> RandomPoints(std::size_t count, std::uint64_t seed = 73) {
+  Rng rng(seed);
+  std::vector<PointRecord> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    PointRecord record;
+    record.id = i;
+    record.vector.resize(kDim);
+    for (auto& x : record.vector) x = static_cast<Scalar>(rng.NextGaussian());
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+ProcessClusterOptions OnePlusOneDeferred() {
+  ProcessClusterOptions options;
+  options.vdbd_path = VDB_VDBD_PATH;
+  options.num_workers = 2;
+  options.initial_workers = 1;  // worker 1 joins later via StartWorker
+  options.num_shards = 2;
+  options.dim = kDim;
+  options.metric = "cosine";
+  options.index_type = "flat";
+  return options;
+}
+
+/// Installs `next` on every running worker (UpdatePlacement RPC) and on the
+/// client router — the cutover step of a migration driven from outside the
+/// worker processes.
+Status BroadcastPlacement(ProcessCluster& cluster, std::uint32_t num_running,
+                          const ShardPlacement& next) {
+  PlacementUpdate update;
+  update.num_workers = next.NumWorkers();
+  update.replication = next.Replication();
+  update.replicas = next.ReplicaTable();
+  for (WorkerId id = 0; id < num_running; ++id) {
+    const Message reply = cluster.ClientTransport().Call(
+        WorkerEndpoint(id), EncodePlacementUpdate(update));
+    VDB_RETURN_IF_ERROR(MessageToStatus(reply));
+  }
+  cluster.GetRouter().SetPlacement(std::make_shared<const ShardPlacement>(next));
+  return Status::Ok();
+}
+
+TEST(MultiprocElasticTest, DeferredJoinThenLiveMigrationOverTcp) {
+  auto cluster = ProcessCluster::Launch(OnePlusOneDeferred());
+  ASSERT_TRUE(cluster.ok()) << cluster.status().message();
+  EXPECT_TRUE((*cluster)->IsWorkerUp(0));
+  EXPECT_FALSE((*cluster)->IsWorkerUp(1));
+
+  const auto points = RandomPoints(100);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+  auto total = (*cluster)->GetRouter().TotalPoints();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 100u);
+
+  // Grow: the joiner execs onto its pre-bound port and answers Info.
+  ASSERT_TRUE((*cluster)->StartWorker(1).ok());
+  EXPECT_TRUE((*cluster)->IsWorkerUp(1));
+
+  // Move shard 0 from worker 0 to the joiner, over real sockets.
+  auto table = std::make_shared<MigrationTable>();
+  (*cluster)->GetRouter().SetMigrationTable(table);
+  MigrationOptions options;
+  options.page_points = 16;
+  options.write_fence = [&] { (*cluster)->GetRouter().WriteFence(); };
+  ShardMigrator migrator((*cluster)->ClientTransport(), table, options);
+  const ShardPlacement& before = (*cluster)->Placement();
+  auto next_table = before.ReplicaTable();
+  next_table[0] = {WorkerId{1}};
+  auto next = ShardPlacement::FromTable(2, before.Replication(), next_table);
+  ASSERT_TRUE(next.ok()) << next.status().message();
+  auto moved = migrator.Move(/*shard=*/0, /*from=*/0, /*to=*/1, [&]() -> Status {
+    return BroadcastPlacement(**cluster, 2, *next);
+  });
+  ASSERT_TRUE(moved.ok()) << moved.status().message();
+  EXPECT_GT(*moved, 0u);
+
+  // Every point still present exactly once, reachable through either entry.
+  total = (*cluster)->GetRouter().TotalPoints();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 100u);
+  SearchParams params;
+  params.k = 1;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto& probe = points[i * 5];
+    auto hits = (*cluster)->GetRouter().SearchVia(
+        static_cast<WorkerId>(i % 2), probe.vector, params);
+    ASSERT_TRUE(hits.ok()) << hits.status().message();
+    ASSERT_EQ(hits->size(), 1u);
+    EXPECT_EQ((*hits)[0].id, probe.id);
+  }
+}
+
+TEST(MultiprocElasticTest, JoinerKilledMidMoveLeavesSourceAuthoritative) {
+  auto cluster = ProcessCluster::Launch(OnePlusOneDeferred());
+  ASSERT_TRUE(cluster.ok()) << cluster.status().message();
+  const auto points = RandomPoints(100);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+  ASSERT_TRUE((*cluster)->StartWorker(1).ok());
+
+  auto table = std::make_shared<MigrationTable>();
+  (*cluster)->GetRouter().SetMigrationTable(table);
+  MigrationOptions options;
+  options.page_points = 8;
+  options.max_attempts = 1;
+  options.write_fence = [&] { (*cluster)->GetRouter().WriteFence(); };
+  bool killed = false;
+  options.on_chunk = [&](std::uint32_t chunk) {
+    if (chunk == 1 && !killed) {
+      killed = true;
+      // A real crash mid-copy: the kernel closes the joiner's sockets.
+      ASSERT_TRUE((*cluster)->KillWorker(1, SIGKILL).ok());
+    }
+  };
+  ShardMigrator migrator((*cluster)->ClientTransport(), table, options);
+  auto moved = migrator.Move(0, 0, 1, []() -> Status {
+    ADD_FAILURE() << "cutover must not run when the destination died mid-copy";
+    return Status::Ok();
+  });
+  ASSERT_TRUE(killed);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_FALSE(table->AnyActive());
+
+  // The source never stopped serving: full count, exact recall.
+  auto total = (*cluster)->GetRouter().TotalPoints();
+  ASSERT_TRUE(total.ok()) << total.status().message();
+  EXPECT_EQ(*total, 100u);
+  SearchParams params;
+  params.k = 1;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto& probe = points[i * 10];
+    auto hits = (*cluster)->GetRouter().SearchVia(0, probe.vector, params);
+    ASSERT_TRUE(hits.ok()) << hits.status().message();
+    EXPECT_EQ((*hits)[0].id, probe.id);
+  }
+}
+
+}  // namespace
+}  // namespace vdb

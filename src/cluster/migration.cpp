@@ -110,13 +110,22 @@ Result<std::uint64_t> ShardMigrator::Move(ShardId shard, WorkerId from,
     //    baseline read next covers them.
     if (options_.write_fence) options_.write_fence();
 
+    // Failure-path teardown: stop dual-writes FIRST, then drain the in-flight
+    // ones, and only then tear the destination down — aborting while
+    // best-effort dual-applies are still in flight would race writes against
+    // the shard's destruction.
+    const auto end_and_drain = [&] {
+      table_->End(shard);
+      if (options_.write_fence) options_.write_fence();
+    };
+
     auto copy = [&]() -> Status {
       VDB_RETURN_IF_ERROR(CopyShard(shard, from, to).status());
       return Status::Ok();
     }();
     if (!copy.ok()) {
+      end_and_drain();
       Abort(shard, to);
-      table_->End(shard);
       // A dead source or destination is not healed by retrying the copy.
       return copy;
     }
@@ -124,8 +133,8 @@ Result<std::uint64_t> ShardMigrator::Move(ShardId shard, WorkerId from,
     if (table_->Dirty(shard)) {
       VDB_FLIGHT(kFault, "migration/" + std::to_string(shard),
                  "dirty after copy — aborting attempt", attempt);
+      end_and_drain();
       Abort(shard, to);
-      table_->End(shard);
       last = Status::Unavailable("migration of shard " + std::to_string(shard) +
                                  " dirty after copy (attempt " +
                                  std::to_string(attempt) + ")");
@@ -141,8 +150,8 @@ Result<std::uint64_t> ShardMigrator::Move(ShardId shard, WorkerId from,
         transport_.Call(WorkerEndpoint(to), EncodeMigrationCommitRequest(commit));
     const Status commit_status = MessageToStatus(commit_reply);
     if (!commit_status.ok()) {
+      end_and_drain();
       Abort(shard, to);
-      table_->End(shard);
       last = commit_status;
       continue;
     }
@@ -154,10 +163,12 @@ Result<std::uint64_t> ShardMigrator::Move(ShardId shard, WorkerId from,
     //    keeps the source authoritative for the retry.
     if (options_.write_fence) options_.write_fence();
     if (table_->Dirty(shard)) {
+      // The destination already committed (shard unhidden), so a plain Abort
+      // would be a no-op: drop the stale copy outright.
+      end_and_drain();
       DropShardRequest drop;
       drop.shard = shard;
       (void)transport_.Call(WorkerEndpoint(to), EncodeDropShardRequest(drop));
-      table_->End(shard);
       last = Status::Unavailable("migration of shard " + std::to_string(shard) +
                                  " dirty at commit (attempt " +
                                  std::to_string(attempt) + ")");
@@ -170,8 +181,13 @@ Result<std::uint64_t> ShardMigrator::Move(ShardId shard, WorkerId from,
     if (!cut.ok()) {
       // Committed but not cut over: the source still owns the shard per the
       // (unchanged) placement, so surface the error without dropping data.
-      table_->End(shard);
-      Abort(shard, to);
+      // The destination left migrating-in at commit, so an Abort would be a
+      // no-op and its unhidden copy would keep serving fan-out reads as it
+      // went stale — drop it instead.
+      end_and_drain();
+      DropShardRequest drop;
+      drop.shard = shard;
+      (void)transport_.Call(WorkerEndpoint(to), EncodeDropShardRequest(drop));
       return cut;
     }
     table_->End(shard);
@@ -214,19 +230,25 @@ Status ReplayTail(Transport& transport, ShardId shard, WorkerId dest,
     switch (static_cast<WalRecordType>(record.type)) {
       case WalRecordType::kUpsert: {
         VDB_ASSIGN_OR_RETURN(auto decoded, DecodeUpsertPayload(record.payload));
-        pending.push_back(PointRecord{decoded.first, std::move(decoded.second), {}});
+        pending.push_back(PointRecord{decoded.id, std::move(decoded.vector),
+                                      std::move(decoded.payload)});
         break;
       }
       case WalRecordType::kDelete: {
         VDB_RETURN_IF_ERROR(flush());
         VDB_ASSIGN_OR_RETURN(const PointId id, DecodeDeletePayload(record.payload));
-        DeleteRequest request;
+        // Migration-plane delete, NOT a client DeleteRequest: the client path
+        // would mark the id touched on the destination, and a later tail
+        // upsert of the same id would then be skipped as "already
+        // dual-applied" — silently losing a delete-then-reupsert sequence.
+        MigrationDeleteRequest request;
         request.shard = shard;
         request.id = id;
         const Message reply = transport.Call(WorkerEndpoint(dest),
-                                             EncodeDeleteRequest(request));
-        // NotFound-style misses decode as deleted=false — not an error; the
-        // tail may delete an id the snapshot never contained.
+                                             EncodeMigrationDeleteRequest(request));
+        // applied=false misses (id never present, or a newer touched write
+        // wins) are not errors; the tail may delete an id the snapshot never
+        // contained.
         VDB_RETURN_IF_ERROR(MessageToStatus(reply));
         if (applied != nullptr) ++*applied;
         break;

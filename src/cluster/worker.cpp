@@ -99,14 +99,14 @@ void Worker::SetPlacement(std::shared_ptr<const ShardPlacement> placement) {
   }
 }
 
-Result<Collection*> Worker::GetShard(ShardId shard) {
+Result<std::shared_ptr<Collection>> Worker::GetShard(ShardId shard) {
   std::shared_lock lock(shards_mutex_);
   const auto it = shards_.find(shard);
   if (it == shards_.end()) {
     return Status::NotFound("worker " + std::to_string(config_.id) +
                             " does not own shard " + std::to_string(shard));
   }
-  return it->second.get();
+  return it->second;
 }
 
 std::vector<PointRecord> Worker::ExportShard(ShardId shard) {
@@ -157,7 +157,7 @@ std::unordered_set<ShardId> Worker::HiddenShards() const {
 
 Collection* Worker::ShardForTest(ShardId shard) {
   auto result = GetShard(shard);
-  return result.ok() ? *result : nullptr;
+  return result.ok() ? result->get() : nullptr;
 }
 
 std::uint64_t Worker::LivePoints() const {
@@ -222,6 +222,7 @@ Message Worker::Handle(const Message& request, bool force_local) {
     case MessageType::kSnapshotStreamRequest: return HandleSnapshotStream(request);
     case MessageType::kMigrationBeginRequest: return HandleMigrationBegin(request);
     case MessageType::kMigrationChunkRequest: return HandleMigrationChunk(request);
+    case MessageType::kMigrationDeleteRequest: return HandleMigrationDelete(request);
     case MessageType::kMigrationCommitRequest: return HandleMigrationCommit(request);
     case MessageType::kMigrationAbortRequest: return HandleMigrationAbort(request);
     case MessageType::kDropShardRequest: return HandleDropShard(request);
@@ -701,6 +702,32 @@ Message Worker::HandleMigrationChunk(const Message& request) {
     ++response.applied;
   }
   return EncodeMigrationChunkResponse(response);
+}
+
+Message Worker::HandleMigrationDelete(const Message& request) {
+  auto decoded = DecodeMigrationDeleteRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  std::lock_guard<std::mutex> migration(migration_mutex_);
+  const auto it = migrating_in_.find(decoded->shard);
+  if (it == migrating_in_.end()) {
+    return EncodeErrorResponse(Status::FailedPrecondition(
+        "shard " + std::to_string(decoded->shard) + " is not migrating in"));
+  }
+  // A tail/snapshot-era tombstone. It must not enter the touched set (touched
+  // means "a client write newer than any replayed record" — a later tail
+  // upsert of this id would otherwise be skipped and lost), and it must not
+  // clobber an id a newer dual-applied client write already touched.
+  if (it->second.count(decoded->id) != 0) {
+    return EncodeMigrationDeleteResponse(MigrationDeleteResponse{false});
+  }
+  auto shard = GetShard(decoded->shard);
+  if (!shard.ok()) return EncodeErrorResponse(shard.status());
+  const Status status = (*shard)->Delete(decoded->id);
+  if (!status.ok() && status.code() != StatusCode::kNotFound) {
+    // The tail may delete an id the snapshot never contained — not an error.
+    return EncodeErrorResponse(status);
+  }
+  return EncodeMigrationDeleteResponse(MigrationDeleteResponse{status.ok()});
 }
 
 Message Worker::HandleMigrationCommit(const Message& request) {

@@ -137,6 +137,7 @@ class Worker {
   Message HandleSnapshotStream(const Message& request);
   Message HandleMigrationBegin(const Message& request);
   Message HandleMigrationChunk(const Message& request);
+  Message HandleMigrationDelete(const Message& request);
   Message HandleMigrationCommit(const Message& request);
   Message HandleMigrationAbort(const Message& request);
   Message HandleDropShard(const Message& request);
@@ -164,7 +165,11 @@ class Worker {
   /// Lazily-created pool shared by every batched search on this worker.
   ThreadPool& SearchPool() const;
 
-  Result<Collection*> GetShard(ShardId shard);
+  /// Copies the shard's collection handle out under the lock. Callers apply
+  /// to the copy, so a concurrent DropShardStorage (migration abort, source
+  /// cleanup) can erase the map entry without destroying a collection a
+  /// handler thread is still writing to.
+  Result<std::shared_ptr<Collection>> GetShard(ShardId shard);
   Status EnsureShard(ShardId shard);
 
   /// Placement snapshot for this request. placement_ is swapped live at
@@ -180,7 +185,7 @@ class Worker {
   WorkerConfig config_;
 
   mutable std::shared_mutex shards_mutex_;
-  std::map<ShardId, std::unique_ptr<Collection>> shards_;
+  std::map<ShardId, std::shared_ptr<Collection>> shards_;
 
   mutable std::mutex placement_mutex_;  // guards placement_
 

@@ -108,15 +108,24 @@ Status Collection::Recover() {
              ? manifest.wal_records_applied - wal_start_record_
              : 0);
   std::uint64_t seen = 0;
+  // Rebuild the byte-offset index for the records the scan visits (each
+  // record frames as 8 header bytes + 1 type byte + payload).
+  wal_offset_index_start_ =
+      start_offset != 0 ? manifest.wal_records_applied : wal_start_record_;
+  wal_record_offsets_.clear();
+  std::uint64_t cursor = start_offset;
   auto replayed = WalReader::Replay(
       config_.data_dir / wal_file_,
       [&](const WalRecord& record) -> Status {
         ++seen;
+        wal_record_offsets_.push_back(cursor);
+        cursor += 9 + record.payload.size();
         if (seen <= skip) return Status::Ok();
         switch (record.type) {
           case WalRecordType::kUpsert: {
             VDB_ASSIGN_OR_RETURN(auto decoded, DecodeUpsertPayload(record.payload));
-            return UpsertLocked(decoded.first, decoded.second, {}, /*log_wal=*/false);
+            return UpsertLocked(decoded.id, decoded.vector,
+                                std::move(decoded.payload), /*log_wal=*/false);
           }
           case WalRecordType::kDelete: {
             VDB_ASSIGN_OR_RETURN(PointId id, DecodeDeletePayload(record.payload));
@@ -159,7 +168,9 @@ Status Collection::UpsertLocked(PointId id, VectorView vector, Payload payload,
   if (id == kInvalidPointId) return Status::InvalidArgument("invalid point id");
 
   if (log_wal && wal_.has_value()) {
-    VDB_RETURN_IF_ERROR(wal_->AppendUpsert(id, vector));
+    const std::uint64_t offset = wal_->EndOffset();
+    VDB_RETURN_IF_ERROR(wal_->AppendUpsert(id, vector, payload));
+    wal_record_offsets_.push_back(offset);
     ++wal_records_;
   }
 
@@ -177,7 +188,9 @@ Status Collection::DeleteLocked(PointId id, bool log_wal) {
   const auto it = id_to_offset_.find(id);
   if (it == id_to_offset_.end()) return Status::NotFound("point not found");
   if (log_wal && wal_.has_value()) {
+    const std::uint64_t offset = wal_->EndOffset();
     VDB_RETURN_IF_ERROR(wal_->AppendDelete(id));
+    wal_record_offsets_.push_back(offset);
     ++wal_records_;
   }
   VDB_RETURN_IF_ERROR(store_->MarkDeleted(it->second));
@@ -426,6 +439,8 @@ Status Collection::FlushLocked(SnapshotManifest* written) {
       wal_ = std::move(fresh);
       wal_file_ = next_wal;
       wal_start_record_ = wal_records_;
+      wal_record_offsets_.clear();
+      wal_offset_index_start_ = wal_records_;
       rotated = true;
     }
   }
@@ -441,7 +456,9 @@ Status Collection::FlushLocked(SnapshotManifest* written) {
   }
 
   if (wal_.has_value()) {
+    const std::uint64_t offset = wal_->EndOffset();
     VDB_RETURN_IF_ERROR(wal_->AppendCheckpoint(next_segment_seq_));
+    wal_record_offsets_.push_back(offset);
     ++wal_records_;
     VDB_RETURN_IF_ERROR(wal_->Sync());
   }
@@ -548,10 +565,23 @@ Status Collection::SnapshotTo(const std::filesystem::path& dir) {
 
 Result<Collection::WalTail> Collection::ReadWalTail(std::uint64_t from_record,
                                                     std::size_t max_records) {
-  std::unique_lock lock(mutex_);
+  // Exclusive lock only for the sync (the writer is not thread-safe); the
+  // file scan below runs under the shared lock so catch-up rounds do not
+  // stall every reader and writer for the duration.
+  {
+    std::unique_lock lock(mutex_);
+    if (!wal_.has_value()) {
+      return Status::FailedPrecondition("collection has no WAL (in-memory)");
+    }
+    VDB_RETURN_IF_ERROR(wal_->Sync());
+  }
+
+  std::shared_lock lock(mutex_);
   if (!wal_.has_value()) {
     return Status::FailedPrecondition("collection has no WAL (in-memory)");
   }
+  // Re-validate under this lock: a flush between the two lock scopes may have
+  // rotated the requested records away.
   if (from_record < wal_start_record_) {
     return Status::FailedPrecondition(
         "wal tail truncated: record " + std::to_string(from_record) +
@@ -562,19 +592,26 @@ Result<Collection::WalTail> Collection::ReadWalTail(std::uint64_t from_record,
   tail.total_records = wal_records_;
   tail.next_record = from_record;
   if (max_records == 0 || from_record >= wal_records_) return tail;
-  VDB_RETURN_IF_ERROR(wal_->Sync());
-  const std::uint64_t skip = from_record - wal_start_record_;
+
+  // Seek straight to the requested record when its byte offset is indexed;
+  // records logged before a recovery seek fall back to a skip-scan.
+  std::uint64_t start_offset = 0;
+  std::uint64_t skip = from_record - wal_start_record_;
+  if (from_record >= wal_offset_index_start_ &&
+      from_record - wal_offset_index_start_ < wal_record_offsets_.size()) {
+    start_offset = wal_record_offsets_[from_record - wal_offset_index_start_];
+    skip = 0;
+  }
   std::uint64_t seen = 0;
   auto replayed = WalReader::Replay(
       config_.data_dir / wal_file_,
       [&](const WalRecord& record) -> Status {
         ++seen;
         if (seen <= skip) return Status::Ok();
-        if (tail.records.size() < max_records) {
-          tail.records.push_back(record);
-        }
+        tail.records.push_back(record);
         return Status::Ok();
-      });
+      },
+      start_offset, /*max_records=*/skip + max_records);
   if (!replayed.ok()) return replayed.status();
   tail.next_record = from_record + tail.records.size();
   return tail;
@@ -584,7 +621,7 @@ Status Collection::ApplyWalRecord(const WalRecord& record) {
   switch (record.type) {
     case WalRecordType::kUpsert: {
       VDB_ASSIGN_OR_RETURN(auto decoded, DecodeUpsertPayload(record.payload));
-      return Upsert(decoded.first, decoded.second);
+      return Upsert(decoded.id, decoded.vector, std::move(decoded.payload));
     }
     case WalRecordType::kDelete: {
       VDB_ASSIGN_OR_RETURN(PointId id, DecodeDeletePayload(record.payload));

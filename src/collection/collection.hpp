@@ -213,6 +213,13 @@ class Collection {
   std::uint64_t wal_start_record_ = 0;      ///< absolute index of its first record
   std::uint64_t wal_records_ = 0;           ///< absolute count ever logged
   std::uint64_t recovered_wal_records_ = 0;
+  /// Byte offset (in the active log) of each record from absolute index
+  /// `wal_offset_index_start_` on — ReadWalTail seeks straight to a requested
+  /// record instead of rescanning the file every catch-up round. Cleared on
+  /// rotation; records before a recovery seek are not indexed (tail reads for
+  /// them fall back to a skip-scan).
+  std::vector<std::uint64_t> wal_record_offsets_;
+  std::uint64_t wal_offset_index_start_ = 0;
 
   std::uint64_t next_segment_seq_ = 0;
   std::vector<std::string> flushed_segments_;

@@ -998,6 +998,39 @@ Result<MigrationCommitResponse> DecodeMigrationCommitResponse(const Message& msg
   return resp;
 }
 
+Message EncodeMigrationDeleteRequest(const MigrationDeleteRequest& req) {
+  Message msg = NewMessage(MessageType::kMigrationDeleteRequest, 12);
+  BodyWriter w(msg);
+  w.U32(req.shard);
+  w.U64(req.id);
+  return msg;
+}
+
+Result<MigrationDeleteRequest> DecodeMigrationDeleteRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationDeleteRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationDeleteRequest req;
+  VDB_ASSIGN_OR_RETURN(req.shard, r.U32());
+  VDB_ASSIGN_OR_RETURN(req.id, r.U64());
+  return req;
+}
+
+Message EncodeMigrationDeleteResponse(const MigrationDeleteResponse& resp) {
+  Message msg = NewMessage(MessageType::kMigrationDeleteResponse, 1);
+  BodyWriter w(msg);
+  w.U8(resp.applied ? 1 : 0);
+  return msg;
+}
+
+Result<MigrationDeleteResponse> DecodeMigrationDeleteResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMigrationDeleteResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  MigrationDeleteResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t applied, r.U8());
+  resp.applied = applied != 0;
+  return resp;
+}
+
 Message EncodeMigrationAbortRequest(const MigrationAbortRequest& req) {
   Message msg = NewMessage(MessageType::kMigrationAbortRequest, 4);
   BodyWriter w(msg);

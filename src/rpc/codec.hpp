@@ -69,6 +69,8 @@ enum class MessageType : std::uint8_t {
   kWalTailResponse = 31,
   kUpdatePlacementRequest = 32,
   kUpdatePlacementResponse = 33,
+  kMigrationDeleteRequest = 34,
+  kMigrationDeleteResponse = 35,
 };
 
 /// Opaque framed message. Copying shares the pooled body slab (refcount
@@ -228,6 +230,20 @@ struct MigrationCommitRequest {
 
 struct MigrationCommitResponse {
   std::uint64_t points = 0;  ///< destination's live count at commit
+};
+
+/// Tombstone delivered over the migration plane (WAL-tail replay during
+/// replica catch-up). Unlike a client DeleteRequest, applying it must NOT
+/// mark the id "touched" on a migrating-in destination — touched means "a
+/// client write newer than any tail/snapshot record", and a tail delete is
+/// itself an old record. The destination skips it when the id IS touched.
+struct MigrationDeleteRequest {
+  ShardId shard = 0;
+  PointId id = kInvalidPointId;
+};
+
+struct MigrationDeleteResponse {
+  bool applied = false;  ///< false = skipped (touched) or id not present
 };
 
 struct MigrationAbortRequest {
@@ -466,6 +482,12 @@ Result<MigrationCommitRequest> DecodeMigrationCommitRequest(const Message& msg);
 
 Message EncodeMigrationCommitResponse(const MigrationCommitResponse& resp);
 Result<MigrationCommitResponse> DecodeMigrationCommitResponse(const Message& msg);
+
+Message EncodeMigrationDeleteRequest(const MigrationDeleteRequest& req);
+Result<MigrationDeleteRequest> DecodeMigrationDeleteRequest(const Message& msg);
+
+Message EncodeMigrationDeleteResponse(const MigrationDeleteResponse& resp);
+Result<MigrationDeleteResponse> DecodeMigrationDeleteResponse(const Message& msg);
 
 Message EncodeMigrationAbortRequest(const MigrationAbortRequest& req);
 Result<MigrationAbortRequest> DecodeMigrationAbortRequest(const Message& msg);

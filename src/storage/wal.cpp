@@ -35,28 +35,39 @@ std::uint64_t GetU64(const std::uint8_t* p) {
 
 }  // namespace
 
-std::vector<std::uint8_t> EncodeUpsertPayload(PointId id, VectorView vector) {
+std::vector<std::uint8_t> EncodeUpsertPayload(PointId id, VectorView vector,
+                                              const Payload& payload) {
+  const std::size_t payload_bytes = PayloadWireSize(payload);
   std::vector<std::uint8_t> out;
-  out.reserve(12 + vector.size() * sizeof(Scalar));
+  out.reserve(12 + vector.size() * sizeof(Scalar) + payload_bytes);
   PutU64(out, id);
   PutU32(out, static_cast<std::uint32_t>(vector.size()));
-  const std::size_t base = out.size();
+  std::size_t base = out.size();
   out.resize(base + vector.size() * sizeof(Scalar));
   std::memcpy(out.data() + base, vector.data(), vector.size() * sizeof(Scalar));
+  base = out.size();
+  out.resize(base + payload_bytes);
+  EncodePayloadTo(payload, out.data() + base);
   return out;
 }
 
-Result<std::pair<PointId, Vector>> DecodeUpsertPayload(
-    const std::vector<std::uint8_t>& payload) {
+Result<WalUpsert> DecodeUpsertPayload(const std::vector<std::uint8_t>& payload) {
   if (payload.size() < 12) return Status::Corruption("upsert payload too short");
-  const PointId id = GetU64(payload.data());
+  WalUpsert upsert;
+  upsert.id = GetU64(payload.data());
   const std::uint32_t dim = GetU32(payload.data() + 8);
-  if (payload.size() != 12 + static_cast<std::size_t>(dim) * sizeof(Scalar)) {
+  const std::size_t vec_end = 12 + static_cast<std::size_t>(dim) * sizeof(Scalar);
+  if (payload.size() < vec_end) {
     return Status::Corruption("upsert payload size mismatch");
   }
-  Vector vector(dim);
-  std::memcpy(vector.data(), payload.data() + 12, dim * sizeof(Scalar));
-  return std::make_pair(id, std::move(vector));
+  upsert.vector.resize(dim);
+  std::memcpy(upsert.vector.data(), payload.data() + 12, dim * sizeof(Scalar));
+  // Legacy records end at the vector; newer ones append the payload blob.
+  if (payload.size() > vec_end) {
+    VDB_ASSIGN_OR_RETURN(upsert.payload, DecodePayload(payload.data() + vec_end,
+                                                       payload.size() - vec_end));
+  }
+  return upsert;
 }
 
 std::vector<std::uint8_t> EncodeDeletePayload(PointId id) {
@@ -139,8 +150,9 @@ Status WalWriter::Append(WalRecordType type, const std::vector<std::uint8_t>& pa
   return Status::Ok();
 }
 
-Status WalWriter::AppendUpsert(PointId id, VectorView vector) {
-  return Append(WalRecordType::kUpsert, EncodeUpsertPayload(id, vector));
+Status WalWriter::AppendUpsert(PointId id, VectorView vector,
+                               const Payload& payload) {
+  return Append(WalRecordType::kUpsert, EncodeUpsertPayload(id, vector, payload));
 }
 
 Status WalWriter::AppendDelete(PointId id) {
@@ -163,7 +175,7 @@ Status WalWriter::Sync() {
 Result<std::size_t> WalReader::Replay(
     const std::filesystem::path& path,
     const std::function<Status(const WalRecord&)>& visit,
-    std::uint64_t start_offset) {
+    std::uint64_t start_offset, std::uint64_t max_records) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     // A missing WAL is an empty WAL (fresh worker).
@@ -217,6 +229,7 @@ Result<std::size_t> WalReader::Replay(
     record.payload.assign(body.begin() + 1, body.end());
     VDB_RETURN_IF_ERROR(visit(record));
     ++count;
+    if (max_records != 0 && count >= max_records) return count;
   }
   if (saw_torn) {
     // Check whether valid-looking data follows the tear: that means mid-log

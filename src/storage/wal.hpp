@@ -17,6 +17,7 @@
 
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "storage/payload_store.hpp"
 
 namespace vdb {
 
@@ -31,10 +32,21 @@ struct WalRecord {
   std::vector<std::uint8_t> payload;
 };
 
-/// Serialize an upsert (id + vector) into a WAL payload and back.
-std::vector<std::uint8_t> EncodeUpsertPayload(PointId id, VectorView vector);
-Result<std::pair<PointId, Vector>> DecodeUpsertPayload(
-    const std::vector<std::uint8_t>& payload);
+/// A decoded upsert record: the full point, including its payload metadata —
+/// recovery and replica tail-replay must reproduce filtered-search state, not
+/// just vectors.
+struct WalUpsert {
+  PointId id = kInvalidPointId;
+  Vector vector;
+  Payload payload;
+};
+
+/// Serialize an upsert (id + vector + payload metadata) into a WAL record
+/// payload and back. Legacy records without the trailing payload blob decode
+/// with an empty payload.
+std::vector<std::uint8_t> EncodeUpsertPayload(PointId id, VectorView vector,
+                                              const Payload& payload = {});
+Result<WalUpsert> DecodeUpsertPayload(const std::vector<std::uint8_t>& payload);
 std::vector<std::uint8_t> EncodeDeletePayload(PointId id);
 Result<PointId> DecodeDeletePayload(const std::vector<std::uint8_t>& payload);
 
@@ -56,7 +68,7 @@ class WalWriter {
   ~WalWriter();
 
   Status Append(WalRecordType type, const std::vector<std::uint8_t>& payload);
-  Status AppendUpsert(PointId id, VectorView vector);
+  Status AppendUpsert(PointId id, VectorView vector, const Payload& payload = {});
   Status AppendDelete(PointId id);
   Status AppendCheckpoint(std::uint64_t segment_seq);
 
@@ -91,11 +103,13 @@ class WalReader {
   /// corrupt record *followed by* valid data is reported as kCorruption.
   /// `start_offset` seeks past a prefix already covered by flushed segments
   /// (it must land on a record boundary — a manifest's `wal_applied_offset`);
-  /// an offset at or past EOF replays nothing.
+  /// an offset at or past EOF replays nothing. `max_records` (0 = unlimited)
+  /// stops after that many visits — tail serving reads one bounded page
+  /// instead of scanning to EOF.
   static Result<std::size_t> Replay(
       const std::filesystem::path& path,
       const std::function<Status(const WalRecord&)>& visit,
-      std::uint64_t start_offset = 0);
+      std::uint64_t start_offset = 0, std::uint64_t max_records = 0);
 };
 
 }  // namespace vdb

@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <map>
 #include <thread>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "storage/wal.hpp"
 #include "test_util.hpp"
 
 namespace vdb {
@@ -140,6 +142,62 @@ TEST(ElasticSnapshotTest, WalTailCursorInvalidatedByRotation) {
   auto stale = (*collection)->ReadWalTail(0, 4);
   EXPECT_FALSE(stale.ok());
   EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ElasticSnapshotTest, WalTailPagedReadsMatchLoggedWrites) {
+  testing::TempDir dir("elastic_tail_pages");
+  CollectionConfig config;
+  config.dim = kDim;
+  config.index.type = "flat";
+  config.data_dir = dir.Path();
+  auto collection = Collection::Open(config);
+  ASSERT_TRUE(collection.ok());
+  std::map<PointId, Payload> expected;
+  for (PointId id = 0; id < 40; ++id) {
+    Vector v(kDim, static_cast<Scalar>(id));
+    Payload meta{{"idx", PayloadValue{static_cast<std::int64_t>(id)}}};
+    ASSERT_TRUE((*collection)->Upsert(id, v, meta).ok());
+    expected[id] = std::move(meta);
+  }
+  for (PointId id = 0; id < 40; id += 5) {
+    ASSERT_TRUE((*collection)->Delete(id).ok());
+    expected.erase(id);
+  }
+
+  // Page through the tail: every page after the first starts mid-log, so the
+  // reader must land on exactly the right record (seek index), and upsert
+  // records must carry payload metadata through the replay.
+  std::map<PointId, Payload> replayed;
+  std::uint64_t cursor = 0;
+  while (true) {
+    auto tail = (*collection)->ReadWalTail(cursor, 7);
+    ASSERT_TRUE(tail.ok()) << tail.status().message();
+    if (tail->records.empty()) {
+      EXPECT_EQ(tail->next_record, tail->total_records);
+      break;
+    }
+    EXPECT_LE(tail->records.size(), 7u);
+    for (const auto& record : tail->records) {
+      switch (record.type) {
+        case WalRecordType::kUpsert: {
+          auto decoded = DecodeUpsertPayload(record.payload);
+          ASSERT_TRUE(decoded.ok());
+          replayed[decoded->id] = std::move(decoded->payload);
+          break;
+        }
+        case WalRecordType::kDelete: {
+          auto id = DecodeDeletePayload(record.payload);
+          ASSERT_TRUE(id.ok());
+          replayed.erase(*id);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    cursor = tail->next_record;
+  }
+  EXPECT_EQ(replayed, expected);
 }
 
 // ---- Live shard migration --------------------------------------------------
@@ -343,6 +401,72 @@ TEST(ElasticBootstrapTest, NewReplicaCatchesUpAndIsAdmitted) {
     EXPECT_TRUE(source_shard->Contains(probe[0].id));
     EXPECT_TRUE(dest_shard->Contains(probe[0].id));
   }
+}
+
+// Regression: a client delete-then-reupsert of one id while the joiner is
+// streaming its snapshot reaches it only through WAL-tail replay. The tail
+// delete must go over the migration plane (not the client delete path) —
+// otherwise it marks the id touched on the joiner and the tail reupsert is
+// skipped as "already dual-applied", silently losing the point. The reupsert
+// carries payload metadata, which must also survive the replay.
+TEST(ElasticBootstrapTest, DeleteThenReupsertInCatchUpWindowSurvives) {
+  testing::TempDir dir("elastic_replay");
+  auto cluster = LocalCluster::Start(ElasticConfig(2, 2, dir.Path()));
+  ASSERT_TRUE(cluster.ok());
+  const auto points = RandomPoints(80);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+
+  const ShardId shard = 0;
+  const WorkerId source = (*cluster)->Placement().PrimaryOf(shard);
+  const WorkerId dest = source == 0 ? 1 : 0;
+
+  // A pre-existing point owned by the bootstrapped shard.
+  PointId victim = kInvalidPointId;
+  for (const auto& p : points) {
+    if ((*cluster)->Placement().ShardFor(p.id) == shard) {
+      victim = p.id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidPointId);
+
+  // Inject the delete-then-reupsert after the snapshot cursor was captured
+  // but before the placement lists the joiner: both writes reach only the
+  // source, so the joiner can learn them from the WAL tail alone.
+  MigrationOptions options;
+  options.page_points = 512;  // whole shard in one chunk: victim is on the joiner
+  bool injected = false;
+  const Payload meta{{"origin", PayloadValue{std::string("tail-replay")}}};
+  const Vector replacement(kDim, 0.25f);
+  options.on_chunk = [&](std::uint32_t) {
+    if (injected) return;
+    injected = true;
+    ASSERT_TRUE((*cluster)->GetRouter().Delete(victim).ok());
+    const std::vector<PointRecord> again{PointRecord{victim, replacement, meta}};
+    ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(again).ok());
+  };
+  (*cluster)->SetMigrationOptions(options);
+
+  auto result = (*cluster)->AddReplica(shard, source, dest);
+  ASSERT_TRUE(result.ok()) << result.status().message();
+  ASSERT_TRUE(injected);
+  EXPECT_GE(result->wal_records, 2u);
+
+  const auto* source_shard = (*cluster)->GetWorker(source).ShardForTest(shard);
+  const auto* dest_shard = (*cluster)->GetWorker(dest).ShardForTest(shard);
+  ASSERT_NE(source_shard, nullptr);
+  ASSERT_NE(dest_shard, nullptr);
+  EXPECT_TRUE(dest_shard->Contains(victim));
+  // Cosine storage normalizes, so compare against the source's stored copy.
+  auto vec = dest_shard->GetVector(victim);
+  auto source_vec = source_shard->GetVector(victim);
+  ASSERT_TRUE(vec.ok());
+  ASSERT_TRUE(source_vec.ok());
+  EXPECT_EQ(*vec, *source_vec);
+  auto payload = dest_shard->GetPayload(victim);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, meta);
+  EXPECT_EQ(source_shard->Info().live_points, dest_shard->Info().live_points);
 }
 
 // ---- Chaos: seeded worker kills mid-migration ------------------------------

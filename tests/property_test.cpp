@@ -230,7 +230,7 @@ TEST_P(WalProperty, RecoveryMatchesHistory) {
     switch (record.type) {
       case WalRecordType::kUpsert: {
         VDB_ASSIGN_OR_RETURN(auto decoded, DecodeUpsertPayload(record.payload));
-        recovered[decoded.first] = decoded.second;
+        recovered[decoded.id] = decoded.vector;
         return Status::Ok();
       }
       case WalRecordType::kDelete: {
@@ -281,7 +281,7 @@ TEST(WalCrashFuzz, EveryTruncationPointRecoversPrefix) {
     std::vector<PointId> recovered;
     auto replayed = WalReader::Replay(crash_path, [&](const WalRecord& record) -> Status {
       VDB_ASSIGN_OR_RETURN(auto decoded, DecodeUpsertPayload(record.payload));
-      recovered.push_back(decoded.first);
+      recovered.push_back(decoded.id);
       return Status::Ok();
     });
     ASSERT_TRUE(replayed.ok()) << "cut=" << cut << ": " << replayed.status().ToString();

@@ -79,6 +79,18 @@ TEST(CodecTest, DeleteRoundTrip) {
   EXPECT_TRUE(response->deleted);
 }
 
+TEST(CodecTest, MigrationDeleteRoundTrip) {
+  auto request = DecodeMigrationDeleteRequest(
+      EncodeMigrationDeleteRequest(MigrationDeleteRequest{6, 424242}));
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->shard, 6u);
+  EXPECT_EQ(request->id, 424242u);
+  auto response = DecodeMigrationDeleteResponse(
+      EncodeMigrationDeleteResponse(MigrationDeleteResponse{true}));
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->applied);
+}
+
 TEST(CodecTest, BuildIndexRoundTrip) {
   auto request = DecodeBuildIndexRequest(EncodeBuildIndexRequest(BuildIndexRequest{false}));
   ASSERT_TRUE(request.ok());

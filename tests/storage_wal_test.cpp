@@ -37,8 +37,21 @@ TEST(WalPayloadTest, UpsertRoundTrip) {
   const auto payload = EncodeUpsertPayload(77, v);
   auto decoded = DecodeUpsertPayload(payload);
   ASSERT_TRUE(decoded.ok());
-  EXPECT_EQ(decoded->first, 77u);
-  EXPECT_EQ(decoded->second, v);
+  EXPECT_EQ(decoded->id, 77u);
+  EXPECT_EQ(decoded->vector, v);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(WalPayloadTest, UpsertRoundTripWithPayload) {
+  const Vector v{1.5f, -2.5f, 3.25f};
+  const Payload meta{{"genre", PayloadValue{std::string("jazz")}},
+                     {"year", PayloadValue{std::int64_t{1959}}}};
+  const auto payload = EncodeUpsertPayload(77, v, meta);
+  auto decoded = DecodeUpsertPayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 77u);
+  EXPECT_EQ(decoded->vector, v);
+  EXPECT_EQ(decoded->payload, meta);
 }
 
 TEST(WalPayloadTest, DeleteRoundTrip) {

@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/logging.hpp"
@@ -15,6 +16,45 @@
 #include "obs/trace_collector.hpp"
 
 namespace vdb::bench {
+
+/// Runs `cell(row, col)` for every pair in a 2-D parameter sweep and returns
+/// the values row-major — the shared execution driver for the grid benches
+/// (fig5_query_scaling, fig_scaling_paradox).
+template <typename Row, typename Col, typename Cell>
+std::vector<std::vector<double>> SweepGrid2D(const std::vector<Row>& rows,
+                                             const std::vector<Col>& cols,
+                                             Cell cell) {
+  std::vector<std::vector<double>> values;
+  values.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::vector<double> line;
+    line.reserve(cols.size());
+    for (const Col& c : cols) line.push_back(cell(r, c));
+    values.push_back(std::move(line));
+  }
+  return values;
+}
+
+/// Renders a row-major value grid as the standard sweep table: `corner` in the
+/// top-left header cell, one column per `col_labels` entry, `format_cell`
+/// turning each value into text.
+template <typename Fmt>
+void PrintGridTable(const std::string& title, const std::string& corner,
+                    const std::vector<std::string>& row_labels,
+                    const std::vector<std::string>& col_labels,
+                    const std::vector<std::vector<double>>& values,
+                    Fmt format_cell) {
+  TextTable table(title);
+  std::vector<std::string> header = {corner};
+  header.insert(header.end(), col_labels.begin(), col_labels.end());
+  table.SetHeader(header);
+  for (std::size_t r = 0; r < values.size() && r < row_labels.size(); ++r) {
+    std::vector<std::string> row = {row_labels[r]};
+    for (const double v : values[r]) row.push_back(format_cell(v));
+    table.AddRow(row);
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
   vdb::SetLogLevel(vdb::LogLevel::kWarn);

@@ -28,32 +28,34 @@ int main(int argc, char** argv) {
   const double full_gb = model.GBForVectors(model.full_dataset_vectors);
   const std::vector<double> sizes = {1, 5, 10, 20, 30, 35, 40, full_gb};
   const std::vector<std::uint32_t> workers = {1, 4, 8, 16, 32};
-  const GridResult grid = RunFig5QueryScaling(model, sizes, workers, queries);
+  // Same cells as RunFig5QueryScaling (the test-asserted driver), executed on
+  // the shared bench sweep helper.
+  const std::vector<std::vector<double>> seconds = bench::SweepGrid2D(
+      sizes, workers, [&](double gb, std::uint32_t w) {
+        return SimulateQueryRun(model, w, gb, queries, /*batch=*/16,
+                                /*in_flight=*/2);
+      });
 
-  TextTable table("Query workload time (22,723 BV-BRC term queries, batch 16, 2 in-flight)");
-  std::vector<std::string> header = {"dataset"};
-  for (const auto w : workers) header.push_back(std::to_string(w) + "w");
-  table.SetHeader(header);
-  for (std::size_t s = 0; s < sizes.size(); ++s) {
-    std::vector<std::string> row = {TextTable::Num(sizes[s], 0) + " GB"};
-    for (std::size_t w = 0; w < workers.size(); ++w) {
-      row.push_back(FormatDuration(grid.seconds[s][w]));
-    }
-    table.AddRow(row);
-  }
-  std::printf("%s\n", table.Render().c_str());
+  std::vector<std::string> row_labels;
+  for (const double gb : sizes) row_labels.push_back(TextTable::Num(gb, 0) + " GB");
+  std::vector<std::string> col_labels;
+  for (const auto w : workers) col_labels.push_back(std::to_string(w) + "w");
+  bench::PrintGridTable(
+      "Query workload time (22,723 BV-BRC term queries, batch 16, 2 in-flight)",
+      "dataset", row_labels, col_labels, seconds,
+      [](double s) { return FormatDuration(s); });
 
   const std::size_t full = sizes.size() - 1;
-  double best = grid.seconds[full][0];
+  double best = seconds[full][0];
   for (std::size_t w = 0; w < workers.size(); ++w) {
-    best = std::min(best, grid.seconds[full][w]);
+    best = std::min(best, seconds[full][w]);
   }
-  const double max_speedup = grid.seconds[full][0] / best;
+  const double max_speedup = seconds[full][0] / best;
 
   // Crossover: smallest size where 4 workers beat 1.
   double crossover_gb = -1;
   for (std::size_t s = 0; s < sizes.size(); ++s) {
-    if (grid.seconds[s][1] < grid.seconds[s][0]) {
+    if (seconds[s][1] < seconds[s][0]) {
       crossover_gb = sizes[s];
       break;
     }
@@ -64,12 +66,10 @@ int main(int argc, char** argv) {
   ComparisonReport report("fig5");
   report.Add("max_speedup", 3.57, max_speedup, "x");
   report.Add("crossover_gb", 30.0, crossover_gb, "GB", 0.40);
-  report.AddClaim("multi-worker hurts on 1 GB",
-                  grid.seconds[0][1] > grid.seconds[0][0]);
-  report.AddClaim("multi-worker wins at 40+ GB",
-                  grid.seconds[6][1] < grid.seconds[6][0]);
+  report.AddClaim("multi-worker hurts on 1 GB", seconds[0][1] > seconds[0][0]);
+  report.AddClaim("multi-worker wins at 40+ GB", seconds[6][1] < seconds[6][0]);
   report.AddClaim("beyond 4 workers gains are marginal (<2x from 4 to 32)",
-                  grid.seconds[full][1] / grid.seconds[full][4] < 2.0);
+                  seconds[full][1] / seconds[full][4] < 2.0);
 
   // The grid's single-worker cells dominate the slow-query log by raw
   // duration. Re-run the headline fan-out cell (full dataset, 32 workers) on

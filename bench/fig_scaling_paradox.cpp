@@ -1,0 +1,294 @@
+/// \file fig_scaling_paradox.cpp
+/// The core-scaling paradox: with a fixed per-node core budget, spending more
+/// threads per query *reduces* throughput once workers/node × threads/query
+/// oversubscribes the node — the "more cores hurts" crossover. This bench
+/// sweeps the simulator's workers-per-node × intra-query-thread grid, shows
+/// the AdaptiveConcurrencyController tracking the best fixed configuration
+/// from runtime signals alone, and exercises the real engine's partitioned
+/// search (HnswIndex segmented layer-0, SQ8 chunked scan) for a
+/// parallel-vs-serial recall-parity check that is valid on any host.
+///
+/// Gate mode (CI): --check=1 exits nonzero unless (i) the sweep shows the
+/// crossover (an interior QPS peak with the most-threaded cell >5% below it),
+/// (ii) the autotuned run holds >= 90% of the best fixed configuration's QPS,
+/// and (iii) parallel search recall stays within 0.02 of serial. Engine QPS
+/// numbers are report-only: the container may pin this process to one core,
+/// which flattens measured speedups but cannot break determinism or recall.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/cpuid.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "index/hnsw_index.hpp"
+#include "index/sq_index.hpp"
+#include "index/search_arena.hpp"
+#include "simqdrant/experiments.hpp"
+
+namespace vdb {
+namespace {
+
+Vector RandomVector(Rng& rng, std::size_t dim) {
+  Vector v(dim);
+  for (auto& x : v) x = static_cast<Scalar>(rng.NextGaussian());
+  return v;
+}
+
+struct EngineParity {
+  std::string path;
+  double serial_recall = 0.0;
+  double parallel_recall = 0.0;
+  double serial_qps = 0.0;
+  double parallel_qps = 0.0;
+};
+
+double MeasureQps(const VectorIndex& index, const std::vector<Vector>& queries,
+                  const SearchParams& params, double min_seconds) {
+  for (const auto& q : queries) (void)index.Search(q, params);
+  double total = 0.0;
+  double best_sweep = std::numeric_limits<double>::infinity();
+  do {
+    Stopwatch watch;
+    for (const auto& q : queries) {
+      auto hits = index.Search(q, params);
+      if (!hits.ok()) return 0.0;
+    }
+    const double sweep = watch.ElapsedSeconds();
+    best_sweep = std::min(best_sweep, sweep);
+    total += sweep;
+  } while (total < min_seconds);
+  return static_cast<double>(queries.size()) / best_sweep;
+}
+
+double MeanRecall(const VectorIndex& index, const VectorStore& store,
+                  const std::vector<Vector>& queries, const SearchParams& params) {
+  double total = 0.0;
+  for (const auto& q : queries) {
+    auto got = index.Search(q, params);
+    if (!got.ok()) return 0.0;
+    total += RecallAtK(*got, ExactSearch(store, q, params.k), params.k);
+  }
+  return total / static_cast<double>(queries.size());
+}
+
+/// Serial vs fanned-out search over the same index: recall against exact
+/// ground truth for both, plus throughput (report-only).
+EngineParity MeasureParity(const std::string& path, const VectorIndex& index,
+                           const VectorStore& store,
+                           const std::vector<Vector>& queries, std::size_t fanout) {
+  constexpr double kMinSeconds = 0.3;
+  SearchParams serial;
+  serial.k = 10;
+  serial.ef_search = 64;
+  SearchParams parallel = serial;
+  parallel.intra_fanout = fanout;
+
+  EngineParity parity;
+  parity.path = path;
+  parity.serial_recall = MeanRecall(index, store, queries, serial);
+  parity.parallel_recall = MeanRecall(index, store, queries, parallel);
+  parity.serial_qps = MeasureQps(index, queries, serial, kMinSeconds);
+  parity.parallel_qps = MeasureQps(index, queries, parallel, kMinSeconds);
+  return parity;
+}
+
+std::vector<EngineParity> RunEngineParity(std::size_t fanout) {
+  constexpr std::size_t kDim = 64;
+  constexpr std::size_t kRows = 4096;
+  constexpr std::size_t kQueries = 64;
+
+  VectorStore store(kDim, Metric::kCosine);
+  Rng rng(0x5ca1ab1e);
+  std::vector<Vector> raw;
+  raw.reserve(kRows);
+  for (PointId i = 0; i < kRows; ++i) {
+    Vector v = RandomVector(rng, kDim);
+    (void)store.Add(i, v);
+    raw.push_back(std::move(v));
+  }
+  std::vector<Vector> queries;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    Vector query = raw[rng.NextU64(raw.size())];
+    for (auto& x : query) x += static_cast<Scalar>(rng.NextGaussian() * 0.05);
+    queries.push_back(std::move(query));
+  }
+
+  std::vector<EngineParity> results;
+
+  HnswParams hnsw_params;
+  hnsw_params.m = 16;
+  hnsw_params.build_threads = 1;
+  HnswIndex hnsw(store, hnsw_params);
+  if (hnsw.Build().ok()) {
+    results.push_back(MeasureParity("hnsw", hnsw, store, queries, fanout));
+  }
+
+  SqParams sq_params;
+  sq_params.rerank = 32;
+  SqIndex sq(store, sq_params);
+  if (sq.Build().ok()) {
+    results.push_back(MeasureParity("sq8_rerank32", sq, store, queries, fanout));
+  }
+  return results;
+}
+
+int Run(std::uint64_t queries_per_cell, const std::string& out_path, bool check) {
+  using namespace vdb::simq;
+  bench::PrintHeader(
+      "Scaling paradox — intra-query threads x workers/node over a fixed core budget",
+      "sequel study: the core-scaling crossover on one 32-core Polaris node");
+
+  const PolarisCostModel model = PolarisCostModel::Calibrated();
+  const std::vector<std::uint32_t> wpn_grid = {1, 2, 4, 8};
+  const std::vector<std::uint32_t> thread_grid = {1, 2, 4, 8, 16, 32};
+  // Past the fig. 5 crossover, so the broadcast overhead of co-located workers
+  // is already paid for and per-worker search time dominates.
+  const double dataset_gb = 64.0;
+
+  std::printf("node budget: %.0f cores, dataset %.0f GB, %llu queries/cell "
+              "(batch 16, 2 in-flight)\n\n",
+              model.node_cores, dataset_gb,
+              static_cast<unsigned long long>(queries_per_cell));
+
+  const ScalingParadoxResult sweep = RunScalingParadoxSweep(
+      model, wpn_grid, thread_grid, dataset_gb, queries_per_cell);
+
+  std::vector<std::string> row_labels;
+  for (const auto wpn : wpn_grid) row_labels.push_back(std::to_string(wpn) + "w/node");
+  std::vector<std::string> col_labels;
+  for (const auto t : thread_grid) col_labels.push_back(std::to_string(t) + "t");
+  bench::PrintGridTable("Query throughput (QPS) — cells right of the budget line collapse",
+                        "config", row_labels, col_labels, sweep.qps,
+                        [](double qps) { return TextTable::Num(qps, 1); });
+
+  std::printf("best fixed cell: %u workers/node x %u threads = %.1f QPS\n",
+              sweep.best_workers_per_node, sweep.best_threads, sweep.best_qps);
+  std::printf("crossover observed: %s\n\n", sweep.crossover_observed ? "yes" : "no");
+
+  // Adaptive controller at the paper's deployment geometry (4 workers/node).
+  const std::uint32_t autotune_wpn = 4;
+  const ScalingAutotuneResult tuned = RunScalingParadoxAutotuned(
+      model, autotune_wpn, thread_grid, dataset_gb, /*queries_per_window=*/256,
+      /*windows=*/16);
+  std::printf("autotuned (%uw/node): fanout trace [", autotune_wpn);
+  for (std::size_t i = 0; i < tuned.fanout_trace.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : " ", tuned.fanout_trace[i]);
+  }
+  std::printf("] -> final %u threads\n", tuned.final_fanout);
+  std::printf("autotuned %.1f QPS vs best fixed %.1f QPS (%u threads): %.1f%%\n\n",
+              tuned.qps, tuned.best_fixed_qps, tuned.best_fixed_threads,
+              tuned.ratio * 100.0);
+
+  // Real-engine parity: the partitioned search paths must return serial-grade
+  // results regardless of how many cores the host actually grants.
+  const std::size_t fanout = 4;
+  std::printf("engine parity (dim 64, 4096 rows, fanout %zu, arena budget %zu, "
+              "host %s, %u hw threads):\n",
+              fanout, SearchArena::Instance().CoreBudget(),
+              CpuFeatureString().c_str(), std::thread::hardware_concurrency());
+  const std::vector<EngineParity> parity = RunEngineParity(fanout);
+  double worst_recall_drop = 0.0;
+  for (const auto& p : parity) {
+    worst_recall_drop =
+        std::max(worst_recall_drop, p.serial_recall - p.parallel_recall);
+    std::printf("  %-14s serial %8.1f qps recall %.4f | parallel %8.1f qps "
+                "recall %.4f\n",
+                p.path.c_str(), p.serial_qps, p.serial_recall, p.parallel_qps,
+                p.parallel_recall);
+  }
+  std::printf("worst parallel recall drop: %.4f (bound 0.02)\n\n", worst_recall_drop);
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"fig_scaling_paradox\",\n");
+    std::fprintf(f, "  \"dataset_gb\": %.1f,\n  \"queries_per_cell\": %llu,\n",
+                 dataset_gb, static_cast<unsigned long long>(queries_per_cell));
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (std::size_t r = 0; r < sweep.qps.size(); ++r) {
+      std::fprintf(f, "    {\"workers_per_node\": %u, \"qps\": [", wpn_grid[r]);
+      for (std::size_t c = 0; c < sweep.qps[r].size(); ++c) {
+        std::fprintf(f, "%s%.2f", c == 0 ? "" : ", ", sweep.qps[r][c]);
+      }
+      std::fprintf(f, "]}%s\n", r + 1 < sweep.qps.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"threads\": [1, 2, 4, 8, 16, 32],\n");
+    std::fprintf(f,
+                 "  \"best\": {\"workers_per_node\": %u, \"threads\": %u, "
+                 "\"qps\": %.2f},\n",
+                 sweep.best_workers_per_node, sweep.best_threads, sweep.best_qps);
+    std::fprintf(f, "  \"crossover_observed\": %s,\n",
+                 sweep.crossover_observed ? "true" : "false");
+    std::fprintf(f,
+                 "  \"autotune\": {\"workers_per_node\": %u, \"final_fanout\": %u, "
+                 "\"qps\": %.2f, \"best_fixed_qps\": %.2f, \"ratio\": %.4f},\n",
+                 autotune_wpn, tuned.final_fanout, tuned.qps, tuned.best_fixed_qps,
+                 tuned.ratio);
+    std::fprintf(f, "  \"engine_parity\": [\n");
+    for (std::size_t i = 0; i < parity.size(); ++i) {
+      const auto& p = parity[i];
+      std::fprintf(f,
+                   "    {\"path\": \"%s\", \"serial_qps\": %.1f, "
+                   "\"parallel_qps\": %.1f, \"serial_recall\": %.4f, "
+                   "\"parallel_recall\": %.4f}%s\n",
+                   p.path.c_str(), p.serial_qps, p.parallel_qps, p.serial_recall,
+                   p.parallel_recall, i + 1 < parity.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"worst_recall_drop\": %.4f\n}\n", worst_recall_drop);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (check) {
+    bool ok = true;
+    if (!sweep.crossover_observed) {
+      std::fprintf(stderr, "--check=1: no scaling crossover in the sweep\n");
+      ok = false;
+    }
+    if (tuned.ratio < 0.90) {
+      std::fprintf(stderr, "--check=1: autotuned QPS %.1f%% of best fixed (< 90%%)\n",
+                   tuned.ratio * 100.0);
+      ok = false;
+    }
+    if (parity.size() < 2 || worst_recall_drop > 0.02) {
+      std::fprintf(stderr, "--check=1: parallel search recall parity FAILED\n");
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::printf("--check=1: crossover + autotune + parity gates PASSED\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vdb
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string out_path;
+  std::uint64_t queries = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--check=", 8) == 0) {
+      check = std::strcmp(argv[i] + 8, "0") != 0;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      queries = std::strtoull(argv[i] + 10, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  return vdb::Run(queries == 0 ? 2000 : queries, out_path, check);
+}

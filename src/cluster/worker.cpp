@@ -9,6 +9,7 @@
 #include "common/logging.hpp"
 #include "common/stopwatch.hpp"
 #include "common/trace.hpp"
+#include "index/search_arena.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
 
@@ -22,9 +23,15 @@ std::string WorkerLocalEndpoint(WorkerId id) {
 
 Worker::Worker(Transport& transport,
                std::shared_ptr<const ShardPlacement> placement, WorkerConfig config)
-    : transport_(transport), placement_(std::move(placement)), config_(std::move(config)) {
+    : transport_(transport),
+      placement_(std::move(placement)),
+      config_(std::move(config)),
+      tuner_(AdaptiveConcurrencyController::Config{
+          /*core_budget=*/SearchArena::Instance().CoreBudget(),
+          /*max_fanout=*/32}) {
   fault_plan_ = config_.fault_plan;
   fault_site_ = "worker/" + std::to_string(config_.id) + "/handle";
+  SearchArena::Instance().RegisterWorker();
 }
 
 void Worker::SetFaultPlan(std::shared_ptr<faults::FaultPlan> plan) {
@@ -36,6 +43,7 @@ Worker::~Worker() {
   // Endpoints may already be gone during teardown; ignore NotFound.
   (void)transport_.UnregisterEndpoint(Endpoint());
   (void)transport_.UnregisterEndpoint(WorkerLocalEndpoint(config_.id));
+  SearchArena::Instance().UnregisterWorker();
 }
 
 Result<std::unique_ptr<Worker>> Worker::Start(
@@ -379,8 +387,14 @@ Result<SearchResponse> Worker::SearchFanOut(const Message& request,
     ++counters_.peer_calls;
   }
 
+  // The entry worker's own shard search may fan out intra-query: its result
+  // is on the critical path ahead of the slowest peer, so cutting its
+  // latency directly narrows the straggler window. Peers decide their own
+  // fan-out locally (the wire does not carry intra_fanout by design).
+  SearchParams local_params = view.params();
+  local_params.intra_fanout = CurrentFanout();
   VDB_ASSIGN_OR_RETURN(SearchResponse local,
-                       SearchLocal(view.query(), view.params(), view.filter()));
+                       SearchLocal(view.query(), local_params, view.filter()));
   std::vector<std::vector<ScoredPoint>> partials;
   partials.push_back(std::move(local.hits));
   std::uint32_t searched = local.shards_searched;
@@ -429,9 +443,14 @@ Message Worker::HandleSearch(const Message& request, bool force_local) {
   auto view = DecodeSearchRequestView(request);
   if (!view.ok()) return EncodeErrorResponse(view.status());
   const bool fan_out = view->fan_out() && !force_local;
-  Result<SearchResponse> response =
-      fan_out ? SearchFanOut(request, *view)
-              : SearchLocal(view->query(), view->params(), view->filter());
+  Result<SearchResponse> response = [&]() -> Result<SearchResponse> {
+    if (fan_out) return SearchFanOut(request, *view);
+    // Single local query (direct or a peer's forwarded fan-out): grant it the
+    // controller's current intra-query fan-out — the wire never carries one.
+    SearchParams params = view->params();
+    params.intra_fanout = CurrentFanout();
+    return SearchLocal(view->query(), params, view->filter());
+  }();
   if (!response.ok()) return EncodeErrorResponse(response.status());
   {
     std::lock_guard<std::mutex> lock(counters_mutex_);
@@ -444,15 +463,28 @@ Message Worker::HandleSearch(const Message& request, bool force_local) {
   return EncodeSearchResponse(*response);
 }
 
-ThreadPool& Worker::SearchPool() const {
-  std::call_once(search_pool_once_, [this] {
-    std::size_t threads = config_.search_threads;
-    if (threads == 0) {
-      threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    }
-    search_pool_ = std::make_unique<ThreadPool>(threads);
-  });
-  return *search_pool_;
+std::size_t Worker::SearchWidth() const {
+  SearchArena& arena = SearchArena::Instance();
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t requested =
+      config_.search_threads == 0 ? hw : config_.search_threads;
+  const std::size_t limit = std::min(hw, arena.FairShare());
+  if (requested > limit) {
+    std::call_once(clamp_log_once_, [&] {
+      VDB_WARN << "worker " << config_.id << " search_threads " << requested
+               << " clamped to " << limit << " (hardware " << hw
+               << ", arena budget " << arena.CoreBudget() << " across "
+               << arena.RegisteredWorkers() << " workers)";
+    });
+    return limit;
+  }
+  return requested;
+}
+
+std::size_t Worker::CurrentFanout() const {
+  std::lock_guard<std::mutex> lock(tuner_mutex_);
+  return std::min(tuner_.IntraFanout(), SearchWidth());
 }
 
 Result<SearchBatchResponse> Worker::SearchBatchLocal(
@@ -463,39 +495,79 @@ Result<SearchBatchResponse> Worker::SearchBatchLocal(
   const Filter no_filter;
 
   if (count < 2) {
+    // A lone query gets the controller's intra-query fan-out instead of batch
+    // width — the two spend the same arena budget.
+    SearchParams params = view.params();
+    params.intra_fanout = CurrentFanout();
     for (std::size_t q = 0; q < count; ++q) {
       VDB_SPAN("worker.search_batch");
       VDB_ASSIGN_OR_RETURN(SearchResponse partial,
-                           SearchLocal(view.query(q), view.params(), no_filter));
+                           SearchLocal(view.query(q), params, no_filter));
       response.results[q] = std::move(partial.hits);
     }
     return response;
   }
 
   // Intra-batch parallelism: queries are independent shared-lock readers, so
-  // they fan across the pool. The caller's full trace context (trace id,
-  // parent span, worker attribution) is re-installed on each pool thread so
-  // per-query spans stay attributable to the originating call and parented
-  // under the dispatching span. The backlog gauge tracks queries handed to
-  // the pool but not yet finished.
+  // they fan across the shared arena at the width the controller grants
+  // (width × per-query fan-out never exceeds the arena budget: the batch path
+  // pins fan-out to 1, and the arena runs nested requests inline anyway). The
+  // caller's full trace context (trace id, parent span, worker attribution)
+  // is re-installed on each arena thread so per-query spans stay attributable
+  // to the originating call and parented under the dispatching span. The
+  // backlog gauge tracks queries handed to the arena but not yet finished.
+  SearchParams params = view.params();
+  params.intra_fanout = 1;
+  const std::size_t width =
+      std::min({count, SearchWidth(), [&] {
+                  std::lock_guard<std::mutex> lock(tuner_mutex_);
+                  return tuner_.BatchWidth();
+                }()});
   std::vector<Status> statuses(count, Status::Ok());
+  std::vector<double> query_seconds(count, 0.0);
   const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
   VDB_GAUGE_ADD("worker.search_backlog", static_cast<std::int64_t>(count));
-  SearchPool().ParallelFor(0, count, [&](std::size_t q) {
+  Stopwatch batch_watch;
+  SearchArena::Instance().ParallelFor(width, 0, count, /*grain=*/1, [&](std::size_t q) {
     obs::TraceContextScope trace(trace_ctx);
+    Stopwatch query_watch;
     {
       VDB_SPAN("worker.search_batch");
-      auto partial = SearchLocal(view.query(q), view.params(), no_filter);
+      auto partial = SearchLocal(view.query(q), params, no_filter);
       if (partial.ok()) {
         response.results[q] = std::move(partial->hits);
       } else {
         statuses[q] = partial.status();
       }
     }
+    query_seconds[q] = query_watch.ElapsedSeconds();
     VDB_GAUGE_ADD("worker.search_backlog", -1);
   });
+  const double elapsed = batch_watch.ElapsedSeconds();
   for (const Status& status : statuses) {
     VDB_RETURN_IF_ERROR(status);
+  }
+
+  // One controller observation per parallel batch: mean service time, excess
+  // wall-clock over perfect width-way packing as queue wait, and max/mean as
+  // straggler spread.
+  double total = 0.0;
+  double worst = 0.0;
+  for (const double s : query_seconds) {
+    total += s;
+    worst = std::max(worst, s);
+  }
+  const double service = total / static_cast<double>(count);
+  const double ideal =
+      service * static_cast<double>((count + width - 1) / width);
+  ConcurrencyObservation obs;
+  obs.service_seconds = service;
+  obs.queue_wait_seconds = std::max(0.0, elapsed - ideal);
+  obs.straggler_spread = service > 0.0 ? worst / service : 1.0;
+  obs.qps = elapsed > 0.0 ? static_cast<double>(count) / elapsed : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(tuner_mutex_);
+    tuner_.Observe(obs);
   }
   return response;
 }

@@ -17,9 +17,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include "client/tuner.hpp"
 #include "cluster/placement.hpp"
 #include "collection/collection.hpp"
-#include "common/thread_pool.hpp"
 #include "rpc/transport.hpp"
 
 namespace vdb {
@@ -39,9 +39,11 @@ struct WorkerConfig {
   CollectionConfig collection_template;
   /// RPC service threads for this worker.
   std::size_t service_threads = 2;
-  /// Threads for intra-batch query parallelism in SearchBatchLocal
-  /// (0 = hardware concurrency). The pool is created lazily on the first
-  /// multi-query batch.
+  /// Ceiling on this worker's query-time parallelism (batch width and
+  /// intra-query fan-out combined; 0 = hardware concurrency). Always clamped
+  /// to hardware_concurrency and the SearchArena fair share — workers share
+  /// one process-wide arena, so a worker cannot oversubscribe the machine no
+  /// matter what it asks for (logged once when the clamp bites).
   std::size_t search_threads = 0;
   /// Optional fault plan consulted at site "worker/<id>/handle" on every RPC
   /// (kCrash latches the worker dead until restarted; kFail/kDrop reject the
@@ -157,13 +159,18 @@ class Worker {
 
   /// Batched variants: one RPC carries many queries (the paper's query
   /// batch); the whole batch is broadcast to each peer once. Local execution
-  /// parallelizes across queries on the search pool.
+  /// parallelizes across queries on the shared SearchArena, at the width the
+  /// concurrency controller currently allows.
   Result<SearchBatchResponse> SearchBatchLocal(const SearchBatchRequestView& view) const;
   Result<SearchBatchResponse> SearchBatchFanOut(const Message& request,
                                                 const SearchBatchRequestView& view);
 
-  /// Lazily-created pool shared by every batched search on this worker.
-  ThreadPool& SearchPool() const;
+  /// Effective parallelism ceiling: config_.search_threads (0 = hardware
+  /// concurrency) clamped to hardware_concurrency and the arena fair share.
+  std::size_t SearchWidth() const;
+
+  /// Intra-query fan-out the controller currently grants a single query.
+  std::size_t CurrentFanout() const;
 
   /// Copies the shard's collection handle out under the lock. Callers apply
   /// to the copy, so a concurrent DropShardStorage (migration abort, source
@@ -200,8 +207,11 @@ class Worker {
   mutable std::mutex counters_mutex_;
   WorkerCounters counters_;
 
-  mutable std::once_flag search_pool_once_;
-  mutable std::unique_ptr<ThreadPool> search_pool_;
+  /// Adaptive batch-width vs intra-query-fan-out split (see tuner.hpp). Fed
+  /// one observation per parallel batch; consulted per request.
+  mutable std::mutex tuner_mutex_;
+  mutable AdaptiveConcurrencyController tuner_;
+  mutable std::once_flag clamp_log_once_;
 
   mutable std::mutex fault_mutex_;
   std::shared_ptr<faults::FaultPlan> fault_plan_;

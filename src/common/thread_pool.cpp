@@ -1,6 +1,9 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 
 namespace vdb {
 
@@ -27,22 +30,87 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
+  ParallelFor(begin, end, /*grain=*/0, fn);
+}
+
+namespace {
+
+/// Shared loop state for the cursor-based ParallelFor. Completion is tracked
+/// by items finished, not helper tasks joined: a queued helper that never got
+/// a slice holds nothing, so the caller must not wait for it (it may be stuck
+/// behind long-running unrelated tasks in the same queue).
+struct ParallelForState {
+  std::atomic<std::size_t> cursor;
+  std::atomic<std::size_t> done{0};
+  std::size_t end = 0;
+  std::size_t total = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable all_done;
+
+  /// Claims and runs slices until the cursor is exhausted.
+  void Drain() {
+    for (;;) {
+      const std::size_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + grain);
+      for (std::size_t i = lo; i < hi; ++i) (*fn)(i);
+      if (done.fetch_add(hi - lo, std::memory_order_acq_rel) + (hi - lo) == total) {
+        std::lock_guard<std::mutex> lock(mutex);
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                             const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t chunks = std::min(total, NumThreads());
-  const std::size_t per_chunk = (total + chunks - 1) / chunks;
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * per_chunk;
-    const std::size_t hi = std::min(end, lo + per_chunk);
-    if (lo >= hi) break;
-    futures.push_back(Submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+  if (total <= NumThreads()) {
+    // Tiny range: the old static split (one contiguous chunk per thread) —
+    // every thread gets at most one item, so dynamic claiming is pure
+    // overhead.
+    std::vector<std::future<void>> futures;
+    futures.reserve(total);
+    for (std::size_t i = begin; i < end; ++i) {
+      futures.push_back(Submit([i, &fn] { fn(i); }));
+    }
+    for (auto& future : futures) future.get();
+    return;
   }
-  for (auto& future : futures) future.get();
+
+  if (grain == 0) {
+    // ~8 slices per thread: fine enough to rebalance skewed item costs,
+    // coarse enough that the fetch_add is invisible next to any real work.
+    grain = std::max<std::size_t>(1, total / (8 * NumThreads()));
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->cursor.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->total = total;
+  state->grain = grain;
+  state->fn = &fn;
+
+  // Helpers beyond what the slice count can occupy would only churn the
+  // queue; the caller itself is the +1.
+  const std::size_t slices = (total + grain - 1) / grain;
+  const std::size_t helpers = std::min(NumThreads(), slices - 1);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    tasks_.Push([state] { state->Drain(); });
+  }
+
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
 }
 
 }  // namespace vdb

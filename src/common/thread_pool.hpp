@@ -40,9 +40,23 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [begin, end) across the pool; blocks until done.
-  /// Work is divided into contiguous chunks (one per thread) — appropriate for
-  /// the regular per-vector loops in index builds.
+  /// Equivalent to the grain overload with grain = 0 (auto).
   void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Grain-controlled variant. Large ranges are claimed through a shared
+  /// atomic cursor in `grain`-sized slices, so skewed per-item costs (HNSW
+  /// candidate scoring, graph inserts at different depths) can't strand a
+  /// thread behind one slow static chunk while its neighbours sit idle.
+  /// `grain == 0` picks a default (~8 slices per thread). Tiny ranges
+  /// (total <= NumThreads()) keep the old contiguous one-chunk-per-thread
+  /// split — a cursor buys nothing when every thread gets at most one item.
+  ///
+  /// The calling thread participates in the loop (it claims slices like any
+  /// pool worker), so a task already running on this pool may call
+  /// ParallelFor again without deadlocking: the caller drains whatever the
+  /// busy workers don't take. `fn` must not throw.
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                    const std::function<void(std::size_t)>& fn);
 
  private:

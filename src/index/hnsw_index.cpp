@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <numeric>
 #include <queue>
 #include <thread>
 #include <unordered_set>
@@ -10,6 +11,7 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "common/thread_pool.hpp"
+#include "index/search_arena.hpp"
 #include "obs/obs.hpp"
 
 namespace vdb {
@@ -330,6 +332,60 @@ std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer(
   return out;
 }
 
+std::vector<HnswIndex::SearchCandidate> HnswIndex::SearchLayer0Segmented(
+    VectorView query, std::uint32_t entry, std::size_t ef, std::size_t fanout,
+    std::size_t min_ef, std::uint64_t& distance_ops, const SqQuery* sq) const {
+  // Distinct entry points: the greedy entry plus its best-scoring layer-0
+  // neighbours. Each seeds one segment of the beam.
+  std::vector<std::uint32_t> entries{entry};
+  if (const Node* node = nodes_.At(entry)) {
+    const auto links = node->CopyLinks(0);
+    if (!links.empty()) {
+      std::vector<Scalar> scores(links.size());
+      ScoreOffsets(query, links.data(), links.size(), scores.data(), distance_ops, sq);
+      std::vector<std::size_t> order(links.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+      for (const std::size_t i : order) {
+        if (entries.size() >= fanout) break;
+        if (links[i] != entry) entries.push_back(links[i]);
+      }
+    }
+  }
+
+  const std::size_t segments = entries.size();
+  const std::size_t ef_seg =
+      std::max({min_ef, (ef + segments - 1) / segments, std::size_t{16}});
+  std::vector<std::vector<SearchCandidate>> partial(segments);
+  std::vector<std::uint64_t> segment_ops(segments, 0);
+  SearchArena::Instance().ParallelFor(
+      segments, 0, segments, /*grain=*/1, [&](std::size_t s) {
+        partial[s] = SearchLayer(query, entries[s], ef_seg, 0, segment_ops[s], sq);
+      });
+  for (const std::uint64_t ops : segment_ops) distance_ops += ops;
+
+  // Merge best-first with cross-segment dedup (segments share the dense
+  // region around the optimum), truncated to the serial beam width.
+  std::vector<SearchCandidate> merged;
+  for (auto& p : partial) {
+    merged.insert(merged.end(), p.begin(), p.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SearchCandidate& a, const SearchCandidate& b) {
+              return a.score > b.score;
+            });
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<SearchCandidate> out;
+  out.reserve(std::min(ef, merged.size()));
+  for (const auto& candidate : merged) {
+    if (!seen.insert(candidate.offset).second) continue;
+    out.push_back(candidate);
+    if (out.size() >= ef) break;
+  }
+  return out;
+}
+
 std::vector<std::uint32_t> HnswIndex::SelectNeighbors(
     VectorView target, std::vector<SearchCandidate> candidates,
     std::size_t max_degree, std::uint64_t& distance_ops) const {
@@ -558,6 +614,13 @@ Status HnswIndex::Build() {
       std::mutex error_mutex;
       std::atomic<bool> failed{false};
       std::atomic<std::size_t> ok_count{0};
+      // Build uses its own transient pool, NOT the SearchArena: builds are
+      // rare, bulk, and allowed to saturate the machine (fig. 3's 90–97% CPU),
+      // while the arena's budget is reserved for query-time parallelism.
+      // Insert cost is skewed (depth depends on the sampled level), so the
+      // grain-cursor ParallelFor rebalances instead of static chunks. A
+      // build racing live searches transiently oversubscribes by `threads`;
+      // callers who care cap build_threads against SearchArena::CoreBudget().
       ThreadPool pool(threads);
       pool.ParallelFor(serial, pending.size(), [&](std::size_t idx) {
         if (failed.load(std::memory_order_relaxed)) return;  // early stop
@@ -628,7 +691,12 @@ Result<std::vector<ScoredPoint>> HnswIndex::Search(VectorView query,
     current = GreedyStep(effective, current, layer, ops, sq);
   }
   const std::size_t ef = std::max(std::max(params.ef_search, params.k), rerank_n);
-  auto candidates = SearchLayer(effective, current, ef, 0, ops, sq);
+  const std::size_t fanout = std::min(params.intra_fanout, ef);
+  auto candidates =
+      fanout > 1
+          ? SearchLayer0Segmented(effective, current, ef, fanout,
+                                  std::max(params.k, rerank_n), ops, sq)
+          : SearchLayer(effective, current, ef, 0, ops, sq);
 
   if (sq != nullptr) {
     // Rerank the best rerank_n frontier candidates with exact float scores —

@@ -225,6 +225,18 @@ class HnswIndex final : public VectorIndex {
                                            std::uint64_t& distance_ops,
                                            const SqQuery* sq = nullptr) const;
 
+  /// Segmented layer-0 search for intra-query fan-out
+  /// (SearchParams::intra_fanout > 1): up to `fanout` distinct entry points —
+  /// the greedy-descent entry plus its best layer-0 neighbours — each run an
+  /// independent SearchLayer with a reduced beam (>= min_ef, >= ef/segments)
+  /// and separate visited sets on SearchArena threads; the per-segment
+  /// frontiers are merged best-first with cross-segment dedup. Segments
+  /// overlap near the optimum, so recall matches the serial beam within the
+  /// quant tolerance while wall-clock drops with available cores.
+  std::vector<SearchCandidate> SearchLayer0Segmented(
+      VectorView query, std::uint32_t entry, std::size_t ef, std::size_t fanout,
+      std::size_t min_ef, std::uint64_t& distance_ops, const SqQuery* sq) const;
+
   /// Selects <= max_degree neighbours from best-first candidates.
   std::vector<std::uint32_t> SelectNeighbors(VectorView target,
                                              std::vector<SearchCandidate> candidates,

@@ -68,6 +68,11 @@ struct SearchParams {
   std::size_t ef_search = 64;
   /// IVF probe count; ignored by other indexes.
   std::size_t n_probes = 8;
+  /// Intra-query fan-out: how many SearchArena threads one query may use
+  /// (1 = serial, the default). Deliberately NOT part of the RPC wire format:
+  /// each worker's concurrency controller sets it locally from its own load,
+  /// so a hot entry node can't force fan-out onto an already saturated peer.
+  std::size_t intra_fanout = 1;
 };
 
 /// Statistics gathered during index construction (drives cost-model

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/stopwatch.hpp"
+#include "index/search_arena.hpp"
 
 namespace vdb {
 
@@ -94,33 +95,60 @@ Result<std::vector<ScoredPoint>> SqIndex::Search(VectorView query,
   Sq8Ranges::QuantizedQuery qq;
   if (int_scan) qq = Sq8Ranges::QuantizeAdjusted(prep.adj);
 
-  float block_scores[Sq8BlockedCodes::kBlockRows];
-  std::int32_t block_sums[Sq8BlockedCodes::kBlockRows];
-  for (std::size_t b = 0; b < codes_.NumBlocks(); ++b) {
-    const std::size_t base = b * Sq8BlockedCodes::kBlockRows;
-    const std::size_t limit = std::min(Sq8BlockedCodes::kBlockRows, rows - base);
-    if (int_scan) {
-      codes_.ScoreBlockQ(b, qq.q.data(), block_sums);
-      for (std::size_t r = 0; r < limit; ++r) {
-        block_scores[r] = qq.factor * static_cast<float>(block_sums[r]);
+  // Scans blocks [block_lo, block_hi) into `out` — the serial path runs one
+  // full-range call; intra-query fan-out runs one call per chunk of blocks on
+  // arena threads (each with a private TopK — coarse ids are store offsets and
+  // chunks are disjoint, so merging dedups nothing).
+  const auto scan_blocks = [&](std::size_t block_lo, std::size_t block_hi,
+                               TopK& out) {
+    float block_scores[Sq8BlockedCodes::kBlockRows];
+    std::int32_t block_sums[Sq8BlockedCodes::kBlockRows];
+    for (std::size_t b = block_lo; b < block_hi; ++b) {
+      const std::size_t base = b * Sq8BlockedCodes::kBlockRows;
+      const std::size_t limit = std::min(Sq8BlockedCodes::kBlockRows, rows - base);
+      if (int_scan) {
+        codes_.ScoreBlockQ(b, qq.q.data(), block_sums);
+        for (std::size_t r = 0; r < limit; ++r) {
+          block_scores[r] = qq.factor * static_cast<float>(block_sums[r]);
+        }
+      } else {
+        codes_.ScoreBlock(b, prep.adj.data(), block_scores);
       }
-    } else {
-      codes_.ScoreBlock(b, prep.adj.data(), block_scores);
+      float threshold = out.Full() ? out.Threshold()
+                                   : -std::numeric_limits<float>::infinity();
+      for (std::size_t r = 0; r < limit; ++r) {
+        const float score =
+            FinishSq8Score(metric, prep, block_scores[r], NormSqAt(base + r));
+        if (score <= threshold && out.Full()) continue;
+        const std::uint32_t offset = offsets_[base + r];
+        if (!no_deletes && store_.IsDeleted(offset)) continue;
+        out.Push(ScoredPoint{offset, score});
+        if (out.Full()) threshold = out.Threshold();
+      }
     }
-    float threshold = coarse.Full() ? coarse.Threshold()
-                                    : -std::numeric_limits<float>::infinity();
-    for (std::size_t r = 0; r < limit; ++r) {
-      const float score =
-          FinishSq8Score(metric, prep, block_scores[r], NormSqAt(base + r));
-      if (score <= threshold && coarse.Full()) continue;
-      const std::uint32_t offset = offsets_[base + r];
-      if (!no_deletes && store_.IsDeleted(offset)) continue;
-      coarse.Push(ScoredPoint{offset, score});
-      if (coarse.Full()) threshold = coarse.Threshold();
-    }
-  }
+  };
 
-  auto candidates = coarse.Take();
+  constexpr std::size_t kMinBlocksPerChunk = 16;  // 1024 rows
+  const std::size_t num_blocks = codes_.NumBlocks();
+  const std::size_t fanout =
+      std::min(params.intra_fanout,
+               std::max<std::size_t>(1, num_blocks / kMinBlocksPerChunk));
+  std::vector<ScoredPoint> candidates;
+  if (fanout > 1) {
+    const std::size_t per_chunk = (num_blocks + fanout - 1) / fanout;
+    std::vector<std::vector<ScoredPoint>> partial(fanout);
+    SearchArena::Instance().ParallelFor(
+        fanout, 0, fanout, /*grain=*/1, [&](std::size_t c) {
+          TopK local(fetch);
+          const std::size_t lo = c * per_chunk;
+          scan_blocks(lo, std::min(num_blocks, lo + per_chunk), local);
+          partial[c] = local.Take();
+        });
+    candidates = MergeTopK(partial, fetch);
+  } else {
+    scan_blocks(0, num_blocks, coarse);
+    candidates = coarse.Take();
+  }
   if (params_.rerank > 0) {
     TopK reranked(params.k);
     for (const auto& candidate : candidates) {

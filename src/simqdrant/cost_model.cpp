@@ -77,6 +77,24 @@ double PolarisCostModel::QueryServicePerBatch(std::uint64_t bs, double local_gb)
          query_server_super_coeff * std::pow(b, query_server_super_exp);
 }
 
+double PolarisCostModel::QueryServiceThreadedPerBatch(std::uint64_t bs, double local_gb,
+                                                      double threads,
+                                                      double node_thread_demand) const {
+  const double base = QueryServicePerBatch(bs, local_gb);
+  // threads <= 1 is the calibrated serial path bit-for-bit (no Amdahl term):
+  // every fig. 2-5 experiment runs through here unchanged.
+  double scaled = base;
+  if (threads > 1.0) {
+    const double par = query_parallel_fraction;
+    const double speedup =
+        1.0 / ((1.0 - par) + par / (threads * ThreadEfficiency(threads)));
+    scaled = base / speedup;
+  }
+  const double oversub = node_thread_demand / node_cores;
+  if (oversub > 1.0) scaled *= std::pow(oversub, oversub_penalty_exp);
+  return scaled;
+}
+
 double PolarisCostModel::ThreadEfficiency(double threads) const {
   // Piecewise-linear interpolation over measured-style anchor points:
   // <=4 threads: 0.98, 8: 0.95, 16: 0.89, 32: 0.82 (one shared HNSW graph

@@ -82,6 +82,17 @@ struct PolarisCostModel {
   double broadcast_entry_overhead = 9e-3;
   double broadcast_per_peer = 0.04e-3;
 
+  // ---- Intra-query threading (scaling-paradox study) ------------------------
+  // Fraction of worker-local search amenable to intra-query threads (segmented
+  // layer-0 beam + chunked scans parallelize; descent, merge, rerank stay
+  // serial). Amdahl with ThreadEfficiency() gives diminishing returns.
+  double query_parallel_fraction = 0.78;
+  // Once runnable search threads exceed the node's cores (workers/node ×
+  // threads/query > 32), context switching and cache thrash grow the service
+  // time superlinearly: multiply by (demand/cores)^exp. This is the "more
+  // cores hurts" mechanism of the sequel study ("When More Cores Hurts").
+  double oversub_penalty_exp = 1.6;
+
   // ---- Embedding generation (section 3.1, table 2) --------------------------
   double embed_model_load = 28.17;   // load weights + transfer to GPU, per job
   double embed_io_per_job = 7.49;    // read raw text, per job
@@ -140,6 +151,14 @@ struct PolarisCostModel {
   double ServerInsertPerBatch(std::uint64_t bs) const;
   /// Worker-local search time for one query batch over `local_gb` of data.
   double QueryServicePerBatch(std::uint64_t bs, double local_gb) const;
+  /// Threaded variant: `threads` intra-query search threads per query and
+  /// `node_thread_demand` total runnable search threads on the node
+  /// (workers/node × threads/query). Amdahl speedup on the parallel fraction,
+  /// then a superlinear oversubscription penalty once demand exceeds
+  /// node_cores. Exactly QueryServicePerBatch at threads <= 1 with demand
+  /// within the core budget, so the fig. 4/5 calibration is untouched.
+  double QueryServiceThreadedPerBatch(std::uint64_t bs, double local_gb,
+                                      double threads, double node_thread_demand) const;
 
   /// The paper-calibrated default.
   static PolarisCostModel Calibrated();

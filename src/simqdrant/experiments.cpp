@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "client/tuner.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulation.hpp"
 #include "simqdrant/sim_client.hpp"
@@ -341,6 +342,130 @@ GridResult RunFig5QueryScaling(const PolarisCostModel& model,
     grid.seconds.push_back(std::move(row));
   }
   return grid;
+}
+
+double SimulateQueryRunThreaded(const PolarisCostModel& model, std::uint32_t workers,
+                                std::uint32_t search_threads, double dataset_gb,
+                                std::uint64_t queries, std::uint64_t batch_size,
+                                std::size_t max_in_flight, SampleSet* call_times) {
+  sim::Simulation sim;
+  SimClusterConfig config;
+  config.num_workers = workers;
+  config.model = model;
+  config.preloaded_gb = dataset_gb;
+  config.search_threads = std::max<std::uint32_t>(1, search_threads);
+  SimQdrantCluster cluster(sim, config);
+
+  QueryClientConfig client_config;
+  client_config.total_queries = queries;
+  client_config.batch_size = batch_size;
+  client_config.max_in_flight = max_in_flight;
+  client_config.entry_worker = 0;
+  SimQueryClient client(cluster, client_config);
+  client.Start([] {});
+  sim.Run();
+
+  if (call_times != nullptr) {
+    for (const double s : client.Report().call_seconds.Samples()) {
+      call_times->Add(s);
+    }
+  }
+  return client.Report().finish_time;
+}
+
+ScalingParadoxResult RunScalingParadoxSweep(
+    const PolarisCostModel& model, const std::vector<std::uint32_t>& workers_per_node,
+    const std::vector<std::uint32_t>& threads, double dataset_gb,
+    std::uint64_t queries_per_cell) {
+  ScalingParadoxResult result;
+  result.workers_per_node = workers_per_node;
+  result.threads = threads;
+  for (const std::uint32_t wpn : workers_per_node) {
+    // One fully packed node: wpn workers co-located, sharing the core budget.
+    PolarisCostModel m = model;
+    m.workers_per_node = wpn;
+    std::vector<double> row;
+    row.reserve(threads.size());
+    for (const std::uint32_t t : threads) {
+      const double seconds = SimulateQueryRunThreaded(
+          m, /*workers=*/wpn, t, dataset_gb, queries_per_cell, /*batch=*/16,
+          /*in_flight=*/2);
+      const double qps = static_cast<double>(queries_per_cell) / seconds;
+      row.push_back(qps);
+      if (qps > result.best_qps) {
+        result.best_qps = qps;
+        result.best_workers_per_node = wpn;
+        result.best_threads = t;
+      }
+    }
+    // Crossover: QPS peaks at an interior thread count and the rightmost
+    // (most-threaded) cell sits >5% below the peak — adding threads hurt.
+    const std::size_t peak =
+        static_cast<std::size_t>(std::max_element(row.begin(), row.end()) - row.begin());
+    if (peak + 1 < row.size() && row.back() < row[peak] * 0.95) {
+      result.crossover_observed = true;
+    }
+    result.qps.push_back(std::move(row));
+  }
+  return result;
+}
+
+ScalingAutotuneResult RunScalingParadoxAutotuned(
+    const PolarisCostModel& model, std::uint32_t workers_per_node,
+    const std::vector<std::uint32_t>& thread_grid, double dataset_gb,
+    std::uint64_t queries_per_window, std::size_t windows) {
+  PolarisCostModel m = model;
+  m.workers_per_node = workers_per_node;
+
+  // Reference: every fixed thread count on the same per-window workload
+  // (in_flight 1, like the controller's windows, so the comparison is fair).
+  ScalingAutotuneResult result;
+  for (const std::uint32_t t : thread_grid) {
+    const double seconds = SimulateQueryRunThreaded(
+        m, workers_per_node, t, dataset_gb, queries_per_window, /*batch=*/16,
+        /*in_flight=*/1);
+    const double qps = static_cast<double>(queries_per_window) / seconds;
+    if (qps > result.best_fixed_qps) {
+      result.best_fixed_qps = qps;
+      result.best_fixed_threads = t;
+    }
+  }
+
+  // The controller sees exactly what a worker would: per-window QPS, queue
+  // wait (mean minus best-case call time), and straggler spread.
+  AdaptiveConcurrencyController::Config config;
+  config.core_budget = static_cast<std::size_t>(
+      m.node_cores / std::max<std::uint32_t>(1, workers_per_node));
+  config.max_fanout = 32;
+  AdaptiveConcurrencyController controller(config);
+
+  double total_seconds = 0.0;
+  std::uint64_t total_queries = 0;
+  for (std::size_t w = 0; w < windows; ++w) {
+    const auto t = static_cast<std::uint32_t>(controller.IntraFanout());
+    result.fanout_trace.push_back(t);
+    SampleSet calls;
+    const double seconds = SimulateQueryRunThreaded(
+        m, workers_per_node, t, dataset_gb, queries_per_window, /*batch=*/16,
+        /*in_flight=*/1, &calls);
+    total_seconds += seconds;
+    total_queries += queries_per_window;
+
+    ConcurrencyObservation obs;
+    obs.service_seconds = calls.Min();
+    obs.queue_wait_seconds = std::max(0.0, calls.Mean() - calls.Min());
+    obs.straggler_spread =
+        calls.Mean() > 0.0 ? calls.Max() / calls.Mean() : 1.0;
+    obs.qps = static_cast<double>(queries_per_window) / seconds;
+    controller.Observe(obs);
+  }
+  result.final_fanout = static_cast<std::uint32_t>(controller.IntraFanout());
+  result.qps = total_seconds > 0.0
+                   ? static_cast<double>(total_queries) / total_seconds
+                   : 0.0;
+  result.ratio =
+      result.best_fixed_qps > 0.0 ? result.qps / result.best_fixed_qps : 0.0;
+  return result;
 }
 
 }  // namespace vdb::simq

@@ -156,4 +156,56 @@ GridResult RunFig5QueryScaling(const PolarisCostModel& model,
                                const std::vector<std::uint32_t>& worker_counts,
                                std::uint64_t queries = kPaperNumQueryTerms);
 
+// ---- Scaling paradox: intra-query threads × workers/node ---------------------
+
+/// Query run with intra-query threading: like SimulateQueryRun, but every
+/// worker spends `search_threads` threads per query batch (the cost model's
+/// Amdahl + oversubscription behavior). `workers` workers all share one node
+/// when model.workers_per_node >= workers.
+double SimulateQueryRunThreaded(const PolarisCostModel& model, std::uint32_t workers,
+                                std::uint32_t search_threads, double dataset_gb,
+                                std::uint64_t queries, std::uint64_t batch_size,
+                                std::size_t max_in_flight,
+                                SampleSet* call_times = nullptr);
+
+/// The core-scaling-paradox sweep: workers-per-node × intra-query threads
+/// over one node's fixed core budget. Each cell is an independent query run;
+/// qps[row][col] = queries / makespan. Rows where workers × threads exceeds
+/// node_cores show throughput *falling* as threads grow — "more cores hurts".
+struct ScalingParadoxResult {
+  std::vector<std::uint32_t> workers_per_node;  ///< rows
+  std::vector<std::uint32_t> threads;           ///< columns
+  /// qps[worker_index][thread_index]
+  std::vector<std::vector<double>> qps;
+  std::uint32_t best_workers_per_node = 0;
+  std::uint32_t best_threads = 0;
+  double best_qps = 0.0;
+  /// True when some row's QPS rises to an interior peak and then falls by
+  /// >5% — the paradox is visible in the sweep.
+  bool crossover_observed = false;
+};
+
+ScalingParadoxResult RunScalingParadoxSweep(
+    const PolarisCostModel& model, const std::vector<std::uint32_t>& workers_per_node,
+    const std::vector<std::uint32_t>& threads, double dataset_gb,
+    std::uint64_t queries_per_cell);
+
+/// The adaptive controller run: fixed workers-per-node, the
+/// AdaptiveConcurrencyController picks the per-query thread count window by
+/// window from measured QPS / queue-wait / straggler signals. Returns the
+/// trajectory and the overall throughput for the >= 90%-of-best-fixed gate.
+struct ScalingAutotuneResult {
+  std::vector<std::uint32_t> fanout_trace;  ///< thread choice per window
+  std::uint32_t final_fanout = 0;
+  double qps = 0.0;             ///< total queries / total seconds
+  double best_fixed_qps = 0.0;  ///< best fixed thread count, same workload
+  std::uint32_t best_fixed_threads = 0;
+  double ratio = 0.0;           ///< qps / best_fixed_qps
+};
+
+ScalingAutotuneResult RunScalingParadoxAutotuned(
+    const PolarisCostModel& model, std::uint32_t workers_per_node,
+    const std::vector<std::uint32_t>& thread_grid, double dataset_gb,
+    std::uint64_t queries_per_window, std::size_t windows);
+
 }  // namespace vdb::simq

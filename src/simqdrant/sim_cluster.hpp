@@ -23,6 +23,11 @@ struct SimClusterConfig {
   /// Total decimal GB of vectors already resident (for query/build
   /// experiments); split evenly across workers.
   double preloaded_gb = 0.0;
+  /// Intra-query search threads each worker spends per query batch (the
+  /// scaling-paradox knob). 1 = the paper's serial per-query search; higher
+  /// values speed local search via the Amdahl model but oversubscribe the
+  /// node once workers_per_node × search_threads exceeds node_cores.
+  std::uint32_t search_threads = 1;
 };
 
 class SimQdrantCluster {
@@ -46,6 +51,7 @@ class SimQdrantCluster {
   sim::SimNetwork& Network() { return *network_; }
   sim::Simulation& Sim() { return sim_; }
   const PolarisCostModel& Model() const { return config_.model; }
+  std::uint32_t SearchThreads() const { return config_.search_threads; }
 
   /// Multiplies a nominal service time by mean-preserving log-normal noise
   /// (identity when the model's jitter sigma is 0).

@@ -48,8 +48,15 @@ void SimWorker::HandleInsertBatch(std::uint64_t batch_size,
 void SimWorker::HandleLocalQuery(std::uint64_t batch_size,
                                  std::function<void()> respond,
                                  obs::TraceToken trace) {
-  double service =
-      cluster_.Jitter(cluster_.Model().QueryServicePerBatch(batch_size, local_gb_));
+  // Intra-query threading: each co-located worker spends `search_threads`
+  // threads per in-service query, so total node demand is threads × workers
+  // on this node — past node_cores the model's oversubscription penalty bites
+  // (the scaling-paradox mechanism; identity at the default 1 thread).
+  const double threads = static_cast<double>(cluster_.SearchThreads());
+  const double demand =
+      threads * static_cast<double>(cluster_.WorkersOnNode(cluster_.NodeOfWorker(id_)));
+  double service = cluster_.Jitter(cluster_.Model().QueryServiceThreadedPerBatch(
+      batch_size, local_gb_, threads, demand));
   // Concurrent ingest (insert handling + background optimization) contends
   // for the node's cores: searches slow in proportion to node utilization.
   const double utilization = std::min(

@@ -113,6 +113,47 @@ TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
   for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForGrainCoversSkewedRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(10'000);
+  // Skewed per-item cost: the last indices are ~100x the first. The atomic
+  // cursor rebalances, but correctness is what's asserted — every index runs
+  // exactly once regardless of which thread claims which slice.
+  pool.ParallelFor(0, counts.size(), /*grain=*/7, [&](std::size_t i) {
+    volatile std::size_t sink = 0;
+    for (std::size_t spin = 0; spin < i / 100; ++spin) sink += spin;
+    counts[i]++;
+  });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForGrainLargerThanRangeStillCovers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(33);
+  pool.ParallelFor(0, counts.size(), /*grain=*/1000, [&](std::size_t i) { counts[i]++; });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForTinyRangeCoversExactlyOnce) {
+  // total <= NumThreads() takes the static one-item-per-task path.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> counts(3);
+  pool.ParallelFor(0, counts.size(), [&](std::size_t i) { counts[i]++; });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForTerminates) {
+  // An inner ParallelFor issued from a worker thread must not deadlock even
+  // when every pool thread is busy with the outer loop: the calling thread
+  // participates in its own job, so progress never depends on a free helper.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, /*grain=*/1, [&](std::size_t) {
+    pool.ParallelFor(0, 16, /*grain=*/1, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
 TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
   ThreadPool pool(2);
   bool touched = false;

@@ -1,0 +1,167 @@
+// Parallel-vs-serial search parity: the intra-query fan-out paths (flat
+// chunked scan, SQ8 chunked block scan, HNSW segmented layer-0) must return
+// serial-grade results. Runs in the sanitizer CI legs under `ctest -L quant`
+// with the same 0.02 recall tolerance as the compressed read path. Kernels
+// are pinned to scalar and every seed is fixed, so results are deterministic
+// across hosts regardless of ISA or how many cores the runner grants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dist/kernels.hpp"
+#include "index/flat_index.hpp"
+#include "index/hnsw_index.hpp"
+#include "index/search_arena.hpp"
+#include "index/sq_index.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+class ParallelSearchParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_isa_ = dist::ForceKernelIsa(dist::KernelIsa::kScalar);
+  }
+  void TearDown() override { (void)dist::ForceKernelIsa(previous_isa_); }
+
+  dist::KernelIsa previous_isa_ = dist::KernelIsa::kScalar;
+};
+
+TEST_F(ParallelSearchParityTest, FlatChunkedScanMatchesSerialExactly) {
+  VectorStore store(48, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 20'000, /*seed=*/101);
+  FlatIndex index(store);
+  ASSERT_TRUE(index.Build().ok());
+
+  Rng rng(11);
+  for (std::size_t q = 0; q < 20; ++q) {
+    Vector query = raw[rng.NextU64(raw.size())];
+    for (auto& x : query) x += static_cast<Scalar>(rng.NextGaussian() * 0.05);
+
+    SearchParams serial;
+    serial.k = 10;
+    auto expected = index.Search(query, serial);
+    ASSERT_TRUE(expected.ok());
+    for (const std::size_t fanout : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      SearchParams parallel = serial;
+      parallel.intra_fanout = fanout;
+      auto got = index.Search(query, parallel);
+      ASSERT_TRUE(got.ok());
+      // Chunks partition the store, so the merged top-k is bit-identical to
+      // the serial scan (same scores, same order).
+      ASSERT_EQ(got->size(), expected->size()) << "fanout=" << fanout;
+      for (std::size_t i = 0; i < got->size(); ++i) {
+        EXPECT_EQ((*got)[i].id, (*expected)[i].id) << "fanout=" << fanout;
+        EXPECT_EQ((*got)[i].score, (*expected)[i].score) << "fanout=" << fanout;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelSearchParityTest, SqChunkedScanWithinTolerance) {
+  VectorStore store(48, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 8'000, /*seed=*/102);
+
+  for (const std::size_t rerank : {std::size_t{0}, std::size_t{32}}) {
+    SqParams params;
+    params.rerank = rerank;
+    SqIndex index(store, params);
+    ASSERT_TRUE(index.Build().ok());
+
+    SearchParams serial;
+    const double serial_recall =
+        vdb::testing::MeanRecall(index, store, raw, 25, 10, serial, /*seed=*/21);
+    for (const std::size_t fanout : {std::size_t{2}, std::size_t{4}}) {
+      SearchParams parallel;
+      parallel.intra_fanout = fanout;
+      const double parallel_recall =
+          vdb::testing::MeanRecall(index, store, raw, 25, 10, parallel, /*seed=*/21);
+      // The chunked scan visits the same blocks with the same scoring; only
+      // the threshold-pruning order differs, which cannot cost recall beyond
+      // the quant tolerance.
+      EXPECT_GE(parallel_recall, serial_recall - 0.02)
+          << "rerank=" << rerank << " fanout=" << fanout;
+    }
+  }
+}
+
+TEST_F(ParallelSearchParityTest, HnswSegmentedSearchWithinTolerance) {
+  VectorStore store(48, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 8'000, /*seed=*/103);
+
+  HnswParams params;
+  params.build_threads = 1;
+  HnswIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  SearchParams serial;
+  serial.ef_search = 64;
+  const double serial_recall =
+      vdb::testing::MeanRecall(index, store, raw, 25, 10, serial, /*seed=*/22);
+  for (const std::size_t fanout : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    SearchParams parallel = serial;
+    parallel.intra_fanout = fanout;
+    const double parallel_recall =
+        vdb::testing::MeanRecall(index, store, raw, 25, 10, parallel, /*seed=*/22);
+    EXPECT_GE(parallel_recall, serial_recall - 0.02) << "fanout=" << fanout;
+  }
+}
+
+TEST_F(ParallelSearchParityTest, HnswSq8SegmentedSearchWithinTolerance) {
+  VectorStore store(48, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 8'000, /*seed=*/104);
+
+  HnswParams params;
+  params.build_threads = 1;
+  params.sq8 = true;
+  params.sq8_rerank = 32;
+  HnswIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+  ASSERT_TRUE(index.Sq8Ready());
+
+  SearchParams serial;
+  serial.ef_search = 64;
+  const double serial_recall =
+      vdb::testing::MeanRecall(index, store, raw, 25, 10, serial, /*seed=*/23);
+  SearchParams parallel = serial;
+  parallel.intra_fanout = 4;
+  const double parallel_recall =
+      vdb::testing::MeanRecall(index, store, raw, 25, 10, parallel, /*seed=*/23);
+  EXPECT_GE(parallel_recall, serial_recall - 0.02);
+}
+
+TEST_F(ParallelSearchParityTest, HnswSegmentedSearchIsDeterministic) {
+  VectorStore store(48, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 4'000, /*seed=*/105);
+
+  HnswParams params;
+  params.build_threads = 1;
+  HnswIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  SearchParams parallel;
+  parallel.k = 10;
+  parallel.ef_search = 64;
+  parallel.intra_fanout = 4;
+  Rng rng(31);
+  for (std::size_t q = 0; q < 10; ++q) {
+    Vector query = raw[rng.NextU64(raw.size())];
+    auto first = index.Search(query, parallel);
+    auto second = index.Search(query, parallel);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    // Segments are fixed (entry + best layer-0 neighbors) and the merge is a
+    // sort, so repeated parallel searches return identical results even when
+    // segment completion order varies.
+    ASSERT_EQ(first->size(), second->size());
+    for (std::size_t i = 0; i < first->size(); ++i) {
+      EXPECT_EQ((*first)[i].id, (*second)[i].id);
+      EXPECT_EQ((*first)[i].score, (*second)[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vdb

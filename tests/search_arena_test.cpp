@@ -1,0 +1,188 @@
+// SearchArena contract and concurrency stress. Runs in the `obs` CI label,
+// which both sanitizer legs execute — the concurrent sections are the TSan
+// proof that the shared arena, the atomic-cursor work claiming, and the
+// segmented HNSW search are race-free under real thread interleavings.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "index/hnsw_index.hpp"
+#include "index/search_arena.hpp"
+#include "index/sq_index.hpp"
+#include "test_util.hpp"
+
+namespace vdb {
+namespace {
+
+/// Pins the arena budget for a test and restores the default on scope exit
+/// (tests in this binary run sequentially; the arena is idle between them).
+class BudgetGuard {
+ public:
+  explicit BudgetGuard(std::size_t budget) {
+    SearchArena::Instance().SetCoreBudgetForTest(budget);
+  }
+  ~BudgetGuard() { SearchArena::Instance().SetCoreBudgetForTest(0); }
+};
+
+TEST(SearchArenaTest, FairShareSplitsBudgetAcrossWorkers) {
+  BudgetGuard guard(8);
+  SearchArena& arena = SearchArena::Instance();
+  EXPECT_EQ(arena.CoreBudget(), 8u);
+  const std::size_t base_workers = arena.RegisteredWorkers();
+
+  arena.RegisterWorker();
+  arena.RegisterWorker();
+  EXPECT_EQ(arena.RegisteredWorkers(), base_workers + 2);
+  EXPECT_EQ(arena.FairShare(), 8u / (base_workers + 2));
+  arena.UnregisterWorker();
+  arena.UnregisterWorker();
+  EXPECT_EQ(arena.RegisteredWorkers(), base_workers);
+}
+
+TEST(SearchArenaTest, FairShareNeverBelowOne) {
+  BudgetGuard guard(1);
+  SearchArena& arena = SearchArena::Instance();
+  arena.RegisterWorker();
+  arena.RegisterWorker();
+  arena.RegisterWorker();
+  EXPECT_EQ(arena.FairShare(), 1u);
+  arena.UnregisterWorker();
+  arena.UnregisterWorker();
+  arena.UnregisterWorker();
+}
+
+TEST(SearchArenaTest, ParallelForCoversRangeExactlyOnce) {
+  BudgetGuard guard(4);
+  std::vector<std::atomic<int>> counts(5'000);
+  SearchArena::Instance().ParallelFor(4, 0, counts.size(), /*grain=*/16,
+                                      [&](std::size_t i) { counts[i]++; });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(SearchArenaTest, NestedParallelForRunsInline) {
+  BudgetGuard guard(4);
+  SearchArena& arena = SearchArena::Instance();
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  std::atomic<int> nested_on_arena{0};
+  arena.ParallelFor(4, 0, 8, /*grain=*/1, [&](std::size_t) {
+    ++outer;
+    if (SearchArena::OnArenaThread()) ++nested_on_arena;
+    // The nested call must degrade to serial-inline instead of deadlocking or
+    // multiplying parallelism past the budget.
+    arena.ParallelFor(4, 0, 4, /*grain=*/1, [&](std::size_t) { ++inner; });
+  });
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8 * 4);
+  EXPECT_EQ(nested_on_arena.load(), 8);
+}
+
+TEST(SearchArenaTest, WidthOneRunsInlineOnCaller) {
+  BudgetGuard guard(4);
+  const auto caller = std::this_thread::get_id();
+  std::atomic<int> on_caller{0};
+  SearchArena::Instance().ParallelFor(1, 0, 16, /*grain=*/4, [&](std::size_t) {
+    if (std::this_thread::get_id() == caller) ++on_caller;
+  });
+  EXPECT_EQ(on_caller.load(), 16);
+}
+
+TEST(SearchArenaStressTest, ConcurrentCallersAllComplete) {
+  BudgetGuard guard(4);
+  constexpr std::size_t kCallers = 8;
+  constexpr std::size_t kItems = 2'000;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<std::size_t>> done(kCallers);
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([c, &done] {
+      std::atomic<std::size_t> local{0};
+      SearchArena::Instance().ParallelFor(
+          4, 0, kItems, /*grain=*/8,
+          [&](std::size_t) { local.fetch_add(1, std::memory_order_relaxed); });
+      done[c] = local.load();
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto& d : done) EXPECT_EQ(d.load(), kItems);
+}
+
+TEST(SearchArenaStressTest, ConcurrentSegmentedHnswSearches) {
+  BudgetGuard guard(4);
+  VectorStore store(32, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 3'000, /*seed=*/201);
+  HnswParams params;
+  params.build_threads = 1;
+  HnswIndex index(store, params);
+  ASSERT_TRUE(index.Build().ok());
+
+  // Many threads issue fanned-out searches simultaneously: every query's
+  // segments race through the shared arena alongside other queries' segments.
+  constexpr std::size_t kThreads = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &raw, &index, &failures] {
+      Rng rng(300 + t);
+      SearchParams search;
+      search.k = 10;
+      search.ef_search = 48;
+      search.intra_fanout = 4;
+      for (std::size_t q = 0; q < 40; ++q) {
+        Vector query = raw[rng.NextU64(raw.size())];
+        auto hits = index.Search(query, search);
+        if (!hits.ok() || hits->empty()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SearchArenaStressTest, ConcurrentSqScansAgainstParallelFor) {
+  BudgetGuard guard(4);
+  VectorStore store(32, Metric::kCosine);
+  const auto raw = vdb::testing::FillRandomStore(store, 4'000, /*seed=*/202);
+  SqParams sq_params;
+  sq_params.rerank = 16;
+  SqIndex index(store, sq_params);
+  ASSERT_TRUE(index.Build().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  // Mixed tenancy: chunked SQ8 scans and a batch-style ParallelFor loop share
+  // the arena concurrently, as a worker's batch path and a peer's intra-query
+  // path would in-process.
+  std::thread batch_loop([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::atomic<std::size_t> ran{0};
+      SearchArena::Instance().ParallelFor(
+          2, 0, 64, /*grain=*/4,
+          [&](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+      if (ran.load() != 64) ++failures;
+    }
+  });
+  std::vector<std::thread> scanners;
+  for (std::size_t t = 0; t < 4; ++t) {
+    scanners.emplace_back([t, &raw, &index, &failures] {
+      Rng rng(400 + t);
+      SearchParams search;
+      search.k = 10;
+      search.intra_fanout = 2;
+      for (std::size_t q = 0; q < 50; ++q) {
+        Vector query = raw[rng.NextU64(raw.size())];
+        auto hits = index.Search(query, search);
+        if (!hits.ok() || hits->empty()) ++failures;
+      }
+    });
+  }
+  for (auto& t : scanners) t.join();
+  stop.store(true, std::memory_order_release);
+  batch_loop.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -13,6 +13,7 @@
 #include "metrics/compare.hpp"
 #include "metrics/table.hpp"
 #include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace_collector.hpp"
 
 namespace vdb::bench {
@@ -85,6 +86,23 @@ inline int FinishWithReport(const vdb::ComparisonReport& report) {
   std::printf("%s\n",
               vdb::obs::RenderPhaseTimelines(
                   report.Name(), "TRACE_" + slug + "_slowest.json").c_str());
+#ifndef VDB_OBS_DISABLED
+  // Prometheus text exposition of the final registry state, dumped next to
+  // the trace JSON so a bench run's metrics can be diffed/ingested without
+  // scraping a live admin port. No-op in VDB_OBS_DISABLED builds (there is
+  // no registry to capture).
+  {
+    const std::string prom_path = "METRICS_" + slug + ".prom";
+    std::FILE* f = std::fopen(prom_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string text =
+          vdb::obs::RenderPrometheus(vdb::obs::CaptureMetricsSnapshot(false));
+      std::fwrite(text.data(), 1, text.size(), f);
+      std::fclose(f);
+      std::printf("prometheus exposition written to %s\n", prom_path.c_str());
+    }
+  }
+#endif
   return 0;  // benches report, they do not gate; tests gate.
 }
 

@@ -1,0 +1,10 @@
+// Configure-time negative check (see the top-level CMakeLists.txt): this file
+// is compiled with -DVDB_OBS_DISABLED and MUST FAIL to compile. The snapshot
+// codec itself (encode/decode/merge/render) is deliberately available in
+// disabled builds — vdbtop and the admin plumbing still link — but
+// CaptureMetricsSnapshot reads the live MetricsRegistry and must compile out
+// with it, or "disabled" processes would still pay for registry capture.
+#include "obs/snapshot.hpp"
+
+vdb::obs::MetricsSnapshot (*leaked_capture)(bool) =
+    &vdb::obs::CaptureMetricsSnapshot;

@@ -1,0 +1,164 @@
+#include "cluster/telemetry.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/worker.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_collector.hpp"
+
+namespace vdb {
+
+ClusterScraper::ClusterScraper(Transport& transport,
+                               std::vector<WorkerId> workers)
+    : transport_(transport), workers_(std::move(workers)) {}
+
+std::vector<obs::MetricsSnapshot> ClusterScraper::PullMetrics(
+    bool reset_windows, std::vector<WorkerId>* failed) {
+  std::vector<obs::MetricsSnapshot> snapshots;
+  snapshots.reserve(workers_.size());
+  for (const WorkerId id : workers_) {
+    Message response = transport_.Call(
+        WorkerEndpoint(id),
+        EncodeMetricsPullRequest(MetricsPullRequest{reset_windows}));
+    const Status call_status = MessageToStatus(response);
+    if (!call_status.ok()) {
+      if (failed != nullptr) failed->push_back(id);
+      continue;
+    }
+    auto decoded = DecodeMetricsPullResponse(response);
+    if (!decoded.ok()) {
+      if (failed != nullptr) failed->push_back(id);
+      continue;
+    }
+    if (decoded->snapshot.empty()) {
+      // An obs-disabled worker: reachable but blind. Keep a placeholder so
+      // per-worker columns stay aligned with the worker list.
+      obs::MetricsSnapshot empty;
+      empty.worker = id;
+      snapshots.push_back(std::move(empty));
+      continue;
+    }
+    auto snapshot = obs::DecodeMetricsSnapshot(decoded->snapshot);
+    if (!snapshot.ok()) {
+      if (failed != nullptr) failed->push_back(id);
+      continue;
+    }
+    snapshots.push_back(std::move(snapshot).value());
+  }
+  return snapshots;
+}
+
+obs::MetricsSnapshot ClusterScraper::PullMerged(bool reset_windows) {
+  obs::MetricsSnapshot merged;
+  for (obs::MetricsSnapshot& snapshot : PullMetrics(reset_windows)) {
+    merged.Merge(snapshot);
+  }
+  return merged;
+}
+
+std::vector<TracePullResponse> ClusterScraper::PullTraces(
+    const std::vector<std::uint64_t>& trace_ids, std::vector<WorkerId>* failed) {
+  std::vector<TracePullResponse> pulls;
+  pulls.reserve(workers_.size());
+  for (const WorkerId id : workers_) {
+    Message response = transport_.Call(
+        WorkerEndpoint(id), EncodeTracePullRequest(TracePullRequest{trace_ids}));
+    const Status call_status = MessageToStatus(response);
+    if (!call_status.ok()) {
+      if (failed != nullptr) failed->push_back(id);
+      continue;
+    }
+    auto decoded = DecodeTracePullResponse(response);
+    if (!decoded.ok()) {
+      if (failed != nullptr) failed->push_back(id);
+      continue;
+    }
+    pulls.push_back(std::move(decoded).value());
+  }
+  return pulls;
+}
+
+TracePullResponse LocalTracePull(const std::vector<std::uint64_t>& trace_ids) {
+  TracePullResponse resp;
+#ifndef VDB_OBS_DISABLED
+  resp.pid = obs::ProcessId();
+  resp.epoch_unix_seconds = obs::EpochUnixSeconds();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+  std::vector<obs::SpanEvent> events;
+  if (trace_ids.empty()) {
+    events = registry.TakeAllTraceEvents();
+  } else {
+    for (const std::uint64_t trace_id : trace_ids) {
+      std::vector<obs::SpanEvent> taken = registry.TakeTraceEvents(trace_id);
+      events.insert(events.end(), std::make_move_iterator(taken.begin()),
+                    std::make_move_iterator(taken.end()));
+    }
+  }
+  resp.spans.reserve(events.size());
+  for (obs::SpanEvent& event : events) {
+    TraceWireSpan span;
+    span.name = std::move(event.name);
+    span.trace_id = event.trace_id;
+    span.span_id = event.span_id;
+    span.parent_id = event.parent_id;
+    span.worker = event.worker;
+    span.node = event.node;
+    span.shard = event.shard;
+    span.thread_id = event.thread_id;
+    span.pid = event.pid != 0 ? event.pid : obs::ProcessId();
+    span.start_seconds = event.start_seconds;
+    span.duration_seconds = event.duration_seconds;
+    resp.spans.push_back(std::move(span));
+  }
+#else
+  (void)trace_ids;
+#endif
+  return resp;
+}
+
+std::string AssembleClusterChromeTrace(
+    const std::vector<TracePullResponse>& pulls) {
+#ifndef VDB_OBS_DISABLED
+  // Each process timestamps spans on its own steady-clock axis whose zero is
+  // its obs epoch. Shifting every process's events by (its epoch wall time -
+  // the earliest epoch wall time) puts them all on one shared axis, so the
+  // router's fan-out span visually encloses the workers' handler spans.
+  double min_epoch = 0.0;
+  bool have_epoch = false;
+  for (const TracePullResponse& pull : pulls) {
+    if (pull.epoch_unix_seconds <= 0.0) continue;
+    if (!have_epoch || pull.epoch_unix_seconds < min_epoch) {
+      min_epoch = pull.epoch_unix_seconds;
+      have_epoch = true;
+    }
+  }
+  std::vector<obs::SpanEvent> events;
+  for (const TracePullResponse& pull : pulls) {
+    const double shift = (have_epoch && pull.epoch_unix_seconds > 0.0)
+                             ? pull.epoch_unix_seconds - min_epoch
+                             : 0.0;
+    for (const TraceWireSpan& span : pull.spans) {
+      obs::SpanEvent event;
+      event.name = span.name;
+      event.trace_id = span.trace_id;
+      event.span_id = span.span_id;
+      event.parent_id = span.parent_id;
+      event.worker = span.worker;
+      event.node = span.node;
+      event.shard = span.shard;
+      event.thread_id = span.thread_id;
+      event.pid = span.pid != 0 ? span.pid : pull.pid;
+      event.start_seconds = span.start_seconds + shift;
+      event.duration_seconds = span.duration_seconds;
+      events.push_back(std::move(event));
+    }
+  }
+  return obs::TraceCollector(std::move(events)).ChromeTraceJson();
+#else
+  (void)pulls;
+  return "{\"traceEvents\":[]}";
+#endif
+}
+
+}  // namespace vdb

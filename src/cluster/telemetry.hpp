@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// Cluster-wide telemetry scrape: pull every worker's metrics snapshot and
+/// retained span trees over the MetricsPull/TracePull RPCs and fold them into
+/// one view (DESIGN.md "Cluster telemetry").
+///
+/// The scraper is deliberately dumb transport-level plumbing — snapshot
+/// semantics (merge rules, rendering) live in obs/snapshot.hpp, trace
+/// assembly in obs/trace_collector.hpp. Everything here works against any
+/// Transport (in-process for tests, TCP for a real vdbd cluster) and builds
+/// under VDB_OBS_DISABLED: disabled workers answer with empty snapshots and
+/// span lists, so a mixed cluster degrades to partial visibility instead of
+/// failing the scrape.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "obs/snapshot.hpp"
+#include "rpc/transport.hpp"
+
+namespace vdb {
+
+/// Pulls metrics/traces from a fixed set of workers. Holds no state between
+/// calls beyond the worker list; one scraper may be polled forever (vdbtop)
+/// or used once (tests, bench epilogues).
+class ClusterScraper {
+ public:
+  /// `workers` are the ids whose WorkerEndpoint()s will be scraped. The
+  /// transport must outlive the scraper.
+  ClusterScraper(Transport& transport, std::vector<WorkerId> workers);
+
+  /// Scrapes every worker; one snapshot per reachable worker, in worker-list
+  /// order (unreachable workers are skipped, their ids reported through
+  /// `failed` when non-null). `reset_windows` forwards to the workers'
+  /// gauges — only a single periodic owner should pass true.
+  std::vector<obs::MetricsSnapshot> PullMetrics(
+      bool reset_windows = false, std::vector<WorkerId>* failed = nullptr);
+
+  /// PullMetrics folded into one cluster-wide snapshot.
+  obs::MetricsSnapshot PullMerged(bool reset_windows = false);
+
+  /// Drains retained span trees from every worker (`trace_ids` empty = all).
+  /// One response per reachable worker; each carries the worker's pid and
+  /// epoch so the caller can rebase onto a shared clock.
+  std::vector<TracePullResponse> PullTraces(
+      const std::vector<std::uint64_t>& trace_ids = {},
+      std::vector<WorkerId>* failed = nullptr);
+
+  const std::vector<WorkerId>& Workers() const { return workers_; }
+
+ private:
+  Transport& transport_;
+  std::vector<WorkerId> workers_;
+};
+
+/// The scraping process's own registry in TracePull form — the router's spans
+/// belong on the assembled timeline next to the workers' (`trace_ids` empty =
+/// drain all). Returns an empty-span response (worker = kNoWorker) in
+/// VDB_OBS_DISABLED builds.
+TracePullResponse LocalTracePull(const std::vector<std::uint64_t>& trace_ids = {});
+
+/// Assembles pulled span trees from many processes into one Chrome trace
+/// JSON: rebases each response's events from its private steady-clock axis
+/// onto shared wall time (shift by epoch_unix_seconds - min epoch), stamps
+/// pids, and renders through TraceCollector. Returns a stub note when obs is
+/// compiled out (no collector to render with).
+std::string AssembleClusterChromeTrace(
+    const std::vector<TracePullResponse>& pulls);
+
+}  // namespace vdb

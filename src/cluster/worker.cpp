@@ -12,6 +12,7 @@
 #include "index/search_arena.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
 
 namespace vdb {
 
@@ -236,6 +237,8 @@ Message Worker::Handle(const Message& request, bool force_local) {
     case MessageType::kDropShardRequest: return HandleDropShard(request);
     case MessageType::kWalTailRequest: return HandleWalTail(request);
     case MessageType::kUpdatePlacementRequest: return HandleUpdatePlacement(request);
+    case MessageType::kMetricsPullRequest: return HandleMetricsPull(request);
+    case MessageType::kTracePullRequest: return HandleTracePull(request);
     default:
       return EncodeErrorResponse(
           Status::InvalidArgument("worker cannot handle message type " +
@@ -867,6 +870,59 @@ Message Worker::HandleUpdatePlacement(const Message& request) {
   if (!placement.ok()) return EncodeErrorResponse(placement.status());
   SetPlacement(std::make_shared<const ShardPlacement>(std::move(*placement)));
   return EncodeUpdatePlacementResponse(UpdatePlacementResponse{true});
+}
+
+Message Worker::HandleMetricsPull(const Message& request) {
+  auto decoded = DecodeMetricsPullRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  MetricsPullResponse resp;
+#ifndef VDB_OBS_DISABLED
+  obs::MetricsSnapshot snapshot =
+      obs::CaptureMetricsSnapshot(decoded->reset_window);
+  // The registry doesn't know whose process it lives in; the worker does.
+  snapshot.worker = config_.id;
+  resp.snapshot = obs::EncodeMetricsSnapshot(snapshot);
+#endif
+  return EncodeMetricsPullResponse(resp);
+}
+
+Message Worker::HandleTracePull(const Message& request) {
+  auto decoded = DecodeTracePullRequest(request);
+  if (!decoded.ok()) return EncodeErrorResponse(decoded.status());
+  TracePullResponse resp;
+  resp.worker = config_.id;
+#ifndef VDB_OBS_DISABLED
+  resp.pid = obs::ProcessId();
+  resp.epoch_unix_seconds = obs::EpochUnixSeconds();
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Instance();
+  std::vector<obs::SpanEvent> events;
+  if (decoded->trace_ids.empty()) {
+    events = registry.TakeAllTraceEvents();
+  } else {
+    for (const std::uint64_t trace_id : decoded->trace_ids) {
+      std::vector<obs::SpanEvent> taken = registry.TakeTraceEvents(trace_id);
+      events.insert(events.end(), std::make_move_iterator(taken.begin()),
+                    std::make_move_iterator(taken.end()));
+    }
+  }
+  resp.spans.reserve(events.size());
+  for (obs::SpanEvent& event : events) {
+    TraceWireSpan span;
+    span.name = std::move(event.name);
+    span.trace_id = event.trace_id;
+    span.span_id = event.span_id;
+    span.parent_id = event.parent_id;
+    span.worker = event.worker;
+    span.node = event.node;
+    span.shard = event.shard;
+    span.thread_id = event.thread_id;
+    span.pid = event.pid != 0 ? event.pid : obs::ProcessId();
+    span.start_seconds = event.start_seconds;
+    span.duration_seconds = event.duration_seconds;
+    resp.spans.push_back(std::move(span));
+  }
+#endif
+  return EncodeTracePullResponse(resp);
 }
 
 }  // namespace vdb

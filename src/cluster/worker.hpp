@@ -145,6 +145,10 @@ class Worker {
   Message HandleDropShard(const Message& request);
   Message HandleWalTail(const Message& request);
   Message HandleUpdatePlacement(const Message& request);
+  // Telemetry plane: registry snapshot scrape and retained-trace drain (both
+  // answer with empty payloads in VDB_OBS_DISABLED builds).
+  Message HandleMetricsPull(const Message& request);
+  Message HandleTracePull(const Message& request);
 
   /// Searches all local shards, merging per-shard top-k. `query` may point
   /// into a decoded message body (zero-copy).

@@ -72,9 +72,24 @@ inline std::uint64_t NewTraceId() {
 }
 
 /// Allocates a fresh process-unique span id (never 0). Span ids share one
-/// sequence across traces; uniqueness is process-wide.
+/// sequence across traces; uniqueness is process-wide. For cross-process
+/// uniqueness (TracePull assembles span trees from many vdbd processes into
+/// one timeline), each daemon calls SeedProcessIds at startup.
 inline std::uint64_t NewSpanId() {
   return internal::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Offsets this process's span-id sequence into a disjoint range. Every
+/// process mints span ids from a counter starting at 1, so two vdbd workers
+/// would collide on ids 1, 2, 3… and a cross-process trace assembly could not
+/// tell their spans (or parent links) apart. vdbd calls this once at startup
+/// with its worker id; the 2^40 stride leaves room for ~10^12 spans per
+/// process. Trace ids are left alone — they are minted by whichever process
+/// roots the trace and cross the wire with the request, so workers never mint
+/// a competing id for the same logical trace.
+inline void SeedProcessIds(std::uint64_t salt) {
+  internal::g_next_span_id.store(((salt + 1) << 40) + 1,
+                                 std::memory_order_relaxed);
 }
 
 /// RAII: installs `id` as the thread's trace id with a fresh (empty) span

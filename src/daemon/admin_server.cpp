@@ -1,0 +1,337 @@
+#include "daemon/admin_server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace vdb::daemon {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// One accepted connection: request bytes accumulate until the header
+/// terminator, then the response drains out. HTTP/1.0, one request per
+/// connection, so there is no pipelining state to carry.
+struct Connection {
+  std::string in;
+  std::string out;
+  std::size_t out_pos = 0;
+  bool responding = false;
+};
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+std::string BuildHttpResponse(int status, const AdminResponse& response) {
+  std::string out = "HTTP/1.0 " + std::to_string(status) + " " +
+                    StatusText(status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<AdminServer>> AdminServer::Start(
+    AdminServerOptions options) {
+  std::unique_ptr<AdminServer> server(new AdminServer());
+  server->host_ = options.host;
+
+  if (options.adopt_fd >= 0) {
+    server->listen_fd_ = options.adopt_fd;
+  } else {
+    server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (server->listen_fd_ < 0) return Errno("admin socket()");
+    const int one = 1;
+    setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad admin host '" + options.host + "'");
+    }
+    if (::bind(server->listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(server->listen_fd_, SOMAXCONN) != 0) {
+      return Errno("admin bind/listen");
+    }
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                  &len) != 0) {
+    return Errno("admin getsockname");
+  }
+  server->port_ = ntohs(bound.sin_port);
+  if (server->host_.empty() || options.adopt_fd >= 0) {
+    char host_buf[INET_ADDRSTRLEN] = "127.0.0.1";
+    inet_ntop(AF_INET, &bound.sin_addr, host_buf, sizeof(host_buf));
+    server->host_ = host_buf;
+  }
+  SetNonBlocking(server->listen_fd_);
+
+  if (::pipe(server->wake_fds_) != 0) return Errno("admin pipe()");
+  SetNonBlocking(server->wake_fds_[0]);
+
+  server->thread_ = std::thread([raw = server.get()] { raw->Loop(); });
+  return server;
+}
+
+AdminServer::~AdminServer() {
+  if (thread_.joinable()) {
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fds_[1], &byte, 1);
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+}
+
+void AdminServer::Route(const std::string& path, AdminHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  routes_[path] = std::move(handler);
+}
+
+std::string AdminServer::Address() const {
+  return host_ + ":" + std::to_string(port_);
+}
+
+AdminResponse AdminServer::Dispatch(const std::string& path, int& http_status) {
+  AdminHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(routes_mutex_);
+    const auto it = routes_.find(path);
+    if (it != routes_.end()) handler = it->second;
+  }
+  if (!handler) {
+    http_status = 404;
+    return AdminResponse{"text/plain; charset=utf-8",
+                         "404 not found: " + path + "\n"};
+  }
+  http_status = 200;
+  return handler();
+}
+
+void AdminServer::Loop() {
+  const int epfd = ::epoll_create1(0);
+  if (epfd < 0) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fds_[0];
+  epoll_ctl(epfd, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+
+  std::unordered_map<int, Connection> conns;
+  const auto drop = [&](int fd) {
+    epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    conns.erase(fd);
+  };
+
+  bool stop = false;
+  std::vector<epoll_event> events(32);
+  while (!stop) {
+    const int n = ::epoll_wait(epfd, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fds_[0]) {
+        stop = true;
+        break;
+      }
+      if (fd == listen_fd_) {
+        while (true) {
+          const int conn = ::accept(listen_fd_, nullptr, nullptr);
+          if (conn < 0) break;
+          SetNonBlocking(conn);
+          conns.emplace(conn, Connection{});
+          epoll_event cev{};
+          cev.events = EPOLLIN;
+          cev.data.fd = conn;
+          epoll_ctl(epfd, EPOLL_CTL_ADD, conn, &cev);
+        }
+        continue;
+      }
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      Connection& conn = it->second;
+
+      if (!conn.responding && (events[i].events & (EPOLLIN | EPOLLHUP))) {
+        char buf[4096];
+        bool closed = false;
+        while (true) {
+          const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+          if (got > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(got));
+            if (conn.in.size() > kMaxRequestBytes) {
+              closed = true;  // header flood; drop it
+              break;
+            }
+            continue;
+          }
+          if (got == 0) closed = true;
+          break;  // EAGAIN or peer close
+        }
+        const std::size_t header_end = conn.in.find("\r\n\r\n");
+        if (header_end == std::string::npos) {
+          if (closed) drop(fd);
+          continue;
+        }
+        // "GET <path> HTTP/1.x" — anything else is 405/400.
+        int status = 400;
+        AdminResponse response{"text/plain; charset=utf-8", "400 bad request\n"};
+        const std::size_t line_end = conn.in.find("\r\n");
+        const std::string line = conn.in.substr(0, line_end);
+        const std::size_t sp1 = line.find(' ');
+        const std::size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+        if (sp1 != std::string::npos && sp2 != std::string::npos) {
+          const std::string method = line.substr(0, sp1);
+          const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+          if (method != "GET") {
+            status = 405;
+            response.body = "405 method not allowed\n";
+          } else {
+            response = Dispatch(path, status);
+          }
+        }
+        conn.out = BuildHttpResponse(status, response);
+        conn.responding = true;
+        epoll_event cev{};
+        cev.events = EPOLLOUT;
+        cev.data.fd = fd;
+        epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &cev);
+      }
+
+      if (conn.responding && (events[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR))) {
+        bool done = false;
+        while (conn.out_pos < conn.out.size()) {
+          const ssize_t sent =
+              ::send(fd, conn.out.data() + conn.out_pos,
+                     conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+          if (sent > 0) {
+            conn.out_pos += static_cast<std::size_t>(sent);
+            continue;
+          }
+          if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          done = true;  // peer gone
+          break;
+        }
+        if (conn.out_pos >= conn.out.size()) done = true;
+        if (done) drop(fd);
+      }
+    }
+  }
+  for (const auto& [fd, conn] : conns) ::close(fd);
+  ::close(epfd);
+}
+
+Result<std::string> HttpGet(const std::string& host, std::uint16_t port,
+                            const std::string& path, double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket()");
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_seconds);
+  tv.tv_usec = static_cast<long>((timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Unavailable("connect " + host + ":" +
+                                              std::to_string(port) + ": " +
+                                              std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent_total = 0;
+  while (sent_total < request.size()) {
+    const ssize_t sent = ::send(fd, request.data() + sent_total,
+                                request.size() - sent_total, MSG_NOSIGNAL);
+    if (sent <= 0) {
+      ::close(fd);
+      return Status::Unavailable("send failed");
+    }
+    sent_total += static_cast<std::size_t>(sent);
+  }
+  std::string raw;
+  char buf[8192];
+  while (true) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got > 0) {
+      raw.append(buf, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string::npos || raw.rfind("HTTP/", 0) != 0) {
+    return Status::Unavailable("malformed HTTP response");
+  }
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > line_end) {
+    return Status::Unavailable("malformed HTTP status line");
+  }
+  const int status_code = std::atoi(raw.c_str() + sp + 1);
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::Unavailable("truncated HTTP response");
+  }
+  std::string body = raw.substr(header_end + 4);
+  if (status_code == 404) {
+    return Status::NotFound("404 for " + path + ": " + body);
+  }
+  if (status_code != 200) {
+    return Status::Internal("HTTP " + std::to_string(status_code) + " for " +
+                            path);
+  }
+  return body;
+}
+
+}  // namespace vdb::daemon

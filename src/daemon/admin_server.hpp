@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file admin_server.hpp
+/// Minimal HTTP/1.0 admin endpoint for vdbd: a single epoll loop on its own
+/// thread serving GET requests against an exact-path route table. This is
+/// the human/scraper-facing side of the telemetry plane — `GET /metrics`
+/// (Prometheus text), `/stats.json`, `/traces/slow`, `/flight` — next to the
+/// binary RPC port the cluster uses.
+///
+/// Deliberately not HTTP middleware: one request per connection
+/// (Connection: close), no keep-alive, no chunking, GET only. curl,
+/// Prometheus, and vdbtop all speak that much. The server itself is always
+/// compiled and touches no obs symbols; telemetry routes are registered by
+/// the daemon only when obs is enabled, so a VDB_OBS_DISABLED vdbd answers
+/// every telemetry path with 404 (verified by the obs-off CI leg).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.hpp"
+
+namespace vdb::daemon {
+
+struct AdminResponse {
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Route handler, invoked on the admin thread per request. Must be
+/// thread-safe against the process's worker threads.
+using AdminHandler = std::function<AdminResponse()>;
+
+struct AdminServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral
+  /// Pre-bound, already-listening fd to adopt instead of binding (-1 = off;
+  /// the launcher uses this for race-free port handoff, like --listen-fd).
+  int adopt_fd = -1;
+};
+
+class AdminServer {
+ public:
+  static Result<std::unique_ptr<AdminServer>> Start(AdminServerOptions options);
+
+  /// Stops the loop and closes the socket; in-flight handlers finish first.
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers an exact-path GET route ("/metrics"). Re-registering a path
+  /// replaces its handler. Safe to call while the server runs.
+  void Route(const std::string& path, AdminHandler handler);
+
+  /// Bound address as "host:port".
+  std::string Address() const;
+  std::uint16_t Port() const { return port_; }
+
+ private:
+  AdminServer() = default;
+
+  void Loop();
+  AdminResponse Dispatch(const std::string& path, int& http_status);
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: destructor -> epoll wakeup
+  std::uint16_t port_ = 0;
+  std::string host_;
+  std::thread thread_;
+
+  mutable std::mutex routes_mutex_;
+  std::map<std::string, AdminHandler> routes_;
+};
+
+/// Tiny blocking HTTP/1.0 GET client for the admin endpoint — vdbtop and the
+/// telemetry tests poll with this instead of shelling out to curl. Returns
+/// the response body on 200, NotFound on 404, Unavailable on connect/read
+/// failure, and Internal on any other status code.
+Result<std::string> HttpGet(const std::string& host, std::uint16_t port,
+                            const std::string& path,
+                            double timeout_seconds = 5.0);
+
+}  // namespace vdb::daemon

@@ -76,16 +76,31 @@ Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Launch(
   cluster->options_ = options;
 
   // 1. Bind every worker's port up front: the complete topology is known
-  //    before any process starts.
+  //    before any process starts. Admin ports (when enabled) get the same
+  //    treatment so AdminAddress() works even for deferred workers.
   std::vector<int> listen_fds;
+  std::vector<int> admin_fds;
+  const auto close_bound = [&] {
+    for (const int fd : listen_fds) ::close(fd);
+    for (const int fd : admin_fds) ::close(fd);
+  };
   for (std::uint32_t i = 0; i < options.num_workers; ++i) {
     auto bound = BindLoopbackSocket();
     if (!bound.ok()) {
-      for (const int fd : listen_fds) ::close(fd);
+      close_bound();
       return bound.status();
     }
     listen_fds.push_back(bound->first);
     cluster->ports_.push_back(bound->second);
+    if (options.admin) {
+      auto admin_bound = BindLoopbackSocket();
+      if (!admin_bound.ok()) {
+        close_bound();
+        return admin_bound.status();
+      }
+      admin_fds.push_back(admin_bound->first);
+      cluster->admin_ports_.push_back(admin_bound->second);
+    }
   }
 
   // 2. Fork/exec the daemons. Each child adopts its own listen fd and closes
@@ -101,16 +116,24 @@ Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Launch(
   cluster->options_.initial_workers = initial;  // normalized for BuildWorkerArgs
   cluster->pids_.assign(options.num_workers, -1);
   cluster->pending_fds_ = listen_fds;
+  cluster->pending_admin_fds_ = admin_fds;
   for (std::uint32_t i = 0; i < initial; ++i) {
-    const Status forked = cluster->ForkWorker(i, listen_fds);
+    const Status forked = cluster->ForkWorker(i, listen_fds, admin_fds);
     if (!forked.ok()) {
       for (const int fd : cluster->pending_fds_) {
+        if (fd >= 0) ::close(fd);
+      }
+      for (const int fd : cluster->pending_admin_fds_) {
         if (fd >= 0) ::close(fd);
       }
       return forked;
     }
     ::close(listen_fds[i]);
     cluster->pending_fds_[i] = -1;
+    if (!admin_fds.empty()) {
+      ::close(admin_fds[i]);
+      cluster->pending_admin_fds_[i] = -1;
+    }
   }
 
   // 3. Client plane: one TcpTransport with routes to every worker.
@@ -146,7 +169,8 @@ Result<std::unique_ptr<ProcessCluster>> ProcessCluster::Launch(
 }
 
 std::vector<std::string> ProcessCluster::BuildWorkerArgs(WorkerId id,
-                                                         int listen_fd) const {
+                                                         int listen_fd,
+                                                         int admin_fd) const {
   std::vector<std::string> args;
   args.push_back(options_.vdbd_path);
   args.push_back("--id=" + std::to_string(id));
@@ -162,6 +186,9 @@ std::vector<std::string> ProcessCluster::BuildWorkerArgs(WorkerId id,
   args.push_back("--rerank=" + std::to_string(options_.rerank));
   args.push_back("--service-threads=" + std::to_string(options_.service_threads));
   args.push_back("--listen-fd=" + std::to_string(listen_fd));
+  if (admin_fd >= 0) {
+    args.push_back("--admin-fd=" + std::to_string(admin_fd));
+  }
   for (std::uint32_t j = 0; j < options_.num_workers; ++j) {
     if (j == id) continue;  // own endpoints resolve via self-loopback
     args.push_back("--peer=" + std::to_string(j) + "=127.0.0.1:" +
@@ -170,16 +197,21 @@ std::vector<std::string> ProcessCluster::BuildWorkerArgs(WorkerId id,
   return args;
 }
 
-Status ProcessCluster::ForkWorker(WorkerId id, const std::vector<int>& listen_fds) {
-  std::vector<std::string> args = BuildWorkerArgs(id, listen_fds[id]);
+Status ProcessCluster::ForkWorker(WorkerId id, const std::vector<int>& listen_fds,
+                                  const std::vector<int>& admin_fds) {
+  const int admin_fd = id < admin_fds.size() ? admin_fds[id] : -1;
+  std::vector<std::string> args = BuildWorkerArgs(id, listen_fds[id], admin_fd);
   const pid_t pid = fork();
   if (pid < 0) {
     return Status::IoError("fork(): " + std::string(std::strerror(errno)));
   }
   if (pid == 0) {
-    // Child: drop every other live listen socket, then exec immediately.
+    // Child: drop every other live listen/admin socket, then exec immediately.
     for (std::size_t j = 0; j < listen_fds.size(); ++j) {
       if (j != id && listen_fds[j] >= 0) ::close(listen_fds[j]);
+    }
+    for (std::size_t j = 0; j < admin_fds.size(); ++j) {
+      if (j != id && admin_fds[j] >= 0) ::close(admin_fds[j]);
     }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
@@ -216,9 +248,13 @@ Status ProcessCluster::StartWorker(WorkerId id) {
         "worker " + std::to_string(id) +
         " has no pre-bound listen socket (already started once?)");
   }
-  VDB_RETURN_IF_ERROR(ForkWorker(id, pending_fds_));
+  VDB_RETURN_IF_ERROR(ForkWorker(id, pending_fds_, pending_admin_fds_));
   ::close(pending_fds_[id]);
   pending_fds_[id] = -1;
+  if (id < pending_admin_fds_.size() && pending_admin_fds_[id] >= 0) {
+    ::close(pending_admin_fds_[id]);
+    pending_admin_fds_[id] = -1;
+  }
   return AwaitWorkerReady(id, options_.ready_timeout_seconds);
 }
 
@@ -227,6 +263,10 @@ ProcessCluster::~ProcessCluster() {
   router_.reset();
   client_.reset();
   for (int& fd : pending_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  for (int& fd : pending_admin_fds_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
   }
@@ -252,6 +292,15 @@ pid_t ProcessCluster::WorkerPid(WorkerId id) const {
 std::string ProcessCluster::WorkerAddress(WorkerId id) const {
   if (id >= ports_.size()) return {};
   return "127.0.0.1:" + std::to_string(ports_[id]);
+}
+
+std::string ProcessCluster::AdminAddress(WorkerId id) const {
+  if (id >= admin_ports_.size()) return {};
+  return "127.0.0.1:" + std::to_string(admin_ports_[id]);
+}
+
+std::uint16_t ProcessCluster::AdminPort(WorkerId id) const {
+  return id < admin_ports_.size() ? admin_ports_[id] : 0;
 }
 
 Status ProcessCluster::KillWorker(WorkerId id, int sig) {

@@ -48,6 +48,11 @@ struct ProcessClusterOptions {
   /// process-level worker-join primitive the elasticity tests grow a cluster
   /// with.
   std::uint32_t initial_workers = 0;
+  /// Give every worker an admin HTTP endpoint (`GET /metrics` etc.). Admin
+  /// ports are pre-bound by the launcher like listen ports and handed to the
+  /// children via --admin-fd, so AdminAddress() is valid before the worker is
+  /// even forked.
+  bool admin = false;
 };
 
 class ProcessCluster {
@@ -71,6 +76,12 @@ class ProcessCluster {
   pid_t WorkerPid(WorkerId id) const;
   std::string WorkerAddress(WorkerId id) const;
 
+  /// Admin endpoint of worker `id` as "127.0.0.1:<port>", or "" when the
+  /// cluster was launched without `admin`.
+  std::string AdminAddress(WorkerId id) const;
+  /// Admin port of worker `id` (0 = no admin endpoint).
+  std::uint16_t AdminPort(WorkerId id) const;
+
   /// Sends `sig` (default SIGKILL — a real crash) to a worker process and
   /// reaps it. The port starts refusing connections once the process dies.
   Status KillWorker(WorkerId id, int sig);
@@ -84,12 +95,16 @@ class ProcessCluster {
  private:
   ProcessCluster() = default;
 
-  /// argv for worker `id` (shared by Launch and StartWorker).
-  std::vector<std::string> BuildWorkerArgs(WorkerId id, int listen_fd) const;
+  /// argv for worker `id` (shared by Launch and StartWorker). `admin_fd` is
+  /// the pre-bound admin socket (-1 = no admin endpoint).
+  std::vector<std::string> BuildWorkerArgs(WorkerId id, int listen_fd,
+                                           int admin_fd) const;
 
-  /// Forks/execs worker `id` on `listen_fds` (closing every *other* live fd
-  /// in the child). Records the pid.
-  Status ForkWorker(WorkerId id, const std::vector<int>& listen_fds);
+  /// Forks/execs worker `id` on `listen_fds`/`admin_fds` (closing every
+  /// *other* live fd in the child). Records the pid. `admin_fds` may be empty
+  /// when the cluster runs without admin endpoints.
+  Status ForkWorker(WorkerId id, const std::vector<int>& listen_fds,
+                    const std::vector<int>& admin_fds);
 
   /// Polls worker `id` with Info RPCs until ready or `timeout_seconds`.
   Status AwaitWorkerReady(WorkerId id, double timeout_seconds);
@@ -97,7 +112,9 @@ class ProcessCluster {
   ProcessClusterOptions options_;
   std::vector<pid_t> pids_;             ///< -1 once killed/reaped or not yet started
   std::vector<std::uint16_t> ports_;
+  std::vector<std::uint16_t> admin_ports_;  ///< empty when admin disabled
   std::vector<int> pending_fds_;        ///< deferred workers' listen fds (-1 = consumed)
+  std::vector<int> pending_admin_fds_;  ///< ditto for admin fds
   std::unique_ptr<TcpTransport> client_;
   std::shared_ptr<const ShardPlacement> placement_;
   std::unique_ptr<Router> router_;

@@ -5,7 +5,12 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/trace.hpp"
 #include "dist/distance.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace_collector.hpp"
 #include "rpc/tcp_transport.hpp"
 
 namespace vdb::daemon {
@@ -71,6 +76,12 @@ Result<VdbdOptions> ParseVdbdArgs(int argc, const char* const* argv) {
       options.listen_fd = static_cast<int>(v);
     } else if (flag == "--peer") {
       options.peers.push_back(value);
+    } else if (flag == "--admin-port") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.admin_port = static_cast<int>(v);
+    } else if (flag == "--admin-fd") {
+      VDB_ASSIGN_OR_RETURN(const auto v, ParseUint(flag, value));
+      options.admin_fd = static_cast<int>(v);
     } else {
       return Status::InvalidArgument("unknown flag '" + flag + "'");
     }
@@ -81,7 +92,41 @@ Result<VdbdOptions> ParseVdbdArgs(int argc, const char* const* argv) {
   return options;
 }
 
+void RegisterAdminRoutes(AdminServer& server, WorkerId worker) {
+#ifndef VDB_OBS_DISABLED
+  server.Route("/metrics", [worker] {
+    obs::MetricsSnapshot snapshot = obs::CaptureMetricsSnapshot(false);
+    snapshot.worker = worker;
+    return AdminResponse{"text/plain; version=0.0.4; charset=utf-8",
+                         obs::RenderPrometheus(snapshot)};
+  });
+  server.Route("/metrics.bin", [worker] {
+    obs::MetricsSnapshot snapshot = obs::CaptureMetricsSnapshot(false);
+    snapshot.worker = worker;
+    const std::vector<std::uint8_t> blob = obs::EncodeMetricsSnapshot(snapshot);
+    return AdminResponse{
+        "application/octet-stream",
+        std::string(reinterpret_cast<const char*>(blob.data()), blob.size())};
+  });
+  server.Route("/stats.json", [] {
+    return AdminResponse{"application/json",
+                         obs::MetricsRegistry::Instance().RenderJson()};
+  });
+  server.Route("/traces/slow",
+               [] { return AdminResponse{.body = obs::RenderSlowQueryLog()}; });
+  server.Route("/flight",
+               [] { return AdminResponse{.body = obs::FlightRecorderDump()}; });
+#else
+  (void)server;
+  (void)worker;
+#endif
+}
+
 Status RunVdbd(const VdbdOptions& options) {
+  // Disjoint span-id ranges per process so assembled cluster traces never
+  // collide; must run before the transport/worker emit their first spans.
+  obs::SeedProcessIds(options.id);
+
   TcpTransportOptions transport_options;
   if (options.listen_fd >= 0) {
     transport_options.adopt_listen_fd = options.listen_fd;
@@ -129,6 +174,17 @@ Status RunVdbd(const VdbdOptions& options) {
       Worker::Start(*transport, std::make_shared<const ShardPlacement>(std::move(placement)),
                     worker_config));
 
+  std::unique_ptr<AdminServer> admin;
+  if (options.admin_fd >= 0 || options.admin_port >= 0) {
+    AdminServerOptions admin_options;
+    admin_options.adopt_fd = options.admin_fd;
+    if (options.admin_port > 0) {
+      admin_options.port = static_cast<std::uint16_t>(options.admin_port);
+    }
+    VDB_ASSIGN_OR_RETURN(admin, AdminServer::Start(std::move(admin_options)));
+    RegisterAdminRoutes(*admin, options.id);
+  }
+
   std::signal(SIGTERM, HandleStopSignal);
   std::signal(SIGINT, HandleStopSignal);
 
@@ -136,6 +192,10 @@ Status RunVdbd(const VdbdOptions& options) {
   // pre-bind the port itself.
   std::printf("vdbd worker %u listening on %s\n", options.id,
               transport->Address().c_str());
+  if (admin) {
+    std::printf("vdbd worker %u admin on %s\n", options.id,
+                admin->Address().c_str());
+  }
   std::fflush(stdout);
 
   while (g_stop == 0) {

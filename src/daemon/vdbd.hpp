@@ -18,6 +18,7 @@
 
 #include "cluster/worker.hpp"
 #include "common/status.hpp"
+#include "daemon/admin_server.hpp"
 
 namespace vdb::daemon {
 
@@ -43,10 +44,25 @@ struct VdbdOptions {
   /// Peer routes, one per entry: "<worker-id>=<host:port>". Entries for our
   /// own id are allowed (self traffic then also crosses the socket).
   std::vector<std::string> peers;
+  /// Admin HTTP port (-1 = no admin endpoint, 0 = ephemeral; the bound
+  /// address is printed as "vdbd worker <id> admin on <host:port>").
+  int admin_port = -1;
+  /// Pre-bound, already-listening fd to adopt for the admin endpoint
+  /// (-1 = off). Mirrors --listen-fd; the launcher uses it for race-free
+  /// admin-port handoff.
+  int admin_fd = -1;
 };
 
 /// Parses vdbd command-line flags (--id=3 --listen-fd=7 --peer=0=...).
 Result<VdbdOptions> ParseVdbdArgs(int argc, const char* const* argv);
+
+/// Registers the telemetry routes on an admin server: `/metrics` (Prometheus
+/// text exposition), `/metrics.bin` (snapshot wire codec), `/stats.json`,
+/// `/traces/slow`, and `/flight`, all reading this process's registry and
+/// attributed to `worker`. In VDB_OBS_DISABLED builds this registers nothing,
+/// so every telemetry path answers 404 — the obs-off CI leg asserts exactly
+/// that.
+void RegisterAdminRoutes(AdminServer& server, WorkerId worker);
 
 /// Runs the daemon until SIGTERM/SIGINT. Returns non-Ok on startup failure.
 Status RunVdbd(const VdbdOptions& options);

@@ -63,6 +63,19 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   sum_ += other.sum_;
 }
 
+LatencyHistogram LatencyHistogram::FromParts(std::vector<std::uint64_t> buckets,
+                                             std::uint64_t count, double sum,
+                                             double min, double max) {
+  LatencyHistogram hist;
+  buckets.resize(hist.buckets_.size(), 0);
+  hist.buckets_ = std::move(buckets);
+  hist.count_ = count;
+  hist.sum_ = sum;
+  hist.min_ = min;
+  hist.max_ = max;
+  return hist;
+}
+
 double LatencyHistogram::Mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }

@@ -37,6 +37,21 @@ class LatencyHistogram {
   /// Multi-line ASCII bar rendering of non-empty buckets.
   std::string Render(std::size_t max_width = 50) const;
 
+  // Raw bucket access for the snapshot wire codec (obs/snapshot.hpp). The
+  // bucket layout (kSubBuckets linear sub-buckets per decade) is part of the
+  // wire contract: both ends of a MetricsPull must agree on it.
+  std::size_t NumBuckets() const { return buckets_.size(); }
+  std::uint64_t BucketCount(std::size_t bucket) const { return buckets_[bucket]; }
+  /// Lower bound (in recorded units) of `bucket`'s value range.
+  double BucketLowerBound(std::size_t bucket) const { return BucketLow(bucket); }
+
+  /// Rebuilds a histogram from serialized parts. `buckets` must be
+  /// NumBuckets() long and its counts must sum to `count`; min/max/sum are
+  /// carried exactly (they are tracked outside the buckets).
+  static LatencyHistogram FromParts(std::vector<std::uint64_t> buckets,
+                                    std::uint64_t count, double sum, double min,
+                                    double max);
+
  private:
   static constexpr int kSubBuckets = 32;
   static constexpr int kDecades = 12;  // covers [1, 1e12) units

@@ -2,11 +2,14 @@
 
 #ifndef VDB_OBS_DISABLED
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <thread>
+#include <utility>
 
 #include "metrics/table.hpp"
 #include "obs/flight_recorder.hpp"
@@ -42,10 +45,38 @@ std::uint64_t ThreadIdHash() {
 
 }  // namespace
 
+namespace {
+
+/// Both clocks captured together, once: NowSeconds() == 0 corresponds to
+/// EpochUnixSeconds() on the wall clock, so a scraper can rebase this
+/// process's span events onto a shared axis.
+struct ObsEpoch {
+  std::chrono::steady_clock::time_point steady;
+  double unix_seconds;
+};
+
+const ObsEpoch& Epoch() {
+  static const ObsEpoch epoch{
+      std::chrono::steady_clock::now(),
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count()};
+  return epoch;
+}
+
+}  // namespace
+
 double NowSeconds() {
-  static const auto epoch = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Epoch().steady)
       .count();
+}
+
+double EpochUnixSeconds() { return Epoch().unix_seconds; }
+
+std::uint32_t ProcessId() {
+  static const std::uint32_t pid = static_cast<std::uint32_t>(::getpid());
+  return pid;
 }
 
 void SpanSite::RecordDuration(double seconds) {
@@ -65,6 +96,7 @@ void SpanSite::Record(double seconds) {
   event.worker = ctx.worker;
   event.node = ctx.node;
   event.thread_id = ThreadIdHash();
+  event.pid = ProcessId();
   event.start_seconds = NowSeconds() - seconds;
   event.duration_seconds = seconds;
   MetricsRegistry::Instance().RecordTraceEvent(std::move(event));
@@ -157,6 +189,56 @@ std::vector<SpanEvent> MetricsRegistry::TakeTraceEvents(std::uint64_t trace_id) 
   std::vector<SpanEvent> events = std::move(it->second.events);
   traces_.erase(it);
   return events;
+}
+
+std::vector<SpanEvent> MetricsRegistry::TakeAllTraceEvents() {
+  std::lock_guard<std::mutex> lock(trace_mutex_);
+  std::vector<SpanEvent> events;
+  for (auto& [trace_id, entry] : traces_) {
+    events.insert(events.end(),
+                  std::make_move_iterator(entry.events.begin()),
+                  std::make_move_iterator(entry.events.end()));
+  }
+  traces_.clear();
+  return events;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> values;
+  values.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    values.emplace_back(name, counter->Value());
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, MetricsRegistry::GaugeValues>>
+MetricsRegistry::GaugeSamples(bool reset_windows) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, GaugeValues>> values;
+  values.reserve(gauges_.size());
+  for (auto& [name, gauge] : gauges_) {
+    GaugeValues sample;
+    sample.value = gauge->Value();
+    sample.max = gauge->Max();
+    sample.window_max = reset_windows ? gauge->SnapshotAndResetWindow()
+                                      : gauge->WindowMax();
+    values.emplace_back(name, sample);
+  }
+  return values;
+}
+
+std::vector<std::pair<std::string, LatencyHistogram>>
+MetricsRegistry::SpanHistograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, LatencyHistogram>> hists;
+  hists.reserve(spans_.size());
+  for (const auto& [name, site] : spans_) {
+    hists.emplace_back(name, site->Snapshot());
+  }
+  return hists;
 }
 
 std::vector<StageSample> MetricsRegistry::TakeTrace(std::uint64_t trace_id) {
@@ -260,6 +342,7 @@ void MetricsRegistry::Reset() {
     for (auto& [name, gauge] : gauges_) {
       gauge->value_.store(0, std::memory_order_relaxed);
       gauge->max_.store(0, std::memory_order_relaxed);
+      gauge->window_max_.store(0, std::memory_order_relaxed);
     }
     for (auto& [name, site] : spans_) {
       std::lock_guard<std::mutex> site_lock(site->mutex_);
@@ -299,6 +382,7 @@ SpanTimer::~SpanTimer() {
   event.node = attrs_.node != kNoNode ? attrs_.node : ctx.node;
   event.shard = attrs_.shard;
   event.thread_id = ThreadIdHash();
+  event.pid = ProcessId();
   event.start_seconds = start_seconds_;
   event.duration_seconds = seconds;
   ctx.span_id = parent_id_;

@@ -71,6 +71,7 @@ struct SpanEvent {
   std::uint32_t node = kNoNode;
   std::uint64_t shard = kNoShard;
   std::uint64_t thread_id = 0;  // hashed std::thread::id (engine spans only)
+  std::uint32_t pid = 0;        // recording OS process (0 = unattributed/sim)
   double start_seconds = 0.0;
   double duration_seconds = 0.0;
 };
@@ -97,8 +98,20 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Up/down instantaneous level with a high-water mark — queue depths,
+/// Up/down instantaneous level with high-water marks — queue depths,
 /// in-flight request counts, leased bytes. Same lifetime contract as Counter.
+///
+/// Two maxima with distinct semantics (periodic scrapers need both):
+///  * Max() — lifetime high-water: the largest value ever observed. Never
+///    reset by reads; only Reset() (bench phase boundaries) zeroes it.
+///  * WindowMax() / SnapshotAndResetWindow() — per-interval high-water: the
+///    largest value observed since the previous SnapshotAndResetWindow()
+///    call. A scraper that calls SnapshotAndResetWindow() every interval
+///    gets a well-defined per-interval max (the window restarts at the
+///    *current* value, so a level that stays high keeps reporting high —
+///    resetting to zero would fake a dip between scrapes). Reading
+///    WindowMax() alone never resets anything, so an unrelated reader
+///    (/metrics, Render) cannot steal a scraper's window.
 class Gauge {
  public:
   void Add(std::int64_t delta) {
@@ -112,6 +125,18 @@ class Gauge {
   }
   std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
   std::int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  std::int64_t WindowMax() const {
+    return window_max_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns the max observed since the last call and restarts the window at
+  /// the current value (see the class comment for why not zero).
+  std::int64_t SnapshotAndResetWindow() {
+    const std::int64_t current = value_.load(std::memory_order_relaxed);
+    const std::int64_t window =
+        window_max_.exchange(current, std::memory_order_relaxed);
+    return std::max(window, current);
+  }
 
  private:
   void RaiseMax(std::int64_t observed) {
@@ -120,10 +145,16 @@ class Gauge {
            !max_.compare_exchange_weak(cur, observed,
                                        std::memory_order_relaxed)) {
     }
+    cur = window_max_.load(std::memory_order_relaxed);
+    while (observed > cur &&
+           !window_max_.compare_exchange_weak(cur, observed,
+                                             std::memory_order_relaxed)) {
+    }
   }
   friend class MetricsRegistry;
   std::atomic<std::int64_t> value_{0};
   std::atomic<std::int64_t> max_{0};
+  std::atomic<std::int64_t> window_max_{0};
 };
 
 /// RAII +1/-1 on a gauge; the VDB_GAUGE_SCOPE_INC macro caches the lookup.
@@ -195,8 +226,27 @@ class MetricsRegistry {
   /// already taken, or evicted).
   std::vector<SpanEvent> TakeTraceEvents(std::uint64_t trace_id);
 
+  /// Drains every retained trace (TracePull with an empty id list — the
+  /// scraper wants whatever this process has). Events of one trace stay in
+  /// recording order; traces are concatenated in unspecified order.
+  std::vector<SpanEvent> TakeAllTraceEvents();
+
   /// Flat duration view of TakeTraceEvents (span name + seconds).
   std::vector<StageSample> TakeTrace(std::uint64_t trace_id);
+
+  // Bulk read-out for the snapshot capture (obs/snapshot.hpp). Copies under
+  // the registry mutex; safe to call while writer threads record.
+  std::vector<std::pair<std::string, std::uint64_t>> CounterValues() const;
+  struct GaugeValues {
+    std::int64_t value = 0;
+    std::int64_t max = 0;
+    std::int64_t window_max = 0;
+  };
+  /// `reset_windows` runs SnapshotAndResetWindow on every gauge (the periodic
+  /// scraper path); false leaves the windows for whoever owns them.
+  std::vector<std::pair<std::string, GaugeValues>> GaugeSamples(
+      bool reset_windows);
+  std::vector<std::pair<std::string, LatencyHistogram>> SpanHistograms() const;
 
   /// Human-readable dump of every counter, gauge, and span summary.
   std::string Render() const;
@@ -252,6 +302,17 @@ class SpanTimer {
 /// Seconds since the process obs epoch (first call); steady-clock based.
 /// SpanEvent.start_seconds for engine spans is expressed on this axis.
 double NowSeconds();
+
+/// Wall-clock (system_clock) time of the process obs epoch, as Unix seconds.
+/// Each process's NowSeconds axis is private (its own steady-clock epoch);
+/// shipping this next to pulled span events lets a scraper rebase events from
+/// many processes onto one shared time axis: shift each process's events by
+/// (its epoch_unix - min epoch_unix across processes).
+double EpochUnixSeconds();
+
+/// Cached getpid() of this process — stamped into SpanEvent.pid so
+/// cross-process trace assembly can attribute spans to real OS processes.
+std::uint32_t ProcessId();
 
 /// Records a span sample without a timer — used by the simulator, whose
 /// stage durations are virtual seconds computed from the cost model.

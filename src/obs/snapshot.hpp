@@ -1,0 +1,110 @@
+#pragma once
+
+/// \file snapshot.hpp
+/// Serializable, mergeable metrics snapshots — the data plane of the cluster
+/// telemetry layer (DESIGN.md "Cluster telemetry").
+///
+/// A MetricsSnapshot is one process's registry state at a point in time:
+/// counters, gauges (level + lifetime and per-window high-water), and every
+/// span site's full latency-histogram bucket vector. It has a compact
+/// little-endian wire codec (MetricsPull ships it as an opaque blob) and a
+/// Merge() whose rules are commutative and associative on totals, so a
+/// scraper can fold per-worker snapshots into one cluster view in any order:
+///
+///   counters     — add
+///   gauge value  — add (the cluster-wide total of a level: in-flight
+///                  requests, queued bytes)
+///   gauge maxes  — max (a high-water is a max, not a sum; summing per-worker
+///                  peaks that never coincided would invent a cluster peak)
+///   histograms   — bucket-wise add (LatencyHistogram::Merge), which keeps
+///                  quantiles within one bucket width of the exact merge
+///
+/// Everything in this header is pure data over LatencyHistogram and is
+/// always compiled — a VDB_OBS_DISABLED build can still *decode and render*
+/// snapshots received from instrumented peers (and vdbtop always links).
+/// Only CaptureMetricsSnapshot, which reads the live registry, compiles out
+/// (enforced by cmake/obs_disabled_snapshot_check.cpp).
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/trace.hpp"
+#include "metrics/histogram.hpp"
+
+namespace vdb::obs {
+
+struct GaugeSnapshot {
+  std::int64_t value = 0;
+  std::int64_t max = 0;         ///< lifetime high-water
+  std::int64_t window_max = 0;  ///< high-water since the previous scrape
+};
+
+struct MetricsSnapshot {
+  /// Capturing worker (kNoWorker for a merged/cluster view or the router).
+  std::uint32_t worker = kNoWorker;
+  /// Capturing OS process (0 for a merged view).
+  std::uint32_t pid = 0;
+  /// Wall-clock Unix seconds of the capturing process's obs epoch (the zero
+  /// of its span-event time axis); 0 for a merged view.
+  double epoch_unix_seconds = 0.0;
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSnapshot> gauges;
+  /// Span-site latency histograms, in microseconds (the registry's unit).
+  std::map<std::string, LatencyHistogram> spans;
+
+  bool Empty() const {
+    return counters.empty() && gauges.empty() && spans.empty();
+  }
+
+  /// Folds `other` in under the rules above. The identity attribution
+  /// (worker/pid/epoch) survives only if both sides agree — a merge of two
+  /// different workers is a cluster view and drops per-process identity.
+  void Merge(const MetricsSnapshot& other);
+};
+
+/// Compact little-endian wire form. Histograms serialize sparsely (only
+/// non-zero buckets), so an idle worker's snapshot is a few hundred bytes.
+std::vector<std::uint8_t> EncodeMetricsSnapshot(const MetricsSnapshot& snapshot);
+
+/// Strict decode: bounds-checked throughout, rejects bad magic/version, a
+/// bucket-layout mismatch, out-of-range bucket indices, and bucket counts
+/// that do not sum to the recorded sample count.
+Result<MetricsSnapshot> DecodeMetricsSnapshot(std::span<const std::uint8_t> bytes);
+
+/// Prometheus text exposition (version 0.0.4) of one snapshot. Metric names
+/// are `vdb_` + the registry name with '.' → '_' (full mapping in DESIGN.md);
+/// counters gain `_total`, gauges emit `<name>`, `<name>_high_water`, and
+/// `<name>_window_high_water` families, span sites emit a
+/// `<name>_microseconds` summary (quantiles 0.5/0.9/0.99 + _sum/_count).
+/// When snapshot.worker != kNoWorker every series carries worker="<id>".
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// Exposition-format lint: name/label charsets, HELP/TYPE present before any
+/// sample of a family (TYPE at most once), values parse as numbers, and no
+/// duplicate series (same name + label set). Keeps /metrics scrapable.
+Status LintPrometheusText(const std::string& text);
+
+/// The paper-style per-stage table over a scraped cluster: one row per span
+/// (grouped client/router/worker/index/storage/other) with merged calls,
+/// total seconds, and p99, plus one p99 column per worker snapshot. A worker
+/// whose p99 exceeds 1.5x the median across workers for that span is marked
+/// with '*' — the straggler highlight.
+std::string RenderClusterStageBreakdown(
+    const std::vector<MetricsSnapshot>& per_worker);
+
+#ifndef VDB_OBS_DISABLED
+
+/// Captures the process-wide MetricsRegistry (worker stays kNoWorker — the
+/// caller attributes it). `reset_windows` runs SnapshotAndResetWindow on
+/// every gauge: pass true from the one periodic scraper that owns the
+/// windows, false from ad-hoc readers (/metrics, tests).
+MetricsSnapshot CaptureMetricsSnapshot(bool reset_windows = false);
+
+#endif  // VDB_OBS_DISABLED
+
+}  // namespace vdb::obs

@@ -121,21 +121,48 @@ TraceCollector::TraceCollector(std::vector<SpanEvent> events)
 std::string TraceCollector::ChromeTraceJson() const {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
-  // Metadata: name the pid/tid lanes after nodes/workers so Perfetto shows
-  // "worker 3" instead of a bare thread number.
+  // Process lanes: the real recording OS pid when the event carries one
+  // (cross-process pulls stamp it), falling back to the sim's node id. With
+  // real pids, one Perfetto timeline shows a search fanning out across vdbd
+  // processes as separate process tracks.
+  const auto chrome_pid = [](const SpanEvent& event) -> std::uint64_t {
+    if (event.pid != 0) return event.pid;
+    return event.node == kNoNode ? 0 : event.node;
+  };
+  // Name each process lane "worker N (pid P)" when exactly one worker ever
+  // recorded under that pid (the vdbd one-worker-per-process layout), plain
+  // "pid P" / "node N" otherwise.
+  std::map<std::uint64_t, std::set<std::uint32_t>> pid_workers;
+  for (const SpanEvent& event : events_) {
+    if (event.worker != kNoWorker) {
+      pid_workers[chrome_pid(event)].insert(event.worker);
+    }
+  }
   std::set<std::pair<std::uint64_t, std::uint64_t>> named_threads;
   std::set<std::uint64_t> named_processes;
   for (const SpanEvent& event : events_) {
-    const std::uint64_t pid = event.node == kNoNode ? 0 : event.node;
+    const std::uint64_t pid = chrome_pid(event);
     const std::uint64_t tid = event.worker != kNoWorker
                                   ? event.worker
                                   : event.thread_id % 1000000;
-    if (event.node != kNoNode && named_processes.insert(pid).second) {
+    if ((event.pid != 0 || event.node != kNoNode) &&
+        named_processes.insert(pid).second) {
+      std::string label;
+      const auto workers_it = pid_workers.find(pid);
+      if (event.pid != 0) {
+        if (workers_it != pid_workers.end() && workers_it->second.size() == 1) {
+          label = "worker " + std::to_string(*workers_it->second.begin()) +
+                  " (pid " + std::to_string(event.pid) + ")";
+        } else {
+          label = "pid " + std::to_string(event.pid);
+        }
+      } else {
+        label = "node " + std::to_string(event.node);
+      }
       if (!first) out += ",";
       first = false;
       out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
-             std::to_string(pid) + ",\"args\":{\"name\":\"node " +
-             std::to_string(event.node) + "\"}}";
+             std::to_string(pid) + ",\"args\":{\"name\":\"" + label + "\"}}";
     }
     if (event.worker != kNoWorker &&
         named_threads.insert({pid, tid}).second) {
@@ -148,7 +175,7 @@ std::string TraceCollector::ChromeTraceJson() const {
     }
   }
   for (const SpanEvent& event : events_) {
-    const std::uint64_t pid = event.node == kNoNode ? 0 : event.node;
+    const std::uint64_t pid = chrome_pid(event);
     const std::uint64_t tid = event.worker != kNoWorker
                                   ? event.worker
                                   : event.thread_id % 1000000;
@@ -231,21 +258,35 @@ void SlowQueryLog::Offer(std::uint64_t trace_id, std::string root_name,
   std::vector<SpanEvent> events =
       MetricsRegistry::Instance().TakeTraceEvents(trace_id);
   if (events.empty()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (duration_seconds < threshold_seconds_) return;
-  if (entries_.size() >= keep_ &&
-      duration_seconds <= entries_.back().duration_seconds) {
-    return;
+  // A trace that HAD events but doesn't survive (below threshold, beaten by
+  // the current top-N, or displaced by this insert) counts as dropped — the
+  // obs.slowlog.dropped counter makes retention pressure visible the same way
+  // obs.trace.dropped does for the registry's live-trace table.
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (duration_seconds < threshold_seconds_ ||
+        (entries_.size() >= keep_ &&
+         duration_seconds <= entries_.back().duration_seconds)) {
+      dropped = true;
+    } else {
+      TraceRecord record{trace_id, std::move(root_name), duration_seconds,
+                         std::move(events)};
+      const auto pos = std::upper_bound(
+          entries_.begin(), entries_.end(), record,
+          [](const TraceRecord& a, const TraceRecord& b) {
+            return a.duration_seconds > b.duration_seconds;
+          });
+      entries_.insert(pos, std::move(record));
+      if (entries_.size() > keep_) {
+        entries_.resize(keep_);
+        dropped = true;  // the displaced former top-N entry
+      }
+    }
   }
-  TraceRecord record{trace_id, std::move(root_name), duration_seconds,
-                     std::move(events)};
-  const auto pos = std::upper_bound(
-      entries_.begin(), entries_.end(), record,
-      [](const TraceRecord& a, const TraceRecord& b) {
-        return a.duration_seconds > b.duration_seconds;
-      });
-  entries_.insert(pos, std::move(record));
-  if (entries_.size() > keep_) entries_.resize(keep_);
+  // Counter bump outside mutex_ — same discipline as the registry's
+  // trace-eviction path (the counter lookup takes the registry mutex).
+  if (dropped) VDB_COUNTER_ADD("obs.slowlog.dropped", 1);
 }
 
 std::vector<TraceRecord> SlowQueryLog::Entries() const {
@@ -372,6 +413,25 @@ std::string RenderPhaseTimelines(const std::string& phase,
       out += "(could not write chrome trace JSON to " + json_out_path + ")\n";
     }
   }
+  return out;
+}
+
+std::string RenderSlowQueryLog() {
+  const std::vector<TraceRecord> entries = SlowQueryLog::Instance().Entries();
+  if (entries.empty()) return "(slow-query log empty)\n";
+  std::string out = "slow queries (" + std::to_string(entries.size()) +
+                    " retained, slowest first):\n";
+  for (const TraceRecord& record : entries) {
+    char line[192];
+    std::snprintf(line, sizeof(line), "  %-24s trace=%llu %10.3f ms  %zu spans\n",
+                  record.root_name.c_str(),
+                  static_cast<unsigned long long>(record.trace_id),
+                  record.duration_seconds * 1e3, record.events.size());
+    out += line;
+  }
+  out += RenderStragglerTable(entries);
+  TraceCollector collector(entries.front().events);
+  out += collector.AsciiGantt();
   return out;
 }
 

@@ -147,6 +147,11 @@ void ClearSlowQueryLog();
 std::string RenderPhaseTimelines(const std::string& phase,
                                  const std::string& json_out_path);
 
+/// Text report of the retained slow queries (the admin /traces/slow route):
+/// one line per entry plus the straggler table and the slowest trace's
+/// gantt. Callable in disabled builds (returns a compiled-out note).
+std::string RenderSlowQueryLog();
+
 }  // namespace vdb::obs
 
 #else  // VDB_OBS_DISABLED
@@ -167,6 +172,9 @@ inline void ClearSlowQueryLog() {}
 inline std::string RenderPhaseTimelines(const std::string&,
                                         const std::string&) {
   return "trace timelines compiled out (VDB_OBS_DISABLED)\n";
+}
+inline std::string RenderSlowQueryLog() {
+  return "slow-query log compiled out (VDB_OBS_DISABLED)\n";
 }
 
 }  // namespace vdb::obs

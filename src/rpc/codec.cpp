@@ -1150,6 +1150,120 @@ Result<WalTailResponse> DecodeWalTailResponse(const Message& msg) {
   return resp;
 }
 
+Message EncodeMetricsPullRequest(const MetricsPullRequest& req) {
+  Message msg = NewMessage(MessageType::kMetricsPullRequest, 1);
+  BodyWriter w(msg);
+  w.U8(req.reset_window ? 1 : 0);
+  return msg;
+}
+
+Result<MetricsPullRequest> DecodeMetricsPullRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMetricsPullRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  MetricsPullRequest req;
+  VDB_ASSIGN_OR_RETURN(const std::uint8_t reset, r.U8());
+  req.reset_window = reset != 0;
+  return req;
+}
+
+Message EncodeMetricsPullResponse(const MetricsPullResponse& resp) {
+  Message msg = NewMessage(MessageType::kMetricsPullResponse,
+                           4 + resp.snapshot.size());
+  BodyWriter w(msg);
+  w.U32(static_cast<std::uint32_t>(resp.snapshot.size()));
+  w.Bytes(resp.snapshot.data(), resp.snapshot.size());
+  NoteEncoded(msg);
+  return msg;
+}
+
+Result<MetricsPullResponse> DecodeMetricsPullResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kMetricsPullResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  MetricsPullResponse resp;
+  VDB_ASSIGN_OR_RETURN(const std::string bytes, r.Str());
+  resp.snapshot.assign(bytes.begin(), bytes.end());
+  NoteDecoded(msg);
+  return resp;
+}
+
+Message EncodeTracePullRequest(const TracePullRequest& req) {
+  Message msg = NewMessage(MessageType::kTracePullRequest,
+                           4 + req.trace_ids.size() * 8);
+  BodyWriter w(msg);
+  w.U32(static_cast<std::uint32_t>(req.trace_ids.size()));
+  for (const std::uint64_t id : req.trace_ids) w.U64(id);
+  return msg;
+}
+
+Result<TracePullRequest> DecodeTracePullRequest(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kTracePullRequest));
+  Reader r(msg.body.data(), msg.body.size());
+  TracePullRequest req;
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+  req.trace_ids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    VDB_ASSIGN_OR_RETURN(const std::uint64_t id, r.U64());
+    req.trace_ids.push_back(id);
+  }
+  return req;
+}
+
+Message EncodeTracePullResponse(const TracePullResponse& resp) {
+  std::size_t total = 4 + 4 + 8 + 4;
+  for (const auto& span : resp.spans) {
+    total += 4 + span.name.size() + 8 * 5 + 4 * 3 + 8 * 2;
+  }
+  Message msg = NewMessage(MessageType::kTracePullResponse, total);
+  BodyWriter w(msg);
+  w.U32(resp.worker);
+  w.U32(resp.pid);
+  w.F64(resp.epoch_unix_seconds);
+  w.U32(static_cast<std::uint32_t>(resp.spans.size()));
+  for (const auto& span : resp.spans) {
+    w.Str(span.name);
+    w.U64(span.trace_id);
+    w.U64(span.span_id);
+    w.U64(span.parent_id);
+    w.U32(span.worker);
+    w.U32(span.node);
+    w.U64(span.shard);
+    w.U64(span.thread_id);
+    w.U32(span.pid);
+    w.F64(span.start_seconds);
+    w.F64(span.duration_seconds);
+  }
+  NoteEncoded(msg);
+  return msg;
+}
+
+Result<TracePullResponse> DecodeTracePullResponse(const Message& msg) {
+  VDB_RETURN_IF_ERROR(ExpectType(msg, MessageType::kTracePullResponse));
+  Reader r(msg.body.data(), msg.body.size());
+  TracePullResponse resp;
+  VDB_ASSIGN_OR_RETURN(resp.worker, r.U32());
+  VDB_ASSIGN_OR_RETURN(resp.pid, r.U32());
+  VDB_ASSIGN_OR_RETURN(resp.epoch_unix_seconds, r.F64());
+  VDB_ASSIGN_OR_RETURN(const std::uint32_t count, r.U32());
+  resp.spans.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceWireSpan span;
+    VDB_ASSIGN_OR_RETURN(span.name, r.Str());
+    VDB_ASSIGN_OR_RETURN(span.trace_id, r.U64());
+    VDB_ASSIGN_OR_RETURN(span.span_id, r.U64());
+    VDB_ASSIGN_OR_RETURN(span.parent_id, r.U64());
+    VDB_ASSIGN_OR_RETURN(span.worker, r.U32());
+    VDB_ASSIGN_OR_RETURN(span.node, r.U32());
+    VDB_ASSIGN_OR_RETURN(span.shard, r.U64());
+    VDB_ASSIGN_OR_RETURN(span.thread_id, r.U64());
+    VDB_ASSIGN_OR_RETURN(span.pid, r.U32());
+    VDB_ASSIGN_OR_RETURN(span.start_seconds, r.F64());
+    VDB_ASSIGN_OR_RETURN(span.duration_seconds, r.F64());
+    resp.spans.push_back(std::move(span));
+  }
+  NoteDecoded(msg);
+  return resp;
+}
+
 Message EncodePlacementUpdate(const PlacementUpdate& update) {
   std::size_t total = 4 + 4 + 4;
   for (const auto& replicas : update.replicas) {

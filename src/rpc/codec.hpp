@@ -71,6 +71,11 @@ enum class MessageType : std::uint8_t {
   kUpdatePlacementResponse = 33,
   kMigrationDeleteRequest = 34,
   kMigrationDeleteResponse = 35,
+  // Telemetry plane (cluster scrape: metrics snapshots + retained span trees).
+  kMetricsPullRequest = 36,
+  kMetricsPullResponse = 37,
+  kTracePullRequest = 38,
+  kTracePullResponse = 39,
 };
 
 /// Opaque framed message. Copying shares the pooled body slab (refcount
@@ -277,6 +282,56 @@ struct WalTailResponse {
   std::uint64_t total_records = 0;  ///< source's record count at read time
   std::uint64_t next_record = 0;    ///< cursor for the next request
   std::vector<WalTailRecord> records;
+};
+
+// ---- Telemetry plane ------------------------------------------------------
+//
+// MetricsPull scrapes one worker's full registry (counters, gauges, span
+// histograms) as an opaque snapshot blob (obs/snapshot.hpp wire format — the
+// rpc layer never interprets it, so obs-disabled workers just ship an empty
+// blob). TracePull drains the worker's retained span trees so the scraper can
+// assemble one cross-process timeline; epoch_unix_seconds lets it rebase each
+// process's private steady-clock axis onto shared wall time.
+
+struct MetricsPullRequest {
+  /// True resets every gauge's scrape window (SnapshotAndResetWindow) — only
+  /// the one periodic scraper that owns the windows should set it.
+  bool reset_window = false;
+};
+
+struct MetricsPullResponse {
+  /// EncodeMetricsSnapshot blob; empty when the worker compiled obs out.
+  std::vector<std::uint8_t> snapshot;
+};
+
+struct TracePullRequest {
+  /// Specific traces to take, or empty = drain everything retained.
+  std::vector<std::uint64_t> trace_ids;
+};
+
+/// One completed span shipped across processes — mirrors obs::SpanEvent
+/// field-for-field but is an always-compiled plain struct, so the rpc layer
+/// (and obs-disabled builds) never touch obs headers.
+struct TraceWireSpan {
+  std::string name;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::uint32_t worker = 0xFFFFFFFFu;  // obs::kNoWorker
+  std::uint32_t node = 0xFFFFFFFFu;    // obs::kNoNode
+  std::uint64_t shard = ~0ull;         // obs::kNoShard
+  std::uint64_t thread_id = 0;
+  std::uint32_t pid = 0;
+  double start_seconds = 0.0;    ///< on the *sender's* NowSeconds axis
+  double duration_seconds = 0.0;
+};
+
+struct TracePullResponse {
+  std::uint32_t worker = 0xFFFFFFFFu;
+  std::uint32_t pid = 0;
+  /// Wall-clock Unix time of the sender's obs epoch (its NowSeconds zero).
+  double epoch_unix_seconds = 0.0;
+  std::vector<TraceWireSpan> spans;
 };
 
 /// Full replica table for a placement swap on a live worker (cutover).
@@ -506,6 +561,18 @@ Result<WalTailRequest> DecodeWalTailRequest(const Message& msg);
 
 Message EncodeWalTailResponse(const WalTailResponse& resp);
 Result<WalTailResponse> DecodeWalTailResponse(const Message& msg);
+
+Message EncodeMetricsPullRequest(const MetricsPullRequest& req);
+Result<MetricsPullRequest> DecodeMetricsPullRequest(const Message& msg);
+
+Message EncodeMetricsPullResponse(const MetricsPullResponse& resp);
+Result<MetricsPullResponse> DecodeMetricsPullResponse(const Message& msg);
+
+Message EncodeTracePullRequest(const TracePullRequest& req);
+Result<TracePullRequest> DecodeTracePullRequest(const Message& msg);
+
+Message EncodeTracePullResponse(const TracePullResponse& resp);
+Result<TracePullResponse> DecodeTracePullResponse(const Message& msg);
 
 Message EncodePlacementUpdate(const PlacementUpdate& update);
 Result<PlacementUpdate> DecodePlacementUpdate(const Message& msg);

@@ -1,0 +1,150 @@
+/// Tests for the vdbd admin HTTP endpoint (daemon/admin_server.hpp) and its
+/// telemetry routes. This binary builds in BOTH obs modes: the server itself
+/// is always compiled, and RegisterAdminRoutes registers nothing under
+/// VDB_OBS_DISABLED — the disabled sections below assert exactly that every
+/// telemetry path answers 404 (the obs-off CI leg runs them).
+
+#include "daemon/admin_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/vdbd.hpp"
+#include "obs/snapshot.hpp"
+#ifndef VDB_OBS_DISABLED
+#include "obs/obs.hpp"
+#endif
+
+namespace vdb {
+namespace {
+
+using daemon::AdminResponse;
+using daemon::AdminServer;
+using daemon::AdminServerOptions;
+using daemon::HttpGet;
+
+TEST(AdminServerTest, ServesRegisteredRoutesOverHttp) {
+  auto server = AdminServer::Start(AdminServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  ASSERT_GT((*server)->Port(), 0);
+  (*server)->Route("/ping", [] { return AdminResponse{.body = "pong"}; });
+
+  auto body = HttpGet("127.0.0.1", (*server)->Port(), "/ping");
+  ASSERT_TRUE(body.ok()) << body.status().message();
+  EXPECT_EQ(*body, "pong");
+
+  // Re-registering a path replaces the handler.
+  (*server)->Route("/ping", [] { return AdminResponse{.body = "pong2"}; });
+  body = HttpGet("127.0.0.1", (*server)->Port(), "/ping");
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(*body, "pong2");
+}
+
+TEST(AdminServerTest, UnknownPathAnswers404) {
+  auto server = AdminServer::Start(AdminServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  const auto body = HttpGet("127.0.0.1", (*server)->Port(), "/no-such-path");
+  EXPECT_FALSE(body.ok());
+  EXPECT_EQ(body.status().code(), StatusCode::kNotFound)
+      << body.status().message();
+}
+
+TEST(AdminServerTest, HandlesConcurrentClients) {
+  auto server = AdminServer::Start(AdminServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  (*server)->Route("/ping", [] { return AdminResponse{.body = "pong"}; });
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&ok_count, port = (*server)->Port()] {
+      for (int i = 0; i < 5; ++i) {
+        auto body = HttpGet("127.0.0.1", port, "/ping");
+        if (body.ok() && *body == "pong") ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), 40);
+}
+
+#ifndef VDB_OBS_DISABLED
+
+TEST(AdminTelemetryRoutesTest, MetricsEndpointServesLintCleanPrometheus) {
+  obs::MetricsRegistry::Instance().Reset();
+  VDB_COUNTER_ADD("admin.test_counter", 5);
+  obs::RecordStageSeconds("worker.search_local", 0.003);
+
+  auto server = AdminServer::Start(AdminServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  daemon::RegisterAdminRoutes(**server, /*worker=*/7);
+
+  auto text = HttpGet("127.0.0.1", (*server)->Port(), "/metrics");
+  ASSERT_TRUE(text.ok()) << text.status().message();
+  const Status lint = obs::LintPrometheusText(*text);
+  EXPECT_TRUE(lint.ok()) << lint.message() << "\n" << *text;
+  EXPECT_NE(text->find("vdb_admin_test_counter_total{worker=\"7\"} 5"),
+            std::string::npos)
+      << *text;
+}
+
+TEST(AdminTelemetryRoutesTest, MetricsBinDecodesAsAttributedSnapshot) {
+  obs::MetricsRegistry::Instance().Reset();
+  VDB_COUNTER_ADD("admin.bin_counter", 11);
+
+  auto server = AdminServer::Start(AdminServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  daemon::RegisterAdminRoutes(**server, /*worker=*/3);
+
+  auto blob = HttpGet("127.0.0.1", (*server)->Port(), "/metrics.bin");
+  ASSERT_TRUE(blob.ok()) << blob.status().message();
+  auto snapshot = obs::DecodeMetricsSnapshot(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(blob->data()), blob->size()));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().message();
+  EXPECT_EQ(snapshot->worker, 3u);
+  EXPECT_GT(snapshot->pid, 0u);
+  EXPECT_EQ(snapshot->counters.at("admin.bin_counter"), 11u);
+}
+
+TEST(AdminTelemetryRoutesTest, StatsSlowlogAndFlightAreServed) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::RecordStageSeconds("router.search", 0.001);
+
+  auto server = AdminServer::Start(AdminServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  daemon::RegisterAdminRoutes(**server, /*worker=*/0);
+
+  auto stats = HttpGet("127.0.0.1", (*server)->Port(), "/stats.json");
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  EXPECT_NE(stats->find("router.search"), std::string::npos);
+
+  auto slow = HttpGet("127.0.0.1", (*server)->Port(), "/traces/slow");
+  ASSERT_TRUE(slow.ok()) << slow.status().message();
+  EXPECT_FALSE(slow->empty());
+
+  auto flight = HttpGet("127.0.0.1", (*server)->Port(), "/flight");
+  ASSERT_TRUE(flight.ok()) << flight.status().message();
+  EXPECT_FALSE(flight->empty());
+}
+
+#else  // VDB_OBS_DISABLED
+
+TEST(AdminTelemetryRoutesTest, AllTelemetryPathsAnswer404WhenObsCompiledOut) {
+  auto server = AdminServer::Start(AdminServerOptions{});
+  ASSERT_TRUE(server.ok()) << server.status().message();
+  daemon::RegisterAdminRoutes(**server, /*worker=*/0);
+  for (const char* path :
+       {"/metrics", "/metrics.bin", "/stats.json", "/traces/slow", "/flight"}) {
+    const auto body = HttpGet("127.0.0.1", (*server)->Port(), path);
+    EXPECT_FALSE(body.ok()) << path;
+    EXPECT_EQ(body.status().code(), StatusCode::kNotFound) << path;
+  }
+}
+
+#endif  // VDB_OBS_DISABLED
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,208 @@
+/// Multi-process telemetry smoke: 1 router (this process) + 4 real vdbd
+/// workers with admin endpoints. Runs a traced search batch, then exercises
+/// the whole telemetry plane end to end — MetricsPull scrape + merge-sum
+/// invariants, `GET /metrics` from every admin port (lint-clean Prometheus),
+/// and TracePull assembly into one Chrome trace with spans from multiple
+/// pids correctly parented under the router's spans. Writes the assembled
+/// timeline to TRACE_cluster.json (the release CI leg uploads it).
+///
+/// Built only when the obs layer is compiled in; the vdbd binary path is
+/// injected at compile time (VDB_VDBD_PATH).
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/telemetry.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+#include "daemon/admin_server.hpp"
+#include "daemon/launcher.hpp"
+#include "obs/obs.hpp"
+#include "obs/snapshot.hpp"
+
+namespace vdb {
+namespace {
+
+using daemon::HttpGet;
+using daemon::ProcessCluster;
+using daemon::ProcessClusterOptions;
+
+constexpr std::size_t kDim = 8;
+
+std::vector<PointRecord> RandomPoints(std::size_t count) {
+  Rng rng(83);
+  std::vector<PointRecord> points;
+  for (std::size_t i = 0; i < count; ++i) {
+    PointRecord record;
+    record.id = i;
+    record.vector.resize(kDim);
+    for (auto& x : record.vector) x = static_cast<Scalar>(rng.NextGaussian());
+    points.push_back(std::move(record));
+  }
+  return points;
+}
+
+TEST(MultiprocTelemetryTest, ScrapeMergeAdminAndClusterTraceAssembly) {
+  ProcessClusterOptions options;
+  options.vdbd_path = VDB_VDBD_PATH;
+  options.num_workers = 4;
+  options.dim = kDim;
+  options.metric = "cosine";
+  options.index_type = "flat";
+  options.admin = true;
+  auto cluster = ProcessCluster::Launch(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().message();
+
+  obs::MetricsRegistry::Instance().Reset();
+  const auto points = RandomPoints(120);
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(points).ok());
+
+  // A traced search batch: every fan-out crosses the TCP frames into all
+  // four worker processes under one trace id.
+  const std::uint64_t trace_id = obs::NewTraceId();
+  {
+    obs::TraceScope scope(trace_id);
+    SearchParams params;
+    params.k = 3;
+    for (std::size_t i = 0; i < 12; ++i) {
+      auto hits = (*cluster)->GetRouter().SearchVia(
+          static_cast<WorkerId>(i % 4), points[i * 9].vector, params);
+      ASSERT_TRUE(hits.ok()) << hits.status().message();
+    }
+  }
+
+  // --- MetricsPull: one snapshot per worker, identity attributed. ---
+  ClusterScraper scraper((*cluster)->ClientTransport(), {0, 1, 2, 3});
+  std::vector<WorkerId> failed;
+  std::vector<obs::MetricsSnapshot> snapshots = scraper.PullMetrics(false, &failed);
+  EXPECT_TRUE(failed.empty());
+  ASSERT_EQ(snapshots.size(), 4u);
+  std::set<std::uint32_t> pids;
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    EXPECT_EQ(snapshots[i].worker, static_cast<std::uint32_t>(i));
+    EXPECT_GT(snapshots[i].pid, 0u);
+    EXPECT_GT(snapshots[i].epoch_unix_seconds, 0.0);
+    pids.insert(snapshots[i].pid);
+  }
+  EXPECT_EQ(pids.size(), 4u) << "each vdbd must be its own process";
+
+  // --- Merge-sum invariant: the cluster view is exactly the per-worker sums. ---
+  obs::MetricsSnapshot merged;
+  for (const obs::MetricsSnapshot& snapshot : snapshots) merged.Merge(snapshot);
+  for (const auto& [name, total] : merged.counters) {
+    std::uint64_t per_worker_sum = 0;
+    for (const obs::MetricsSnapshot& snapshot : snapshots) {
+      const auto it = snapshot.counters.find(name);
+      if (it != snapshot.counters.end()) per_worker_sum += it->second;
+    }
+    EXPECT_EQ(total, per_worker_sum) << name;
+  }
+  std::uint64_t searches = 0;
+  double search_sum = 0.0;
+  for (const obs::MetricsSnapshot& snapshot : snapshots) {
+    const auto it = snapshot.spans.find("worker.search_local");
+    if (it == snapshot.spans.end()) continue;
+    searches += it->second.Count();
+    search_sum += it->second.Sum();
+  }
+  ASSERT_GT(searches, 0u);
+  EXPECT_EQ(merged.spans.at("worker.search_local").Count(), searches);
+  EXPECT_DOUBLE_EQ(merged.spans.at("worker.search_local").Sum(), search_sum);
+
+  const std::string breakdown = obs::RenderClusterStageBreakdown(snapshots);
+  EXPECT_NE(breakdown.find("worker.search_local"), std::string::npos);
+  EXPECT_NE(breakdown.find("w0 p99"), std::string::npos);
+  EXPECT_NE(breakdown.find("w3 p99"), std::string::npos);
+
+  // --- Admin plane: every worker's /metrics is lint-clean Prometheus. ---
+  for (WorkerId w = 0; w < 4; ++w) {
+    ASSERT_GT((*cluster)->AdminPort(w), 0);
+    auto text = HttpGet("127.0.0.1", (*cluster)->AdminPort(w), "/metrics");
+    ASSERT_TRUE(text.ok()) << "worker " << w << ": " << text.status().message();
+    const Status lint = obs::LintPrometheusText(*text);
+    EXPECT_TRUE(lint.ok()) << "worker " << w << ": " << lint.message();
+    EXPECT_NE(text->find("worker=\"" + std::to_string(w) + "\""),
+              std::string::npos);
+    EXPECT_NE(text->find("vdb_worker_search_local_microseconds"),
+              std::string::npos)
+        << "worker " << w << " never searched?";
+  }
+
+  // --- TracePull: span trees from every worker + this process's own spans. ---
+  std::vector<TracePullResponse> pulls = scraper.PullTraces({trace_id}, &failed);
+  EXPECT_TRUE(failed.empty());
+  ASSERT_EQ(pulls.size(), 4u);
+  TracePullResponse local = LocalTracePull({trace_id});
+  EXPECT_GT(local.pid, 0u);
+  EXPECT_FALSE(local.spans.empty()) << "router-side spans must be retained too";
+
+  std::set<std::uint32_t> trace_pids;
+  std::set<std::uint64_t> router_span_ids;
+  for (const TraceWireSpan& span : local.spans) {
+    EXPECT_EQ(span.trace_id, trace_id);
+    trace_pids.insert(span.pid);
+    router_span_ids.insert(span.span_id);
+  }
+  bool cross_process_parent = false;
+  std::size_t worker_spans = 0;
+  for (const TracePullResponse& pull : pulls) {
+    for (const TraceWireSpan& span : pull.spans) {
+      EXPECT_EQ(span.trace_id, trace_id);
+      trace_pids.insert(span.pid);
+      ++worker_spans;
+      // The TCP frame carries the router's innermost span id; worker-side
+      // root spans must parent onto it for the timeline to nest correctly.
+      if (router_span_ids.count(span.parent_id) > 0) cross_process_parent = true;
+    }
+  }
+  ASSERT_GT(worker_spans, 0u);
+  EXPECT_GE(trace_pids.size(), 3u)
+      << "need the router plus >= 2 worker pids on one timeline";
+  EXPECT_TRUE(cross_process_parent)
+      << "no worker span parents onto a router span id";
+
+  // --- Assembly: one Perfetto-loadable timeline across all processes. ---
+  std::vector<TracePullResponse> all_pulls = pulls;
+  all_pulls.push_back(local);
+  const std::string json = AssembleClusterChromeTrace(all_pulls);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  std::FILE* f = std::fopen("TRACE_cluster.json", "w");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+
+  // A second pull drains nothing: the trees were handed over, not copied.
+  std::vector<TracePullResponse> again = scraper.PullTraces({trace_id});
+  std::size_t leftover = 0;
+  for (const TracePullResponse& pull : again) leftover += pull.spans.size();
+  EXPECT_EQ(leftover, 0u);
+}
+
+TEST(MultiprocTelemetryTest, ScraperReportsDeadWorkerAndMergesSurvivors) {
+  ProcessClusterOptions options;
+  options.vdbd_path = VDB_VDBD_PATH;
+  options.num_workers = 2;
+  options.dim = kDim;
+  options.admin = true;
+  auto cluster = ProcessCluster::Launch(options);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().message();
+  ASSERT_TRUE((*cluster)->GetRouter().UpsertBatch(RandomPoints(40)).ok());
+
+  ASSERT_TRUE((*cluster)->KillWorker(1, SIGKILL).ok());
+  ClusterScraper scraper((*cluster)->ClientTransport(), {0, 1});
+  std::vector<WorkerId> failed;
+  std::vector<obs::MetricsSnapshot> snapshots = scraper.PullMetrics(false, &failed);
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_EQ(snapshots[0].worker, 0u);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], 1u);
+}
+
+}  // namespace
+}  // namespace vdb

@@ -1,0 +1,370 @@
+/// Tests for the metrics snapshot plane (obs/snapshot.hpp): wire codec
+/// round-trips over awkward shapes, merge algebra, quantile fidelity, the
+/// gauge scrape-window semantics, the Prometheus exposition and its lint,
+/// the cluster stage-breakdown rendering, and a scrape-vs-writers race the
+/// TSan leg runs. Built only when the obs layer is compiled in.
+
+#include "obs/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.hpp"
+#include "obs/obs.hpp"
+
+namespace vdb {
+namespace {
+
+obs::MetricsSnapshot RoundTrip(const obs::MetricsSnapshot& snapshot) {
+  const std::vector<std::uint8_t> bytes = obs::EncodeMetricsSnapshot(snapshot);
+  auto decoded = obs::DecodeMetricsSnapshot(bytes);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().message();
+  return decoded.ok() ? std::move(decoded).value() : obs::MetricsSnapshot{};
+}
+
+void ExpectHistogramsEqual(const LatencyHistogram& a, const LatencyHistogram& b) {
+  ASSERT_EQ(a.NumBuckets(), b.NumBuckets());
+  for (std::size_t i = 0; i < a.NumBuckets(); ++i) {
+    EXPECT_EQ(a.BucketCount(i), b.BucketCount(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(a.Count(), b.Count());
+  EXPECT_DOUBLE_EQ(a.Sum(), b.Sum());
+  EXPECT_DOUBLE_EQ(a.Min(), b.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), b.Max());
+}
+
+TEST(SnapshotCodecTest, EmptySnapshotRoundTrips) {
+  obs::MetricsSnapshot empty;
+  const obs::MetricsSnapshot back = RoundTrip(empty);
+  EXPECT_TRUE(back.Empty());
+  EXPECT_EQ(back.worker, obs::kNoWorker);
+  EXPECT_EQ(back.pid, 0u);
+  EXPECT_EQ(back.epoch_unix_seconds, 0.0);
+}
+
+TEST(SnapshotCodecTest, IdentityAndScalarsRoundTrip) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.worker = 3;
+  snapshot.pid = 4242;
+  snapshot.epoch_unix_seconds = 1723111111.25;
+  snapshot.counters["rpc.bytes_encoded"] = 0;  // zero-valued counters survive
+  snapshot.counters["worker.requests"] = ~0ull;
+  snapshot.gauges["arena.occupancy"] = obs::GaugeSnapshot{-7, 120, 64};
+  const obs::MetricsSnapshot back = RoundTrip(snapshot);
+  EXPECT_EQ(back.worker, 3u);
+  EXPECT_EQ(back.pid, 4242u);
+  EXPECT_DOUBLE_EQ(back.epoch_unix_seconds, 1723111111.25);
+  EXPECT_EQ(back.counters.at("rpc.bytes_encoded"), 0u);
+  EXPECT_EQ(back.counters.at("worker.requests"), ~0ull);
+  EXPECT_EQ(back.gauges.at("arena.occupancy").value, -7);
+  EXPECT_EQ(back.gauges.at("arena.occupancy").max, 120);
+  EXPECT_EQ(back.gauges.at("arena.occupancy").window_max, 64);
+}
+
+TEST(SnapshotCodecTest, AwkwardBucketShapesRoundTrip) {
+  // First bucket, last bucket (huge values clamp), dense low decade, one
+  // isolated spike, and a histogram whose every sample is identical.
+  LatencyHistogram first_and_last;
+  first_and_last.Record(0.0);      // below bucket 0's range — clamps down
+  first_and_last.Record(1e300);    // beyond the last decade — clamps up
+  LatencyHistogram dense;
+  for (int i = 1; i <= 1000; ++i) dense.Record(static_cast<double>(i) / 100.0);
+  dense.Record(3.5e9);  // isolated spike far above the mass
+  LatencyHistogram constant;
+  constant.RecordN(42.0, 1 << 20);
+
+  obs::MetricsSnapshot snapshot;
+  snapshot.spans["edge.first_last"] = first_and_last;
+  snapshot.spans["edge.dense"] = dense;
+  snapshot.spans["edge.constant"] = constant;
+  const obs::MetricsSnapshot back = RoundTrip(snapshot);
+  ASSERT_EQ(back.spans.size(), 3u);
+  ExpectHistogramsEqual(back.spans.at("edge.first_last"), first_and_last);
+  ExpectHistogramsEqual(back.spans.at("edge.dense"), dense);
+  ExpectHistogramsEqual(back.spans.at("edge.constant"), constant);
+  EXPECT_DOUBLE_EQ(back.spans.at("edge.constant").Quantile(0.99), 42.0);
+}
+
+TEST(SnapshotCodecTest, DecodeRejectsCorruption) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters["a"] = 1;
+  snapshot.spans["s"].Record(10.0);
+  std::vector<std::uint8_t> bytes = obs::EncodeMetricsSnapshot(snapshot);
+
+  {  // bad magic
+    std::vector<std::uint8_t> bad = bytes;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(obs::DecodeMetricsSnapshot(bad).ok());
+  }
+  {  // bad version
+    std::vector<std::uint8_t> bad = bytes;
+    bad[4] = 99;
+    EXPECT_FALSE(obs::DecodeMetricsSnapshot(bad).ok());
+  }
+  {  // truncation at every prefix must fail cleanly, never crash
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+      EXPECT_FALSE(obs::DecodeMetricsSnapshot(prefix).ok()) << "cut=" << cut;
+    }
+  }
+  {  // trailing garbage
+    std::vector<std::uint8_t> bad = bytes;
+    bad.push_back(0);
+    EXPECT_FALSE(obs::DecodeMetricsSnapshot(bad).ok());
+  }
+}
+
+TEST(SnapshotMergeTest, CountersGaugesAndHistogramsFollowTheMergeRules) {
+  obs::MetricsSnapshot a;
+  a.counters["shared"] = 10;
+  a.counters["only_a"] = 1;
+  a.gauges["g"] = obs::GaugeSnapshot{5, 50, 20};
+  a.spans["s"].Record(100.0);
+
+  obs::MetricsSnapshot b;
+  b.counters["shared"] = 32;
+  b.gauges["g"] = obs::GaugeSnapshot{7, 40, 33};
+  b.spans["s"].Record(300.0);
+
+  obs::MetricsSnapshot merged = a;
+  merged.Merge(b);
+  EXPECT_EQ(merged.counters.at("shared"), 42u);  // counters add
+  EXPECT_EQ(merged.counters.at("only_a"), 1u);
+  EXPECT_EQ(merged.gauges.at("g").value, 12);       // levels add
+  EXPECT_EQ(merged.gauges.at("g").max, 50);         // maxes take max
+  EXPECT_EQ(merged.gauges.at("g").window_max, 33);
+  EXPECT_EQ(merged.spans.at("s").Count(), 2u);      // histograms merge
+  EXPECT_DOUBLE_EQ(merged.spans.at("s").Sum(), 400.0);
+}
+
+TEST(SnapshotMergeTest, MergeIsCommutativeAndAssociativeOnTotals) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> value(1.0, 1e6);
+  std::vector<obs::MetricsSnapshot> parts(3);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    parts[p].worker = static_cast<std::uint32_t>(p);
+    parts[p].counters["c"] = 100 + p;
+    parts[p].gauges["g"] = obs::GaugeSnapshot{
+        static_cast<std::int64_t>(p + 1), static_cast<std::int64_t>(10 * (p + 1)),
+        static_cast<std::int64_t>(5 * (p + 1))};
+    for (int i = 0; i < 500; ++i) parts[p].spans["s"].Record(value(rng));
+  }
+  const auto& [a, b, c] = std::tie(parts[0], parts[1], parts[2]);
+
+  obs::MetricsSnapshot ab = a;
+  ab.Merge(b);
+  obs::MetricsSnapshot ba = b;
+  ba.Merge(a);
+  EXPECT_EQ(ab.counters.at("c"), ba.counters.at("c"));
+  EXPECT_EQ(ab.gauges.at("g").value, ba.gauges.at("g").value);
+  EXPECT_EQ(ab.gauges.at("g").max, ba.gauges.at("g").max);
+  ExpectHistogramsEqual(ab.spans.at("s"), ba.spans.at("s"));
+  // Merging distinct workers drops per-process identity either way.
+  EXPECT_EQ(ab.worker, obs::kNoWorker);
+  EXPECT_EQ(ba.worker, obs::kNoWorker);
+
+  obs::MetricsSnapshot ab_c = ab;
+  ab_c.Merge(c);
+  obs::MetricsSnapshot bc = b;
+  bc.Merge(c);
+  obs::MetricsSnapshot a_bc = a;
+  a_bc.Merge(bc);
+  EXPECT_EQ(ab_c.counters.at("c"), a_bc.counters.at("c"));
+  EXPECT_EQ(ab_c.gauges.at("g").value, a_bc.gauges.at("g").value);
+  ExpectHistogramsEqual(ab_c.spans.at("s"), a_bc.spans.at("s"));
+}
+
+TEST(SnapshotMergeTest, MergedQuantileWithinOneBucketWidth) {
+  std::mt19937 rng(11);
+  std::lognormal_distribution<double> value(5.0, 1.5);
+  obs::MetricsSnapshot a;
+  obs::MetricsSnapshot b;
+  std::vector<double> all;
+  for (int i = 0; i < 4000; ++i) {
+    const double v = value(rng);
+    all.push_back(v);
+    (i % 2 == 0 ? a : b).spans["s"].Record(v);
+  }
+  obs::MetricsSnapshot merged = a;
+  merged.Merge(b);
+  const obs::MetricsSnapshot wire = RoundTrip(merged);
+  const LatencyHistogram& hist = wire.spans.at("s");
+
+  std::sort(all.begin(), all.end());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const double exact =
+        all[static_cast<std::size_t>(q * static_cast<double>(all.size() - 1))];
+    const double estimate = hist.Quantile(q);
+    // Error bound: one bucket width at the estimate's bucket.
+    std::size_t bucket = 0;
+    while (bucket + 1 < hist.NumBuckets() &&
+           hist.BucketLowerBound(bucket + 1) <= estimate) {
+      ++bucket;
+    }
+    const double width = (bucket + 1 < hist.NumBuckets()
+                              ? hist.BucketLowerBound(bucket + 1)
+                              : estimate * 2.0) -
+                         hist.BucketLowerBound(bucket);
+    EXPECT_NEAR(estimate, exact, width) << "q=" << q;
+  }
+}
+
+TEST(SnapshotCaptureTest, CapturesRegistryAndRoundTrips) {
+  obs::MetricsRegistry::Instance().Reset();
+  VDB_COUNTER_ADD("cap.counter", 9);
+  VDB_GAUGE_ADD("cap.gauge", 14);
+  obs::RecordStageSeconds("worker.search_local", 0.004);
+  obs::MetricsSnapshot snapshot = obs::CaptureMetricsSnapshot(false);
+  EXPECT_GT(snapshot.pid, 0u);
+  EXPECT_GT(snapshot.epoch_unix_seconds, 0.0);
+  const obs::MetricsSnapshot back = RoundTrip(snapshot);
+  EXPECT_EQ(back.counters.at("cap.counter"), 9u);
+  EXPECT_EQ(back.gauges.at("cap.gauge").value, 14);
+  EXPECT_EQ(back.spans.at("worker.search_local").Count(), 1u);
+}
+
+TEST(SnapshotCaptureTest, GaugeWindowSemanticsAreScrapeDefined) {
+  obs::MetricsRegistry::Instance().Reset();
+  obs::Gauge& gauge = obs::MetricsRegistry::Instance().GaugeFor("win.gauge");
+  gauge.Set(5);
+  gauge.Set(12);
+  gauge.Set(3);
+
+  // First scrape owns the window: sees the 12 spike, restarts at current (3).
+  obs::MetricsSnapshot first = obs::CaptureMetricsSnapshot(/*reset_windows=*/true);
+  EXPECT_EQ(first.gauges.at("win.gauge").window_max, 12);
+  EXPECT_EQ(first.gauges.at("win.gauge").max, 12);  // lifetime max survives
+
+  // Nothing spiked since: the window reports the held level, not a fake dip.
+  obs::MetricsSnapshot second = obs::CaptureMetricsSnapshot(/*reset_windows=*/true);
+  EXPECT_EQ(second.gauges.at("win.gauge").window_max, 3);
+  EXPECT_EQ(second.gauges.at("win.gauge").max, 12);
+
+  // A non-resetting reader (an ad-hoc /metrics hit) cannot steal the window.
+  gauge.Set(40);
+  obs::MetricsSnapshot peek = obs::CaptureMetricsSnapshot(/*reset_windows=*/false);
+  EXPECT_EQ(peek.gauges.at("win.gauge").window_max, 40);
+  obs::MetricsSnapshot third = obs::CaptureMetricsSnapshot(/*reset_windows=*/true);
+  EXPECT_EQ(third.gauges.at("win.gauge").window_max, 40);
+}
+
+TEST(PrometheusTest, RenderedExpositionPassesLint) {
+  obs::MetricsRegistry::Instance().Reset();
+  VDB_COUNTER_ADD("rpc.bytes_encoded", 123);
+  VDB_GAUGE_ADD("arena.occupancy", 4);
+  obs::RecordStageSeconds("worker.search_local", 0.002);
+  obs::RecordStageSeconds("router.fanout", 0.001);
+  obs::MetricsSnapshot snapshot = obs::CaptureMetricsSnapshot(false);
+  snapshot.worker = 2;
+  const std::string text = obs::RenderPrometheus(snapshot);
+
+  const Status lint = obs::LintPrometheusText(text);
+  EXPECT_TRUE(lint.ok()) << lint.message() << "\n" << text;
+  EXPECT_NE(text.find("vdb_rpc_bytes_encoded_total{worker=\"2\"} 123"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vdb_arena_occupancy{worker=\"2\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("vdb_arena_occupancy_high_water"), std::string::npos);
+  EXPECT_NE(text.find("vdb_worker_search_local_microseconds{worker=\"2\","
+                      "quantile=\"0.99\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("vdb_worker_search_local_microseconds_count"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, MergedClusterViewDropsWorkerLabelAndStillLints) {
+  obs::MetricsSnapshot a;
+  a.worker = 0;
+  a.counters["c"] = 1;
+  obs::MetricsSnapshot b;
+  b.worker = 1;
+  b.counters["c"] = 2;
+  obs::MetricsSnapshot merged = a;
+  merged.Merge(b);
+  const std::string text = obs::RenderPrometheus(merged);
+  EXPECT_TRUE(obs::LintPrometheusText(text).ok());
+  EXPECT_NE(text.find("vdb_c_total 3"), std::string::npos) << text;
+  EXPECT_EQ(text.find("worker="), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, LintCatchesScrapeBreakingMistakes) {
+  // Valid baseline the cases below perturb.
+  EXPECT_TRUE(obs::LintPrometheusText("# HELP m ok\n# TYPE m counter\nm 1\n").ok());
+  // Metric name with an illegal character.
+  EXPECT_FALSE(obs::LintPrometheusText("# TYPE bad-name counter\nbad-name 1\n").ok());
+  // Duplicate series (same name + label set).
+  EXPECT_FALSE(
+      obs::LintPrometheusText("# TYPE m counter\nm{a=\"x\"} 1\nm{a=\"x\"} 2\n").ok());
+  // TYPE after the family's first sample.
+  EXPECT_FALSE(obs::LintPrometheusText("m 1\n# TYPE m counter\nm 2\n").ok());
+  // Unparseable value.
+  EXPECT_FALSE(obs::LintPrometheusText("# TYPE m gauge\nm banana\n").ok());
+  // Illegal label escape.
+  EXPECT_FALSE(
+      obs::LintPrometheusText("# TYPE m gauge\nm{a=\"\\q\"} 1\n").ok());
+  // Unknown TYPE keyword.
+  EXPECT_FALSE(obs::LintPrometheusText("# TYPE m histogramm\nm 1\n").ok());
+}
+
+TEST(ClusterBreakdownTest, PerWorkerColumnsAndTotalsSumUp) {
+  obs::MetricsSnapshot w0;
+  w0.worker = 0;
+  w0.spans["worker.search_local"].RecordN(1000.0, 10);  // 1 ms x10
+  obs::MetricsSnapshot w1;
+  w1.worker = 1;
+  w1.spans["worker.search_local"].RecordN(30000.0, 10);  // 30 ms x10 straggler
+  const std::string table = obs::RenderClusterStageBreakdown({w0, w1});
+  EXPECT_NE(table.find("worker.search_local"), std::string::npos);
+  EXPECT_NE(table.find("w0 p99"), std::string::npos);
+  EXPECT_NE(table.find("w1 p99"), std::string::npos);
+  EXPECT_NE(table.find("20"), std::string::npos);  // merged calls = 10 + 10
+  EXPECT_NE(table.find('*'), std::string::npos);   // w1 flagged as straggler
+
+  // The aggregated row's p99 must equal the merged histograms' p99 — the
+  // acceptance check that vdbtop's totals agree with the scraper's merge.
+  obs::MetricsSnapshot merged = w0;
+  merged.Merge(w1);
+  char merged_p99[32];
+  std::snprintf(merged_p99, sizeof(merged_p99), "%.2f",
+                merged.spans.at("worker.search_local").Quantile(0.99) / 1e3);
+  EXPECT_NE(table.find(merged_p99), std::string::npos) << table;
+}
+
+TEST(SnapshotRaceTest, ScrapeRacesLiveWritersCleanly) {
+  obs::MetricsRegistry::Instance().Reset();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&stop, t] {
+      // do-while: every writer lands at least one write even if the scrape
+      // loop below finishes before this thread is first scheduled.
+      do {
+        VDB_SPAN("race.span");
+        VDB_COUNTER_ADD("race.counter", 1);
+        VDB_GAUGE_ADD("race.gauge", t + 1);
+        VDB_GAUGE_ADD("race.gauge", -(t + 1));
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    obs::MetricsSnapshot snapshot = obs::CaptureMetricsSnapshot(i % 2 == 0);
+    const std::vector<std::uint8_t> bytes = obs::EncodeMetricsSnapshot(snapshot);
+    auto decoded = obs::DecodeMetricsSnapshot(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+  obs::MetricsSnapshot last = obs::CaptureMetricsSnapshot(false);
+  EXPECT_GT(last.counters.at("race.counter"), 0u);
+}
+
+}  // namespace
+}  // namespace vdb

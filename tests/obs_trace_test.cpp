@@ -476,5 +476,58 @@ TEST(SlowQueryLogTest, TraceRootOffersOnDestruction) {
   log.Clear();
 }
 
+// ---- drop accounting --------------------------------------------------------
+// Both bounded retention structures must account for what they shed: the
+// registry's live-trace LRU bumps obs.trace.dropped, the slow-query log bumps
+// obs.slowlog.dropped. A scraper watching these counters can tell "quiet
+// cluster" from "interesting traces are being evicted before I pull them".
+
+TEST(DropCountersTest, TraceTableEvictionBumpsObsTraceDropped) {
+  obs::MetricsRegistry::Instance().Reset();
+  auto& dropped =
+      obs::MetricsRegistry::Instance().CounterFor("obs.trace.dropped");
+  ASSERT_EQ(dropped.Value(), 0u);
+  // One more live trace than the LRU table holds: the oldest is evicted.
+  for (std::size_t i = 0; i < obs::MetricsRegistry::kMaxTraces + 1; ++i) {
+    obs::RecordSpanEventAt("evict.op", obs::TraceToken{obs::NewTraceId(), 0},
+                           0.0, 0.001);
+  }
+  EXPECT_GE(dropped.Value(), 1u);
+  obs::MetricsRegistry::Instance().Reset();
+}
+
+TEST(DropCountersTest, SlowQueryLogDropsBumpObsSlowlogDropped) {
+  auto& log = obs::SlowQueryLog::Instance();
+  log.Clear();
+  log.Configure(/*threshold_seconds=*/0.010, /*keep=*/2);
+  obs::MetricsRegistry::Instance().Reset();
+  auto& dropped =
+      obs::MetricsRegistry::Instance().CounterFor("obs.slowlog.dropped");
+
+  const auto offer = [](double duration) {
+    const std::uint64_t trace_id = obs::NewTraceId();
+    obs::RecordSpanEventAt("slow.op", obs::TraceToken{trace_id, 0}, 0.0,
+                           duration);
+    obs::OfferSlowTrace(trace_id, "slow.op", duration);
+  };
+
+  offer(0.001);  // below threshold -> dropped
+  EXPECT_EQ(dropped.Value(), 1u);
+  offer(0.030);  // retained (log now holds 1 of 2)
+  offer(0.020);  // retained (log full)
+  EXPECT_EQ(dropped.Value(), 1u);
+  offer(0.015);  // beaten by the current top-2 -> dropped
+  EXPECT_EQ(dropped.Value(), 2u);
+  offer(0.040);  // retained; displaces the 0.020 entry -> dropped
+  EXPECT_EQ(dropped.Value(), 3u);
+
+  const auto entries = log.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(entries[0].duration_seconds, 0.040);
+  EXPECT_DOUBLE_EQ(entries[1].duration_seconds, 0.030);
+  log.Clear();
+  log.Configure(0.0, 8);
+}
+
 }  // namespace
 }  // namespace vdb

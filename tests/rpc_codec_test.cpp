@@ -175,5 +175,96 @@ TEST(CodecTest, WireBytesAccountsForBody) {
   EXPECT_GT(message.WireBytes(), 2560u * 4u);
 }
 
+// ---- telemetry plane (types 36-39) -----------------------------------------
+
+TEST(CodecTest, MetricsPullRoundTrip) {
+  {
+    const Message message = EncodeMetricsPullRequest(MetricsPullRequest{true});
+    EXPECT_EQ(message.type, MessageType::kMetricsPullRequest);
+    auto decoded = DecodeMetricsPullRequest(message);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded->reset_window);
+  }
+  {
+    auto decoded =
+        DecodeMetricsPullRequest(EncodeMetricsPullRequest(MetricsPullRequest{}));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(decoded->reset_window);
+  }
+  MetricsPullResponse response;
+  response.snapshot = {0x56, 0x44, 0x42, 0x4D, 0x01, 0x00, 0xFF};
+  const Message message = EncodeMetricsPullResponse(response);
+  EXPECT_EQ(message.type, MessageType::kMetricsPullResponse);
+  auto decoded = DecodeMetricsPullResponse(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->snapshot, response.snapshot);
+}
+
+TEST(CodecTest, MetricsPullResponseEmptyBlobIsLegal) {
+  // An obs-disabled worker answers with an empty snapshot blob.
+  auto decoded =
+      DecodeMetricsPullResponse(EncodeMetricsPullResponse(MetricsPullResponse{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->snapshot.empty());
+}
+
+TEST(CodecTest, TracePullRoundTrip) {
+  TracePullRequest request;
+  request.trace_ids = {1, ~0ull, 42};
+  const Message req_message = EncodeTracePullRequest(request);
+  EXPECT_EQ(req_message.type, MessageType::kTracePullRequest);
+  auto req_decoded = DecodeTracePullRequest(req_message);
+  ASSERT_TRUE(req_decoded.ok());
+  EXPECT_EQ(req_decoded->trace_ids, request.trace_ids);
+
+  TracePullResponse response;
+  response.worker = 3;
+  response.pid = 9999;
+  response.epoch_unix_seconds = 1723000000.5;
+  TraceWireSpan span;
+  span.name = "worker.search_local";
+  span.trace_id = 7;
+  span.span_id = (5ull << 40) + 2;  // a seeded remote process's id range
+  span.parent_id = 11;
+  span.worker = 3;
+  span.node = 1;
+  span.shard = 6;
+  span.thread_id = 0xDEADBEEF;
+  span.pid = 9999;
+  span.start_seconds = 1.5;
+  span.duration_seconds = 0.25;
+  response.spans.push_back(span);
+  response.spans.push_back(TraceWireSpan{});  // defaults round-trip too
+
+  const Message message = EncodeTracePullResponse(response);
+  EXPECT_EQ(message.type, MessageType::kTracePullResponse);
+  auto decoded = DecodeTracePullResponse(message);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->worker, 3u);
+  EXPECT_EQ(decoded->pid, 9999u);
+  EXPECT_DOUBLE_EQ(decoded->epoch_unix_seconds, 1723000000.5);
+  ASSERT_EQ(decoded->spans.size(), 2u);
+  const TraceWireSpan& back = decoded->spans[0];
+  EXPECT_EQ(back.name, span.name);
+  EXPECT_EQ(back.trace_id, span.trace_id);
+  EXPECT_EQ(back.span_id, span.span_id);
+  EXPECT_EQ(back.parent_id, span.parent_id);
+  EXPECT_EQ(back.worker, span.worker);
+  EXPECT_EQ(back.node, span.node);
+  EXPECT_EQ(back.shard, span.shard);
+  EXPECT_EQ(back.thread_id, span.thread_id);
+  EXPECT_EQ(back.pid, span.pid);
+  EXPECT_DOUBLE_EQ(back.start_seconds, span.start_seconds);
+  EXPECT_DOUBLE_EQ(back.duration_seconds, span.duration_seconds);
+  EXPECT_EQ(decoded->spans[1].name, "");
+  EXPECT_EQ(decoded->spans[1].worker, 0xFFFFFFFFu);
+}
+
+TEST(CodecTest, TracePullEmptyRequestMeansDrainAll) {
+  auto decoded = DecodeTracePullRequest(EncodeTracePullRequest(TracePullRequest{}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->trace_ids.empty());
+}
+
 }  // namespace
 }  // namespace vdb
